@@ -1,0 +1,166 @@
+// Package echelonflow's benchmark suite regenerates every table and figure
+// of the paper (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison). Each benchmark runs the
+// corresponding experiment, fails on any violated shape check, and reports
+// its headline numbers as custom metrics.
+//
+// Run with: go test -bench=. -benchmem
+package echelonflow
+
+import (
+	"testing"
+
+	"echelonflow/internal/experiments"
+	"echelonflow/internal/sched"
+)
+
+// runExperiment executes one registered experiment per benchmark iteration,
+// failing the benchmark if the experiment errors or any check fails.
+func runExperiment(b *testing.B, run func() (*experiments.Report, error)) *experiments.Report {
+	b.Helper()
+	var last *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if failed := r.Failed(); len(failed) > 0 {
+			b.Fatalf("%s: %d checks failed, first: %s (%s)",
+				r.ID, len(failed), failed[0].Name, failed[0].Detail)
+		}
+		last = r
+	}
+	return last
+}
+
+func BenchmarkTable1_ParadigmCompliance(b *testing.B) {
+	runExperiment(b, experiments.Table1)
+}
+
+func BenchmarkFigure1_PipelineTimeline(b *testing.B) {
+	runExperiment(b, experiments.Fig1)
+}
+
+func BenchmarkFigure2_MotivatingExample(b *testing.B) {
+	runExperiment(b, experiments.Fig2)
+}
+
+func BenchmarkFigure3_FSDPWorkflow(b *testing.B) {
+	runExperiment(b, experiments.Fig3)
+}
+
+func BenchmarkFigure4_DPWorkflow(b *testing.B) {
+	runExperiment(b, experiments.Fig4)
+}
+
+func BenchmarkFigure5_TPWorkflow(b *testing.B) {
+	runExperiment(b, experiments.Fig5)
+}
+
+func BenchmarkFigure6_ArrangementFunction(b *testing.B) {
+	runExperiment(b, experiments.Fig6)
+}
+
+func BenchmarkFigure7_SystemSketch(b *testing.B) {
+	if testing.Short() {
+		b.Skip("live TCP benchmark skipped in -short mode")
+	}
+	runExperiment(b, experiments.Fig7)
+}
+
+func BenchmarkCaseStudies_Arrangements(b *testing.B) {
+	runExperiment(b, experiments.CaseStudies)
+}
+
+func BenchmarkProperty1_Optimality(b *testing.B) {
+	runExperiment(b, experiments.Property1)
+}
+
+func BenchmarkProperty2_CoflowSuperset(b *testing.B) {
+	runExperiment(b, experiments.Property2)
+}
+
+func BenchmarkProperty4_SchedulerComplexity(b *testing.B) {
+	runExperiment(b, experiments.Property4)
+}
+
+func BenchmarkExtended_MultiJobTardiness(b *testing.B) {
+	runExperiment(b, experiments.ExtMultiJob)
+}
+
+func BenchmarkExtended_BandwidthSweep(b *testing.B) {
+	runExperiment(b, experiments.ExtBandwidthSweep)
+}
+
+func BenchmarkExtended_DelayRecovery(b *testing.B) {
+	runExperiment(b, experiments.ExtDelayRecovery)
+}
+
+func BenchmarkExtended_WeightedTardiness(b *testing.B) {
+	runExperiment(b, experiments.ExtWeightedTardiness)
+}
+
+func BenchmarkExtended_MixedParadigms(b *testing.B) {
+	runExperiment(b, experiments.ExtMixedParadigms)
+}
+
+func BenchmarkExtended_CoordinatorThroughput(b *testing.B) {
+	runExperiment(b, experiments.ExtCoordinatorLatency)
+}
+
+// BenchmarkScheduler_* measure raw scheduler decision latency on a Fig. 2
+// style snapshot — the hot path of both the simulator and the live
+// Coordinator.
+
+func benchScheduler(b *testing.B, s Scheduler) {
+	b.Helper()
+	job := PipelineGPipe{
+		Name:         "pp",
+		Model:        UniformModel("m", 8, 2, 5, 1, 1),
+		Workers:      []string{"s0", "s1", "s2", "s3"},
+		MicroBatches: 8,
+		Iterations:   1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := job.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := SimulateUniform(w, 4, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduler_EchelonMADD(b *testing.B) {
+	benchScheduler(b, sched.EchelonMADD{Backfill: true})
+}
+
+func BenchmarkScheduler_CoflowMADD(b *testing.B) {
+	benchScheduler(b, sched.CoflowMADD{Backfill: true})
+}
+
+func BenchmarkScheduler_Fair(b *testing.B) {
+	benchScheduler(b, sched.Fair{})
+}
+
+func BenchmarkExtended_1F1BProfiledArrangement(b *testing.B) {
+	runExperiment(b, experiments.Ext1F1B)
+}
+
+func BenchmarkExtended_CoflowBatch(b *testing.B) {
+	runExperiment(b, experiments.ExtCoflowBatch)
+}
+
+func BenchmarkExtended_ReschedulingCadence(b *testing.B) {
+	runExperiment(b, experiments.ExtCadence)
+}
+
+func BenchmarkExtended_LinkDegradation(b *testing.B) {
+	runExperiment(b, experiments.ExtDegradedLink)
+}
+
+func BenchmarkExtended_RackOversubscription(b *testing.B) {
+	runExperiment(b, experiments.ExtRackOversubscription)
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseSendSpec(t *testing.T) {
+	src, dst, flows, size, T, err := parseSendSpec("w1,w2,3,1048576,0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != "w1" || dst != "w2" || flows != 3 || size != 1048576 || T != 0.25 {
+		t.Errorf("parsed = %v %v %v %v %v", src, dst, flows, size, T)
+	}
+	bad := []string{
+		"w1,w2,3,100",          // too few fields
+		"w1,w2,0,100,1",        // zero flows
+		"w1,w2,x,100,1",        // bad flows
+		"w1,w2,3,-1,1",         // negative size
+		"w1,w2,3,nan-bytes,1",  // bad size
+		"w1,w2,3,100,x",        // bad T
+		"w1,w2,3,100,-1",       // negative T
+		"w1,w2,3,100,0.5,more", // too many fields
+	}
+	for _, spec := range bad {
+		if _, _, _, _, _, err := parseSendSpec(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

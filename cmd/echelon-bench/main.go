@@ -1,0 +1,58 @@
+// Command echelon-bench regenerates every table and figure of the paper
+// (and the extended evaluation) and prints the reports, including the
+// machine-checked shape claims. See EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+//
+// Usage:
+//
+//	echelon-bench            # run everything
+//	echelon-bench -id fig2   # run one experiment
+//	echelon-bench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"echelonflow/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "", "run only the experiment with this ID")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	exps := experiments.All()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	failed := 0
+	ran := 0
+	for _, e := range exps {
+		if *id != "" && e.ID != *id {
+			continue
+		}
+		ran++
+		report, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed to run: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(report.String())
+		failed += len(report.Failed())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -id=%s (try -list)\n", *id)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d checks failed\n", failed)
+		os.Exit(1)
+	}
+}

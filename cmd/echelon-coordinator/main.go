@@ -1,0 +1,177 @@
+// Command echelon-coordinator runs the EchelonFlow Coordinator daemon
+// (paper Fig. 7): it listens for Agent sessions, schedules registered
+// EchelonFlows on every flow arrival/departure, and pushes bandwidth
+// allocations.
+//
+// The fabric capacity model is given as host specs:
+//
+//	echelon-coordinator -listen :7100 -host w1=1e9 -host w2=1e9
+//	echelon-coordinator -listen :7100 -host 'gpu[0-7]=125e6' -scheduler coflow
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"echelonflow/internal/coordinator"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/unit"
+)
+
+// hostSpecs collects repeated -host flags.
+type hostSpecs []string
+
+func (h *hostSpecs) String() string     { return strings.Join(*h, ",") }
+func (h *hostSpecs) Set(v string) error { *h = append(*h, v); return nil }
+
+func main() {
+	var hosts hostSpecs
+	listen := flag.String("listen", "127.0.0.1:7100", "control listen address")
+	schedName := flag.String("scheduler", "echelon", "echelon | coflow | fair")
+	interval := flag.Duration("interval", 0, "optional periodic rescheduling interval")
+	sessionTimeout := flag.Duration("session-timeout", 30*time.Second, "drop agents silent for this long (0 disables)")
+	var racks, assigns hostSpecs
+	flag.Var(&hosts, "host", "host capacity spec name=rate or name[a-b]=rate (repeatable)")
+	flag.Var(&racks, "rack", "rack capacity spec name=rate (uplink=downlink; repeatable)")
+	flag.Var(&assigns, "assign", "host-to-rack assignment host=rack or prefix[a-b]=rack (repeatable)")
+	flag.Parse()
+
+	net0 := fabric.NewNetwork()
+	for _, spec := range hosts {
+		if err := addHostSpec(net0, spec); err != nil {
+			log.Fatalf("echelon-coordinator: %v", err)
+		}
+	}
+	if net0.Len() == 0 {
+		log.Fatal("echelon-coordinator: at least one -host spec is required")
+	}
+	for _, spec := range racks {
+		name, rateStr, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("echelon-coordinator: rack spec %q: want name=rate", spec)
+		}
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil || rate <= 0 {
+			log.Fatalf("echelon-coordinator: rack spec %q: bad rate", spec)
+		}
+		if err := net0.AddRack(name, unit.Rate(rate), unit.Rate(rate)); err != nil {
+			log.Fatalf("echelon-coordinator: %v", err)
+		}
+	}
+	for _, spec := range assigns {
+		if err := assignRackSpec(net0, spec); err != nil {
+			log.Fatalf("echelon-coordinator: %v", err)
+		}
+	}
+
+	var s sched.Scheduler
+	switch *schedName {
+	case "echelon":
+		s = sched.EchelonMADD{Backfill: true}
+	case "coflow":
+		s = sched.CoflowMADD{Backfill: true}
+	case "fair":
+		s = sched.Fair{}
+	default:
+		log.Fatalf("echelon-coordinator: unknown scheduler %q", *schedName)
+	}
+
+	coord, err := coordinator.New(coordinator.Options{
+		Net: net0, Scheduler: s, Interval: *interval, SessionTimeout: *sessionTimeout,
+	})
+	if err != nil {
+		log.Fatalf("echelon-coordinator: %v", err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("echelon-coordinator: %v", err)
+	}
+	log.Printf("echelon-coordinator: scheduling %d hosts with %s on %s", net0.Len(), s.Name(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := coord.Serve(ctx, ln); err != nil {
+		log.Fatalf("echelon-coordinator: %v", err)
+	}
+	computed, pushed := coord.PushStats()
+	log.Printf("echelon-coordinator: shut down after %d scheduling decisions (%d/%d allocation entries pushed)",
+		coord.Reschedules(), pushed, computed)
+}
+
+// assignRackSpec parses "host=rack" or "prefix[a-b]=rack" assignments.
+func assignRackSpec(n *fabric.Network, spec string) error {
+	name, rack, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("assign spec %q: want host=rack", spec)
+	}
+	open := strings.Index(name, "[")
+	if open < 0 {
+		return n.AssignRack(name, rack)
+	}
+	close0 := strings.Index(name, "]")
+	if close0 < open {
+		return fmt.Errorf("assign spec %q: unbalanced brackets", spec)
+	}
+	prefix := name[:open]
+	lo, hi, ok := strings.Cut(name[open+1:close0], "-")
+	if !ok {
+		return fmt.Errorf("assign spec %q: want prefix[a-b]=rack", spec)
+	}
+	a, err1 := strconv.Atoi(lo)
+	b, err2 := strconv.Atoi(hi)
+	if err1 != nil || err2 != nil || b < a {
+		return fmt.Errorf("assign spec %q: bad range", spec)
+	}
+	for i := a; i <= b; i++ {
+		if err := n.AssignRack(fmt.Sprintf("%s%d", prefix, i), rack); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addHostSpec parses "name=rate" or "prefix[a-b]=rate" and adds the hosts.
+func addHostSpec(n *fabric.Network, spec string) error {
+	name, rateStr, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("host spec %q: want name=rate", spec)
+	}
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil || rate <= 0 {
+		return fmt.Errorf("host spec %q: bad rate %q", spec, rateStr)
+	}
+	open := strings.Index(name, "[")
+	if open < 0 {
+		return n.AddHost(name, unit.Rate(rate), unit.Rate(rate))
+	}
+	close0 := strings.Index(name, "]")
+	if close0 < open {
+		return fmt.Errorf("host spec %q: unbalanced brackets", spec)
+	}
+	prefix := name[:open]
+	lo, hi, ok := strings.Cut(name[open+1:close0], "-")
+	if !ok {
+		return fmt.Errorf("host spec %q: want prefix[a-b]=rate", spec)
+	}
+	a, err1 := strconv.Atoi(lo)
+	b, err2 := strconv.Atoi(hi)
+	if err1 != nil || err2 != nil || b < a {
+		return fmt.Errorf("host spec %q: bad range", spec)
+	}
+	for i := a; i <= b; i++ {
+		if err := n.AddHost(fmt.Sprintf("%s%d", prefix, i), unit.Rate(rate), unit.Rate(rate)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"testing"
+
+	"echelonflow/internal/fabric"
+)
+
+func TestAddHostSpec(t *testing.T) {
+	tests := []struct {
+		spec      string
+		wantErr   bool
+		wantHosts []string
+	}{
+		{"w1=100", false, []string{"w1"}},
+		{"gpu[0-2]=5e3", false, []string{"gpu0", "gpu1", "gpu2"}},
+		{"noequals", true, nil},
+		{"w1=notanumber", true, nil},
+		{"w1=-5", true, nil},
+		{"w1=0", true, nil},
+		{"gpu[2-0]=10", true, nil},
+		{"gpu[a-b]=10", true, nil},
+		{"gpu[0=10", true, nil},
+		{"gpu]0[=10", true, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			n := fabric.NewNetwork()
+			err := addHostSpec(n, tt.spec)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			for _, h := range tt.wantHosts {
+				if n.Host(h) == nil {
+					t.Errorf("host %q missing", h)
+				}
+			}
+			if !tt.wantErr && n.Len() != len(tt.wantHosts) {
+				t.Errorf("host count = %d, want %d", n.Len(), len(tt.wantHosts))
+			}
+		})
+	}
+}
+
+func TestAddHostSpecDuplicate(t *testing.T) {
+	n := fabric.NewNetwork()
+	if err := addHostSpec(n, "w1=10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := addHostSpec(n, "w[0-2]=10"); err == nil {
+		t.Error("duplicate host w1 accepted")
+	}
+}
+
+func TestAssignRackSpec(t *testing.T) {
+	n := fabric.NewNetwork()
+	if err := addHostSpec(n, "gpu[0-3]=10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddRack("r0", 20, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := assignRackSpec(n, "gpu[0-1]=r0"); err != nil {
+		t.Fatal(err)
+	}
+	if n.RackOf("gpu0") != "r0" || n.RackOf("gpu1") != "r0" || n.RackOf("gpu2") != "" {
+		t.Error("range assignment wrong")
+	}
+	if err := assignRackSpec(n, "gpu2=r0"); err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{"noequals", "ghost=r0", "gpu3=ghostrack", "gpu[2-0]=r0", "gpu]0[=r0", "gpu[x-y]=r0"}
+	for _, spec := range bad {
+		if err := assignRackSpec(n, spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

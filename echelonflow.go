@@ -1,0 +1,182 @@
+// Package echelonflow is an implementation of EchelonFlow (HotNets '22):
+// a network abstraction and scheduling system for flows in distributed deep
+// learning training, where semantically related flows should finish in the
+// staggered pattern dictated by the job's computation arrangement rather
+// than simultaneously.
+//
+// The package re-exports the library's stable surface:
+//
+//   - Flows, EchelonFlows and arrangement functions (Coflow, Pipeline,
+//     Staged, Absolute) with the tardiness objectives of the paper's §3;
+//   - schedulers: EchelonMADD (the paper's contribution), Varys-style
+//     CoflowMADD, max-min Fair sharing, SRPT and FIFO baselines;
+//   - DDLT paradigm compilers (DP-AllReduce, DP-PS, GPipe PP, Megatron TP,
+//     ZeRO FSDP) producing computation graphs with per-group arrangements;
+//   - a compute/network co-simulator and a live Coordinator/Agent pair
+//     enforcing allocations over real TCP connections.
+//
+// Quick start:
+//
+//	job := echelonflow.PipelineGPipe{
+//		Name:         "job",
+//		Model:        echelonflow.UniformModel("m", 8, 1e6, 4e5, 0.01, 0.02),
+//		Workers:      []string{"w0", "w1", "w2", "w3"},
+//		MicroBatches: 8,
+//		Iterations:   2,
+//	}
+//	w, err := job.Build()
+//	// handle err
+//	res, err := echelonflow.SimulateUniform(w, 1e9, echelonflow.EchelonScheduler(true))
+//	// handle err; inspect res.Makespan, res.Groups, res.Flows
+package echelonflow
+
+import (
+	"echelonflow/internal/core"
+	"echelonflow/internal/ddlt"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/unit"
+)
+
+// Scalar quantities: seconds, bytes, bytes per second.
+type (
+	Time  = unit.Time
+	Bytes = unit.Bytes
+	Rate  = unit.Rate
+)
+
+// Core abstraction (paper §3).
+type (
+	Flow        = core.Flow
+	EchelonFlow = core.EchelonFlow
+	Arrangement = core.Arrangement
+	Coflow      = core.Coflow
+	Pipeline    = core.Pipeline
+	Staged      = core.Staged
+	Absolute    = core.Absolute
+	Outcome     = core.Outcome
+)
+
+// NewEchelonFlow builds a validated EchelonFlow (Definition 3.1).
+func NewEchelonFlow(id string, arr Arrangement, flows ...*Flow) (*EchelonFlow, error) {
+	return core.New(id, arr, flows...)
+}
+
+// NewCoflow builds a Coflow presented as an EchelonFlow (Property 2).
+func NewCoflow(id string, flows ...*Flow) (*EchelonFlow, error) {
+	return core.NewCoflow(id, flows...)
+}
+
+// NewFSDPArrangement builds the Eq. 7 staggered-Coflow arrangement.
+func NewFSDPArrangement(layers int, tFwd, tBwd Time) (Staged, error) {
+	return core.NewFSDP(layers, tFwd, tBwd)
+}
+
+// FlowTardiness is Eq. 1; see also Outcome for group-level metrics.
+func FlowTardiness(actualFinish, idealFinish Time) Time {
+	return core.FlowTardiness(actualFinish, idealFinish)
+}
+
+// Fabric model.
+type Network = fabric.Network
+
+// NewNetwork returns an empty big-switch fabric.
+func NewNetwork() *Network { return fabric.NewNetwork() }
+
+// Schedulers.
+type Scheduler = sched.Scheduler
+
+// EchelonScheduler returns the paper's EchelonFlow scheduler (EchelonMADD);
+// backfill makes it work-conserving.
+func EchelonScheduler(backfill bool) Scheduler {
+	return sched.EchelonMADD{Backfill: backfill}
+}
+
+// EchelonSchedulerGlobalEDF returns EchelonMADD with global earliest-
+// deadline class planning, which expresses workloads whose computation
+// interleaves consumption across EchelonFlows (e.g. 1F1B pipelines); see
+// the E7 ablation in EXPERIMENTS.md.
+func EchelonSchedulerGlobalEDF(backfill bool) Scheduler {
+	return sched.EchelonMADD{Backfill: backfill, GlobalEDF: true}
+}
+
+// CoflowScheduler returns Varys-style Coflow scheduling (SEBF + MADD).
+func CoflowScheduler(backfill bool) Scheduler {
+	return sched.CoflowMADD{Backfill: backfill}
+}
+
+// FairScheduler returns per-flow max-min fair sharing.
+func FairScheduler() Scheduler { return sched.Fair{} }
+
+// SRPTScheduler returns smallest-remaining-first per-flow scheduling.
+func SRPTScheduler() Scheduler { return sched.SRPT{} }
+
+// FIFOScheduler returns release-order per-flow scheduling.
+func FIFOScheduler() Scheduler { return sched.FIFO{} }
+
+// EDFScheduler returns per-flow earliest-ideal-finish-first scheduling —
+// deadline-aware but group-oblivious.
+func EDFScheduler() Scheduler { return sched.EDF{} }
+
+// DDLT paradigm compilers (paper §2, §4).
+type (
+	Model             = ddlt.Model
+	Layer             = ddlt.Layer
+	Workload          = ddlt.Workload
+	DPAllReduce       = ddlt.DPAllReduce
+	DPParameterServer = ddlt.DPParameterServer
+	PipelineGPipe     = ddlt.PipelineGPipe
+	Pipeline1F1B      = ddlt.Pipeline1F1B
+	HybridTPPP        = ddlt.HybridTPPP
+	TensorParallel    = ddlt.TensorParallel
+	FSDP              = ddlt.FSDP
+)
+
+// UniformModel builds an n-layer model with identical layers.
+func UniformModel(name string, layers int, params, activations Bytes, fwd, bwd Time) Model {
+	return ddlt.Uniform(name, layers, params, activations, fwd, bwd)
+}
+
+// Model zoo: named templates with realistic relative footprints.
+type ZooModel = ddlt.ZooModel
+
+// Zoo template names.
+const (
+	ZooTransformer = ddlt.ZooTransformer
+	ZooConvNet     = ddlt.ZooConvNet
+	ZooMLP         = ddlt.ZooMLP
+)
+
+// NewZooModel instantiates a zoo template; see ddlt.NewZooModel.
+func NewZooModel(kind ZooModel, blocks int, blockParams Bytes, computeRate Rate) (Model, error) {
+	return ddlt.NewZooModel(kind, blocks, blockParams, computeRate)
+}
+
+// MergeWorkloads composes jobs onto one shared fabric.
+func MergeWorkloads(ws ...*Workload) (*Workload, error) { return ddlt.Merge(ws...) }
+
+// Simulation results.
+type (
+	SimResult   = sim.Result
+	FlowRecord  = sim.FlowRecord
+	GroupResult = sim.GroupResult
+)
+
+// Simulate runs a workload on the given fabric under the given scheduler.
+func Simulate(w *Workload, net *Network, s Scheduler) (*SimResult, error) {
+	simr, err := sim.New(sim.Options{
+		Graph: w.Graph, Net: net, Scheduler: s, Arrangements: w.Arrangements,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return simr.Run()
+}
+
+// SimulateUniform runs a workload with every host given symmetric capacity.
+func SimulateUniform(w *Workload, capacity Rate, s Scheduler) (*SimResult, error) {
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(capacity, w.Hosts...)
+	return Simulate(w, net, s)
+}

@@ -1,0 +1,68 @@
+// Multijob: several training jobs — different paradigms — compete on one
+// fabric, the multi-tenant setting the paper's global objective (Eq. 4)
+// targets. Compares the sum of EchelonFlow tardiness across schedulers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"echelonflow"
+)
+
+func buildJobs() (*echelonflow.Workload, error) {
+	pp, err := echelonflow.PipelineGPipe{
+		Name:         "tenantA-pp",
+		Model:        echelonflow.UniformModel("m1", 4, 2, 5, 1, 1),
+		Workers:      []string{"g0", "g1", "g2", "g3"},
+		MicroBatches: 4,
+		Iterations:   1,
+	}.Build()
+	if err != nil {
+		return nil, err
+	}
+	dp, err := echelonflow.DPAllReduce{
+		Name:        "tenantB-dp",
+		Model:       echelonflow.UniformModel("m2", 4, 8, 1, 0.5, 0.5),
+		Workers:     []string{"g1", "g2", "g3", "g4"}, // overlaps tenant A
+		BucketCount: 2,
+		Iterations:  1,
+	}.Build()
+	if err != nil {
+		return nil, err
+	}
+	fsdp, err := echelonflow.FSDP{
+		Name:       "tenantC-fsdp",
+		Model:      echelonflow.UniformModel("m3", 3, 6, 1, 0.5, 0.75),
+		Workers:    []string{"g0", "g2", "g4"},
+		Iterations: 1,
+	}.Build()
+	if err != nil {
+		return nil, err
+	}
+	return echelonflow.MergeWorkloads(pp, dp, fsdp)
+}
+
+func main() {
+	fmt.Println("three tenants (PP, DP-AllReduce, FSDP) sharing 5 workers at 6 B/s:")
+	fmt.Println()
+	for _, s := range []echelonflow.Scheduler{
+		echelonflow.EchelonScheduler(true),
+		echelonflow.CoflowScheduler(true),
+		echelonflow.FairScheduler(),
+		echelonflow.SRPTScheduler(),
+	} {
+		w, err := buildJobs()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := echelonflow.SimulateUniform(w, 6, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s makespan %-8v sum tardiness (Eq. 4) %v\n",
+			s.Name(), res.Makespan, res.TotalTardiness())
+	}
+	fmt.Println("\nEchelonFlow scheduling coordinates the tenants' drastically different")
+	fmt.Println("computation patterns under one objective — the gap the paper's §1 identifies.")
+}

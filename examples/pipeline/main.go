@@ -1,0 +1,50 @@
+// Pipeline: reproduce the paper's motivating example (Fig. 2) — a pipeline
+// stage pair where Coflow scheduling is worse than naive fair sharing and
+// EchelonFlow scheduling is optimal — then run a full GPipe job under all
+// three schedulers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"echelonflow"
+	"echelonflow/internal/experiments"
+)
+
+func main() {
+	// Part 1: the exact Fig. 2 scenario with its machine-checked numbers
+	// (fair 8.5, coflow 10, echelon 8).
+	report, err := experiments.Fig2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.String())
+
+	// Part 2: a full 4-stage GPipe job on a contended fabric.
+	fmt.Println("== full GPipe job, 4 stages x 6 micro-batches ==")
+	schedulers := []echelonflow.Scheduler{
+		echelonflow.EchelonScheduler(true),
+		echelonflow.CoflowScheduler(true),
+		echelonflow.FairScheduler(),
+	}
+	for _, s := range schedulers {
+		job := echelonflow.PipelineGPipe{
+			Name:         "pp",
+			Model:        echelonflow.UniformModel("resnet-ish", 8, 2, 5, 0.5, 0.5),
+			Workers:      []string{"s0", "s1", "s2", "s3"},
+			MicroBatches: 6,
+			Iterations:   2,
+		}
+		w, err := job.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := echelonflow.SimulateUniform(w, 4, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s iteration time %v, sum tardiness %v\n",
+			s.Name(), res.Makespan/2, res.TotalTardiness())
+	}
+}

@@ -1,0 +1,3 @@
+module echelonflow
+
+go 1.22

@@ -1,0 +1,407 @@
+// Package agent implements the EchelonFlow Agent of the paper's system
+// sketch (Fig. 7, §5): the shim between a training framework and its
+// message-passing backend. The agent registers EchelonFlows with the
+// Coordinator, reports flow releases and completions, and enforces the
+// Coordinator's bandwidth allocations on the data plane by pacing real TCP
+// transfers with per-flow token buckets — the weighted-bandwidth-sharing
+// enforcement the paper describes.
+package agent
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/ratelimit"
+	"echelonflow/internal/unit"
+	"echelonflow/internal/wire"
+)
+
+// Options configures an Agent.
+type Options struct {
+	// Name identifies the agent to the Coordinator.
+	Name string
+	// CoordinatorAddr is the Coordinator's control endpoint.
+	CoordinatorAddr string
+	// DataAddr, when non-empty, is the listen address for incoming flow
+	// payloads (use "127.0.0.1:0" to pick a free port).
+	DataAddr string
+	// Burst is the token-bucket burst in bytes (default 64 KiB).
+	Burst float64
+	// Chunk is the paced write size in bytes (default 16 KiB).
+	Chunk int
+	// Heartbeat is the control-plane keepalive interval (default 5s;
+	// negative disables heartbeats).
+	Heartbeat time.Duration
+	// Logf receives diagnostics; defaults to log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+// Agent is a live EchelonFlow agent. Create with Dial; Close releases all
+// resources.
+type Agent struct {
+	opts   Options
+	conn   net.Conn
+	codec  *wire.Codec
+	dataLn net.Listener
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	buckets   map[string]*ratelimit.Bucket
+	lastRates map[string]unit.Rate
+	received  map[string]int64
+	recvDone  map[string]chan struct{}
+}
+
+// Dial connects to the Coordinator, performs the handshake, and starts the
+// allocation listener and (if configured) the data-plane listener.
+func Dial(ctx context.Context, opts Options) (*Agent, error) {
+	if opts.Name == "" {
+		return nil, fmt.Errorf("agent: Name is required")
+	}
+	if opts.CoordinatorAddr == "" {
+		return nil, fmt.Errorf("agent: CoordinatorAddr is required")
+	}
+	if opts.Burst <= 0 {
+		opts.Burst = 64 << 10
+	}
+	if opts.Chunk <= 0 {
+		opts.Chunk = 16 << 10
+	}
+	if float64(opts.Chunk) > opts.Burst {
+		return nil, fmt.Errorf("agent: chunk %d exceeds burst %v", opts.Chunk, opts.Burst)
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	if opts.Heartbeat == 0 {
+		opts.Heartbeat = 5 * time.Second
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", opts.CoordinatorAddr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: dial coordinator: %w", err)
+	}
+	actx, cancel := context.WithCancel(context.Background())
+	a := &Agent{
+		opts: opts, conn: conn, codec: wire.NewCodec(conn),
+		ctx: actx, cancel: cancel,
+		buckets:   make(map[string]*ratelimit.Bucket),
+		lastRates: make(map[string]unit.Rate),
+		received:  make(map[string]int64),
+		recvDone:  make(map[string]chan struct{}),
+	}
+	hello := wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Agent: opts.Name}}
+	if err := a.codec.Send(hello); err != nil {
+		conn.Close()
+		cancel()
+		return nil, fmt.Errorf("agent: handshake: %w", err)
+	}
+	if opts.DataAddr != "" {
+		ln, err := net.Listen("tcp", opts.DataAddr)
+		if err != nil {
+			conn.Close()
+			cancel()
+			return nil, fmt.Errorf("agent: data listener: %w", err)
+		}
+		a.dataLn = ln
+		a.wg.Add(1)
+		go a.acceptLoop()
+	}
+	a.wg.Add(1)
+	go a.controlLoop()
+	if opts.Heartbeat > 0 {
+		a.wg.Add(1)
+		go a.heartbeatLoop()
+	}
+	return a, nil
+}
+
+// heartbeatLoop keeps the control session alive across idle periods.
+func (a *Agent) heartbeatLoop() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.opts.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.ctx.Done():
+			return
+		case <-t.C:
+			if err := a.codec.Send(wire.Message{Type: wire.TypeHeartbeat}); err != nil {
+				if a.ctx.Err() == nil {
+					a.opts.Logf("agent %s: heartbeat failed: %v", a.opts.Name, err)
+				}
+				return
+			}
+		}
+	}
+}
+
+// DataAddr returns the bound data-plane address, or "" without a data plane.
+func (a *Agent) DataAddr() string {
+	if a.dataLn == nil {
+		return ""
+	}
+	return a.dataLn.Addr().String()
+}
+
+// Close tears down both planes and waits for background goroutines.
+func (a *Agent) Close() error {
+	a.cancel()
+	err := a.conn.Close()
+	if a.dataLn != nil {
+		a.dataLn.Close()
+	}
+	a.wg.Wait()
+	return err
+}
+
+// controlLoop applies pushed allocations until the connection closes.
+func (a *Agent) controlLoop() {
+	defer a.wg.Done()
+	for {
+		msg, err := a.codec.Recv()
+		if err != nil {
+			if a.ctx.Err() == nil {
+				a.opts.Logf("agent %s: control connection lost: %v", a.opts.Name, err)
+			}
+			return
+		}
+		switch msg.Type {
+		case wire.TypeAllocation:
+			a.applyAllocation(msg.Allocation.Rates)
+		case wire.TypeError:
+			a.opts.Logf("agent %s: coordinator error: %s", a.opts.Name, msg.Error.Msg)
+		default:
+			a.opts.Logf("agent %s: unexpected message %q", a.opts.Name, msg.Type)
+		}
+	}
+}
+
+// applyAllocation updates bucket rates, remembering rates for flows whose
+// buckets do not exist yet (allocation can race ahead of SendFlow).
+func (a *Agent) applyAllocation(rates map[string]unit.Rate) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for id, r := range rates {
+		a.lastRates[id] = r
+		if b, ok := a.buckets[id]; ok {
+			b.SetRate(float64(r))
+		}
+	}
+}
+
+// RegisterGroup announces an EchelonFlow to the Coordinator.
+func (a *Agent) RegisterGroup(g *core.EchelonFlow) error {
+	reg, err := wire.RegisterOf(g)
+	if err != nil {
+		return err
+	}
+	return a.codec.Send(wire.Message{Type: wire.TypeRegister, Register: &reg})
+}
+
+// UnregisterGroup removes an EchelonFlow.
+func (a *Agent) UnregisterGroup(groupID string) error {
+	return a.codec.Send(wire.Message{Type: wire.TypeUnregister, Unregister: &wire.Unregister{GroupID: groupID}})
+}
+
+// SendFlow transfers size bytes of flow data to the destination agent's
+// data plane, paced by the Coordinator's allocation. It reports the flow
+// released before the first byte and finished after the last, and blocks
+// until done. The flow starts paused until the first allocation arrives.
+func (a *Agent) SendFlow(ctx context.Context, groupID, flowID string, size int64, dstAddr string) error {
+	if size < 0 {
+		return fmt.Errorf("agent: negative flow size")
+	}
+	bucket, err := ratelimit.NewBucket(0, a.opts.Burst)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	if _, dup := a.buckets[flowID]; dup {
+		a.mu.Unlock()
+		return fmt.Errorf("agent: flow %q already sending", flowID)
+	}
+	a.buckets[flowID] = bucket
+	if r, ok := a.lastRates[flowID]; ok {
+		bucket.SetRate(float64(r))
+	}
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		delete(a.buckets, flowID)
+		a.mu.Unlock()
+	}()
+
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", dstAddr)
+	if err != nil {
+		return fmt.Errorf("agent: dial data plane: %w", err)
+	}
+	defer conn.Close()
+	if err := writeDataHeader(conn, flowID, size); err != nil {
+		return err
+	}
+
+	release := wire.Message{Type: wire.TypeFlowEvent,
+		FlowEvent: &wire.FlowEvent{GroupID: groupID, FlowID: flowID, Event: wire.EventReleased}}
+	if err := a.codec.Send(release); err != nil {
+		return fmt.Errorf("agent: report release: %w", err)
+	}
+
+	chunk := make([]byte, a.opts.Chunk)
+	for sent := int64(0); sent < size; {
+		n := int64(len(chunk))
+		if size-sent < n {
+			n = size - sent
+		}
+		if err := bucket.Wait(ctx, float64(n)); err != nil {
+			return fmt.Errorf("agent: pacing flow %q: %w", flowID, err)
+		}
+		if _, err := conn.Write(chunk[:n]); err != nil {
+			return fmt.Errorf("agent: send flow %q: %w", flowID, err)
+		}
+		sent += n
+	}
+
+	finish := wire.Message{Type: wire.TypeFlowEvent,
+		FlowEvent: &wire.FlowEvent{GroupID: groupID, FlowID: flowID, Event: wire.EventFinished}}
+	if err := a.codec.Send(finish); err != nil {
+		return fmt.Errorf("agent: report finish: %w", err)
+	}
+	return nil
+}
+
+// ReceivedBytes reports how many payload bytes have arrived for a flow.
+func (a *Agent) ReceivedBytes(flowID string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.received[flowID]
+}
+
+// WaitReceived blocks until the named flow's payload has fully arrived on
+// this agent's data plane, or the context is cancelled.
+func (a *Agent) WaitReceived(ctx context.Context, flowID string) error {
+	a.mu.Lock()
+	ch, ok := a.recvDone[flowID]
+	if !ok {
+		ch = make(chan struct{})
+		a.recvDone[flowID] = ch
+	}
+	a.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// acceptLoop serves the data plane.
+func (a *Agent) acceptLoop() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.dataLn.Accept()
+		if err != nil {
+			return
+		}
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			defer conn.Close()
+			if err := a.receiveFlow(conn); err != nil && a.ctx.Err() == nil {
+				a.opts.Logf("agent %s: data plane: %v", a.opts.Name, err)
+			}
+		}()
+	}
+}
+
+// receiveFlow drains one incoming flow, accounting its bytes.
+func (a *Agent) receiveFlow(conn net.Conn) error {
+	flowID, size, err := readDataHeader(conn)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 32<<10)
+	var got int64
+	for got < size {
+		want := int64(len(buf))
+		if size-got < want {
+			want = size - got
+		}
+		n, err := conn.Read(buf[:want])
+		if n > 0 {
+			got += int64(n)
+			a.mu.Lock()
+			a.received[flowID] = got
+			a.mu.Unlock()
+		}
+		if err != nil {
+			if err == io.EOF && got == size {
+				break
+			}
+			return fmt.Errorf("flow %q truncated at %d/%d: %w", flowID, got, size, err)
+		}
+	}
+	a.mu.Lock()
+	ch, ok := a.recvDone[flowID]
+	if !ok {
+		ch = make(chan struct{})
+		a.recvDone[flowID] = ch
+	}
+	select {
+	case <-ch:
+	default:
+		close(ch)
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+// writeDataHeader frames a flow's identity and size on the data plane.
+func writeDataHeader(w io.Writer, flowID string, size int64) error {
+	id := []byte(flowID)
+	if len(id) > 1<<16 {
+		return fmt.Errorf("agent: flow ID too long")
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(id)))
+	binary.BigEndian.PutUint64(hdr[4:], uint64(size))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("agent: write data header: %w", err)
+	}
+	if _, err := w.Write(id); err != nil {
+		return fmt.Errorf("agent: write data header: %w", err)
+	}
+	return nil
+}
+
+// readDataHeader parses the data-plane framing.
+func readDataHeader(r io.Reader) (string, int64, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", 0, fmt.Errorf("read data header: %w", err)
+	}
+	idLen := binary.BigEndian.Uint32(hdr[:4])
+	if idLen > 1<<16 {
+		return "", 0, fmt.Errorf("data header id length %d too large", idLen)
+	}
+	size := int64(binary.BigEndian.Uint64(hdr[4:]))
+	if size < 0 {
+		return "", 0, fmt.Errorf("negative flow size")
+	}
+	id := make([]byte, idLen)
+	if _, err := io.ReadFull(r, id); err != nil {
+		return "", 0, fmt.Errorf("read flow id: %w", err)
+	}
+	return string(id), size, nil
+}

@@ -1,0 +1,248 @@
+// Package collective decomposes the communication primitives of DDLT
+// frameworks — ring all-reduce (reduce-scatter + all-gather), parameter-
+// server push/pull, and all-to-all — into point-to-point flows on the
+// computation graph, with the step dependencies a real implementation
+// (NCCL/Gloo ring algorithms) imposes.
+//
+// For an m-worker ring over a buffer of V bytes, the buffer splits into m
+// chunks of V/m; reduce-scatter and all-gather each take m−1 steps (§2.1),
+// and in every step each worker forwards one chunk to its ring successor,
+// which it may only do after receiving the previous step's chunk from its
+// ring predecessor.
+package collective
+
+import (
+	"fmt"
+
+	"echelonflow/internal/dag"
+	"echelonflow/internal/unit"
+)
+
+// Op describes the flows a collective emitted: Step0 holds the entry flows
+// indexed by worker (callers hang per-worker dependencies off these — e.g.
+// worker i's backward compute gates only worker i's first send), Last holds
+// the final-step flows whose joint completion is the collective's barrier,
+// and All lists every flow in emission order.
+type Op struct {
+	All   []string
+	Step0 []string
+	Last  []string
+}
+
+// merge concatenates two ops sequentially (a then b).
+func (a Op) merge(b Op) Op {
+	return Op{
+		All:   append(append([]string(nil), a.All...), b.All...),
+		Step0: append([]string(nil), a.Step0...),
+		Last:  append([]string(nil), b.Last...),
+	}
+}
+
+// validateRing checks common ring-collective arguments.
+func validateRing(g *dag.Graph, workers []string, size unit.Bytes) error {
+	if g == nil {
+		return fmt.Errorf("collective: nil graph")
+	}
+	if len(workers) < 2 {
+		return fmt.Errorf("collective: ring needs >=2 workers, got %d", len(workers))
+	}
+	seen := make(map[string]bool, len(workers))
+	for _, w := range workers {
+		if w == "" {
+			return fmt.Errorf("collective: empty worker name")
+		}
+		if seen[w] {
+			return fmt.Errorf("collective: duplicate worker %q", w)
+		}
+		seen[w] = true
+	}
+	if size < 0 {
+		return fmt.Errorf("collective: negative size %v", size)
+	}
+	return nil
+}
+
+// ringPhase emits `steps` ring steps named prefix/s<step>w<i>: in each step
+// every worker sends a chunk to its successor, depending on the chunk it
+// received in the previous step (and on deps for step 0).
+func ringPhase(g *dag.Graph, prefix string, workers []string, chunk unit.Bytes, steps int, group string, stage int, deps []string) (Op, error) {
+	m := len(workers)
+	ids := make([][]string, steps)
+	var op Op
+	for s := 0; s < steps; s++ {
+		ids[s] = make([]string, m)
+		for i := 0; i < m; i++ {
+			id := fmt.Sprintf("%s/s%dw%d", prefix, s, i)
+			ids[s][i] = id
+			if err := g.Add(&dag.Node{
+				ID: id, Kind: dag.Comm,
+				Src: workers[i], Dst: workers[(i+1)%m],
+				Size: chunk, Group: group, Stage: stage,
+			}); err != nil {
+				return Op{}, err
+			}
+			op.All = append(op.All, id)
+			if s == 0 {
+				for _, d := range deps {
+					if err := g.Depend(d, id); err != nil {
+						return Op{}, err
+					}
+				}
+				continue
+			}
+			// Worker i forwards in step s what it received in step s-1
+			// from its predecessor (i-1 mod m).
+			prev := ids[s-1][(i-1+m)%m]
+			if err := g.Depend(prev, id); err != nil {
+				return Op{}, err
+			}
+		}
+	}
+	if steps > 0 {
+		op.Step0 = append([]string(nil), ids[0]...)
+		op.Last = append([]string(nil), ids[steps-1]...)
+	}
+	return op, nil
+}
+
+// RingReduceScatter emits the m−1 reduce-scatter steps for a size-byte
+// buffer over the workers. Flows carry the given group and stage; step-0
+// flows depend on deps.
+func RingReduceScatter(g *dag.Graph, prefix string, workers []string, size unit.Bytes, group string, stage int, deps []string) (Op, error) {
+	if err := validateRing(g, workers, size); err != nil {
+		return Op{}, err
+	}
+	m := len(workers)
+	return ringPhase(g, prefix+"/rs", workers, size/unit.Bytes(m), m-1, group, stage, deps)
+}
+
+// RingAllGather emits the m−1 all-gather steps, mirroring RingReduceScatter.
+func RingAllGather(g *dag.Graph, prefix string, workers []string, size unit.Bytes, group string, stage int, deps []string) (Op, error) {
+	if err := validateRing(g, workers, size); err != nil {
+		return Op{}, err
+	}
+	m := len(workers)
+	return ringPhase(g, prefix+"/ag", workers, size/unit.Bytes(m), m-1, group, stage, deps)
+}
+
+// RingAllReduce emits a full all-reduce: reduce-scatter followed by
+// all-gather, 2(m−1) steps in total (§2.1). The returned Op's Step0 are the
+// reduce-scatter entry flows and Last the all-gather exit flows.
+func RingAllReduce(g *dag.Graph, prefix string, workers []string, size unit.Bytes, group string, stage int, deps []string) (Op, error) {
+	rs, err := RingReduceScatter(g, prefix, workers, size, group, stage, deps)
+	if err != nil {
+		return Op{}, err
+	}
+	ag, err := RingAllGather(g, prefix, workers, size, group, stage, rs.Last)
+	if err != nil {
+		return Op{}, err
+	}
+	return rs.merge(ag), nil
+}
+
+// PSPush emits one gradient-push flow per worker to the parameter server
+// (Fig. 4b, workers→PS).
+func PSPush(g *dag.Graph, prefix string, workers []string, ps string, perWorker unit.Bytes, group string, stage int, deps []string) (Op, error) {
+	return psFanFlows(g, prefix+"/push", workers, ps, perWorker, group, stage, deps, true)
+}
+
+// PSPull emits one model-pull flow per worker from the parameter server
+// (Fig. 4b, PS→workers).
+func PSPull(g *dag.Graph, prefix string, workers []string, ps string, perWorker unit.Bytes, group string, stage int, deps []string) (Op, error) {
+	return psFanFlows(g, prefix+"/pull", workers, ps, perWorker, group, stage, deps, false)
+}
+
+func psFanFlows(g *dag.Graph, prefix string, workers []string, ps string, perWorker unit.Bytes, group string, stage int, deps []string, toPS bool) (Op, error) {
+	if g == nil {
+		return Op{}, fmt.Errorf("collective: nil graph")
+	}
+	if ps == "" {
+		return Op{}, fmt.Errorf("collective: empty PS host")
+	}
+	if len(workers) == 0 {
+		return Op{}, fmt.Errorf("collective: PS fan needs >=1 worker")
+	}
+	if perWorker < 0 {
+		return Op{}, fmt.Errorf("collective: negative size %v", perWorker)
+	}
+	var op Op
+	for i, w := range workers {
+		if w == ps {
+			return Op{}, fmt.Errorf("collective: worker %q is the PS host", w)
+		}
+		id := fmt.Sprintf("%s/w%d", prefix, i)
+		src, dst := w, ps
+		if !toPS {
+			src, dst = ps, w
+		}
+		if err := g.Add(&dag.Node{
+			ID: id, Kind: dag.Comm, Src: src, Dst: dst,
+			Size: perWorker, Group: group, Stage: stage,
+		}); err != nil {
+			return Op{}, err
+		}
+		for _, d := range deps {
+			if err := g.Depend(d, id); err != nil {
+				return Op{}, err
+			}
+		}
+		op.All = append(op.All, id)
+	}
+	op.Step0 = append([]string(nil), op.All...)
+	op.Last = append([]string(nil), op.All...)
+	return op, nil
+}
+
+// AllToAll emits a full-mesh exchange: every worker sends perPair bytes to
+// every other worker. Step0 groups flows by source worker, so Step0 has
+// m(m−1) entries in source-major order (it equals All and Last: every flow
+// is both an entry and an exit of the exchange).
+func AllToAll(g *dag.Graph, prefix string, workers []string, perPair unit.Bytes, group string, stage int, deps []string) (Op, error) {
+	if err := validateRing(g, workers, perPair); err != nil {
+		return Op{}, err
+	}
+	var op Op
+	for i, src := range workers {
+		for j, dst := range workers {
+			if i == j {
+				continue
+			}
+			id := fmt.Sprintf("%s/a2a%d-%d", prefix, i, j)
+			if err := g.Add(&dag.Node{
+				ID: id, Kind: dag.Comm, Src: src, Dst: dst,
+				Size: perPair, Group: group, Stage: stage,
+			}); err != nil {
+				return Op{}, err
+			}
+			for _, d := range deps {
+				if err := g.Depend(d, id); err != nil {
+					return Op{}, err
+				}
+			}
+			op.All = append(op.All, id)
+		}
+	}
+	op.Step0 = append([]string(nil), op.All...)
+	op.Last = append([]string(nil), op.All...)
+	return op, nil
+}
+
+// P2P emits a single point-to-point flow (pipeline-parallel activations and
+// gradients).
+func P2P(g *dag.Graph, id, src, dst string, size unit.Bytes, group string, stage int, deps []string) (string, error) {
+	if g == nil {
+		return "", fmt.Errorf("collective: nil graph")
+	}
+	if err := g.Add(&dag.Node{
+		ID: id, Kind: dag.Comm, Src: src, Dst: dst,
+		Size: size, Group: group, Stage: stage,
+	}); err != nil {
+		return "", err
+	}
+	for _, d := range deps {
+		if err := g.Depend(d, id); err != nil {
+			return "", err
+		}
+	}
+	return id, nil
+}

@@ -1,0 +1,218 @@
+package collective
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"echelonflow/internal/dag"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/unit"
+)
+
+func workers(m int) []string {
+	out := make([]string, m)
+	for i := range out {
+		out[i] = fmt.Sprintf("w%d", i)
+	}
+	return out
+}
+
+func TestRingAllReduceStructure(t *testing.T) {
+	g := dag.New()
+	op, err := RingAllReduce(g, "ar", workers(4), 8, "grp", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2(m-1) steps × m flows = 24 flows.
+	if g.Len() != 24 || len(op.All) != 24 {
+		t.Errorf("node count = %d/%d, want 24", g.Len(), len(op.All))
+	}
+	if len(op.Last) != 4 {
+		t.Errorf("final flows = %d, want 4", len(op.Last))
+	}
+	if len(op.Step0) != 4 || !strings.Contains(op.Step0[0], "/rs/s0") {
+		t.Errorf("entry flows = %v", op.Step0)
+	}
+	for _, id := range op.Last {
+		if !strings.Contains(id, "/ag/s2") {
+			t.Errorf("final flow %q should be an all-gather step-2 flow", id)
+		}
+	}
+	// Chunk size = 8/4 = 2.
+	for _, n := range g.Nodes() {
+		if n.Size != 2 {
+			t.Errorf("flow %s size = %v, want 2", n.ID, n.Size)
+		}
+		if n.Group != "grp" {
+			t.Errorf("flow %s group = %q", n.ID, n.Group)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingStepDependencies(t *testing.T) {
+	g := dag.New()
+	if _, err := RingReduceScatter(g, "x", workers(3), 3, "", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Worker 1's step-1 flow depends on worker 0's step-0 flow.
+	deps := g.Deps("x/rs/s1w1")
+	if len(deps) != 1 || deps[0] != "x/rs/s0w0" {
+		t.Errorf("deps of s1w1 = %v, want [x/rs/s0w0]", deps)
+	}
+	// Ring wrap: worker 0's step-1 flow depends on worker 2's step-0 flow.
+	deps = g.Deps("x/rs/s1w0")
+	if len(deps) != 1 || deps[0] != "x/rs/s0w2" {
+		t.Errorf("deps of s1w0 = %v, want [x/rs/s0w2]", deps)
+	}
+}
+
+func TestRingExternalDeps(t *testing.T) {
+	g := dag.New()
+	g.MustAdd(&dag.Node{ID: "compute", Kind: dag.Compute, Host: "w0", Duration: 1})
+	if _, err := RingAllGather(g, "x", workers(2), 2, "", 0, []string{"compute"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"x/ag/s0w0", "x/ag/s0w1"} {
+		deps := g.Deps(id)
+		if len(deps) != 1 || deps[0] != "compute" {
+			t.Errorf("deps of %s = %v", id, deps)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	g := dag.New()
+	if _, err := RingAllReduce(nil, "x", workers(2), 1, "", 0, nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := RingAllReduce(g, "x", workers(1), 1, "", 0, nil); err == nil {
+		t.Error("single worker accepted")
+	}
+	if _, err := RingAllReduce(g, "x", []string{"a", "a"}, 1, "", 0, nil); err == nil {
+		t.Error("duplicate workers accepted")
+	}
+	if _, err := RingAllReduce(g, "x", []string{"a", ""}, 1, "", 0, nil); err == nil {
+		t.Error("empty worker accepted")
+	}
+	if _, err := RingAllReduce(g, "x", workers(2), -1, "", 0, nil); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := RingAllReduce(g, "x", workers(2), 1, "", 0, []string{"ghost"}); err == nil {
+		t.Error("unknown dep accepted")
+	}
+}
+
+func TestPSPushPull(t *testing.T) {
+	g := dag.New()
+	push, err := PSPush(g, "it0", workers(3), "ps", 4, "push", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(push.All) != 3 || len(push.Step0) != 3 || len(push.Last) != 3 {
+		t.Fatalf("push op = %+v", push)
+	}
+	for _, id := range push.All {
+		n := g.Node(id)
+		if n.Dst != "ps" || n.Size != 4 {
+			t.Errorf("push flow %+v", n)
+		}
+	}
+	pull, err := PSPull(g, "it0", workers(3), "ps", 4, "pull", 0, push.Last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range pull.All {
+		n := g.Node(id)
+		if n.Src != "ps" {
+			t.Errorf("pull flow src = %q", n.Src)
+		}
+		if len(g.Deps(id)) != 3 {
+			t.Errorf("pull deps = %v", g.Deps(id))
+		}
+	}
+}
+
+func TestPSValidation(t *testing.T) {
+	g := dag.New()
+	if _, err := PSPush(g, "x", workers(2), "", 1, "", 0, nil); err == nil {
+		t.Error("empty PS accepted")
+	}
+	if _, err := PSPush(g, "x", nil, "ps", 1, "", 0, nil); err == nil {
+		t.Error("no workers accepted")
+	}
+	if _, err := PSPush(g, "x", []string{"ps"}, "ps", 1, "", 0, nil); err == nil {
+		t.Error("worker==PS accepted")
+	}
+	if _, err := PSPush(g, "x", workers(2), "ps", -1, "", 0, nil); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := PSPull(nil, "x", workers(2), "ps", 1, "", 0, nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	g := dag.New()
+	op, err := AllToAll(g, "x", workers(3), 2, "a2a", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(op.All) != 6 {
+		t.Errorf("flow count = %d, want m(m-1)=6", len(op.All))
+	}
+	for _, id := range op.All {
+		n := g.Node(id)
+		if n.Stage != 1 || n.Group != "a2a" || n.Size != 2 {
+			t.Errorf("flow %+v", n)
+		}
+	}
+}
+
+func TestP2P(t *testing.T) {
+	g := dag.New()
+	g.MustAdd(&dag.Node{ID: "c", Kind: dag.Compute, Host: "a", Duration: 1})
+	id, err := P2P(g, "act", "a", "b", 5, "pp", 2, []string{"c"})
+	if err != nil || id != "act" {
+		t.Fatal(err)
+	}
+	n := g.Node("act")
+	if n.Size != 5 || n.Stage != 2 || len(g.Deps("act")) != 1 {
+		t.Errorf("p2p node %+v deps %v", n, g.Deps("act"))
+	}
+	if _, err := P2P(nil, "x", "a", "b", 1, "", 0, nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := P2P(g, "act", "a", "b", 1, "", 0, nil); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+}
+
+// End-to-end sanity: a 4-worker ring all-reduce of V bytes on uniform links
+// of capacity C completes in the textbook 2(m-1)/m × V/C when uncontended.
+func TestRingAllReduceSimulatedDuration(t *testing.T) {
+	const m, V, C = 4, 8.0, 2.0
+	g := dag.New()
+	if _, err := RingAllReduce(g, "ar", workers(m), V, "", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(C, workers(m)...)
+	s, err := sim.New(sim.Options{Graph: g, Net: net, Scheduler: sched.Fair{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := unit.Time(2 * (m - 1) / float64(m) * V / C)
+	if !res.Makespan.ApproxEq(want) {
+		t.Errorf("all-reduce makespan = %v, want %v", res.Makespan, want)
+	}
+}

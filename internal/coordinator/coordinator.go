@@ -1,0 +1,447 @@
+// Package coordinator implements the central EchelonFlow scheduler of the
+// paper's system sketch (Fig. 7, §5): it receives EchelonFlow registrations
+// and flow lifecycle events from Agents, reruns the scheduling heuristic on
+// every arrival/departure (and optionally on a fixed interval), and pushes
+// bandwidth allocations back.
+//
+// The Coordinator models flow progress fluidly — remaining volume decreases
+// at the allocated rate between events — and treats Agent finish reports as
+// ground truth, so modest model drift self-corrects at the next event.
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/unit"
+	"echelonflow/internal/wire"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Net is the capacity model of the cluster fabric. Required.
+	Net *fabric.Network
+	// Scheduler defaults to EchelonMADD with backfill.
+	Scheduler sched.Scheduler
+	// Interval, when positive, also reschedules periodically while flows
+	// are active (§5's per-scheduling-interval mode).
+	Interval time.Duration
+	// SessionTimeout drops an agent session that sends nothing (not even a
+	// heartbeat) for this long; its groups are unregistered. Zero disables
+	// the timeout.
+	SessionTimeout time.Duration
+	// Clock is injectable for tests; defaults to time.Now.
+	Clock func() time.Time
+	// Logf receives diagnostic output; defaults to log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+type flowRT struct {
+	flow      *core.Flow
+	released  bool
+	finished  bool
+	remaining unit.Bytes
+	rate      unit.Rate
+	release   unit.Time
+}
+
+type groupRT struct {
+	state  *sched.GroupState
+	flows  map[string]*flowRT
+	owner  string
+	refSet bool
+}
+
+// Coordinator is the central scheduler. Create with New.
+type Coordinator struct {
+	opts  Options
+	start time.Time
+
+	mu          sync.Mutex
+	groups      map[string]*groupRT
+	sessions    map[*session]struct{}
+	lastAdvance unit.Time
+	reschedules int
+	ratesTotal  int // allocation entries computed
+	ratesPushed int // allocation entries actually sent (after delta filtering)
+}
+
+// New validates options and returns a Coordinator.
+func New(opts Options) (*Coordinator, error) {
+	if opts.Net == nil {
+		return nil, fmt.Errorf("coordinator: Net is required")
+	}
+	if opts.Scheduler == nil {
+		opts.Scheduler = sched.EchelonMADD{Backfill: true}
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	return &Coordinator{
+		opts:     opts,
+		start:    opts.Clock(),
+		groups:   make(map[string]*groupRT),
+		sessions: make(map[*session]struct{}),
+	}, nil
+}
+
+// now converts wall time to scheduler time (seconds since start).
+func (c *Coordinator) now() unit.Time {
+	return unit.Time(c.opts.Clock().Sub(c.start).Seconds())
+}
+
+// Reschedules reports how many scheduling decisions have been made.
+func (c *Coordinator) Reschedules() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reschedules
+}
+
+// RegisterGroup records an EchelonFlow on behalf of an owner (an agent name
+// or an in-process caller). Flow endpoints must exist in the fabric model.
+func (c *Coordinator) RegisterGroup(owner string, g *core.EchelonFlow) error {
+	for _, f := range g.Flows {
+		if c.opts.Net.Host(f.Src) == nil || c.opts.Net.Host(f.Dst) == nil {
+			return fmt.Errorf("coordinator: flow %q references host missing from fabric model", f.ID)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.groups[g.ID]; dup {
+		return fmt.Errorf("coordinator: group %q already registered", g.ID)
+	}
+	rt := &groupRT{
+		state: &sched.GroupState{Group: g},
+		flows: make(map[string]*flowRT, len(g.Flows)),
+		owner: owner,
+	}
+	for _, f := range g.Flows {
+		rt.flows[f.ID] = &flowRT{flow: f, remaining: f.Size}
+	}
+	c.groups[g.ID] = rt
+	return nil
+}
+
+// UnregisterGroup removes an EchelonFlow (job departure) and reallocates.
+func (c *Coordinator) UnregisterGroup(groupID string) (map[string]unit.Rate, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.groups[groupID]; !ok {
+		return nil, fmt.Errorf("coordinator: unknown group %q", groupID)
+	}
+	c.advanceLocked()
+	delete(c.groups, groupID)
+	return c.rescheduleLocked()
+}
+
+// FlowEvent applies a lifecycle transition and returns the fresh allocation.
+func (c *Coordinator) FlowEvent(ev wire.FlowEvent) (map[string]unit.Rate, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.groups[ev.GroupID]
+	if !ok {
+		return nil, fmt.Errorf("coordinator: unknown group %q", ev.GroupID)
+	}
+	f, ok := g.flows[ev.FlowID]
+	if !ok {
+		return nil, fmt.Errorf("coordinator: group %q has no flow %q", ev.GroupID, ev.FlowID)
+	}
+	c.advanceLocked()
+	now := c.now()
+	switch ev.Event {
+	case wire.EventReleased:
+		if f.released {
+			return nil, fmt.Errorf("coordinator: flow %q released twice", ev.FlowID)
+		}
+		f.released = true
+		f.release = now
+		if !g.refSet {
+			g.refSet = true
+			g.state.Reference = now
+		}
+	case wire.EventFinished:
+		if f.finished {
+			return nil, fmt.Errorf("coordinator: flow %q finished twice", ev.FlowID)
+		}
+		if !f.released {
+			return nil, fmt.Errorf("coordinator: flow %q finished before release", ev.FlowID)
+		}
+		f.finished = true
+		f.remaining = 0
+		deadline := g.state.Group.Arrangement.Deadline(f.flow.Stage, g.state.Reference)
+		if tard := now - deadline; tard > g.state.AchievedTardiness {
+			g.state.AchievedTardiness = tard
+		}
+	default:
+		return nil, fmt.Errorf("coordinator: unknown event %q", ev.Event)
+	}
+	return c.rescheduleLocked()
+}
+
+// Tick advances the fluid model and reallocates; Serve calls it on the
+// configured interval, and tests may call it directly.
+func (c *Coordinator) Tick() (map[string]unit.Rate, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advanceLocked()
+	return c.rescheduleLocked()
+}
+
+// GroupStatus reports a group's reference time and achieved tardiness.
+func (c *Coordinator) GroupStatus(groupID string) (reference, tardiness unit.Time, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.groups[groupID]
+	if !ok {
+		return 0, 0, fmt.Errorf("coordinator: unknown group %q", groupID)
+	}
+	return g.state.Reference, g.state.AchievedTardiness, nil
+}
+
+// advanceLocked integrates estimated progress since the last event.
+func (c *Coordinator) advanceLocked() {
+	now := c.now()
+	dt := now - c.lastAdvance
+	if dt <= 0 {
+		return
+	}
+	c.lastAdvance = now
+	for _, g := range c.groups {
+		for _, f := range g.flows {
+			if f.released && !f.finished {
+				f.remaining -= f.rate.Over(dt)
+				if f.remaining < 0 {
+					f.remaining = 0
+				}
+			}
+		}
+	}
+}
+
+// rescheduleLocked runs the scheduler over active flows and stores the new
+// rates. The returned map covers every active flow.
+func (c *Coordinator) rescheduleLocked() (map[string]unit.Rate, error) {
+	snap := &sched.Snapshot{Now: c.now(), Groups: make(map[string]*sched.GroupState, len(c.groups))}
+	for gid, g := range c.groups {
+		snap.Groups[gid] = g.state
+		for _, f := range g.flows {
+			if !f.released || f.finished {
+				continue
+			}
+			remaining := f.remaining
+			if remaining < 1 {
+				// The agent hasn't reported completion, so the flow is
+				// still real; keep a floor so it retains bandwidth.
+				remaining = 1
+			}
+			snap.Flows = append(snap.Flows, &sched.FlowState{
+				Flow: f.flow, GroupID: gid, Remaining: remaining, Release: f.release,
+			})
+		}
+	}
+	rates, err := c.opts.Scheduler.Schedule(snap, c.opts.Net)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: %w", err)
+	}
+	c.reschedules++
+	for _, fs := range snap.Flows {
+		c.groups[fs.GroupID].flows[fs.Flow.ID].rate = rates[fs.Flow.ID]
+	}
+	c.broadcastLocked(rates)
+	return rates, nil
+}
+
+// broadcastLocked pushes an allocation to every connected session. Only
+// entries that changed since the session's last push are sent — the paper's
+// §5 scalability lever: DDLT's iterative nature means most reschedules
+// change few rates, so deltas keep the control plane small.
+func (c *Coordinator) broadcastLocked(rates map[string]unit.Rate) {
+	if len(c.sessions) == 0 {
+		return
+	}
+	for s := range c.sessions {
+		delta := make(map[string]unit.Rate)
+		for id, r := range rates {
+			if prev, ok := s.sent[id]; !ok || prev != r {
+				delta[id] = r
+			}
+		}
+		// Flows absent from the new allocation are finished; drop them
+		// from the session's view so a reused ID is re-sent later.
+		for id := range s.sent {
+			if _, ok := rates[id]; !ok {
+				delete(s.sent, id)
+			}
+		}
+		c.ratesTotal += len(rates)
+		if len(delta) == 0 {
+			continue
+		}
+		c.ratesPushed += len(delta)
+		msg := wire.Message{Type: wire.TypeAllocation, Allocation: &wire.Allocation{Rates: delta}}
+		if err := s.codec.Send(msg); err != nil {
+			c.opts.Logf("coordinator: push to %s failed: %v", s.agent, err)
+			continue
+		}
+		for id, r := range delta {
+			s.sent[id] = r
+		}
+	}
+}
+
+// PushStats reports how many allocation entries were computed versus
+// actually pushed after delta filtering.
+func (c *Coordinator) PushStats() (computed, pushed int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ratesTotal, c.ratesPushed
+}
+
+// session is one connected agent.
+type session struct {
+	codec *wire.Codec
+	agent string
+	conn  net.Conn
+	sent  map[string]unit.Rate // last rates pushed to this session
+}
+
+// Serve accepts agent connections until the context is cancelled or the
+// listener fails. It owns the listener and closes it on return.
+func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) error {
+	defer ln.Close()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	if c.opts.Interval > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(c.opts.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if _, err := c.Tick(); err != nil {
+						c.opts.Logf("coordinator: tick: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ctx.Done()
+		ln.Close()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.handleConn(ctx, conn)
+		}()
+	}
+}
+
+// handleConn runs one agent session to completion.
+func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	s := &session{codec: wire.NewCodec(conn), conn: conn, sent: make(map[string]unit.Rate)}
+
+	hello, err := s.codec.Recv()
+	if err != nil || hello.Type != wire.TypeHello {
+		c.opts.Logf("coordinator: bad handshake from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	s.agent = hello.Hello.Agent
+	c.mu.Lock()
+	c.sessions[s] = struct{}{}
+	c.mu.Unlock()
+	defer c.dropSession(s)
+
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if c.opts.SessionTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(c.opts.SessionTimeout))
+		}
+		msg, err := s.codec.Recv()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				c.opts.Logf("coordinator: agent %s timed out (no heartbeat)", s.agent)
+			}
+			return
+		}
+		if err := c.handleMessage(s, msg); err != nil {
+			c.opts.Logf("coordinator: agent %s: %v", s.agent, err)
+			_ = s.codec.Send(wire.Message{Type: wire.TypeError, Error: &wire.Error{Msg: err.Error()}})
+		}
+	}
+}
+
+func (c *Coordinator) handleMessage(s *session, msg wire.Message) error {
+	switch msg.Type {
+	case wire.TypeHeartbeat:
+		return nil
+	case wire.TypeRegister:
+		g, err := msg.Register.Group()
+		if err != nil {
+			return err
+		}
+		return c.RegisterGroup(s.agent, g)
+	case wire.TypeUnregister:
+		_, err := c.UnregisterGroup(msg.Unregister.GroupID)
+		return err
+	case wire.TypeFlowEvent:
+		_, err := c.FlowEvent(*msg.FlowEvent)
+		return err
+	default:
+		return fmt.Errorf("unexpected message type %q", msg.Type)
+	}
+}
+
+// dropSession removes a disconnected agent and its groups.
+func (c *Coordinator) dropSession(s *session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.sessions, s)
+	var orphaned []string
+	for gid, g := range c.groups {
+		if g.owner == s.agent && s.agent != "" {
+			orphaned = append(orphaned, gid)
+		}
+	}
+	if len(orphaned) == 0 {
+		return
+	}
+	c.advanceLocked()
+	for _, gid := range orphaned {
+		delete(c.groups, gid)
+	}
+	if _, err := c.rescheduleLocked(); err != nil {
+		c.opts.Logf("coordinator: reschedule after %s departed: %v", s.agent, err)
+	}
+}

@@ -1,0 +1,305 @@
+package coordinator
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/unit"
+	"echelonflow/internal/wire"
+)
+
+// rawSession is a minimal protocol client for session-level tests.
+type rawSession struct {
+	conn  net.Conn
+	codec *wire.Codec
+}
+
+func dialRaw(t *testing.T, addr, name string) *rawSession {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := wire.NewCodec(conn)
+	if err := c.Send(wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Agent: name}}); err != nil {
+		t.Fatal(err)
+	}
+	return &rawSession{conn: conn, codec: c}
+}
+
+// recvAllocation reads messages until an allocation arrives.
+func (s *rawSession) recvAllocation(t *testing.T) map[string]unit.Rate {
+	t.Helper()
+	s.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		msg, err := s.codec.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		switch msg.Type {
+		case wire.TypeAllocation:
+			return msg.Allocation.Rates
+		case wire.TypeError:
+			t.Fatalf("coordinator error: %s", msg.Error.Msg)
+		}
+	}
+}
+
+func startServer(t *testing.T) (*Coordinator, string, func()) {
+	t.Helper()
+	netModel := fabric.NewNetwork()
+	netModel.AddUniformHosts(10, "w1", "w2", "w3")
+	c, err := New(Options{Net: netModel, Scheduler: sched.EchelonMADD{Backfill: true}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = c.Serve(ctx, ln)
+	}()
+	return c, ln.Addr().String(), func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// Delta pushes: a flow whose rate is unchanged between reschedules is not
+// re-sent; a changed rate is.
+func TestDeltaAllocationPushes(t *testing.T) {
+	coord, addr, stop := startServer(t)
+	defer stop()
+	s := dialRaw(t, addr, "a1")
+	defer s.conn.Close()
+
+	g := pipelineGroup(t) // f0 (20 bytes), f1 (20 bytes), w1->w2, T=2
+	reg, err := wire.RegisterOf(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.codec.Send(wire.Message{Type: wire.TypeRegister, Register: &reg}); err != nil {
+		t.Fatal(err)
+	}
+	release := func(id string) {
+		if err := s.codec.Send(wire.Message{Type: wire.TypeFlowEvent,
+			FlowEvent: &wire.FlowEvent{GroupID: "job/pp", FlowID: id, Event: wire.EventReleased}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	release("f0")
+	first := s.recvAllocation(t)
+	if _, ok := first["f0"]; !ok {
+		t.Fatalf("first allocation = %v, want f0", first)
+	}
+	release("f1")
+	second := s.recvAllocation(t)
+	if _, ok := second["f1"]; !ok {
+		t.Fatalf("second allocation = %v, want f1 entry", second)
+	}
+	computed, pushed := coord.PushStats()
+	if pushed >= computed {
+		t.Errorf("delta filtering saved nothing: computed %d, pushed %d", computed, pushed)
+	}
+	if pushed == 0 {
+		t.Error("nothing pushed at all")
+	}
+}
+
+// A new session receives full state on its first allocation, not a delta
+// against some other session's history.
+func TestPerSessionDeltaState(t *testing.T) {
+	_, addr, stop := startServer(t)
+	defer stop()
+	a := dialRaw(t, addr, "a1")
+	defer a.conn.Close()
+
+	g := pipelineGroup(t)
+	reg, _ := wire.RegisterOf(g)
+	if err := a.codec.Send(wire.Message{Type: wire.TypeRegister, Register: &reg}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.codec.Send(wire.Message{Type: wire.TypeFlowEvent,
+		FlowEvent: &wire.FlowEvent{GroupID: "job/pp", FlowID: "f0", Event: wire.EventReleased}}); err != nil {
+		t.Fatal(err)
+	}
+	if rates := a.recvAllocation(t); rates["f0"] <= 0 {
+		t.Fatalf("a1 allocation = %v", rates)
+	}
+
+	// Second agent joins; a reschedule (triggered by f1's release) must
+	// deliver f0's unchanged rate to it as well, since it has never seen it.
+	b := dialRaw(t, addr, "a2")
+	defer b.conn.Close()
+	if err := a.codec.Send(wire.Message{Type: wire.TypeFlowEvent,
+		FlowEvent: &wire.FlowEvent{GroupID: "job/pp", FlowID: "f1", Event: wire.EventReleased}}); err != nil {
+		t.Fatal(err)
+	}
+	rates := b.recvAllocation(t)
+	if _, ok := rates["f0"]; !ok {
+		t.Errorf("new session missing f0 state: %v", rates)
+	}
+}
+
+// A disconnecting agent's groups are dropped and capacity reallocated.
+func TestSessionDropUnregisters(t *testing.T) {
+	coord, addr, stop := startServer(t)
+	defer stop()
+	a := dialRaw(t, addr, "a1")
+	g := pipelineGroup(t)
+	reg, _ := wire.RegisterOf(g)
+	if err := a.codec.Send(wire.Message{Type: wire.TypeRegister, Register: &reg}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the registration is applied.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, err := coord.GroupStatus("job/pp"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("registration never applied")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	a.conn.Close()
+	for {
+		if _, _, err := coord.GroupStatus("job/pp"); err != nil {
+			break // dropped
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("group not dropped after disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Bad handshakes and unknown messages don't wedge the server.
+func TestBadClients(t *testing.T) {
+	coord, addr, stop := startServer(t)
+	defer stop()
+	// No hello: send a register first.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := wire.NewCodec(conn)
+	g := pipelineGroup(t)
+	reg, _ := wire.RegisterOf(g)
+	_ = c.Send(wire.Message{Type: wire.TypeRegister, Register: &reg})
+	conn.Close()
+
+	// Hello then an unexpected hello again: server replies with an error
+	// but keeps serving.
+	s := dialRaw(t, addr, "weird")
+	defer s.conn.Close()
+	if err := s.codec.Send(wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Agent: "again"}}); err != nil {
+		t.Fatal(err)
+	}
+	s.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	msg, err := s.codec.Recv()
+	if err != nil || msg.Type != wire.TypeError {
+		t.Fatalf("want error reply, got %v, %v", msg.Type, err)
+	}
+	// The coordinator is still healthy.
+	if err := coord.RegisterGroup("direct", g); err != nil {
+		t.Errorf("coordinator wedged: %v", err)
+	}
+}
+
+// An agent that stops talking (no heartbeats) is dropped after the session
+// timeout and its groups unregistered; a heartbeating agent survives.
+func TestSessionTimeout(t *testing.T) {
+	netModel := fabric.NewNetwork()
+	netModel.AddUniformHosts(10, "w1", "w2")
+	coord, err := New(Options{
+		Net: netModel, Scheduler: sched.EchelonMADD{Backfill: true},
+		SessionTimeout: 150 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = coord.Serve(ctx, ln) }()
+	defer wg.Wait()
+	defer cancel()
+
+	silent := dialRaw(t, ln.Addr().String(), "silent")
+	defer silent.conn.Close()
+	g, _ := core.NewCoflow("quiet/g", &core.Flow{ID: "q", Src: "w1", Dst: "w2", Size: 1})
+	reg, _ := wire.RegisterOf(g)
+	if err := silent.codec.Send(wire.Message{Type: wire.TypeRegister, Register: &reg}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, err := coord.GroupStatus("quiet/g"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("registration never applied")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Chatty keeps heartbeating and must survive past the timeout window.
+	chatty := dialRaw(t, ln.Addr().String(), "chatty")
+	defer chatty.conn.Close()
+	g2, _ := core.NewCoflow("chatty/g", &core.Flow{ID: "c", Src: "w1", Dst: "w2", Size: 1})
+	reg2, _ := wire.RegisterOf(g2)
+	if err := chatty.codec.Send(wire.Message{Type: wire.TypeRegister, Register: &reg2}); err != nil {
+		t.Fatal(err)
+	}
+	stopBeat := make(chan struct{})
+	var beatWG sync.WaitGroup
+	beatWG.Add(1)
+	go func() {
+		defer beatWG.Done()
+		tk := time.NewTicker(50 * time.Millisecond)
+		defer tk.Stop()
+		for {
+			select {
+			case <-stopBeat:
+				return
+			case <-tk.C:
+				if err := chatty.codec.Send(wire.Message{Type: wire.TypeHeartbeat}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	defer func() { close(stopBeat); beatWG.Wait() }()
+
+	// The silent session must be dropped (its group unregistered).
+	for {
+		if _, _, err := coord.GroupStatus("quiet/g"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("silent session never timed out")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The chatty session's group survives well past the timeout.
+	time.Sleep(400 * time.Millisecond)
+	if _, _, err := coord.GroupStatus("chatty/g"); err != nil {
+		t.Errorf("heartbeating session dropped: %v", err)
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"echelonflow/internal/unit"
+)
+
+// Arrangement is the paper's arrangement function g(D, r): it derives the
+// ideal finish time of every stage of an EchelonFlow from the group's
+// reference time r (§3.1). The "shape" is encoded by the implementation, the
+// "distance" by its parameters (profiled computation times).
+type Arrangement interface {
+	// Deadline returns the ideal finish time of the given stage when the
+	// group's reference time is r. Implementations must be monotone
+	// non-decreasing in stage and satisfy Deadline(0, r) == r.
+	Deadline(stage int, r unit.Time) unit.Time
+	// Stages returns the number of stages the arrangement describes, or 0
+	// if it extends to arbitrarily many stages (e.g. an unbounded pipeline).
+	Stages() int
+	// Name identifies the arrangement kind for traces and the wire protocol.
+	Name() string
+}
+
+// Coflow is the degenerate arrangement of Eq. 5: every flow shares the
+// reference time as its ideal finish time, so minimizing maximum tardiness
+// reduces to minimizing Coflow completion time (Property 2).
+type Coflow struct{}
+
+// Deadline implements Arrangement: d_j = r for every stage.
+func (Coflow) Deadline(stage int, r unit.Time) unit.Time { return r }
+
+// Stages implements Arrangement; a Coflow has a single stage repeated.
+func (Coflow) Stages() int { return 0 }
+
+// Name implements Arrangement.
+func (Coflow) Name() string { return "coflow" }
+
+// Pipeline is the arrangement of Eq. 6 (pipeline parallelism, GPipe-style):
+// consecutive stages' ideal finish times are separated by the profiled
+// per-micro-batch computation time T.
+type Pipeline struct {
+	// T is the computation time of one micro-batch on the consuming worker.
+	T unit.Time
+}
+
+// Deadline implements Arrangement: d_0 = r, d_j = d_{j-1} + T.
+func (p Pipeline) Deadline(stage int, r unit.Time) unit.Time {
+	if stage < 0 {
+		stage = 0
+	}
+	return r + unit.Time(stage)*p.T
+}
+
+// Stages implements Arrangement; pipelines extend indefinitely.
+func (Pipeline) Stages() int { return 0 }
+
+// Name implements Arrangement.
+func (Pipeline) Name() string { return "pipeline" }
+
+// Staged is the general staggered arrangement: stage i's ideal finish time
+// trails stage i-1's by Gaps[i-1]. Eq. 7's FSDP arrangement is a Staged
+// with n-1 forward gaps of T_fwd followed by n backward gaps of T_bwd.
+// Stages beyond the described range clamp to the final deadline.
+type Staged struct {
+	// Gaps[i] is the distance between the deadlines of stage i and stage
+	// i+1. A Staged with k gaps describes k+1 stages.
+	Gaps []unit.Time
+}
+
+// NewFSDP builds the Eq. 7 arrangement for an n-layer network: Coflow
+// deadlines advance by tFwd through the forward phase (stages 0..n-1) and by
+// tBwd through the backward phase (stages n..2n-1).
+func NewFSDP(layers int, tFwd, tBwd unit.Time) (Staged, error) {
+	if layers < 1 {
+		return Staged{}, fmt.Errorf("core: FSDP arrangement needs >=1 layer, got %d", layers)
+	}
+	if tFwd < 0 || tBwd < 0 {
+		return Staged{}, fmt.Errorf("core: FSDP arrangement needs non-negative phase times")
+	}
+	gaps := make([]unit.Time, 0, 2*layers-1)
+	for i := 1; i <= layers-1; i++ {
+		gaps = append(gaps, tFwd)
+	}
+	for i := layers; i <= 2*layers-1; i++ {
+		gaps = append(gaps, tBwd)
+	}
+	return Staged{Gaps: gaps}, nil
+}
+
+// Deadline implements Arrangement.
+func (s Staged) Deadline(stage int, r unit.Time) unit.Time {
+	if stage < 0 {
+		stage = 0
+	}
+	if stage > len(s.Gaps) {
+		stage = len(s.Gaps)
+	}
+	d := r
+	for i := 0; i < stage; i++ {
+		d += s.Gaps[i]
+	}
+	return d
+}
+
+// Stages implements Arrangement.
+func (s Staged) Stages() int { return len(s.Gaps) + 1 }
+
+// Name implements Arrangement.
+func (Staged) Name() string { return "staged" }
+
+// Absolute pins each stage's ideal finish time at a fixed offset from the
+// reference time. It expresses arrangements derived directly from a
+// profiled computation DAG (the paper's "more complicated" PP variants,
+// §4 Case II). Offsets must be non-decreasing and start at 0.
+type Absolute struct {
+	// Offsets[i] is stage i's distance from the reference time.
+	Offsets []unit.Time
+}
+
+// NewAbsolute validates and builds an Absolute arrangement.
+func NewAbsolute(offsets []unit.Time) (Absolute, error) {
+	if len(offsets) == 0 {
+		return Absolute{}, fmt.Errorf("core: absolute arrangement needs >=1 offset")
+	}
+	if offsets[0] != 0 {
+		return Absolute{}, fmt.Errorf("core: absolute arrangement must start at offset 0 (head flow), got %v", offsets[0])
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			return Absolute{}, fmt.Errorf("core: absolute offsets must be non-decreasing (offset %d: %v < %v)", i, offsets[i], offsets[i-1])
+		}
+	}
+	return Absolute{Offsets: append([]unit.Time(nil), offsets...)}, nil
+}
+
+// Deadline implements Arrangement. Stages beyond the described range clamp
+// to the final offset.
+func (a Absolute) Deadline(stage int, r unit.Time) unit.Time {
+	if len(a.Offsets) == 0 {
+		return r
+	}
+	if stage < 0 {
+		stage = 0
+	}
+	if stage >= len(a.Offsets) {
+		stage = len(a.Offsets) - 1
+	}
+	return r + a.Offsets[stage]
+}
+
+// Stages implements Arrangement.
+func (a Absolute) Stages() int { return len(a.Offsets) }
+
+// Name implements Arrangement.
+func (Absolute) Name() string { return "absolute" }
+
+// Spec is the serializable description of an arrangement, used by the wire
+// protocol between Agent and Coordinator (§5: the framework reports the
+// arrangement function to the agent).
+type Spec struct {
+	Kind string      `json:"kind"`
+	T    unit.Time   `json:"t,omitempty"`    // pipeline distance
+	Gaps []unit.Time `json:"gaps,omitempty"` // staged distances
+	Offs []unit.Time `json:"offs,omitempty"` // absolute offsets
+}
+
+// SpecOf captures a serializable spec of a known arrangement kind.
+func SpecOf(a Arrangement) (Spec, error) {
+	switch v := a.(type) {
+	case Coflow:
+		return Spec{Kind: "coflow"}, nil
+	case Pipeline:
+		return Spec{Kind: "pipeline", T: v.T}, nil
+	case Staged:
+		return Spec{Kind: "staged", Gaps: append([]unit.Time(nil), v.Gaps...)}, nil
+	case Absolute:
+		return Spec{Kind: "absolute", Offs: append([]unit.Time(nil), v.Offsets...)}, nil
+	default:
+		return Spec{}, fmt.Errorf("core: arrangement %T is not serializable", a)
+	}
+}
+
+// Build reconstructs the arrangement a Spec describes.
+func (s Spec) Build() (Arrangement, error) {
+	switch s.Kind {
+	case "coflow":
+		return Coflow{}, nil
+	case "pipeline":
+		if s.T < 0 {
+			return nil, fmt.Errorf("core: pipeline spec with negative T")
+		}
+		return Pipeline{T: s.T}, nil
+	case "staged":
+		for i, g := range s.Gaps {
+			if g < 0 {
+				return nil, fmt.Errorf("core: staged spec with negative gap %d", i)
+			}
+		}
+		return Staged{Gaps: append([]unit.Time(nil), s.Gaps...)}, nil
+	case "absolute":
+		return NewAbsolute(s.Offs)
+	default:
+		return nil, fmt.Errorf("core: unknown arrangement kind %q", s.Kind)
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"echelonflow/internal/unit"
+)
+
+func TestCoflowDeadlines(t *testing.T) {
+	// Eq. 5: d_j = r for all j.
+	a := Coflow{}
+	for _, stage := range []int{0, 1, 5, 100} {
+		if got := a.Deadline(stage, 7); got != 7 {
+			t.Errorf("Coflow.Deadline(%d, 7) = %v, want 7", stage, got)
+		}
+	}
+	if a.Stages() != 0 || a.Name() != "coflow" {
+		t.Error("Coflow metadata wrong")
+	}
+}
+
+func TestPipelineDeadlines(t *testing.T) {
+	// Eq. 6: d_0 = r, d_j = d_{j-1} + T.
+	a := Pipeline{T: 2.5}
+	tests := []struct {
+		stage int
+		r     unit.Time
+		want  unit.Time
+	}{
+		{0, 0, 0},
+		{1, 0, 2.5},
+		{3, 0, 7.5},
+		{2, 10, 15},
+		{-1, 4, 4}, // clamped to head
+	}
+	for _, tt := range tests {
+		if got := a.Deadline(tt.stage, tt.r); !got.ApproxEq(tt.want) {
+			t.Errorf("Pipeline.Deadline(%d, %v) = %v, want %v", tt.stage, tt.r, got, tt.want)
+		}
+	}
+	if a.Name() != "pipeline" || a.Stages() != 0 {
+		t.Error("Pipeline metadata wrong")
+	}
+}
+
+func TestFSDPArrangement(t *testing.T) {
+	// Eq. 7 with n=3 layers, T_fwd=1, T_bwd=2:
+	// d_c0 = r, d_c1 = r+1, d_c2 = r+2 (forward),
+	// d_c3 = r+4, d_c4 = r+6, d_c5 = r+8 (backward).
+	a, err := NewFSDP(3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []unit.Time{0, 1, 2, 4, 6, 8}
+	if a.Stages() != len(want) {
+		t.Fatalf("Stages = %d, want %d", a.Stages(), len(want))
+	}
+	for i, w := range want {
+		if got := a.Deadline(i, 0); !got.ApproxEq(w) {
+			t.Errorf("FSDP.Deadline(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// Beyond range clamps.
+	if got := a.Deadline(99, 0); !got.ApproxEq(8) {
+		t.Errorf("clamped deadline = %v, want 8", got)
+	}
+}
+
+func TestFSDPSingleLayer(t *testing.T) {
+	a, err := NewFSDP(1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One layer: stage 0 (fwd AG) and stage 1 (bwd AG), gap T_bwd.
+	if a.Stages() != 2 {
+		t.Fatalf("Stages = %d, want 2", a.Stages())
+	}
+	if got := a.Deadline(1, 0); !got.ApproxEq(2) {
+		t.Errorf("Deadline(1) = %v, want 2", got)
+	}
+}
+
+func TestFSDPErrors(t *testing.T) {
+	if _, err := NewFSDP(0, 1, 1); err == nil {
+		t.Error("0 layers accepted")
+	}
+	if _, err := NewFSDP(2, -1, 1); err == nil {
+		t.Error("negative tFwd accepted")
+	}
+}
+
+func TestAbsolute(t *testing.T) {
+	a, err := NewAbsolute([]unit.Time{0, 1, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Deadline(2, 10); !got.ApproxEq(11) {
+		t.Errorf("Deadline(2,10) = %v", got)
+	}
+	if got := a.Deadline(9, 0); !got.ApproxEq(4) {
+		t.Errorf("clamped = %v", got)
+	}
+	if got := a.Deadline(-3, 5); !got.ApproxEq(5) {
+		t.Errorf("negative stage = %v", got)
+	}
+	if a.Stages() != 4 || a.Name() != "absolute" {
+		t.Error("Absolute metadata wrong")
+	}
+}
+
+func TestAbsoluteErrors(t *testing.T) {
+	if _, err := NewAbsolute(nil); err == nil {
+		t.Error("empty offsets accepted")
+	}
+	if _, err := NewAbsolute([]unit.Time{1, 2}); err == nil {
+		t.Error("nonzero head offset accepted")
+	}
+	if _, err := NewAbsolute([]unit.Time{0, 3, 2}); err == nil {
+		t.Error("decreasing offsets accepted")
+	}
+}
+
+func TestAbsoluteCopiesInput(t *testing.T) {
+	offs := []unit.Time{0, 1}
+	a, err := NewAbsolute(offs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs[1] = 99
+	if got := a.Deadline(1, 0); !got.ApproxEq(1) {
+		t.Error("NewAbsolute aliases caller slice")
+	}
+}
+
+// Every arrangement must satisfy Deadline(0, r) == r and monotonicity in
+// stage (the definition in §3.1: later flows never have earlier ideal
+// finish times).
+func TestArrangementInvariants(t *testing.T) {
+	fsdp, _ := NewFSDP(4, 0.5, 1.5)
+	abs, _ := NewAbsolute([]unit.Time{0, 0.5, 2})
+	arrs := []Arrangement{
+		Coflow{},
+		Pipeline{T: 1.25},
+		fsdp,
+		abs,
+		Staged{Gaps: []unit.Time{1, 2, 3}},
+	}
+	for _, a := range arrs {
+		f := func(rawR float64, rawStage uint8) bool {
+			r := unit.Time(rawR)
+			stage := int(rawStage % 40)
+			d0 := a.Deadline(0, r)
+			if !d0.ApproxEq(r) {
+				return false
+			}
+			return a.Deadline(stage+1, r) >= a.Deadline(stage, r)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}); err != nil {
+			t.Errorf("arrangement %s violates invariants: %v", a.Name(), err)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	fsdp, _ := NewFSDP(2, 1, 3)
+	abs, _ := NewAbsolute([]unit.Time{0, 2, 5})
+	arrs := []Arrangement{Coflow{}, Pipeline{T: 4}, fsdp, abs}
+	for _, a := range arrs {
+		spec, err := SpecOf(a)
+		if err != nil {
+			t.Fatalf("SpecOf(%s): %v", a.Name(), err)
+		}
+		back, err := spec.Build()
+		if err != nil {
+			t.Fatalf("Build(%s): %v", a.Name(), err)
+		}
+		if back.Name() != a.Name() {
+			t.Errorf("round trip changed kind: %s -> %s", a.Name(), back.Name())
+		}
+		for stage := 0; stage < 6; stage++ {
+			if !back.Deadline(stage, 3).ApproxEq(a.Deadline(stage, 3)) {
+				t.Errorf("%s: deadline mismatch at stage %d", a.Name(), stage)
+			}
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	if _, err := (Spec{Kind: "mystery"}).Build(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := (Spec{Kind: "pipeline", T: -1}).Build(); err == nil {
+		t.Error("negative pipeline T accepted")
+	}
+	if _, err := (Spec{Kind: "staged", Gaps: []unit.Time{-1}}).Build(); err == nil {
+		t.Error("negative gap accepted")
+	}
+	if _, err := (Spec{Kind: "absolute", Offs: []unit.Time{1}}).Build(); err == nil {
+		t.Error("bad absolute offsets accepted")
+	}
+	type unknown struct{ Arrangement }
+	if _, err := SpecOf(unknown{}); err == nil {
+		t.Error("SpecOf of unknown type accepted")
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"echelonflow/internal/unit"
+)
+
+// EchelonFlow is a set of flows with related ideal finish times
+// (Definition 3.1). Flows are held in ascending stage order; the reference
+// time r — the start time of the head flow — is supplied by the runtime when
+// deadlines are evaluated, because it is only known once the head flow is
+// released.
+type EchelonFlow struct {
+	ID          string
+	Flows       []*Flow
+	Arrangement Arrangement
+	// Weight scales this group's contribution to the weighted sum-of-
+	// tardiness objective (Eq. 4's weighted variant). Zero means 1.
+	Weight float64
+}
+
+// New builds a validated EchelonFlow. Flows are sorted by stage (stable, so
+// intra-stage order follows the caller's order, which by Definition 3.1 is
+// ascending start time).
+func New(id string, arr Arrangement, flows ...*Flow) (*EchelonFlow, error) {
+	if id == "" {
+		return nil, fmt.Errorf("core: EchelonFlow must have an ID")
+	}
+	if arr == nil {
+		return nil, fmt.Errorf("core: EchelonFlow %q has no arrangement", id)
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("core: EchelonFlow %q has no flows", id)
+	}
+	seen := make(map[string]bool, len(flows))
+	for _, f := range flows {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("core: EchelonFlow %q: %w", id, err)
+		}
+		if seen[f.ID] {
+			return nil, fmt.Errorf("core: EchelonFlow %q has duplicate flow %q", id, f.ID)
+		}
+		seen[f.ID] = true
+	}
+	sorted := append([]*Flow(nil), flows...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Stage < sorted[j].Stage })
+	return &EchelonFlow{ID: id, Flows: sorted, Arrangement: arr}, nil
+}
+
+// NewCoflow builds a Coflow presented as an EchelonFlow (Property 2): all
+// flows share stage 0 and the ideal finish time equals the reference time.
+func NewCoflow(id string, flows ...*Flow) (*EchelonFlow, error) {
+	for _, f := range flows {
+		f.Stage = 0
+	}
+	return New(id, Coflow{}, flows...)
+}
+
+// IsCoflow reports whether the group is a plain Coflow — all deadlines
+// collapse onto the reference time (the Coflow-compliant column of Table 1).
+func (g *EchelonFlow) IsCoflow() bool {
+	_, ok := g.Arrangement.(Coflow)
+	if ok {
+		return true
+	}
+	// Structurally coflow: every stage's deadline equals r.
+	for _, f := range g.Flows {
+		if !g.Arrangement.Deadline(f.Stage, 0).ApproxEq(0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Head returns the head flow — the flow that starts first and whose start
+// time defines the reference time (§3.1).
+func (g *EchelonFlow) Head() *Flow { return g.Flows[0] }
+
+// Flow returns the member flow with the given ID, or nil.
+func (g *EchelonFlow) Flow(id string) *Flow {
+	for _, f := range g.Flows {
+		if f.ID == id {
+			return f
+		}
+	}
+	return nil
+}
+
+// Deadlines evaluates the arrangement function at reference time r,
+// returning the ideal finish time of each flow in group order (the set D of
+// Definition 3.1).
+func (g *EchelonFlow) Deadlines(r unit.Time) []unit.Time {
+	out := make([]unit.Time, len(g.Flows))
+	for i, f := range g.Flows {
+		out[i] = g.Arrangement.Deadline(f.Stage, r)
+	}
+	return out
+}
+
+// Deadline evaluates a single flow's ideal finish time at reference r.
+// Unknown flow IDs return an error.
+func (g *EchelonFlow) Deadline(flowID string, r unit.Time) (unit.Time, error) {
+	f := g.Flow(flowID)
+	if f == nil {
+		return 0, fmt.Errorf("core: EchelonFlow %q has no flow %q", g.ID, flowID)
+	}
+	return g.Arrangement.Deadline(f.Stage, r), nil
+}
+
+// TotalSize returns the summed volume of all member flows.
+func (g *EchelonFlow) TotalSize() unit.Bytes {
+	var s unit.Bytes
+	for _, f := range g.Flows {
+		s += f.Size
+	}
+	return s
+}
+
+// EffectiveWeight returns the group's weight, defaulting to 1.
+func (g *EchelonFlow) EffectiveWeight() float64 {
+	if g.Weight <= 0 {
+		return 1
+	}
+	return g.Weight
+}
+
+// String renders the group for traces.
+func (g *EchelonFlow) String() string {
+	return fmt.Sprintf("EchelonFlow(%s, %s, %d flows, %.4g bytes)",
+		g.ID, g.Arrangement.Name(), len(g.Flows), float64(g.TotalSize()))
+}

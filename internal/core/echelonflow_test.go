@@ -1,0 +1,163 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"echelonflow/internal/unit"
+)
+
+func flow(id string, stage int) *Flow {
+	return &Flow{ID: id, Src: "w1", Dst: "w2", Size: 10, Stage: stage}
+}
+
+func TestFlowValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		f       *Flow
+		wantErr bool
+	}{
+		{"ok", &Flow{ID: "f", Src: "a", Dst: "b", Size: 1}, false},
+		{"no id", &Flow{Src: "a", Dst: "b"}, true},
+		{"no src", &Flow{ID: "f", Dst: "b"}, true},
+		{"no dst", &Flow{ID: "f", Src: "a"}, true},
+		{"self loop", &Flow{ID: "f", Src: "a", Dst: "a"}, true},
+		{"negative size", &Flow{ID: "f", Src: "a", Dst: "b", Size: -1}, true},
+		{"negative stage", &Flow{ID: "f", Src: "a", Dst: "b", Stage: -1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.f.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewSortsByStage(t *testing.T) {
+	g, err := New("g", Pipeline{T: 1}, flow("f2", 2), flow("f0", 0), flow("f1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, len(g.Flows))
+	for i, f := range g.Flows {
+		ids[i] = f.ID
+	}
+	if strings.Join(ids, ",") != "f0,f1,f2" {
+		t.Errorf("flows = %v", ids)
+	}
+	if g.Head().ID != "f0" {
+		t.Errorf("Head = %s", g.Head().ID)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New("", Coflow{}, flow("f", 0)); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if _, err := New("g", nil, flow("f", 0)); err == nil {
+		t.Error("nil arrangement accepted")
+	}
+	if _, err := New("g", Coflow{}); err == nil {
+		t.Error("no flows accepted")
+	}
+	if _, err := New("g", Coflow{}, flow("dup", 0), flow("dup", 1)); err == nil {
+		t.Error("duplicate flow ID accepted")
+	}
+	bad := &Flow{ID: "f", Src: "a", Dst: "a", Size: 1}
+	if _, err := New("g", Coflow{}, bad); err == nil {
+		t.Error("invalid flow accepted")
+	}
+}
+
+func TestNewCoflowForcesStageZero(t *testing.T) {
+	g, err := NewCoflow("c", flow("a", 3), flow("b", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range g.Flows {
+		if f.Stage != 0 {
+			t.Errorf("flow %s stage = %d, want 0", f.ID, f.Stage)
+		}
+	}
+	if !g.IsCoflow() {
+		t.Error("NewCoflow result not IsCoflow")
+	}
+}
+
+func TestIsCoflow(t *testing.T) {
+	pipe, _ := New("p", Pipeline{T: 1}, flow("a", 0), flow("b", 1))
+	if pipe.IsCoflow() {
+		t.Error("pipeline with staggered stages reported as coflow")
+	}
+	// A degenerate pipeline (T=0) is structurally a coflow.
+	degen, _ := New("d", Pipeline{T: 0}, flow("a", 0), flow("b", 1))
+	if !degen.IsCoflow() {
+		t.Error("zero-distance pipeline should be structurally coflow")
+	}
+}
+
+func TestDeadlines(t *testing.T) {
+	g, _ := New("g", Pipeline{T: 2}, flow("a", 0), flow("b", 1), flow("c", 2))
+	got := g.Deadlines(5)
+	want := []unit.Time{5, 7, 9}
+	for i := range want {
+		if !got[i].ApproxEq(want[i]) {
+			t.Errorf("Deadlines[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	d, err := g.Deadline("c", 5)
+	if err != nil || !d.ApproxEq(9) {
+		t.Errorf("Deadline(c) = %v, %v", d, err)
+	}
+	if _, err := g.Deadline("zz", 5); err == nil {
+		t.Error("unknown flow accepted")
+	}
+}
+
+// Fig. 6 semantics: deadlines derive from the reference time, not per-flow
+// start times, so a delayed flow's ideal finish can precede its own start.
+func TestDelayOffsetting(t *testing.T) {
+	g, _ := New("g", Pipeline{T: 1}, flow("f0", 0), flow("f1", 1), flow("f2", 2))
+	r := unit.Time(0)
+	deadlines := g.Deadlines(r)
+	// Suppose f1 was delayed and only starts at t=3 (> its deadline of 1).
+	f1Start := unit.Time(3)
+	if deadlines[1] >= f1Start {
+		t.Fatalf("test setup: deadline %v should precede start %v", deadlines[1], f1Start)
+	}
+	// Its tardiness at any finish e is measured against the ideal finish
+	// derived from r, giving it "opportunities to transmit faster and catch
+	// up" (§3.1): finishing at 3.5 yields tardiness 2.5, not 0.5.
+	if got := FlowTardiness(3.5, deadlines[1]); !got.ApproxEq(2.5) {
+		t.Errorf("offset tardiness = %v, want 2.5", got)
+	}
+}
+
+func TestTotalSizeAndString(t *testing.T) {
+	g, _ := New("g", Coflow{}, flow("a", 0), flow("b", 0))
+	if g.TotalSize() != 20 {
+		t.Errorf("TotalSize = %v", g.TotalSize())
+	}
+	if !strings.Contains(g.String(), "coflow") || !strings.Contains(g.String(), "2 flows") {
+		t.Errorf("String = %q", g.String())
+	}
+	f := g.Flow("a")
+	if f == nil || !strings.Contains(f.String(), "w1→w2") {
+		t.Errorf("Flow String = %v", f)
+	}
+	if g.Flow("none") != nil {
+		t.Error("Flow(none) should be nil")
+	}
+}
+
+func TestEffectiveWeight(t *testing.T) {
+	g, _ := New("g", Coflow{}, flow("a", 0))
+	if g.EffectiveWeight() != 1 {
+		t.Errorf("default weight = %v", g.EffectiveWeight())
+	}
+	g.Weight = 2.5
+	if g.EffectiveWeight() != 2.5 {
+		t.Errorf("explicit weight = %v", g.EffectiveWeight())
+	}
+}

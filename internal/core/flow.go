@@ -1,0 +1,59 @@
+// Package core implements the EchelonFlow network abstraction of the paper
+// (§3): flows, EchelonFlows, arrangement functions, ideal finish times, and
+// the tardiness objectives.
+//
+// An EchelonFlow is a set of semantically related flows whose *ideal finish
+// times* are staggered according to the job's computation arrangement.
+// Deadlines are all derived from a single reference time — the start time of
+// the head flow — so a flow delayed by earlier congestion receives an ideal
+// finish time that may lie before its own start, giving the scheduler the
+// signal to let it catch up and restore the echelon formation (§3.1, Fig. 6).
+package core
+
+import (
+	"fmt"
+
+	"echelonflow/internal/unit"
+)
+
+// Flow is one network transfer inside an EchelonFlow. The fields mirror the
+// per-flow information the paper's framework reports to the EchelonFlow
+// Agent (§5): size, source, and destination — plus the stage index locating
+// the flow inside its group's arrangement.
+type Flow struct {
+	// ID is unique within a workload.
+	ID string
+	// Src and Dst are fabric host names.
+	Src, Dst string
+	// Size is the transfer volume.
+	Size unit.Bytes
+	// Stage indexes the flow's position in the group's arrangement:
+	// the micro-batch number in pipeline parallelism, the layer/phase
+	// Coflow index in FSDP, always 0 in a plain Coflow.
+	Stage int
+}
+
+// Validate checks the flow is well formed.
+func (f *Flow) Validate() error {
+	if f.ID == "" {
+		return fmt.Errorf("core: flow must have an ID")
+	}
+	if f.Src == "" || f.Dst == "" {
+		return fmt.Errorf("core: flow %q missing src/dst", f.ID)
+	}
+	if f.Src == f.Dst {
+		return fmt.Errorf("core: flow %q has src == dst (%s)", f.ID, f.Src)
+	}
+	if f.Size < 0 {
+		return fmt.Errorf("core: flow %q has negative size", f.ID)
+	}
+	if f.Stage < 0 {
+		return fmt.Errorf("core: flow %q has negative stage", f.ID)
+	}
+	return nil
+}
+
+// String renders the flow for traces.
+func (f *Flow) String() string {
+	return fmt.Sprintf("%s[%s→%s %.4g @stage %d]", f.ID, f.Src, f.Dst, float64(f.Size), f.Stage)
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"echelonflow/internal/unit"
+)
+
+// FlowTardiness is Eq. 1: the actual finish time of a flow minus its ideal
+// finish time. It is negative when a flow beats its ideal finish time.
+func FlowTardiness(actualFinish, idealFinish unit.Time) unit.Time {
+	return actualFinish - idealFinish
+}
+
+// Outcome records one completed (or in-flight) group's timing against its
+// arrangement.
+type Outcome struct {
+	Group *EchelonFlow
+	// Reference is the observed reference time r — the head flow's start.
+	Reference unit.Time
+	// Finish maps flow ID to actual finish time. Flows absent from the map
+	// are treated as unfinished and excluded from tardiness (callers
+	// evaluating completed groups should supply every flow).
+	Finish map[string]unit.Time
+}
+
+// Tardiness is Eq. 2: the maximum over member flows of (actual finish −
+// ideal finish). It returns an error if no finish times are known.
+func (o Outcome) Tardiness() (unit.Time, error) {
+	if len(o.Finish) == 0 {
+		return 0, fmt.Errorf("core: outcome for %q has no finish times", o.Group.ID)
+	}
+	deadlines := o.Group.Deadlines(o.Reference)
+	first := true
+	var max unit.Time
+	for i, f := range o.Group.Flows {
+		e, ok := o.Finish[f.ID]
+		if !ok {
+			continue
+		}
+		t := FlowTardiness(e, deadlines[i])
+		if first || t > max {
+			max = t
+			first = false
+		}
+	}
+	if first {
+		return 0, fmt.Errorf("core: outcome for %q matches no member flows", o.Group.ID)
+	}
+	return max, nil
+}
+
+// PerFlow returns each finished flow's tardiness in group order, for traces
+// and for verifying that a maintained arrangement keeps flow tardiness
+// uniform (§3.2: "the tardiness of all the flows in an EchelonFlow should
+// remain the same if the EchelonFlow constantly maintains the computation
+// arrangement").
+func (o Outcome) PerFlow() map[string]unit.Time {
+	deadlines := o.Group.Deadlines(o.Reference)
+	out := make(map[string]unit.Time, len(o.Finish))
+	for i, f := range o.Group.Flows {
+		if e, ok := o.Finish[f.ID]; ok {
+			out[f.ID] = FlowTardiness(e, deadlines[i])
+		}
+	}
+	return out
+}
+
+// CompletionTime returns the latest finish among the group's flows — the
+// Coflow completion time metric EchelonFlow generalizes (Property 2).
+func (o Outcome) CompletionTime() (unit.Time, error) {
+	if len(o.Finish) == 0 {
+		return 0, fmt.Errorf("core: outcome for %q has no finish times", o.Group.ID)
+	}
+	first := true
+	var max unit.Time
+	for _, f := range o.Group.Flows {
+		if e, ok := o.Finish[f.ID]; ok {
+			if first || e > max {
+				max = e
+				first = false
+			}
+		}
+	}
+	if first {
+		return 0, fmt.Errorf("core: outcome for %q matches no member flows", o.Group.ID)
+	}
+	return max, nil
+}
+
+// TotalTardiness is Eq. 4: the sum of group tardiness over a set of
+// EchelonFlows — the global optimization objective across training jobs.
+func TotalTardiness(outcomes []Outcome) (unit.Time, error) {
+	var sum unit.Time
+	for _, o := range outcomes {
+		t, err := o.Tardiness()
+		if err != nil {
+			return 0, err
+		}
+		sum += t
+	}
+	return sum, nil
+}
+
+// WeightedTardiness is the weighted variant of Eq. 4, using each group's
+// EffectiveWeight.
+func WeightedTardiness(outcomes []Outcome) (unit.Time, error) {
+	var sum unit.Time
+	for _, o := range outcomes {
+		t, err := o.Tardiness()
+		if err != nil {
+			return 0, err
+		}
+		sum += unit.Time(o.Group.EffectiveWeight()) * t
+	}
+	return sum, nil
+}

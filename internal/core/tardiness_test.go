@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"echelonflow/internal/unit"
+)
+
+func pipelineGroup(t *testing.T) *EchelonFlow {
+	t.Helper()
+	g, err := New("g", Pipeline{T: 2},
+		flow("f0", 0), flow("f1", 1), flow("f2", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFlowTardiness(t *testing.T) {
+	if got := FlowTardiness(5, 3); got != 2 {
+		t.Errorf("FlowTardiness = %v, want 2", got)
+	}
+	if got := FlowTardiness(3, 5); got != -2 {
+		t.Errorf("early finish tardiness = %v, want -2", got)
+	}
+}
+
+func TestOutcomeTardiness(t *testing.T) {
+	g := pipelineGroup(t)
+	// Reference 0 => deadlines 0, 2, 4.
+	o := Outcome{Group: g, Reference: 0, Finish: map[string]unit.Time{
+		"f0": 1,   // tardiness 1
+		"f1": 2.5, // tardiness 0.5
+		"f2": 7,   // tardiness 3
+	}}
+	got, err := o.Tardiness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEq(3) {
+		t.Errorf("Tardiness = %v, want 3 (max)", got)
+	}
+	per := o.PerFlow()
+	if !per["f0"].ApproxEq(1) || !per["f1"].ApproxEq(0.5) || !per["f2"].ApproxEq(3) {
+		t.Errorf("PerFlow = %v", per)
+	}
+}
+
+func TestOutcomeTardinessWithReference(t *testing.T) {
+	g := pipelineGroup(t)
+	// Reference 10 => deadlines 10, 12, 14.
+	o := Outcome{Group: g, Reference: 10, Finish: map[string]unit.Time{
+		"f0": 11, "f1": 13, "f2": 15,
+	}}
+	got, err := o.Tardiness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEq(1) {
+		t.Errorf("Tardiness = %v, want 1", got)
+	}
+}
+
+// A maintained arrangement means uniform per-flow tardiness (§3.2).
+func TestMaintainedArrangementUniformTardiness(t *testing.T) {
+	g := pipelineGroup(t)
+	o := Outcome{Group: g, Reference: 0, Finish: map[string]unit.Time{
+		"f0": 1.5, "f1": 3.5, "f2": 5.5,
+	}}
+	per := o.PerFlow()
+	for id, tt := range per {
+		if !tt.ApproxEq(1.5) {
+			t.Errorf("flow %s tardiness = %v, want uniform 1.5", id, tt)
+		}
+	}
+}
+
+func TestOutcomeErrors(t *testing.T) {
+	g := pipelineGroup(t)
+	empty := Outcome{Group: g, Finish: nil}
+	if _, err := empty.Tardiness(); err == nil {
+		t.Error("empty finish map accepted by Tardiness")
+	}
+	if _, err := empty.CompletionTime(); err == nil {
+		t.Error("empty finish map accepted by CompletionTime")
+	}
+	stranger := Outcome{Group: g, Finish: map[string]unit.Time{"alien": 3}}
+	if _, err := stranger.Tardiness(); err == nil {
+		t.Error("finish map with no member flows accepted")
+	}
+	if _, err := stranger.CompletionTime(); err == nil {
+		t.Error("CompletionTime with no member flows accepted")
+	}
+}
+
+func TestOutcomePartialFinish(t *testing.T) {
+	g := pipelineGroup(t)
+	o := Outcome{Group: g, Reference: 0, Finish: map[string]unit.Time{"f1": 5}}
+	got, err := o.Tardiness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEq(3) { // 5 - deadline(stage1)=2
+		t.Errorf("partial tardiness = %v, want 3", got)
+	}
+}
+
+func TestCompletionTime(t *testing.T) {
+	g := pipelineGroup(t)
+	o := Outcome{Group: g, Finish: map[string]unit.Time{"f0": 4, "f1": 9, "f2": 6}}
+	got, err := o.CompletionTime()
+	if err != nil || !got.ApproxEq(9) {
+		t.Errorf("CompletionTime = %v, %v", got, err)
+	}
+}
+
+// Property 2: for a Coflow arrangement with reference equal to the first
+// flow's start, minimizing max tardiness equals minimizing completion time —
+// tardiness == CCT − r for every outcome.
+func TestCoflowTardinessEqualsCCT(t *testing.T) {
+	g, err := NewCoflow("c", flow("a", 0), flow("b", 0), flow("c", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(r8, e1, e2, e3 uint8) bool {
+		r := unit.Time(r8)
+		o := Outcome{Group: g, Reference: r, Finish: map[string]unit.Time{
+			"a": r + unit.Time(e1), "b": r + unit.Time(e2), "c": r + unit.Time(e3),
+		}}
+		tard, err1 := o.Tardiness()
+		cct, err2 := o.CompletionTime()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return tard.ApproxEq(cct - r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalAndWeightedTardiness(t *testing.T) {
+	g1 := pipelineGroup(t)
+	g2, _ := NewCoflow("c", flow("x", 0))
+	g2.Weight = 3
+	outs := []Outcome{
+		{Group: g1, Reference: 0, Finish: map[string]unit.Time{"f0": 2, "f1": 3, "f2": 5}}, // max tardiness 2
+		{Group: g2, Reference: 0, Finish: map[string]unit.Time{"x": 4}},                    // tardiness 4
+	}
+	total, err := TotalTardiness(outs)
+	if err != nil || !total.ApproxEq(6) {
+		t.Errorf("TotalTardiness = %v, %v; want 6", total, err)
+	}
+	weighted, err := WeightedTardiness(outs)
+	if err != nil || !weighted.ApproxEq(2+3*4) {
+		t.Errorf("WeightedTardiness = %v, %v; want 14", weighted, err)
+	}
+}
+
+func TestTotalTardinessPropagatesErrors(t *testing.T) {
+	g := pipelineGroup(t)
+	outs := []Outcome{{Group: g}}
+	if _, err := TotalTardiness(outs); err == nil {
+		t.Error("TotalTardiness should surface outcome errors")
+	}
+	if _, err := WeightedTardiness(outs); err == nil {
+		t.Error("WeightedTardiness should surface outcome errors")
+	}
+}

@@ -1,0 +1,343 @@
+// Package dag provides the computation-dependency graph shared by the DDLT
+// workload compilers and the co-simulator.
+//
+// EchelonFlow's arrangement functions are derived from "computation
+// dependencies (i.e., DAG) and times" (paper §1): each training paradigm is
+// compiled into a graph whose nodes are computation units or network flows,
+// and whose edges are happens-before dependencies. The graph is intentionally
+// generic — it knows nothing about scheduling — so the same structure serves
+// workload generation, profiling, and critical-path analysis.
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"echelonflow/internal/unit"
+)
+
+// Kind distinguishes computation units from communication flows.
+type Kind int
+
+const (
+	// Compute nodes occupy a worker (GPU) exclusively for a fixed duration.
+	Compute Kind = iota
+	// Comm nodes are network flows whose duration depends on scheduling.
+	Comm
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Comm:
+		return "comm"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node is one unit in the computation arrangement.
+type Node struct {
+	ID   string
+	Kind Kind
+
+	// Host is the worker executing a Compute node. Unused for Comm nodes.
+	Host string
+	// Duration is the profiled execution time of a Compute node.
+	// For Comm nodes it is advisory (used only by critical-path analysis,
+	// which assumes a dedicated link).
+	Duration unit.Time
+
+	// Src, Dst and Size describe a Comm node's flow.
+	Src, Dst string
+	Size     unit.Bytes
+
+	// Group names the EchelonFlow a Comm node belongs to, if any.
+	Group string
+	// Stage is the node's index within its group's arrangement
+	// (micro-batch index for pipelines, layer/phase index for FSDP).
+	Stage int
+
+	// Seq orders ready Compute nodes on the same host: lower Seq runs
+	// first. Workload compilers set it to the intended execution order.
+	Seq int
+
+	// NotBefore is the earliest simulated time the node may start even if
+	// its dependencies are already satisfied. Scenario builders use it to
+	// model externally timed releases (e.g. the staggered flow arrivals of
+	// the paper's Fig. 2).
+	NotBefore unit.Time
+}
+
+// Graph is a directed acyclic dependency graph.
+//
+// The zero value is not ready for use; call New.
+type Graph struct {
+	nodes map[string]*Node
+	// succ[id] lists nodes depending on id; pred[id] lists dependencies.
+	succ map[string][]string
+	pred map[string][]string
+	// order preserves insertion order for deterministic iteration.
+	order []string
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[string]*Node),
+		succ:  make(map[string][]string),
+		pred:  make(map[string][]string),
+	}
+}
+
+// Add inserts a node. It returns an error if the ID is empty or duplicated.
+func (g *Graph) Add(n *Node) error {
+	if n == nil || n.ID == "" {
+		return fmt.Errorf("dag: node must have an ID")
+	}
+	if _, ok := g.nodes[n.ID]; ok {
+		return fmt.Errorf("dag: duplicate node %q", n.ID)
+	}
+	g.nodes[n.ID] = n
+	g.order = append(g.order, n.ID)
+	return nil
+}
+
+// MustAdd is Add for workload compilers building graphs from trusted
+// generators; it panics on error.
+func (g *Graph) MustAdd(n *Node) {
+	if err := g.Add(n); err != nil {
+		panic(err)
+	}
+}
+
+// Depend records that node "to" depends on node "from" (from must finish
+// before to may start). Both nodes must already exist.
+func (g *Graph) Depend(from, to string) error {
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("dag: dependency source %q not found", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("dag: dependency target %q not found", to)
+	}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+	return nil
+}
+
+// MustDepend is Depend that panics on error.
+func (g *Graph) MustDepend(from, to string) {
+	if err := g.Depend(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id string) *Node { return g.nodes[id] }
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Nodes returns all nodes in insertion order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.nodes[id])
+	}
+	return out
+}
+
+// Deps returns the IDs a node depends on, in registration order.
+func (g *Graph) Deps(id string) []string {
+	return append([]string(nil), g.pred[id]...)
+}
+
+// Dependents returns the IDs depending on a node, in registration order.
+func (g *Graph) Dependents(id string) []string {
+	return append([]string(nil), g.succ[id]...)
+}
+
+// Roots returns nodes with no dependencies, in insertion order.
+func (g *Graph) Roots() []*Node {
+	var out []*Node
+	for _, id := range g.order {
+		if len(g.pred[id]) == 0 {
+			out = append(out, g.nodes[id])
+		}
+	}
+	return out
+}
+
+// TopoSort returns the node IDs in a topological order (insertion order is
+// used to break ties, making the result deterministic). It returns an error
+// if the graph contains a cycle, naming one node on it.
+func (g *Graph) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.nodes))
+	for _, id := range g.order {
+		indeg[id] = len(g.pred[id])
+	}
+	// ready is kept sorted by insertion index for determinism.
+	pos := make(map[string]int, len(g.order))
+	for i, id := range g.order {
+		pos[id] = i
+	}
+	var ready []string
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	out := make([]string, 0, len(g.nodes))
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		out = append(out, id)
+		newlyReady := make([]string, 0, 4)
+		for _, s := range g.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				newlyReady = append(newlyReady, s)
+			}
+		}
+		ready = append(ready, newlyReady...)
+		sort.Slice(ready, func(i, j int) bool { return pos[ready[i]] < pos[ready[j]] })
+	}
+	if len(out) != len(g.nodes) {
+		for _, id := range g.order {
+			if indeg[id] > 0 {
+				return nil, fmt.Errorf("dag: cycle involving node %q", id)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Validate checks structural invariants: acyclicity and that Comm nodes have
+// src, dst and a non-negative size while Compute nodes have a host and a
+// non-negative duration.
+func (g *Graph) Validate() error {
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes() {
+		switch n.Kind {
+		case Compute:
+			if n.Host == "" {
+				return fmt.Errorf("dag: compute node %q has no host", n.ID)
+			}
+			if n.Duration < 0 {
+				return fmt.Errorf("dag: compute node %q has negative duration", n.ID)
+			}
+		case Comm:
+			if n.Src == "" || n.Dst == "" {
+				return fmt.Errorf("dag: comm node %q missing src/dst", n.ID)
+			}
+			if n.Src == n.Dst {
+				return fmt.Errorf("dag: comm node %q has src == dst (%s)", n.ID, n.Src)
+			}
+			if n.Size < 0 {
+				return fmt.Errorf("dag: comm node %q has negative size", n.ID)
+			}
+		default:
+			return fmt.Errorf("dag: node %q has unknown kind %v", n.ID, n.Kind)
+		}
+	}
+	return nil
+}
+
+// CriticalPath returns the longest path length through the graph using each
+// node's Duration (Comm nodes contribute Size at the given reference rate),
+// and the IDs on one such path in execution order. This is the ideal
+// iteration time on an uncontended network — the lower bound EchelonFlow
+// scheduling aims for (Property 1).
+func (g *Graph) CriticalPath(refRate unit.Rate) (unit.Time, []string, error) {
+	topo, err := g.TopoSort()
+	if err != nil {
+		return 0, nil, err
+	}
+	dist := make(map[string]unit.Time, len(topo))
+	prev := make(map[string]string, len(topo))
+	nodeCost := func(n *Node) unit.Time {
+		if n.Kind == Comm {
+			return n.Size.At(refRate)
+		}
+		return n.Duration
+	}
+	var best unit.Time
+	var bestID string
+	for _, id := range topo {
+		n := g.nodes[id]
+		start := unit.Time(0)
+		for _, p := range g.pred[id] {
+			if dist[p] > start {
+				start = dist[p]
+				prev[id] = p
+			}
+		}
+		dist[id] = start + nodeCost(n)
+		if dist[id] > best {
+			best = dist[id]
+			bestID = id
+		}
+	}
+	var path []string
+	for id := bestID; id != ""; {
+		path = append(path, id)
+		id = prev[id]
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return best, path, nil
+}
+
+// GroupNodes returns the Comm nodes carrying the given group name, ordered
+// by Stage then insertion order.
+func (g *Graph) GroupNodes(group string) []*Node {
+	var out []*Node
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if n.Kind == Comm && n.Group == group {
+			out = append(out, n)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+// Groups returns the distinct group names appearing on Comm nodes, in first-
+// appearance order.
+func (g *Graph) Groups() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if n.Kind == Comm && n.Group != "" && !seen[n.Group] {
+			seen[n.Group] = true
+			out = append(out, n.Group)
+		}
+	}
+	return out
+}
+
+// Merge adds every node and edge of other into g, returning an error on ID
+// collision. It is used to compose multi-job workloads onto one fabric.
+func (g *Graph) Merge(other *Graph) error {
+	for _, n := range other.Nodes() {
+		cp := *n
+		if err := g.Add(&cp); err != nil {
+			return err
+		}
+	}
+	for _, id := range other.order {
+		for _, s := range other.succ[id] {
+			if err := g.Depend(id, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+package dag
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"echelonflow/internal/unit"
+)
+
+func mustGraph(t *testing.T) *Graph {
+	t.Helper()
+	return New()
+}
+
+func compute(id, host string, d unit.Time) *Node {
+	return &Node{ID: id, Kind: Compute, Host: host, Duration: d}
+}
+
+func comm(id, src, dst string, size unit.Bytes) *Node {
+	return &Node{ID: id, Kind: Comm, Src: src, Dst: dst, Size: size}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	g := mustGraph(t)
+	if err := g.Add(compute("a", "h", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(compute("a", "h", 1)); err == nil {
+		t.Fatal("duplicate Add should fail")
+	}
+}
+
+func TestAddEmptyID(t *testing.T) {
+	g := mustGraph(t)
+	if err := g.Add(&Node{}); err == nil {
+		t.Fatal("empty ID should fail")
+	}
+	if err := g.Add(nil); err == nil {
+		t.Fatal("nil node should fail")
+	}
+}
+
+func TestDependUnknown(t *testing.T) {
+	g := mustGraph(t)
+	g.MustAdd(compute("a", "h", 1))
+	if err := g.Depend("a", "missing"); err == nil {
+		t.Fatal("Depend on missing target should fail")
+	}
+	if err := g.Depend("missing", "a"); err == nil {
+		t.Fatal("Depend on missing source should fail")
+	}
+}
+
+func TestTopoSortLinear(t *testing.T) {
+	g := mustGraph(t)
+	g.MustAdd(compute("a", "h", 1))
+	g.MustAdd(compute("b", "h", 1))
+	g.MustAdd(compute("c", "h", 1))
+	g.MustDepend("a", "b")
+	g.MustDepend("b", "c")
+	got, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != "a,b,c" {
+		t.Errorf("TopoSort = %v", got)
+	}
+}
+
+func TestTopoSortDeterministicTieBreak(t *testing.T) {
+	g := mustGraph(t)
+	// Diamond with two independent middles; insertion order must decide.
+	g.MustAdd(compute("root", "h", 1))
+	g.MustAdd(compute("m2", "h", 1))
+	g.MustAdd(compute("m1", "h", 1))
+	g.MustAdd(compute("sink", "h", 1))
+	g.MustDepend("root", "m2")
+	g.MustDepend("root", "m1")
+	g.MustDepend("m2", "sink")
+	g.MustDepend("m1", "sink")
+	for i := 0; i < 5; i++ {
+		got, err := g.TopoSort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(got, ",") != "root,m2,m1,sink" {
+			t.Fatalf("TopoSort = %v, want insertion-order tie-break", got)
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := mustGraph(t)
+	g.MustAdd(compute("a", "h", 1))
+	g.MustAdd(compute("b", "h", 1))
+	g.MustDepend("a", "b")
+	g.MustDepend("b", "a")
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		node    *Node
+		wantErr bool
+	}{
+		{"valid compute", compute("a", "h", 1), false},
+		{"compute no host", &Node{ID: "a", Kind: Compute, Duration: 1}, true},
+		{"compute negative duration", &Node{ID: "a", Kind: Compute, Host: "h", Duration: -1}, true},
+		{"valid comm", comm("a", "s", "d", 5), false},
+		{"comm missing src", &Node{ID: "a", Kind: Comm, Dst: "d", Size: 1}, true},
+		{"comm missing dst", &Node{ID: "a", Kind: Comm, Src: "s", Size: 1}, true},
+		{"comm self loop", comm("a", "s", "s", 1), true},
+		{"comm negative size", comm("a", "s", "d", -1), true},
+		{"unknown kind", &Node{ID: "a", Kind: Kind(9)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := mustGraph(t)
+			g.MustAdd(tt.node)
+			err := g.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := mustGraph(t)
+	// a(2) -> f(4 bytes @ rate 2 => 2) -> b(3); plus a(2) -> c(1).
+	g.MustAdd(compute("a", "h1", 2))
+	g.MustAdd(comm("f", "h1", "h2", 4))
+	g.MustAdd(compute("b", "h2", 3))
+	g.MustAdd(compute("c", "h1", 1))
+	g.MustDepend("a", "f")
+	g.MustDepend("f", "b")
+	g.MustDepend("a", "c")
+	length, path, err := g.CriticalPath(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !length.ApproxEq(7) {
+		t.Errorf("critical path length = %v, want 7", length)
+	}
+	if strings.Join(path, ",") != "a,f,b" {
+		t.Errorf("critical path = %v", path)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	g := mustGraph(t)
+	length, path, err := g.CriticalPath(1)
+	if err != nil || length != 0 || len(path) != 0 {
+		t.Errorf("empty graph critical path = (%v,%v,%v)", length, path, err)
+	}
+}
+
+func TestRoots(t *testing.T) {
+	g := mustGraph(t)
+	g.MustAdd(compute("a", "h", 1))
+	g.MustAdd(compute("b", "h", 1))
+	g.MustAdd(compute("c", "h", 1))
+	g.MustDepend("a", "b")
+	roots := g.Roots()
+	if len(roots) != 2 || roots[0].ID != "a" || roots[1].ID != "c" {
+		t.Errorf("Roots = %v", roots)
+	}
+}
+
+func TestGroupNodes(t *testing.T) {
+	g := mustGraph(t)
+	n1 := comm("f1", "s", "d", 1)
+	n1.Group, n1.Stage = "g", 1
+	n0 := comm("f0", "s", "d", 1)
+	n0.Group, n0.Stage = "g", 0
+	other := comm("x", "s", "d", 1)
+	other.Group = "other"
+	g.MustAdd(n1)
+	g.MustAdd(n0)
+	g.MustAdd(other)
+	got := g.GroupNodes("g")
+	if len(got) != 2 || got[0].ID != "f0" || got[1].ID != "f1" {
+		t.Errorf("GroupNodes = %v", got)
+	}
+	groups := g.Groups()
+	if len(groups) != 2 || groups[0] != "g" || groups[1] != "other" {
+		t.Errorf("Groups = %v", groups)
+	}
+}
+
+func TestDepsAndDependentsAreCopies(t *testing.T) {
+	g := mustGraph(t)
+	g.MustAdd(compute("a", "h", 1))
+	g.MustAdd(compute("b", "h", 1))
+	g.MustDepend("a", "b")
+	deps := g.Deps("b")
+	deps[0] = "mutated"
+	if g.Deps("b")[0] != "a" {
+		t.Error("Deps returned a view, not a copy")
+	}
+	succ := g.Dependents("a")
+	succ[0] = "mutated"
+	if g.Dependents("a")[0] != "b" {
+		t.Error("Dependents returned a view, not a copy")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New()
+	a.MustAdd(compute("a1", "h", 1))
+	b := New()
+	b.MustAdd(compute("b1", "h", 1))
+	b.MustAdd(compute("b2", "h", 1))
+	b.MustDepend("b1", "b2")
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 3 {
+		t.Errorf("merged Len = %d", a.Len())
+	}
+	if got := a.Deps("b2"); len(got) != 1 || got[0] != "b1" {
+		t.Errorf("merged deps = %v", got)
+	}
+	// Merging again must collide.
+	if err := a.Merge(b); err == nil {
+		t.Error("second Merge should collide")
+	}
+}
+
+func TestMergeCopiesNodes(t *testing.T) {
+	a, b := New(), New()
+	n := compute("x", "h", 1)
+	b.MustAdd(n)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	n.Duration = 99
+	if a.Node("x").Duration != 1 {
+		t.Error("Merge should deep-copy nodes")
+	}
+}
+
+// Property: a randomly generated forward-edge graph always topo-sorts, and
+// the order respects every edge.
+func TestTopoSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := New()
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = string(rune('A'+i%26)) + string(rune('a'+i/26))
+			g.MustAdd(compute(ids[i], "h", 1))
+		}
+		// Forward edges only => acyclic by construction.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					g.MustDepend(ids[i], ids[j])
+				}
+			}
+		}
+		order, err := g.TopoSort()
+		if err != nil || len(order) != n {
+			return false
+		}
+		pos := make(map[string]int, n)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, id := range ids {
+			for _, s := range g.Dependents(id) {
+				if pos[id] >= pos[s] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Compute.String() != "compute" || Comm.String() != "comm" {
+		t.Error("Kind.String basic values wrong")
+	}
+	if Kind(7).String() != "kind(7)" {
+		t.Errorf("unknown kind string = %q", Kind(7).String())
+	}
+}

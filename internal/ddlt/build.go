@@ -1,0 +1,154 @@
+package ddlt
+
+import (
+	"fmt"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/dag"
+	"echelonflow/internal/unit"
+)
+
+// Workload is a compiled training job (or a merge of several): the
+// dependency graph plus the arrangement function of every EchelonFlow group
+// appearing on its Comm nodes — exactly what the simulator consumes and what
+// the framework would report to the EchelonFlow Agent (§5).
+type Workload struct {
+	Graph        *dag.Graph
+	Arrangements map[string]core.Arrangement
+	// Hosts lists every worker the workload computes or communicates on.
+	Hosts []string
+	// Sinks are the node IDs that complete the workload (iteration
+	// barriers of the last iteration); useful when composing jobs.
+	Sinks []string
+}
+
+// Merge combines several jobs' workloads onto one shared fabric. Node IDs
+// must be globally unique (compilers prefix them with the job name).
+func Merge(ws ...*Workload) (*Workload, error) {
+	out := &Workload{Graph: dag.New(), Arrangements: make(map[string]core.Arrangement)}
+	seenHost := make(map[string]bool)
+	for _, w := range ws {
+		if err := out.Graph.Merge(w.Graph); err != nil {
+			return nil, err
+		}
+		for k, v := range w.Arrangements {
+			if _, dup := out.Arrangements[k]; dup {
+				return nil, fmt.Errorf("ddlt: duplicate group %q across merged workloads", k)
+			}
+			out.Arrangements[k] = v
+		}
+		for _, h := range w.Hosts {
+			if !seenHost[h] {
+				seenHost[h] = true
+				out.Hosts = append(out.Hosts, h)
+			}
+		}
+		out.Sinks = append(out.Sinks, w.Sinks...)
+	}
+	return out, nil
+}
+
+// builder accumulates a workload with per-host sequence counters, so
+// compilers emit Compute nodes in intended execution order.
+type builder struct {
+	w   *Workload
+	seq map[string]int
+	job string
+}
+
+func newBuilder(job string) *builder {
+	return &builder{
+		w:   &Workload{Graph: dag.New(), Arrangements: make(map[string]core.Arrangement)},
+		seq: make(map[string]int),
+		job: job,
+	}
+}
+
+// id prefixes a node name with the job name.
+func (b *builder) id(format string, args ...interface{}) string {
+	return b.job + "/" + fmt.Sprintf(format, args...)
+}
+
+// gid prefixes a group name with the job name.
+func (b *builder) gid(format string, args ...interface{}) string {
+	return b.job + "/" + fmt.Sprintf(format, args...)
+}
+
+// compute emits a Compute node on host with the next sequence number.
+func (b *builder) compute(id, host string, dur unit.Time, deps ...string) (string, error) {
+	n := &dag.Node{ID: id, Kind: dag.Compute, Host: host, Duration: dur, Seq: b.seq[host]}
+	b.seq[host]++
+	if err := b.w.Graph.Add(n); err != nil {
+		return "", err
+	}
+	for _, d := range deps {
+		if err := b.w.Graph.Depend(d, id); err != nil {
+			return "", err
+		}
+	}
+	b.noteHost(host)
+	return id, nil
+}
+
+// group registers an arrangement for a group name.
+func (b *builder) group(name string, arr core.Arrangement) string {
+	b.w.Arrangements[name] = arr
+	return name
+}
+
+func (b *builder) noteHost(h string) {
+	for _, x := range b.w.Hosts {
+		if x == h {
+			return
+		}
+	}
+	b.w.Hosts = append(b.w.Hosts, h)
+}
+
+// noteHosts records flow endpoints discovered outside compute().
+func (b *builder) noteHosts(hs ...string) {
+	for _, h := range hs {
+		b.noteHost(h)
+	}
+}
+
+// finish validates the result and stamps the sinks.
+func (b *builder) finish(sinks []string) (*Workload, error) {
+	b.w.Sinks = sinks
+	if err := b.w.Graph.Validate(); err != nil {
+		return nil, err
+	}
+	for _, g := range b.w.Graph.Groups() {
+		if _, ok := b.w.Arrangements[g]; !ok {
+			return nil, fmt.Errorf("ddlt: group %q has no arrangement", g)
+		}
+	}
+	return b.w, nil
+}
+
+// validateJobCommon checks the fields every paradigm shares.
+func validateJobCommon(name string, m Model, workers []string, iterations int) error {
+	if name == "" {
+		return fmt.Errorf("ddlt: job must have a name")
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if len(workers) < 2 {
+		return fmt.Errorf("ddlt: job %q needs >=2 workers", name)
+	}
+	seen := make(map[string]bool)
+	for _, w := range workers {
+		if w == "" {
+			return fmt.Errorf("ddlt: job %q has an empty worker name", name)
+		}
+		if seen[w] {
+			return fmt.Errorf("ddlt: job %q has duplicate worker %q", name, w)
+		}
+		seen[w] = true
+	}
+	if iterations < 1 {
+		return fmt.Errorf("ddlt: job %q needs >=1 iteration", name)
+	}
+	return nil
+}

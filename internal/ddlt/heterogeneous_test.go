@@ -1,0 +1,122 @@
+package ddlt
+
+import (
+	"strings"
+	"testing"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/unit"
+)
+
+// heterModel builds a deliberately non-uniform model: growing parameter
+// sizes, shrinking activations, mixed compute times — the shape of a real
+// transformer with embedding/attention/head layers.
+func heterModel() Model {
+	return Model{Name: "heter", Layers: []Layer{
+		{Params: 16, Activations: 8, Fwd: 0.2, Bwd: 0.4},
+		{Params: 4, Activations: 6, Fwd: 1.0, Bwd: 2.0},
+		{Params: 4, Activations: 6, Fwd: 1.0, Bwd: 2.0},
+		{Params: 8, Activations: 2, Fwd: 0.5, Bwd: 0.7},
+	}}
+}
+
+// Every paradigm must compile and simulate a non-uniform model.
+func TestHeterogeneousModelAllParadigms(t *testing.T) {
+	m := heterModel()
+	workers := ws("w0", "w1", "w2", "w3")
+	jobs := map[string]interface{ Build() (*Workload, error) }{
+		"dp":   DPAllReduce{Name: "dp", Model: m, Workers: workers, BucketCount: 2, Iterations: 1},
+		"ps":   DPParameterServer{Name: "ps", Model: m, Workers: workers, PS: "ps0", BucketCount: 2, AggTime: 0.1, Iterations: 1},
+		"pp":   PipelineGPipe{Name: "pp", Model: m, Workers: workers, MicroBatches: 3, Iterations: 1},
+		"1f1b": Pipeline1F1B{Name: "1f1b", Model: m, Workers: workers, MicroBatches: 3, Iterations: 1},
+		"tp":   TensorParallel{Name: "tp", Model: m, Workers: workers, Iterations: 1},
+		"fsdp": FSDP{Name: "fsdp", Model: m, Workers: workers, Iterations: 1},
+	}
+	for name, j := range jobs {
+		t.Run(name, func(t *testing.T) {
+			w, err := j.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := runWorkload(t, w, 6, sched.EchelonMADD{Backfill: true})
+			if res.Makespan <= 0 {
+				t.Fatal("zero makespan")
+			}
+			// Compute-only lower bound on the slowest single worker.
+			if name == "dp" || name == "ps" {
+				if res.Makespan < m.FwdTime()+m.BwdTime() {
+					t.Errorf("makespan %v below compute bound", res.Makespan)
+				}
+			}
+		})
+	}
+}
+
+// Non-uniform gradient buckets: volumes and backward times follow the
+// actual layers in each bucket, not an average.
+func TestHeterogeneousBuckets(t *testing.T) {
+	m := heterModel()
+	buckets, err := m.Buckets(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket 0 = layers {3,2} (deepest first): params 8+4, bwd 0.7+2.
+	if got := bucketParams(m, buckets[0]); got != 12 {
+		t.Errorf("bucket0 params = %v, want 12", got)
+	}
+	if got := bucketBwdTime(m, buckets[0]); !got.ApproxEq(2.7) {
+		t.Errorf("bucket0 bwd = %v, want 2.7", got)
+	}
+	// Bucket 1 = layers {1,0}: params 4+16, bwd 2+0.4.
+	if got := bucketParams(m, buckets[1]); got != 20 {
+		t.Errorf("bucket1 params = %v, want 20", got)
+	}
+}
+
+// The FSDP staged arrangement must reflect per-layer times, not a uniform T.
+func TestHeterogeneousFSDPGaps(t *testing.T) {
+	m := heterModel()
+	gaps := fsdpGaps(m)
+	// n=4: fwd gaps for layers 0..2, then bwd gaps for layers 3..0.
+	want := []unit.Time{0.2, 1.0, 1.0, 0.7, 2.0, 2.0, 0.4}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	for i := range want {
+		if !gaps[i].ApproxEq(want[i]) {
+			t.Errorf("gap[%d] = %v, want %v", i, gaps[i], want[i])
+		}
+	}
+}
+
+// Pipeline stages of a non-uniform model carry per-stage times and
+// activation sizes in their arrangements and flows.
+func TestHeterogeneousPipelineStages(t *testing.T) {
+	m := heterModel()
+	j := PipelineGPipe{Name: "pp", Model: m, Workers: ws("a", "b"), MicroBatches: 2, Iterations: 1}
+	w, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 0 = layers {0,1}: fwd 1.2; stage 1 = layers {2,3}: fwd 1.5.
+	arr := w.Arrangements["pp/it0/fwd0"].(core.Pipeline)
+	if !arr.T.ApproxEq(1.5) {
+		t.Errorf("fwd0 T = %v, want consumer stage fwd 1.5", arr.T)
+	}
+	// Activation flow size = stage 0's last layer activations (6).
+	var actSize unit.Bytes
+	for _, n := range w.Graph.Nodes() {
+		if strings.HasPrefix(n.ID, "pp/it0/act/s0m0") {
+			actSize = n.Size
+		}
+	}
+	if actSize != 6 {
+		t.Errorf("activation size = %v, want 6", actSize)
+	}
+	// Backward group: consumer is stage 0 with bwd 2.4.
+	barr := w.Arrangements["pp/it0/bwd1"].(core.Pipeline)
+	if !barr.T.ApproxEq(2.4) {
+		t.Errorf("bwd1 T = %v, want 2.4", barr.T)
+	}
+}

@@ -1,0 +1,148 @@
+// Package ddlt compiles the mainstream distributed deep learning training
+// paradigms of the paper's Table 1 — data parallelism with AllReduce and
+// parameter-server gradient exchange, GPipe-style pipeline parallelism,
+// Megatron-style tensor parallelism, and ZeRO-style fully-sharded data
+// parallelism — into computation graphs (package dag) with the EchelonFlow
+// group structure and arrangement functions of §4.
+//
+// A paradigm compiler takes a layered model description and a worker
+// placement and emits, per training iteration, the Compute nodes each worker
+// runs and the Comm flows the paradigm's communication schedule requires,
+// with the dependencies the frameworks impose (gradient bucketing, pipeline
+// micro-batch order, layer-wise gather/scatter, iteration barriers).
+package ddlt
+
+import (
+	"fmt"
+
+	"echelonflow/internal/unit"
+)
+
+// Layer describes one model layer's footprint on a single worker.
+type Layer struct {
+	// Params is the parameter volume (gradients have the same volume).
+	Params unit.Bytes
+	// Activations is the activation output volume per micro-batch.
+	Activations unit.Bytes
+	// Fwd and Bwd are the profiled per-micro-batch computation times.
+	Fwd, Bwd unit.Time
+}
+
+// Validate checks the layer is well formed.
+func (l Layer) Validate() error {
+	if l.Params < 0 || l.Activations < 0 {
+		return fmt.Errorf("ddlt: layer has negative volume")
+	}
+	if l.Fwd < 0 || l.Bwd < 0 {
+		return fmt.Errorf("ddlt: layer has negative compute time")
+	}
+	return nil
+}
+
+// Model is a layered neural network description — the common input of every
+// paradigm compiler.
+type Model struct {
+	Name   string
+	Layers []Layer
+}
+
+// Validate checks the model is well formed.
+func (m Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("ddlt: model must have a name")
+	}
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("ddlt: model %q has no layers", m.Name)
+	}
+	for i, l := range m.Layers {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("ddlt: model %q layer %d: %w", m.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// TotalParams sums parameter volume across layers.
+func (m Model) TotalParams() unit.Bytes {
+	var s unit.Bytes
+	for _, l := range m.Layers {
+		s += l.Params
+	}
+	return s
+}
+
+// FwdTime sums forward compute time across layers (one micro-batch).
+func (m Model) FwdTime() unit.Time {
+	var s unit.Time
+	for _, l := range m.Layers {
+		s += l.Fwd
+	}
+	return s
+}
+
+// BwdTime sums backward compute time across layers (one micro-batch).
+func (m Model) BwdTime() unit.Time {
+	var s unit.Time
+	for _, l := range m.Layers {
+		s += l.Bwd
+	}
+	return s
+}
+
+// Uniform builds an n-layer model with identical layers — the shape the
+// paper's closed-form arrangements (Eqs. 6 and 7) assume.
+func Uniform(name string, layers int, params, activations unit.Bytes, fwd, bwd unit.Time) Model {
+	ls := make([]Layer, layers)
+	for i := range ls {
+		ls[i] = Layer{Params: params, Activations: activations, Fwd: fwd, Bwd: bwd}
+	}
+	return Model{Name: name, Layers: ls}
+}
+
+// Buckets partitions layer indices into k gradient buckets in backward
+// order: bucket 0 holds the deepest (last) layers whose gradients are ready
+// first (§4 Case I: "training frameworks bucket gradients of several
+// layers"). Each bucket is a contiguous run of layer indices, balanced by
+// count.
+func (m Model) Buckets(k int) ([][]int, error) {
+	n := len(m.Layers)
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("ddlt: model %q: bucket count %d outside [1,%d]", m.Name, k, n)
+	}
+	out := make([][]int, k)
+	// Walk layers from last to first, splitting into k balanced runs.
+	idx := n - 1
+	for b := 0; b < k; b++ {
+		count := n / k
+		if b < n%k {
+			count++
+		}
+		for c := 0; c < count; c++ {
+			out[b] = append(out[b], idx)
+			idx--
+		}
+	}
+	return out, nil
+}
+
+// Partition splits layer indices into s contiguous pipeline stages in
+// forward order, balanced by count.
+func (m Model) Partition(s int) ([][]int, error) {
+	n := len(m.Layers)
+	if s < 1 || s > n {
+		return nil, fmt.Errorf("ddlt: model %q: stage count %d outside [1,%d]", m.Name, s, n)
+	}
+	out := make([][]int, s)
+	idx := 0
+	for p := 0; p < s; p++ {
+		count := n / s
+		if p < n%s {
+			count++
+		}
+		for c := 0; c < count; c++ {
+			out[p] = append(out[p], idx)
+			idx++
+		}
+	}
+	return out, nil
+}

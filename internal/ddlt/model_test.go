@@ -1,0 +1,138 @@
+package ddlt
+
+import (
+	"testing"
+
+	"echelonflow/internal/unit"
+)
+
+func TestModelValidate(t *testing.T) {
+	ok := Uniform("m", 3, 10, 4, 1, 2)
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Model{
+		{Name: "", Layers: []Layer{{}}},
+		{Name: "m"},
+		{Name: "m", Layers: []Layer{{Params: -1}}},
+		{Name: "m", Layers: []Layer{{Fwd: -1}}},
+		{Name: "m", Layers: []Layer{{Activations: -1}}},
+		{Name: "m", Layers: []Layer{{Bwd: -1}}},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestModelAggregates(t *testing.T) {
+	m := Model{Name: "m", Layers: []Layer{
+		{Params: 10, Fwd: 1, Bwd: 2},
+		{Params: 20, Fwd: 3, Bwd: 4},
+	}}
+	if m.TotalParams() != 30 {
+		t.Errorf("TotalParams = %v", m.TotalParams())
+	}
+	if m.FwdTime() != 4 || m.BwdTime() != 6 {
+		t.Errorf("FwdTime/BwdTime = %v/%v", m.FwdTime(), m.BwdTime())
+	}
+}
+
+func TestUniform(t *testing.T) {
+	m := Uniform("u", 4, 8, 2, 1, 1.5)
+	if len(m.Layers) != 4 {
+		t.Fatalf("layers = %d", len(m.Layers))
+	}
+	for _, l := range m.Layers {
+		if l.Params != 8 || l.Activations != 2 || l.Fwd != 1 || l.Bwd != 1.5 {
+			t.Errorf("layer = %+v", l)
+		}
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	m := Uniform("m", 5, 1, 1, 1, 1)
+	buckets, err := m.Buckets(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backward order: bucket 0 holds the deepest layers.
+	if len(buckets) != 2 || len(buckets[0]) != 3 || len(buckets[1]) != 2 {
+		t.Fatalf("buckets = %v", buckets)
+	}
+	if buckets[0][0] != 4 || buckets[1][len(buckets[1])-1] != 0 {
+		t.Errorf("bucket order = %v", buckets)
+	}
+	// All layers covered exactly once.
+	seen := map[int]bool{}
+	for _, b := range buckets {
+		for _, l := range b {
+			if seen[l] {
+				t.Errorf("layer %d duplicated", l)
+			}
+			seen[l] = true
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("coverage = %v", seen)
+	}
+	if _, err := m.Buckets(0); err == nil {
+		t.Error("0 buckets accepted")
+	}
+	if _, err := m.Buckets(6); err == nil {
+		t.Error("more buckets than layers accepted")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	m := Uniform("m", 7, 1, 1, 1, 1)
+	parts, err := m.Partition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 || len(parts[0]) != 3 || len(parts[1]) != 2 || len(parts[2]) != 2 {
+		t.Fatalf("parts = %v", parts)
+	}
+	// Contiguous forward order.
+	want := 0
+	for _, p := range parts {
+		for _, l := range p {
+			if l != want {
+				t.Fatalf("parts = %v, not contiguous", parts)
+			}
+			want++
+		}
+	}
+	if _, err := m.Partition(8); err == nil {
+		t.Error("more stages than layers accepted")
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	m := Model{Name: "m", Layers: []Layer{
+		{Params: 10, Bwd: 1},
+		{Params: 20, Bwd: 2},
+	}}
+	if got := bucketParams(m, []int{0, 1}); got != 30 {
+		t.Errorf("bucketParams = %v", got)
+	}
+	if got := bucketBwdTime(m, []int{1}); got != 2 {
+		t.Errorf("bucketBwdTime = %v", got)
+	}
+}
+
+func TestFSDPGaps(t *testing.T) {
+	m := Uniform("m", 3, 1, 1, 0.5, 1.5)
+	gaps := fsdpGaps(m)
+	// Eq. 7: n-1 forward gaps then n backward gaps.
+	want := []unit.Time{0.5, 0.5, 1.5, 1.5, 1.5}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Errorf("gap[%d] = %v, want %v", i, gaps[i], want[i])
+		}
+	}
+}

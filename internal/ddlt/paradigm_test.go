@@ -1,0 +1,404 @@
+package ddlt
+
+import (
+	"strings"
+	"testing"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/unit"
+)
+
+func ws(names ...string) []string { return names }
+
+// runWorkload simulates a workload on uniform hosts of the given capacity.
+func runWorkload(t *testing.T, w *Workload, cap unit.Rate, s sched.Scheduler) *sim.Result {
+	t.Helper()
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(cap, w.Hosts...)
+	simr, err := sim.New(sim.Options{
+		Graph: w.Graph, Net: net, Scheduler: s, Arrangements: w.Arrangements,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDPAllReduceBuild(t *testing.T) {
+	j := DPAllReduce{
+		Name:    "dp",
+		Model:   Uniform("m", 4, 8, 2, 1, 1),
+		Workers: ws("w0", "w1", "w2", "w3"),
+		// default BucketCount: per-layer (4 buckets)
+		Iterations: 2,
+	}
+	w, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per iteration: 4 fw + 4 buckets × 4 bw computes + 4 all-reduces of
+	// 2·3·4 = 24 flows each.
+	wantNodes := 2 * (4 + 16 + 4*24)
+	if w.Graph.Len() != wantNodes {
+		t.Errorf("node count = %d, want %d", w.Graph.Len(), wantNodes)
+	}
+	// Every group is a Coflow (Table 1: DP-AllReduce is Coflow-compliant).
+	for gid, arr := range w.Arrangements {
+		if _, ok := arr.(core.Coflow); !ok {
+			t.Errorf("group %s arrangement = %s, want coflow", gid, arr.Name())
+		}
+	}
+	if len(w.Arrangements) != 8 {
+		t.Errorf("group count = %d, want 8", len(w.Arrangements))
+	}
+	res := runWorkload(t, w, 4, sched.EchelonMADD{Backfill: true})
+	if res.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+	// Iteration lower bound: 2 × (fwd 4 + bwd 4) compute alone.
+	if res.Makespan < 16 {
+		t.Errorf("makespan = %v below compute-only bound 16", res.Makespan)
+	}
+}
+
+func TestDPAllReduceExplicitBuckets(t *testing.T) {
+	j := DPAllReduce{
+		Name: "dp", Model: Uniform("m", 4, 8, 2, 1, 1),
+		Workers: ws("a", "b"), BucketCount: 2, Iterations: 1,
+	}
+	w, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Arrangements) != 2 {
+		t.Errorf("group count = %d, want 2", len(w.Arrangements))
+	}
+}
+
+func TestDPAllReduceValidation(t *testing.T) {
+	m := Uniform("m", 2, 1, 1, 1, 1)
+	cases := []DPAllReduce{
+		{Name: "", Model: m, Workers: ws("a", "b"), Iterations: 1},
+		{Name: "j", Model: Model{}, Workers: ws("a", "b"), Iterations: 1},
+		{Name: "j", Model: m, Workers: ws("a"), Iterations: 1},
+		{Name: "j", Model: m, Workers: ws("a", "a"), Iterations: 1},
+		{Name: "j", Model: m, Workers: ws("a", ""), Iterations: 1},
+		{Name: "j", Model: m, Workers: ws("a", "b"), Iterations: 0},
+		{Name: "j", Model: m, Workers: ws("a", "b"), BucketCount: 5, Iterations: 1},
+	}
+	for i, j := range cases {
+		if _, err := j.Build(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDPParameterServerBuild(t *testing.T) {
+	j := DPParameterServer{
+		Name: "ps", Model: Uniform("m", 2, 6, 1, 1, 1),
+		Workers: ws("w0", "w1", "w2"), PS: "ps0",
+		BucketCount: 1, AggTime: 0.5, Iterations: 1,
+	}
+	w, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 fw + 3 bw + 3 push + 1 agg + 3 pull = 13 nodes.
+	if w.Graph.Len() != 13 {
+		t.Errorf("node count = %d, want 13", w.Graph.Len())
+	}
+	if len(w.Hosts) != 4 {
+		t.Errorf("hosts = %v", w.Hosts)
+	}
+	res := runWorkload(t, w, 6, sched.CoflowMADD{Backfill: true})
+	// fw 2 + bw 2 + push 12/6 + agg 0.5 + pull 12/6... push: 3 workers ×
+	// 12 bytes into PS ingress 6 => 6s bottleneck. Lower bound sanity:
+	if res.Makespan < 2+2+0.5 {
+		t.Errorf("makespan = %v suspiciously low", res.Makespan)
+	}
+	// Pull flows finish simultaneously under Coflow scheduling.
+	var finishes []unit.Time
+	for id, rec := range res.Flows {
+		if strings.Contains(id, "/pull/") {
+			finishes = append(finishes, rec.Finish)
+		}
+	}
+	if len(finishes) != 3 {
+		t.Fatalf("pull flows = %d", len(finishes))
+	}
+	for _, f := range finishes[1:] {
+		if !f.ApproxEq(finishes[0]) {
+			t.Errorf("pull finishes diverge: %v", finishes)
+		}
+	}
+}
+
+func TestDPParameterServerValidation(t *testing.T) {
+	m := Uniform("m", 2, 1, 1, 1, 1)
+	cases := []DPParameterServer{
+		{Name: "j", Model: m, Workers: ws("a", "b"), PS: "", Iterations: 1},
+		{Name: "j", Model: m, Workers: ws("a", "b"), PS: "a", Iterations: 1},
+		{Name: "j", Model: m, Workers: ws("a", "b"), PS: "ps", AggTime: -1, Iterations: 1},
+	}
+	for i, j := range cases {
+		if _, err := j.Build(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPipelineGPipeBuild(t *testing.T) {
+	j := PipelineGPipe{
+		Name: "pp", Model: Uniform("m", 4, 4, 2, 1, 2),
+		Workers: ws("s0", "s1", "s2", "s3"), MicroBatches: 4, Iterations: 1,
+	}
+	w, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4×4 fw + 4×4 bw + 4 upd computes; 3×4 act + 3×4 grad flows.
+	if w.Graph.Len() != 16+16+4+12+12 {
+		t.Errorf("node count = %d", w.Graph.Len())
+	}
+	// Forward groups use the consuming stage's per-micro-batch time.
+	arr, ok := w.Arrangements["pp/it0/fwd0"].(core.Pipeline)
+	if !ok || arr.T != 1 {
+		t.Errorf("fwd0 arrangement = %#v", w.Arrangements["pp/it0/fwd0"])
+	}
+	barr, ok := w.Arrangements["pp/it0/bwd1"].(core.Pipeline)
+	if !ok || barr.T != 2 {
+		t.Errorf("bwd1 arrangement = %#v", w.Arrangements["pp/it0/bwd1"])
+	}
+	// Micro-batch stage indices on activation flows.
+	n := w.Graph.Node("pp/it0/act/s0m2")
+	if n == nil || n.Stage != 2 || n.Group != "pp/it0/fwd0" {
+		t.Errorf("activation node = %+v", n)
+	}
+	// Gradient flows use reverse-order stages (first-arriving = stage 0).
+	gn := w.Graph.Node("pp/it0/grad/s1m3")
+	if gn == nil || gn.Stage != 0 {
+		t.Errorf("gradient node = %+v", gn)
+	}
+}
+
+// The pipeline's GPipe schedule on a fast network matches Fig. 1a: with S
+// stages and M micro-batches of unit fwd time, the last forward at stage
+// S-1 ends at (S-1) + M.
+func TestPipelineGPipeTimeline(t *testing.T) {
+	j := PipelineGPipe{
+		Name: "pp", Model: Uniform("m", 4, 4, 0.001, 1, 1),
+		Workers: ws("s0", "s1", "s2", "s3"), MicroBatches: 4, Iterations: 1,
+	}
+	w, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runWorkload(t, w, 1000, sched.Fair{}) // effectively infinite network
+	near := func(a, b unit.Time) bool { d := a - b; return d < 1e-3 && d > -1e-3 }
+	lastFw := res.Tasks["pp/it0/fw/s3m3"]
+	if !near(lastFw.End, 7) {
+		t.Errorf("last forward ends at %v, want ~7", lastFw.End)
+	}
+	// Backward on the last stage starts immediately (no idle).
+	firstBw := res.Tasks["pp/it0/bw/s3m3"]
+	if !near(firstBw.Start, 7) {
+		t.Errorf("first backward starts at %v, want ~7", firstBw.Start)
+	}
+	// Stage 0's first backward must wait for gradients to trickle back:
+	// the grey idle area of Fig. 1a. B(0,3) starts after B(3..1, 3) + flows.
+	b03 := res.Tasks["pp/it0/bw/s0m3"]
+	if b03.Start < 10 {
+		t.Errorf("stage-0 backward started at %v, expected pipeline delay >= 10", b03.Start)
+	}
+	// Total: forwards 7, backwards drain 4 + 3 hops => 14 + update.
+	if res.Makespan < 13 {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	m := Uniform("m", 4, 1, 1, 1, 1)
+	cases := []PipelineGPipe{
+		{Name: "j", Model: m, Workers: ws("a", "b"), MicroBatches: 0, Iterations: 1},
+		{Name: "j", Model: m, Workers: ws("a", "b"), MicroBatches: 1, UpdateTime: -1, Iterations: 1},
+		{Name: "j", Model: Uniform("m", 1, 1, 1, 1, 1), Workers: ws("a", "b"), MicroBatches: 1, Iterations: 1},
+	}
+	for i, j := range cases {
+		if _, err := j.Build(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTensorParallelBuild(t *testing.T) {
+	j := TensorParallel{
+		Name: "tp", Model: Uniform("m", 2, 4, 8, 1, 1),
+		Workers: ws("w0", "w1"), Iterations: 1,
+	}
+	w, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per layer: 2 fw computes + all-reduce (2 steps × 2 flows); same for
+	// backward: 2 layers × (2+4+2+4) = 24 nodes.
+	if w.Graph.Len() != 24 {
+		t.Errorf("node count = %d, want 24", w.Graph.Len())
+	}
+	for gid, arr := range w.Arrangements {
+		if _, ok := arr.(core.Coflow); !ok {
+			t.Errorf("group %s not a coflow", gid)
+		}
+	}
+	res := runWorkload(t, w, 8, sched.EchelonMADD{})
+	// Compute-only lower bound: 2 layers × (1+1) serialized with comms.
+	if res.Makespan < 4 {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestFSDPBuild(t *testing.T) {
+	j := FSDP{
+		Name: "fsdp", Model: Uniform("m", 3, 6, 1, 1, 2),
+		Workers: ws("w0", "w1", "w2"), Iterations: 1,
+	}
+	w, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The all-gather EchelonFlow has 2n stages with the Eq. 7 arrangement.
+	arr, ok := w.Arrangements["fsdp/it0/ag"].(core.Staged)
+	if !ok {
+		t.Fatalf("ag arrangement = %#v", w.Arrangements["fsdp/it0/ag"])
+	}
+	if arr.Stages() != 6 {
+		t.Errorf("ag stages = %d, want 2n=6", arr.Stages())
+	}
+	// 2n all-gathers × (2 steps × 3 flows) + n reduce-scatters × 6 flows
+	// + 2n × 3 computes = 36 + 18 + 18.
+	if w.Graph.Len() != 72 {
+		t.Errorf("node count = %d, want 72", w.Graph.Len())
+	}
+	// RS groups are Coflows.
+	for gid, a := range w.Arrangements {
+		if strings.Contains(gid, "/rs") {
+			if _, ok := a.(core.Coflow); !ok {
+				t.Errorf("group %s not a coflow", gid)
+			}
+		}
+	}
+	res := runWorkload(t, w, 6, sched.EchelonMADD{Backfill: true})
+	// Compute lower bound: 3×1 fwd + 3×2 bwd = 9.
+	if res.Makespan < 9 {
+		t.Errorf("makespan = %v below compute bound 9", res.Makespan)
+	}
+	// The AG EchelonFlow must have flows at every stage 0..5.
+	stages := map[int]bool{}
+	for _, n := range w.Graph.GroupNodes("fsdp/it0/ag") {
+		stages[n.Stage] = true
+	}
+	for k := 0; k < 6; k++ {
+		if !stages[k] {
+			t.Errorf("missing AG stage %d", k)
+		}
+	}
+}
+
+func TestFSDPPrefetchGating(t *testing.T) {
+	j := FSDP{
+		Name: "f", Model: Uniform("m", 4, 4, 1, 1, 1),
+		Workers: ws("a", "b"), PrefetchDepth: 1, Iterations: 1,
+	}
+	w, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AG(3) (k=3) entry flows must depend on compute unit k-1-depth = 1,
+	// i.e. F(1) of the matching worker.
+	deps := w.Graph.Deps("f/it0/ag/l3/ag/s0w0")
+	var hasGate bool
+	for _, d := range deps {
+		if d == "f/it0/fw/l1w0" {
+			hasGate = true
+		}
+	}
+	if !hasGate {
+		t.Errorf("AG(3) entry deps = %v, want prefetch gate on F(1)", deps)
+	}
+}
+
+func TestFSDPValidation(t *testing.T) {
+	j := FSDP{
+		Name: "f", Model: Uniform("m", 2, 1, 1, 1, 1),
+		Workers: ws("a", "b"), PrefetchDepth: -1, Iterations: 1,
+	}
+	if _, err := j.Build(); err == nil {
+		t.Error("negative prefetch depth accepted")
+	}
+}
+
+func TestMergeWorkloads(t *testing.T) {
+	a, err := DPAllReduce{Name: "jobA", Model: Uniform("m", 2, 4, 1, 1, 1),
+		Workers: ws("w0", "w1"), BucketCount: 1, Iterations: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bWl, err := TensorParallel{Name: "jobB", Model: Uniform("m", 2, 4, 4, 1, 1),
+		Workers: ws("w0", "w1"), Iterations: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(a, bWl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Graph.Len() != a.Graph.Len()+bWl.Graph.Len() {
+		t.Errorf("merged size = %d", merged.Graph.Len())
+	}
+	if len(merged.Hosts) != 2 {
+		t.Errorf("merged hosts = %v", merged.Hosts)
+	}
+	res := runWorkload(t, merged, 4, sched.EchelonMADD{Backfill: true})
+	if res.Makespan <= 0 {
+		t.Error("merged run failed")
+	}
+	// Merging the same workload twice must collide on node IDs.
+	if _, err := Merge(a, a); err == nil {
+		t.Error("duplicate merge accepted")
+	}
+}
+
+// Table 1 evidence for PP: on a constrained network, EchelonFlow scheduling
+// beats treating the pipeline flows as Coflows.
+func TestPipelineEchelonBeatsCoflow(t *testing.T) {
+	j := PipelineGPipe{
+		Name: "pp", Model: Uniform("m", 4, 4, 6, 1, 1),
+		Workers: ws("s0", "s1", "s2", "s3"), MicroBatches: 4, Iterations: 1,
+	}
+	w, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(s sched.Scheduler) unit.Time {
+		w2, err := PipelineGPipe{
+			Name: "pp", Model: Uniform("m", 4, 4, 6, 1, 1),
+			Workers: ws("s0", "s1", "s2", "s3"), MicroBatches: 4, Iterations: 1,
+		}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runWorkload(t, w2, 4, s).Makespan
+	}
+	_ = w
+	echelon := run(sched.EchelonMADD{Backfill: true})
+	coflow := run(sched.CoflowMADD{Backfill: true})
+	if echelon > coflow+unit.Time(unit.Eps) {
+		t.Errorf("echelon %v should not exceed coflow %v on PP", echelon, coflow)
+	}
+}

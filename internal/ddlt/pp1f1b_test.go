@@ -1,0 +1,193 @@
+package ddlt
+
+import (
+	"fmt"
+	"testing"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/unit"
+)
+
+func TestSchedule1F1BShape(t *testing.T) {
+	// Stage 0 of a 4-stage, 6-micro-batch pipeline: 3 warm-up forwards,
+	// then 1F1B pairs, then 3 cool-down backwards.
+	order := schedule1F1B(0, 4, 6)
+	if len(order) != 12 {
+		t.Fatalf("entries = %d, want 2M", len(order))
+	}
+	for i := 0; i < 3; i++ {
+		if order[i].kind != unitFwd || order[i].m != i {
+			t.Errorf("warmup[%d] = %+v", i, order[i])
+		}
+	}
+	if order[3].kind != unitFwd || order[3].m != 3 || order[4].kind != unitBwd || order[4].m != 0 {
+		t.Errorf("steady start = %+v %+v", order[3], order[4])
+	}
+	last := order[len(order)-1]
+	if last.kind != unitBwd || last.m != 5 {
+		t.Errorf("final entry = %+v", last)
+	}
+	// Last stage: pure alternation from the start.
+	lastStage := schedule1F1B(3, 4, 6)
+	if lastStage[0].kind != unitFwd || lastStage[1].kind != unitBwd || lastStage[1].m != 0 {
+		t.Errorf("last stage start = %+v %+v", lastStage[0], lastStage[1])
+	}
+}
+
+// The memory bound 1F1B exists for: at most S-s micro-batches in flight
+// (forwarded but not yet backwarded) at stage s.
+func TestSchedule1F1BMemoryBound(t *testing.T) {
+	for S := 2; S <= 5; S++ {
+		for M := 1; M <= 8; M++ {
+			for s := 0; s < S; s++ {
+				inFlight, peak := 0, 0
+				fwd, bwd := 0, 0
+				for _, u := range schedule1F1B(s, S, M) {
+					if u.kind == unitFwd {
+						inFlight++
+						fwd++
+					} else {
+						inFlight--
+						bwd++
+					}
+					if inFlight > peak {
+						peak = inFlight
+					}
+				}
+				if fwd != M || bwd != M || inFlight != 0 {
+					t.Fatalf("S=%d M=%d s=%d: fwd=%d bwd=%d leftover=%d", S, M, s, fwd, bwd, inFlight)
+				}
+				bound := S - s
+				if bound > M {
+					bound = M
+				}
+				if peak > bound {
+					t.Errorf("S=%d M=%d s=%d: peak in-flight %d > bound %d", S, M, s, peak, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestPipeline1F1BBuildAndRun(t *testing.T) {
+	j := Pipeline1F1B{
+		Name: "p1", Model: Uniform("m", 4, 2, 0.01, 1, 1),
+		Workers: ws("s0", "s1", "s2", "s3"), MicroBatches: 6, Iterations: 1,
+	}
+	w, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := runWorkload(t, w, 1000, sched.Fair{})
+	// Uncontended 1F1B with uniform f=b=1: last stage alternates without
+	// idle after fill; makespan ~= 2M + 2(S-1) = 18.
+	if res.Makespan < 17.9 || res.Makespan > 18.5 {
+		t.Errorf("makespan = %v, want ~18", res.Makespan)
+	}
+	// 1F1B keeps stage-3 backward m0 before forward m5 (interleaving).
+	b0 := res.Tasks["p1/it0/bw/s3m0"]
+	f5 := res.Tasks["p1/it0/fw/s3m5"]
+	if b0.Start >= f5.Start {
+		t.Errorf("B(s3,m0) at %v should precede F(s3,m5) at %v (1F1B interleave)", b0.Start, f5.Start)
+	}
+	// GPipe, by contrast, runs all forwards first.
+	g, err := PipelineGPipe{
+		Name: "gp", Model: Uniform("m", 4, 2, 0.01, 1, 1),
+		Workers: ws("s0", "s1", "s2", "s3"), MicroBatches: 6, Iterations: 1,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres := runWorkload(t, g, 1000, sched.Fair{})
+	gb0 := gres.Tasks["gp/it0/bw/s3m0"]
+	gf5 := gres.Tasks["gp/it0/fw/s3m5"]
+	if gb0.Start <= gf5.Start {
+		t.Errorf("GPipe should finish forwards first: B(m0) %v vs F(m5) %v", gb0.Start, gf5.Start)
+	}
+}
+
+// 1F1B's backward drain is in micro-batch order, so gradient flows carry
+// ascending stages in arrival order.
+func TestPipeline1F1BGradientStages(t *testing.T) {
+	j := Pipeline1F1B{
+		Name: "p1", Model: Uniform("m", 4, 2, 1, 1, 1),
+		Workers: ws("a", "b"), MicroBatches: 3, Iterations: 1,
+	}
+	w, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 3; m++ {
+		n := w.Graph.Node(fmt.Sprintf("p1/it0/grad/s1m%d", m))
+		if n == nil || n.Stage != m {
+			t.Errorf("grad m%d = %+v", m, n)
+		}
+	}
+}
+
+func TestPipeline1F1BIterationBarrier(t *testing.T) {
+	j := Pipeline1F1B{
+		Name: "p1", Model: Uniform("m", 2, 2, 0.01, 1, 1),
+		Workers: ws("a", "b"), MicroBatches: 2, Iterations: 2,
+	}
+	w, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runWorkload(t, w, 1000, sched.Fair{})
+	upd0End := res.Tasks["p1/it0/upd0"].End
+	fw1Start := res.Tasks["p1/it1/fw/s0m0"].Start
+	if fw1Start < upd0End-unit.Time(unit.Eps) {
+		t.Errorf("it1 forward at %v before it0 update end %v", fw1Start, upd0End)
+	}
+	// And no micro-batch of it1 leaks early either.
+	fw1m1 := res.Tasks["p1/it1/fw/s0m1"].Start
+	if fw1m1 < upd0End-unit.Time(unit.Eps) {
+		t.Errorf("it1 m1 forward leaked to %v", fw1m1)
+	}
+}
+
+func TestPipeline1F1BValidation(t *testing.T) {
+	m := Uniform("m", 4, 1, 1, 1, 1)
+	cases := []Pipeline1F1B{
+		{Name: "j", Model: m, Workers: ws("a", "b"), MicroBatches: 0, Iterations: 1},
+		{Name: "j", Model: m, Workers: ws("a", "b"), MicroBatches: 1, UpdateTime: -1, Iterations: 1},
+		{Name: "", Model: m, Workers: ws("a", "b"), MicroBatches: 1, Iterations: 1},
+	}
+	for i, j := range cases {
+		if _, err := j.Build(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	j := Pipeline1F1B{
+		Name: "p1", Model: Uniform("m", 2, 2, 1, 1, 1),
+		Workers: ws("a", "b"), MicroBatches: 2, Iterations: 1,
+	}
+	w, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := core.NewAbsolute([]unit.Time{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Calibrate(w, "p1/it0/fwd0", abs); err != nil {
+		t.Fatal(err)
+	}
+	if w.Arrangements["p1/it0/fwd0"].Name() != "absolute" {
+		t.Error("arrangement not replaced")
+	}
+	if err := Calibrate(w, "ghost", abs); err == nil {
+		t.Error("unknown group accepted")
+	}
+	if err := Calibrate(w, "p1/it0/fwd0", nil); err == nil {
+		t.Error("nil arrangement accepted")
+	}
+}

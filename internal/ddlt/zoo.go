@@ -1,0 +1,95 @@
+package ddlt
+
+import (
+	"fmt"
+
+	"echelonflow/internal/unit"
+)
+
+// This file provides named model templates with realistic *relative*
+// footprints, for scenarios and examples that want more texture than
+// Uniform. Absolute scales are parameterized: volumes are bytes and times
+// seconds once you pick a scale; the shapes (parameter-to-activation
+// ratios, per-layer compute balance) follow the architectures' public
+// descriptions.
+
+// ZooModel names a template in the model zoo.
+type ZooModel string
+
+// Available templates.
+const (
+	// ZooTransformer is a GPT-style decoder stack: an embedding layer with
+	// a huge parameter footprint but cheap compute, uniform attention/MLP
+	// blocks, and a head layer tied to the embedding size.
+	ZooTransformer ZooModel = "transformer"
+	// ZooConvNet is a ResNet-style CNN: activations dominate early layers,
+	// parameters dominate late ones.
+	ZooConvNet ZooModel = "convnet"
+	// ZooMLP is a plain deep MLP with balanced layers.
+	ZooMLP ZooModel = "mlp"
+)
+
+// NewZooModel instantiates a template with the given number of hidden
+// blocks and a byte scale (the parameter volume of one hidden block);
+// compute times scale with each layer's parameter volume at computeRate
+// bytes per second of compute.
+func NewZooModel(kind ZooModel, blocks int, blockParams unit.Bytes, computeRate unit.Rate) (Model, error) {
+	if blocks < 1 {
+		return Model{}, fmt.Errorf("ddlt: zoo model needs >=1 block")
+	}
+	if blockParams <= 0 || computeRate <= 0 {
+		return Model{}, fmt.Errorf("ddlt: zoo model needs positive scale parameters")
+	}
+	t := func(v unit.Bytes) unit.Time { return v.At(computeRate) }
+	var layers []Layer
+	switch kind {
+	case ZooTransformer:
+		// Embedding: 4x a block's parameters, negligible compute, large
+		// activation output.
+		layers = append(layers, Layer{
+			Params: 4 * blockParams, Activations: blockParams / 2,
+			Fwd: t(blockParams / 8), Bwd: t(blockParams / 8),
+		})
+		for i := 0; i < blocks; i++ {
+			layers = append(layers, Layer{
+				Params: blockParams, Activations: blockParams / 2,
+				Fwd: t(blockParams), Bwd: t(2 * blockParams),
+			})
+		}
+		// Head: shares the embedding scale.
+		layers = append(layers, Layer{
+			Params: 4 * blockParams, Activations: blockParams / 8,
+			Fwd: t(blockParams / 2), Bwd: t(blockParams),
+		})
+	case ZooConvNet:
+		for i := 0; i < blocks; i++ {
+			// Early layers: small kernels, huge activations; later layers
+			// grow parameters as spatial dims shrink.
+			frac := float64(i+1) / float64(blocks)
+			layers = append(layers, Layer{
+				Params:      unit.Bytes(float64(blockParams) * (0.25 + 1.5*frac)),
+				Activations: unit.Bytes(float64(blockParams) * (2.0 - 1.8*frac)),
+				Fwd:         t(blockParams), Bwd: t(2 * blockParams),
+			})
+		}
+		// Classifier head: parameter-heavy, tiny activations.
+		layers = append(layers, Layer{
+			Params: 2 * blockParams, Activations: blockParams / 16,
+			Fwd: t(blockParams / 4), Bwd: t(blockParams / 2),
+		})
+	case ZooMLP:
+		for i := 0; i < blocks; i++ {
+			layers = append(layers, Layer{
+				Params: blockParams, Activations: blockParams / 4,
+				Fwd: t(blockParams), Bwd: t(2 * blockParams),
+			})
+		}
+	default:
+		return Model{}, fmt.Errorf("ddlt: unknown zoo model %q", kind)
+	}
+	m := Model{Name: string(kind), Layers: layers}
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,87 @@
+package ddlt
+
+import (
+	"testing"
+
+	"echelonflow/internal/sched"
+)
+
+func TestZooModelShapes(t *testing.T) {
+	tr, err := NewZooModel(ZooTransformer, 6, 1000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Layers) != 8 {
+		t.Fatalf("transformer layers = %d, want blocks+2", len(tr.Layers))
+	}
+	// Embedding dominates parameters but not compute.
+	if tr.Layers[0].Params <= tr.Layers[1].Params {
+		t.Error("embedding should be parameter-heavy")
+	}
+	if tr.Layers[0].Fwd >= tr.Layers[1].Fwd {
+		t.Error("embedding should be compute-light")
+	}
+
+	cnn, err := NewZooModel(ZooConvNet, 5, 1000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := cnn.Layers[0], cnn.Layers[len(cnn.Layers)-2]
+	if first.Activations <= last.Activations {
+		t.Error("convnet activations should shrink with depth")
+	}
+	if first.Params >= last.Params {
+		t.Error("convnet parameters should grow with depth")
+	}
+
+	mlp, err := NewZooModel(ZooMLP, 4, 1000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mlp.Layers) != 4 {
+		t.Errorf("mlp layers = %d", len(mlp.Layers))
+	}
+}
+
+func TestZooModelValidation(t *testing.T) {
+	if _, err := NewZooModel(ZooMLP, 0, 1, 1); err == nil {
+		t.Error("0 blocks accepted")
+	}
+	if _, err := NewZooModel(ZooMLP, 2, 0, 1); err == nil {
+		t.Error("zero block params accepted")
+	}
+	if _, err := NewZooModel(ZooMLP, 2, 1, 0); err == nil {
+		t.Error("zero compute rate accepted")
+	}
+	if _, err := NewZooModel("mystery", 2, 1, 1); err == nil {
+		t.Error("unknown template accepted")
+	}
+}
+
+// Zoo models must work through every paradigm compiler and simulate.
+func TestZooModelsAcrossParadigms(t *testing.T) {
+	for _, kind := range []ZooModel{ZooTransformer, ZooConvNet, ZooMLP} {
+		m, err := NewZooModel(kind, 6, 8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := FSDP{Name: "z-" + string(kind), Model: m,
+			Workers: ws("w0", "w1", "w2", "w3"), Iterations: 1}.Build()
+		if err != nil {
+			t.Fatalf("%s fsdp: %v", kind, err)
+		}
+		res := runWorkload(t, w, 16, sched.EchelonMADD{Backfill: true})
+		if res.Makespan <= 0 {
+			t.Errorf("%s: zero makespan", kind)
+		}
+		p, err := PipelineGPipe{Name: "zp-" + string(kind), Model: m,
+			Workers: ws("s0", "s1", "s2", "s3"), MicroBatches: 3, Iterations: 1}.Build()
+		if err != nil {
+			t.Fatalf("%s pp: %v", kind, err)
+		}
+		pres := runWorkload(t, p, 16, sched.EchelonMADD{Backfill: true})
+		if pres.Makespan <= 0 {
+			t.Errorf("%s pp: zero makespan", kind)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/ddlt"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/metrics"
+	"echelonflow/internal/profile"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/unit"
+)
+
+// ext1F1BJob is the E7 workload: a 1F1B pipeline, the paper's "later PP
+// implementations" case (§2.1 [40-42], §4 Case II).
+func ext1F1BJob() ddlt.Pipeline1F1B {
+	return ddlt.Pipeline1F1B{
+		Name: "p1", Model: ddlt.Uniform("m", 4, 2, 6, 1, 1),
+		Workers: []string{"s0", "s1", "s2", "s3"}, MicroBatches: 6, Iterations: 1,
+	}
+}
+
+// calibrated1F1B builds the job and replaces every pipeline group's
+// arrangement with the Absolute arrangement profiled from an uncontended
+// run — the full §3.1 workflow: profile the computation pattern, express it
+// as an arrangement function, schedule against it.
+func calibrated1F1B() (*ddlt.Workload, error) {
+	// Profiling run: same job on an effectively infinite fabric.
+	probe, err := ext1F1BJob().Build()
+	if err != nil {
+		return nil, err
+	}
+	net := fabric.NewNetwork()
+	// Uncontended but not degenerate: transfer times must stay well above
+	// the simulator's epsilon for event ordering to be meaningful.
+	net.AddUniformHosts(1e4, probe.Hosts...)
+	simr, err := sim.New(sim.Options{Graph: probe.Graph, Net: net, Scheduler: sched.Fair{}, Arrangements: probe.Arrangements})
+	if err != nil {
+		return nil, err
+	}
+	res, err := simr.Run()
+	if err != nil {
+		return nil, err
+	}
+	w, err := ext1F1BJob().Build()
+	if err != nil {
+		return nil, err
+	}
+	for group := range w.Arrangements {
+		arr, err := profile.DeriveAbsolute(res, probe.Graph, group)
+		if err != nil {
+			return nil, fmt.Errorf("calibrate %s: %w", group, err)
+		}
+		if err := ddlt.Calibrate(w, group, arr); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Ext1F1B (E7) evaluates the 1F1B pipeline variant: the compiler's uniform
+// Eq. 6 guess versus the profiled Absolute arrangement, across schedulers.
+// It demonstrates the paper's claim that PP variants "form EchelonFlows
+// similarly" with arrangements "more complicated than Eq. 6".
+func Ext1F1B() (*Report, error) {
+	r := &Report{ID: "e7", Title: "1F1B pipeline variant with a profiled arrangement"}
+	// Two regimes: capacity 6 makes the profiled arrangement sustainable
+	// (activation service time 1.0 equals the warm-up gap); capacity 4 is
+	// structurally infeasible (service 1.5 > warm-up gap 1), the regime
+	// where tardiness policies cannot maintain a formation at all.
+	const sustainable, infeasible = unit.Rate(6), unit.Rate(4)
+
+	run := func(build func() (*ddlt.Workload, error), c unit.Rate, s sched.Scheduler) (*sim.Result, error) {
+		w, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return simulate(w, c, s)
+	}
+	uniformBuild := func() (*ddlt.Workload, error) { return ext1F1BJob().Build() }
+
+	r.Table = metrics.NewTable("capacity", "scheduler", "arrangement", "makespan", "sum tardiness")
+	type key struct {
+		c     unit.Rate
+		sched string
+		arr   string
+	}
+	makespans := map[key]unit.Time{}
+	for _, c := range []unit.Rate{sustainable, infeasible} {
+		for _, s := range []sched.Scheduler{
+			sched.EchelonMADD{Backfill: true},
+			sched.EchelonMADD{Backfill: true, GlobalEDF: true},
+			sched.CoflowMADD{Backfill: true},
+			sched.EDF{},
+			sched.Fair{},
+			sched.SRPT{},
+		} {
+			for _, variant := range []struct {
+				name  string
+				build func() (*ddlt.Workload, error)
+			}{
+				{"eq6-guess", uniformBuild},
+				{"profiled-absolute", calibrated1F1B},
+			} {
+				res, err := run(variant.build, c, s)
+				if err != nil {
+					return nil, err
+				}
+				makespans[key{c, s.Name(), variant.name}] = res.Makespan
+				r.Table.AddRowf(float64(c), s.Name(), variant.name, float64(res.Makespan), float64(res.TotalTardiness()))
+			}
+		}
+	}
+
+	// The profiled arrangement is genuinely non-uniform.
+	w, err := calibrated1F1B()
+	if err != nil {
+		return nil, err
+	}
+	arr := w.Arrangements["p1/it0/fwd0"]
+	abs, ok := arr.(core.Absolute)
+	if !ok {
+		return nil, fmt.Errorf("calibrated arrangement is %T", arr)
+	}
+	nonUniform := false
+	var firstGap unit.Time
+	for i := 1; i < abs.Stages(); i++ {
+		gap := abs.Deadline(i, 0) - abs.Deadline(i-1, 0)
+		if i == 1 {
+			firstGap = gap
+		} else if !gap.ApproxEq(firstGap) {
+			nonUniform = true
+		}
+	}
+	r.check("profiled 1F1B arrangement is non-uniform (beyond Eq. 6)", nonUniform,
+		"fwd0 offsets %v", abs.Offsets)
+
+	e := makespans[key{sustainable, "echelon-madd+bf", "profiled-absolute"}]
+	c := makespans[key{sustainable, "coflow-madd+bf", "profiled-absolute"}]
+	f := makespans[key{sustainable, "fair", "profiled-absolute"}]
+	r.check("sustainable regime: echelon beats or ties coflow", e <= c*1.0001, "echelon %v vs coflow %v", e, c)
+	r.check("sustainable regime: echelon beats or ties fair", e <= f*1.0001, "echelon %v vs fair %v", e, f)
+
+	guess := makespans[key{sustainable, "echelon-madd+bf", "eq6-guess"}]
+	r.check("profiled arrangement never hurts EchelonFlow scheduling", e <= guess*1.0001,
+		"profiled %v vs eq6 guess %v", e, guess)
+
+	// Infeasible regime: global-EDF planning expresses 1F1B's cross-group
+	// interleaving that group-serial planning cannot.
+	serial := makespans[key{infeasible, "echelon-madd+bf", "profiled-absolute"}]
+	gedf := makespans[key{infeasible, "echelon-madd-gedf+bf", "profiled-absolute"}]
+	srpt := makespans[key{infeasible, "srpt", "profiled-absolute"}]
+	r.check("infeasible regime: global-EDF planning beats group-serial", gedf <= serial*1.0001,
+		"gedf %v vs serial %v", gedf, serial)
+	r.note("Calibration path: build -> uncontended profiling run -> profile.DeriveAbsolute -> ddlt.Calibrate.")
+	r.note("Honest finding: when the network cannot sustain the arrangement at all (capacity %v), "+
+		"pure-throughput SRPT (%v) still beats every formation-maintaining policy (gedf %v) — "+
+		"EchelonFlow's premise assumes a sustainable computation pattern.", float64(infeasible), srpt, gedf)
+	return r, nil
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/dag"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/metrics"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/trace"
+	"echelonflow/internal/unit"
+)
+
+// fig2T is the successor stage's per-micro-batch computation time in the
+// reconstructed Fig. 2 scenario (see DESIGN.md's reconstruction note).
+const fig2T = unit.Time(7.0 / 3)
+
+// Fig2Workload builds the motivating example: one pipeline stage pair,
+// three unit-size activation flows released 0.6 apart on a unit-bandwidth
+// link, consumer computation 7/3 per micro-batch.
+func Fig2Workload() (*dag.Graph, *fabric.Network, map[string]core.Arrangement) {
+	g := dag.New()
+	for i := 0; i < 3; i++ {
+		g.MustAdd(&dag.Node{
+			ID: fmt.Sprintf("f%d", i+1), Kind: dag.Comm,
+			Src: "w1", Dst: "w2", Size: 1,
+			Group: "pp", Stage: i,
+			NotBefore: unit.Time(0.6 * float64(i)),
+		})
+		g.MustAdd(&dag.Node{
+			ID: fmt.Sprintf("c%d", i+1), Kind: dag.Compute,
+			Host: "w2", Duration: fig2T, Seq: i,
+		})
+		g.MustDepend(fmt.Sprintf("f%d", i+1), fmt.Sprintf("c%d", i+1))
+		if i > 0 {
+			g.MustDepend(fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", i+1))
+		}
+	}
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(1, "w1", "w2")
+	return g, net, map[string]core.Arrangement{"pp": core.Pipeline{T: fig2T}}
+}
+
+// runFig2 simulates the scenario under one scheduler.
+func runFig2(s sched.Scheduler, record bool) (*sim.Result, error) {
+	g, net, arrs := Fig2Workload()
+	simr, err := sim.New(sim.Options{
+		Graph: g, Net: net, Scheduler: s, Arrangements: arrs, RecordRates: record,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return simr.Run()
+}
+
+// Fig2 reproduces the paper's only quantitative result: computation finish
+// times of 8.5 (fair sharing), 10 (Coflow scheduling — worse than fair!)
+// and 8 (EchelonFlow scheduling, optimal), with the EchelonFlow schedule
+// finishing flows staggered at 1, 10/3, 17/3 and uniform tardiness 1.
+func Fig2() (*Report, error) {
+	r := &Report{ID: "fig2", Title: "Motivating example (paper Fig. 2)"}
+	r.Table = metrics.NewTable("scheduler", "comp finish", "paper", "f1 finish", "f2 finish", "f3 finish")
+
+	type row struct {
+		s     sched.Scheduler
+		paper unit.Time
+	}
+	rows := []row{
+		{sched.Fair{}, 8.5},
+		{sched.CoflowMADD{}, 10},
+		{sched.EchelonMADD{}, 8},
+	}
+	results := make(map[string]*sim.Result, len(rows))
+	for _, rw := range rows {
+		res, err := runFig2(rw.s, rw.s.Name() == "echelon-madd")
+		if err != nil {
+			return nil, err
+		}
+		results[rw.s.Name()] = res
+		r.Table.AddRowf(rw.s.Name(), float64(res.Makespan), float64(rw.paper),
+			float64(res.Flows["f1"].Finish), float64(res.Flows["f2"].Finish), float64(res.Flows["f3"].Finish))
+		r.check(rw.s.Name()+" matches paper", res.Makespan.ApproxEq(rw.paper),
+			"computation finish %v vs paper %v", res.Makespan, rw.paper)
+	}
+
+	fair := results["fair"].Makespan
+	coflow := results["coflow-madd"].Makespan
+	echelon := results["echelon-madd"].Makespan
+	r.check("ordering echelon < fair < coflow", echelon < fair && fair < coflow,
+		"echelon %v, fair %v, coflow %v", echelon, fair, coflow)
+
+	cf := results["coflow-madd"].Flows
+	r.check("coflow finishes simultaneously",
+		cf["f1"].Finish.ApproxEq(cf["f2"].Finish) && cf["f2"].Finish.ApproxEq(cf["f3"].Finish),
+		"finishes %v %v %v", cf["f1"].Finish, cf["f2"].Finish, cf["f3"].Finish)
+
+	ef := results["echelon-madd"]
+	staggerOK := ef.Flows["f1"].Finish.ApproxEq(1) &&
+		ef.Flows["f2"].Finish.ApproxEq(unit.Time(10.0/3)) &&
+		ef.Flows["f3"].Finish.ApproxEq(unit.Time(17.0/3))
+	r.check("echelon finishes staggered at 1, 10/3, 17/3", staggerOK,
+		"finishes %v %v %v", ef.Flows["f1"].Finish, ef.Flows["f2"].Finish, ef.Flows["f3"].Finish)
+	uniform := true
+	for _, id := range []string{"f1", "f2", "f3"} {
+		if !ef.Flows[id].Tardiness().ApproxEq(1) {
+			uniform = false
+		}
+	}
+	r.check("echelon maintains uniform per-flow tardiness", uniform,
+		"tardiness %v %v %v", ef.Flows["f1"].Tardiness(), ef.Flows["f2"].Tardiness(), ef.Flows["f3"].Tardiness())
+
+	r.note("EchelonFlow rate schedule (cf. paper Fig. 2c):\n%s",
+		trace.RateChart(ef, []string{"f1", "f2", "f3"}, 1, 64))
+	r.note("Reconstruction: flow size 1 BDU, releases 0, 0.6, 1.2; link 1 BDU/s; T = 7/3 (DESIGN.md).")
+	return r, nil
+}

@@ -1,0 +1,110 @@
+// Package experiments regenerates every table and figure of the paper
+// (DESIGN.md's experiment index) plus the extended evaluation a full paper
+// would carry. Each experiment returns a Report: a data table, prose notes
+// (including rendered timelines), and machine-checked claims about the
+// expected shape of the results — who wins, what is staggered, what
+// barriers hold.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"echelonflow/internal/metrics"
+)
+
+// Check is one machine-verified claim about an experiment's outcome.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Report is an experiment's rendered result.
+type Report struct {
+	ID     string
+	Title  string
+	Table  *metrics.Table
+	Notes  []string
+	Checks []Check
+}
+
+// check appends a claim.
+func (r *Report) check(name string, pass bool, format string, args ...interface{}) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// note appends prose.
+func (r *Report) note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Failed returns the failing checks.
+func (r *Report) Failed() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Table != nil && r.Table.Len() > 0 {
+		sb.WriteString(r.Table.String())
+	}
+	for _, n := range r.Notes {
+		sb.WriteString(n)
+		if !strings.HasSuffix(n, "\n") {
+			sb.WriteByte('\n')
+		}
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&sb, "[%s] %s: %s\n", status, c.Name, c.Detail)
+	}
+	return sb.String()
+}
+
+// Experiment is a registered reproduction target.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Report, error)
+}
+
+// All lists every experiment in DESIGN.md index order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Paradigm compliance and EchelonFlow arrangements", Table1},
+		{"fig1", "GPipe pipeline-parallel computation timeline", Fig1},
+		{"fig2", "Motivating example: fair vs Coflow vs EchelonFlow", Fig2},
+		{"fig3", "FSDP one-iteration workflow", Fig3},
+		{"fig4", "Data-parallel workflow (AllReduce and PS)", Fig4},
+		{"fig5", "Tensor-parallel workflow", Fig5},
+		{"fig6", "Arrangement function and delay offsetting", Fig6},
+		{"fig7", "Coordinator/Agent system over live TCP", Fig7},
+		{"cases", "Case-study arrangement functions (Eqs. 5-7)", CaseStudies},
+		{"prop1", "Property 1: EchelonFlow minimizes paradigm completion", Property1},
+		{"prop2", "Property 2: Coflow is a special EchelonFlow", Property2},
+		{"prop4", "Property 4: scheduler cost scaling", Property4},
+		{"e1", "Extended: multi-job sum of tardiness", ExtMultiJob},
+		{"e2", "Extended: bandwidth sweep and crossover", ExtBandwidthSweep},
+		{"e3", "Extended: arrangement recovery after delay", ExtDelayRecovery},
+		{"e4", "Extended: weighted tardiness", ExtWeightedTardiness},
+		{"e5", "Extended: mixed paradigms on a shared, fragmented cluster", ExtMixedParadigms},
+		{"e6", "Extended: coordinator decision latency", ExtCoordinatorLatency},
+		{"e7", "Extended: 1F1B pipeline variant, profiled arrangement", Ext1F1B},
+		{"e8", "Extended: traditional Coflow batch (Property 2 in practice)", ExtCoflowBatch},
+		{"e9", "Extended: rescheduling cadence ablation", ExtCadence},
+		{"e10", "Extended: failure injection (link degradation)", ExtDegradedLink},
+		{"e11", "Extended: two-tier fabric, rack oversubscription", ExtRackOversubscription},
+	}
+}

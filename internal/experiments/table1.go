@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/ddlt"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/metrics"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/unit"
+)
+
+// paradigm describes one Table 1 row: a builder (fresh workload per run so
+// merges never collide), the paper's compliance claim, and the paper's
+// arrangement description.
+type paradigm struct {
+	name        string
+	compliant   bool // paper's "CoFlow compliance" column
+	arrangement string
+	capacity    unit.Rate
+	iterations  int
+	build       func() (*ddlt.Workload, error)
+}
+
+// standardParadigms returns the five Table 1 paradigms on 4 workers with
+// communication sized to contend with computation.
+func standardParadigms() []paradigm {
+	workers := []string{"w0", "w1", "w2", "w3"}
+	return []paradigm{
+		{
+			name: "DP-AllReduce", compliant: true, arrangement: "same finish (coflow)",
+			capacity: 4, iterations: 2,
+			build: func() (*ddlt.Workload, error) {
+				return ddlt.DPAllReduce{
+					Name: "dp", Model: ddlt.Uniform("m", 4, 8, 1, 0.5, 0.5),
+					Workers: workers, BucketCount: 2, Iterations: 2,
+				}.Build()
+			},
+		},
+		{
+			name: "DP-PS", compliant: true, arrangement: "same finish (coflow)",
+			capacity: 8, iterations: 2,
+			build: func() (*ddlt.Workload, error) {
+				return ddlt.DPParameterServer{
+					Name: "ps", Model: ddlt.Uniform("m", 4, 8, 1, 0.5, 0.5),
+					Workers: workers, PS: "ps0", BucketCount: 2, AggTime: 0.1, Iterations: 2,
+				}.Build()
+			},
+		},
+		{
+			name: "PP", compliant: false, arrangement: "staggered flow finish (pipeline)",
+			capacity: 4, iterations: 2,
+			build: func() (*ddlt.Workload, error) {
+				return ddlt.PipelineGPipe{
+					Name: "pp", Model: ddlt.Uniform("m", 4, 2, 6, 1, 1),
+					Workers: workers, MicroBatches: 4, Iterations: 2,
+				}.Build()
+			},
+		},
+		{
+			name: "TP", compliant: true, arrangement: "same finish (coflow)",
+			capacity: 8, iterations: 2,
+			build: func() (*ddlt.Workload, error) {
+				return ddlt.TensorParallel{
+					Name: "tp", Model: ddlt.Uniform("m", 3, 2, 12, 0.5, 0.5),
+					Workers: workers, Iterations: 2,
+				}.Build()
+			},
+		},
+		{
+			name: "FSDP", compliant: false, arrangement: "staggered Coflow finish (staged)",
+			capacity: 6, iterations: 2,
+			build: func() (*ddlt.Workload, error) {
+				return ddlt.FSDP{
+					Name: "fsdp", Model: ddlt.Uniform("m", 4, 8, 1, 0.75, 1),
+					Workers: workers, Iterations: 2,
+				}.Build()
+			},
+		},
+	}
+}
+
+// runParadigm builds and simulates one paradigm under a scheduler.
+func runParadigm(p paradigm, s sched.Scheduler) (*ddlt.Workload, *sim.Result, error) {
+	w, err := p.build()
+	if err != nil {
+		return nil, nil, err
+	}
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(p.capacity, w.Hosts...)
+	simr, err := sim.New(sim.Options{Graph: w.Graph, Net: net, Scheduler: s, Arrangements: w.Arrangements})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := simr.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, res, nil
+}
+
+// workloadCompliant reports whether every group of a workload is a plain
+// Coflow (the paper's compliance criterion).
+func workloadCompliant(w *ddlt.Workload) bool {
+	for _, arr := range w.Arrangements {
+		if _, ok := arr.(core.Coflow); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// arrangementKinds summarizes the distinct arrangement kinds of a workload.
+func arrangementKinds(w *ddlt.Workload) string {
+	set := map[string]bool{}
+	for _, arr := range w.Arrangements {
+		set[arr.Name()] = true
+	}
+	kinds := make([]string, 0, len(set))
+	for k := range set {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return strings.Join(kinds, "+")
+}
+
+// Table1 reproduces the paper's Table 1: per-paradigm Coflow compliance and
+// EchelonFlow arrangement, plus measured iteration times showing EchelonFlow
+// scheduling never loses to Coflow scheduling and wins on the
+// non-compliant paradigms.
+func Table1() (*Report, error) {
+	r := &Report{ID: "table1", Title: "Paradigm compliance and arrangements (paper Table 1)"}
+	r.Table = metrics.NewTable("paradigm", "coflow-compliant", "arrangement kinds",
+		"iter time (coflow)", "iter time (echelon)", "speedup")
+
+	for _, p := range standardParadigms() {
+		w, _, err := runParadigm(p, sched.Fair{}) // structure probe
+		if err != nil {
+			return nil, err
+		}
+		compliant := workloadCompliant(w)
+		r.check(p.name+" compliance matches paper", compliant == p.compliant,
+			"measured %v, paper %v (%s)", compliant, p.compliant, p.arrangement)
+
+		_, cres, err := runParadigm(p, sched.CoflowMADD{Backfill: true})
+		if err != nil {
+			return nil, err
+		}
+		_, eres, err := runParadigm(p, sched.EchelonMADD{Backfill: true})
+		if err != nil {
+			return nil, err
+		}
+		iters := unit.Time(p.iterations)
+		coflowIt := float64(cres.Makespan / iters)
+		echelonIt := float64(eres.Makespan / iters)
+		r.Table.AddRowf(p.name, fmt.Sprintf("%v", compliant), arrangementKinds(w),
+			coflowIt, echelonIt, coflowIt/echelonIt)
+		r.check(p.name+" echelon <= coflow", eres.Makespan <= cres.Makespan*1.0001,
+			"echelon %v vs coflow %v", eres.Makespan, cres.Makespan)
+	}
+
+	// Finish-time patterns under (unbackfilled) EchelonFlow scheduling:
+	// coflow-compliant groups finish simultaneously, pipeline groups
+	// staggered — exactly Table 1's "EchelonFlow arrangement" column.
+	pp := standardParadigms()[2]
+	w, res, err := runParadigm(pp, sched.EchelonMADD{})
+	if err != nil {
+		return nil, err
+	}
+	finishes := groupFinishes(w, res, "pp/it0/fwd0")
+	staggered := sort.SliceIsSorted(finishes, func(i, j int) bool { return finishes[i] < finishes[j] })
+	distinct := len(finishes) > 1 && finishes[len(finishes)-1].After(finishes[0])
+	r.check("PP flows finish staggered under EchelonFlow", staggered && distinct,
+		"fwd0 finishes %v", finishes)
+
+	// A ring all-reduce Coflow has internal step dependencies, so only
+	// same-step flows can finish together; the PS push Coflow has no
+	// internal structure and shows the pure "same finish time" pattern.
+	ps := standardParadigms()[1]
+	wd, resd, err := runParadigm(ps, sched.EchelonMADD{})
+	if err != nil {
+		return nil, err
+	}
+	pushFinishes := groupFinishes(wd, resd, "ps/it0/push0")
+	same := true
+	for _, f := range pushFinishes[1:] {
+		if !f.ApproxEq(pushFinishes[0]) {
+			same = false
+		}
+	}
+	r.check("DP-PS push flows finish simultaneously under EchelonFlow", same && len(pushFinishes) > 1,
+		"push0 finishes %v", pushFinishes)
+
+	// Within the DP all-reduce Coflow, each ring step's flows finish
+	// together (the step chain is the only stagger).
+	dp := standardParadigms()[0]
+	wa, resa, err := runParadigm(dp, sched.EchelonMADD{})
+	if err != nil {
+		return nil, err
+	}
+	stepSame := true
+	byStep := map[string][]unit.Time{}
+	for _, n := range wa.Graph.GroupNodes("dp/it0/ar0") {
+		key := n.ID[:strings.LastIndex(n.ID, "w")] // strip the worker suffix
+		byStep[key] = append(byStep[key], resa.Flows[n.ID].Finish)
+	}
+	for _, finishes := range byStep {
+		for _, f := range finishes[1:] {
+			if !f.ApproxEq(finishes[0]) {
+				stepSame = false
+			}
+		}
+	}
+	r.check("DP all-reduce ring steps finish simultaneously under EchelonFlow",
+		stepSame && len(byStep) > 1, "per-step finishes %v", byStep)
+	return r, nil
+}
+
+// groupFinishes lists a group's flow finish times in stage order.
+func groupFinishes(w *ddlt.Workload, res *sim.Result, group string) []unit.Time {
+	nodes := w.Graph.GroupNodes(group)
+	out := make([]unit.Time, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, res.Flows[n.ID].Finish)
+	}
+	return out
+}

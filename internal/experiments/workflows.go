@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/ddlt"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/metrics"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/trace"
+	"echelonflow/internal/unit"
+)
+
+// simulate runs a workload on uniform hosts.
+func simulate(w *ddlt.Workload, capacity unit.Rate, s sched.Scheduler) (*sim.Result, error) {
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(capacity, w.Hosts...)
+	simr, err := sim.New(sim.Options{Graph: w.Graph, Net: net, Scheduler: s, Arrangements: w.Arrangements})
+	if err != nil {
+		return nil, err
+	}
+	return simr.Run()
+}
+
+// Fig1 reproduces the GPipe computation timeline of the paper's Fig. 1a:
+// forward micro-batches pipeline down the stages, backwards run in reverse
+// order, and the early stages idle (grey areas) while gradients trickle
+// back. It also verifies the Fig. 1b dependency structure.
+func Fig1() (*Report, error) {
+	r := &Report{ID: "fig1", Title: "GPipe timeline (paper Fig. 1)"}
+	job := ddlt.PipelineGPipe{
+		Name: "pp", Model: ddlt.Uniform("m", 4, 2, 0.01, 1, 1),
+		Workers: []string{"s0", "s1", "s2", "s3"}, MicroBatches: 4, Iterations: 1,
+	}
+	w, err := job.Build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := simulate(w, 1000, sched.EchelonMADD{Backfill: true})
+	if err != nil {
+		return nil, err
+	}
+	r.note("Computation timeline (cf. paper Fig. 1a; digits are micro-batch computes, dots are idle):\n%s",
+		trace.Gantt(res, w.Graph, 72))
+
+	// Forward pipelining: F(s, m) starts one stage-time after F(s-1, m).
+	near := func(a, b unit.Time) bool { d := a - b; return d < 0.05 && d > -0.05 }
+	ok := true
+	for s := 1; s < 4; s++ {
+		for m := 0; m < 4; m++ {
+			a := res.Tasks[fmt.Sprintf("pp/it0/fw/s%dm%d", s-1, m)]
+			b := res.Tasks[fmt.Sprintf("pp/it0/fw/s%dm%d", s, m)]
+			if b.Start < a.End-unit.Time(unit.Eps) {
+				ok = false
+			}
+		}
+	}
+	r.check("forward compute respects activation dependencies", ok, "F(s,m) never precedes F(s-1,m)")
+
+	last := res.Tasks["pp/it0/fw/s3m3"]
+	r.check("pipeline fill time", near(last.End, 7), "last forward ends at %v, ideal (S-1)+M = 7", last.End)
+
+	// Grey areas: stage 0 idles between its last forward and first backward.
+	tls := trace.Timelines(res, w.Graph)
+	var s0 trace.HostTimeline
+	for _, tl := range tls {
+		if tl.Host == "s0" {
+			s0 = tl
+		}
+	}
+	idle := s0.Idle()
+	r.check("stage-0 idles awaiting gradients (grey areas)", idle > 3,
+		"stage-0 idle time %v (backward waits for the reverse pipeline)", idle)
+
+	// Backward runs micro-batches in reverse order (4 3 2 1 in the figure).
+	b3 := res.Tasks["pp/it0/bw/s3m3"]
+	b0 := res.Tasks["pp/it0/bw/s3m0"]
+	r.check("backward order reversed", b3.Start < b0.Start,
+		"B(s3,m3) at %v before B(s3,m0) at %v", b3.Start, b0.Start)
+	return r, nil
+}
+
+// Fig3 reproduces the FSDP workflow of the paper's Fig. 3: per-layer
+// all-gathers before forward and backward computes, reduce-scatters after
+// each backward layer, bucket order, and the iteration barrier.
+func Fig3() (*Report, error) {
+	r := &Report{ID: "fig3", Title: "FSDP workflow (paper Fig. 3)"}
+	job := ddlt.FSDP{
+		Name: "fsdp", Model: ddlt.Uniform("m", 3, 6, 1, 1, 1.5),
+		Workers: []string{"w0", "w1", "w2"}, Iterations: 2,
+	}
+	w, err := job.Build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := simulate(w, 6, sched.EchelonMADD{Backfill: true})
+	if err != nil {
+		return nil, err
+	}
+	r.note("Worker timeline (forward AG_l -> F_l ... backward AG'_l -> B_l -> RS_l):\n%s",
+		trace.Gantt(res, w.Graph, 72))
+
+	// AG_l completes before F_l starts, for every layer and worker.
+	agOK := true
+	for l := 0; l < 3; l++ {
+		lastAG := unit.Time(0)
+		for _, n := range w.Graph.Nodes() {
+			if strings.HasPrefix(n.ID, fmt.Sprintf("fsdp/it0/ag/l%d/", l)) {
+				if f := res.Flows[n.ID].Finish; f > lastAG {
+					lastAG = f
+				}
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if res.Tasks[fmt.Sprintf("fsdp/it0/fw/l%dw%d", l, i)].Start < lastAG-unit.Time(unit.Eps) {
+				agOK = false
+			}
+		}
+	}
+	r.check("forward waits for its layer's all-gather", agOK, "F_l starts after AG_l for l=0..2")
+
+	// RS_l starts after B_l.
+	rsOK := true
+	for l := 0; l < 3; l++ {
+		for i := 0; i < 3; i++ {
+			bEnd := res.Tasks[fmt.Sprintf("fsdp/it0/bw/l%dw%d", l, i)].End
+			rel := res.Flows[fmt.Sprintf("fsdp/it0/rs/l%d/rs/s0w%d", l, i)].Release
+			if rel < bEnd-unit.Time(unit.Eps) {
+				rsOK = false
+			}
+		}
+	}
+	r.check("reduce-scatter follows backward (gradient bucketing)", rsOK, "RS_l released after B_l")
+
+	// Iteration barrier: iteration-1 all-gathers wait for all iteration-0
+	// reduce-scatters.
+	var lastRS unit.Time
+	for id, rec := range res.Flows {
+		if strings.HasPrefix(id, "fsdp/it0/rs/") && rec.Finish > lastRS {
+			lastRS = rec.Finish
+		}
+	}
+	firstIt1 := unit.Inf
+	for id, rec := range res.Flows {
+		if strings.HasPrefix(id, "fsdp/it1/ag/l0/") && rec.Release < firstIt1 {
+			firstIt1 = rec.Release
+		}
+	}
+	r.check("iteration barrier holds", firstIt1 >= lastRS-unit.Time(unit.Eps),
+		"it1 AG released at %v, last it0 RS finished at %v", firstIt1, lastRS)
+
+	// The AG EchelonFlow's ideal finish times follow Eq. 7.
+	arr := w.Arrangements["fsdp/it0/ag"]
+	eq7, _ := core.NewFSDP(3, 1, 1.5)
+	match := true
+	for s := 0; s < 6; s++ {
+		if !arr.Deadline(s, 0).ApproxEq(eq7.Deadline(s, 0)) {
+			match = false
+		}
+	}
+	r.check("AG arrangement equals Eq. 7", match, "staged gaps match NewFSDP(3, 1, 1.5)")
+	return r, nil
+}
+
+// Fig4 reproduces the DP workflow of the paper's Fig. 4: forward, bucketed
+// backward, gradient synchronization per bucket (AllReduce and PS
+// variants), and the iteration barrier.
+func Fig4() (*Report, error) {
+	r := &Report{ID: "fig4", Title: "Data-parallel workflow (paper Fig. 4)"}
+	r.Table = metrics.NewTable("variant", "iter time", "sync flows", "groups")
+
+	// AllReduce variant.
+	ar, err := ddlt.DPAllReduce{
+		Name: "dp", Model: ddlt.Uniform("m", 4, 8, 1, 0.5, 0.5),
+		Workers: []string{"w0", "w1", "w2", "w3"}, BucketCount: 2, Iterations: 2,
+	}.Build()
+	if err != nil {
+		return nil, err
+	}
+	arRes, err := simulate(ar, 4, sched.EchelonMADD{Backfill: true})
+	if err != nil {
+		return nil, err
+	}
+	r.Table.AddRowf("DP-AllReduce", float64(arRes.Makespan/2), len(arRes.Flows), len(ar.Arrangements))
+	r.note("AllReduce-variant timeline:\n%s", trace.Gantt(arRes, ar.Graph, 72))
+
+	// Bucket 0 (deepest layers) synchronizes before bucket 1 finishes its
+	// backward — the overlap gradient bucketing exists for.
+	b0Rel := unit.Inf
+	for id, rec := range arRes.Flows {
+		if strings.HasPrefix(id, "dp/it0/ar0/") && rec.Release < b0Rel {
+			b0Rel = rec.Release
+		}
+	}
+	bw1End := unit.Time(0)
+	for i := 0; i < 4; i++ {
+		if e := arRes.Tasks[fmt.Sprintf("dp/it0/bw1w%d", i)].End; e > bw1End {
+			bw1End = e
+		}
+	}
+	r.check("bucket-0 sync overlaps bucket-1 backward", b0Rel < bw1End,
+		"ar0 starts %v, bw1 ends %v", b0Rel, bw1End)
+
+	// Barrier: iteration 1 forward waits for every iteration-0 sync flow.
+	var lastSync unit.Time
+	for id, rec := range arRes.Flows {
+		if strings.HasPrefix(id, "dp/it0/") && rec.Finish > lastSync {
+			lastSync = rec.Finish
+		}
+	}
+	fw1 := arRes.Tasks["dp/it1/fw0"].Start
+	r.check("all-reduce barrier before next iteration", fw1 >= lastSync-unit.Time(unit.Eps),
+		"it1 forward at %v, last it0 sync at %v", fw1, lastSync)
+
+	// PS variant.
+	ps, err := ddlt.DPParameterServer{
+		Name: "ps", Model: ddlt.Uniform("m", 4, 8, 1, 0.5, 0.5),
+		Workers: []string{"w0", "w1", "w2", "w3"}, PS: "ps0",
+		BucketCount: 2, AggTime: 0.1, Iterations: 2,
+	}.Build()
+	if err != nil {
+		return nil, err
+	}
+	psRes, err := simulate(ps, 8, sched.EchelonMADD{Backfill: true})
+	if err != nil {
+		return nil, err
+	}
+	r.Table.AddRowf("DP-PS", float64(psRes.Makespan/2), len(psRes.Flows), len(ps.Arrangements))
+
+	// Push flows all target the PS; pull flows all leave it (Fig. 4b).
+	dirOK := true
+	for _, n := range ps.Graph.Nodes() {
+		if strings.Contains(n.ID, "/push/") && n.Dst != "ps0" {
+			dirOK = false
+		}
+		if strings.Contains(n.ID, "/pull/") && n.Src != "ps0" {
+			dirOK = false
+		}
+	}
+	r.check("PS push/pull directions", dirOK, "pushes into ps0, pulls out of ps0")
+
+	// Pulls wait for aggregation of their bucket's pushes.
+	aggEnd := psRes.Tasks["ps/it0/agg0"].End
+	pullRel := psRes.Flows["ps/it0/b0/pull/w0"].Release
+	r.check("pull waits for PS aggregation", pullRel >= aggEnd-unit.Time(unit.Eps),
+		"pull released %v, agg ended %v", pullRel, aggEnd)
+	return r, nil
+}
+
+// Fig5 reproduces the TP workflow of the paper's Fig. 5: per-layer forward
+// all-reduce and backward all-reduce, each a barrier for the next layer.
+func Fig5() (*Report, error) {
+	r := &Report{ID: "fig5", Title: "Tensor-parallel workflow (paper Fig. 5)"}
+	job := ddlt.TensorParallel{
+		Name: "tp", Model: ddlt.Uniform("m", 3, 2, 12, 0.5, 0.5),
+		Workers: []string{"w0", "w1", "w2", "w3"}, Iterations: 1,
+	}
+	w, err := job.Build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := simulate(w, 8, sched.EchelonMADD{Backfill: true})
+	if err != nil {
+		return nil, err
+	}
+	r.note("Per-worker timeline (F_l / all-reduce / B_l):\n%s", trace.Gantt(res, w.Graph, 72))
+
+	// Layer barrier: F(l+1) starts only after layer l's activation
+	// all-reduce fully finishes, on every worker.
+	barrier := true
+	for l := 0; l < 2; l++ {
+		var asEnd unit.Time
+		for id, rec := range res.Flows {
+			if strings.HasPrefix(id, fmt.Sprintf("tp/it0/as%d/", l)) && rec.Finish > asEnd {
+				asEnd = rec.Finish
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if res.Tasks[fmt.Sprintf("tp/it0/fw/l%dw%d", l+1, i)].Start < asEnd-unit.Time(unit.Eps) {
+				barrier = false
+			}
+		}
+	}
+	r.check("all-reduce barriers the next layer", barrier, "F(l+1) after AS(l) for l=0,1")
+
+	// Backward mirrors forward in reverse layer order.
+	bw2 := res.Tasks["tp/it0/bw/l2w0"].Start
+	bw0 := res.Tasks["tp/it0/bw/l0w0"].Start
+	r.check("backward reverses layer order", bw2 < bw0, "B(l2) at %v before B(l0) at %v", bw2, bw0)
+
+	// Every group is a Coflow (Table 1 row).
+	r.check("TP groups are Coflows", workloadCompliant(w), "all all-reduce groups use Eq. 5")
+	return r, nil
+}

@@ -1,0 +1,507 @@
+// Package fabric models the datacenter network as a fluid-flow "big switch":
+// a non-blocking core where only host NIC ingress and egress capacities
+// constrain transfers. This is the standard model of the Coflow scheduling
+// literature the paper builds on (Varys, Sincronia), and it is exactly the
+// abstraction the paper's Coordinator schedules against (§5): schedulers
+// assign per-flow rates, and an allocation is feasible when no host's egress
+// or ingress capacity is exceeded.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"echelonflow/internal/unit"
+)
+
+// Host is one endpoint (a GPU worker or parameter server) attached to the
+// fabric with independent send and receive capacities.
+type Host struct {
+	Name    string
+	Egress  unit.Rate // outbound NIC capacity
+	Ingress unit.Rate // inbound NIC capacity
+}
+
+// Network is a set of hosts on a non-blocking core.
+//
+// The zero value is not ready for use; call NewNetwork.
+type Network struct {
+	hosts map[string]*Host
+	names []string // insertion order, for deterministic iteration
+
+	// Optional two-tier extension (see rack.go).
+	racks     map[string]*Rack
+	rackNames []string
+	rackOf    map[string]string
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{hosts: make(map[string]*Host)}
+}
+
+// AddHost attaches a host with the given capacities.
+func (n *Network) AddHost(name string, egress, ingress unit.Rate) error {
+	if name == "" {
+		return fmt.Errorf("fabric: host must have a name")
+	}
+	if egress < 0 || ingress < 0 {
+		return fmt.Errorf("fabric: host %q has negative capacity", name)
+	}
+	if _, ok := n.hosts[name]; ok {
+		return fmt.Errorf("fabric: duplicate host %q", name)
+	}
+	n.hosts[name] = &Host{Name: name, Egress: egress, Ingress: ingress}
+	n.names = append(n.names, name)
+	return nil
+}
+
+// AddUniformHosts attaches every named host with symmetric capacity c.
+// It panics on duplicates; it is a scenario-construction helper.
+func (n *Network) AddUniformHosts(c unit.Rate, names ...string) {
+	for _, name := range names {
+		if err := n.AddHost(name, c, c); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Host returns the named host, or nil.
+func (n *Network) Host(name string) *Host { return n.hosts[name] }
+
+// SetCapacity changes a host's port capacities — degraded links,
+// background traffic, recovering NICs. Schedulers observe the change on
+// their next invocation.
+func (n *Network) SetCapacity(name string, egress, ingress unit.Rate) error {
+	h := n.hosts[name]
+	if h == nil {
+		return fmt.Errorf("fabric: unknown host %q", name)
+	}
+	if egress < 0 || ingress < 0 {
+		return fmt.Errorf("fabric: host %q given negative capacity", name)
+	}
+	h.Egress, h.Ingress = egress, ingress
+	return nil
+}
+
+// Hosts returns all hosts in insertion order.
+func (n *Network) Hosts() []*Host {
+	out := make([]*Host, 0, len(n.names))
+	for _, name := range n.names {
+		out = append(out, n.hosts[name])
+	}
+	return out
+}
+
+// Len returns the number of hosts.
+func (n *Network) Len() int { return len(n.hosts) }
+
+// Request is a flow asking for bandwidth between two hosts. Cap, when
+// positive, bounds the rate the flow can use (e.g. the rate that would
+// finish it within the current scheduling quantum).
+type Request struct {
+	ID  string
+	Src string
+	Dst string
+	Cap unit.Rate
+}
+
+// capOrInf normalizes a request cap: non-positive means unbounded.
+func (r Request) capOrInf() unit.Rate {
+	if r.Cap <= 0 {
+		return unit.Rate(1e300)
+	}
+	return r.Cap
+}
+
+// checkEndpoints verifies both endpoints exist and differ.
+func (n *Network) checkEndpoints(reqs []Request) error {
+	for _, r := range reqs {
+		if n.hosts[r.Src] == nil {
+			return fmt.Errorf("fabric: request %q: unknown src host %q", r.ID, r.Src)
+		}
+		if n.hosts[r.Dst] == nil {
+			return fmt.Errorf("fabric: request %q: unknown dst host %q", r.ID, r.Dst)
+		}
+		if r.Src == r.Dst {
+			return fmt.Errorf("fabric: request %q: src == dst (%s)", r.ID, r.Src)
+		}
+	}
+	return nil
+}
+
+// Feasible reports whether the given per-flow rates respect every host's
+// egress and ingress capacity (within tolerance).
+func (n *Network) Feasible(reqs []Request, rates map[string]unit.Rate) error {
+	if err := n.checkEndpoints(reqs); err != nil {
+		return err
+	}
+	eg := make(map[string]unit.Rate, len(n.hosts))
+	in := make(map[string]unit.Rate, len(n.hosts))
+	for _, r := range reqs {
+		rt := rates[r.ID]
+		if rt < 0 {
+			return fmt.Errorf("fabric: flow %q has negative rate %v", r.ID, rt)
+		}
+		eg[r.Src] += rt
+		in[r.Dst] += rt
+	}
+	up := make(map[string]unit.Rate, len(n.racks))
+	down := make(map[string]unit.Rate, len(n.racks))
+	for _, r := range reqs {
+		if srcRack, dstRack, crosses := n.CrossRack(r.Src, r.Dst); crosses {
+			if srcRack != "" {
+				up[srcRack] += rates[r.ID]
+			}
+			if dstRack != "" {
+				down[dstRack] += rates[r.ID]
+			}
+		}
+	}
+	const tol = 1e-6
+	for name, used := range eg {
+		if float64(used) > float64(n.hosts[name].Egress)+tol {
+			return fmt.Errorf("fabric: egress of %q oversubscribed: %v > %v", name, used, n.hosts[name].Egress)
+		}
+	}
+	for name, used := range in {
+		if float64(used) > float64(n.hosts[name].Ingress)+tol {
+			return fmt.Errorf("fabric: ingress of %q oversubscribed: %v > %v", name, used, n.hosts[name].Ingress)
+		}
+	}
+	for name, used := range up {
+		if float64(used) > float64(n.racks[name].Uplink)+tol {
+			return fmt.Errorf("fabric: uplink of rack %q oversubscribed: %v > %v", name, used, n.racks[name].Uplink)
+		}
+	}
+	for name, used := range down {
+		if float64(used) > float64(n.racks[name].Downlink)+tol {
+			return fmt.Errorf("fabric: downlink of rack %q oversubscribed: %v > %v", name, used, n.racks[name].Downlink)
+		}
+	}
+	return nil
+}
+
+// Residual tracks remaining port capacity during an allocation pass.
+type Residual struct {
+	net      *Network
+	egress   map[string]unit.Rate
+	ingress  map[string]unit.Rate
+	rackUp   map[string]unit.Rate
+	rackDown map[string]unit.Rate
+}
+
+// NewResidual snapshots the network's full capacities.
+func (n *Network) NewResidual() *Residual {
+	r := &Residual{
+		net:      n,
+		egress:   make(map[string]unit.Rate, len(n.hosts)),
+		ingress:  make(map[string]unit.Rate, len(n.hosts)),
+		rackUp:   make(map[string]unit.Rate, len(n.racks)),
+		rackDown: make(map[string]unit.Rate, len(n.racks)),
+	}
+	for name, h := range n.hosts {
+		r.egress[name] = h.Egress
+		r.ingress[name] = h.Ingress
+	}
+	for name, rk := range n.racks {
+		r.rackUp[name] = rk.Uplink
+		r.rackDown[name] = rk.Downlink
+	}
+	return r
+}
+
+// EgressFree returns the remaining egress capacity of a host.
+func (r *Residual) EgressFree(host string) unit.Rate { return r.egress[host] }
+
+// IngressFree returns the remaining ingress capacity of a host.
+func (r *Residual) IngressFree(host string) unit.Rate { return r.ingress[host] }
+
+// RackUpFree returns a rack's remaining uplink capacity.
+func (r *Residual) RackUpFree(rack string) unit.Rate { return r.rackUp[rack] }
+
+// RackDownFree returns a rack's remaining downlink capacity.
+func (r *Residual) RackDownFree(rack string) unit.Rate { return r.rackDown[rack] }
+
+// Available returns the largest rate a src→dst flow could still use,
+// honoring rack uplinks/downlinks when the flow crosses racks.
+func (r *Residual) Available(src, dst string) unit.Rate {
+	a := unit.MinRate(r.egress[src], r.ingress[dst])
+	if srcRack, dstRack, crosses := r.net.CrossRack(src, dst); crosses {
+		if srcRack != "" {
+			a = unit.MinRate(a, r.rackUp[srcRack])
+		}
+		if dstRack != "" {
+			a = unit.MinRate(a, r.rackDown[dstRack])
+		}
+	}
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Take consumes rate on every port the flow touches. Taking more than
+// available clamps the residual at zero (callers should only Take what
+// Available allowed).
+func (r *Residual) Take(src, dst string, rate unit.Rate) {
+	clamp := func(m map[string]unit.Rate, k string) {
+		m[k] -= rate
+		if m[k] < 0 {
+			m[k] = 0
+		}
+	}
+	clamp(r.egress, src)
+	clamp(r.ingress, dst)
+	if srcRack, dstRack, crosses := r.net.CrossRack(src, dst); crosses {
+		if srcRack != "" {
+			clamp(r.rackUp, srcRack)
+		}
+		if dstRack != "" {
+			clamp(r.rackDown, dstRack)
+		}
+	}
+}
+
+// GreedyFill allocates rates to requests strictly in the given order: each
+// request receives the most it can (up to its cap) from what earlier
+// requests left behind. It is the enforcement primitive for priority-ordered
+// schedulers (SRPT, FIFO) and for backfilling MADD leftovers.
+func (n *Network) GreedyFill(reqs []Request) (map[string]unit.Rate, error) {
+	if err := n.checkEndpoints(reqs); err != nil {
+		return nil, err
+	}
+	res := n.NewResidual()
+	rates := make(map[string]unit.Rate, len(reqs))
+	for _, r := range reqs {
+		rate := unit.MinRate(res.Available(r.Src, r.Dst), r.capOrInf())
+		rates[r.ID] = rate
+		res.Take(r.Src, r.Dst, rate)
+	}
+	return rates, nil
+}
+
+// MaxMin computes the max-min fair allocation over the requests via
+// progressive filling: repeatedly find the most contended port, give each of
+// its unfrozen flows an equal share, freeze them, and recurse on the rest.
+// Request caps participate: a flow whose cap is below its fair share is
+// frozen at its cap, releasing the difference to others. This is the
+// "bandwidth fair sharing" baseline of the paper's Fig. 2.
+func (n *Network) MaxMin(reqs []Request) (map[string]unit.Rate, error) {
+	if err := n.checkEndpoints(reqs); err != nil {
+		return nil, err
+	}
+	rates := make(map[string]unit.Rate, len(reqs))
+	frozen := make(map[string]bool, len(reqs))
+	res := n.NewResidual()
+
+	remaining := len(reqs)
+	for remaining > 0 {
+		// Count unfrozen flows per port (including rack uplinks/downlinks).
+		egCount := make(map[string]int)
+		inCount := make(map[string]int)
+		upCount := make(map[string]int)
+		downCount := make(map[string]int)
+		for _, r := range reqs {
+			if frozen[r.ID] {
+				continue
+			}
+			egCount[r.Src]++
+			inCount[r.Dst]++
+			if srcRack, dstRack, crosses := n.CrossRack(r.Src, r.Dst); crosses {
+				if srcRack != "" {
+					upCount[srcRack]++
+				}
+				if dstRack != "" {
+					downCount[dstRack]++
+				}
+			}
+		}
+		// The bottleneck share is the minimum per-flow share over all ports.
+		share := unit.Rate(1e300)
+		for p, c := range egCount {
+			if s := res.egress[p] / unit.Rate(c); s < share {
+				share = s
+			}
+		}
+		for p, c := range inCount {
+			if s := res.ingress[p] / unit.Rate(c); s < share {
+				share = s
+			}
+		}
+		for p, c := range upCount {
+			if s := res.rackUp[p] / unit.Rate(c); s < share {
+				share = s
+			}
+		}
+		for p, c := range downCount {
+			if s := res.rackDown[p] / unit.Rate(c); s < share {
+				share = s
+			}
+		}
+		// Any flow capped below the bottleneck share freezes at its cap.
+		minCap := unit.Rate(1e300)
+		for _, r := range reqs {
+			if !frozen[r.ID] && r.capOrInf() < minCap {
+				minCap = r.capOrInf()
+			}
+		}
+		if minCap < share {
+			for _, r := range reqs {
+				if frozen[r.ID] || r.capOrInf() != minCap {
+					continue
+				}
+				rates[r.ID] = minCap
+				res.Take(r.Src, r.Dst, minCap)
+				frozen[r.ID] = true
+				remaining--
+			}
+			continue
+		}
+		// Identify the bottleneck ports from the pre-iteration residuals,
+		// then freeze every unfrozen flow crossing one of them at the share.
+		// (Deciding and taking in one pass would let intra-pass residual
+		// updates freeze non-bottlenecked flows prematurely.)
+		bottleneckEg := make(map[string]bool)
+		bottleneckIn := make(map[string]bool)
+		bottleneckUp := make(map[string]bool)
+		bottleneckDown := make(map[string]bool)
+		tol := unit.Rate(unit.Eps) * unit.MaxRate(1, share)
+		for p, c := range egCount {
+			if res.egress[p]/unit.Rate(c) <= share+tol {
+				bottleneckEg[p] = true
+			}
+		}
+		for p, c := range inCount {
+			if res.ingress[p]/unit.Rate(c) <= share+tol {
+				bottleneckIn[p] = true
+			}
+		}
+		for p, c := range upCount {
+			if res.rackUp[p]/unit.Rate(c) <= share+tol {
+				bottleneckUp[p] = true
+			}
+		}
+		for p, c := range downCount {
+			if res.rackDown[p]/unit.Rate(c) <= share+tol {
+				bottleneckDown[p] = true
+			}
+		}
+		progressed := false
+		for _, r := range reqs {
+			if frozen[r.ID] {
+				continue
+			}
+			onBottleneck := bottleneckEg[r.Src] || bottleneckIn[r.Dst]
+			if srcRack, dstRack, crosses := n.CrossRack(r.Src, r.Dst); crosses {
+				onBottleneck = onBottleneck ||
+					(srcRack != "" && bottleneckUp[srcRack]) ||
+					(dstRack != "" && bottleneckDown[dstRack])
+			}
+			if onBottleneck {
+				rates[r.ID] = share
+				res.Take(r.Src, r.Dst, share)
+				frozen[r.ID] = true
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Should be unreachable; guard against float pathologies.
+			for _, r := range reqs {
+				if !frozen[r.ID] {
+					rates[r.ID] = share
+					res.Take(r.Src, r.Dst, share)
+					frozen[r.ID] = true
+					remaining--
+				}
+			}
+		}
+	}
+	return rates, nil
+}
+
+// PortLoad describes how much of one direction of a host port an allocation
+// uses.
+type PortLoad struct {
+	Host     string
+	Dir      string // "egress" or "ingress"
+	Used     unit.Rate
+	Capacity unit.Rate
+}
+
+// Loads summarizes per-port usage of an allocation, sorted by host then
+// direction, for traces and tests.
+func (n *Network) Loads(reqs []Request, rates map[string]unit.Rate) []PortLoad {
+	eg := make(map[string]unit.Rate)
+	in := make(map[string]unit.Rate)
+	for _, r := range reqs {
+		eg[r.Src] += rates[r.ID]
+		in[r.Dst] += rates[r.ID]
+	}
+	var out []PortLoad
+	for _, name := range n.names {
+		h := n.hosts[name]
+		if eg[name] > 0 {
+			out = append(out, PortLoad{Host: name, Dir: "egress", Used: eg[name], Capacity: h.Egress})
+		}
+		if in[name] > 0 {
+			out = append(out, PortLoad{Host: name, Dir: "ingress", Used: in[name], Capacity: h.Ingress})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Host != out[j].Host {
+			return out[i].Host < out[j].Host
+		}
+		return out[i].Dir < out[j].Dir
+	})
+	return out
+}
+
+// BottleneckTime returns the minimum time needed to ship the given volumes
+// between host pairs, i.e. the most loaded port's total volume divided by
+// its capacity. This is Varys' Γ for a coflow, used by both MADD variants.
+func (n *Network) BottleneckTime(vols []VolumeDemand) (unit.Time, error) {
+	eg := make(map[string]unit.Bytes)
+	in := make(map[string]unit.Bytes)
+	for _, v := range vols {
+		if n.hosts[v.Src] == nil || n.hosts[v.Dst] == nil {
+			return 0, fmt.Errorf("fabric: volume demand references unknown host (%s→%s)", v.Src, v.Dst)
+		}
+		eg[v.Src] += v.Volume
+		in[v.Dst] += v.Volume
+	}
+	up := make(map[string]unit.Bytes)
+	down := make(map[string]unit.Bytes)
+	for _, v := range vols {
+		if srcRack, dstRack, crosses := n.CrossRack(v.Src, v.Dst); crosses {
+			if srcRack != "" {
+				up[srcRack] += v.Volume
+			}
+			if dstRack != "" {
+				down[dstRack] += v.Volume
+			}
+		}
+	}
+	var t unit.Time
+	for name, vol := range eg {
+		t = unit.MaxTime(t, vol.At(n.hosts[name].Egress))
+	}
+	for name, vol := range in {
+		t = unit.MaxTime(t, vol.At(n.hosts[name].Ingress))
+	}
+	for name, vol := range up {
+		t = unit.MaxTime(t, vol.At(n.racks[name].Uplink))
+	}
+	for name, vol := range down {
+		t = unit.MaxTime(t, vol.At(n.racks[name].Downlink))
+	}
+	return t, nil
+}
+
+// VolumeDemand is a remaining volume between two hosts.
+type VolumeDemand struct {
+	Src    string
+	Dst    string
+	Volume unit.Bytes
+}

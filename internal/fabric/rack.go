@@ -1,0 +1,95 @@
+package fabric
+
+import (
+	"fmt"
+
+	"echelonflow/internal/unit"
+)
+
+// Rack is an optional second tier of the fabric: hosts assigned to a rack
+// share its uplink (rack→core) and downlink (core→rack) capacity. With no
+// racks defined the network is the pure big switch of the Coflow
+// literature; with racks it models the oversubscribed leaf-spine fabrics of
+// real GPU clusters, where cross-rack bandwidth is scarcer than NIC
+// bandwidth.
+type Rack struct {
+	Name     string
+	Uplink   unit.Rate // traffic leaving the rack
+	Downlink unit.Rate // traffic entering the rack
+}
+
+// AddRack registers a rack.
+func (n *Network) AddRack(name string, uplink, downlink unit.Rate) error {
+	if name == "" {
+		return fmt.Errorf("fabric: rack must have a name")
+	}
+	if uplink < 0 || downlink < 0 {
+		return fmt.Errorf("fabric: rack %q has negative capacity", name)
+	}
+	if n.racks == nil {
+		n.racks = make(map[string]*Rack)
+	}
+	if _, dup := n.racks[name]; dup {
+		return fmt.Errorf("fabric: duplicate rack %q", name)
+	}
+	n.racks[name] = &Rack{Name: name, Uplink: uplink, Downlink: downlink}
+	n.rackNames = append(n.rackNames, name)
+	return nil
+}
+
+// AssignRack places a host in a rack. A host belongs to at most one rack.
+func (n *Network) AssignRack(host, rack string) error {
+	if n.hosts[host] == nil {
+		return fmt.Errorf("fabric: unknown host %q", host)
+	}
+	if n.racks[rack] == nil {
+		return fmt.Errorf("fabric: unknown rack %q", rack)
+	}
+	if n.rackOf == nil {
+		n.rackOf = make(map[string]string)
+	}
+	if existing, ok := n.rackOf[host]; ok {
+		return fmt.Errorf("fabric: host %q already in rack %q", host, existing)
+	}
+	n.rackOf[host] = rack
+	return nil
+}
+
+// Rack returns the named rack, or nil.
+func (n *Network) Rack(name string) *Rack { return n.racks[name] }
+
+// RackOf returns the rack a host belongs to, or "" for rackless hosts.
+func (n *Network) RackOf(host string) string { return n.rackOf[host] }
+
+// Racks returns all racks in registration order.
+func (n *Network) Racks() []*Rack {
+	out := make([]*Rack, 0, len(n.rackNames))
+	for _, name := range n.rackNames {
+		out = append(out, n.racks[name])
+	}
+	return out
+}
+
+// SetRackCapacity changes a rack's capacities (degradation/recovery).
+func (n *Network) SetRackCapacity(name string, uplink, downlink unit.Rate) error {
+	r := n.racks[name]
+	if r == nil {
+		return fmt.Errorf("fabric: unknown rack %q", name)
+	}
+	if uplink < 0 || downlink < 0 {
+		return fmt.Errorf("fabric: rack %q given negative capacity", name)
+	}
+	r.Uplink, r.Downlink = uplink, downlink
+	return nil
+}
+
+// CrossRack reports whether a flow crosses rack boundaries, and the racks
+// involved ("" when an endpoint is rackless, which never constrains).
+func (n *Network) CrossRack(src, dst string) (srcRack, dstRack string, crosses bool) {
+	srcRack, dstRack = n.rackOf[src], n.rackOf[dst]
+	// Intra-rack traffic does not touch the uplinks.
+	if srcRack != "" && srcRack == dstRack {
+		return "", "", false
+	}
+	return srcRack, dstRack, srcRack != "" || dstRack != ""
+}

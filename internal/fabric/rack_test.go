@@ -1,0 +1,175 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+
+	"echelonflow/internal/unit"
+)
+
+// twoRackNet: racks A{a1,a2} and B{b1,b2}, host NICs 4, uplinks 2 (2:1
+// oversubscription).
+func twoRackNet(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	n.AddUniformHosts(4, "a1", "a2", "b1", "b2")
+	for _, r := range []string{"A", "B"} {
+		if err := n.AddRack(r, 2, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for host, rack := range map[string]string{"a1": "A", "a2": "A", "b1": "B", "b2": "B"} {
+		if err := n.AssignRack(host, rack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestRackValidation(t *testing.T) {
+	n := NewNetwork()
+	n.AddUniformHosts(1, "h")
+	if err := n.AddRack("", 1, 1); err == nil {
+		t.Error("empty rack name accepted")
+	}
+	if err := n.AddRack("r", -1, 1); err == nil {
+		t.Error("negative uplink accepted")
+	}
+	if err := n.AddRack("r", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddRack("r", 1, 1); err == nil {
+		t.Error("duplicate rack accepted")
+	}
+	if err := n.AssignRack("ghost", "r"); err == nil {
+		t.Error("unknown host accepted")
+	}
+	if err := n.AssignRack("h", "ghost"); err == nil {
+		t.Error("unknown rack accepted")
+	}
+	if err := n.AssignRack("h", "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AssignRack("h", "r"); err == nil {
+		t.Error("double assignment accepted")
+	}
+	if n.RackOf("h") != "r" || n.RackOf("ghost") != "" {
+		t.Error("RackOf wrong")
+	}
+	if len(n.Racks()) != 1 || n.Rack("r") == nil {
+		t.Error("rack lookup wrong")
+	}
+}
+
+func TestCrossRack(t *testing.T) {
+	n := twoRackNet(t)
+	if _, _, crosses := n.CrossRack("a1", "a2"); crosses {
+		t.Error("intra-rack flow should not cross")
+	}
+	srcR, dstR, crosses := n.CrossRack("a1", "b1")
+	if !crosses || srcR != "A" || dstR != "B" {
+		t.Errorf("cross rack = %q %q %v", srcR, dstR, crosses)
+	}
+	// Rackless peers never constrain.
+	n2 := NewNetwork()
+	n2.AddUniformHosts(1, "x", "y")
+	if _, _, crosses := n2.CrossRack("x", "y"); crosses {
+		t.Error("rackless fabric should not cross")
+	}
+}
+
+func TestRackFeasibility(t *testing.T) {
+	n := twoRackNet(t)
+	reqs := []Request{
+		{ID: "x", Src: "a1", Dst: "b1"},
+		{ID: "y", Src: "a2", Dst: "b2"},
+	}
+	// Each flow could do 4 on NICs, but rack A's uplink is 2 total.
+	ok := map[string]unit.Rate{"x": 1, "y": 1}
+	if err := n.Feasible(reqs, ok); err != nil {
+		t.Errorf("feasible rejected: %v", err)
+	}
+	bad := map[string]unit.Rate{"x": 1.5, "y": 1.5}
+	if err := n.Feasible(reqs, bad); err == nil {
+		t.Error("uplink oversubscription accepted")
+	}
+	// Intra-rack traffic ignores the uplink.
+	intra := []Request{{ID: "z", Src: "a1", Dst: "a2"}}
+	if err := n.Feasible(intra, map[string]unit.Rate{"z": 4}); err != nil {
+		t.Errorf("intra-rack full NIC rate rejected: %v", err)
+	}
+}
+
+func TestRackMaxMin(t *testing.T) {
+	n := twoRackNet(t)
+	reqs := []Request{
+		{ID: "x", Src: "a1", Dst: "b1"}, // cross-rack: capped by uplink share
+		{ID: "y", Src: "a2", Dst: "b2"}, // cross-rack
+		{ID: "z", Src: "a1", Dst: "a2"}, // intra-rack: NIC-limited only
+	}
+	rates, err := n.MaxMin(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uplink A (2) shared by x,y => 1 each; z then gets a1's leftover
+	// egress: 4 - 1 = 3.
+	if math.Abs(float64(rates["x"])-1) > 1e-9 || math.Abs(float64(rates["y"])-1) > 1e-9 {
+		t.Errorf("cross-rack rates = %v", rates)
+	}
+	if math.Abs(float64(rates["z"])-3) > 1e-9 {
+		t.Errorf("intra-rack rate = %v, want 3", rates["z"])
+	}
+	if err := n.Feasible(reqs, rates); err != nil {
+		t.Errorf("maxmin infeasible: %v", err)
+	}
+}
+
+func TestRackResidual(t *testing.T) {
+	n := twoRackNet(t)
+	res := n.NewResidual()
+	if got := res.Available("a1", "b1"); got != 2 {
+		t.Errorf("cross-rack available = %v, want uplink 2", got)
+	}
+	res.Take("a1", "b1", 2)
+	if got := res.Available("a2", "b2"); got != 0 {
+		t.Errorf("after uplink drained, available = %v, want 0", got)
+	}
+	if got := res.Available("a2", "a1"); got != 4 {
+		t.Errorf("intra-rack available = %v, want 4", got)
+	}
+	if res.RackUpFree("A") != 0 || res.RackDownFree("B") != 0 {
+		t.Error("rack residual accessors wrong")
+	}
+}
+
+func TestRackBottleneckTime(t *testing.T) {
+	n := twoRackNet(t)
+	vols := []VolumeDemand{
+		{Src: "a1", Dst: "b1", Volume: 4},
+		{Src: "a2", Dst: "b2", Volume: 4},
+	}
+	// 8 bytes over uplink A at rate 2 => 4 (NICs would allow 1 each).
+	got, err := n.BottleneckTime(vols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ApproxEq(4) {
+		t.Errorf("BottleneckTime = %v, want 4", got)
+	}
+}
+
+func TestSetRackCapacity(t *testing.T) {
+	n := twoRackNet(t)
+	if err := n.SetRackCapacity("A", 8, 8); err != nil {
+		t.Fatal(err)
+	}
+	if n.Rack("A").Uplink != 8 {
+		t.Error("capacity not updated")
+	}
+	if err := n.SetRackCapacity("ghost", 1, 1); err == nil {
+		t.Error("unknown rack accepted")
+	}
+	if err := n.SetRackCapacity("A", -1, 1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}

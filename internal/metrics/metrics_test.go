@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 10})
+	if s.Count != 4 || s.Min != 1 || s.Max != 10 || s.Mean != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.Count != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75}, {-5, 1}, {200, 4},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestPercentileProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p50 := Percentile(xs, 50)
+		s := Summarize(xs)
+		return p50 >= s.Min && p50 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	tb.AddRow("gamma") // short row padded
+	if tb.Len() != 3 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("rule = %q", lines[1])
+	}
+	if !strings.Contains(out, "2.5") {
+		t.Errorf("formatted float missing:\n%s", out)
+	}
+	// Columns align: every line has the same prefix width for column 2.
+	col2 := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][col2:], "1") {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTableTruncatesLongRows(t *testing.T) {
+	tb := NewTable("only")
+	tb.AddRow("a", "extra", "cells")
+	if strings.Contains(tb.String(), "extra") {
+		t.Error("extra cells should be dropped")
+	}
+}

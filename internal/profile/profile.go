@@ -1,0 +1,203 @@
+// Package profile extracts computation patterns from observed training
+// iterations, the way the paper's system obtains arrangement functions
+// (§3.1: the "distance" of the arrangement "can be profiled by running a
+// few training iterations"; §5: the framework reports profiled dependency
+// shape and computation times).
+//
+// Profiling works on simulator results here; against a real framework the
+// same API would consume CUDA-event timings. The repetitiveness of DDLT
+// (§1) is what makes this sound: Stability verifies that per-unit durations
+// repeat across iterations before an arrangement derived from them is
+// trusted.
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/dag"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/unit"
+)
+
+// Profile holds measured compute-unit durations keyed by node ID.
+type Profile struct {
+	durations map[string]unit.Time
+}
+
+// FromResult captures every compute node's observed duration from a run.
+func FromResult(res *sim.Result) *Profile {
+	p := &Profile{durations: make(map[string]unit.Time, len(res.Tasks))}
+	for id, span := range res.Tasks {
+		p.durations[id] = span.Duration()
+	}
+	return p
+}
+
+// Duration returns a node's measured duration.
+func (p *Profile) Duration(id string) (unit.Time, error) {
+	d, ok := p.durations[id]
+	if !ok {
+		return 0, fmt.Errorf("profile: no measurement for %q", id)
+	}
+	return d, nil
+}
+
+// Len returns the number of measured nodes.
+func (p *Profile) Len() int { return len(p.durations) }
+
+// Mean returns the average duration over the given nodes.
+func (p *Profile) Mean(ids []string) (unit.Time, error) {
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("profile: Mean over no nodes")
+	}
+	var sum unit.Time
+	for _, id := range ids {
+		d, err := p.Duration(id)
+		if err != nil {
+			return 0, err
+		}
+		sum += d
+	}
+	return sum / unit.Time(len(ids)), nil
+}
+
+// Uniform returns the common duration of the given nodes, failing if any
+// deviates from the mean by more than tol (relative, e.g. 0.05 = 5%).
+func (p *Profile) Uniform(ids []string, tol float64) (unit.Time, error) {
+	mean, err := p.Mean(ids)
+	if err != nil {
+		return 0, err
+	}
+	for _, id := range ids {
+		d, _ := p.Duration(id)
+		if relDiff(float64(d), float64(mean)) > tol {
+			return 0, fmt.Errorf("profile: %q duration %v deviates from mean %v beyond %.1f%%",
+				id, d, mean, tol*100)
+		}
+	}
+	return mean, nil
+}
+
+func relDiff(a, b float64) float64 {
+	denom := math.Max(math.Abs(a), math.Abs(b))
+	if denom < unit.Eps {
+		return 0
+	}
+	return math.Abs(a-b) / denom
+}
+
+// DerivePipeline builds the Eq. 6 pipeline arrangement from the consumer
+// stage's per-micro-batch compute units, requiring their durations to be
+// uniform within tol — GPipe runs the same computation on every micro-batch.
+func (p *Profile) DerivePipeline(consumerIDs []string, tol float64) (core.Pipeline, error) {
+	t, err := p.Uniform(consumerIDs, tol)
+	if err != nil {
+		return core.Pipeline{}, err
+	}
+	return core.Pipeline{T: t}, nil
+}
+
+// DeriveStaged builds a staggered arrangement (Eq. 7 and generalizations)
+// from per-gap compute-unit groups: gap i of the result is the mean measured
+// duration of gapGroups[i] (the computation separating stage i from stage
+// i+1 — e.g. layer i's forward units across workers for FSDP's forward
+// phase).
+func (p *Profile) DeriveStaged(gapGroups [][]string) (core.Staged, error) {
+	if len(gapGroups) == 0 {
+		return core.Staged{}, fmt.Errorf("profile: DeriveStaged with no gap groups")
+	}
+	gaps := make([]unit.Time, len(gapGroups))
+	for i, ids := range gapGroups {
+		m, err := p.Mean(ids)
+		if err != nil {
+			return core.Staged{}, fmt.Errorf("profile: gap %d: %w", i, err)
+		}
+		gaps[i] = m
+	}
+	return core.Staged{Gaps: gaps}, nil
+}
+
+// DeriveAbsolute builds an Absolute arrangement for a group from an
+// observed — ideally uncontended — run: each flow's ideal finish time is
+// the start of the computation consuming it, expressed as an offset from
+// the head flow's consumer. This is the §4 Case II workflow for pipeline
+// variants whose pattern is "more complicated than Eq. 6" (1F1B and
+// friends): the data dependencies determine the arrangement, and a
+// profiling run reads it off.
+//
+// Offsets are clamped to be non-decreasing: profiling noise below the
+// clamping magnitude is tolerated, anything larger fails validation.
+func DeriveAbsolute(res *sim.Result, g *dag.Graph, group string) (core.Absolute, error) {
+	nodes := g.GroupNodes(group)
+	if len(nodes) == 0 {
+		return core.Absolute{}, fmt.Errorf("profile: no flows in group %q", group)
+	}
+	starts := make([]unit.Time, len(nodes))
+	for i, n := range nodes {
+		consumer := ""
+		for _, dep := range g.Dependents(n.ID) {
+			if dn := g.Node(dep); dn != nil && dn.Kind == dag.Compute {
+				consumer = dep
+				break
+			}
+		}
+		if consumer == "" {
+			return core.Absolute{}, fmt.Errorf("profile: flow %q has no compute consumer", n.ID)
+		}
+		span, ok := res.Tasks[consumer]
+		if !ok {
+			return core.Absolute{}, fmt.Errorf("profile: consumer %q missing from run", consumer)
+		}
+		starts[i] = span.Start
+	}
+	offsets := make([]unit.Time, len(starts))
+	for i := range starts {
+		offsets[i] = starts[i] - starts[0]
+		if i > 0 && offsets[i] < offsets[i-1] {
+			if float64(offsets[i-1]-offsets[i]) > 1e-6 {
+				return core.Absolute{}, fmt.Errorf(
+					"profile: group %q consumer starts not ordered at stage %d (%v < %v)",
+					group, i, offsets[i], offsets[i-1])
+			}
+			offsets[i] = offsets[i-1]
+		}
+	}
+	offsets[0] = 0
+	return core.NewAbsolute(offsets)
+}
+
+// Stability verifies that the computation pattern repeats across iterations:
+// idsPerIteration[k][u] is unit u's node ID in iteration k, and every unit's
+// duration must match its iteration-0 counterpart within tol. This is the
+// precondition for reusing a profiled arrangement over a job's lifetime
+// (§5: "maintain the scheduling decision throughout the DDLT lifetime
+// leveraging the iterative nature of DDLT jobs").
+func (p *Profile) Stability(idsPerIteration [][]string, tol float64) error {
+	if len(idsPerIteration) < 2 {
+		return fmt.Errorf("profile: stability needs >=2 iterations")
+	}
+	base := idsPerIteration[0]
+	for k := 1; k < len(idsPerIteration); k++ {
+		it := idsPerIteration[k]
+		if len(it) != len(base) {
+			return fmt.Errorf("profile: iteration %d has %d units, iteration 0 has %d", k, len(it), len(base))
+		}
+		for u := range it {
+			d0, err := p.Duration(base[u])
+			if err != nil {
+				return err
+			}
+			dk, err := p.Duration(it[u])
+			if err != nil {
+				return err
+			}
+			if relDiff(float64(d0), float64(dk)) > tol {
+				return fmt.Errorf("profile: unit %q (%v) deviates from %q (%v) beyond %.1f%%",
+					it[u], dk, base[u], d0, tol*100)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/ddlt"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/unit"
+)
+
+// runPP simulates a 2-iteration pipeline job and returns the result.
+func runPP(t *testing.T) *sim.Result {
+	t.Helper()
+	w, err := ddlt.PipelineGPipe{
+		Name: "pp", Model: ddlt.Uniform("m", 4, 2, 1, 1.5, 2),
+		Workers: []string{"s0", "s1"}, MicroBatches: 3, Iterations: 2,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(4, w.Hosts...)
+	s, err := sim.New(sim.Options{Graph: w.Graph, Net: net, Scheduler: sched.EchelonMADD{}, Arrangements: w.Arrangements})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFromResultAndDuration(t *testing.T) {
+	res := runPP(t)
+	p := FromResult(res)
+	if p.Len() == 0 {
+		t.Fatal("empty profile")
+	}
+	// Stage 1 consumes two layers of fwd 1.5 each => 3 per micro-batch.
+	d, err := p.Duration("pp/it0/fw/s1m0")
+	if err != nil || !d.ApproxEq(3) {
+		t.Errorf("Duration = %v, %v; want 3", d, err)
+	}
+	if _, err := p.Duration("ghost"); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestDerivePipelineFromObservedRun(t *testing.T) {
+	res := runPP(t)
+	p := FromResult(res)
+	// Profile the consumer stage's micro-batch computes (§3.1): the
+	// derived arrangement's distance must equal the true per-micro-batch
+	// time of stage 1 (2 layers × 1.5).
+	ids := []string{"pp/it0/fw/s1m0", "pp/it0/fw/s1m1", "pp/it0/fw/s1m2"}
+	arr, err := p.DerivePipeline(ids, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !arr.T.ApproxEq(3) {
+		t.Errorf("derived T = %v, want 3", arr.T)
+	}
+	// It must agree with the compiler-declared arrangement.
+	w, _ := ddlt.PipelineGPipe{
+		Name: "pp", Model: ddlt.Uniform("m", 4, 2, 1, 1.5, 2),
+		Workers: []string{"s0", "s1"}, MicroBatches: 3, Iterations: 2,
+	}.Build()
+	declared := w.Arrangements["pp/it0/fwd0"].(core.Pipeline)
+	if !declared.T.ApproxEq(arr.T) {
+		t.Errorf("declared T %v != profiled T %v", declared.T, arr.T)
+	}
+}
+
+func TestUniformRejectsSkew(t *testing.T) {
+	p := &Profile{durations: map[string]unit.Time{"a": 1, "b": 1, "c": 2}}
+	if _, err := p.Uniform([]string{"a", "b"}, 0.01); err != nil {
+		t.Errorf("uniform pair rejected: %v", err)
+	}
+	if _, err := p.Uniform([]string{"a", "c"}, 0.01); err == nil {
+		t.Error("skewed durations accepted")
+	}
+	if _, err := p.Uniform(nil, 0.01); err == nil {
+		t.Error("empty ids accepted")
+	}
+	if _, err := p.Uniform([]string{"ghost"}, 0.01); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestDeriveStaged(t *testing.T) {
+	p := &Profile{durations: map[string]unit.Time{
+		"f0a": 1, "f0b": 1, // layer-0 fwd on two workers
+		"f1a": 2, "f1b": 2,
+	}}
+	arr, err := p.DeriveStaged([][]string{{"f0a", "f0b"}, {"f1a", "f1b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr.Gaps) != 2 || !arr.Gaps[0].ApproxEq(1) || !arr.Gaps[1].ApproxEq(2) {
+		t.Errorf("gaps = %v", arr.Gaps)
+	}
+	if _, err := p.DeriveStaged(nil); err == nil {
+		t.Error("no gap groups accepted")
+	}
+	if _, err := p.DeriveStaged([][]string{{"ghost"}}); err == nil {
+		t.Error("unknown ids accepted")
+	}
+}
+
+// The FSDP arrangement profiled from an observed run must equal the
+// compiler's Eq. 7 gaps.
+func TestDeriveStagedMatchesFSDP(t *testing.T) {
+	w, err := ddlt.FSDP{
+		Name: "f", Model: ddlt.Uniform("m", 3, 3, 1, 0.5, 1.25),
+		Workers: []string{"w0", "w1", "w2"}, Iterations: 1,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(10, w.Hosts...)
+	s, _ := sim.New(sim.Options{Graph: w.Graph, Net: net, Scheduler: sched.EchelonMADD{Backfill: true}, Arrangements: w.Arrangements})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FromResult(res)
+	// Gap groups per Eq. 7: fwd layers 0..n-2, then bwd layers n-1..0.
+	var groups [][]string
+	workersOf := func(format string, l int) []string {
+		var ids []string
+		for i := 0; i < 3; i++ {
+			ids = append(ids, fmt.Sprintf(format, l, i))
+		}
+		return ids
+	}
+	for l := 0; l <= 1; l++ {
+		groups = append(groups, workersOf("f/it0/fw/l%dw%d", l))
+	}
+	for l := 2; l >= 0; l-- {
+		groups = append(groups, workersOf("f/it0/bw/l%dw%d", l))
+	}
+	profiled, err := p.DeriveStaged(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := w.Arrangements["f/it0/ag"].(core.Staged)
+	if len(profiled.Gaps) != len(declared.Gaps) {
+		t.Fatalf("gap count %d != %d", len(profiled.Gaps), len(declared.Gaps))
+	}
+	for i := range declared.Gaps {
+		if !profiled.Gaps[i].ApproxEq(declared.Gaps[i]) {
+			t.Errorf("gap %d: profiled %v != declared %v", i, profiled.Gaps[i], declared.Gaps[i])
+		}
+	}
+}
+
+func TestStability(t *testing.T) {
+	res := runPP(t)
+	p := FromResult(res)
+	iters := make([][]string, 2)
+	for k := 0; k < 2; k++ {
+		for s := 0; s < 2; s++ {
+			for m := 0; m < 3; m++ {
+				iters[k] = append(iters[k], fmt.Sprintf("pp/it%d/fw/s%dm%d", k, s, m))
+			}
+		}
+	}
+	if err := p.Stability(iters, 0.01); err != nil {
+		t.Errorf("stable job reported unstable: %v", err)
+	}
+	if err := p.Stability(iters[:1], 0.01); err == nil {
+		t.Error("single iteration accepted")
+	}
+	// Mismatched unit counts.
+	bad := [][]string{iters[0], iters[1][:2]}
+	if err := p.Stability(bad, 0.01); err == nil {
+		t.Error("mismatched unit counts accepted")
+	}
+}
+
+func TestStabilityDetectsDrift(t *testing.T) {
+	p := &Profile{durations: map[string]unit.Time{
+		"it0/a": 1, "it1/a": 1.5,
+	}}
+	err := p.Stability([][]string{{"it0/a"}, {"it1/a"}}, 0.05)
+	if err == nil || !strings.Contains(err.Error(), "deviates") {
+		t.Errorf("drift not detected: %v", err)
+	}
+}
+
+func TestMeanErrors(t *testing.T) {
+	p := &Profile{durations: map[string]unit.Time{"a": 2, "b": 4}}
+	m, err := p.Mean([]string{"a", "b"})
+	if err != nil || !m.ApproxEq(3) {
+		t.Errorf("Mean = %v, %v", m, err)
+	}
+	if _, err := p.Mean([]string{"a", "ghost"}); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// DeriveAbsolute on an uncontended 1F1B run yields the non-uniform
+// arrangement of §4 Case II: deadline gaps that alternate between warm-up
+// spacing and steady-state 1F1B spacing.
+func TestDeriveAbsolute1F1B(t *testing.T) {
+	w, err := ddlt.Pipeline1F1B{
+		Name: "p1", Model: ddlt.Uniform("m", 4, 2, 0.001, 1, 1),
+		Workers: []string{"s0", "s1"}, MicroBatches: 4, Iterations: 1,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(10000, w.Hosts...)
+	s, err := sim.New(sim.Options{Graph: w.Graph, Net: net, Scheduler: sched.Fair{}, Arrangements: w.Arrangements})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := DeriveAbsolute(res, w.Graph, "p1/it0/fwd0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Stages() != 4 {
+		t.Fatalf("stages = %d", arr.Stages())
+	}
+	// Stage 1 of 2 total stages: warm-up is 0 on the consumer (s1 is the
+	// last stage), so consumers alternate F/B: gaps of f+b = 4 between
+	// consecutive forward consumptions after the first.
+	gaps := make([]unit.Time, 3)
+	for i := 1; i < 4; i++ {
+		gaps[i-1] = arr.Deadline(i, 0) - arr.Deadline(i-1, 0)
+	}
+	near := func(a, b unit.Time) bool { d := a - b; return d < 0.05 && d > -0.05 }
+	// First gap: F(s1,m0) at 2, F(s1,m1) at 4 (B(s1,m0) between... with
+	// f=b=2 per stage) => steady 1F1B spacing f+b.
+	if !near(gaps[1], gaps[2]) {
+		t.Errorf("steady gaps differ: %v", gaps)
+	}
+	if near(gaps[0], 0) {
+		t.Errorf("gaps collapsed: %v", gaps)
+	}
+	// And the arrangement is NOT the uniform Eq. 6 one: at least one gap
+	// differs from the consumer's forward time alone.
+	uniform := true
+	for _, g := range gaps {
+		if !near(g, gaps[0]) {
+			uniform = false
+		}
+	}
+	if uniform && near(gaps[0], 2) {
+		t.Errorf("arrangement looks uniform Eq. 6: %v", gaps)
+	}
+}
+
+func TestDeriveAbsoluteErrors(t *testing.T) {
+	res := runPP(t)
+	w, _ := ddlt.PipelineGPipe{
+		Name: "pp", Model: ddlt.Uniform("m", 4, 2, 1, 1.5, 2),
+		Workers: []string{"s0", "s1"}, MicroBatches: 3, Iterations: 2,
+	}.Build()
+	if _, err := DeriveAbsolute(res, w.Graph, "ghost"); err == nil {
+		t.Error("unknown group accepted")
+	}
+	if arr, err := DeriveAbsolute(res, w.Graph, "pp/it0/fwd0"); err != nil {
+		t.Errorf("gpipe derive: %v", err)
+	} else if arr.Stages() != 3 {
+		t.Errorf("stages = %d", arr.Stages())
+	}
+}

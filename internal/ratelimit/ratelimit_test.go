@@ -1,0 +1,169 @@
+package ratelimit
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestNewBucketValidation(t *testing.T) {
+	if _, err := NewBucket(-1, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewBucket(1, 0); err == nil {
+		t.Error("zero burst accepted")
+	}
+}
+
+func TestTryTakeAndRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b, err := newBucketAt(10, 5, clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts full: 5 tokens available.
+	if _, ok := b.tryTake(5); !ok {
+		t.Fatal("full bucket refused")
+	}
+	wait, ok := b.tryTake(2)
+	if ok {
+		t.Fatal("empty bucket granted")
+	}
+	if wait != 200*time.Millisecond {
+		t.Errorf("wait = %v, want 200ms (2 tokens at 10/s)", wait)
+	}
+	clk.advance(200 * time.Millisecond)
+	if _, ok := b.tryTake(2); !ok {
+		t.Error("refilled tokens not granted")
+	}
+}
+
+func TestRefillCapsAtBurst(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b, _ := newBucketAt(100, 3, clk.now)
+	clk.advance(time.Hour)
+	if _, ok := b.tryTake(3); !ok {
+		t.Error("burst not available")
+	}
+	if _, ok := b.tryTake(0.5); ok {
+		t.Error("tokens beyond burst granted")
+	}
+}
+
+func TestSetRate(t *testing.T) {
+	b, _ := NewBucket(1, 1)
+	b.SetRate(42)
+	if b.Rate() != 42 {
+		t.Errorf("Rate = %v", b.Rate())
+	}
+	b.SetRate(-5)
+	if b.Rate() != 0 {
+		t.Errorf("negative SetRate should clamp to 0, got %v", b.Rate())
+	}
+}
+
+func TestWaitGrantsOverTime(t *testing.T) {
+	// Real-clock test with generous margins: 1000 tokens/s, need 100 after
+	// draining the burst => ~100ms.
+	b, _ := NewBucket(1000, 100)
+	ctx := context.Background()
+	if err := b.Wait(ctx, 100); err != nil { // drain burst
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := b.Wait(ctx, 50); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 20*time.Millisecond {
+		t.Errorf("wait returned too fast: %v", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("wait took too long: %v", elapsed)
+	}
+}
+
+func TestWaitExceedsBurst(t *testing.T) {
+	b, _ := NewBucket(10, 5)
+	if err := b.Wait(context.Background(), 6); err == nil {
+		t.Error("request above burst accepted")
+	}
+	if err := b.Wait(context.Background(), 0); err != nil {
+		t.Errorf("zero-token wait errored: %v", err)
+	}
+}
+
+func TestWaitCancellation(t *testing.T) {
+	b, _ := NewBucket(0, 10) // paused
+	drain := context.Background()
+	if err := b.Wait(drain, 10); err != nil { // burst grants immediately
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := b.Wait(ctx, 1)
+	if err == nil {
+		t.Fatal("paused bucket granted tokens")
+	}
+	if ctx.Err() == nil {
+		t.Error("expected context expiry")
+	}
+}
+
+func TestWaitWakesOnRateChange(t *testing.T) {
+	b, _ := NewBucket(0, 10)
+	if err := b.Wait(context.Background(), 10); err != nil { // drain burst
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- b.Wait(context.Background(), 5) }()
+	time.Sleep(20 * time.Millisecond)
+	b.SetRate(1e6) // effectively instant refill
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Wait after rate change: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake on SetRate")
+	}
+}
+
+func TestConcurrentWaiters(t *testing.T) {
+	b, _ := NewBucket(1e6, 1000)
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- b.Wait(context.Background(), 500)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("concurrent Wait: %v", err)
+		}
+	}
+}

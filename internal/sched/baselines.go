@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/unit"
+)
+
+// Fair is per-flow max-min bandwidth fair sharing — the "naive" baseline of
+// the paper's Fig. 2 that Coflow scheduling can lose to on pipeline
+// workloads. It ignores groups and deadlines entirely.
+type Fair struct{}
+
+// Name implements Scheduler.
+func (Fair) Name() string { return "fair" }
+
+// Schedule implements Scheduler via progressive filling.
+func (Fair) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	if len(snap.Flows) == 0 {
+		return map[string]unit.Rate{}, nil
+	}
+	rates, err := net.MaxMin(requestsOf(snap.Flows))
+	if err != nil {
+		return nil, err
+	}
+	return rates, nil
+}
+
+// SRPT prioritizes the flow with the smallest remaining volume (a pFabric-
+// style information-rich per-flow policy): flows are greedily filled in
+// ascending remaining order. It minimizes mean flow completion time but is
+// oblivious to computation arrangements.
+type SRPT struct{}
+
+// Name implements Scheduler.
+func (SRPT) Name() string { return "srpt" }
+
+// Schedule implements Scheduler.
+func (SRPT) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	if len(snap.Flows) == 0 {
+		return map[string]unit.Rate{}, nil
+	}
+	ordered := sortedCopy(snap.Flows, func(a, b *FlowState) bool {
+		return a.Remaining < b.Remaining
+	})
+	rates, err := net.GreedyFill(requestsOf(ordered))
+	if err != nil {
+		return nil, err
+	}
+	return rates, nil
+}
+
+// FIFO serves flows strictly in release order — the behaviour of a plain
+// shared message queue with no scheduling at all.
+type FIFO struct{}
+
+// Name implements Scheduler.
+func (FIFO) Name() string { return "fifo" }
+
+// Schedule implements Scheduler.
+func (FIFO) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	if len(snap.Flows) == 0 {
+		return map[string]unit.Rate{}, nil
+	}
+	ordered := sortedCopy(snap.Flows, func(a, b *FlowState) bool {
+		return a.Release.Before(b.Release)
+	})
+	rates, err := net.GreedyFill(requestsOf(ordered))
+	if err != nil {
+		return nil, err
+	}
+	return rates, nil
+}

@@ -1,0 +1,196 @@
+// Package sched implements the flow schedulers compared in the paper:
+// bandwidth fair sharing, Coflow scheduling (Varys-style MADD with SEBF
+// ordering), and EchelonFlow scheduling (the paper's Property-4 adaptation
+// of MADD to tardiness), plus per-flow baselines (SRPT, FIFO).
+//
+// A scheduler is a pure function from a scheduling snapshot (released,
+// unfinished flows with group deadlines) and a fabric to per-flow rates.
+// The co-simulator and the live Coordinator both re-invoke it on every flow
+// arrival and departure, matching the paper's §5 sketch.
+package sched
+
+import (
+	"sort"
+
+	"echelonflow/internal/unit"
+)
+
+// profile is a piecewise-constant free-capacity timeline for one direction
+// of one host port, used to plan time-varying reservations. Segment i spans
+// [times[i], times[i+1]) (the last extends to infinity) with free[i]
+// capacity remaining.
+type profile struct {
+	times []unit.Time
+	free  []unit.Rate
+}
+
+func newProfile(start unit.Time, cap unit.Rate) *profile {
+	return &profile{times: []unit.Time{start}, free: []unit.Rate{cap}}
+}
+
+func (p *profile) clone() *profile {
+	return &profile{
+		times: append([]unit.Time(nil), p.times...),
+		free:  append([]unit.Rate(nil), p.free...),
+	}
+}
+
+// segIndex returns the index of the segment containing t, clamping to the
+// first segment for times before the profile starts.
+func (p *profile) segIndex(t unit.Time) int {
+	i := sort.Search(len(p.times), func(i int) bool { return p.times[i] > t }) - 1
+	if i < 0 {
+		return 0
+	}
+	return i
+}
+
+// ensureBreak inserts a breakpoint at t (if within range) and returns the
+// index of the segment starting at t.
+func (p *profile) ensureBreak(t unit.Time) int {
+	if t <= p.times[0] {
+		return 0
+	}
+	i := p.segIndex(t)
+	if p.times[i].ApproxEq(t) {
+		return i
+	}
+	// Split segment i at t.
+	p.times = append(p.times, 0)
+	p.free = append(p.free, 0)
+	copy(p.times[i+2:], p.times[i+1:])
+	copy(p.free[i+2:], p.free[i+1:])
+	p.times[i+1] = t
+	p.free[i+1] = p.free[i]
+	return i + 1
+}
+
+// freeAt returns the free capacity at time t.
+func (p *profile) freeAt(t unit.Time) unit.Rate {
+	if t < p.times[0] {
+		t = p.times[0]
+	}
+	return p.free[p.segIndex(t)]
+}
+
+// reserve subtracts rate over [from, to). Reservations may not exceed the
+// free capacity (within tolerance); excess clamps at zero to keep later
+// arithmetic sane.
+func (p *profile) reserve(from, to unit.Time, rate unit.Rate) {
+	if to <= from || rate <= 0 {
+		return
+	}
+	i := p.ensureBreak(from)
+	var j int
+	if to.IsInf() {
+		j = len(p.times)
+	} else {
+		j = p.ensureBreak(to)
+	}
+	for k := i; k < j; k++ {
+		p.free[k] -= rate
+		if p.free[k] < 0 {
+			p.free[k] = 0
+		}
+	}
+}
+
+// fillSegment is one constant-rate span of a planned transmission.
+type fillSegment struct {
+	from, to unit.Time
+	rate     unit.Rate
+}
+
+// pairFill plans an earliest-first transmission of vol bytes between the
+// two port profiles inside [from, to]: at every instant it uses the minimum
+// of the two free capacities. It returns the planned segments and whether
+// the full volume fits. Nothing is committed.
+func pairFill(src, dst *profile, from, to unit.Time, vol unit.Bytes) ([]fillSegment, bool) {
+	if vol.Zeroish() {
+		return nil, true
+	}
+	if to <= from {
+		return nil, false
+	}
+	// Merge breakpoints from both profiles within [from, to].
+	cuts := mergeBreaks(src, dst, from, to)
+	var fills []fillSegment
+	remaining := vol
+	for i := 0; i+1 <= len(cuts)-1; i++ {
+		a, b := cuts[i], cuts[i+1]
+		r := unit.MinRate(src.freeAt(a), dst.freeAt(a))
+		if r <= unit.Rate(unit.Eps) {
+			continue
+		}
+		span := b - a
+		capVol := r.Over(span)
+		if float64(capVol) >= float64(remaining)-unit.Eps {
+			// Volume exhausts within this segment.
+			end := a + remaining.At(r)
+			fills = append(fills, fillSegment{from: a, to: end, rate: r})
+			return fills, true
+		}
+		fills = append(fills, fillSegment{from: a, to: b, rate: r})
+		remaining -= capVol
+	}
+	return fills, false
+}
+
+// mergeBreaks returns the sorted breakpoints of both profiles clipped to
+// [from, to], always including both endpoints. An infinite "to" is replaced
+// by a horizon far beyond the last finite breakpoint.
+func mergeBreaks(src, dst *profile, from, to unit.Time) []unit.Time {
+	if to.IsInf() {
+		last := from
+		if n := len(src.times); n > 0 && src.times[n-1] > last {
+			last = src.times[n-1]
+		}
+		if n := len(dst.times); n > 0 && dst.times[n-1] > last {
+			last = dst.times[n-1]
+		}
+		to = last + 1e12
+	}
+	set := map[unit.Time]bool{from: true, to: true}
+	for _, t := range src.times {
+		if t > from && t < to {
+			set[t] = true
+		}
+	}
+	for _, t := range dst.times {
+		if t > from && t < to {
+			set[t] = true
+		}
+	}
+	out := make([]unit.Time, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// commit subtracts the planned segments from both profiles.
+func commit(src, dst *profile, fills []fillSegment) {
+	for _, f := range fills {
+		src.reserve(f.from, f.to, f.rate)
+		dst.reserve(f.from, f.to, f.rate)
+	}
+}
+
+// rateAt returns the planned rate at instant t (zero if no segment covers it).
+func rateAt(fills []fillSegment, t unit.Time) unit.Rate {
+	for _, f := range fills {
+		if t >= f.from-unit.Time(unit.Eps) && t < f.to-unit.Time(unit.Eps) {
+			return f.rate
+		}
+	}
+	return 0
+}
+
+// finishOf returns the end of the last planned segment.
+func finishOf(fills []fillSegment) unit.Time {
+	if len(fills) == 0 {
+		return 0
+	}
+	return fills[len(fills)-1].to
+}

@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"sort"
+
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/unit"
+)
+
+// CoflowMADD is Varys-style Coflow scheduling: groups are ordered by
+// Smallest Effective Bottleneck First (SEBF) and, within a group, every flow
+// receives the Minimum Allocation for Desired Duration (MADD) — the rate
+// that finishes it exactly at the group's bottleneck completion time, so all
+// flows of a Coflow finish simultaneously.
+//
+// This is the abstraction the paper argues against for DDLT: on pipeline
+// workloads the simultaneous finish delays early micro-batches behind late
+// ones (Fig. 2b). It treats every group as a Coflow regardless of its
+// declared arrangement.
+type CoflowMADD struct {
+	// Backfill redistributes leftover capacity to flows in SEBF order after
+	// the minimal allocations, making the scheduler work-conserving.
+	Backfill bool
+}
+
+// Name implements Scheduler.
+func (c CoflowMADD) Name() string {
+	if c.Backfill {
+		return "coflow-madd+bf"
+	}
+	return "coflow-madd"
+}
+
+// groupedFlows collects the snapshot's flows per group, ordered by group ID
+// for determinism.
+func groupedFlows(snap *Snapshot) ([]string, map[string][]*FlowState) {
+	byGroup := make(map[string][]*FlowState)
+	for _, fs := range snap.Flows {
+		byGroup[fs.GroupID] = append(byGroup[fs.GroupID], fs)
+	}
+	ids := make([]string, 0, len(byGroup))
+	for id := range byGroup {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, byGroup
+}
+
+// volumesOf converts a group's flows to remaining volume demands.
+func volumesOf(flows []*FlowState) []fabric.VolumeDemand {
+	out := make([]fabric.VolumeDemand, 0, len(flows))
+	for _, fs := range flows {
+		out = append(out, fabric.VolumeDemand{Src: fs.Flow.Src, Dst: fs.Flow.Dst, Volume: fs.Remaining})
+	}
+	return out
+}
+
+// residualGamma computes a group's bottleneck completion time against
+// residual port capacities. It returns Inf when a needed port has no
+// capacity left.
+func residualGamma(flows []*FlowState, res *fabric.Residual, net *fabric.Network) unit.Time {
+	eg := make(map[string]unit.Bytes)
+	in := make(map[string]unit.Bytes)
+	up := make(map[string]unit.Bytes)
+	down := make(map[string]unit.Bytes)
+	for _, fs := range flows {
+		eg[fs.Flow.Src] += fs.Remaining
+		in[fs.Flow.Dst] += fs.Remaining
+		if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
+			if srcRack != "" {
+				up[srcRack] += fs.Remaining
+			}
+			if dstRack != "" {
+				down[dstRack] += fs.Remaining
+			}
+		}
+	}
+	var gamma unit.Time
+	for host, vol := range eg {
+		gamma = unit.MaxTime(gamma, vol.At(res.EgressFree(host)))
+	}
+	for host, vol := range in {
+		gamma = unit.MaxTime(gamma, vol.At(res.IngressFree(host)))
+	}
+	for rack, vol := range up {
+		gamma = unit.MaxTime(gamma, vol.At(res.RackUpFree(rack)))
+	}
+	for rack, vol := range down {
+		gamma = unit.MaxTime(gamma, vol.At(res.RackDownFree(rack)))
+	}
+	return gamma
+}
+
+// Schedule implements Scheduler.
+func (c CoflowMADD) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	rates := zeroFill(snap)
+	if len(snap.Flows) == 0 {
+		return rates, nil
+	}
+	ids, byGroup := groupedFlows(snap)
+
+	// SEBF: order groups by their bottleneck time on the full fabric.
+	solo := make(map[string]unit.Time, len(ids))
+	for _, id := range ids {
+		g, err := net.BottleneckTime(volumesOf(byGroup[id]))
+		if err != nil {
+			return nil, err
+		}
+		solo[id] = g
+	}
+	sort.SliceStable(ids, func(i, j int) bool {
+		if !solo[ids[i]].ApproxEq(solo[ids[j]]) {
+			return solo[ids[i]] < solo[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+
+	// MADD per group against the residual capacity left by earlier groups.
+	res := net.NewResidual()
+	for _, id := range ids {
+		flows := byGroup[id]
+		gamma := residualGamma(flows, res, net)
+		if gamma.IsInf() {
+			continue // starved this round; re-scheduled on the next event
+		}
+		if gamma <= 0 {
+			continue // nothing left to send
+		}
+		for _, fs := range flows {
+			r := unit.Rate(float64(fs.Remaining) / float64(gamma))
+			r = unit.MinRate(r, res.Available(fs.Flow.Src, fs.Flow.Dst))
+			rates[fs.Flow.ID] += r
+			res.Take(fs.Flow.Src, fs.Flow.Dst, r)
+		}
+	}
+
+	if c.Backfill {
+		for _, id := range ids {
+			for _, fs := range sortedCopy(byGroup[id], func(a, b *FlowState) bool { return false }) {
+				extra := res.Available(fs.Flow.Src, fs.Flow.Dst)
+				if extra <= unit.Rate(unit.Eps) {
+					continue
+				}
+				rates[fs.Flow.ID] += extra
+				res.Take(fs.Flow.Src, fs.Flow.Dst, extra)
+			}
+		}
+	}
+	return rates, nil
+}

@@ -1,0 +1,571 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/unit"
+)
+
+// Order selects how EchelonMADD ranks competing EchelonFlows, the
+// inter-EchelonFlow decision of the paper's Property 4 ("rank EchelonFlows
+// by each EchelonFlow's tardiness, instead of the Coflow completion time").
+type Order int
+
+const (
+	// SmallestTardinessFirst is the SEBF analogue: groups that can achieve
+	// low tardiness go first, keeping them tight while barely delaying the
+	// already-late ones. This is the default.
+	SmallestTardinessFirst Order = iota
+	// LargestTardinessFirst prioritizes the most tardy groups. Available
+	// for the inter-group ordering ablation (DESIGN.md E1).
+	LargestTardinessFirst
+)
+
+// String names the order for experiment tables.
+func (o Order) String() string {
+	switch o {
+	case SmallestTardinessFirst:
+		return "stf"
+	case LargestTardinessFirst:
+		return "ltf"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// EchelonMADD is the paper's EchelonFlow scheduler: the MADD adaptation of
+// Property 4. For each EchelonFlow it finds the smallest achievable group
+// tardiness τ — the minimal uniform slack such that every member flow can
+// finish by its ideal finish time plus τ — and allocates just enough
+// bandwidth to meet those staggered targets, planned over a time-varying
+// capacity profile. Flows sharing a deadline (Coflow stages) are allocated
+// proportionally so they finish simultaneously, which makes the scheduler
+// collapse to classic MADD on Coflow-compliant groups (Property 2).
+type EchelonMADD struct {
+	// Order ranks competing groups; see Order.
+	Order Order
+	// Backfill redistributes leftover capacity (earliest deadline first)
+	// after the minimal allocations, making the scheduler work-conserving.
+	Backfill bool
+	// Weighted divides each group's ordering metric by its weight (the
+	// weighted-sum objective of Eq. 4): a weight-2 group is served as if
+	// its achievable tardiness were half as large.
+	Weighted bool
+	// GlobalEDF plans deadline classes in one global earliest-(floored)-
+	// deadline order across groups instead of group by group. Group-serial
+	// planning (the default, Varys-like) cannot express workloads whose
+	// computation interleaves consumption across groups (e.g. 1F1B
+	// pipelines); global ordering can, at the cost of the SEBF-style
+	// inter-group preference. Ablated in experiments E1/E7.
+	GlobalEDF bool
+}
+
+// Name implements Scheduler.
+func (e EchelonMADD) Name() string {
+	n := "echelon-madd"
+	if e.Order == LargestTardinessFirst {
+		n += "-ltf"
+	}
+	if e.GlobalEDF {
+		n += "-gedf"
+	}
+	if e.Weighted {
+		n += "-w"
+	}
+	if e.Backfill {
+		n += "+bf"
+	}
+	return n
+}
+
+// portProfiles tracks the free-capacity timeline of every port direction
+// during a planning pass, including rack uplinks/downlinks when the fabric
+// defines them.
+type portProfiles struct {
+	net  *fabric.Network
+	eg   map[string]*profile
+	in   map[string]*profile
+	up   map[string]*profile
+	down map[string]*profile
+}
+
+func newPortProfiles(net *fabric.Network, now unit.Time) *portProfiles {
+	pp := &portProfiles{
+		net:  net,
+		eg:   make(map[string]*profile, net.Len()),
+		in:   make(map[string]*profile, net.Len()),
+		up:   make(map[string]*profile),
+		down: make(map[string]*profile),
+	}
+	for _, h := range net.Hosts() {
+		pp.eg[h.Name] = newProfile(now, h.Egress)
+		pp.in[h.Name] = newProfile(now, h.Ingress)
+	}
+	for _, r := range net.Racks() {
+		pp.up[r.Name] = newProfile(now, r.Uplink)
+		pp.down[r.Name] = newProfile(now, r.Downlink)
+	}
+	return pp
+}
+
+func (pp *portProfiles) clone() *portProfiles {
+	cp := &portProfiles{
+		net:  pp.net,
+		eg:   make(map[string]*profile, len(pp.eg)),
+		in:   make(map[string]*profile, len(pp.in)),
+		up:   make(map[string]*profile, len(pp.up)),
+		down: make(map[string]*profile, len(pp.down)),
+	}
+	for k, v := range pp.eg {
+		cp.eg[k] = v.clone()
+	}
+	for k, v := range pp.in {
+		cp.in[k] = v.clone()
+	}
+	for k, v := range pp.up {
+		cp.up[k] = v.clone()
+	}
+	for k, v := range pp.down {
+		cp.down[k] = v.clone()
+	}
+	return cp
+}
+
+// rackPorts returns the rack profiles a flow crosses (nil when none).
+func (pp *portProfiles) rackPorts(src, dst string) (upP, downP *profile) {
+	srcRack, dstRack, crosses := pp.net.CrossRack(src, dst)
+	if !crosses {
+		return nil, nil
+	}
+	if srcRack != "" {
+		upP = pp.up[srcRack]
+	}
+	if dstRack != "" {
+		downP = pp.down[dstRack]
+	}
+	return upP, downP
+}
+
+// deadlineClass is a set of group flows sharing one ideal finish time; its
+// members must finish simultaneously (a Coflow stage inside the group).
+type deadlineClass struct {
+	deadline unit.Time
+	flows    []*FlowState
+}
+
+// classesOf partitions a group's flows by deadline, ascending.
+func classesOf(snap *Snapshot, flows []*FlowState) []deadlineClass {
+	sorted := sortedCopy(flows, func(a, b *FlowState) bool {
+		da, db := snap.Deadline(a), snap.Deadline(b)
+		if !da.ApproxEq(db) {
+			return da < db
+		}
+		return a.Flow.Stage < b.Flow.Stage
+	})
+	var classes []deadlineClass
+	for _, fs := range sorted {
+		d := snap.Deadline(fs)
+		if len(classes) > 0 && classes[len(classes)-1].deadline.ApproxEq(d) {
+			classes[len(classes)-1].flows = append(classes[len(classes)-1].flows, fs)
+			continue
+		}
+		classes = append(classes, deadlineClass{deadline: d, flows: []*FlowState{fs}})
+	}
+	return classes
+}
+
+// classFill plans a simultaneous-finish transmission for one deadline class
+// inside [from, to]: at every instant each flow's rate is proportional to
+// its remaining volume, scaled to the tightest port (classic MADD), over the
+// time-varying free capacities. With paced set, rates are additionally
+// capped at the minimum pace that still reaches the target — the "minimum
+// allocation for desired duration" that leaves slack to other groups; the
+// greedy (unpaced) mode transmits as early as possible and is used to test
+// feasibility, since deferring work can only lose against a fixed capacity
+// profile. It returns per-flow segments and whether the class finishes by
+// the target. Nothing is committed.
+func classFill(pp *portProfiles, cls deadlineClass, from, to unit.Time, paced bool) (map[string][]fillSegment, bool) {
+	plans := make(map[string][]fillSegment, len(cls.flows))
+	remaining := make(map[string]unit.Bytes, len(cls.flows))
+	var total unit.Bytes
+	for _, fs := range cls.flows {
+		remaining[fs.Flow.ID] = fs.Remaining
+		total += fs.Remaining
+	}
+	if total.Zeroish() {
+		return plans, true
+	}
+	if to <= from {
+		return nil, false
+	}
+	cuts := classBreaks(pp, cls, from, to)
+	for i := 0; i+1 <= len(cuts)-1; i++ {
+		a, b := cuts[i], cuts[i+1]
+		// λ scales per-flow rates (rate_j = λ·v_j): the largest λ keeping
+		// every port within its free capacity for this segment.
+		lambda := classLambda(pp, cls, remaining, a)
+		if paced && to > a {
+			// Never exceed the pace that finishes exactly at the target:
+			// the remaining fraction needs 1/λ more time, so λ = 1/(to−a).
+			needed := 1 / float64(to-a)
+			if needed < lambda {
+				lambda = needed
+			}
+		}
+		if lambda <= unit.Eps {
+			continue
+		}
+		// All flows finish together after 1/λ more time at these rates.
+		finishSpan := unit.Time(1 / lambda)
+		segEnd := b
+		done := false
+		if a+finishSpan <= b+unit.Time(unit.Eps) {
+			segEnd = a + finishSpan
+			done = true
+		}
+		for _, fs := range cls.flows {
+			v := remaining[fs.Flow.ID]
+			if v.Zeroish() {
+				continue
+			}
+			r := unit.Rate(lambda * float64(v))
+			plans[fs.Flow.ID] = append(plans[fs.Flow.ID], fillSegment{from: a, to: segEnd, rate: r})
+			remaining[fs.Flow.ID] = v - r.Over(segEnd-a)
+		}
+		if done {
+			return plans, true
+		}
+	}
+	return plans, false
+}
+
+// classLambda computes the largest proportional-rate scale for a class at
+// time t: min over ports of free capacity divided by the volume crossing it.
+func classLambda(pp *portProfiles, cls deadlineClass, remaining map[string]unit.Bytes, t unit.Time) float64 {
+	egVol := make(map[string]unit.Bytes)
+	inVol := make(map[string]unit.Bytes)
+	upVol := make(map[*profile]unit.Bytes)
+	downVol := make(map[*profile]unit.Bytes)
+	for _, fs := range cls.flows {
+		v := remaining[fs.Flow.ID]
+		if v.Zeroish() {
+			continue
+		}
+		egVol[fs.Flow.Src] += v
+		inVol[fs.Flow.Dst] += v
+		upP, downP := pp.rackPorts(fs.Flow.Src, fs.Flow.Dst)
+		if upP != nil {
+			upVol[upP] += v
+		}
+		if downP != nil {
+			downVol[downP] += v
+		}
+	}
+	lambda := 1e300
+	for host, vol := range egVol {
+		if l := float64(pp.eg[host].freeAt(t)) / float64(vol); l < lambda {
+			lambda = l
+		}
+	}
+	for host, vol := range inVol {
+		if l := float64(pp.in[host].freeAt(t)) / float64(vol); l < lambda {
+			lambda = l
+		}
+	}
+	for p, vol := range upVol {
+		if l := float64(p.freeAt(t)) / float64(vol); l < lambda {
+			lambda = l
+		}
+	}
+	for p, vol := range downVol {
+		if l := float64(p.freeAt(t)) / float64(vol); l < lambda {
+			lambda = l
+		}
+	}
+	return lambda
+}
+
+// classBreaks merges the breakpoints of every port a class touches within
+// [from, to].
+func classBreaks(pp *portProfiles, cls deadlineClass, from, to unit.Time) []unit.Time {
+	set := map[unit.Time]bool{from: true, to: true}
+	add := func(p *profile) {
+		for _, t := range p.times {
+			if t > from && t < to {
+				set[t] = true
+			}
+		}
+	}
+	for _, fs := range cls.flows {
+		add(pp.eg[fs.Flow.Src])
+		add(pp.in[fs.Flow.Dst])
+		if upP, downP := pp.rackPorts(fs.Flow.Src, fs.Flow.Dst); upP != nil || downP != nil {
+			if upP != nil {
+				add(upP)
+			}
+			if downP != nil {
+				add(downP)
+			}
+		}
+	}
+	out := make([]unit.Time, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// commitClass reserves a class plan on the port profiles.
+func commitClass(pp *portProfiles, cls deadlineClass, plans map[string][]fillSegment) {
+	for _, fs := range cls.flows {
+		upP, downP := pp.rackPorts(fs.Flow.Src, fs.Flow.Dst)
+		for _, seg := range plans[fs.Flow.ID] {
+			pp.eg[fs.Flow.Src].reserve(seg.from, seg.to, seg.rate)
+			pp.in[fs.Flow.Dst].reserve(seg.from, seg.to, seg.rate)
+			if upP != nil {
+				upP.reserve(seg.from, seg.to, seg.rate)
+			}
+			if downP != nil {
+				downP.reserve(seg.from, seg.to, seg.rate)
+			}
+		}
+	}
+}
+
+// planHorizon is the open-ended window for "finish as early as possible"
+// greedy fills.
+const planHorizon = unit.Time(1e15)
+
+// planGroup reserves a whole group on the port profiles, class by class in
+// deadline order. Each class is paced to finish at
+//
+//	target = max(deadline + floor, earliest feasible finish)
+//
+// — the MADD adaptation of Property 4: a class receives the minimum
+// allocation that meets its (floored) ideal finish time, and a class whose
+// ideal finish is unattainable catches up as fast as the fabric allows
+// without slacking the classes ahead of it. The floor is the group's
+// already-achieved tardiness, which keeps the remaining flows aligned with
+// the shifted echelon formation (§3.1) instead of over-serving them.
+//
+// It returns the per-flow plans and the group's planned tardiness (the
+// worst planned finish minus deadline), or an error when a required port
+// has no capacity at all.
+func planGroup(snap *Snapshot, pp *portProfiles, classes []deadlineClass, floor unit.Time) (map[string][]fillSegment, unit.Time, error) {
+	all := make(map[string][]fillSegment)
+	tardiness := floor
+	for _, cls := range classes {
+		plans, planned, err := planClass(snap, pp, cls, floor)
+		if err != nil {
+			return nil, 0, err
+		}
+		tardiness = unit.MaxTime(tardiness, planned-cls.deadline)
+		for id, segs := range plans {
+			all[id] = segs
+		}
+	}
+	return all, tardiness, nil
+}
+
+// planClass plans and commits one deadline class against the profiles,
+// returning the per-flow plans and the class's planned finish.
+func planClass(snap *Snapshot, pp *portProfiles, cls deadlineClass, floor unit.Time) (map[string][]fillSegment, unit.Time, error) {
+	greedy, ok := classFill(pp, cls, snap.Now, planHorizon, false)
+	if !ok {
+		return nil, 0, fmt.Errorf("sched: class at deadline %v cannot finish (zero-capacity port?)", cls.deadline)
+	}
+	earliest := snap.Now
+	for _, segs := range greedy {
+		earliest = unit.MaxTime(earliest, finishOf(segs))
+	}
+	target := unit.MaxTime(cls.deadline+floor, earliest)
+	plans := greedy
+	if target.After(earliest) {
+		// Deferring to the target may hit spans other groups already
+		// reserved; keep the greedy plan if pacing cannot fit.
+		if paced, ok := classFill(pp, cls, snap.Now, target, true); ok {
+			plans = paced
+		}
+	}
+	planned := snap.Now
+	for _, segs := range plans {
+		planned = unit.MaxTime(planned, finishOf(segs))
+	}
+	commitClass(pp, cls, plans)
+	return plans, planned, nil
+}
+
+// soloTardiness estimates the tardiness a group would achieve alone on the
+// full fabric — the inter-EchelonFlow ranking metric of Property 4.
+func soloTardiness(snap *Snapshot, net *fabric.Network, classes []deadlineClass, floor unit.Time) (unit.Time, error) {
+	_, tau, err := planGroup(snap, newPortProfiles(net, snap.Now), classes, floor)
+	return tau, err
+}
+
+// Schedule implements Scheduler.
+func (e EchelonMADD) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	rates := zeroFill(snap)
+	if len(snap.Flows) == 0 {
+		return rates, nil
+	}
+	ids, byGroup := groupedFlows(snap)
+
+	// Rank groups by the tardiness each could achieve alone on the full
+	// fabric (the inter-EchelonFlow metric of Property 4).
+	classes := make(map[string][]deadlineClass, len(ids))
+	solo := make(map[string]unit.Time, len(ids))
+	for _, id := range ids {
+		classes[id] = classesOf(snap, byGroup[id])
+		floor := unit.MaxTime(0, snap.Groups[id].AchievedTardiness)
+		tau, err := soloTardiness(snap, net, classes[id], floor)
+		if err != nil {
+			return nil, fmt.Errorf("sched: group %q: %w", id, err)
+		}
+		if e.Weighted {
+			tau = unit.Time(float64(tau) / snap.Groups[id].Group.EffectiveWeight())
+		}
+		solo[id] = tau
+	}
+	sort.SliceStable(ids, func(i, j int) bool {
+		a, b := solo[ids[i]], solo[ids[j]]
+		if !a.ApproxEq(b) {
+			if e.Order == LargestTardinessFirst {
+				return a > b
+			}
+			return a < b
+		}
+		return ids[i] < ids[j]
+	})
+
+	// Allocate against the shared capacity timeline: group by group in rank
+	// order (default), or all deadline classes in one global EDF order.
+	pp := newPortProfiles(net, snap.Now)
+	if e.GlobalEDF {
+		type gcls struct {
+			gid   string
+			cls   deadlineClass
+			floor unit.Time
+		}
+		var all []gcls
+		for _, id := range ids {
+			floor := unit.MaxTime(0, snap.Groups[id].AchievedTardiness)
+			for _, cls := range classes[id] {
+				all = append(all, gcls{gid: id, cls: cls, floor: floor})
+			}
+		}
+		sort.SliceStable(all, func(i, j int) bool {
+			a, b := all[i].cls.deadline+all[i].floor, all[j].cls.deadline+all[j].floor
+			if !a.ApproxEq(b) {
+				return a < b
+			}
+			if !solo[all[i].gid].ApproxEq(solo[all[j].gid]) {
+				return solo[all[i].gid] < solo[all[j].gid]
+			}
+			return all[i].gid < all[j].gid
+		})
+		for _, gc := range all {
+			plans, _, err := planClass(snap, pp, gc.cls, gc.floor)
+			if err != nil {
+				return nil, fmt.Errorf("sched: group %q: %w", gc.gid, err)
+			}
+			for id, segs := range plans {
+				rates[id] += rateAt(segs, snap.Now)
+			}
+		}
+	} else {
+		for _, id := range ids {
+			floor := unit.MaxTime(0, snap.Groups[id].AchievedTardiness)
+			plans, _, err := planGroup(snap, pp, classes[id], floor)
+			if err != nil {
+				return nil, fmt.Errorf("sched: group %q: %w", id, err)
+			}
+			for _, fs := range byGroup[id] {
+				rates[fs.Flow.ID] += rateAt(plans[fs.Flow.ID], snap.Now)
+			}
+		}
+	}
+
+	if e.Backfill {
+		e.backfill(snap, net, rates)
+	}
+
+	// Clamp float fuzz so the allocation is exactly feasible.
+	return clampFeasible(snap, net, rates)
+}
+
+// backfill hands leftover instantaneous capacity to flows in deadline order.
+func (e EchelonMADD) backfill(snap *Snapshot, net *fabric.Network, rates map[string]unit.Rate) {
+	res := net.NewResidual()
+	for _, fs := range snap.Flows {
+		res.Take(fs.Flow.Src, fs.Flow.Dst, rates[fs.Flow.ID])
+	}
+	ordered := sortedCopy(snap.Flows, func(a, b *FlowState) bool {
+		return snap.Deadline(a).Before(snap.Deadline(b))
+	})
+	for _, fs := range ordered {
+		extra := res.Available(fs.Flow.Src, fs.Flow.Dst)
+		if extra <= unit.Rate(unit.Eps) {
+			continue
+		}
+		rates[fs.Flow.ID] += extra
+		res.Take(fs.Flow.Src, fs.Flow.Dst, extra)
+	}
+}
+
+// clampFeasible scales down any port's allocations that exceed capacity by
+// accumulated floating-point fuzz, then validates.
+func clampFeasible(snap *Snapshot, net *fabric.Network, rates map[string]unit.Rate) (map[string]unit.Rate, error) {
+	eg := make(map[string]unit.Rate)
+	in := make(map[string]unit.Rate)
+	up := make(map[string]unit.Rate)
+	down := make(map[string]unit.Rate)
+	for _, fs := range snap.Flows {
+		eg[fs.Flow.Src] += rates[fs.Flow.ID]
+		in[fs.Flow.Dst] += rates[fs.Flow.ID]
+		if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
+			if srcRack != "" {
+				up[srcRack] += rates[fs.Flow.ID]
+			}
+			if dstRack != "" {
+				down[dstRack] += rates[fs.Flow.ID]
+			}
+		}
+	}
+	scale := func(used, cap unit.Rate) float64 {
+		if used <= cap || used == 0 {
+			return 1
+		}
+		return float64(cap) / float64(used)
+	}
+	for _, fs := range snap.Flows {
+		s := scale(eg[fs.Flow.Src], net.Host(fs.Flow.Src).Egress)
+		if v := scale(in[fs.Flow.Dst], net.Host(fs.Flow.Dst).Ingress); v < s {
+			s = v
+		}
+		if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
+			if srcRack != "" {
+				if v := scale(up[srcRack], net.Rack(srcRack).Uplink); v < s {
+					s = v
+				}
+			}
+			if dstRack != "" {
+				if v := scale(down[dstRack], net.Rack(dstRack).Downlink); v < s {
+					s = v
+				}
+			}
+		}
+		if s < 1 {
+			rates[fs.Flow.ID] = unit.Rate(float64(rates[fs.Flow.ID]) * s)
+		}
+	}
+	if err := net.Feasible(requestsOf(snap.Flows), rates); err != nil {
+		return nil, err
+	}
+	return rates, nil
+}

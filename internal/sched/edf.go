@@ -1,0 +1,35 @@
+package sched
+
+import (
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/unit"
+)
+
+// EDF serves flows in ascending ideal-finish-time order with greedy
+// filling — deadline-aware like EchelonMADD but per-flow: it ignores group
+// structure (no simultaneous-finish classes, no minimal pacing, no
+// inter-group ranking). The gap between EDF and EchelonMADD isolates how
+// much of EchelonFlow's benefit comes from the arrangement-derived
+// deadlines alone versus the full group treatment.
+type EDF struct{}
+
+// Name implements Scheduler.
+func (EDF) Name() string { return "edf" }
+
+// Schedule implements Scheduler.
+func (EDF) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	if len(snap.Flows) == 0 {
+		return map[string]unit.Rate{}, nil
+	}
+	ordered := sortedCopy(snap.Flows, func(a, b *FlowState) bool {
+		return snap.Deadline(a).Before(snap.Deadline(b))
+	})
+	rates, err := net.GreedyFill(requestsOf(ordered))
+	if err != nil {
+		return nil, err
+	}
+	return rates, nil
+}

@@ -1,0 +1,49 @@
+package sched
+
+import (
+	"testing"
+
+	"echelonflow/internal/core"
+)
+
+// EDF gives the link to the flow with the earliest ideal finish time,
+// regardless of release order or remaining size.
+func TestEDFPrioritizesEarliestDeadline(t *testing.T) {
+	early := pipelineGroup(t, "early", 1, 5)
+	late := pipelineGroup(t, "late", 1, 1)
+	snap := buildSnapshot(t, 0, map[string]*core.EchelonFlow{"early": early, "late": late}, nil)
+	// early's reference 0 => deadline 0; late's reference 10 => deadline 10.
+	snap.Groups["late"].Reference = 10
+	rates, err := EDF{}.Schedule(snap, singleLinkNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates["early-f0"] != 1 || rates["late-f0"] != 0 {
+		t.Errorf("rates = %v, want earliest deadline to get the link", rates)
+	}
+}
+
+// Unlike EchelonMADD, EDF never paces: a lone flow with a far deadline
+// still transmits at full speed.
+func TestEDFDoesNotPace(t *testing.T) {
+	g := pipelineGroup(t, "p", 100, 1)
+	snap := buildSnapshot(t, 0, map[string]*core.EchelonFlow{"p": g}, nil)
+	rates, err := EDF{}.Schedule(snap, singleLinkNet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates["p-f0"] != 1 {
+		t.Errorf("rate = %v, want full link", rates["p-f0"])
+	}
+}
+
+func TestEDFValidates(t *testing.T) {
+	g := pipelineGroup(t, "p", 1, 1)
+	bad := &Snapshot{
+		Groups: map[string]*GroupState{},
+		Flows:  []*FlowState{{Flow: g.Flows[0], GroupID: "ghost", Remaining: 1}},
+	}
+	if _, err := (EDF{}).Schedule(bad, singleLinkNet(t)); err == nil {
+		t.Error("invalid snapshot accepted")
+	}
+}

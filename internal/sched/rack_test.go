@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/unit"
+)
+
+// rackNet builds 2 racks × 2 hosts with NIC 4 and uplink/downlink 2.
+func rackNet(t *testing.T) *fabric.Network {
+	t.Helper()
+	n := fabric.NewNetwork()
+	n.AddUniformHosts(4, "a1", "a2", "b1", "b2")
+	for _, r := range []string{"A", "B"} {
+		if err := n.AddRack(r, 2, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for host, rack := range map[string]string{"a1": "A", "a2": "A", "b1": "B", "b2": "B"} {
+		if err := n.AssignRack(host, rack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+// EchelonMADD must respect uplink capacity: a cross-rack coflow's pace is
+// set by the uplink, not the NICs.
+func TestEchelonMADDRackBottleneck(t *testing.T) {
+	net := rackNet(t)
+	g, err := core.NewCoflow("c",
+		&core.Flow{ID: "x", Src: "a1", Dst: "b1", Size: 4},
+		&core.Flow{ID: "y", Src: "a2", Dst: "b2", Size: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{Now: 0, Groups: map[string]*GroupState{"c": {Group: g}}}
+	for _, f := range g.Flows {
+		snap.Flows = append(snap.Flows, &FlowState{Flow: f, GroupID: "c", Remaining: f.Size})
+	}
+	rates, err := (EchelonMADD{}).Schedule(snap, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uplink A carries 8 bytes at 2 B/s: Γ = 4, MADD rates 1 each.
+	if math.Abs(float64(rates["x"])-1) > 1e-6 || math.Abs(float64(rates["y"])-1) > 1e-6 {
+		t.Errorf("rates = %v, want 1 each (uplink-paced)", rates)
+	}
+	if err := net.Feasible(requestsOf(snap.Flows), rates); err != nil {
+		t.Errorf("infeasible: %v", err)
+	}
+}
+
+// Intra-rack flows must not be throttled by the uplink that cross-rack
+// flows saturate.
+func TestEchelonMADDIntraRackUnaffected(t *testing.T) {
+	net := rackNet(t)
+	cross, _ := core.NewCoflow("cross", &core.Flow{ID: "x", Src: "a1", Dst: "b1", Size: 100})
+	intra, _ := core.NewCoflow("intra", &core.Flow{ID: "z", Src: "a2", Dst: "a1", Size: 1})
+	snap := &Snapshot{Now: 0, Groups: map[string]*GroupState{
+		"cross": {Group: cross}, "intra": {Group: intra},
+	}}
+	snap.Flows = []*FlowState{
+		{Flow: cross.Flows[0], GroupID: "cross", Remaining: 100},
+		{Flow: intra.Flows[0], GroupID: "intra", Remaining: 1},
+	}
+	rates, err := (EchelonMADD{Backfill: true}).Schedule(snap, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates["z"] <= 0 {
+		t.Errorf("intra-rack flow starved: %v", rates)
+	}
+	if rates["x"] > 2+1e-6 {
+		t.Errorf("cross-rack flow exceeds uplink: %v", rates["x"])
+	}
+	if err := net.Feasible(requestsOf(snap.Flows), rates); err != nil {
+		t.Errorf("infeasible: %v", err)
+	}
+}
+
+// Property: every scheduler stays feasible on random two-rack scenarios.
+func TestSchedulersRackFeasibleProperty(t *testing.T) {
+	schedulers := allSchedulers()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := fabric.NewNetwork()
+		hosts := []string{"a1", "a2", "b1", "b2"}
+		net.AddUniformHosts(unit.Rate(1+3*rng.Float64()), hosts...)
+		_ = net.AddRack("A", unit.Rate(0.5+rng.Float64()), unit.Rate(0.5+rng.Float64()))
+		_ = net.AddRack("B", unit.Rate(0.5+rng.Float64()), unit.Rate(0.5+rng.Float64()))
+		for host, rack := range map[string]string{"a1": "A", "a2": "A", "b1": "B", "b2": "B"} {
+			_ = net.AssignRack(host, rack)
+		}
+		snap := &Snapshot{Now: 0, Groups: map[string]*GroupState{}}
+		groupCount := 1 + rng.Intn(3)
+		for gi := 0; gi < groupCount; gi++ {
+			gid := fmt.Sprintf("g%d", gi)
+			var flows []*core.Flow
+			for fi := 0; fi < 1+rng.Intn(4); fi++ {
+				s := rng.Intn(4)
+				d := rng.Intn(4)
+				if s == d {
+					d = (d + 1) % 4
+				}
+				flows = append(flows, &core.Flow{
+					ID:  fmt.Sprintf("%sf%d", gid, fi),
+					Src: hosts[s], Dst: hosts[d],
+					Size: unit.Bytes(0.5 + 3*rng.Float64()), Stage: fi,
+				})
+			}
+			g, err := core.New(gid, core.Pipeline{T: unit.Time(rng.Float64())}, flows...)
+			if err != nil {
+				return false
+			}
+			snap.Groups[gid] = &GroupState{Group: g}
+			for _, fl := range flows {
+				snap.Flows = append(snap.Flows, &FlowState{Flow: fl, GroupID: gid, Remaining: fl.Size})
+			}
+		}
+		reqs := requestsOf(snap.Flows)
+		for _, s := range schedulers {
+			rates, err := s.Schedule(snap, net)
+			if err != nil {
+				t.Logf("seed %d: %s: %v", seed, s.Name(), err)
+				return false
+			}
+			if err := net.Feasible(reqs, rates); err != nil {
+				t.Logf("seed %d: %s infeasible: %v", seed, s.Name(), err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

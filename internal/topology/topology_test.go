@@ -1,0 +1,167 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"echelonflow/internal/unit"
+)
+
+func cluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := New()
+	for _, h := range []string{"n0", "n1", "n2"} {
+		if err := c.AddHost(h, 4, 8, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestAddHostValidation(t *testing.T) {
+	c := New()
+	cases := []struct {
+		name string
+		gpus int
+		cap  float64
+	}{
+		{"", 4, 8}, {"h", 0, 8}, {"h", 4, 0},
+	}
+	for i, tc := range cases {
+		if err := c.AddHost(tc.name, tc.gpus, unit.Rate(tc.cap), unit.Rate(tc.cap)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := c.AddHost("h", 2, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddHost("h", 2, 4, 4); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestFabricSplitsNIC(t *testing.T) {
+	c := cluster(t)
+	net := c.Fabric()
+	if net.Len() != 12 {
+		t.Fatalf("fabric endpoints = %d", net.Len())
+	}
+	h := net.Host(SlotName("n0", 2))
+	if h == nil || h.Egress != 2 || h.Ingress != 2 {
+		t.Errorf("slot host = %+v, want 8/4 = 2 per direction", h)
+	}
+}
+
+func TestPlacePacked(t *testing.T) {
+	c := cluster(t)
+	p, err := c.Place("job", 6, Packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Slots) != 6 {
+		t.Fatalf("slots = %v", p.Slots)
+	}
+	// Packed fills n0 fully then n1.
+	for i := 0; i < 4; i++ {
+		if !strings.HasPrefix(p.Slots[i], "n0/") {
+			t.Errorf("slot %d = %s, want n0", i, p.Slots[i])
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if !strings.HasPrefix(p.Slots[i], "n1/") {
+			t.Errorf("slot %d = %s, want n1", i, p.Slots[i])
+		}
+	}
+	if f := c.Fragmentation(p); f != 0 {
+		t.Errorf("packed fragmentation = %d", f)
+	}
+	if c.FreeGPUs() != 6 {
+		t.Errorf("free GPUs = %d", c.FreeGPUs())
+	}
+}
+
+func TestPlaceSpread(t *testing.T) {
+	c := cluster(t)
+	p, err := c.Place("job", 3, Spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := map[string]bool{}
+	for _, s := range p.Slots {
+		hosts[strings.Split(s, "/")[0]] = true
+	}
+	if len(hosts) != 3 {
+		t.Errorf("spread slots = %v, want 3 distinct hosts", p.Slots)
+	}
+	// A 3-GPU job could fit on one host: fragmentation = 2.
+	if f := c.Fragmentation(p); f != 2 {
+		t.Errorf("fragmentation = %d, want 2", f)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	c := cluster(t)
+	if _, err := c.Place("", 1, Packed); err == nil {
+		t.Error("empty job accepted")
+	}
+	if _, err := c.Place("j", 0, Packed); err == nil {
+		t.Error("zero GPUs accepted")
+	}
+	if _, err := c.Place("j", 13, Packed); err == nil {
+		t.Error("oversubscription accepted")
+	}
+	if _, err := c.Place("j", 2, Strategy(9)); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := c.Place("j", 2, Packed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Place("j", 2, Packed); err == nil {
+		t.Error("double placement accepted")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	c := cluster(t)
+	p, _ := c.Place("a", 12, Packed)
+	if c.FreeGPUs() != 0 {
+		t.Fatal("cluster should be full")
+	}
+	c.Release("a")
+	if c.FreeGPUs() != 12 {
+		t.Errorf("free after release = %d", c.FreeGPUs())
+	}
+	_ = p
+}
+
+// Fragmentation from churn: a job placed after partial releases lands on
+// scattered slots — the §5 motivation for cross-host scheduling.
+func TestFragmentationFromChurn(t *testing.T) {
+	c := cluster(t)
+	if _, err := c.Place("a", 3, Packed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Place("b", 3, Packed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Place("c", 3, Packed); err != nil {
+		t.Fatal(err)
+	}
+	c.Release("b") // frees 1 slot on n1 and 2 on... (a:4? no, a took 3 on n0)
+	p, err := c.Place("d", 4, Packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fragmentation(p) < 1 {
+		t.Errorf("expected fragmentation after churn, slots = %v", p.Slots)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Packed.String() != "packed" || Spread.String() != "spread" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(7).String() != "strategy(7)" {
+		t.Error("unknown strategy string wrong")
+	}
+}

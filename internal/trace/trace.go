@@ -1,0 +1,339 @@
+// Package trace renders simulation results as ASCII timelines — the
+// reproduction medium for the paper's workflow figures (Figs. 1, 3, 4, 5)
+// — and computes the GPU idleness statistics those figures motivate ("Delay
+// or reordering of data may increase GPU idleness ... and reduce training
+// efficiency", §1).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"echelonflow/internal/dag"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/unit"
+)
+
+// glyphs label tasks on a timeline, cycling when exhausted.
+const glyphs = "123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+// HostTimeline is one worker's computed spans in start order.
+type HostTimeline struct {
+	Host  string
+	Spans []TaskSpan
+}
+
+// TaskSpan is one compute node's execution on a host.
+type TaskSpan struct {
+	ID         string
+	Start, End unit.Time
+}
+
+// Timelines extracts per-host compute timelines from a result, hosts sorted
+// by name and spans by start time.
+func Timelines(res *sim.Result, g *dag.Graph) []HostTimeline {
+	byHost := make(map[string][]TaskSpan)
+	for id, span := range res.Tasks {
+		n := g.Node(id)
+		if n == nil {
+			continue
+		}
+		byHost[n.Host] = append(byHost[n.Host], TaskSpan{ID: id, Start: span.Start, End: span.End})
+	}
+	hosts := make([]string, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	out := make([]HostTimeline, 0, len(hosts))
+	for _, h := range hosts {
+		spans := byHost[h]
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].Start != spans[j].Start {
+				return spans[i].Start < spans[j].Start
+			}
+			return spans[i].ID < spans[j].ID
+		})
+		out = append(out, HostTimeline{Host: h, Spans: spans})
+	}
+	return out
+}
+
+// Idle returns a host's total idle time between its first start and last
+// end — the grey areas of the paper's Fig. 1a.
+func (h HostTimeline) Idle() unit.Time {
+	if len(h.Spans) == 0 {
+		return 0
+	}
+	var busy unit.Time
+	for _, s := range h.Spans {
+		busy += s.End - s.Start
+	}
+	window := h.Spans[len(h.Spans)-1].End - h.Spans[0].Start
+	idle := window - busy
+	if idle < 0 {
+		return 0
+	}
+	return idle
+}
+
+// Utilization returns busy time divided by the full [0, makespan] window.
+func (h HostTimeline) Utilization(makespan unit.Time) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	var busy unit.Time
+	for _, s := range h.Spans {
+		busy += s.End - s.Start
+	}
+	return float64(busy) / float64(makespan)
+}
+
+// Gantt renders the per-host compute timelines as an ASCII chart `width`
+// characters wide, with a legend mapping glyphs to node IDs. Idle time
+// renders as '.'.
+func Gantt(res *sim.Result, g *dag.Graph, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	tls := Timelines(res, g)
+	if len(tls) == 0 || res.Makespan <= 0 {
+		return "(empty timeline)\n"
+	}
+	scale := float64(width) / float64(res.Makespan)
+	var sb strings.Builder
+	var legend []string
+	glyphOf := make(map[string]byte)
+	next := 0
+	hostWidth := 0
+	for _, tl := range tls {
+		if len(tl.Host) > hostWidth {
+			hostWidth = len(tl.Host)
+		}
+	}
+	for _, tl := range tls {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range tl.Spans {
+			gl, ok := glyphOf[s.ID]
+			if !ok {
+				gl = glyphs[next%len(glyphs)]
+				next++
+				glyphOf[s.ID] = gl
+				legend = append(legend, fmt.Sprintf("%c=%s", gl, s.ID))
+			}
+			from := int(float64(s.Start) * scale)
+			to := int(float64(s.End) * scale)
+			if to <= from {
+				to = from + 1
+			}
+			for i := from; i < to && i < width; i++ {
+				row[i] = gl
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s |%s|\n", hostWidth, tl.Host, row)
+	}
+	fmt.Fprintf(&sb, "%-*s  0%*s\n", hostWidth, "t", width-1, res.Makespan.String())
+	sb.WriteString("legend: " + strings.Join(legend, " ") + "\n")
+	return sb.String()
+}
+
+// FlowRow is one line of a flow report.
+type FlowRow struct {
+	ID        string
+	Group     string
+	Release   unit.Time
+	Finish    unit.Time
+	Deadline  unit.Time
+	Tardiness unit.Time
+}
+
+// FlowReport extracts flow rows sorted by finish time then ID. A non-empty
+// groupFilter restricts rows to that group.
+func FlowReport(res *sim.Result, groupFilter string) []FlowRow {
+	var out []FlowRow
+	for id, rec := range res.Flows {
+		if groupFilter != "" && rec.GroupID != groupFilter {
+			continue
+		}
+		out = append(out, FlowRow{
+			ID: id, Group: rec.GroupID,
+			Release: rec.Release, Finish: rec.Finish,
+			Deadline: rec.Deadline, Tardiness: rec.Tardiness(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Finish != out[j].Finish {
+			return out[i].Finish < out[j].Finish
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// FormatFlowReport renders flow rows as a fixed-width table.
+func FormatFlowReport(rows []FlowRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %-22s %10s %10s %10s %10s\n",
+		"flow", "group", "release", "finish", "deadline", "tardiness")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-28s %-22s %10s %10s %10s %10s\n",
+			r.ID, r.Group, r.Release.String(), r.Finish.String(),
+			r.Deadline.String(), r.Tardiness.String())
+	}
+	return sb.String()
+}
+
+// RateChart renders the recorded rate timeline of selected flows (requires
+// sim.Options.RecordRates) — the visual of the paper's Fig. 2 schedules.
+// Each flow renders one row; glyph intensity encodes the rate relative to
+// maxRate: '.' idle, '-' below half, '=' at least half, '#' at least 95%.
+func RateChart(res *sim.Result, flowIDs []string, maxRate unit.Rate, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if res.Makespan <= 0 || maxRate <= 0 {
+		return "(empty rate chart)\n"
+	}
+	scale := float64(width) / float64(res.Makespan)
+	var sb strings.Builder
+	idWidth := 0
+	for _, id := range flowIDs {
+		if len(id) > idWidth {
+			idWidth = len(id)
+		}
+	}
+	for _, id := range flowIDs {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, seg := range res.Rates {
+			if seg.FlowID != id {
+				continue
+			}
+			frac := float64(seg.Rate) / float64(maxRate)
+			var gl byte
+			switch {
+			case frac >= 0.95:
+				gl = '#'
+			case frac >= 0.5:
+				gl = '='
+			default:
+				gl = '-'
+			}
+			from := int(float64(seg.From) * scale)
+			to := int(float64(seg.To) * scale)
+			if to <= from {
+				to = from + 1
+			}
+			for i := from; i < to && i < width; i++ {
+				row[i] = gl
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s |%s|\n", idWidth, id, row)
+	}
+	fmt.Fprintf(&sb, "%-*s  0%*s\n", idWidth, "t", width-1, res.Makespan.String())
+	return sb.String()
+}
+
+// PortChart renders per-port utilization over time from the recorded rate
+// timeline (requires sim.Options.RecordRates): one row per host port
+// direction that carried traffic, glyphs encoding utilization relative to
+// the port's capacity ('.' idle, '-' <50%, '=' <95%, '#' saturated). It
+// shows where the fabric bottlenecks — the port-level view of the paper's
+// big-switch model.
+func PortChart(res *sim.Result, g *dag.Graph, net *fabric.Network, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if res.Makespan <= 0 || len(res.Rates) == 0 {
+		return "(empty port chart)\n"
+	}
+	type port struct {
+		host string
+		dir  string // "out" or "in"
+	}
+	// Integrate per-column average utilization.
+	cols := make(map[port][]float64)
+	colWidth := float64(res.Makespan) / float64(width)
+	add := func(p port, seg sim.RateSegment) {
+		row, ok := cols[p]
+		if !ok {
+			row = make([]float64, width)
+			cols[p] = row
+		}
+		from, to := float64(seg.From), float64(seg.To)
+		for c := int(from / colWidth); c < width; c++ {
+			lo := float64(c) * colWidth
+			hi := lo + colWidth
+			if lo >= to {
+				break
+			}
+			overlap := math.Min(hi, to) - math.Max(lo, from)
+			if overlap > 0 {
+				row[c] += float64(seg.Rate) * overlap / colWidth
+			}
+		}
+	}
+	for _, seg := range res.Rates {
+		n := g.Node(seg.FlowID)
+		if n == nil {
+			continue
+		}
+		add(port{n.Src, "out"}, seg)
+		add(port{n.Dst, "in"}, seg)
+	}
+	ports := make([]port, 0, len(cols))
+	for p := range cols {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool {
+		if ports[i].host != ports[j].host {
+			return ports[i].host < ports[j].host
+		}
+		return ports[i].dir < ports[j].dir
+	})
+	nameWidth := 0
+	for _, p := range ports {
+		if n := len(p.host) + 4; n > nameWidth {
+			nameWidth = n
+		}
+	}
+	var sb strings.Builder
+	for _, p := range ports {
+		h := net.Host(p.host)
+		if h == nil {
+			continue
+		}
+		cap := float64(h.Egress)
+		if p.dir == "in" {
+			cap = float64(h.Ingress)
+		}
+		row := make([]byte, width)
+		for c, used := range cols[p] {
+			frac := 0.0
+			if cap > 0 {
+				frac = used / cap
+			}
+			switch {
+			case frac < 0.02:
+				row[c] = '.'
+			case frac < 0.5:
+				row[c] = '-'
+			case frac < 0.95:
+				row[c] = '='
+			default:
+				row[c] = '#'
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s |%s|\n", nameWidth, p.host+" "+p.dir, row)
+	}
+	fmt.Fprintf(&sb, "%-*s  0%*s\n", nameWidth, "t", width-1, res.Makespan.String())
+	return sb.String()
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/dag"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/unit"
+)
+
+// tinyRun simulates two serial computes with a connecting flow.
+func tinyRun(t *testing.T, record bool) (*sim.Result, *dag.Graph) {
+	t.Helper()
+	g := dag.New()
+	g.MustAdd(&dag.Node{ID: "c1", Kind: dag.Compute, Host: "a", Duration: 2})
+	g.MustAdd(&dag.Node{ID: "f", Kind: dag.Comm, Src: "a", Dst: "b", Size: 2, Group: "g"})
+	g.MustAdd(&dag.Node{ID: "c2", Kind: dag.Compute, Host: "b", Duration: 2})
+	g.MustDepend("c1", "f")
+	g.MustDepend("f", "c2")
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(1, "a", "b")
+	s, err := sim.New(sim.Options{
+		Graph: g, Net: net, Scheduler: sched.Fair{},
+		Arrangements: map[string]core.Arrangement{"g": core.Coflow{}},
+		RecordRates:  record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, g
+}
+
+func TestTimelines(t *testing.T) {
+	res, g := tinyRun(t, false)
+	tls := Timelines(res, g)
+	if len(tls) != 2 {
+		t.Fatalf("timelines = %d", len(tls))
+	}
+	if tls[0].Host != "a" || tls[1].Host != "b" {
+		t.Errorf("host order = %v, %v", tls[0].Host, tls[1].Host)
+	}
+	if len(tls[0].Spans) != 1 || tls[0].Spans[0].ID != "c1" {
+		t.Errorf("a spans = %+v", tls[0].Spans)
+	}
+	// c2 runs [4,6]: util = 2/6.
+	u := tls[1].Utilization(res.Makespan)
+	if u < 0.33 || u > 0.34 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestIdle(t *testing.T) {
+	h := HostTimeline{Host: "h", Spans: []TaskSpan{
+		{ID: "x", Start: 1, End: 2},
+		{ID: "y", Start: 4, End: 5},
+	}}
+	if got := h.Idle(); !got.ApproxEq(2) {
+		t.Errorf("Idle = %v, want 2", got)
+	}
+	if got := (HostTimeline{}).Idle(); got != 0 {
+		t.Errorf("empty Idle = %v", got)
+	}
+	if got := (HostTimeline{}).Utilization(0); got != 0 {
+		t.Errorf("zero-makespan utilization = %v", got)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	res, g := tinyRun(t, false)
+	out := Gantt(res, g, 60)
+	if !strings.Contains(out, "a ") || !strings.Contains(out, "b ") {
+		t.Errorf("gantt missing hosts:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "c1") {
+		t.Errorf("gantt missing legend:\n%s", out)
+	}
+	// Host b idles (dots) before c2 runs.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], ".") {
+		t.Errorf("expected idle dots on host b row: %q", lines[1])
+	}
+	// Degenerate width clamps.
+	if Gantt(res, g, 1) == "" {
+		t.Error("small width produced nothing")
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	res := &sim.Result{Tasks: map[string]sim.Span{}}
+	if got := Gantt(res, dag.New(), 40); !strings.Contains(got, "empty") {
+		t.Errorf("empty gantt = %q", got)
+	}
+}
+
+func TestFlowReport(t *testing.T) {
+	res, _ := tinyRun(t, false)
+	rows := FlowReport(res, "")
+	if len(rows) != 1 || rows[0].ID != "f" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Flow released at 2, finishes at 4, coflow deadline = release = 2.
+	if !rows[0].Release.ApproxEq(2) || !rows[0].Finish.ApproxEq(4) || !rows[0].Tardiness.ApproxEq(2) {
+		t.Errorf("row = %+v", rows[0])
+	}
+	if got := FlowReport(res, "other"); len(got) != 0 {
+		t.Errorf("filtered rows = %+v", got)
+	}
+	text := FormatFlowReport(rows)
+	if !strings.Contains(text, "tardiness") || !strings.Contains(text, "f") {
+		t.Errorf("formatted report = %q", text)
+	}
+}
+
+func TestRateChart(t *testing.T) {
+	res, _ := tinyRun(t, true)
+	out := RateChart(res, []string{"f"}, 1, 40)
+	if !strings.Contains(out, "#") {
+		t.Errorf("full-rate flow should render '#':\n%s", out)
+	}
+	empty := RateChart(&sim.Result{}, []string{"f"}, 1, 40)
+	if !strings.Contains(empty, "empty") {
+		t.Errorf("empty chart = %q", empty)
+	}
+	if RateChart(res, []string{"f"}, 0, 40) == "" {
+		t.Error("zero maxRate should still return text")
+	}
+	if !strings.Contains(RateChart(res, []string{"f"}, 1, 1), "|") {
+		t.Error("tiny width should clamp, not break")
+	}
+}
+
+func TestRateChartIntensity(t *testing.T) {
+	res := &sim.Result{
+		Makespan: 10,
+		Rates: []sim.RateSegment{
+			{FlowID: "x", From: 0, To: 5, Rate: 0.3},
+			{FlowID: "x", From: 5, To: 10, Rate: 0.6},
+		},
+	}
+	out := RateChart(res, []string{"x"}, 1, 20)
+	if !strings.Contains(out, "-") || !strings.Contains(out, "=") {
+		t.Errorf("intensity glyphs missing:\n%s", out)
+	}
+	_ = unit.Time(0)
+}
+
+func TestPortChart(t *testing.T) {
+	res, g := tinyRun(t, true)
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(1, "a", "b")
+	out := PortChart(res, g, net, 40)
+	if !strings.Contains(out, "a out") || !strings.Contains(out, "b in") {
+		t.Errorf("missing port rows:\n%s", out)
+	}
+	// The flow runs [2,4] at full rate: the middle of the chart saturates.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "#") {
+		t.Errorf("expected saturation glyphs:\n%s", out)
+	}
+	if !strings.Contains(lines[0], ".") {
+		t.Errorf("expected idle glyphs before the flow:\n%s", out)
+	}
+	empty := PortChart(&sim.Result{}, g, net, 40)
+	if !strings.Contains(empty, "empty") {
+		t.Errorf("empty chart = %q", empty)
+	}
+}

@@ -1,0 +1,114 @@
+// Package unit defines the scalar quantities shared by every EchelonFlow
+// subsystem: simulated time, data volume, and transmission rate.
+//
+// The network fabric is a fluid-flow model, so all three quantities are
+// real-valued. Times are in seconds, volumes in bytes, rates in bytes per
+// second; nothing in the codebase depends on those units beyond consistency,
+// so scenarios are free to use abstract units (the paper's Fig. 2 uses a
+// unit-bandwidth link).
+package unit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point on (or a span of) the simulated clock, in seconds.
+type Time float64
+
+// Bytes is a volume of data.
+type Bytes float64
+
+// Rate is a transmission rate in bytes per second.
+type Rate float64
+
+// Eps is the tolerance used for completion detection and feasibility
+// comparisons throughout the fluid model. Event times are derived from
+// divisions of float64 quantities, so exact comparisons are not meaningful.
+const Eps = 1e-9
+
+// Inf is an unbounded time, used for "no next event".
+var Inf = Time(math.Inf(1))
+
+// IsInf reports whether t is unbounded.
+func (t Time) IsInf() bool { return math.IsInf(float64(t), 0) }
+
+// Before reports whether t is strictly earlier than u beyond tolerance.
+func (t Time) Before(u Time) bool { return float64(t) < float64(u)-Eps }
+
+// After reports whether t is strictly later than u beyond tolerance.
+func (t Time) After(u Time) bool { return float64(t) > float64(u)+Eps }
+
+// ApproxEq reports whether t and u are equal within tolerance.
+func (t Time) ApproxEq(u Time) bool { return math.Abs(float64(t-u)) <= Eps }
+
+// String formats the time with enough precision for traces.
+func (t Time) String() string {
+	if t.IsInf() {
+		return "inf"
+	}
+	return fmt.Sprintf("%.6g", float64(t))
+}
+
+// Zeroish reports whether b is zero within tolerance.
+func (b Bytes) Zeroish() bool { return math.Abs(float64(b)) <= Eps }
+
+// At returns the time needed to transmit b bytes at rate r.
+// A non-positive rate yields Inf.
+func (b Bytes) At(r Rate) Time {
+	if r <= Eps {
+		return Inf
+	}
+	return Time(float64(b) / float64(r))
+}
+
+// Over returns the volume transmitted at rate r for duration d.
+func (r Rate) Over(d Time) Bytes {
+	if d <= 0 {
+		return 0
+	}
+	return Bytes(float64(r) * float64(d))
+}
+
+// MinTime returns the smaller of a and b.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxTime returns the larger of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinRate returns the smaller of a and b.
+func MinRate(a, b Rate) Rate {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxRate returns the larger of a and b.
+func MaxRate(a, b Rate) Rate {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ClampRate bounds r to [0, max].
+func ClampRate(r, max Rate) Rate {
+	if r < 0 {
+		return 0
+	}
+	if r > max {
+		return max
+	}
+	return r
+}

@@ -1,0 +1,142 @@
+package unit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesAt(t *testing.T) {
+	tests := []struct {
+		name string
+		b    Bytes
+		r    Rate
+		want Time
+	}{
+		{"unit", 1, 1, 1},
+		{"double", 10, 5, 2},
+		{"fraction", 1, 4, 0.25},
+		{"zero bytes", 0, 3, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.b.At(tt.r); !got.ApproxEq(tt.want) {
+				t.Errorf("(%v).At(%v) = %v, want %v", tt.b, tt.r, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBytesAtZeroRate(t *testing.T) {
+	if got := Bytes(5).At(0); !got.IsInf() {
+		t.Errorf("At(0) = %v, want inf", got)
+	}
+	if got := Bytes(5).At(-1); !got.IsInf() {
+		t.Errorf("At(-1) = %v, want inf", got)
+	}
+}
+
+func TestRateOver(t *testing.T) {
+	if got := Rate(4).Over(2.5); got != 10 {
+		t.Errorf("Over = %v, want 10", got)
+	}
+	if got := Rate(4).Over(-1); got != 0 {
+		t.Errorf("Over negative duration = %v, want 0", got)
+	}
+}
+
+func TestTimeComparisons(t *testing.T) {
+	a, b := Time(1.0), Time(1.0+Eps/2)
+	if a.Before(b) || b.After(a) {
+		t.Error("within-epsilon values should not compare as strictly ordered")
+	}
+	if !a.ApproxEq(b) {
+		t.Error("within-epsilon values should be ApproxEq")
+	}
+	if !Time(1).Before(2) {
+		t.Error("1 should be Before 2")
+	}
+	if !Time(2).After(1) {
+		t.Error("2 should be After 1")
+	}
+}
+
+func TestInf(t *testing.T) {
+	if !Inf.IsInf() {
+		t.Error("Inf.IsInf() = false")
+	}
+	if Inf.String() != "inf" {
+		t.Errorf("Inf.String() = %q", Inf.String())
+	}
+	if Time(3).IsInf() {
+		t.Error("finite time reported as inf")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if MinTime(1, 2) != 1 || MaxTime(1, 2) != 2 {
+		t.Error("MinTime/MaxTime wrong")
+	}
+	if MinRate(3, 2) != 2 || MaxRate(3, 2) != 3 {
+		t.Error("MinRate/MaxRate wrong")
+	}
+}
+
+func TestClampRate(t *testing.T) {
+	tests := []struct {
+		r, max, want Rate
+	}{
+		{-1, 5, 0},
+		{3, 5, 3},
+		{7, 5, 5},
+	}
+	for _, tt := range tests {
+		if got := ClampRate(tt.r, tt.max); got != tt.want {
+			t.Errorf("ClampRate(%v,%v) = %v, want %v", tt.r, tt.max, got, tt.want)
+		}
+	}
+}
+
+func TestZeroish(t *testing.T) {
+	if !Bytes(0).Zeroish() || !Bytes(Eps/2).Zeroish() {
+		t.Error("near-zero volume not Zeroish")
+	}
+	if Bytes(1).Zeroish() {
+		t.Error("1 byte reported Zeroish")
+	}
+}
+
+// Property: transmitting for the exact duration At reports ships the volume.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(rawB, rawR float64) bool {
+		b := Bytes(math.Abs(rawB))
+		r := Rate(math.Abs(rawR)) + 1 // keep rate positive and sane
+		if math.IsInf(float64(b), 0) || math.IsNaN(float64(b)) {
+			return true
+		}
+		d := b.At(r)
+		got := r.Over(d)
+		diff := math.Abs(float64(got - b))
+		return diff <= 1e-6*math.Max(1, float64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinTime/MaxTime bracket both arguments.
+func TestMinMaxProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		lo, hi := MinTime(Time(a), Time(b)), MaxTime(Time(a), Time(b))
+		return lo <= Time(a) && lo <= Time(b) && hi >= Time(a) && hi >= Time(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if s := Time(2.5).String(); s != "2.5" {
+		t.Errorf("String = %q, want 2.5", s)
+	}
+}

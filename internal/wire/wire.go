@@ -1,0 +1,226 @@
+// Package wire is the control protocol between EchelonFlow Agents and the
+// Coordinator (Fig. 7): length-prefixed JSON messages over a byte stream.
+// Agents report EchelonFlow registrations (arrangement function + per-flow
+// size/source/destination, §5) and flow lifecycle events; the Coordinator
+// pushes bandwidth allocations back.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/unit"
+)
+
+// MaxFrame bounds a single message to keep a misbehaving peer from forcing
+// unbounded allocation.
+const MaxFrame = 16 << 20
+
+// Message type tags.
+const (
+	TypeHello      = "hello"
+	TypeRegister   = "register"
+	TypeUnregister = "unregister"
+	TypeFlowEvent  = "flow_event"
+	TypeAllocation = "allocation"
+	TypeHeartbeat  = "heartbeat"
+	TypeError      = "error"
+)
+
+// Flow event kinds.
+const (
+	EventReleased = "released"
+	EventFinished = "finished"
+)
+
+// FlowSpec mirrors core.Flow for transport.
+type FlowSpec struct {
+	ID    string     `json:"id"`
+	Src   string     `json:"src"`
+	Dst   string     `json:"dst"`
+	Size  unit.Bytes `json:"size"`
+	Stage int        `json:"stage"`
+}
+
+// Hello opens an agent session.
+type Hello struct {
+	Agent string `json:"agent"`
+}
+
+// Register announces an EchelonFlow: its arrangement function and flows.
+type Register struct {
+	GroupID     string     `json:"group_id"`
+	Arrangement core.Spec  `json:"arrangement"`
+	Flows       []FlowSpec `json:"flows"`
+	Weight      float64    `json:"weight,omitempty"`
+}
+
+// Group reconstructs the registered EchelonFlow.
+func (r Register) Group() (*core.EchelonFlow, error) {
+	arr, err := r.Arrangement.Build()
+	if err != nil {
+		return nil, err
+	}
+	flows := make([]*core.Flow, len(r.Flows))
+	for i, f := range r.Flows {
+		flows[i] = &core.Flow{ID: f.ID, Src: f.Src, Dst: f.Dst, Size: f.Size, Stage: f.Stage}
+	}
+	g, err := core.New(r.GroupID, arr, flows...)
+	if err != nil {
+		return nil, err
+	}
+	g.Weight = r.Weight
+	return g, nil
+}
+
+// RegisterOf serializes an EchelonFlow for transport.
+func RegisterOf(g *core.EchelonFlow) (Register, error) {
+	spec, err := core.SpecOf(g.Arrangement)
+	if err != nil {
+		return Register{}, err
+	}
+	flows := make([]FlowSpec, len(g.Flows))
+	for i, f := range g.Flows {
+		flows[i] = FlowSpec{ID: f.ID, Src: f.Src, Dst: f.Dst, Size: f.Size, Stage: f.Stage}
+	}
+	return Register{GroupID: g.ID, Arrangement: spec, Flows: flows, Weight: g.Weight}, nil
+}
+
+// Unregister removes an EchelonFlow (job departure).
+type Unregister struct {
+	GroupID string `json:"group_id"`
+}
+
+// FlowEvent reports a flow lifecycle transition.
+type FlowEvent struct {
+	GroupID string `json:"group_id"`
+	FlowID  string `json:"flow_id"`
+	Event   string `json:"event"` // EventReleased or EventFinished
+}
+
+// Allocation pushes per-flow rates (bytes/second).
+type Allocation struct {
+	Rates map[string]unit.Rate `json:"rates"`
+}
+
+// Error carries a fatal protocol error to the peer.
+type Error struct {
+	Msg string `json:"msg"`
+}
+
+// Message is the transport envelope: Type selects which payload is set.
+type Message struct {
+	Type       string      `json:"type"`
+	Hello      *Hello      `json:"hello,omitempty"`
+	Register   *Register   `json:"register,omitempty"`
+	Unregister *Unregister `json:"unregister,omitempty"`
+	FlowEvent  *FlowEvent  `json:"flow_event,omitempty"`
+	Allocation *Allocation `json:"allocation,omitempty"`
+	Error      *Error      `json:"error,omitempty"`
+}
+
+// Validate checks the envelope carries the payload its type claims.
+func (m Message) Validate() error {
+	switch m.Type {
+	case TypeHello:
+		if m.Hello == nil {
+			return fmt.Errorf("wire: hello message without payload")
+		}
+	case TypeRegister:
+		if m.Register == nil {
+			return fmt.Errorf("wire: register message without payload")
+		}
+	case TypeUnregister:
+		if m.Unregister == nil {
+			return fmt.Errorf("wire: unregister message without payload")
+		}
+	case TypeFlowEvent:
+		if m.FlowEvent == nil {
+			return fmt.Errorf("wire: flow_event message without payload")
+		}
+		if e := m.FlowEvent.Event; e != EventReleased && e != EventFinished {
+			return fmt.Errorf("wire: unknown flow event %q", e)
+		}
+	case TypeAllocation:
+		if m.Allocation == nil {
+			return fmt.Errorf("wire: allocation message without payload")
+		}
+	case TypeHeartbeat:
+		// No payload.
+	case TypeError:
+		if m.Error == nil {
+			return fmt.Errorf("wire: error message without payload")
+		}
+	default:
+		return fmt.Errorf("wire: unknown message type %q", m.Type)
+	}
+	return nil
+}
+
+// Codec frames messages over a byte stream: a 4-byte big-endian length
+// followed by the JSON body. Send is safe for concurrent use; Recv must be
+// called from a single reader goroutine.
+type Codec struct {
+	r  *bufio.Reader
+	w  io.Writer
+	mu sync.Mutex // serializes Send
+}
+
+// NewCodec wraps a stream.
+func NewCodec(rw io.ReadWriter) *Codec {
+	return &Codec{r: bufio.NewReader(rw), w: rw}
+}
+
+// Send frames and writes one message.
+func (c *Codec) Send(m Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := c.w.Write(body); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return nil
+}
+
+// Recv reads and validates one message.
+func (c *Codec) Recv() (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Message{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return Message{}, fmt.Errorf("wire: read body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return Message{}, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}

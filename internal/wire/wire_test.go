@@ -1,0 +1,251 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/unit"
+)
+
+// pipeRW adapts a net.Pipe end for the codec.
+func codecPair(t *testing.T) (*Codec, *Codec, func()) {
+	t.Helper()
+	a, b := net.Pipe()
+	return NewCodec(a), NewCodec(b), func() { a.Close(); b.Close() }
+}
+
+func sampleGroup(t *testing.T) *core.EchelonFlow {
+	t.Helper()
+	g, err := core.New("job/pp", core.Pipeline{T: 2.5},
+		&core.Flow{ID: "f0", Src: "w1", Dst: "w2", Size: 100, Stage: 0},
+		&core.Flow{ID: "f1", Src: "w1", Dst: "w2", Size: 100, Stage: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Weight = 2
+	return g
+}
+
+func TestRegisterRoundTrip(t *testing.T) {
+	g := sampleGroup(t)
+	reg, err := RegisterOf(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := reg.Group()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != g.ID || len(back.Flows) != 2 || back.Weight != 2 {
+		t.Errorf("round trip group = %+v", back)
+	}
+	if back.Arrangement.Name() != "pipeline" {
+		t.Errorf("arrangement = %s", back.Arrangement.Name())
+	}
+	if d := back.Arrangement.Deadline(1, 0); !d.ApproxEq(2.5) {
+		t.Errorf("deadline = %v", d)
+	}
+}
+
+func TestRegisterBadSpec(t *testing.T) {
+	r := Register{GroupID: "g", Arrangement: core.Spec{Kind: "bogus"},
+		Flows: []FlowSpec{{ID: "f", Src: "a", Dst: "b", Size: 1}}}
+	if _, err := r.Group(); err == nil {
+		t.Error("bogus arrangement accepted")
+	}
+	r2 := Register{GroupID: "", Arrangement: core.Spec{Kind: "coflow"}}
+	if _, err := r2.Group(); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestCodecSendRecv(t *testing.T) {
+	ca, cb, done := codecPair(t)
+	defer done()
+	g := sampleGroup(t)
+	reg, _ := RegisterOf(g)
+	msgs := []Message{
+		{Type: TypeHello, Hello: &Hello{Agent: "a1"}},
+		{Type: TypeRegister, Register: &reg},
+		{Type: TypeFlowEvent, FlowEvent: &FlowEvent{GroupID: "job/pp", FlowID: "f0", Event: EventReleased}},
+		{Type: TypeAllocation, Allocation: &Allocation{Rates: map[string]unit.Rate{"f0": 12.5}}},
+		{Type: TypeUnregister, Unregister: &Unregister{GroupID: "job/pp"}},
+		{Type: TypeError, Error: &Error{Msg: "boom"}},
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, m := range msgs {
+			if err := ca.Send(m); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+	for i := range msgs {
+		got, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if got.Type != msgs[i].Type {
+			t.Errorf("msg %d type = %s, want %s", i, got.Type, msgs[i].Type)
+		}
+		switch got.Type {
+		case TypeAllocation:
+			if got.Allocation.Rates["f0"] != 12.5 {
+				t.Errorf("allocation payload = %v", got.Allocation.Rates)
+			}
+		case TypeRegister:
+			if len(got.Register.Flows) != 2 || got.Register.GroupID != "job/pp" {
+				t.Errorf("register payload = %+v", got.Register)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Message{
+		{Type: "mystery"},
+		{Type: TypeHello},
+		{Type: TypeRegister},
+		{Type: TypeUnregister},
+		{Type: TypeFlowEvent},
+		{Type: TypeFlowEvent, FlowEvent: &FlowEvent{Event: "exploded"}},
+		{Type: TypeAllocation},
+		{Type: TypeError},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSendRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	if err := c.Send(Message{Type: "mystery"}); err == nil {
+		t.Error("invalid message sent")
+	}
+	if buf.Len() != 0 {
+		t.Error("invalid message wrote bytes")
+	}
+}
+
+func TestRecvOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	buf.Write(hdr[:])
+	c := NewCodec(&buf)
+	if _, err := c.Recv(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized frame accepted: %v", err)
+	}
+}
+
+func TestRecvTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString("short")
+	c := NewCodec(&buf)
+	if _, err := c.Recv(); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestRecvGarbageJSON(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("{not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	c := NewCodec(&buf)
+	if _, err := c.Recv(); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+}
+
+func TestRecvEOF(t *testing.T) {
+	c := NewCodec(&bytes.Buffer{})
+	if _, err := c.Recv(); err != io.EOF {
+		t.Errorf("want io.EOF, got %v", err)
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	ca, cb, done := codecPair(t)
+	defer done()
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := Message{Type: TypeHello, Hello: &Hello{Agent: "x"}}
+			if err := ca.Send(m); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if _, err := cb.Recv(); err != nil {
+			t.Fatalf("recv %d: %v (interleaved frames?)", i, err)
+		}
+	}
+	wg.Wait()
+}
+
+// Random garbage must never panic the codec — it must fail cleanly.
+func TestRecvRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(64)
+		blob := make([]byte, n)
+		rng.Read(blob)
+		c := NewCodec(bytes.NewBuffer(blob))
+		for {
+			if _, err := c.Recv(); err != nil {
+				break // any error is fine; a panic is not
+			}
+		}
+	}
+}
+
+// Frames with plausible headers but hostile bodies must fail cleanly too.
+func TestRecvHostileFrames(t *testing.T) {
+	bodies := [][]byte{
+		[]byte(`{}`),
+		[]byte(`{"type":""}`),
+		[]byte(`{"type":"allocation","allocation":null}`),
+		[]byte(`{"type":"register","register":{"group_id":"g"}}`),
+		[]byte(`null`),
+		[]byte(`[1,2,3]`),
+		[]byte(`{"type":"hello","hello":{"agent":"` + strings.Repeat("a", 1000) + `"}}`),
+	}
+	for i, body := range bodies {
+		var buf bytes.Buffer
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+		buf.Write(hdr[:])
+		buf.Write(body)
+		c := NewCodec(&buf)
+		msg, err := c.Recv()
+		// Either a clean error, or (for the long-hello case) a valid parse.
+		if err == nil && msg.Validate() != nil {
+			t.Errorf("case %d: invalid message passed Recv: %+v", i, msg)
+		}
+	}
+}
