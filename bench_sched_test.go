@@ -1,0 +1,174 @@
+// BenchmarkSchedule_* is the scheduler scale suite: multi-job DP+PP+FSDP
+// mixes on 64/256/512-host fabrics, driven through the event-loop simulator
+// so the scheduler sees a realistic arrival/departure stream. Beyond the
+// standard ns/op, each benchmark reports per-Schedule-call latency and
+// allocation counts ("ns/schedcall", "allocs/schedcall"), the hot-path
+// numbers tracked in BENCH_sched.json.
+//
+// Run with: go test -bench=BenchmarkSchedule_ -run=^$ .
+package echelonflow
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"echelonflow/internal/ddlt"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/unit"
+)
+
+// buildScaleMix compiles `jobs` training jobs — cycling through pipeline,
+// DP-allreduce, and FSDP paradigms — onto one fabric of `hosts` uniform
+// hosts. Jobs occupy disjoint 4-worker slices of the host set; the fabric
+// retains its full size so per-host scheduler costs (capacity profiles)
+// scale with the cluster, not the tenant set.
+func buildScaleMix(hosts, jobs int) (*ddlt.Workload, *fabric.Network, error) {
+	net := fabric.NewNetwork()
+	names := make([]string, hosts)
+	for i := range names {
+		names[i] = fmt.Sprintf("h%03d", i)
+	}
+	net.AddUniformHosts(10, names...)
+
+	var ws []*ddlt.Workload
+	for j := 0; j < jobs; j++ {
+		workers := make([]string, 4)
+		for k := range workers {
+			workers[k] = names[(j*4+k)%hosts]
+		}
+		var (
+			w   *ddlt.Workload
+			err error
+		)
+		switch j % 3 {
+		case 0:
+			w, err = ddlt.PipelineGPipe{
+				Name: fmt.Sprintf("pp%d", j), Model: ddlt.Uniform("m", 4, 2, 5, 1, 1),
+				Workers: workers, MicroBatches: 4, Iterations: 1,
+			}.Build()
+		case 1:
+			w, err = ddlt.DPAllReduce{
+				Name: fmt.Sprintf("dp%d", j), Model: ddlt.Uniform("m", 4, 6, 1, 0.5, 0.5),
+				Workers: workers, BucketCount: 2, Iterations: 1,
+			}.Build()
+		default:
+			w, err = ddlt.FSDP{
+				Name: fmt.Sprintf("fsdp%d", j), Model: ddlt.Uniform("m", 4, 3, 1, 0.5, 1),
+				Workers: workers, Iterations: 1,
+			}.Build()
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		ws = append(ws, w)
+	}
+	merged, err := ddlt.Merge(ws...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return merged, net, nil
+}
+
+// meteredScheduler wraps a Scheduler and measures wall time and heap
+// allocation count of every Schedule call, isolating the hot path from the
+// surrounding simulator work.
+type meteredScheduler struct {
+	inner   sched.Scheduler
+	calls   int
+	ns      int64
+	mallocs uint64
+}
+
+func (m *meteredScheduler) Name() string { return m.inner.Name() }
+
+func (m *meteredScheduler) Schedule(snap *sched.Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	rates, err := m.inner.Schedule(snap, net)
+	m.ns += time.Since(t0).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	m.mallocs += after.Mallocs - before.Mallocs
+	m.calls++
+	return rates, err
+}
+
+// benchSchedule runs the mix to completion once per iteration with a fresh
+// scheduler from mk, reporting aggregate per-call hot-path metrics.
+func benchSchedule(b *testing.B, hosts, jobs int, mk func() sched.Scheduler) {
+	b.Helper()
+	var calls int
+	var ns int64
+	var mallocs uint64
+	groupPeak := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w, net, err := buildScaleMix(hosts, jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms := &meteredScheduler{inner: mk()}
+		simr, err := sim.New(sim.Options{
+			Graph: w.Graph, Net: net, Scheduler: ms, Arrangements: w.Arrangements,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := simr.Run()
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Groups) > groupPeak {
+			groupPeak = len(res.Groups)
+		}
+		calls += ms.calls
+		ns += ms.ns
+		mallocs += ms.mallocs
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if calls == 0 {
+		b.Fatal("no scheduler calls recorded")
+	}
+	b.ReportMetric(float64(ns)/float64(calls), "ns/schedcall")
+	b.ReportMetric(float64(mallocs)/float64(calls), "allocs/schedcall")
+	b.ReportMetric(float64(calls)/float64(b.N), "schedcalls/run")
+}
+
+// echelonCached is the production configuration: EchelonMADD with backfill
+// and the cross-event plan cache.
+func echelonCached() sched.Scheduler {
+	return sched.EchelonMADD{Backfill: true, Cache: sched.NewPlanCache()}
+}
+
+// echelonNoCache disables cross-event memoization (profile pooling and
+// parallel ranking remain); the comparison column for BENCH_sched.json.
+func echelonNoCache() sched.Scheduler {
+	return sched.EchelonMADD{Backfill: true}
+}
+
+func BenchmarkSchedule_64Hosts4Jobs(b *testing.B) {
+	benchSchedule(b, 64, 4, echelonCached)
+}
+
+func BenchmarkSchedule_256Hosts8Jobs(b *testing.B) {
+	benchSchedule(b, 256, 8, echelonCached)
+}
+
+func BenchmarkSchedule_256Hosts8Jobs_NoCache(b *testing.B) {
+	benchSchedule(b, 256, 8, echelonNoCache)
+}
+
+func BenchmarkSchedule_512Hosts12Jobs(b *testing.B) {
+	if testing.Short() {
+		b.Skip("512-host mix skipped in -short mode")
+	}
+	benchSchedule(b, 512, 12, echelonCached)
+}

@@ -77,7 +77,7 @@ func main() {
 	var s sched.Scheduler
 	switch *schedName {
 	case "echelon":
-		s = sched.EchelonMADD{Backfill: true}
+		s = sched.EchelonMADD{Backfill: true, Cache: sched.NewPlanCache()}
 	case "coflow":
 		s = sched.CoflowMADD{Backfill: true}
 	case "fair":

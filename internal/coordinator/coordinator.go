@@ -72,6 +72,10 @@ type Coordinator struct {
 	reschedules int
 	ratesTotal  int // allocation entries computed
 	ratesPushed int // allocation entries actually sent (after delta filtering)
+
+	// cache is the scheduler's plan cache when it exposes one; lifecycle
+	// events invalidate the affected groups eagerly. Nil-safe.
+	cache *sched.PlanCache
 }
 
 // New validates options and returns a Coordinator.
@@ -80,7 +84,7 @@ func New(opts Options) (*Coordinator, error) {
 		return nil, fmt.Errorf("coordinator: Net is required")
 	}
 	if opts.Scheduler == nil {
-		opts.Scheduler = sched.EchelonMADD{Backfill: true}
+		opts.Scheduler = sched.EchelonMADD{Backfill: true, Cache: sched.NewPlanCache()}
 	}
 	if opts.Clock == nil {
 		opts.Clock = time.Now
@@ -88,12 +92,16 @@ func New(opts Options) (*Coordinator, error) {
 	if opts.Logf == nil {
 		opts.Logf = log.Printf
 	}
-	return &Coordinator{
+	c := &Coordinator{
 		opts:     opts,
 		start:    opts.Clock(),
 		groups:   make(map[string]*groupRT),
 		sessions: make(map[*session]struct{}),
-	}, nil
+	}
+	if pc, ok := opts.Scheduler.(interface{ PlanCache() *sched.PlanCache }); ok {
+		c.cache = pc.PlanCache()
+	}
+	return c, nil
 }
 
 // now converts wall time to scheduler time (seconds since start).
@@ -142,6 +150,7 @@ func (c *Coordinator) UnregisterGroup(groupID string) (map[string]unit.Rate, err
 	}
 	c.advanceLocked()
 	delete(c.groups, groupID)
+	c.cache.InvalidateGroup(groupID)
 	return c.rescheduleLocked()
 }
 
@@ -186,6 +195,7 @@ func (c *Coordinator) FlowEvent(ev wire.FlowEvent) (map[string]unit.Rate, error)
 	default:
 		return nil, fmt.Errorf("coordinator: unknown event %q", ev.Event)
 	}
+	c.cache.InvalidateGroup(ev.GroupID) // the group's released flow set changed
 	return c.rescheduleLocked()
 }
 
@@ -440,6 +450,7 @@ func (c *Coordinator) dropSession(s *session) {
 	c.advanceLocked()
 	for _, gid := range orphaned {
 		delete(c.groups, gid)
+		c.cache.InvalidateGroup(gid)
 	}
 	if _, err := c.rescheduleLocked(); err != nil {
 		c.opts.Logf("coordinator: reschedule after %s departed: %v", s.agent, err)

@@ -20,14 +20,8 @@ import (
 // recovery.
 func ExtDegradedLink() (*Report, error) {
 	r := &Report{ID: "e10", Title: "Failure injection: link degradation and recovery"}
-	build := func() (*ddlt.Workload, error) {
-		return ddlt.PipelineGPipe{
-			Name: "pp", Model: ddlt.Uniform("m", 4, 2, 5, 1, 1),
-			Workers: []string{"s0", "s1", "s2", "s3"}, MicroBatches: 6, Iterations: 1,
-		}.Build()
-	}
 	run := func(s sched.Scheduler) (*sim.Result, error) {
-		w, err := build()
+		w, err := degradeWorkload()
 		if err != nil {
 			return nil, err
 		}
@@ -35,10 +29,7 @@ func ExtDegradedLink() (*Report, error) {
 		net.AddUniformHosts(6, w.Hosts...)
 		simr, err := sim.New(sim.Options{
 			Graph: w.Graph, Net: net, Scheduler: s, Arrangements: w.Arrangements,
-			CapacityChanges: []sim.CapacityChange{
-				{At: 3, Host: "s0", Egress: 2, Ingress: 2}, // incident
-				{At: 8, Host: "s0", Egress: 6, Ingress: 6}, // recovery
-			},
+			CapacityChanges: degradeChanges(),
 		})
 		if err != nil {
 			return nil, err
@@ -94,4 +85,21 @@ func ExtDegradedLink() (*Report, error) {
 		e.spread < c.spread, "spread %v vs %v", e.spread, c.spread)
 	r.note("Incident: worker s0's NIC drops 6 -> 2 B/s during t=[3,8], then recovers.")
 	return r, nil
+}
+
+// degradeWorkload is E10's pipeline job, shared with the scheduler
+// golden-equivalence test.
+func degradeWorkload() (*ddlt.Workload, error) {
+	return ddlt.PipelineGPipe{
+		Name: "pp", Model: ddlt.Uniform("m", 4, 2, 5, 1, 1),
+		Workers: []string{"s0", "s1", "s2", "s3"}, MicroBatches: 6, Iterations: 1,
+	}.Build()
+}
+
+// degradeChanges is E10's incident/recovery sequence.
+func degradeChanges() []sim.CapacityChange {
+	return []sim.CapacityChange{
+		{At: 3, Host: "s0", Egress: 2, Ingress: 2}, // incident
+		{At: 8, Host: "s0", Egress: 6, Ingress: 6}, // recovery
+	}
 }

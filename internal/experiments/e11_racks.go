@@ -36,6 +36,32 @@ func rackFabric(oversub float64) (*fabric.Network, []string, error) {
 	return net, hosts, nil
 }
 
+// rackMixWorkload is E11's tenant mix on a rackFabric host list: a DP job
+// whose ring alternates racks (every hop crosses an uplink) plus a pipeline
+// confined to one rack. Shared with the scheduler golden-equivalence test.
+func rackMixWorkload(hosts []string) (*ddlt.Workload, error) {
+	// DP spans the racks: workers alternate racks so every ring hop
+	// crosses an uplink.
+	dp, err := ddlt.DPAllReduce{
+		Name: "dp", Model: ddlt.Uniform("m1", 4, 6, 1, 0.5, 0.5),
+		Workers:     []string{hosts[0], hosts[4], hosts[1], hosts[5]},
+		BucketCount: 2, Iterations: 2,
+	}.Build()
+	if err != nil {
+		return nil, err
+	}
+	// PP lives inside rack 1.
+	pp, err := ddlt.PipelineGPipe{
+		Name: "pp", Model: ddlt.Uniform("m2", 4, 2, 4, 1, 1),
+		Workers:      []string{hosts[6], hosts[7], hosts[2], hosts[3]}[:2],
+		MicroBatches: 4, Iterations: 2,
+	}.Build()
+	if err != nil {
+		return nil, err
+	}
+	return ddlt.Merge(dp, pp)
+}
+
 // ExtRackOversubscription (E11) lifts the paper's pure big-switch
 // assumption: a DP job spanning both racks (its ring crosses the uplinks)
 // shares the fabric with a PP job placed inside one rack. As the
@@ -60,26 +86,7 @@ func ExtRackOversubscription() (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			// DP spans the racks: workers alternate racks so every ring hop
-			// crosses an uplink.
-			dp, err := ddlt.DPAllReduce{
-				Name: "dp", Model: ddlt.Uniform("m1", 4, 6, 1, 0.5, 0.5),
-				Workers:     []string{hosts[0], hosts[4], hosts[1], hosts[5]},
-				BucketCount: 2, Iterations: 2,
-			}.Build()
-			if err != nil {
-				return nil, err
-			}
-			// PP lives inside rack 1.
-			pp, err := ddlt.PipelineGPipe{
-				Name: "pp", Model: ddlt.Uniform("m2", 4, 2, 4, 1, 1),
-				Workers:      []string{hosts[6], hosts[7], hosts[2], hosts[3]}[:2],
-				MicroBatches: 4, Iterations: 2,
-			}.Build()
-			if err != nil {
-				return nil, err
-			}
-			merged, err := ddlt.Merge(dp, pp)
+			merged, err := rackMixWorkload(hosts)
 			if err != nil {
 				return nil, err
 			}

@@ -15,12 +15,7 @@ import (
 // fixed intervals trade scheduling work for tardiness.
 func ExtCadence() (*Report, error) {
 	r := &Report{ID: "e9", Title: "Rescheduling cadence: per-event vs fixed interval"}
-	build := func() (*ddlt.Workload, error) {
-		return ddlt.PipelineGPipe{
-			Name: "pp", Model: ddlt.Uniform("m", 4, 2, 6, 1, 1),
-			Workers: []string{"s0", "s1", "s2", "s3"}, MicroBatches: 4, Iterations: 2,
-		}.Build()
-	}
+	build := cadenceWorkload
 	type mode struct {
 		name     string
 		interval unit.Time
@@ -74,4 +69,13 @@ func ExtCadence() (*Report, error) {
 	r.note("Interval modes recompute only on ticks and hold rates stale in between — the pure")
 	r.note("fixed-cadence coordinator of §5. Per-event mode reruns on every arrival/departure.")
 	return r, nil
+}
+
+// cadenceWorkload is E9's pipeline job, shared with the scheduler
+// golden-equivalence test.
+func cadenceWorkload() (*ddlt.Workload, error) {
+	return ddlt.PipelineGPipe{
+		Name: "pp", Model: ddlt.Uniform("m", 4, 2, 6, 1, 1),
+		Workers: []string{"s0", "s1", "s2", "s3"}, MicroBatches: 4, Iterations: 2,
+	}.Build()
 }

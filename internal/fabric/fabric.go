@@ -33,7 +33,23 @@ type Network struct {
 	racks     map[string]*Rack
 	rackNames []string
 	rackOf    map[string]string
+
+	// gen counts every mutation (topology or capacity); topoGen counts
+	// only topology mutations (hosts/racks added or re-assigned). Schedulers
+	// key cached capacity profiles and scheduling plans on these so a
+	// SetCapacity or AddHost between scheduling rounds invalidates them.
+	gen     uint64
+	topoGen uint64
 }
+
+// Generation identifies the network's mutation epoch: it increases on every
+// topology or capacity change. Equal generations guarantee identical
+// capacities and topology.
+func (n *Network) Generation() uint64 { return n.gen }
+
+// TopoGeneration increases only when hosts or racks are added or
+// re-assigned; capacity rewrites on existing ports leave it unchanged.
+func (n *Network) TopoGeneration() uint64 { return n.topoGen }
 
 // NewNetwork returns an empty network.
 func NewNetwork() *Network {
@@ -53,6 +69,8 @@ func (n *Network) AddHost(name string, egress, ingress unit.Rate) error {
 	}
 	n.hosts[name] = &Host{Name: name, Egress: egress, Ingress: ingress}
 	n.names = append(n.names, name)
+	n.gen++
+	n.topoGen++
 	return nil
 }
 
@@ -81,6 +99,7 @@ func (n *Network) SetCapacity(name string, egress, ingress unit.Rate) error {
 		return fmt.Errorf("fabric: host %q given negative capacity", name)
 	}
 	h.Egress, h.Ingress = egress, ingress
+	n.gen++
 	return nil
 }
 

@@ -34,6 +34,8 @@ func (n *Network) AddRack(name string, uplink, downlink unit.Rate) error {
 	}
 	n.racks[name] = &Rack{Name: name, Uplink: uplink, Downlink: downlink}
 	n.rackNames = append(n.rackNames, name)
+	n.gen++
+	n.topoGen++
 	return nil
 }
 
@@ -52,6 +54,8 @@ func (n *Network) AssignRack(host, rack string) error {
 		return fmt.Errorf("fabric: host %q already in rack %q", host, existing)
 	}
 	n.rackOf[host] = rack
+	n.gen++
+	n.topoGen++
 	return nil
 }
 
@@ -80,6 +84,7 @@ func (n *Network) SetRackCapacity(name string, uplink, downlink unit.Rate) error
 		return fmt.Errorf("fabric: rack %q given negative capacity", name)
 	}
 	r.Uplink, r.Downlink = uplink, downlink
+	n.gen++
 	return nil
 }
 

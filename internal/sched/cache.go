@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/unit"
+)
+
+// PlanCache memoizes EchelonMADD's per-group solo-tardiness rankings across
+// Schedule calls. Ranking dominates the scheduler's cost — every event
+// replans every group alone on the full fabric — yet between consecutive
+// events most groups are unchanged and on schedule, so their ranking metric
+// is provably the same value the seed scheduler would recompute.
+//
+// A cached entry is reused only when equivalence is exact, never merely
+// approximate:
+//
+//   - the group's flow set is identical (same flow IDs; flow deadlines are
+//     fixed once the group's reference time is observed),
+//   - the tardiness floor (achieved tardiness) is bitwise equal,
+//   - the fabric has not mutated since the entry was stored (tracked by
+//     fabric.Network.Generation), and
+//   - either the snapshot time and every remaining volume are bitwise equal
+//     (zero-dt event cascades), or the entry was on schedule (solo tardiness
+//     exactly equal to its floor) and every flow's remaining volume is at or
+//     ahead of the cached solo plan's fluid-model pace. The paced MADD
+//     planner gives a group the minimum allocation meeting its floored
+//     deadlines, so a group at or ahead of its own solo pace still achieves
+//     exactly the floor when replanned alone: the recomputed metric equals
+//     the cached one.
+//
+// "Ahead of pace" tolerates only unit.Eps-scale fluid-model drift — the same
+// tolerance the simulator and coordinator use when advancing volumes — so a
+// genuinely stalled or newly loaded flow always misses.
+//
+// Lookups that fail any test fall through to a real planning pass and the
+// fresh result replaces the entry. Entries for departed groups are pruned on
+// every Schedule call; group IDs never recur in this system, but pruning
+// keeps the cache bounded by the live group count regardless.
+//
+// A PlanCache is safe for concurrent use. The zero value of *PlanCache (nil)
+// is a valid always-miss cache, so EchelonMADD works unchanged without one.
+type PlanCache struct {
+	mu      sync.Mutex
+	net     *fabric.Network
+	netGen  uint64
+	entries map[string]*planEntry
+
+	hits, misses, invalidations uint64
+}
+
+// planEntry captures one group's solo ranking at the moment it was computed.
+type planEntry struct {
+	at         unit.Time
+	tau        unit.Time
+	floor      unit.Time
+	onSchedule bool
+	// remaining holds each member flow's remaining volume at time at;
+	// plans holds the solo plan's fill segments per flow, the pace the
+	// group must hold for the entry to stay valid.
+	remaining map[string]unit.Bytes
+	plans     map[string][]fillSegment
+}
+
+// NewPlanCache returns an empty cache ready to be shared by every copy of an
+// EchelonMADD scheduler (and by the sim/coordinator invalidation hooks).
+func NewPlanCache() *PlanCache {
+	return &PlanCache{entries: make(map[string]*planEntry)}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+	Entries       int
+}
+
+// Stats returns current counters.
+func (c *PlanCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Invalidations: c.invalidations, Entries: len(c.entries)}
+}
+
+// InvalidateGroup drops the entry for one group (flow released, finished, or
+// group membership changed).
+func (c *PlanCache) InvalidateGroup(id string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[id]; ok {
+		delete(c.entries, id)
+		c.invalidations++
+	}
+}
+
+// InvalidateAll drops every entry (capacity change, session loss, or any
+// event whose scope is unclear).
+func (c *PlanCache) InvalidateAll() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) > 0 {
+		c.invalidations += uint64(len(c.entries))
+		clear(c.entries)
+	}
+}
+
+// lookup returns the cached solo tardiness for a group when the entry is
+// provably equivalent to what a fresh planning pass would produce.
+func (c *PlanCache) lookup(snap *Snapshot, net *fabric.Network, id string, flows []*FlowState, floor unit.Time) (unit.Time, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.net != net || c.netGen != net.Generation() {
+		// Any fabric mutation (capacity or topology) retires the whole
+		// epoch; store() resets it.
+		c.misses++
+		return 0, false
+	}
+	e := c.entries[id]
+	if e == nil || e.floor != floor || len(e.remaining) != len(flows) {
+		c.misses++
+		return 0, false
+	}
+	if snap.Now == e.at {
+		// Same instant (zero-dt event cascade): exact when volumes match.
+		for _, fs := range flows {
+			r, ok := e.remaining[fs.Flow.ID]
+			if !ok || r != fs.Remaining {
+				c.misses++
+				return 0, false
+			}
+		}
+		c.hits++
+		return e.tau, true
+	}
+	if snap.Now < e.at || !e.onSchedule {
+		c.misses++
+		return 0, false
+	}
+	// Later event, entry was on schedule (tau == floor): the ranking holds
+	// as long as every flow is at or ahead of the cached solo plan's pace —
+	// the paced planner then still meets every floored deadline, and the
+	// floor is a lower bound, so the recomputed tau is again exactly floor.
+	for _, fs := range flows {
+		r0, ok := e.remaining[fs.Flow.ID]
+		if !ok {
+			c.misses++
+			return 0, false
+		}
+		pred := r0 - plannedVolume(e.plans[fs.Flow.ID], snap.Now)
+		if pred < 0 {
+			pred = 0
+		}
+		tol := unit.Bytes(unit.Eps * (1 + float64(r0)))
+		if fs.Remaining > pred+tol {
+			c.misses++
+			return 0, false
+		}
+	}
+	c.hits++
+	return e.tau, true
+}
+
+// store records a freshly computed solo ranking. A fabric generation change
+// opens a new epoch, discarding every stale entry.
+func (c *PlanCache) store(snap *Snapshot, net *fabric.Network, id string, flows []*FlowState, floor, tau unit.Time, plans map[string][]fillSegment) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.net != net || c.netGen != net.Generation() {
+		c.net, c.netGen = net, net.Generation()
+		clear(c.entries)
+	}
+	rem := make(map[string]unit.Bytes, len(flows))
+	for _, fs := range flows {
+		rem[fs.Flow.ID] = fs.Remaining
+	}
+	c.entries[id] = &planEntry{
+		at:         snap.Now,
+		tau:        tau,
+		floor:      floor,
+		onSchedule: tau == floor,
+		remaining:  rem,
+		plans:      plans,
+	}
+}
+
+// prune drops entries for groups absent from the current snapshot. ids must
+// be sorted ascending (groupedFlows guarantees this).
+func (c *PlanCache) prune(ids []string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id := range c.entries {
+		i := sort.SearchStrings(ids, id)
+		if i >= len(ids) || ids[i] != id {
+			delete(c.entries, id)
+		}
+	}
+}
+
+// plannedVolume integrates a solo plan's fill segments up to upto: the bytes
+// the fluid model would have transmitted by that time.
+func plannedVolume(segs []fillSegment, upto unit.Time) unit.Bytes {
+	var vol unit.Bytes
+	for _, seg := range segs {
+		if seg.from >= upto {
+			break
+		}
+		end := seg.to
+		if end > upto {
+			end = upto
+		}
+		vol += seg.rate.Over(end - seg.from)
+	}
+	return vol
+}

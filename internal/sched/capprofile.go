@@ -35,6 +35,14 @@ func (p *profile) clone() *profile {
 	}
 }
 
+// reset rewinds the profile to a single full-capacity segment starting at
+// start, reusing the backing arrays. It restores the newProfile state
+// without allocating, so port profiles can be pooled across Schedule calls.
+func (p *profile) reset(start unit.Time, cap unit.Rate) {
+	p.times = append(p.times[:0], start)
+	p.free = append(p.free[:0], cap)
+}
+
 // segIndex returns the index of the segment containing t, clamping to the
 // first segment for times before the profile starts.
 func (p *profile) segIndex(t unit.Time) int {
@@ -150,22 +158,32 @@ func mergeBreaks(src, dst *profile, from, to unit.Time) []unit.Time {
 		}
 		to = last + 1e12
 	}
-	set := map[unit.Time]bool{from: true, to: true}
+	out := make([]unit.Time, 0, 2+len(src.times)+len(dst.times))
+	out = append(out, from, to)
 	for _, t := range src.times {
 		if t > from && t < to {
-			set[t] = true
+			out = append(out, t)
 		}
 	}
 	for _, t := range dst.times {
 		if t > from && t < to {
-			set[t] = true
+			out = append(out, t)
 		}
 	}
-	out := make([]unit.Time, 0, len(set))
-	for t := range set {
-		out = append(out, t)
+	return sortedBreaks(out)
+}
+
+// sortedBreaks sorts breakpoints ascending and drops exact duplicates in
+// place — the same set-of-times semantics the planners relied on when
+// breakpoints were collected in a map, without the per-call map.
+func sortedBreaks(ts []unit.Time) []unit.Time {
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || t != out[len(out)-1] {
+			out = append(out, t)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -2,7 +2,10 @@ package sched
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"echelonflow/internal/fabric"
 	"echelonflow/internal/unit"
@@ -60,6 +63,14 @@ type EchelonMADD struct {
 	// pipelines); global ordering can, at the cost of the SEBF-style
 	// inter-group preference. Ablated in experiments E1/E7.
 	GlobalEDF bool
+	// Cache, when non-nil, memoizes each group's solo-tardiness ranking
+	// (and the solo plan it derives from) across Schedule calls. Entries
+	// are reused only when provably equivalent — same flow set, same
+	// tardiness floor, same fabric generation, and remaining volumes at or
+	// ahead of the cached solo plan's fluid-model pace — so allocations are
+	// byte-identical to the uncached scheduler. Copies of an EchelonMADD
+	// share the pointed-to cache. See PlanCache.
+	Cache *PlanCache
 }
 
 // Name implements Scheduler.
@@ -80,25 +91,45 @@ func (e EchelonMADD) Name() string {
 	return n
 }
 
+// PlanCache exposes the scheduler's cache (possibly nil) so the simulator
+// and coordinator can invalidate it eagerly when scheduling inputs change.
+func (e EchelonMADD) PlanCache() *PlanCache { return e.Cache }
+
 // portProfiles tracks the free-capacity timeline of every port direction
 // during a planning pass, including rack uplinks/downlinks when the fabric
-// defines them.
+// defines them. Instances are pooled: acquirePortProfiles hands out a reset
+// copy whose maps and per-profile arrays are reused across Schedule calls,
+// since rebuilding them dominated the seed scheduler's allocation count.
 type portProfiles struct {
-	net  *fabric.Network
-	eg   map[string]*profile
-	in   map[string]*profile
-	up   map[string]*profile
-	down map[string]*profile
+	net     *fabric.Network
+	topoGen uint64
+	eg      map[string]*profile
+	in      map[string]*profile
+	up      map[string]*profile
+	down    map[string]*profile
+	// Scratch space reused by classBreaks/classLambda within one planning
+	// pass (a portProfiles is only ever used by one goroutine at a time).
+	breaks  []unit.Time
+	egVol   map[string]unit.Bytes
+	inVol   map[string]unit.Bytes
+	upVol   map[*profile]unit.Bytes
+	downVol map[*profile]unit.Bytes
 }
 
 func newPortProfiles(net *fabric.Network, now unit.Time) *portProfiles {
-	pp := &portProfiles{
-		net:  net,
-		eg:   make(map[string]*profile, net.Len()),
-		in:   make(map[string]*profile, net.Len()),
-		up:   make(map[string]*profile),
-		down: make(map[string]*profile),
-	}
+	pp := &portProfiles{}
+	pp.rebuild(net, now)
+	return pp
+}
+
+// rebuild recreates every profile map from the fabric's current topology.
+func (pp *portProfiles) rebuild(net *fabric.Network, now unit.Time) {
+	pp.net = net
+	pp.topoGen = net.TopoGeneration()
+	pp.eg = make(map[string]*profile, net.Len())
+	pp.in = make(map[string]*profile, net.Len())
+	pp.up = make(map[string]*profile)
+	pp.down = make(map[string]*profile)
 	for _, h := range net.Hosts() {
 		pp.eg[h.Name] = newProfile(now, h.Egress)
 		pp.in[h.Name] = newProfile(now, h.Ingress)
@@ -107,31 +138,46 @@ func newPortProfiles(net *fabric.Network, now unit.Time) *portProfiles {
 		pp.up[r.Name] = newProfile(now, r.Uplink)
 		pp.down[r.Name] = newProfile(now, r.Downlink)
 	}
+	if pp.egVol == nil {
+		pp.egVol = make(map[string]unit.Bytes)
+		pp.inVol = make(map[string]unit.Bytes)
+		pp.upVol = make(map[*profile]unit.Bytes)
+		pp.downVol = make(map[*profile]unit.Bytes)
+	}
+}
+
+// ensure makes pp a fresh full-capacity timeline for net at now. When the
+// pooled instance already mirrors net's topology it only rewinds the
+// existing profiles — re-reading current port capacities, so SetCapacity
+// needs no rebuild — and otherwise it rebuilds from scratch.
+func (pp *portProfiles) ensure(net *fabric.Network, now unit.Time) {
+	if pp.net != net || pp.topoGen != net.TopoGeneration() {
+		pp.rebuild(net, now)
+		return
+	}
+	for name, p := range pp.eg {
+		h := net.Host(name)
+		p.reset(now, h.Egress)
+		pp.in[name].reset(now, h.Ingress)
+	}
+	for name, p := range pp.up {
+		r := net.Rack(name)
+		p.reset(now, r.Uplink)
+		pp.down[name].reset(now, r.Downlink)
+	}
+}
+
+// ppPool recycles portProfiles across Schedule calls and across the
+// goroutines of a parallel ranking pass.
+var ppPool = sync.Pool{New: func() any { return new(portProfiles) }}
+
+func acquirePortProfiles(net *fabric.Network, now unit.Time) *portProfiles {
+	pp := ppPool.Get().(*portProfiles)
+	pp.ensure(net, now)
 	return pp
 }
 
-func (pp *portProfiles) clone() *portProfiles {
-	cp := &portProfiles{
-		net:  pp.net,
-		eg:   make(map[string]*profile, len(pp.eg)),
-		in:   make(map[string]*profile, len(pp.in)),
-		up:   make(map[string]*profile, len(pp.up)),
-		down: make(map[string]*profile, len(pp.down)),
-	}
-	for k, v := range pp.eg {
-		cp.eg[k] = v.clone()
-	}
-	for k, v := range pp.in {
-		cp.in[k] = v.clone()
-	}
-	for k, v := range pp.up {
-		cp.up[k] = v.clone()
-	}
-	for k, v := range pp.down {
-		cp.down[k] = v.clone()
-	}
-	return cp
-}
+func releasePortProfiles(pp *portProfiles) { ppPool.Put(pp) }
 
 // rackPorts returns the rack profiles a flow crosses (nil when none).
 func (pp *portProfiles) rackPorts(src, dst string) (upP, downP *profile) {
@@ -244,10 +290,11 @@ func classFill(pp *portProfiles, cls deadlineClass, from, to unit.Time, paced bo
 // classLambda computes the largest proportional-rate scale for a class at
 // time t: min over ports of free capacity divided by the volume crossing it.
 func classLambda(pp *portProfiles, cls deadlineClass, remaining map[string]unit.Bytes, t unit.Time) float64 {
-	egVol := make(map[string]unit.Bytes)
-	inVol := make(map[string]unit.Bytes)
-	upVol := make(map[*profile]unit.Bytes)
-	downVol := make(map[*profile]unit.Bytes)
+	egVol, inVol, upVol, downVol := pp.egVol, pp.inVol, pp.upVol, pp.downVol
+	clear(egVol)
+	clear(inVol)
+	clear(upVol)
+	clear(downVol)
 	for _, fs := range cls.flows {
 		v := remaining[fs.Flow.ID]
 		if v.Zeroish() {
@@ -289,12 +336,14 @@ func classLambda(pp *portProfiles, cls deadlineClass, remaining map[string]unit.
 
 // classBreaks merges the breakpoints of every port a class touches within
 // [from, to].
+// The returned slice aliases pp's scratch buffer; it is valid until the next
+// classBreaks call on the same pp.
 func classBreaks(pp *portProfiles, cls deadlineClass, from, to unit.Time) []unit.Time {
-	set := map[unit.Time]bool{from: true, to: true}
+	out := append(pp.breaks[:0], from, to)
 	add := func(p *profile) {
 		for _, t := range p.times {
 			if t > from && t < to {
-				set[t] = true
+				out = append(out, t)
 			}
 		}
 	}
@@ -310,11 +359,8 @@ func classBreaks(pp *portProfiles, cls deadlineClass, from, to unit.Time) []unit
 			}
 		}
 	}
-	out := make([]unit.Time, 0, len(set))
-	for t := range set {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out = sortedBreaks(out)
+	pp.breaks = out[:0]
 	return out
 }
 
@@ -399,10 +445,80 @@ func planClass(snap *Snapshot, pp *portProfiles, cls deadlineClass, floor unit.T
 }
 
 // soloTardiness estimates the tardiness a group would achieve alone on the
-// full fabric — the inter-EchelonFlow ranking metric of Property 4.
-func soloTardiness(snap *Snapshot, net *fabric.Network, classes []deadlineClass, floor unit.Time) (unit.Time, error) {
-	_, tau, err := planGroup(snap, newPortProfiles(net, snap.Now), classes, floor)
-	return tau, err
+// full fabric — the inter-EchelonFlow ranking metric of Property 4. It also
+// returns the solo plan, which PlanCache uses as the fluid-model pace that
+// decides whether the ranking may be reused at a later event.
+func soloTardiness(snap *Snapshot, net *fabric.Network, classes []deadlineClass, floor unit.Time) (map[string][]fillSegment, unit.Time, error) {
+	pp := acquirePortProfiles(net, snap.Now)
+	plans, tau, err := planGroup(snap, pp, classes, floor)
+	releasePortProfiles(pp)
+	return plans, tau, err
+}
+
+// rankGroups computes the solo-tardiness ordering metric for every group,
+// serving what it can from the cache and computing the rest — in parallel
+// when more than one group misses, since each solo plan runs against its own
+// pooled profile copy. Results and errors are merged in sorted group-id
+// order, so the outcome (including which error surfaces first) matches the
+// sequential seed loop exactly.
+func (e EchelonMADD) rankGroups(snap *Snapshot, net *fabric.Network, ids []string, byGroup map[string][]*FlowState, classes map[string][]deadlineClass, floors map[string]unit.Time) (map[string]unit.Time, error) {
+	solo := make(map[string]unit.Time, len(ids))
+	missing := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if tau, ok := e.Cache.lookup(snap, net, id, byGroup[id], floors[id]); ok {
+			solo[id] = tau
+			continue
+		}
+		missing = append(missing, id)
+	}
+	type soloResult struct {
+		plans map[string][]fillSegment
+		tau   unit.Time
+		err   error
+	}
+	results := make([]soloResult, len(missing))
+	compute := func(i int) {
+		id := missing[i]
+		plans, tau, err := soloTardiness(snap, net, classes[id], floors[id])
+		results[i] = soloResult{plans: plans, tau: tau, err: err}
+	}
+	if workers := min(runtime.GOMAXPROCS(0), len(missing)); workers > 1 {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(missing) {
+						return
+					}
+					compute(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range missing {
+			compute(i)
+		}
+	}
+	for i, id := range missing {
+		if results[i].err != nil {
+			return nil, fmt.Errorf("sched: group %q: %w", id, results[i].err)
+		}
+		e.Cache.store(snap, net, id, byGroup[id], floors[id], results[i].tau, results[i].plans)
+		solo[id] = results[i].tau
+	}
+	e.Cache.prune(ids)
+	if e.Weighted {
+		for _, id := range ids {
+			solo[id] = unit.Time(float64(solo[id]) / snap.Groups[id].Group.EffectiveWeight())
+		}
+	}
+	return solo, nil
 }
 
 // Schedule implements Scheduler.
@@ -419,18 +535,14 @@ func (e EchelonMADD) Schedule(snap *Snapshot, net *fabric.Network) (map[string]u
 	// Rank groups by the tardiness each could achieve alone on the full
 	// fabric (the inter-EchelonFlow metric of Property 4).
 	classes := make(map[string][]deadlineClass, len(ids))
-	solo := make(map[string]unit.Time, len(ids))
+	floors := make(map[string]unit.Time, len(ids))
 	for _, id := range ids {
 		classes[id] = classesOf(snap, byGroup[id])
-		floor := unit.MaxTime(0, snap.Groups[id].AchievedTardiness)
-		tau, err := soloTardiness(snap, net, classes[id], floor)
-		if err != nil {
-			return nil, fmt.Errorf("sched: group %q: %w", id, err)
-		}
-		if e.Weighted {
-			tau = unit.Time(float64(tau) / snap.Groups[id].Group.EffectiveWeight())
-		}
-		solo[id] = tau
+		floors[id] = unit.MaxTime(0, snap.Groups[id].AchievedTardiness)
+	}
+	solo, err := e.rankGroups(snap, net, ids, byGroup, classes, floors)
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(ids, func(i, j int) bool {
 		a, b := solo[ids[i]], solo[ids[j]]
@@ -445,7 +557,8 @@ func (e EchelonMADD) Schedule(snap *Snapshot, net *fabric.Network) (map[string]u
 
 	// Allocate against the shared capacity timeline: group by group in rank
 	// order (default), or all deadline classes in one global EDF order.
-	pp := newPortProfiles(net, snap.Now)
+	pp := acquirePortProfiles(net, snap.Now)
+	defer releasePortProfiles(pp)
 	if e.GlobalEDF {
 		type gcls struct {
 			gid   string
@@ -454,9 +567,8 @@ func (e EchelonMADD) Schedule(snap *Snapshot, net *fabric.Network) (map[string]u
 		}
 		var all []gcls
 		for _, id := range ids {
-			floor := unit.MaxTime(0, snap.Groups[id].AchievedTardiness)
 			for _, cls := range classes[id] {
-				all = append(all, gcls{gid: id, cls: cls, floor: floor})
+				all = append(all, gcls{gid: id, cls: cls, floor: floors[id]})
 			}
 		}
 		sort.SliceStable(all, func(i, j int) bool {
@@ -480,8 +592,7 @@ func (e EchelonMADD) Schedule(snap *Snapshot, net *fabric.Network) (map[string]u
 		}
 	} else {
 		for _, id := range ids {
-			floor := unit.MaxTime(0, snap.Groups[id].AchievedTardiness)
-			plans, _, err := planGroup(snap, pp, classes[id], floor)
+			plans, _, err := planGroup(snap, pp, classes[id], floors[id])
 			if err != nil {
 				return nil, fmt.Errorf("sched: group %q: %w", id, err)
 			}

@@ -120,8 +120,10 @@ type Result struct {
 	Rates []RateSegment
 }
 
-// TotalTardiness sums group tardiness (Eq. 4) over the named groups, or all
-// groups when none are named.
+// TotalTardiness sums weighted group tardiness (Eq. 4: Σ w_i · T_i) over the
+// named groups, or all groups when none are named. Groups carry weight 1
+// unless Options.Weights says otherwise, so unweighted runs are a plain sum.
+// Unknown group names contribute nothing.
 func (r *Result) TotalTardiness(groups ...string) unit.Time {
 	if len(groups) == 0 {
 		for id := range r.Groups {
@@ -130,7 +132,11 @@ func (r *Result) TotalTardiness(groups ...string) unit.Time {
 	}
 	var sum unit.Time
 	for _, id := range groups {
-		sum += r.Groups[id].Tardiness
+		gr := r.Groups[id]
+		if gr.Group == nil {
+			continue
+		}
+		sum += unit.Time(float64(gr.Tardiness) * gr.Group.EffectiveWeight())
 	}
 	return sum
 }
@@ -186,6 +192,13 @@ type Simulator struct {
 	nextTick unit.Time
 	// pendingChanges indexes into opts.CapacityChanges.
 	pendingChanges int
+	// capChanged marks that a capacity change was applied since the last
+	// scheduler run: even IntervalOnly mode must reschedule immediately,
+	// since holding the stale rates can oversubscribe a shrunken port.
+	capChanged bool
+	// cache is the scheduler's plan cache when it exposes one, invalidated
+	// eagerly on the events that change scheduling inputs. Nil-safe.
+	cache *sched.PlanCache
 }
 
 // New validates the workload and prepares a run.
@@ -276,6 +289,9 @@ func New(opts Options) (*Simulator, error) {
 		}
 		s.groups[gid] = &sched.GroupState{Group: g}
 	}
+	if pc, ok := opts.Scheduler.(interface{ PlanCache() *sched.PlanCache }); ok {
+		s.cache = pc.PlanCache()
+	}
 	return s, nil
 }
 
@@ -299,7 +315,7 @@ func (s *Simulator) Run() (*Result, error) {
 	}
 	unfinished := len(s.nodes)
 	for ev := 0; unfinished > 0; ev++ {
-		if ev > s.opts.MaxEvents {
+		if ev >= s.opts.MaxEvents {
 			return nil, fmt.Errorf("sim: exceeded %d events (livelock?)", s.opts.MaxEvents)
 		}
 		s.applyCapacityChanges()
@@ -360,6 +376,7 @@ func (s *Simulator) settle() int {
 				s.refSet[ns.groupID] = true
 				s.groups[ns.groupID].Reference = s.now
 			}
+			s.cache.InvalidateGroup(ns.groupID) // flow set grew
 			changed = true
 			if ns.remaining.Zeroish() {
 				s.finishFlow(ns)
@@ -425,12 +442,15 @@ func (s *Simulator) maybeReschedule() (bool, error) {
 	if len(snap.Flows) == 0 {
 		return false, nil
 	}
-	if s.opts.IntervalOnly && s.now.Before(s.nextTick) {
+	if s.opts.IntervalOnly && s.now.Before(s.nextTick) && !s.capChanged {
 		return true, nil // hold the stale allocation until the tick
 	}
 	if s.opts.IntervalOnly {
+		// Re-arm the cadence from this run, whether it was a tick or a
+		// forced capacity-change reschedule.
 		s.nextTick = s.now + s.opts.Interval
 	}
+	s.capChanged = false
 	s.result.SchedulerCalls++
 	rates, err := s.opts.Scheduler.Schedule(snap, s.opts.Net)
 	if err != nil {
@@ -476,6 +496,8 @@ func (s *Simulator) applyCapacityChanges() {
 		// Validated in New; SetCapacity cannot fail here.
 		_ = s.opts.Net.SetCapacity(cc.Host, cc.Egress, cc.Ingress)
 		s.pendingChanges++
+		s.capChanged = true
+		s.cache.InvalidateAll()
 	}
 }
 
@@ -543,6 +565,7 @@ func (s *Simulator) finishFlow(ns *nodeState) {
 	if tard > gs.AchievedTardiness {
 		gs.AchievedTardiness = tard
 	}
+	s.cache.InvalidateGroup(ns.groupID) // flow set shrank, floor may have moved
 	s.result.Flows[ns.node.ID] = FlowRecord{
 		GroupID: ns.groupID, Release: ns.start, Finish: ns.finish,
 		Deadline: deadline, Size: ns.node.Size,

@@ -469,3 +469,92 @@ func TestCapacityChangeValidation(t *testing.T) {
 		t.Error("negative time accepted")
 	}
 }
+
+// Eq. 4 is a *weighted* sum: doubling a group's weight doubles its
+// contribution to the objective.
+func TestWeightedTotalTardiness(t *testing.T) {
+	g, net, arrs := fig2Workload(t)
+	s, err := New(Options{
+		Graph: g, Net: net, Scheduler: sched.EchelonMADD{}, Arrangements: arrs,
+		Weights: map[string]float64{"pp": 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unweighted run achieves tardiness 1 (TestTotalTardiness); the
+	// weighted objective counts it twice.
+	if got := res.Groups["pp"].Tardiness; !got.ApproxEq(1) {
+		t.Fatalf("tardiness = %v, want 1", got)
+	}
+	if got := res.TotalTardiness("pp"); !got.ApproxEq(2) {
+		t.Errorf("TotalTardiness(pp) = %v, want 2 (weight applied)", got)
+	}
+	if got := res.TotalTardiness(); !got.ApproxEq(2) {
+		t.Errorf("TotalTardiness() = %v, want 2 (weight applied)", got)
+	}
+	if got := res.TotalTardiness("no-such-group"); got != 0 {
+		t.Errorf("TotalTardiness(no-such-group) = %v, want 0", got)
+	}
+}
+
+// MaxEvents is an exact bound: a budget of 1 permits a single event-loop
+// iteration, so a run needing more trips the guard (the seed's off-by-one
+// allowed MaxEvents+1 iterations).
+func TestMaxEventsExact(t *testing.T) {
+	g, net, arrs := fig2Workload(t)
+	s, err := New(Options{Graph: g, Net: net, Scheduler: sched.Fair{}, Arrangements: arrs, MaxEvents: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "exceeded 1 events") {
+		t.Errorf("expected MaxEvents=1 guard error, got %v", err)
+	}
+	// A workload that completes within the budget is unaffected.
+	d := dag.New()
+	d.MustAdd(&dag.Node{ID: "c", Kind: dag.Compute, Host: "w1", Duration: 1})
+	s2, err := New(Options{Graph: d, Net: net, Scheduler: sched.Fair{}, MaxEvents: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Run(); err != nil {
+		t.Errorf("single-event run tripped the guard: %v", err)
+	}
+}
+
+// In IntervalOnly mode a capacity decrease must force an immediate
+// reschedule: holding the stale rates until the next tick would
+// oversubscribe the shrunken port (and let the fluid model transmit faster
+// than the fabric allows).
+func TestIntervalOnlyCapacityChangeReschedules(t *testing.T) {
+	g := dag.New()
+	g.MustAdd(&dag.Node{ID: "f", Kind: dag.Comm, Src: "a", Dst: "b", Size: 8})
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(2, "a", "b")
+	s, err := New(Options{
+		Graph: g, Net: net, Scheduler: sched.Fair{},
+		Interval: 10, IntervalOnly: true, RecordRates: true,
+		CapacityChanges: []CapacityChange{{At: 2, Host: "a", Egress: 1, Ingress: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [0,2] at rate 2 ships 4; the change to capacity 1 must take effect at
+	// t=2 (not at the t=10 tick), so the remaining 4 finish at 6.
+	if !res.Flows["f"].Finish.ApproxEq(6) {
+		t.Errorf("finish = %v, want 6 (reschedule at the capacity change)", res.Flows["f"].Finish)
+	}
+	// No recorded rate may oversubscribe the port after the change.
+	for _, seg := range res.Rates {
+		if seg.From >= 2-unit.Time(unit.Eps) && float64(seg.Rate) > 1+unit.Eps {
+			t.Errorf("segment [%v,%v) rate %v oversubscribes capacity 1", seg.From, seg.To, seg.Rate)
+		}
+	}
+}
