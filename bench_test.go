@@ -164,3 +164,7 @@ func BenchmarkExtended_LinkDegradation(b *testing.B) {
 func BenchmarkExtended_RackOversubscription(b *testing.B) {
 	runExperiment(b, experiments.ExtRackOversubscription)
 }
+
+func BenchmarkExtended_ChaosReplay(b *testing.B) {
+	runExperiment(b, experiments.ExtChaos)
+}

@@ -36,6 +36,8 @@ func main() {
 	data := flag.String("data", "", "data-plane listen address (receivers)")
 	send := flag.String("send", "", "demo send spec: src,dst,flows,bytes,T")
 	peer := flag.String("peer", "", "peer agent data-plane address (senders)")
+	reconnect := flag.Bool("reconnect", false, "redial a lost coordinator session with backoff and resume in-flight flows")
+	backoff := flag.Duration("reconnect-backoff", 100*time.Millisecond, "initial redial delay (doubles up to 5s)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -43,6 +45,7 @@ func main() {
 
 	a, err := agent.Dial(ctx, agent.Options{
 		Name: *name, CoordinatorAddr: *coord, DataAddr: *data,
+		Reconnect: *reconnect, ReconnectBackoff: *backoff,
 	})
 	if err != nil {
 		log.Fatalf("echelon-agent: %v", err)

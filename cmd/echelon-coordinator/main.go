@@ -40,6 +40,7 @@ func main() {
 	schedName := flag.String("scheduler", "echelon", "echelon | coflow | fair")
 	interval := flag.Duration("interval", 0, "optional periodic rescheduling interval")
 	sessionTimeout := flag.Duration("session-timeout", 30*time.Second, "drop agents silent for this long (0 disables)")
+	quarantine := flag.Duration("quarantine", 0, "park a dead agent's groups this long awaiting rejoin (0 evicts immediately)")
 	var racks, assigns hostSpecs
 	flag.Var(&hosts, "host", "host capacity spec name=rate or name[a-b]=rate (repeatable)")
 	flag.Var(&racks, "rack", "rack capacity spec name=rate (uplink=downlink; repeatable)")
@@ -88,6 +89,7 @@ func main() {
 
 	coord, err := coordinator.New(coordinator.Options{
 		Net: net0, Scheduler: s, Interval: *interval, SessionTimeout: *sessionTimeout,
+		QuarantineTimeout: *quarantine,
 	})
 	if err != nil {
 		log.Fatalf("echelon-coordinator: %v", err)

@@ -6,6 +6,7 @@
 //
 //	echelon-sim -paradigm pp -scheduler echelon -workers 4 -cap 4
 //	echelon-sim -paradigm fsdp -scheduler coflow -iterations 2 -gantt
+//	echelon-sim -paradigm pp -cap 6 -params 2 -acts 5 -faults examples/faults/chaos.json
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"echelonflow/internal/ddlt"
 	"echelonflow/internal/fabric"
+	"echelonflow/internal/faults"
 	"echelonflow/internal/metrics"
 	"echelonflow/internal/sched"
 	"echelonflow/internal/sim"
@@ -37,6 +39,7 @@ func main() {
 		bwd        = flag.Float64("bwd", 1, "per-layer backward time (s)")
 		gantt      = flag.Bool("gantt", true, "print the compute timeline")
 		flows      = flag.Bool("flows", false, "print the per-flow report")
+		faultsFile = flag.String("faults", "", "JSON fault schedule to replay (see examples/faults/)")
 	)
 	flag.Parse()
 
@@ -51,7 +54,18 @@ func main() {
 	}
 	net := fabric.NewNetwork()
 	net.AddUniformHosts(unit.Rate(*capacity), w.Hosts...)
-	simr, err := sim.New(sim.Options{Graph: w.Graph, Net: net, Scheduler: s, Arrangements: w.Arrangements})
+	opts := sim.Options{Graph: w.Graph, Net: net, Scheduler: s, Arrangements: w.Arrangements}
+	if *faultsFile != "" {
+		schedF, err := faults.Load(*faultsFile)
+		if err != nil {
+			fatal(err)
+		}
+		opts.CapacityChanges, opts.Dilations, err = faults.CompileSim(schedF, net)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	simr, err := sim.New(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,7 +101,9 @@ func buildJob(paradigm string, workers, layers, micro, iterations int,
 	params, acts unit.Bytes, fwd, bwd unit.Time) (*ddlt.Workload, error) {
 	names := make([]string, workers)
 	for i := range names {
-		names[i] = fmt.Sprintf("w%d", i)
+		// Workers are named s0..sN, matching the hosts the shipped fault
+		// schedules (examples/faults/) target.
+		names[i] = fmt.Sprintf("s%d", i)
 	}
 	model := ddlt.Uniform("model", layers, params, acts, fwd, bwd)
 	switch paradigm {

@@ -5,6 +5,13 @@
 // Coordinator's bandwidth allocations on the data plane by pacing real TCP
 // transfers with per-flow token buckets — the weighted-bandwidth-sharing
 // enforcement the paper describes.
+//
+// The agent survives coordinator-session loss: with Options.Reconnect it
+// redials with exponential backoff plus jitter, re-announces its groups,
+// and reports in-flight transfers with their byte offsets so scheduling
+// resumes from the remainder. The data plane is resumable independently: a
+// receiver acknowledges how many bytes of a flow it already holds, and the
+// sender continues from that offset instead of restarting from zero.
 package agent
 
 import (
@@ -13,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -36,55 +44,122 @@ type Options struct {
 	Burst float64
 	// Chunk is the paced write size in bytes (default 16 KiB).
 	Chunk int
-	// Heartbeat is the control-plane keepalive interval (default 5s;
-	// negative disables heartbeats).
+	// Heartbeat is the control-plane keepalive interval (default 5s).
+	// Each beat is jittered ±20% so a restarted fleet does not
+	// synchronize its heartbeats. Must not be negative; set
+	// DisableHeartbeat to turn keepalives off.
 	Heartbeat time.Duration
+	// DisableHeartbeat turns off control-plane keepalives.
+	DisableHeartbeat bool
+	// Reconnect enables automatic redial of a lost coordinator session
+	// with exponential backoff + jitter. On reconnect the agent replays
+	// its handshake, re-registers its groups, and reports in-flight flows
+	// with their current byte offsets.
+	Reconnect bool
+	// ReconnectBackoff is the initial redial delay (default 100ms; it
+	// doubles per failed attempt up to ReconnectMax).
+	ReconnectBackoff time.Duration
+	// ReconnectMax caps the redial delay (default 5s).
+	ReconnectMax time.Duration
+	// JitterSeed seeds the heartbeat/backoff jitter stream; zero draws a
+	// seed from the clock. Fixing it makes fault-injection runs
+	// reproducible.
+	JitterSeed int64
 	// Logf receives diagnostics; defaults to log.Printf.
 	Logf func(format string, args ...interface{})
+}
+
+func (o *Options) validate() error {
+	if o.Name == "" {
+		return fmt.Errorf("agent: Name is required")
+	}
+	if o.CoordinatorAddr == "" {
+		return fmt.Errorf("agent: CoordinatorAddr is required")
+	}
+	if o.Burst < 0 {
+		return fmt.Errorf("agent: negative Burst %v", o.Burst)
+	}
+	if o.Chunk < 0 {
+		return fmt.Errorf("agent: negative Chunk %d", o.Chunk)
+	}
+	if o.Heartbeat < 0 {
+		return fmt.Errorf("agent: negative Heartbeat %v (set DisableHeartbeat to disable keepalives)", o.Heartbeat)
+	}
+	if o.ReconnectBackoff < 0 {
+		return fmt.Errorf("agent: negative ReconnectBackoff %v", o.ReconnectBackoff)
+	}
+	if o.ReconnectMax < 0 {
+		return fmt.Errorf("agent: negative ReconnectMax %v", o.ReconnectMax)
+	}
+	if o.Burst == 0 {
+		o.Burst = 64 << 10
+	}
+	if o.Chunk == 0 {
+		o.Chunk = 16 << 10
+	}
+	if float64(o.Chunk) > o.Burst {
+		return fmt.Errorf("agent: chunk %d exceeds burst %v", o.Chunk, o.Burst)
+	}
+	if o.Heartbeat == 0 {
+		o.Heartbeat = 5 * time.Second
+	}
+	if o.ReconnectBackoff == 0 {
+		o.ReconnectBackoff = 100 * time.Millisecond
+	}
+	if o.ReconnectMax == 0 {
+		o.ReconnectMax = 5 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return nil
+}
+
+// flowProg tracks a sending flow across session loss: base is the byte
+// offset acknowledged by the receiver at dial time, bytes counts what this
+// agent has written since. base+bytes is the delivered offset reported on
+// resume.
+type flowProg struct {
+	groupID string
+	base    int64
+	bytes   int64
+	active  bool
 }
 
 // Agent is a live EchelonFlow agent. Create with Dial; Close releases all
 // resources.
 type Agent struct {
 	opts   Options
-	conn   net.Conn
-	codec  *wire.Codec
 	dataLn net.Listener
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	mu        sync.Mutex
-	buckets   map[string]*ratelimit.Bucket
-	lastRates map[string]unit.Rate
-	received  map[string]int64
-	recvDone  map[string]chan struct{}
+	// sessMu guards the current control session; reconnects swap it.
+	sessMu sync.RWMutex
+	conn   net.Conn
+	codec  *wire.Codec
+
+	mu         sync.Mutex
+	cond       *sync.Cond // broadcast when recvActive changes
+	buckets    map[string]*ratelimit.Bucket
+	lastRates  map[string]unit.Rate
+	received   map[string]int64
+	recvDone   map[string]chan struct{}
+	recvActive map[string]bool
+	progress   map[string]*flowProg
+	groups     map[string]*core.EchelonFlow
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // Dial connects to the Coordinator, performs the handshake, and starts the
 // allocation listener and (if configured) the data-plane listener.
 func Dial(ctx context.Context, opts Options) (*Agent, error) {
-	if opts.Name == "" {
-		return nil, fmt.Errorf("agent: Name is required")
-	}
-	if opts.CoordinatorAddr == "" {
-		return nil, fmt.Errorf("agent: CoordinatorAddr is required")
-	}
-	if opts.Burst <= 0 {
-		opts.Burst = 64 << 10
-	}
-	if opts.Chunk <= 0 {
-		opts.Chunk = 16 << 10
-	}
-	if float64(opts.Chunk) > opts.Burst {
-		return nil, fmt.Errorf("agent: chunk %d exceeds burst %v", opts.Chunk, opts.Burst)
-	}
-	if opts.Logf == nil {
-		opts.Logf = log.Printf
-	}
-	if opts.Heartbeat == 0 {
-		opts.Heartbeat = 5 * time.Second
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", opts.CoordinatorAddr)
@@ -92,16 +167,24 @@ func Dial(ctx context.Context, opts Options) (*Agent, error) {
 		return nil, fmt.Errorf("agent: dial coordinator: %w", err)
 	}
 	actx, cancel := context.WithCancel(context.Background())
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	a := &Agent{
 		opts: opts, conn: conn, codec: wire.NewCodec(conn),
 		ctx: actx, cancel: cancel,
-		buckets:   make(map[string]*ratelimit.Bucket),
-		lastRates: make(map[string]unit.Rate),
-		received:  make(map[string]int64),
-		recvDone:  make(map[string]chan struct{}),
+		buckets:    make(map[string]*ratelimit.Bucket),
+		lastRates:  make(map[string]unit.Rate),
+		received:   make(map[string]int64),
+		recvDone:   make(map[string]chan struct{}),
+		recvActive: make(map[string]bool),
+		progress:   make(map[string]*flowProg),
+		groups:     make(map[string]*core.EchelonFlow),
+		rng:        rand.New(rand.NewSource(seed)),
 	}
-	hello := wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Agent: opts.Name}}
-	if err := a.codec.Send(hello); err != nil {
+	a.cond = sync.NewCond(&a.mu)
+	if err := a.codec.Send(a.helloMessage()); err != nil {
 		conn.Close()
 		cancel()
 		return nil, fmt.Errorf("agent: handshake: %w", err)
@@ -119,24 +202,53 @@ func Dial(ctx context.Context, opts Options) (*Agent, error) {
 	}
 	a.wg.Add(1)
 	go a.controlLoop()
-	if opts.Heartbeat > 0 {
+	if !opts.DisableHeartbeat {
 		a.wg.Add(1)
 		go a.heartbeatLoop()
 	}
 	return a, nil
 }
 
-// heartbeatLoop keeps the control session alive across idle periods.
+func (a *Agent) helloMessage() wire.Message {
+	return wire.Message{Type: wire.TypeHello,
+		Hello: &wire.Hello{Agent: a.opts.Name, Version: wire.ProtocolVersion}}
+}
+
+// send dispatches one control message over the current session.
+func (a *Agent) send(m wire.Message) error {
+	a.sessMu.RLock()
+	codec := a.codec
+	a.sessMu.RUnlock()
+	if codec == nil {
+		return fmt.Errorf("agent %s: control session down", a.opts.Name)
+	}
+	return codec.Send(m)
+}
+
+// jittered spreads an interval uniformly over ±20%.
+func (a *Agent) jittered(d time.Duration) time.Duration {
+	a.rngMu.Lock()
+	f := 0.8 + 0.4*a.rng.Float64()
+	a.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// heartbeatLoop keeps the control session alive across idle periods. Each
+// interval is independently jittered so restarted fleets desynchronize.
 func (a *Agent) heartbeatLoop() {
 	defer a.wg.Done()
-	t := time.NewTicker(a.opts.Heartbeat)
-	defer t.Stop()
 	for {
+		t := time.NewTimer(a.jittered(a.opts.Heartbeat))
 		select {
 		case <-a.ctx.Done():
+			t.Stop()
 			return
 		case <-t.C:
-			if err := a.codec.Send(wire.Message{Type: wire.TypeHeartbeat}); err != nil {
+			if err := a.send(wire.Message{Type: wire.TypeHeartbeat}); err != nil {
+				if a.opts.Reconnect {
+					// The control loop is redialing; keep beating.
+					continue
+				}
 				if a.ctx.Err() == nil {
 					a.opts.Logf("agent %s: heartbeat failed: %v", a.opts.Name, err)
 				}
@@ -157,24 +269,54 @@ func (a *Agent) DataAddr() string {
 // Close tears down both planes and waits for background goroutines.
 func (a *Agent) Close() error {
 	a.cancel()
-	err := a.conn.Close()
+	a.sessMu.Lock()
+	var err error
+	if a.conn != nil {
+		err = a.conn.Close()
+	}
+	a.sessMu.Unlock()
 	if a.dataLn != nil {
 		a.dataLn.Close()
 	}
+	a.mu.Lock()
+	a.cond.Broadcast()
+	a.mu.Unlock()
 	a.wg.Wait()
 	return err
 }
 
-// controlLoop applies pushed allocations until the connection closes.
+// controlLoop applies pushed allocations; when the session dies and
+// Reconnect is enabled it redials and resumes, otherwise it exits.
 func (a *Agent) controlLoop() {
 	defer a.wg.Done()
 	for {
-		msg, err := a.codec.Recv()
-		if err != nil {
-			if a.ctx.Err() == nil {
-				a.opts.Logf("agent %s: control connection lost: %v", a.opts.Name, err)
-			}
+		err := a.readSession()
+		if a.ctx.Err() != nil {
 			return
+		}
+		if !a.opts.Reconnect {
+			a.opts.Logf("agent %s: control connection lost: %v", a.opts.Name, err)
+			return
+		}
+		a.opts.Logf("agent %s: control connection lost (%v), reconnecting", a.opts.Name, err)
+		if a.reconnect() != nil {
+			return // context cancelled mid-backoff
+		}
+	}
+}
+
+// readSession consumes the current control session until it fails.
+func (a *Agent) readSession() error {
+	a.sessMu.RLock()
+	codec := a.codec
+	a.sessMu.RUnlock()
+	if codec == nil {
+		return fmt.Errorf("no session")
+	}
+	for {
+		msg, err := codec.Recv()
+		if err != nil {
+			return err
 		}
 		switch msg.Type {
 		case wire.TypeAllocation:
@@ -185,6 +327,91 @@ func (a *Agent) controlLoop() {
 			a.opts.Logf("agent %s: unexpected message %q", a.opts.Name, msg.Type)
 		}
 	}
+}
+
+// reconnect redials the coordinator with exponential backoff + jitter
+// until it succeeds or the agent closes. On success the session state is
+// replayed: handshake, group registrations, and resume events carrying the
+// delivered byte offset of every in-flight send.
+func (a *Agent) reconnect() error {
+	backoff := a.opts.ReconnectBackoff
+	for attempt := 1; ; attempt++ {
+		delay := a.jittered(backoff)
+		t := time.NewTimer(delay)
+		select {
+		case <-a.ctx.Done():
+			t.Stop()
+			return a.ctx.Err()
+		case <-t.C:
+		}
+		if err := a.redial(); err != nil {
+			if a.ctx.Err() != nil {
+				return a.ctx.Err()
+			}
+			backoff *= 2
+			if backoff > a.opts.ReconnectMax {
+				backoff = a.opts.ReconnectMax
+			}
+			a.opts.Logf("agent %s: reconnect attempt %d failed: %v (next in ~%v)",
+				a.opts.Name, attempt, err, backoff)
+			continue
+		}
+		a.opts.Logf("agent %s: reconnected after %d attempt(s)", a.opts.Name, attempt)
+		return nil
+	}
+}
+
+// redial establishes one new control session and replays agent state.
+func (a *Agent) redial() error {
+	var d net.Dialer
+	conn, err := d.DialContext(a.ctx, "tcp", a.opts.CoordinatorAddr)
+	if err != nil {
+		return err
+	}
+	codec := wire.NewCodec(conn)
+	if err := codec.Send(a.helloMessage()); err != nil {
+		conn.Close()
+		return err
+	}
+	a.sessMu.Lock()
+	if a.conn != nil {
+		a.conn.Close()
+	}
+	a.conn, a.codec = conn, codec
+	a.sessMu.Unlock()
+
+	// Re-announce groups, then in-flight transfers with their offsets so
+	// the coordinator schedules the remainder, not the full size.
+	a.mu.Lock()
+	groups := make([]*core.EchelonFlow, 0, len(a.groups))
+	for _, g := range a.groups {
+		groups = append(groups, g)
+	}
+	type resume struct {
+		groupID, flowID string
+		offset          int64
+	}
+	var resumes []resume
+	for id, p := range a.progress {
+		if p.active {
+			resumes = append(resumes, resume{p.groupID, id, p.base + p.bytes})
+		}
+	}
+	a.mu.Unlock()
+	for _, g := range groups {
+		if err := a.RegisterGroup(g); err != nil {
+			a.opts.Logf("agent %s: re-register %s: %v", a.opts.Name, g.ID, err)
+		}
+	}
+	for _, r := range resumes {
+		msg := wire.Message{Type: wire.TypeFlowEvent, FlowEvent: &wire.FlowEvent{
+			GroupID: r.groupID, FlowID: r.flowID,
+			Event: wire.EventResumed, Offset: unit.Bytes(r.offset)}}
+		if err := a.send(msg); err != nil {
+			a.opts.Logf("agent %s: resume %s: %v", a.opts.Name, r.flowID, err)
+		}
+	}
+	return nil
 }
 
 // applyAllocation updates bucket rates, remembering rates for flows whose
@@ -200,24 +427,37 @@ func (a *Agent) applyAllocation(rates map[string]unit.Rate) {
 	}
 }
 
-// RegisterGroup announces an EchelonFlow to the Coordinator.
+// RegisterGroup announces an EchelonFlow to the Coordinator and remembers
+// it for replay after a reconnect.
 func (a *Agent) RegisterGroup(g *core.EchelonFlow) error {
 	reg, err := wire.RegisterOf(g)
 	if err != nil {
 		return err
 	}
-	return a.codec.Send(wire.Message{Type: wire.TypeRegister, Register: &reg})
+	a.mu.Lock()
+	a.groups[g.ID] = g
+	a.mu.Unlock()
+	return a.send(wire.Message{Type: wire.TypeRegister, Register: &reg})
 }
 
 // UnregisterGroup removes an EchelonFlow.
 func (a *Agent) UnregisterGroup(groupID string) error {
-	return a.codec.Send(wire.Message{Type: wire.TypeUnregister, Unregister: &wire.Unregister{GroupID: groupID}})
+	a.mu.Lock()
+	delete(a.groups, groupID)
+	a.mu.Unlock()
+	return a.send(wire.Message{Type: wire.TypeUnregister, Unregister: &wire.Unregister{GroupID: groupID}})
 }
 
 // SendFlow transfers size bytes of flow data to the destination agent's
 // data plane, paced by the Coordinator's allocation. It reports the flow
 // released before the first byte and finished after the last, and blocks
 // until done. The flow starts paused until the first allocation arrives.
+//
+// The receiver acknowledges how many bytes of the flow it already holds;
+// SendFlow skips that prefix, so retrying an interrupted transfer (or
+// re-sending after an agent restart) continues from the last delivered
+// byte instead of restarting — the control plane learns the offset via a
+// "resumed" event.
 func (a *Agent) SendFlow(ctx context.Context, groupID, flowID string, size int64, dstAddr string) error {
 	if size < 0 {
 		return fmt.Errorf("agent: negative flow size")
@@ -227,10 +467,17 @@ func (a *Agent) SendFlow(ctx context.Context, groupID, flowID string, size int64
 		return err
 	}
 	a.mu.Lock()
-	if _, dup := a.buckets[flowID]; dup {
+	if p := a.progress[flowID]; p != nil && p.active {
 		a.mu.Unlock()
 		return fmt.Errorf("agent: flow %q already sending", flowID)
 	}
+	prog := a.progress[flowID]
+	if prog == nil {
+		prog = &flowProg{}
+		a.progress[flowID] = prog
+	}
+	prog.groupID = groupID
+	prog.active = true
 	a.buckets[flowID] = bucket
 	if r, ok := a.lastRates[flowID]; ok {
 		bucket.SetRate(float64(r))
@@ -239,6 +486,7 @@ func (a *Agent) SendFlow(ctx context.Context, groupID, flowID string, size int64
 	defer func() {
 		a.mu.Lock()
 		delete(a.buckets, flowID)
+		prog.active = false
 		a.mu.Unlock()
 	}()
 
@@ -251,15 +499,28 @@ func (a *Agent) SendFlow(ctx context.Context, groupID, flowID string, size int64
 	if err := writeDataHeader(conn, flowID, size); err != nil {
 		return err
 	}
+	offset, err := readDataAck(conn)
+	if err != nil {
+		return fmt.Errorf("agent: flow %q offset ack: %w", flowID, err)
+	}
+	if offset > size {
+		return fmt.Errorf("agent: flow %q receiver acked %d beyond size %d", flowID, offset, size)
+	}
+	a.mu.Lock()
+	prog.base = offset
+	a.mu.Unlock()
 
-	release := wire.Message{Type: wire.TypeFlowEvent,
-		FlowEvent: &wire.FlowEvent{GroupID: groupID, FlowID: flowID, Event: wire.EventReleased}}
-	if err := a.codec.Send(release); err != nil {
+	ev := &wire.FlowEvent{GroupID: groupID, FlowID: flowID, Event: wire.EventReleased}
+	if offset > 0 {
+		ev.Event = wire.EventResumed
+		ev.Offset = unit.Bytes(offset)
+	}
+	if err := a.send(wire.Message{Type: wire.TypeFlowEvent, FlowEvent: ev}); err != nil {
 		return fmt.Errorf("agent: report release: %w", err)
 	}
 
 	chunk := make([]byte, a.opts.Chunk)
-	for sent := int64(0); sent < size; {
+	for sent := offset; sent < size; {
 		n := int64(len(chunk))
 		if size-sent < n {
 			n = size - sent
@@ -271,14 +532,29 @@ func (a *Agent) SendFlow(ctx context.Context, groupID, flowID string, size int64
 			return fmt.Errorf("agent: send flow %q: %w", flowID, err)
 		}
 		sent += n
+		a.mu.Lock()
+		prog.bytes += n
+		a.mu.Unlock()
 	}
 
 	finish := wire.Message{Type: wire.TypeFlowEvent,
 		FlowEvent: &wire.FlowEvent{GroupID: groupID, FlowID: flowID, Event: wire.EventFinished}}
-	if err := a.codec.Send(finish); err != nil {
+	if err := a.send(finish); err != nil {
 		return fmt.Errorf("agent: report finish: %w", err)
 	}
 	return nil
+}
+
+// SentBytes reports how many payload bytes this agent has written for a
+// flow (excluding any prefix delivered by a previous incarnation and
+// skipped via the resume ack).
+func (a *Agent) SentBytes(flowID string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p := a.progress[flowID]; p != nil {
+		return p.bytes
+	}
+	return 0
 }
 
 // ReceivedBytes reports how many payload bytes have arrived for a flow.
@@ -325,14 +601,37 @@ func (a *Agent) acceptLoop() {
 	}
 }
 
-// receiveFlow drains one incoming flow, accounting its bytes.
+// receiveFlow drains one incoming flow, accounting its bytes. It first
+// acknowledges how much of the flow already arrived (from an interrupted
+// earlier connection) so the sender resumes from that offset. Concurrent
+// connections for the same flow serialize.
 func (a *Agent) receiveFlow(conn net.Conn) error {
 	flowID, size, err := readDataHeader(conn)
 	if err != nil {
 		return err
 	}
+	a.mu.Lock()
+	for a.recvActive[flowID] && a.ctx.Err() == nil {
+		a.cond.Wait()
+	}
+	if a.ctx.Err() != nil {
+		a.mu.Unlock()
+		return a.ctx.Err()
+	}
+	a.recvActive[flowID] = true
+	got := a.received[flowID]
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.recvActive[flowID] = false
+		a.cond.Broadcast()
+		a.mu.Unlock()
+	}()
+
+	if err := writeDataAck(conn, got); err != nil {
+		return fmt.Errorf("flow %q ack: %w", flowID, err)
+	}
 	buf := make([]byte, 32<<10)
-	var got int64
 	for got < size {
 		want := int64(len(buf))
 		if size-got < want {
@@ -404,4 +703,26 @@ func readDataHeader(r io.Reader) (string, int64, error) {
 		return "", 0, fmt.Errorf("read flow id: %w", err)
 	}
 	return string(id), size, nil
+}
+
+// writeDataAck reports the receiver's current byte offset for a flow; the
+// sender skips that prefix.
+func writeDataAck(w io.Writer, offset int64) error {
+	var ack [8]byte
+	binary.BigEndian.PutUint64(ack[:], uint64(offset))
+	_, err := w.Write(ack[:])
+	return err
+}
+
+// readDataAck parses the receiver's resume offset.
+func readDataAck(r io.Reader) (int64, error) {
+	var ack [8]byte
+	if _, err := io.ReadFull(r, ack[:]); err != nil {
+		return 0, err
+	}
+	off := int64(binary.BigEndian.Uint64(ack[:]))
+	if off < 0 {
+		return 0, fmt.Errorf("negative resume offset")
+	}
+	return off, nil
 }

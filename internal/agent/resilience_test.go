@@ -1,0 +1,248 @@
+package agent
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"echelonflow/internal/coordinator"
+	"echelonflow/internal/core"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/unit"
+	"echelonflow/internal/wire"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	base := Options{Name: "a", CoordinatorAddr: "127.0.0.1:1"}
+	cases := map[string]func(*Options){
+		"negative heartbeat": func(o *Options) { o.Heartbeat = -time.Second },
+		"negative burst":     func(o *Options) { o.Burst = -1 },
+		"negative chunk":     func(o *Options) { o.Chunk = -1 },
+		"negative backoff":   func(o *Options) { o.ReconnectBackoff = -time.Second },
+		"negative max":       func(o *Options) { o.ReconnectMax = -time.Second },
+	}
+	for name, mutate := range cases {
+		o := base
+		mutate(&o)
+		if err := o.validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	o := base
+	o.Heartbeat = -1
+	if err := o.validate(); err == nil || !strings.Contains(err.Error(), "DisableHeartbeat") {
+		t.Errorf("negative-heartbeat error should point at DisableHeartbeat: %v", err)
+	}
+	ok := base
+	if err := ok.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Heartbeat != 5*time.Second || ok.ReconnectBackoff != 100*time.Millisecond || ok.ReconnectMax != 5*time.Second {
+		t.Errorf("defaults not applied: %+v", ok)
+	}
+}
+
+// Heartbeat intervals are spread uniformly over ±20% and actually vary.
+func TestHeartbeatJitter(t *testing.T) {
+	a := &Agent{rng: rand.New(rand.NewSource(42))}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		d := a.jittered(time.Second)
+		if d < 800*time.Millisecond || d > 1200*time.Millisecond {
+			t.Fatalf("jittered interval %v outside ±20%%", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("jitter barely varies: %d distinct values in 200 draws", len(seen))
+	}
+	// The stream is seedable: the same seed replays the same intervals.
+	b1 := &Agent{rng: rand.New(rand.NewSource(7))}
+	b2 := &Agent{rng: rand.New(rand.NewSource(7))}
+	for i := 0; i < 10; i++ {
+		if b1.jittered(time.Second) != b2.jittered(time.Second) {
+			t.Fatal("same JitterSeed produced different jitter streams")
+		}
+	}
+}
+
+// startResilientCluster is startCluster with quarantine on the coordinator
+// and reconnect enabled on the sending agent.
+func startResilientCluster(t *testing.T, capacity float64) (*coordinator.Coordinator, string, *Agent, func()) {
+	t.Helper()
+	netModel := fabric.NewNetwork()
+	netModel.AddUniformHosts(unit.Rate(capacity), "w1", "w2")
+	coord, err := coordinator.New(coordinator.Options{
+		Net:               netModel,
+		Scheduler:         sched.EchelonMADD{Backfill: true},
+		QuarantineTimeout: 30 * time.Second,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = coord.Serve(ctx, ln) }()
+	addr := ln.Addr().String()
+	receiver, err := Dial(ctx, Options{Name: "a2", CoordinatorAddr: addr, DataAddr: "127.0.0.1:0", Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, addr, receiver, func() {
+		receiver.Close()
+		cancel()
+		wg.Wait()
+	}
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A control-plane blip: the session drops mid-run, the agent redials with
+// backoff, re-announces its group, and a subsequent transfer completes. The
+// coordinator keeps the group through the takeover (quarantine + adopt).
+func TestReconnectAfterControlBlip(t *testing.T) {
+	coord, addr, receiver, cleanup := startResilientCluster(t, 1<<20)
+	defer cleanup()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sender, err := Dial(ctx, Options{
+		Name: "a1", CoordinatorAddr: addr, Reconnect: true,
+		ReconnectBackoff: 20 * time.Millisecond, JitterSeed: 1, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	g, err := core.NewCoflow("blip/g", &core.Flow{ID: "blip-f", Src: "w1", Dst: "w2", Size: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.RegisterGroup(g); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "registration", func() bool {
+		_, _, err := coord.GroupStatus("blip/g")
+		return err == nil
+	})
+
+	// Sever the control session out from under the agent.
+	sender.sessMu.Lock()
+	oldConn := sender.conn
+	sender.sessMu.Unlock()
+	oldConn.Close()
+
+	// The agent must come back with a working session on its own.
+	waitUntil(t, "reconnect", func() bool {
+		sender.sessMu.RLock()
+		fresh := sender.conn != oldConn
+		sender.sessMu.RUnlock()
+		return fresh && sender.send(wire.Message{Type: wire.TypeHeartbeat}) == nil
+	})
+	// The coordinator never lost the group: parked at worst, revived by the
+	// takeover.
+	if _, _, err := coord.GroupStatus("blip/g"); err != nil {
+		t.Fatalf("group lost across the blip: %v", err)
+	}
+	waitUntil(t, "revive", func() bool { return !coord.GroupParked("blip/g") })
+
+	if err := sender.SendFlow(ctx, "blip/g", "blip-f", 32<<10, receiver.DataAddr()); err != nil {
+		t.Fatalf("post-blip transfer: %v", err)
+	}
+	if err := receiver.WaitReceived(ctx, "blip-f"); err != nil {
+		t.Fatal(err)
+	}
+	if got := receiver.ReceivedBytes("blip-f"); got != 32<<10 {
+		t.Errorf("received %d, want %d", got, 32<<10)
+	}
+}
+
+// The chaos acceptance path: an agent is killed mid-transfer, a fresh
+// incarnation under the same name rejoins, and the flow resumes from the
+// receiver's acknowledged offset instead of restarting from zero.
+func TestLiveKillResume(t *testing.T) {
+	const size = 128 << 10 // 128 KiB
+	// 64 KiB/s model capacity: the transfer takes ~2s, so the kill reliably
+	// lands mid-flight.
+	const capacity = 64 << 10
+	coord, addr, receiver, cleanup := startResilientCluster(t, capacity)
+	defer cleanup()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	sender1, err := Dial(ctx, Options{Name: "a1", CoordinatorAddr: addr, Logf: t.Logf,
+		Burst: 8 << 10, Chunk: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.NewCoflow("kr/g", &core.Flow{ID: "kr-f", Src: "w1", Dst: "w2", Size: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender1.RegisterGroup(g); err != nil {
+		t.Fatal(err)
+	}
+
+	sendCtx, killSend := context.WithCancel(ctx)
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- sender1.SendFlow(sendCtx, "kr/g", "kr-f", size, receiver.DataAddr()) }()
+
+	waitUntil(t, "first bytes", func() bool { return receiver.ReceivedBytes("kr-f") > 0 })
+	killSend()
+	sender1.Close()
+	if err := <-sendErr; err == nil {
+		t.Fatal("killed SendFlow reported success")
+	}
+	waitUntil(t, "park", func() bool { return coord.GroupParked("kr/g") })
+	delivered := receiver.ReceivedBytes("kr-f")
+	if delivered <= 0 || delivered >= size {
+		t.Fatalf("kill landed outside the transfer: %d of %d bytes delivered", delivered, size)
+	}
+
+	// The restarted incarnation rejoins under the same name and resumes.
+	sender2, err := Dial(ctx, Options{Name: "a1", CoordinatorAddr: addr, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender2.Close()
+	waitUntil(t, "revive", func() bool { return !coord.GroupParked("kr/g") })
+	if err := sender2.RegisterGroup(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender2.SendFlow(ctx, "kr/g", "kr-f", size, receiver.DataAddr()); err != nil {
+		t.Fatalf("resumed transfer: %v", err)
+	}
+	if err := receiver.WaitReceived(ctx, "kr-f"); err != nil {
+		t.Fatal(err)
+	}
+	if got := receiver.ReceivedBytes("kr-f"); got != size {
+		t.Errorf("received %d bytes, want %d", got, size)
+	}
+	resent := sender2.SentBytes("kr-f")
+	if resent <= 0 || resent >= size {
+		t.Errorf("second incarnation sent %d of %d bytes: resume did not skip the delivered prefix", resent, size)
+	}
+	if _, tard, err := coord.GroupStatus("kr/g"); err != nil || tard < 0 {
+		t.Errorf("post-resume status: tardiness %v, err %v", tard, err)
+	}
+}

@@ -38,6 +38,11 @@ type Options struct {
 	// heartbeat) for this long; its groups are unregistered. Zero disables
 	// the timeout.
 	SessionTimeout time.Duration
+	// QuarantineTimeout is how long a dead agent's groups stay parked —
+	// excluded from scheduling but retaining their progress state —
+	// awaiting a rejoin under the same agent name. Zero evicts immediately
+	// on session death (the pre-quarantine behaviour).
+	QuarantineTimeout time.Duration
 	// Clock is injectable for tests; defaults to time.Now.
 	Clock func() time.Time
 	// Logf receives diagnostic output; defaults to log.Printf.
@@ -58,6 +63,12 @@ type groupRT struct {
 	flows  map[string]*flowRT
 	owner  string
 	refSet bool
+	// parked marks a group whose owning session died: it keeps its state
+	// but is excluded from scheduling until the owner rejoins or the
+	// quarantine timeout evicts it. parkGen guards a pending eviction
+	// timer against a park/rejoin/park cycle reusing the group.
+	parked  bool
+	parkGen int
 }
 
 // Coordinator is the central scheduler. Create with New.
@@ -68,6 +79,7 @@ type Coordinator struct {
 	mu          sync.Mutex
 	groups      map[string]*groupRT
 	sessions    map[*session]struct{}
+	byName      map[string]*session
 	lastAdvance unit.Time
 	reschedules int
 	ratesTotal  int // allocation entries computed
@@ -83,6 +95,15 @@ func New(opts Options) (*Coordinator, error) {
 	if opts.Net == nil {
 		return nil, fmt.Errorf("coordinator: Net is required")
 	}
+	if opts.Interval < 0 {
+		return nil, fmt.Errorf("coordinator: negative Interval %v", opts.Interval)
+	}
+	if opts.SessionTimeout < 0 {
+		return nil, fmt.Errorf("coordinator: negative SessionTimeout %v", opts.SessionTimeout)
+	}
+	if opts.QuarantineTimeout < 0 {
+		return nil, fmt.Errorf("coordinator: negative QuarantineTimeout %v", opts.QuarantineTimeout)
+	}
 	if opts.Scheduler == nil {
 		opts.Scheduler = sched.EchelonMADD{Backfill: true, Cache: sched.NewPlanCache()}
 	}
@@ -97,6 +118,7 @@ func New(opts Options) (*Coordinator, error) {
 		start:    opts.Clock(),
 		groups:   make(map[string]*groupRT),
 		sessions: make(map[*session]struct{}),
+		byName:   make(map[string]*session),
 	}
 	if pc, ok := opts.Scheduler.(interface{ PlanCache() *sched.PlanCache }); ok {
 		c.cache = pc.PlanCache()
@@ -118,7 +140,17 @@ func (c *Coordinator) Reschedules() int {
 
 // RegisterGroup records an EchelonFlow on behalf of an owner (an agent name
 // or an in-process caller). Flow endpoints must exist in the fabric model.
+// Registering a group the same owner already holds is an error — unless the
+// group is parked, in which case the registration adopts the surviving
+// state (a rejoin).
 func (c *Coordinator) RegisterGroup(owner string, g *core.EchelonFlow) error {
+	return c.register(owner, g, false)
+}
+
+// register implements RegisterGroup. With adoptLive set (the wire path), a
+// same-owner duplicate of a live group is a no-op rather than an error: a
+// reconnecting agent re-announces groups the coordinator still holds.
+func (c *Coordinator) register(owner string, g *core.EchelonFlow, adoptLive bool) error {
 	for _, f := range g.Flows {
 		if c.opts.Net.Host(f.Src) == nil || c.opts.Net.Host(f.Dst) == nil {
 			return fmt.Errorf("coordinator: flow %q references host missing from fabric model", f.ID)
@@ -126,8 +158,21 @@ func (c *Coordinator) RegisterGroup(owner string, g *core.EchelonFlow) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, dup := c.groups[g.ID]; dup {
-		return fmt.Errorf("coordinator: group %q already registered", g.ID)
+	if existing, dup := c.groups[g.ID]; dup {
+		if existing.owner != owner || (!existing.parked && !adoptLive) {
+			return fmt.Errorf("coordinator: group %q already registered", g.ID)
+		}
+		// A rejoining agent re-registers its groups. Adopt the surviving
+		// state — released/finished flags, remaining bytes, reference time
+		// and achieved tardiness all carry over — instead of erroring.
+		if existing.parked {
+			existing.parked = false
+			c.advanceLocked()
+			if _, err := c.rescheduleLocked(); err != nil {
+				c.opts.Logf("coordinator: reschedule after %q rejoined: %v", g.ID, err)
+			}
+		}
+		return nil
 	}
 	rt := &groupRT{
 		state: &sched.GroupState{Group: g},
@@ -192,6 +237,26 @@ func (c *Coordinator) FlowEvent(ev wire.FlowEvent) (map[string]unit.Rate, error)
 		if tard := now - deadline; tard > g.state.AchievedTardiness {
 			g.state.AchievedTardiness = tard
 		}
+	case wire.EventResumed:
+		// A rejoined agent continues an in-flight transfer: Offset bytes
+		// are already delivered, so scheduling resumes from the remainder.
+		// Idempotent on released — the original release survived the park.
+		if f.finished {
+			return nil, fmt.Errorf("coordinator: flow %q resumed after finish", ev.FlowID)
+		}
+		if ev.Offset > f.flow.Size {
+			return nil, fmt.Errorf("coordinator: flow %q resumed past its size (%v > %v)",
+				ev.FlowID, ev.Offset, f.flow.Size)
+		}
+		if !f.released {
+			f.released = true
+			f.release = now
+			if !g.refSet {
+				g.refSet = true
+				g.state.Reference = now
+			}
+		}
+		f.remaining = f.flow.Size - ev.Offset
 	default:
 		return nil, fmt.Errorf("coordinator: unknown event %q", ev.Event)
 	}
@@ -244,6 +309,9 @@ func (c *Coordinator) advanceLocked() {
 func (c *Coordinator) rescheduleLocked() (map[string]unit.Rate, error) {
 	snap := &sched.Snapshot{Now: c.now(), Groups: make(map[string]*sched.GroupState, len(c.groups))}
 	for gid, g := range c.groups {
+		if g.parked {
+			continue
+		}
 		snap.Groups[gid] = g.state
 		for _, f := range g.flows {
 			if !f.released || f.finished {
@@ -324,6 +392,10 @@ type session struct {
 	agent string
 	conn  net.Conn
 	sent  map[string]unit.Rate // last rates pushed to this session
+	// superseded marks a session taken over by a reconnect under the same
+	// agent name: its teardown must not park or evict the groups the new
+	// session has adopted.
+	superseded bool
 }
 
 // Serve accepts agent connections until the context is cancelled or the
@@ -385,10 +457,14 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 		c.opts.Logf("coordinator: bad handshake from %s: %v", conn.RemoteAddr(), err)
 		return
 	}
+	if v := hello.Hello.Version; v > wire.ProtocolVersion {
+		c.opts.Logf("coordinator: agent %s speaks protocol %d, max %d", hello.Hello.Agent, v, wire.ProtocolVersion)
+		_ = s.codec.Send(wire.Message{Type: wire.TypeError, Error: &wire.Error{
+			Msg: fmt.Sprintf("unsupported protocol version %d (max %d)", v, wire.ProtocolVersion)}})
+		return
+	}
 	s.agent = hello.Hello.Agent
-	c.mu.Lock()
-	c.sessions[s] = struct{}{}
-	c.mu.Unlock()
+	c.adoptSession(s)
 	defer c.dropSession(s)
 
 	for {
@@ -421,7 +497,7 @@ func (c *Coordinator) handleMessage(s *session, msg wire.Message) error {
 		if err != nil {
 			return err
 		}
-		return c.RegisterGroup(s.agent, g)
+		return c.register(s.agent, g, true)
 	case wire.TypeUnregister:
 		_, err := c.UnregisterGroup(msg.Unregister.GroupID)
 		return err
@@ -433,14 +509,55 @@ func (c *Coordinator) handleMessage(s *session, msg wire.Message) error {
 	}
 }
 
-// dropSession removes a disconnected agent and its groups.
+// adoptSession installs a freshly-handshaken session. A reconnect under an
+// already-connected agent name takes over: the stale session is closed and
+// flagged so its teardown leaves the groups alone. Any groups parked from
+// the previous incarnation revive with exactly one reschedule.
+func (c *Coordinator) adoptSession(s *session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.agent != "" {
+		if old := c.byName[s.agent]; old != nil {
+			old.superseded = true
+			delete(c.sessions, old)
+			old.conn.Close()
+		}
+		c.byName[s.agent] = s
+	}
+	c.sessions[s] = struct{}{}
+	revived := 0
+	for _, g := range c.groups {
+		if g.owner == s.agent && s.agent != "" && g.parked {
+			g.parked = false
+			revived++
+		}
+	}
+	if revived == 0 {
+		return
+	}
+	c.opts.Logf("coordinator: agent %s rejoined, revived %d quarantined group(s)", s.agent, revived)
+	c.advanceLocked()
+	if _, err := c.rescheduleLocked(); err != nil {
+		c.opts.Logf("coordinator: reschedule after %s rejoined: %v", s.agent, err)
+	}
+}
+
+// dropSession handles a disconnected agent. With quarantine enabled its
+// groups are parked — progress state retained, zero bandwidth — awaiting a
+// rejoin; otherwise (or when the quarantine expires) they are evicted.
 func (c *Coordinator) dropSession(s *session) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if s.superseded {
+		return
+	}
 	delete(c.sessions, s)
+	if c.byName[s.agent] == s {
+		delete(c.byName, s.agent)
+	}
 	var orphaned []string
 	for gid, g := range c.groups {
-		if g.owner == s.agent && s.agent != "" {
+		if g.owner == s.agent && s.agent != "" && !g.parked {
 			orphaned = append(orphaned, gid)
 		}
 	}
@@ -448,11 +565,92 @@ func (c *Coordinator) dropSession(s *session) {
 		return
 	}
 	c.advanceLocked()
-	for _, gid := range orphaned {
-		delete(c.groups, gid)
-		c.cache.InvalidateGroup(gid)
+	if c.opts.QuarantineTimeout == 0 {
+		c.evictLocked(orphaned, "agent "+s.agent+" departed")
+		return
 	}
+	for _, gid := range orphaned {
+		g := c.groups[gid]
+		g.parked = true
+		g.parkGen++
+		gen := g.parkGen
+		for _, f := range g.flows {
+			f.rate = 0 // parked flows make no fluid progress
+		}
+		gid := gid
+		time.AfterFunc(c.opts.QuarantineTimeout, func() { c.evictIfStillParked(gid, gen) })
+	}
+	c.opts.Logf("coordinator: agent %s died, parked %d group(s) for %v", s.agent, len(orphaned), c.opts.QuarantineTimeout)
 	if _, err := c.rescheduleLocked(); err != nil {
 		c.opts.Logf("coordinator: reschedule after %s departed: %v", s.agent, err)
 	}
+}
+
+// evictIfStillParked is the quarantine timer callback: the group is evicted
+// only if it is still parked from the same incarnation that armed the timer.
+func (c *Coordinator) evictIfStillParked(gid string, gen int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.groups[gid]
+	if !ok || !g.parked || g.parkGen != gen {
+		return
+	}
+	c.advanceLocked()
+	c.evictLocked([]string{gid}, "quarantine expired")
+}
+
+// evictLocked removes groups and reallocates once.
+func (c *Coordinator) evictLocked(gids []string, why string) {
+	for _, gid := range gids {
+		delete(c.groups, gid)
+		c.cache.InvalidateGroup(gid)
+	}
+	c.opts.Logf("coordinator: evicted %d group(s): %s", len(gids), why)
+	if _, err := c.rescheduleLocked(); err != nil {
+		c.opts.Logf("coordinator: reschedule after eviction: %v", err)
+	}
+}
+
+// GroupParked reports whether a group is quarantined (owner session dead,
+// awaiting rejoin). Unknown groups report false.
+func (c *Coordinator) GroupParked(groupID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.groups[groupID]
+	return ok && g.parked
+}
+
+// TotalTardiness is Eq. 4's objective over the live system: the weighted
+// sum of achieved tardiness across registered groups. A parked group counts
+// exactly once — its state object survives the park/rejoin cycle rather
+// than being re-created.
+func (c *Coordinator) TotalTardiness() unit.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum float64
+	for _, g := range c.groups {
+		sum += g.state.Group.EffectiveWeight() * float64(g.state.AchievedTardiness)
+	}
+	return unit.Time(sum)
+}
+
+// SetCapacity rewires a host's port capacities in the fabric model and
+// reallocates immediately — the live fault driver's degrade/recover hook.
+func (c *Coordinator) SetCapacity(host string, egress, ingress unit.Rate) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advanceLocked()
+	if err := c.opts.Net.SetCapacity(host, egress, ingress); err != nil {
+		return fmt.Errorf("coordinator: %w", err)
+	}
+	_, err := c.rescheduleLocked()
+	return err
+}
+
+// Capacity reports a host's current capacities in the fabric model (the
+// live fault driver snapshots baselines through this).
+func (c *Coordinator) Capacity(host string) (egress, ingress unit.Rate, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opts.Net.Capacity(host)
 }

@@ -77,9 +77,27 @@ func startServer(t *testing.T) (*Coordinator, string, func()) {
 }
 
 // Delta pushes: a flow whose rate is unchanged between reschedules is not
-// re-sent; a changed rate is.
+// re-sent; a changed rate is. The clock is frozen so the fluid model sees
+// both reschedules at the same instant and f0's rate cannot drift between
+// them — the assertion is about delta filtering, not scheduling jitter.
 func TestDeltaAllocationPushes(t *testing.T) {
-	coord, addr, stop := startServer(t)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	netModel := fabric.NewNetwork()
+	netModel.AddUniformHosts(10, "w1", "w2", "w3")
+	coord, err0 := New(Options{Net: netModel, Scheduler: sched.EchelonMADD{Backfill: true},
+		Clock: clk.now, Logf: t.Logf})
+	if err0 != nil {
+		t.Fatal(err0)
+	}
+	ln, err0 := net.Listen("tcp", "127.0.0.1:0")
+	if err0 != nil {
+		t.Fatal(err0)
+	}
+	srvCtx, cancel := context.WithCancel(context.Background())
+	var srvWG sync.WaitGroup
+	srvWG.Add(1)
+	go func() { defer srvWG.Done(); _ = coord.Serve(srvCtx, ln) }()
+	addr, stop := ln.Addr().String(), func() { cancel(); srvWG.Wait() }
 	defer stop()
 	s := dialRaw(t, addr, "a1")
 	defer s.conn.Close()

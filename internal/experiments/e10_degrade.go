@@ -5,6 +5,7 @@ import (
 
 	"echelonflow/internal/ddlt"
 	"echelonflow/internal/fabric"
+	"echelonflow/internal/faults"
 	"echelonflow/internal/metrics"
 	"echelonflow/internal/sched"
 	"echelonflow/internal/sim"
@@ -27,9 +28,13 @@ func ExtDegradedLink() (*Report, error) {
 		}
 		net := fabric.NewNetwork()
 		net.AddUniformHosts(6, w.Hosts...)
+		caps, dils, err := faults.CompileSim(degradeSchedule(), net)
+		if err != nil {
+			return nil, err
+		}
 		simr, err := sim.New(sim.Options{
 			Graph: w.Graph, Net: net, Scheduler: s, Arrangements: w.Arrangements,
-			CapacityChanges: degradeChanges(),
+			CapacityChanges: caps, Dilations: dils,
 		})
 		if err != nil {
 			return nil, err
@@ -96,10 +101,13 @@ func degradeWorkload() (*ddlt.Workload, error) {
 	}.Build()
 }
 
-// degradeChanges is E10's incident/recovery sequence.
-func degradeChanges() []sim.CapacityChange {
-	return []sim.CapacityChange{
-		{At: 3, Host: "s0", Egress: 2, Ingress: 2}, // incident
-		{At: 8, Host: "s0", Egress: 6, Ingress: 6}, // recovery
-	}
+// degradeSchedule is E10's incident/recovery sequence as a typed fault
+// schedule, lowered through the faults sim driver (shared with the
+// scheduler golden-equivalence test). The recovery restores the
+// pre-incident baseline snapshot rather than hardcoding it.
+func degradeSchedule() *faults.Schedule {
+	return &faults.Schedule{Events: []faults.Event{
+		{At: 3, Kind: faults.LinkDegrade, Host: "s0", Egress: 2, Ingress: 2},
+		{At: 8, Kind: faults.LinkRecover, Host: "s0"},
+	}}
 }

@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"reflect"
 	"runtime"
 	"testing"
 
 	"echelonflow/internal/ddlt"
 	"echelonflow/internal/fabric"
+	"echelonflow/internal/faults"
 	"echelonflow/internal/sched"
 	"echelonflow/internal/sim"
 	"echelonflow/internal/unit"
@@ -84,15 +86,18 @@ func uniformOpts(t *testing.T, w *ddlt.Workload, err error, cap unit.Rate) sim.O
 	return sim.Options{Graph: w.Graph, Net: net, Arrangements: w.Arrangements}
 }
 
-// Every ddlt paradigm, event-driven, default production scheduler config.
-func TestGoldenEquivalenceParadigms(t *testing.T) {
+// paradigmCase is one ddlt workload builder shared by the golden tests.
+type paradigmCase struct {
+	name  string
+	build func() (*ddlt.Workload, error)
+}
+
+// paradigmCases covers every ddlt paradigm the seed ships.
+func paradigmCases() []paradigmCase {
 	ws := []string{"s0", "s1", "s2", "s3"}
 	model := ddlt.Uniform("m", 4, 6, 1, 0.5, 0.5)
 	ppModel := ddlt.Uniform("m", 4, 2, 5, 1, 1)
-	cases := []struct {
-		name  string
-		build func() (*ddlt.Workload, error)
-	}{
+	return []paradigmCase{
 		{"dp-allreduce", func() (*ddlt.Workload, error) {
 			return ddlt.DPAllReduce{Name: "dp", Model: model, Workers: ws, BucketCount: 2, Iterations: 2}.Build()
 		}},
@@ -118,7 +123,11 @@ func TestGoldenEquivalenceParadigms(t *testing.T) {
 				StageWorkers: [][]string{{"s0", "s1"}, {"s2", "s3"}}, MicroBatches: 2, Iterations: 1}.Build()
 		}},
 	}
-	for _, tc := range cases {
+}
+
+// Every ddlt paradigm, event-driven, default production scheduler config.
+func TestGoldenEquivalenceParadigms(t *testing.T) {
+	for _, tc := range paradigmCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			w, err := tc.build()
 			assertGolden(t, sched.EchelonMADD{Backfill: true}, uniformOpts(t, w, err, 6))
@@ -158,11 +167,16 @@ func TestGoldenEquivalenceCadence(t *testing.T) {
 }
 
 // The E10 incident: capacity changes mid-run must retire cached plans
-// without disturbing equivalence.
+// without disturbing equivalence. The incident is lowered from the typed
+// fault schedule, as in the experiment itself.
 func TestGoldenEquivalenceDegradedLink(t *testing.T) {
 	w, err := degradeWorkload()
 	opts := uniformOpts(t, w, err, 6)
-	opts.CapacityChanges = degradeChanges()
+	caps, dils, err := faults.CompileSim(degradeSchedule(), opts.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.CapacityChanges, opts.Dilations = caps, dils
 	assertGolden(t, sched.EchelonMADD{Backfill: true}, opts)
 }
 
@@ -215,4 +229,87 @@ func TestGoldenEquivalenceVariants(t *testing.T) {
 			assertGolden(t, v.base, opts)
 		})
 	}
+}
+
+// assertIdenticalRuns simulates the options twice — plain, and with an empty
+// fault schedule compiled in — and requires byte-identical results.
+func assertIdenticalRuns(t *testing.T, opts sim.Options) {
+	t.Helper()
+	empty, err := faults.Parse([]byte(`{"events":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, dils, err := faults.CompileSim(empty, opts.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps != nil || dils != nil {
+		t.Fatalf("empty schedule compiled to %v / %v, want nothing", caps, dils)
+	}
+	run := func(o sim.Options) *sim.Result {
+		simr, err := sim.New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := simr.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	opts.Scheduler = sched.EchelonMADD{Backfill: true}
+	plain := run(opts)
+	opts.CapacityChanges, opts.Dilations = caps, dils
+	faulted := run(opts)
+	if plain.Makespan != faulted.Makespan || plain.SchedulerCalls != faulted.SchedulerCalls {
+		t.Fatalf("makespan/calls diverged: %v/%d vs %v/%d",
+			plain.Makespan, plain.SchedulerCalls, faulted.Makespan, faulted.SchedulerCalls)
+	}
+	if !reflect.DeepEqual(plain.Flows, faulted.Flows) {
+		t.Errorf("flow records diverged:\n%+v\nvs\n%+v", plain.Flows, faulted.Flows)
+	}
+	if !reflect.DeepEqual(plain.Tasks, faulted.Tasks) {
+		t.Errorf("task spans diverged")
+	}
+	if !reflect.DeepEqual(plain.Groups, faulted.Groups) {
+		t.Errorf("group results diverged")
+	}
+}
+
+// An empty fault schedule must be a perfect no-op: it compiles to no
+// capacity changes and no dilations, and a run carrying it is byte-identical
+// to one without the faults plumbing — across every ddlt paradigm and the
+// E8-E11 workloads.
+func TestGoldenEmptyFaultSchedule(t *testing.T) {
+	for _, tc := range paradigmCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := tc.build()
+			assertIdenticalRuns(t, uniformOpts(t, w, err, 6))
+		})
+	}
+	t.Run("e8-coflow-batch", func(t *testing.T) {
+		g, net, arrs, _ := coflowBatch()
+		assertIdenticalRuns(t, sim.Options{Graph: g, Net: net, Arrangements: arrs})
+	})
+	t.Run("e9-cadence", func(t *testing.T) {
+		w, err := cadenceWorkload()
+		opts := uniformOpts(t, w, err, 4)
+		opts.Interval = 0.5
+		assertIdenticalRuns(t, opts)
+	})
+	t.Run("e10-degrade", func(t *testing.T) {
+		w, err := degradeWorkload()
+		assertIdenticalRuns(t, uniformOpts(t, w, err, 6))
+	})
+	t.Run("e11-racks", func(t *testing.T) {
+		net, hosts, err := rackFabric(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := rackMixWorkload(hosts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdenticalRuns(t, sim.Options{Graph: w.Graph, Net: net, Arrangements: w.Arrangements})
+	})
 }

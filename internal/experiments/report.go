@@ -106,5 +106,6 @@ func All() []Experiment {
 		{"e9", "Extended: rescheduling cadence ablation", ExtCadence},
 		{"e10", "Extended: failure injection (link degradation)", ExtDegradedLink},
 		{"e11", "Extended: two-tier fabric, rack oversubscription", ExtRackOversubscription},
+		{"e12", "Extended: chaos replay of a canned fault schedule", ExtChaos},
 	}
 }

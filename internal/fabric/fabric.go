@@ -87,6 +87,17 @@ func (n *Network) AddUniformHosts(c unit.Rate, names ...string) {
 // Host returns the named host, or nil.
 func (n *Network) Host(name string) *Host { return n.hosts[name] }
 
+// Capacity reports a host's current port capacities. The ok result is false
+// for unknown hosts. Fault drivers snapshot these before their first
+// mutation so recovery events can restore the pre-incident baseline.
+func (n *Network) Capacity(name string) (egress, ingress unit.Rate, ok bool) {
+	h := n.hosts[name]
+	if h == nil {
+		return 0, 0, false
+	}
+	return h.Egress, h.Ingress, true
+}
+
 // SetCapacity changes a host's port capacities — degraded links,
 // background traffic, recovering NICs. Schedulers observe the change on
 // their next invocation.

@@ -1,0 +1,310 @@
+package faults
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"echelonflow/internal/dag"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/unit"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	data, err := json.Marshal(Sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, Sample()) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, Sample())
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"events":[{"at":1,"kind":"link_fail","host":"a","bogus":true}]}`,
+		"unknown kind":  `{"events":[{"at":1,"kind":"meteor_strike","host":"a"}]}`,
+		"negative time": `{"events":[{"at":-1,"kind":"link_fail","host":"a"}]}`,
+		"no host":       `{"events":[{"at":1,"kind":"link_degrade","egress":1,"ingress":1}]}`,
+		"zero factor":   `{"events":[{"at":1,"kind":"host_straggle","host":"a","factor":0}]}`,
+		"no agent":      `{"events":[{"at":1,"kind":"agent_crash"}]}`,
+		"empty hosts":   `{"events":[{"at":1,"kind":"partition"}]}`,
+		"not json":      `schedule?`,
+	}
+	for name, in := range cases {
+		if _, err := Parse([]byte(in)); err == nil {
+			t.Errorf("%s: accepted %s", name, in)
+		}
+	}
+}
+
+// The shipped example schedule is the canned chaos schedule: E12 and the
+// README walk through the same incident list, so they must not drift apart.
+func TestShippedScheduleMatchesSample(t *testing.T) {
+	got, err := Load("../../examples/faults/chaos.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, Sample()) {
+		t.Errorf("examples/faults/chaos.json diverged from faults.Sample():\n got %+v\nwant %+v", got, Sample())
+	}
+}
+
+func TestSortedStable(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{At: 5, Kind: LinkRecover, Host: "b"},
+		{At: 1, Kind: LinkFail, Host: "a"},
+		{At: 5, Kind: LinkRecover, Host: "a"},
+	}}
+	got := s.Sorted()
+	if got[0].Host != "a" || got[1].Host != "b" || got[2].Host != "a" {
+		t.Errorf("sort order wrong: %+v", got)
+	}
+	if s.Events[0].At != 5 {
+		t.Error("Sorted mutated the schedule")
+	}
+	if s.End() != 5 {
+		t.Errorf("End() = %v, want 5", s.End())
+	}
+}
+
+func testNet(t *testing.T) *fabric.Network {
+	t.Helper()
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(6, "s0", "s1", "s2", "s3")
+	return net
+}
+
+func TestCompileSim(t *testing.T) {
+	net := testNet(t)
+	caps, dils, err := CompileSim(Sample(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	residual := unit.Rate(6 * OutageFraction)
+	wantCaps := []sim.CapacityChange{
+		{At: 3, Host: "s0", Egress: 2, Ingress: 2},
+		{At: 8, Host: "s0", Egress: 6, Ingress: 6},                // recover -> baseline
+		{At: 12, Host: "s1", Egress: residual, Ingress: residual}, // crash -> NIC down
+		{At: 13, Host: "s1", Egress: 6, Ingress: 6},               // restart -> baseline
+	}
+	if !reflect.DeepEqual(caps, wantCaps) {
+		t.Errorf("caps = %+v\nwant %+v", caps, wantCaps)
+	}
+	wantDils := []sim.DilationChange{
+		{At: 5, Host: "s2", Factor: 1.5},
+		{At: 10, Host: "s2", Factor: 1},
+	}
+	if !reflect.DeepEqual(dils, wantDils) {
+		t.Errorf("dils = %+v\nwant %+v", dils, wantDils)
+	}
+}
+
+func TestCompileSimBaselineIsPreIncident(t *testing.T) {
+	// Recover restores the capacity the host had before the schedule's
+	// first mutation, even after several degrades.
+	net := testNet(t)
+	sched := &Schedule{Events: []Event{
+		{At: 1, Kind: LinkDegrade, Host: "s0", Egress: 3, Ingress: 3},
+		{At: 2, Kind: LinkDegrade, Host: "s0", Egress: 1, Ingress: 1},
+		{At: 3, Kind: LinkRecover, Host: "s0"},
+	}}
+	caps, _, err := CompileSim(sched, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := caps[len(caps)-1]
+	if last.Egress != 6 || last.Ingress != 6 {
+		t.Errorf("recover restored %v/%v, want 6/6", last.Egress, last.Ingress)
+	}
+}
+
+func TestCompileSimPartition(t *testing.T) {
+	net := testNet(t)
+	sched := &Schedule{Events: []Event{
+		{At: 1, Kind: Partition, Hosts: []string{"s0", "s1"}},
+		{At: 2, Kind: PartitionHeal, Hosts: []string{"s0", "s1"}},
+	}}
+	caps, _, err := CompileSim(sched, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps) != 4 {
+		t.Fatalf("caps = %+v, want 4 changes", caps)
+	}
+	for _, c := range caps[:2] {
+		if c.Egress != unit.Rate(6*OutageFraction) || c.Ingress != unit.Rate(6*OutageFraction) {
+			t.Errorf("partition change %+v not the outage residual", c)
+		}
+	}
+	for _, c := range caps[2:] {
+		if c.Egress != 6 || c.Ingress != 6 {
+			t.Errorf("heal change %+v not baseline", c)
+		}
+	}
+}
+
+func TestCompileSimErrors(t *testing.T) {
+	net := testNet(t)
+	for name, s := range map[string]*Schedule{
+		"unknown host": {Events: []Event{{At: 1, Kind: LinkFail, Host: "ghost"}}},
+		"crash without host": {Events: []Event{
+			{At: 1, Kind: AgentCrash, Agent: "a1"}}},
+		"invalid event": {Events: []Event{{At: 1, Kind: HostStraggle, Host: "s0"}}},
+	} {
+		if _, _, err := CompileSim(s, net); err == nil {
+			t.Errorf("%s: compiled without error", name)
+		}
+	}
+}
+
+// A compiled link_fail/recover pair runs end-to-end in the simulator: the
+// flow stalls while the NIC is down and completes after recovery.
+func TestCompileSimLinkFailRuns(t *testing.T) {
+	g := dag.New()
+	g.MustAdd(&dag.Node{ID: "f", Kind: dag.Comm, Src: "s0", Dst: "s1", Size: 12})
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(2, "s0", "s1")
+	caps, dils, err := CompileSim(&Schedule{Events: []Event{
+		{At: 2, Kind: LinkFail, Host: "s0"},
+		{At: 5, Kind: LinkRecover, Host: "s0"},
+	}}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(sim.Options{
+		Graph: g, Net: net, Scheduler: sched.Fair{},
+		CapacityChanges: caps, Dilations: dils,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [0,2] ships 4 at rate 2; [2,5] the NIC is down to the outage
+	// residual; the remaining 8 resume at rate 2 and finish at 9 (within
+	// the residual's leakage, well under a microsecond of model time).
+	if got := res.Flows["f"].Finish; float64(got-9) > 1e-5 || float64(9-got) > 1e-5 {
+		t.Errorf("finish = %v, want ~9 (3s outage mid-transfer)", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Seed: 7, Hosts: []string{"s0", "s1"}, Horizon: 20, Baseline: 6}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different schedules")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("empty generated schedule")
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("generated schedule invalid: %v", err)
+	}
+	for _, e := range a.Events {
+		if e.At < 0 || e.At >= cfg.Horizon {
+			t.Errorf("event %+v outside horizon", e)
+		}
+	}
+	cfg.Seed = 8
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenConfig{Horizon: 10}); err == nil {
+		t.Error("no hosts accepted")
+	}
+	if _, err := Generate(GenConfig{Hosts: []string{"a"}}); err == nil {
+		t.Error("no horizon accepted")
+	}
+}
+
+func TestReplayLive(t *testing.T) {
+	caps := map[string][2]unit.Rate{"s0": {6, 6}, "s1": {6, 6}}
+	var crashes, restarts []string
+	var straggles []float64
+	actions := LiveActions{
+		Crash:   func(a string) error { crashes = append(crashes, a); return nil },
+		Restart: func(a string) error { restarts = append(restarts, a); return nil },
+		SetCapacity: func(h string, eg, in unit.Rate) error {
+			caps[h] = [2]unit.Rate{eg, in}
+			return nil
+		},
+		Capacity: func(h string) (unit.Rate, unit.Rate, bool) {
+			c, ok := caps[h]
+			return c[0], c[1], ok
+		},
+		Straggle: func(h string, f float64) error { straggles = append(straggles, f); return nil },
+	}
+	sched := &Schedule{Events: []Event{
+		{At: 0, Kind: LinkDegrade, Host: "s0", Egress: 1, Ingress: 1},
+		{At: 0.01, Kind: HostStraggle, Host: "s1", Factor: 2},
+		{At: 0.02, Kind: AgentCrash, Agent: "a1"},
+		{At: 0.03, Kind: AgentRestart, Agent: "a1"},
+		{At: 0.04, Kind: LinkRecover, Host: "s0"},
+	}}
+	if err := Replay(context.Background(), sched, actions, ReplayOptions{TimeScale: 0.01, Logf: t.Logf}); err != nil {
+		t.Fatal(err)
+	}
+	if caps["s0"] != [2]unit.Rate{6, 6} {
+		t.Errorf("s0 not restored to baseline: %v", caps["s0"])
+	}
+	if !reflect.DeepEqual(crashes, []string{"a1"}) || !reflect.DeepEqual(restarts, []string{"a1"}) {
+		t.Errorf("crash/restart = %v / %v", crashes, restarts)
+	}
+	if !reflect.DeepEqual(straggles, []float64{2}) {
+		t.Errorf("straggles = %v", straggles)
+	}
+}
+
+func TestReplayNilHooksSkip(t *testing.T) {
+	// A schedule with only agent events needs no capacity hooks.
+	sched := &Schedule{Events: []Event{
+		{At: 0, Kind: AgentCrash, Agent: "a1"},
+		{At: 0, Kind: HostStraggle, Host: "s0", Factor: 2},
+	}}
+	if err := Replay(context.Background(), sched, LiveActions{}, ReplayOptions{TimeScale: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayMissingCapacityHook(t *testing.T) {
+	sched := &Schedule{Events: []Event{{At: 0, Kind: LinkFail, Host: "s0"}}}
+	actions := LiveActions{SetCapacity: func(string, unit.Rate, unit.Rate) error { return nil }}
+	err := Replay(context.Background(), sched, actions, ReplayOptions{TimeScale: 0.001})
+	if err == nil || !strings.Contains(err.Error(), "Capacity") {
+		t.Errorf("want missing-Capacity error, got %v", err)
+	}
+}
+
+func TestReplayCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sched := &Schedule{Events: []Event{{At: 10, Kind: AgentCrash, Agent: "a1"}}}
+	if err := Replay(ctx, sched, LiveActions{}, ReplayOptions{}); err != context.Canceled {
+		t.Errorf("want context.Canceled, got %v", err)
+	}
+}

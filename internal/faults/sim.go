@@ -1,0 +1,133 @@
+package faults
+
+import (
+	"fmt"
+
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/unit"
+)
+
+// OutageFraction is the residual capacity left on a "failed" NIC, as a
+// fraction of its baseline: the fluid model's stand-in for zero. A true
+// zero (or anything below unit.Eps) makes the MADD planners' feasibility
+// check fail — a flow pinned to a dead port can never finish — while this
+// residual keeps every port schedulable yet leaks only ~1e-7 of a
+// capacity-second per outage second, far below any reported metric's
+// resolution.
+const OutageFraction = 1e-7
+
+// baseline is a pre-incident capacity snapshot used to restore hosts on
+// recover/heal events and to scale outage residuals.
+type baseline struct{ egress, ingress unit.Rate }
+
+// outageChange lowers a NIC-down event to its residual-capacity change.
+func outageChange(at unit.Time, host string, b baseline) sim.CapacityChange {
+	return sim.CapacityChange{
+		At: at, Host: host,
+		Egress:  unit.Rate(float64(b.egress) * OutageFraction),
+		Ingress: unit.Rate(float64(b.ingress) * OutageFraction),
+	}
+}
+
+// CompileSim lowers a fault schedule into the event simulator's inputs:
+// fabric capacity changes and compute-time dilations. The network is only
+// read, never mutated — its current capacities are the baseline that
+// recover/restart/heal events restore. Events are emitted in time order,
+// so the results can be passed straight to sim.Options.
+//
+// Kind mapping:
+//
+//	link_degrade          -> capacity change to Egress/Ingress
+//	link_fail             -> capacity change to baseline*OutageFraction
+//	link_recover          -> capacity change back to baseline
+//	host_straggle         -> dilation change to Factor
+//	agent_crash/restart   -> the simulator has no agents; the crash is
+//	                         modelled on Event.Host as NIC down / NIC up
+//	partition             -> NIC down for every host in Hosts
+//	partition_heal        -> baseline restore for every host in Hosts
+func CompileSim(sched *Schedule, net *fabric.Network) ([]sim.CapacityChange, []sim.DilationChange, error) {
+	if sched.Empty() {
+		return nil, nil, nil
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, nil, err
+	}
+	base := make(map[string]baseline)
+	snapshot := func(host string) (baseline, error) {
+		if b, ok := base[host]; ok {
+			return b, nil
+		}
+		eg, in, ok := net.Capacity(host)
+		if !ok {
+			return baseline{}, fmt.Errorf("faults: host %q not in fabric", host)
+		}
+		b := baseline{eg, in}
+		base[host] = b
+		return b, nil
+	}
+
+	var caps []sim.CapacityChange
+	var dils []sim.DilationChange
+	for _, e := range sched.Sorted() {
+		switch e.Kind {
+		case LinkDegrade:
+			if _, err := snapshot(e.Host); err != nil {
+				return nil, nil, err
+			}
+			caps = append(caps, sim.CapacityChange{At: e.At, Host: e.Host, Egress: e.Egress, Ingress: e.Ingress})
+		case LinkFail:
+			b, err := snapshot(e.Host)
+			if err != nil {
+				return nil, nil, err
+			}
+			caps = append(caps, outageChange(e.At, e.Host, b))
+		case LinkRecover:
+			b, err := snapshot(e.Host)
+			if err != nil {
+				return nil, nil, err
+			}
+			caps = append(caps, sim.CapacityChange{At: e.At, Host: e.Host, Egress: b.egress, Ingress: b.ingress})
+		case HostStraggle:
+			if _, _, ok := net.Capacity(e.Host); !ok {
+				return nil, nil, fmt.Errorf("faults: host %q not in fabric", e.Host)
+			}
+			dils = append(dils, sim.DilationChange{At: e.At, Host: e.Host, Factor: e.Factor})
+		case AgentCrash:
+			if e.Host == "" {
+				return nil, nil, fmt.Errorf("faults: sim driver needs a host on agent_crash for agent %q", e.Agent)
+			}
+			b, err := snapshot(e.Host)
+			if err != nil {
+				return nil, nil, err
+			}
+			caps = append(caps, outageChange(e.At, e.Host, b))
+		case AgentRestart:
+			if e.Host == "" {
+				return nil, nil, fmt.Errorf("faults: sim driver needs a host on agent_restart for agent %q", e.Agent)
+			}
+			b, err := snapshot(e.Host)
+			if err != nil {
+				return nil, nil, err
+			}
+			caps = append(caps, sim.CapacityChange{At: e.At, Host: e.Host, Egress: b.egress, Ingress: b.ingress})
+		case Partition:
+			for _, h := range e.Hosts {
+				b, err := snapshot(h)
+				if err != nil {
+					return nil, nil, err
+				}
+				caps = append(caps, outageChange(e.At, h, b))
+			}
+		case PartitionHeal:
+			for _, h := range e.Hosts {
+				b, err := snapshot(h)
+				if err != nil {
+					return nil, nil, err
+				}
+				caps = append(caps, sim.CapacityChange{At: e.At, Host: h, Egress: b.egress, Ingress: b.ingress})
+			}
+		}
+	}
+	return caps, dils, nil
+}

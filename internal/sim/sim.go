@@ -56,6 +56,13 @@ type Options struct {
 	// Changes model failure/degradation (or recovery) of links and
 	// background traffic from outside the scheduled tenant set.
 	CapacityChanges []CapacityChange
+	// Dilations injects compute-time dynamics (stragglers): at each
+	// change's time, the named host's straggle factor is set. Compute
+	// nodes starting on the host run Factor times slower; a compute
+	// already running has its remaining time rescaled at the transition.
+	// Factor 1 is a healthy host. Build these (and CapacityChanges) from a
+	// typed fault schedule with internal/faults.
+	Dilations []DilationChange
 }
 
 // CapacityChange is one timed fabric mutation.
@@ -64,6 +71,15 @@ type CapacityChange struct {
 	Host    string
 	Egress  unit.Rate
 	Ingress unit.Rate
+}
+
+// DilationChange is one timed compute-speed mutation: from At onward, host
+// runs computation Factor times slower than profiled (Factor > 1 straggles,
+// Factor 1 restores full speed).
+type DilationChange struct {
+	At     unit.Time
+	Host   string
+	Factor float64
 }
 
 // Span is a half-open execution interval.
@@ -192,6 +208,10 @@ type Simulator struct {
 	nextTick unit.Time
 	// pendingChanges indexes into opts.CapacityChanges.
 	pendingChanges int
+	// pendingDilations indexes into opts.Dilations; dilation holds each
+	// host's current straggle factor (absent means 1).
+	pendingDilations int
+	dilation         map[string]float64
 	// capChanged marks that a capacity change was applied since the last
 	// scheduler run: even IntervalOnly mode must reschedule immediately,
 	// since holding the stale rates can oversubscribe a shrunken port.
@@ -225,6 +245,17 @@ func New(opts Options) (*Simulator, error) {
 	}
 	sort.SliceStable(opts.CapacityChanges, func(i, j int) bool {
 		return opts.CapacityChanges[i].At < opts.CapacityChanges[j].At
+	})
+	for _, d := range opts.Dilations {
+		if opts.Net.Host(d.Host) == nil {
+			return nil, fmt.Errorf("sim: dilation references unknown host %q", d.Host)
+		}
+		if d.At < 0 || d.Factor <= 0 {
+			return nil, fmt.Errorf("sim: invalid dilation for host %q (at %v, factor %v)", d.Host, d.At, d.Factor)
+		}
+	}
+	sort.SliceStable(opts.Dilations, func(i, j int) bool {
+		return opts.Dilations[i].At < opts.Dilations[j].At
 	})
 	s := &Simulator{
 		opts:   opts,
@@ -319,6 +350,7 @@ func (s *Simulator) Run() (*Result, error) {
 			return nil, fmt.Errorf("sim: exceeded %d events (livelock?)", s.opts.MaxEvents)
 		}
 		s.applyCapacityChanges()
+		s.applyDilations()
 		finishedNow := s.settle()
 		unfinished -= finishedNow
 		if unfinished == 0 {
@@ -410,11 +442,12 @@ func (s *Simulator) settle() int {
 		sort.Strings(hosts)
 		for _, h := range hosts {
 			ns := candidates[h]
+			dur := s.dilatedDuration(ns.node.Duration, h)
 			ns.status = running
 			ns.start = s.now
-			ns.finish = s.now + ns.node.Duration
+			ns.finish = s.now + dur
 			changed = true
-			if ns.node.Duration <= unit.Time(unit.Eps) {
+			if dur <= unit.Time(unit.Eps) {
 				s.finishCompute(ns)
 				finished++
 			}
@@ -483,6 +516,9 @@ func (s *Simulator) nextEventTime(anyFlows bool) unit.Time {
 	if s.pendingChanges < len(s.opts.CapacityChanges) {
 		t = unit.MinTime(t, s.opts.CapacityChanges[s.pendingChanges].At)
 	}
+	if s.pendingDilations < len(s.opts.Dilations) {
+		t = unit.MinTime(t, s.opts.Dilations[s.pendingDilations].At)
+	}
 	return t
 }
 
@@ -498,6 +534,49 @@ func (s *Simulator) applyCapacityChanges() {
 		s.pendingChanges++
 		s.capChanged = true
 		s.cache.InvalidateAll()
+	}
+}
+
+// dilatedDuration scales a compute duration by the host's current straggle
+// factor. The guard keeps fault-free runs bit-identical to a build without
+// dilation support.
+func (s *Simulator) dilatedDuration(d unit.Time, host string) unit.Time {
+	if f, ok := s.dilation[host]; ok && f != 1 {
+		return unit.Time(float64(d) * f)
+	}
+	return d
+}
+
+// applyDilations applies straggle-factor changes whose time has come. A
+// compute already running on the host has its remaining time rescaled by
+// new/old, as if the processor clock changed mid-kernel.
+func (s *Simulator) applyDilations() {
+	for s.pendingDilations < len(s.opts.Dilations) {
+		dc := s.opts.Dilations[s.pendingDilations]
+		if dc.At > s.now+unit.Time(unit.Eps) {
+			return
+		}
+		if s.dilation == nil {
+			s.dilation = make(map[string]float64)
+		}
+		old := 1.0
+		if f, ok := s.dilation[dc.Host]; ok {
+			old = f
+		}
+		s.dilation[dc.Host] = dc.Factor
+		s.pendingDilations++
+		if dc.Factor == old {
+			continue
+		}
+		for _, id := range s.order {
+			ns := s.nodes[id]
+			if ns.node.Kind == dag.Compute && ns.status == running && ns.node.Host == dc.Host {
+				remaining := ns.finish - s.now
+				if remaining > 0 {
+					ns.finish = s.now + unit.Time(float64(remaining)*dc.Factor/old)
+				}
+			}
+		}
 	}
 }
 

@@ -558,3 +558,78 @@ func TestIntervalOnlyCapacityChangeReschedules(t *testing.T) {
 		}
 	}
 }
+
+// A straggle factor applied mid-compute rescales the remaining time: a
+// duration-6 compute that slows 2x at t=2 finishes at 2 + 4*2 = 10, and a
+// successor starting while straggling runs at the dilated speed until the
+// factor is restored.
+func TestComputeDilation(t *testing.T) {
+	g := dag.New()
+	g.MustAdd(&dag.Node{ID: "c1", Kind: dag.Compute, Host: "a", Duration: 6})
+	g.MustAdd(&dag.Node{ID: "c2", Kind: dag.Compute, Host: "a", Duration: 3})
+	g.MustDepend("c1", "c2")
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(1, "a", "b")
+	s, err := New(Options{
+		Graph: g, Net: net, Scheduler: sched.Fair{},
+		Dilations: []DilationChange{
+			{At: 2, Host: "a", Factor: 2},
+			{At: 11, Host: "a", Factor: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tasks["c1"].End.ApproxEq(10) {
+		t.Errorf("c1 end = %v, want 10 (4 units left at 2x dilation)", res.Tasks["c1"].End)
+	}
+	// c2 starts at 10 under factor 2 (6 dilated units); at t=11 the factor
+	// restores, shrinking the remaining 5 dilated units back to 2.5.
+	if !res.Tasks["c2"].End.ApproxEq(13.5) {
+		t.Errorf("c2 end = %v, want 13.5 (recovery mid-compute)", res.Tasks["c2"].End)
+	}
+}
+
+// A dilation on an idle host only affects computes that start under it.
+func TestComputeDilationBeforeStart(t *testing.T) {
+	g := dag.New()
+	g.MustAdd(&dag.Node{ID: "c", Kind: dag.Compute, Host: "a", Duration: 4, NotBefore: 5})
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(1, "a", "b")
+	s, err := New(Options{
+		Graph: g, Net: net, Scheduler: sched.Fair{},
+		Dilations: []DilationChange{{At: 1, Host: "a", Factor: 1.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tasks["c"].End.ApproxEq(11) {
+		t.Errorf("end = %v, want 11 (start 5 + 4*1.5)", res.Tasks["c"].End)
+	}
+}
+
+func TestDilationValidation(t *testing.T) {
+	g := dag.New()
+	g.MustAdd(&dag.Node{ID: "c", Kind: dag.Compute, Host: "a", Duration: 1})
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(1, "a", "b")
+	for _, bad := range []DilationChange{
+		{At: 1, Host: "ghost", Factor: 2},
+		{At: -1, Host: "a", Factor: 2},
+		{At: 1, Host: "a", Factor: 0},
+		{At: 1, Host: "a", Factor: -3},
+	} {
+		if _, err := New(Options{Graph: g, Net: net, Scheduler: sched.Fair{},
+			Dilations: []DilationChange{bad}}); err == nil {
+			t.Errorf("invalid dilation %+v accepted", bad)
+		}
+	}
+}

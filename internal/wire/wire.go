@@ -21,6 +21,13 @@ import (
 // unbounded allocation.
 const MaxFrame = 16 << 20
 
+// ProtocolVersion is the current control-protocol revision. Version 2 added
+// reconnect support: Hello.Version, and the "resumed" flow event carrying a
+// byte offset so a rejoining agent can continue an in-flight transfer. The
+// coordinator accepts version 0 (field absent, pre-versioning agents)
+// through ProtocolVersion.
+const ProtocolVersion = 2
+
 // Message type tags.
 const (
 	TypeHello      = "hello"
@@ -36,6 +43,10 @@ const (
 const (
 	EventReleased = "released"
 	EventFinished = "finished"
+	// EventResumed is sent by a rejoining agent for a flow that was
+	// in-flight when its previous session died: Offset bytes are already
+	// delivered, scheduling continues from the remainder.
+	EventResumed = "resumed"
 )
 
 // FlowSpec mirrors core.Flow for transport.
@@ -47,9 +58,13 @@ type FlowSpec struct {
 	Stage int        `json:"stage"`
 }
 
-// Hello opens an agent session.
+// Hello opens an agent session. An agent reconnecting under the same name
+// takes over its previous session: parked groups are revived in place.
 type Hello struct {
 	Agent string `json:"agent"`
+	// Version is the sender's ProtocolVersion; zero means a pre-versioning
+	// peer (treated as version-1 semantics, no resume support).
+	Version int `json:"version,omitempty"`
 }
 
 // Register announces an EchelonFlow: its arrangement function and flows.
@@ -100,7 +115,9 @@ type Unregister struct {
 type FlowEvent struct {
 	GroupID string `json:"group_id"`
 	FlowID  string `json:"flow_id"`
-	Event   string `json:"event"` // EventReleased or EventFinished
+	Event   string `json:"event"` // EventReleased, EventFinished or EventResumed
+	// Offset is the bytes already delivered, set on EventResumed.
+	Offset unit.Bytes `json:"offset,omitempty"`
 }
 
 // Allocation pushes per-flow rates (bytes/second).
@@ -143,8 +160,11 @@ func (m Message) Validate() error {
 		if m.FlowEvent == nil {
 			return fmt.Errorf("wire: flow_event message without payload")
 		}
-		if e := m.FlowEvent.Event; e != EventReleased && e != EventFinished {
+		if e := m.FlowEvent.Event; e != EventReleased && e != EventFinished && e != EventResumed {
 			return fmt.Errorf("wire: unknown flow event %q", e)
+		}
+		if m.FlowEvent.Offset < 0 {
+			return fmt.Errorf("wire: negative flow event offset")
 		}
 	case TypeAllocation:
 		if m.Allocation == nil {
