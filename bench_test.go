@@ -168,3 +168,7 @@ func BenchmarkExtended_RackOversubscription(b *testing.B) {
 func BenchmarkExtended_ChaosReplay(b *testing.B) {
 	runExperiment(b, experiments.ExtChaos)
 }
+
+func BenchmarkExtended_CrashRecovery(b *testing.B) {
+	runExperiment(b, experiments.ExtCrashRecovery)
+}

@@ -41,6 +41,10 @@ func main() {
 	interval := flag.Duration("interval", 0, "optional periodic rescheduling interval")
 	sessionTimeout := flag.Duration("session-timeout", 30*time.Second, "drop agents silent for this long (0 disables)")
 	quarantine := flag.Duration("quarantine", 0, "park a dead agent's groups this long awaiting rejoin (0 evicts immediately)")
+	journalDir := flag.String("journal", "", "write-ahead journal directory: state survives a crash and is replayed on restart (empty disables)")
+	snapshotEvery := flag.Int("journal-snapshot", 256, "with -journal, compact the log into a snapshot after this many events (0 never compacts)")
+	redialRate := flag.Float64("redial-rate", 0, "max reconnects per agent name per second (0 disables admission control)")
+	redialBurst := flag.Float64("redial-burst", 0, "redial admission burst (default 1 when -redial-rate is set)")
 	var racks, assigns hostSpecs
 	flag.Var(&hosts, "host", "host capacity spec name=rate or name[a-b]=rate (repeatable)")
 	flag.Var(&racks, "rack", "rack capacity spec name=rate (uplink=downlink; repeatable)")
@@ -87,13 +91,25 @@ func main() {
 		log.Fatalf("echelon-coordinator: unknown scheduler %q", *schedName)
 	}
 
-	coord, err := coordinator.New(coordinator.Options{
+	opts := coordinator.Options{
 		Net: net0, Scheduler: s, Interval: *interval, SessionTimeout: *sessionTimeout,
-		QuarantineTimeout: *quarantine,
-	})
+		QuarantineTimeout: *quarantine, SnapshotEvery: *snapshotEvery,
+		RedialRate: *redialRate, RedialBurst: *redialBurst,
+	}
+	var coord *coordinator.Coordinator
+	var err error
+	if *journalDir != "" {
+		// Restore is New plus journaling: an empty directory is a fresh
+		// start, a populated one replays the previous incarnation's state
+		// and quarantines its groups until the agents redial.
+		coord, err = coordinator.Restore(opts, *journalDir)
+	} else {
+		coord, err = coordinator.New(opts)
+	}
 	if err != nil {
 		log.Fatalf("echelon-coordinator: %v", err)
 	}
+	defer coord.Close()
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("echelon-coordinator: %v", err)

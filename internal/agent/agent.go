@@ -150,6 +150,10 @@ type Agent struct {
 	recvActive map[string]bool
 	progress   map[string]*flowProg
 	groups     map[string]*core.EchelonFlow
+	// pendingFinish queues finish reports whose send failed mid-outage
+	// (flow ID -> group ID); the next successful redial replays them so a
+	// transfer completing while the coordinator is away is not lost.
+	pendingFinish map[string]string
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -178,10 +182,11 @@ func Dial(ctx context.Context, opts Options) (*Agent, error) {
 		lastRates:  make(map[string]unit.Rate),
 		received:   make(map[string]int64),
 		recvDone:   make(map[string]chan struct{}),
-		recvActive: make(map[string]bool),
-		progress:   make(map[string]*flowProg),
-		groups:     make(map[string]*core.EchelonFlow),
-		rng:        rand.New(rand.NewSource(seed)),
+		recvActive:    make(map[string]bool),
+		progress:      make(map[string]*flowProg),
+		groups:        make(map[string]*core.EchelonFlow),
+		pendingFinish: make(map[string]string),
+		rng:           rand.New(rand.NewSource(seed)),
 	}
 	a.cond = sync.NewCond(&a.mu)
 	if err := a.codec.Send(a.helloMessage()); err != nil {
@@ -397,6 +402,10 @@ func (a *Agent) redial() error {
 			resumes = append(resumes, resume{p.groupID, id, p.base + p.bytes})
 		}
 	}
+	finishes := make(map[string]string, len(a.pendingFinish))
+	for id, gid := range a.pendingFinish {
+		finishes[id] = gid
+	}
 	a.mu.Unlock()
 	for _, g := range groups {
 		if err := a.RegisterGroup(g); err != nil {
@@ -410,6 +419,18 @@ func (a *Agent) redial() error {
 		if err := a.send(msg); err != nil {
 			a.opts.Logf("agent %s: resume %s: %v", a.opts.Name, r.flowID, err)
 		}
+	}
+	// Replay finish reports that completed while the coordinator was away.
+	for id, gid := range finishes {
+		msg := wire.Message{Type: wire.TypeFlowEvent, FlowEvent: &wire.FlowEvent{
+			GroupID: gid, FlowID: id, Event: wire.EventFinished}}
+		if err := a.send(msg); err != nil {
+			a.opts.Logf("agent %s: replay finish %s: %v", a.opts.Name, id, err)
+			continue // still pending; the next redial retries
+		}
+		a.mu.Lock()
+		delete(a.pendingFinish, id)
+		a.mu.Unlock()
 	}
 	return nil
 }
@@ -540,6 +561,16 @@ func (a *Agent) SendFlow(ctx context.Context, groupID, flowID string, size int64
 	finish := wire.Message{Type: wire.TypeFlowEvent,
 		FlowEvent: &wire.FlowEvent{GroupID: groupID, FlowID: flowID, Event: wire.EventFinished}}
 	if err := a.send(finish); err != nil {
+		if a.opts.Reconnect {
+			// The payload is fully delivered; only the report was lost to a
+			// dead session. Queue it for the next redial instead of failing
+			// a transfer that actually succeeded.
+			a.mu.Lock()
+			a.pendingFinish[flowID] = groupID
+			a.mu.Unlock()
+			a.opts.Logf("agent %s: finish report for %s deferred to reconnect: %v", a.opts.Name, flowID, err)
+			return nil
+		}
 		return fmt.Errorf("agent: report finish: %w", err)
 	}
 	return nil

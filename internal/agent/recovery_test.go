@@ -1,0 +1,152 @@
+package agent
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"echelonflow/internal/coordinator"
+	"echelonflow/internal/core"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/faults"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/unit"
+)
+
+// The full crash-recovery loop over live TCP: a journaling coordinator is
+// killed mid-transfer by a faults.CoordinatorCrash event, rebuilt from its
+// journal on the same address by the matching CoordinatorRestart, and the
+// reconnecting agents are re-adopted — the in-flight transfer completes and
+// the recovered coordinator learns its finish.
+func TestCoordinatorCrashRecoveryLive(t *testing.T) {
+	const size = 128 << 10
+	const capacity = 64 << 10 // ~2s transfer: the crash lands mid-flight
+	dir := t.TempDir()
+	mkOpts := func() coordinator.Options {
+		netModel := fabric.NewNetwork()
+		netModel.AddUniformHosts(unit.Rate(capacity), "w1", "w2")
+		return coordinator.Options{
+			Net:               netModel,
+			Scheduler:         sched.EchelonMADD{Backfill: true},
+			QuarantineTimeout: 30 * time.Second,
+			Logf:              t.Logf,
+		}
+	}
+
+	coord, err := coordinator.Restore(mkOpts(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	serveCtx, killServe := context.WithCancel(context.Background())
+	var serveWG sync.WaitGroup
+	serveWG.Add(1)
+	go func() { defer serveWG.Done(); _ = coord.Serve(serveCtx, ln) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	receiver, err := Dial(ctx, Options{
+		Name: "a2", CoordinatorAddr: addr, DataAddr: "127.0.0.1:0",
+		Reconnect: true, ReconnectBackoff: 20 * time.Millisecond,
+		ReconnectMax: 200 * time.Millisecond, JitterSeed: 2, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer receiver.Close()
+	sender, err := Dial(ctx, Options{
+		Name: "a1", CoordinatorAddr: addr,
+		Reconnect: true, ReconnectBackoff: 20 * time.Millisecond,
+		ReconnectMax: 200 * time.Millisecond, JitterSeed: 1, Logf: t.Logf,
+		Burst: 8 << 10, Chunk: 4 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	g, err := core.NewCoflow("cr/g", &core.Flow{ID: "cr-f", Src: "w1", Dst: "w2", Size: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.RegisterGroup(g); err != nil {
+		t.Fatal(err)
+	}
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- sender.SendFlow(ctx, "cr/g", "cr-f", size, receiver.DataAddr()) }()
+	waitUntil(t, "first bytes", func() bool { return receiver.ReceivedBytes("cr-f") > 0 })
+
+	// The outage is a fault schedule replayed through the live driver: kill
+	// immediately, restore from the journal 300ms later.
+	serveCtx2, killServe2 := context.WithCancel(context.Background())
+	var recovered *coordinator.Coordinator
+	actions := faults.LiveActions{
+		CrashCoordinator: func() error {
+			killServe()
+			ln.Close()
+			serveWG.Wait()
+			return nil
+		},
+		RestartCoordinator: func() error {
+			c2, err := coordinator.Restore(mkOpts(), dir)
+			if err != nil {
+				return err
+			}
+			if !c2.GroupParked("cr/g") {
+				t.Error("restored coordinator did not park the journaled group")
+			}
+			// Same address: the agents' redial loops find the restarted
+			// coordinator without reconfiguration.
+			ln2, err := net.Listen("tcp", addr)
+			if err != nil {
+				return err
+			}
+			serveWG.Add(1)
+			go func() { defer serveWG.Done(); _ = c2.Serve(serveCtx2, ln2) }()
+			recovered = c2
+			return nil
+		},
+	}
+	outage := &faults.Schedule{Events: []faults.Event{
+		{At: 0, Kind: faults.CoordinatorCrash},
+		{At: 0.3, Kind: faults.CoordinatorRestart},
+	}}
+	if err := faults.Replay(ctx, outage, actions, faults.ReplayOptions{Logf: t.Logf}); err != nil {
+		t.Fatal(err)
+	}
+	defer serveWG.Wait()
+	defer killServe2()
+
+	// The sender's redial re-announces the group; re-adoption revives it
+	// with its journaled state instead of restarting the job.
+	waitUntil(t, "re-adoption", func() bool { return !recovered.GroupParked("cr/g") })
+	if _, _, err := recovered.GroupStatus("cr/g"); err != nil {
+		t.Fatalf("group lost across the crash: %v", err)
+	}
+
+	if err := <-sendErr; err != nil {
+		t.Fatalf("transfer across the crash: %v", err)
+	}
+	if err := receiver.WaitReceived(ctx, "cr-f"); err != nil {
+		t.Fatal(err)
+	}
+	if got := receiver.ReceivedBytes("cr-f"); got != size {
+		t.Errorf("received %d bytes, want %d", got, size)
+	}
+	// The recovered coordinator must learn the finish (directly or via the
+	// sender's deferred-finish replay) and stop scheduling the flow.
+	waitUntil(t, "finish reported", func() bool {
+		rates, err := recovered.Tick()
+		if err != nil {
+			t.Fatalf("tick: %v", err)
+		}
+		_, scheduled := rates["cr-f"]
+		return !scheduled
+	})
+}

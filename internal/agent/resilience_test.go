@@ -177,6 +177,84 @@ func TestReconnectAfterControlBlip(t *testing.T) {
 	}
 }
 
+// A transfer that completes while the control session is down must not be
+// lost: the finish report fails mid-outage, SendFlow still succeeds (the
+// bytes were delivered), and the next redial replays the queued finish so
+// the coordinator stops scheduling the flow.
+func TestDeferredFinishReplayedOnReconnect(t *testing.T) {
+	const size = 16 << 10
+	const capacity = 64 << 10 // ~0.25s transfer: finishes well inside the outage
+	coord, addr, receiver, cleanup := startResilientCluster(t, capacity)
+	defer cleanup()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// A 1s initial backoff guarantees the transfer finishes (and the finish
+	// report fails) before the first redial attempt.
+	sender, err := Dial(ctx, Options{
+		Name: "a1", CoordinatorAddr: addr, Reconnect: true,
+		ReconnectBackoff: time.Second, JitterSeed: 1, Logf: t.Logf,
+		Burst: 4 << 10, Chunk: 2 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	g, err := core.NewCoflow("df/g", &core.Flow{ID: "df-f", Src: "w1", Dst: "w2", Size: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.RegisterGroup(g); err != nil {
+		t.Fatal(err)
+	}
+
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- sender.SendFlow(ctx, "df/g", "df-f", size, receiver.DataAddr()) }()
+	waitUntil(t, "first bytes", func() bool { return receiver.ReceivedBytes("df-f") > 0 })
+
+	// Sever the control session: the data plane keeps flowing, the finish
+	// report has nowhere to go until the redial fires ~1s later.
+	sender.sessMu.Lock()
+	oldConn := sender.conn
+	sender.sessMu.Unlock()
+	oldConn.Close()
+
+	if err := <-sendErr; err != nil {
+		t.Fatalf("SendFlow failed despite completed delivery: %v", err)
+	}
+	if err := receiver.WaitReceived(ctx, "df-f"); err != nil {
+		t.Fatal(err)
+	}
+	if got := receiver.ReceivedBytes("df-f"); got != size {
+		t.Fatalf("received %d bytes, want %d", got, size)
+	}
+	sender.mu.Lock()
+	pending := len(sender.pendingFinish)
+	sender.mu.Unlock()
+	if pending != 1 {
+		t.Fatalf("finish not queued: %d pending reports", pending)
+	}
+
+	// The redial re-registers the group (reviving it) and then replays the
+	// queued finish; once it lands the coordinator stops allocating df-f.
+	waitUntil(t, "revive", func() bool { return !coord.GroupParked("df/g") })
+	waitUntil(t, "finish replay", func() bool {
+		rates, err := coord.Tick()
+		if err != nil {
+			t.Fatalf("tick: %v", err)
+		}
+		_, scheduled := rates["df-f"]
+		return !scheduled
+	})
+	sender.mu.Lock()
+	pending = len(sender.pendingFinish)
+	sender.mu.Unlock()
+	if pending != 0 {
+		t.Errorf("pending finish queue not drained: %d left", pending)
+	}
+}
+
 // The chaos acceptance path: an agent is killed mid-transfer, a fresh
 // incarnation under the same name rejoins, and the flow resumes from the
 // receiver's acknowledged offset instead of restarting from zero.

@@ -20,6 +20,8 @@ import (
 
 	"echelonflow/internal/core"
 	"echelonflow/internal/fabric"
+	"echelonflow/internal/journal"
+	"echelonflow/internal/ratelimit"
 	"echelonflow/internal/sched"
 	"echelonflow/internal/unit"
 	"echelonflow/internal/wire"
@@ -43,6 +45,15 @@ type Options struct {
 	// awaiting a rejoin under the same agent name. Zero evicts immediately
 	// on session death (the pre-quarantine behaviour).
 	QuarantineTimeout time.Duration
+	// SnapshotEvery, for a coordinator built with Restore, compacts the
+	// journal into a snapshot after this many appended events. Zero keeps
+	// the write-ahead log growing until the next restart.
+	SnapshotEvery int
+	// RedialRate, when positive, admission-limits reconnects per agent name
+	// to this many per second (burst RedialBurst, default 1), so a flapping
+	// agent redialing in a tight loop cannot starve connection handling.
+	RedialRate  float64
+	RedialBurst float64
 	// Clock is injectable for tests; defaults to time.Now.
 	Clock func() time.Time
 	// Logf receives diagnostic output; defaults to log.Printf.
@@ -66,9 +77,12 @@ type groupRT struct {
 	// parked marks a group whose owning session died: it keeps its state
 	// but is excluded from scheduling until the owner rejoins or the
 	// quarantine timeout evicts it. parkGen guards a pending eviction
-	// timer against a park/rejoin/park cycle reusing the group.
-	parked  bool
-	parkGen int
+	// timer against a park/rejoin/park cycle reusing the group; parkedAt
+	// (per opts.Clock) is when the current park began, so eviction is
+	// decided against the injected clock rather than the wall timer.
+	parked   bool
+	parkGen  int
+	parkedAt time.Time
 }
 
 // Coordinator is the central scheduler. Create with New.
@@ -88,6 +102,17 @@ type Coordinator struct {
 	// cache is the scheduler's plan cache when it exposes one; lifecycle
 	// events invalidate the affected groups eagerly. Nil-safe.
 	cache *sched.PlanCache
+
+	// journal, when set (via Restore), receives an append for every
+	// state-mutating event; journalEvents counts appends since the last
+	// snapshot, and replaying suppresses appends while the log is being
+	// re-applied. All three are guarded by mu.
+	journal       *journal.Journal
+	journalEvents int
+	replaying     bool
+
+	// limiters admission-controls redials per agent name (opts.RedialRate).
+	limiters map[string]*ratelimit.Bucket
 }
 
 // New validates options and returns a Coordinator.
@@ -104,6 +129,12 @@ func New(opts Options) (*Coordinator, error) {
 	if opts.QuarantineTimeout < 0 {
 		return nil, fmt.Errorf("coordinator: negative QuarantineTimeout %v", opts.QuarantineTimeout)
 	}
+	if opts.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("coordinator: negative SnapshotEvery %d", opts.SnapshotEvery)
+	}
+	if opts.RedialRate < 0 || opts.RedialBurst < 0 {
+		return nil, fmt.Errorf("coordinator: negative redial limit %v/%v", opts.RedialRate, opts.RedialBurst)
+	}
 	if opts.Scheduler == nil {
 		opts.Scheduler = sched.EchelonMADD{Backfill: true, Cache: sched.NewPlanCache()}
 	}
@@ -119,6 +150,7 @@ func New(opts Options) (*Coordinator, error) {
 		groups:   make(map[string]*groupRT),
 		sessions: make(map[*session]struct{}),
 		byName:   make(map[string]*session),
+		limiters: make(map[string]*ratelimit.Bucket),
 	}
 	if pc, ok := opts.Scheduler.(interface{ PlanCache() *sched.PlanCache }); ok {
 		c.cache = pc.PlanCache()
@@ -168,11 +200,31 @@ func (c *Coordinator) register(owner string, g *core.EchelonFlow, adoptLive bool
 		if existing.parked {
 			existing.parked = false
 			c.advanceLocked()
+			c.appendJournalLocked(journalEvent{Kind: jRevive, At: c.lastAdvance, Groups: []string{g.ID}})
 			if _, err := c.rescheduleLocked(); err != nil {
 				c.opts.Logf("coordinator: reschedule after %q rejoined: %v", g.ID, err)
 			}
 		}
 		return nil
+	}
+	if err := c.addGroupLocked(owner, g); err != nil {
+		return err
+	}
+	if c.journal != nil {
+		if reg, err := wire.RegisterOf(g); err != nil {
+			c.opts.Logf("coordinator: journal: cannot serialize group %q: %v", g.ID, err)
+		} else {
+			c.appendJournalLocked(journalEvent{Kind: jRegister, At: c.now(), Owner: owner, Register: &reg})
+		}
+	}
+	return nil
+}
+
+// addGroupLocked installs a fresh group's runtime state. It is the shared
+// tail of RegisterGroup and journal replay; duplicates are an error.
+func (c *Coordinator) addGroupLocked(owner string, g *core.EchelonFlow) error {
+	if _, dup := c.groups[g.ID]; dup {
+		return fmt.Errorf("coordinator: group %q already registered", g.ID)
 	}
 	rt := &groupRT{
 		state: &sched.GroupState{Group: g},
@@ -196,6 +248,7 @@ func (c *Coordinator) UnregisterGroup(groupID string) (map[string]unit.Rate, err
 	c.advanceLocked()
 	delete(c.groups, groupID)
 	c.cache.InvalidateGroup(groupID)
+	c.appendJournalLocked(journalEvent{Kind: jUnregister, At: c.lastAdvance, Groups: []string{groupID}})
 	return c.rescheduleLocked()
 }
 
@@ -203,20 +256,35 @@ func (c *Coordinator) UnregisterGroup(groupID string) (map[string]unit.Rate, err
 func (c *Coordinator) FlowEvent(ev wire.FlowEvent) (map[string]unit.Rate, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	g, ok := c.groups[ev.GroupID]
-	if !ok {
+	if _, ok := c.groups[ev.GroupID]; !ok {
 		return nil, fmt.Errorf("coordinator: unknown group %q", ev.GroupID)
-	}
-	f, ok := g.flows[ev.FlowID]
-	if !ok {
-		return nil, fmt.Errorf("coordinator: group %q has no flow %q", ev.GroupID, ev.FlowID)
 	}
 	c.advanceLocked()
 	now := c.now()
+	if err := c.applyFlowLocked(ev, now); err != nil {
+		return nil, err
+	}
+	c.appendJournalLocked(journalEvent{Kind: jFlow, At: now, Flow: &ev})
+	c.cache.InvalidateGroup(ev.GroupID) // the group's released flow set changed
+	return c.rescheduleLocked()
+}
+
+// applyFlowLocked mutates flow state for one lifecycle event at the given
+// scheduler time. FlowEvent calls it live; journal replay calls it with the
+// recorded event time so tardiness arithmetic reproduces exactly.
+func (c *Coordinator) applyFlowLocked(ev wire.FlowEvent, now unit.Time) error {
+	g, ok := c.groups[ev.GroupID]
+	if !ok {
+		return fmt.Errorf("coordinator: unknown group %q", ev.GroupID)
+	}
+	f, ok := g.flows[ev.FlowID]
+	if !ok {
+		return fmt.Errorf("coordinator: group %q has no flow %q", ev.GroupID, ev.FlowID)
+	}
 	switch ev.Event {
 	case wire.EventReleased:
 		if f.released {
-			return nil, fmt.Errorf("coordinator: flow %q released twice", ev.FlowID)
+			return fmt.Errorf("coordinator: flow %q released twice", ev.FlowID)
 		}
 		f.released = true
 		f.release = now
@@ -226,10 +294,10 @@ func (c *Coordinator) FlowEvent(ev wire.FlowEvent) (map[string]unit.Rate, error)
 		}
 	case wire.EventFinished:
 		if f.finished {
-			return nil, fmt.Errorf("coordinator: flow %q finished twice", ev.FlowID)
+			return fmt.Errorf("coordinator: flow %q finished twice", ev.FlowID)
 		}
 		if !f.released {
-			return nil, fmt.Errorf("coordinator: flow %q finished before release", ev.FlowID)
+			return fmt.Errorf("coordinator: flow %q finished before release", ev.FlowID)
 		}
 		f.finished = true
 		f.remaining = 0
@@ -242,10 +310,10 @@ func (c *Coordinator) FlowEvent(ev wire.FlowEvent) (map[string]unit.Rate, error)
 		// are already delivered, so scheduling resumes from the remainder.
 		// Idempotent on released — the original release survived the park.
 		if f.finished {
-			return nil, fmt.Errorf("coordinator: flow %q resumed after finish", ev.FlowID)
+			return fmt.Errorf("coordinator: flow %q resumed after finish", ev.FlowID)
 		}
 		if ev.Offset > f.flow.Size {
-			return nil, fmt.Errorf("coordinator: flow %q resumed past its size (%v > %v)",
+			return fmt.Errorf("coordinator: flow %q resumed past its size (%v > %v)",
 				ev.FlowID, ev.Offset, f.flow.Size)
 		}
 		if !f.released {
@@ -258,10 +326,9 @@ func (c *Coordinator) FlowEvent(ev wire.FlowEvent) (map[string]unit.Rate, error)
 		}
 		f.remaining = f.flow.Size - ev.Offset
 	default:
-		return nil, fmt.Errorf("coordinator: unknown event %q", ev.Event)
+		return fmt.Errorf("coordinator: unknown event %q", ev.Event)
 	}
-	c.cache.InvalidateGroup(ev.GroupID) // the group's released flow set changed
-	return c.rescheduleLocked()
+	return nil
 }
 
 // Tick advances the fluid model and reallocates; Serve calls it on the
@@ -285,8 +352,11 @@ func (c *Coordinator) GroupStatus(groupID string) (reference, tardiness unit.Tim
 }
 
 // advanceLocked integrates estimated progress since the last event.
-func (c *Coordinator) advanceLocked() {
-	now := c.now()
+func (c *Coordinator) advanceLocked() { c.advanceToLocked(c.now()) }
+
+// advanceToLocked integrates up to an explicit time — journal replay drives
+// it with recorded event times instead of the live clock.
+func (c *Coordinator) advanceToLocked(now unit.Time) {
 	dt := now - c.lastAdvance
 	if dt <= 0 {
 		return
@@ -464,6 +534,11 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 		return
 	}
 	s.agent = hello.Hello.Agent
+	if !c.admitRedial(s.agent) {
+		c.opts.Logf("coordinator: agent %s redialing too fast, rejected", s.agent)
+		_ = s.codec.Send(wire.Message{Type: wire.TypeError, Error: &wire.Error{Msg: "redial rate exceeded"}})
+		return
+	}
 	c.adoptSession(s)
 	defer c.dropSession(s)
 
@@ -509,6 +584,32 @@ func (c *Coordinator) handleMessage(s *session, msg wire.Message) error {
 	}
 }
 
+// admitRedial rate-limits reconnects per agent name. A handshake denied
+// here never reaches adoptSession, so a flapping agent cannot churn session
+// takeover (and the reschedules it triggers) in a tight loop.
+func (c *Coordinator) admitRedial(agent string) bool {
+	if c.opts.RedialRate <= 0 || agent == "" {
+		return true
+	}
+	c.mu.Lock()
+	b := c.limiters[agent]
+	if b == nil {
+		burst := c.opts.RedialBurst
+		if burst <= 0 {
+			burst = 1
+		}
+		var err error
+		if b, err = ratelimit.NewBucket(c.opts.RedialRate, burst); err != nil {
+			c.mu.Unlock()
+			c.opts.Logf("coordinator: redial limiter: %v", err)
+			return true
+		}
+		c.limiters[agent] = b
+	}
+	c.mu.Unlock()
+	return b.Allow(1)
+}
+
 // adoptSession installs a freshly-handshaken session. A reconnect under an
 // already-connected agent name takes over: the stale session is closed and
 // flagged so its teardown leaves the groups alone. Any groups parked from
@@ -525,18 +626,19 @@ func (c *Coordinator) adoptSession(s *session) {
 		c.byName[s.agent] = s
 	}
 	c.sessions[s] = struct{}{}
-	revived := 0
-	for _, g := range c.groups {
+	var revived []string
+	for gid, g := range c.groups {
 		if g.owner == s.agent && s.agent != "" && g.parked {
 			g.parked = false
-			revived++
+			revived = append(revived, gid)
 		}
 	}
-	if revived == 0 {
+	if len(revived) == 0 {
 		return
 	}
-	c.opts.Logf("coordinator: agent %s rejoined, revived %d quarantined group(s)", s.agent, revived)
+	c.opts.Logf("coordinator: agent %s rejoined, revived %d quarantined group(s)", s.agent, len(revived))
 	c.advanceLocked()
+	c.appendJournalLocked(journalEvent{Kind: jRevive, At: c.lastAdvance, Groups: revived})
 	if _, err := c.rescheduleLocked(); err != nil {
 		c.opts.Logf("coordinator: reschedule after %s rejoined: %v", s.agent, err)
 	}
@@ -569,10 +671,12 @@ func (c *Coordinator) dropSession(s *session) {
 		c.evictLocked(orphaned, "agent "+s.agent+" departed")
 		return
 	}
+	parkedAt := c.opts.Clock()
 	for _, gid := range orphaned {
 		g := c.groups[gid]
 		g.parked = true
 		g.parkGen++
+		g.parkedAt = parkedAt
 		gen := g.parkGen
 		for _, f := range g.flows {
 			f.rate = 0 // parked flows make no fluid progress
@@ -580,6 +684,7 @@ func (c *Coordinator) dropSession(s *session) {
 		gid := gid
 		time.AfterFunc(c.opts.QuarantineTimeout, func() { c.evictIfStillParked(gid, gen) })
 	}
+	c.appendJournalLocked(journalEvent{Kind: jPark, At: c.lastAdvance, Groups: orphaned})
 	c.opts.Logf("coordinator: agent %s died, parked %d group(s) for %v", s.agent, len(orphaned), c.opts.QuarantineTimeout)
 	if _, err := c.rescheduleLocked(); err != nil {
 		c.opts.Logf("coordinator: reschedule after %s departed: %v", s.agent, err)
@@ -587,12 +692,21 @@ func (c *Coordinator) dropSession(s *session) {
 }
 
 // evictIfStillParked is the quarantine timer callback: the group is evicted
-// only if it is still parked from the same incarnation that armed the timer.
+// only if it is still parked from the same incarnation that armed the timer,
+// and only once the quarantine window has elapsed on the configured clock.
 func (c *Coordinator) evictIfStillParked(gid string, gen int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	g, ok := c.groups[gid]
 	if !ok || !g.parked || g.parkGen != gen {
+		return
+	}
+	// The wall timer can outrun the injected clock (fake clocks in tests,
+	// timer skew in production). Deciding against opts.Clock means a rejoin
+	// landing exactly at the quarantine deadline wins: the eviction re-arms
+	// for the remainder instead of racing the adoption.
+	if left := c.opts.QuarantineTimeout - c.opts.Clock().Sub(g.parkedAt); left > 0 {
+		time.AfterFunc(left, func() { c.evictIfStillParked(gid, gen) })
 		return
 	}
 	c.advanceLocked()
@@ -605,6 +719,7 @@ func (c *Coordinator) evictLocked(gids []string, why string) {
 		delete(c.groups, gid)
 		c.cache.InvalidateGroup(gid)
 	}
+	c.appendJournalLocked(journalEvent{Kind: jEvict, At: c.lastAdvance, Groups: gids})
 	c.opts.Logf("coordinator: evicted %d group(s): %s", len(gids), why)
 	if _, err := c.rescheduleLocked(); err != nil {
 		c.opts.Logf("coordinator: reschedule after eviction: %v", err)
@@ -643,6 +758,7 @@ func (c *Coordinator) SetCapacity(host string, egress, ingress unit.Rate) error 
 	if err := c.opts.Net.SetCapacity(host, egress, ingress); err != nil {
 		return fmt.Errorf("coordinator: %w", err)
 	}
+	c.appendJournalLocked(journalEvent{Kind: jCapacity, At: c.lastAdvance, Host: host, Egress: egress, Ingress: ingress})
 	_, err := c.rescheduleLocked()
 	return err
 }
@@ -653,4 +769,18 @@ func (c *Coordinator) Capacity(host string) (egress, ingress unit.Rate, ok bool)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.opts.Net.Capacity(host)
+}
+
+// Close releases the journal, if the coordinator was built with Restore.
+// The coordinator stays usable afterwards but stops journaling; call it once
+// Serve has returned.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return nil
+	}
+	err := c.journal.Close()
+	c.journal = nil
+	return err
 }

@@ -1,0 +1,328 @@
+// Coordinator durability: every state-mutating event is appended to a
+// write-ahead journal (internal/journal) and the whole control-plane state
+// is periodically compacted into a snapshot. Restore rebuilds a crashed
+// coordinator by replaying snapshot + tail: replay re-runs the same
+// advance/apply/reschedule sequence the live coordinator executed — the
+// scheduler is deterministic, so fluid-model remaining volumes, reference
+// times and achieved tardiness come back bit-for-bit. Recovered groups
+// re-enter quarantine until their agents redial; the existing reconnect +
+// wire-v2 resume machinery then adopts them in place.
+package coordinator
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"echelonflow/internal/journal"
+	"echelonflow/internal/unit"
+	"echelonflow/internal/wire"
+)
+
+// Journal event kinds. One record is appended per state mutation; park,
+// revive and evict carry group batches so replay reschedules exactly as
+// often as the live run did.
+const (
+	jGenesis    = "genesis"    // coordinator born: records the wall start time
+	jRegister   = "register"   // new group registered
+	jUnregister = "unregister" // group departed
+	jFlow       = "flow"       // flow lifecycle event (released/finished/resumed)
+	jCapacity   = "capacity"   // fabric capacity override
+	jPark       = "park"       // owner died, groups quarantined
+	jRevive     = "revive"     // owner rejoined, groups resumed
+	jEvict      = "evict"      // quarantine expired or disabled, groups removed
+)
+
+// journalEvent is one WAL record. At is the scheduler time of the mutation;
+// replay advances the fluid model to At before re-applying, so integration
+// intervals match the live run exactly.
+type journalEvent struct {
+	Kind     string          `json:"kind"`
+	At       unit.Time       `json:"at"`
+	Wall     int64           `json:"wall,omitempty"` // genesis: start time, UnixNano
+	Owner    string          `json:"owner,omitempty"`
+	Register *wire.Register  `json:"register,omitempty"`
+	Flow     *wire.FlowEvent `json:"flow,omitempty"`
+	Groups   []string        `json:"groups,omitempty"`
+	Host     string          `json:"host,omitempty"`
+	Egress   unit.Rate       `json:"egress,omitempty"`
+	Ingress  unit.Rate       `json:"ingress,omitempty"`
+}
+
+// snapshotState is the compacted control-plane state: everything needed to
+// resume scheduling without the WAL records it covers.
+type snapshotState struct {
+	Wall   int64           `json:"wall"` // coordinator start, UnixNano
+	At     unit.Time       `json:"at"`   // fluid model position when taken
+	Groups []snapshotGroup `json:"groups"`
+}
+
+type snapshotGroup struct {
+	Owner     string        `json:"owner"`
+	Register  wire.Register `json:"register"`
+	Parked    bool          `json:"parked,omitempty"`
+	RefSet    bool          `json:"ref_set,omitempty"`
+	Reference unit.Time     `json:"reference"`
+	Tardiness unit.Time     `json:"tardiness"`
+	Flows     []snapshotFlow `json:"flows"`
+}
+
+type snapshotFlow struct {
+	ID        string     `json:"id"`
+	Released  bool       `json:"released,omitempty"`
+	Finished  bool       `json:"finished,omitempty"`
+	Remaining unit.Bytes `json:"remaining"`
+	Rate      unit.Rate  `json:"rate,omitempty"`
+	Release   unit.Time  `json:"release,omitempty"`
+}
+
+// appendJournalLocked records one event. Nil journal and replay are no-ops;
+// an append failure is logged, not fatal — the coordinator stays available
+// at the cost of that record's durability.
+func (c *Coordinator) appendJournalLocked(ev journalEvent) {
+	if c.journal == nil || c.replaying {
+		return
+	}
+	body, err := json.Marshal(ev)
+	if err != nil {
+		c.opts.Logf("coordinator: journal marshal %s: %v", ev.Kind, err)
+		return
+	}
+	if err := c.journal.Append(body); err != nil {
+		c.opts.Logf("coordinator: journal append %s: %v", ev.Kind, err)
+		return
+	}
+	c.journalEvents++
+	if c.opts.SnapshotEvery > 0 && c.journalEvents >= c.opts.SnapshotEvery {
+		c.snapshotLocked()
+	}
+}
+
+// snapshotLocked compacts current state into the journal's snapshot file.
+func (c *Coordinator) snapshotLocked() {
+	if c.journal == nil {
+		return
+	}
+	st := snapshotState{Wall: c.start.UnixNano(), At: c.lastAdvance}
+	gids := make([]string, 0, len(c.groups))
+	for gid := range c.groups {
+		gids = append(gids, gid)
+	}
+	sort.Strings(gids)
+	for _, gid := range gids {
+		g := c.groups[gid]
+		reg, err := wire.RegisterOf(g.state.Group)
+		if err != nil {
+			c.opts.Logf("coordinator: snapshot: cannot serialize group %q: %v", gid, err)
+			continue
+		}
+		sg := snapshotGroup{
+			Owner: g.owner, Register: reg, Parked: g.parked, RefSet: g.refSet,
+			Reference: g.state.Reference, Tardiness: g.state.AchievedTardiness,
+		}
+		for _, f := range g.state.Group.Flows {
+			rt := g.flows[f.ID]
+			sg.Flows = append(sg.Flows, snapshotFlow{
+				ID: f.ID, Released: rt.released, Finished: rt.finished,
+				Remaining: rt.remaining, Rate: rt.rate, Release: rt.release,
+			})
+		}
+		st.Groups = append(st.Groups, sg)
+	}
+	body, err := json.Marshal(st)
+	if err != nil {
+		c.opts.Logf("coordinator: snapshot marshal: %v", err)
+		return
+	}
+	if err := c.journal.Snapshot(body); err != nil {
+		c.opts.Logf("coordinator: snapshot: %v", err)
+		return
+	}
+	c.journalEvents = 0
+}
+
+// applySnapshotLocked rebuilds group state from a snapshot payload.
+func (c *Coordinator) applySnapshotLocked(payload []byte) error {
+	var st snapshotState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return fmt.Errorf("coordinator: corrupt snapshot: %w", err)
+	}
+	c.start = time.Unix(0, st.Wall)
+	c.lastAdvance = st.At
+	for _, sg := range st.Groups {
+		g, err := sg.Register.Group()
+		if err != nil {
+			return fmt.Errorf("coordinator: snapshot group %q: %w", sg.Register.GroupID, err)
+		}
+		if err := c.addGroupLocked(sg.Owner, g); err != nil {
+			return err
+		}
+		rt := c.groups[g.ID]
+		rt.parked = sg.Parked
+		rt.refSet = sg.RefSet
+		rt.state.Reference = sg.Reference
+		rt.state.AchievedTardiness = sg.Tardiness
+		for _, sf := range sg.Flows {
+			f, ok := rt.flows[sf.ID]
+			if !ok {
+				return fmt.Errorf("coordinator: snapshot group %q has unknown flow %q", g.ID, sf.ID)
+			}
+			f.released, f.finished = sf.Released, sf.Finished
+			f.remaining, f.rate, f.release = sf.Remaining, sf.Rate, sf.Release
+		}
+	}
+	return nil
+}
+
+// applyJournalLocked replays one WAL record: advance the fluid model to the
+// recorded time, re-apply the mutation, and reschedule wherever the live
+// path did. Deterministic scheduling makes the replayed trajectory equal
+// the original.
+func (c *Coordinator) applyJournalLocked(ev journalEvent) error {
+	switch ev.Kind {
+	case jGenesis:
+		c.start = time.Unix(0, ev.Wall)
+		return nil
+	case jRegister:
+		if ev.Register == nil {
+			return fmt.Errorf("coordinator: register record without payload")
+		}
+		g, err := ev.Register.Group()
+		if err != nil {
+			return err
+		}
+		c.advanceToLocked(ev.At)
+		return c.addGroupLocked(ev.Owner, g)
+	case jUnregister, jEvict:
+		c.advanceToLocked(ev.At)
+		for _, gid := range ev.Groups {
+			if _, ok := c.groups[gid]; !ok {
+				return fmt.Errorf("coordinator: %s record for unknown group %q", ev.Kind, gid)
+			}
+			delete(c.groups, gid)
+			c.cache.InvalidateGroup(gid)
+		}
+		_, err := c.rescheduleLocked()
+		return err
+	case jFlow:
+		if ev.Flow == nil {
+			return fmt.Errorf("coordinator: flow record without payload")
+		}
+		c.advanceToLocked(ev.At)
+		if err := c.applyFlowLocked(*ev.Flow, ev.At); err != nil {
+			return err
+		}
+		c.cache.InvalidateGroup(ev.Flow.GroupID)
+		_, err := c.rescheduleLocked()
+		return err
+	case jCapacity:
+		c.advanceToLocked(ev.At)
+		if err := c.opts.Net.SetCapacity(ev.Host, ev.Egress, ev.Ingress); err != nil {
+			return err
+		}
+		_, err := c.rescheduleLocked()
+		return err
+	case jPark, jRevive:
+		c.advanceToLocked(ev.At)
+		for _, gid := range ev.Groups {
+			g, ok := c.groups[gid]
+			if !ok {
+				return fmt.Errorf("coordinator: %s record for unknown group %q", ev.Kind, gid)
+			}
+			g.parked = ev.Kind == jPark
+			if g.parked {
+				for _, f := range g.flows {
+					f.rate = 0
+				}
+			}
+		}
+		_, err := c.rescheduleLocked()
+		return err
+	default:
+		return fmt.Errorf("coordinator: unknown journal record kind %q", ev.Kind)
+	}
+}
+
+// parkRestoredLocked quarantines every recovered group until its agent
+// redials: a crash severed all sessions, so no owner is live. With a
+// quarantine window configured the usual eviction timers are armed; with
+// QuarantineTimeout zero (which normally means evict-on-death) recovered
+// groups instead wait indefinitely — evicting everything a moment after
+// recovering it would make recovery pointless.
+func (c *Coordinator) parkRestoredLocked() int {
+	parkedAt := c.opts.Clock()
+	parked := 0
+	for gid, g := range c.groups {
+		parked++
+		g.parked = true
+		g.parkGen++
+		g.parkedAt = parkedAt
+		for _, f := range g.flows {
+			f.rate = 0
+		}
+		if c.opts.QuarantineTimeout > 0 {
+			gid, gen := gid, g.parkGen
+			time.AfterFunc(c.opts.QuarantineTimeout, func() { c.evictIfStillParked(gid, gen) })
+		}
+	}
+	return parked
+}
+
+// Restore builds a Coordinator from a journal directory, replaying any
+// prior state, and enables journaling for the new incarnation. An empty or
+// missing directory is a fresh start: behavior is identical to New plus
+// journaling. Individually inconsistent WAL records are logged and skipped
+// rather than aborting recovery.
+func Restore(opts Options, dir string) (*Coordinator, error) {
+	rec, err := journal.Restore(dir)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: restore: %w", err)
+	}
+	c, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.replaying = true
+	if rec.Snapshot != nil {
+		if err := c.applySnapshotLocked(rec.Snapshot); err != nil {
+			c.replaying = false
+			return nil, err
+		}
+	}
+	for _, raw := range rec.Tail {
+		var ev journalEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			c.opts.Logf("coordinator: skipping corrupt journal record: %v", err)
+			continue
+		}
+		if err := c.applyJournalLocked(ev); err != nil {
+			c.opts.Logf("coordinator: skipping journal record %s@%v: %v", ev.Kind, ev.At, err)
+		}
+	}
+	c.replaying = false
+	if rec.Torn {
+		c.opts.Logf("coordinator: journal had a torn final record (crash mid-append); dropped")
+	}
+	parked := c.parkRestoredLocked()
+
+	j, err := journal.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: restore: %w", err)
+	}
+	c.journal = j
+	if rec.Snapshot == nil && len(rec.Tail) == 0 {
+		// Fresh journal: record when this coordinator's clock started so a
+		// future Restore reconstructs the same time base.
+		c.appendJournalLocked(journalEvent{Kind: jGenesis, Wall: c.start.UnixNano()})
+	} else {
+		// Compact what was just replayed so the next crash recovers from
+		// one snapshot instead of re-replaying history.
+		c.snapshotLocked()
+		c.opts.Logf("coordinator: restored %d group(s) from %s (%d quarantined awaiting rejoin)",
+			len(c.groups), dir, parked)
+	}
+	return c, nil
+}

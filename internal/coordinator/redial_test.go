@@ -1,0 +1,96 @@
+package coordinator
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/wire"
+)
+
+// startLimitedServer is startServer with redial admission control.
+func startLimitedServer(t *testing.T, rate, burst float64) (*Coordinator, string, func()) {
+	t.Helper()
+	netModel := fabric.NewNetwork()
+	netModel.AddUniformHosts(10, "w1", "w2", "w3")
+	c, err := New(Options{
+		Net: netModel, Scheduler: sched.EchelonMADD{Backfill: true},
+		RedialRate: rate, RedialBurst: burst, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = c.Serve(ctx, ln) }()
+	return c, ln.Addr().String(), func() { cancel(); wg.Wait() }
+}
+
+// An agent redialing in a tight loop is admitted only up to the burst; its
+// excess handshakes are turned away before they can churn session adoption,
+// and an unrelated agent connects untouched.
+func TestRedialRateLimit(t *testing.T) {
+	coord, addr, stop := startLimitedServer(t, 0.1, 2)
+	defer stop()
+
+	const flaps = 6
+	denied := 0
+	for i := 0; i < flaps; i++ {
+		s := dialRaw(t, addr, "flapper")
+		// Admitted sessions stay open: tearing one down would evict the
+		// flapper's groups (quarantine is off here) before they're counted.
+		defer s.conn.Close()
+		g, err := core.NewCoflow(fmt.Sprintf("flap/%d", i),
+			&core.Flow{ID: fmt.Sprintf("fl%d", i), Src: "w1", Dst: "w2", Size: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg, _ := wire.RegisterOf(g)
+		_ = s.codec.Send(wire.Message{Type: wire.TypeRegister, Register: &reg})
+		// A denied handshake gets a protocol error and a closed conn; an
+		// admitted one processes the register and pushes nothing yet.
+		s.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		if msg, err := s.codec.Recv(); err == nil && msg.Type == wire.TypeError {
+			denied++
+		}
+	}
+	if want := flaps - 2; denied != want {
+		t.Errorf("denied %d of %d redials, want %d (burst 2)", denied, flaps, want)
+	}
+	registered := 0
+	for i := 0; i < flaps; i++ {
+		if _, _, err := coord.GroupStatus(fmt.Sprintf("flap/%d", i)); err == nil {
+			registered++
+		}
+	}
+	if registered != 2 {
+		t.Errorf("%d flapper registers processed, want 2", registered)
+	}
+
+	// A different agent name draws from its own bucket.
+	calm := dialRaw(t, addr, "calm")
+	defer calm.conn.Close()
+	g, err := core.NewCoflow("calm/g", &core.Flow{ID: "cg", Src: "w2", Dst: "w3", Size: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := wire.RegisterOf(g)
+	if err := calm.codec.Send(wire.Message{Type: wire.TypeRegister, Register: &reg}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "calm agent's registration", func() bool {
+		_, _, err := coord.GroupStatus("calm/g")
+		return err == nil
+	})
+}

@@ -1,0 +1,294 @@
+package coordinator
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/wire"
+)
+
+// restoreOpts builds Options for a journaled coordinator on a fake clock.
+func restoreOpts(t *testing.T, clk *fakeClock) Options {
+	t.Helper()
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(10, "w1", "w2", "w3")
+	return Options{
+		Net:               net,
+		Scheduler:         sched.EchelonMADD{Backfill: true},
+		QuarantineTimeout: time.Hour,
+		Clock:             clk.now,
+		Logf:              t.Logf,
+	}
+}
+
+// An empty (or missing) journal directory is a fresh start: the coordinator
+// behaves exactly like New, with journaling armed for next time.
+func TestRestoreEmptyDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "never-created")
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c, err := Restore(restoreOpts(t, clk), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(c.groups) != 0 {
+		t.Fatalf("fresh restore recovered %d groups", len(c.groups))
+	}
+	if err := c.RegisterGroup("a1", pipelineGroup(t)); err != nil {
+		t.Fatal(err)
+	}
+	if c.GroupParked("job/pp") {
+		t.Error("freshly registered group parked")
+	}
+	if _, err := c.FlowEvent(wire.FlowEvent{GroupID: "job/pp", FlowID: "f0", Event: wire.EventReleased}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Crash-and-restore reproduces reference times and achieved tardiness
+// bit-for-bit, parks the recovered groups, and lets the owner rejoin.
+func TestRestoreReplaysState(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c, err := Restore(restoreOpts(t, clk), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pipelineGroup(t)
+	if err := c.RegisterGroup("a1", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FlowEvent(wire.FlowEvent{GroupID: "job/pp", FlowID: "f0", Event: wire.EventReleased}); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(3 * time.Second)
+	if _, err := c.FlowEvent(wire.FlowEvent{GroupID: "job/pp", FlowID: "f0", Event: wire.EventFinished}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FlowEvent(wire.FlowEvent{GroupID: "job/pp", FlowID: "f1", Event: wire.EventReleased}); err != nil {
+		t.Fatal(err)
+	}
+	wantRef, wantTard, err := c.GroupStatus("job/pp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no graceful shutdown, the file handle is simply abandoned.
+	// Every append was fsynced, so the journal is complete.
+	c.Close()
+
+	c2, err := Restore(restoreOpts(t, clk), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	gotRef, gotTard, err := c2.GroupStatus("job/pp")
+	if err != nil {
+		t.Fatalf("group lost in restore: %v", err)
+	}
+	if gotRef != wantRef || gotTard != wantTard {
+		t.Errorf("restored ref/tardiness = %v/%v, want %v/%v", gotRef, gotTard, wantRef, wantTard)
+	}
+	if !c2.GroupParked("job/pp") {
+		t.Error("recovered group not quarantined while its agent is away")
+	}
+	// The agent redials and re-announces: the group revives with its state.
+	if err := c2.RegisterGroup("a1", g); err != nil {
+		t.Fatalf("rejoin after restore: %v", err)
+	}
+	if c2.GroupParked("job/pp") {
+		t.Error("group still parked after rejoin")
+	}
+	if _, tard, _ := c2.GroupStatus("job/pp"); tard != wantTard {
+		t.Errorf("rejoin reset tardiness to %v, want %v", tard, wantTard)
+	}
+	// In-flight f1 resumes from its acked offset rather than restarting.
+	if _, err := c2.FlowEvent(wire.FlowEvent{GroupID: "job/pp", FlowID: "f1", Event: wire.EventResumed, Offset: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.groups["job/pp"].flows["f1"].remaining; got != 15 {
+		t.Errorf("resumed remaining = %v, want 15", got)
+	}
+}
+
+// A torn final record — the crash hit mid-append — loses only that record.
+func TestRestoreTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c, err := Restore(restoreOpts(t, clk), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterGroup("a1", pipelineGroup(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FlowEvent(wire.FlowEvent{GroupID: "job/pp", FlowID: "f0", Event: wire.EventReleased}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	wal := filepath.Join(dir, "wal")
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Restore(restoreOpts(t, clk), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	// The release record was torn off; the registration survives.
+	if _, _, err := c2.GroupStatus("job/pp"); err != nil {
+		t.Fatalf("group lost to a torn tail: %v", err)
+	}
+	if c2.groups["job/pp"].flows["f0"].released {
+		t.Error("torn release record replayed")
+	}
+}
+
+// A crash between the snapshot rename and the wal truncation leaves stale
+// records before the snapshot point; replay must not apply them twice.
+// The stale prefix includes the group's registration, so double-applying
+// would surface as a duplicate re-registration after replay.
+func TestRestoreSnapshotNewerThanTail(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c, err := Restore(restoreOpts(t, clk), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterGroup("a1", pipelineGroup(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FlowEvent(wire.FlowEvent{GroupID: "job/pp", FlowID: "f0", Event: wire.EventReleased}); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, "wal")
+	pre, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.snapshotLocked() // truncates the wal
+	c.mu.Unlock()
+	clk.advance(2 * time.Second)
+	if _, err := c.FlowEvent(wire.FlowEvent{GroupID: "job/pp", FlowID: "f0", Event: wire.EventFinished}); err != nil {
+		t.Fatal(err)
+	}
+	_, wantTard, _ := c.GroupStatus("job/pp")
+	c.Close()
+	// Reconstruct the torn-compaction layout: pre-snapshot records back in
+	// front of the post-snapshot tail.
+	post, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, append(append([]byte{}, pre...), post...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Restore(restoreOpts(t, clk), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if len(c2.groups) != 1 {
+		t.Fatalf("recovered %d groups, want 1", len(c2.groups))
+	}
+	if _, tard, _ := c2.GroupStatus("job/pp"); tard != wantTard {
+		t.Errorf("restored tardiness = %v, want %v", tard, wantTard)
+	}
+}
+
+// A duplicated register record in the tail (torn-truncation leftovers
+// without a covering snapshot) is skipped with a log line, not fatal.
+func TestRestoreDuplicateRegisterSkipped(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c, err := Restore(restoreOpts(t, clk), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterGroup("a1", pipelineGroup(t)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	wal := filepath.Join(dir, "wal")
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the whole log; the second pass re-registers every group.
+	// Reopening rewrites sequence numbers is not needed: Restore tolerates
+	// the duplicate by skipping the failing record.
+	if err := os.WriteFile(wal, append(data, data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Restore(restoreOpts(t, clk), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if len(c2.groups) != 1 {
+		t.Errorf("recovered %d groups, want 1 (duplicate register skipped)", len(c2.groups))
+	}
+}
+
+// A rejoin landing exactly at the quarantine deadline beats eviction: the
+// timer decision is made against the coordinator clock, and a wall timer
+// firing before the configured window has elapsed on that clock re-arms
+// instead of evicting.
+func TestQuarantineRejoinAtDeadline(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(10, "w1", "w2", "w3")
+	c, err := New(Options{
+		Net: net, Scheduler: sched.EchelonMADD{Backfill: true},
+		QuarantineTimeout: 10 * time.Second, Clock: clk.now, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pipelineGroup(t)
+	if err := c.RegisterGroup("a1", g); err != nil {
+		t.Fatal(err)
+	}
+	c.dropSession(&session{agent: "a1"})
+	if !c.GroupParked("job/pp") {
+		t.Fatal("group not parked")
+	}
+	gen := c.groups["job/pp"].parkGen
+
+	// The wall timer fires while the coordinator clock has not moved (the
+	// extreme form of the same-tick race): must re-arm, not evict.
+	c.evictIfStillParked("job/pp", gen)
+	if _, _, err := c.GroupStatus("job/pp"); err != nil {
+		t.Fatal("evicted before the quarantine window elapsed on the coordinator clock")
+	}
+
+	// Rejoin lands exactly at the deadline; the pending timer then fires.
+	clk.advance(10 * time.Second)
+	if err := c.RegisterGroup("a1", g); err != nil {
+		t.Fatalf("rejoin at deadline: %v", err)
+	}
+	c.evictIfStillParked("job/pp", gen)
+	if _, _, err := c.GroupStatus("job/pp"); err != nil {
+		t.Error("stale timer evicted a group that rejoined at the deadline")
+	}
+	if c.GroupParked("job/pp") {
+		t.Error("group still parked after deadline rejoin")
+	}
+
+	// Round two, no rejoin: once the window has truly elapsed, evict.
+	c.dropSession(&session{agent: "a1"})
+	gen = c.groups["job/pp"].parkGen
+	clk.advance(10*time.Second + time.Millisecond)
+	c.evictIfStillParked("job/pp", gen)
+	if _, _, err := c.GroupStatus("job/pp"); err == nil {
+		t.Error("expired quarantine did not evict")
+	}
+}

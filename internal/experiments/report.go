@@ -107,5 +107,6 @@ func All() []Experiment {
 		{"e10", "Extended: failure injection (link degradation)", ExtDegradedLink},
 		{"e11", "Extended: two-tier fabric, rack oversubscription", ExtRackOversubscription},
 		{"e12", "Extended: chaos replay of a canned fault schedule", ExtChaos},
+		{"e13", "Extended: coordinator crash recovery from the journal", ExtCrashRecovery},
 	}
 }

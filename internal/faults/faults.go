@@ -51,6 +51,13 @@ const (
 	Partition Kind = "partition"
 	// PartitionHeal restores every host in Hosts to baseline.
 	PartitionHeal Kind = "partition_heal"
+	// CoordinatorCrash kills the coordinator process: control-plane state
+	// survives only through its journal. The simulator has no control
+	// plane, so the sim driver treats it as a no-op.
+	CoordinatorCrash Kind = "coordinator_crash"
+	// CoordinatorRestart brings the coordinator back, recovering from its
+	// journal (coordinator.Restore) and awaiting agent re-adoption.
+	CoordinatorRestart Kind = "coordinator_restart"
 )
 
 // Event is one timed fault. Which fields matter depends on Kind; Validate
@@ -107,6 +114,8 @@ func (e Event) Validate() error {
 		if len(e.Hosts) == 0 {
 			return fmt.Errorf("faults: %s needs at least one host", e.Kind)
 		}
+	case CoordinatorCrash, CoordinatorRestart:
+		// Target-free: there is exactly one coordinator.
 	default:
 		return fmt.Errorf("faults: unknown event kind %q", e.Kind)
 	}

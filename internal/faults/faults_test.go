@@ -285,8 +285,52 @@ func TestReplayNilHooksSkip(t *testing.T) {
 	sched := &Schedule{Events: []Event{
 		{At: 0, Kind: AgentCrash, Agent: "a1"},
 		{At: 0, Kind: HostStraggle, Host: "s0", Factor: 2},
+		{At: 0, Kind: CoordinatorCrash},
+		{At: 0, Kind: CoordinatorRestart},
 	}}
 	if err := Replay(context.Background(), sched, LiveActions{}, ReplayOptions{TimeScale: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Coordinator crash/restart events validate without a target, drive the
+// live hooks in order, and compile to nothing in the simulator (which has
+// no control plane to lose).
+func TestCoordinatorCrashEvents(t *testing.T) {
+	sched := &Schedule{Events: []Event{
+		{At: 1, Kind: CoordinatorCrash},
+		{At: 2, Kind: CoordinatorRestart},
+	}}
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var calls []string
+	actions := LiveActions{
+		CrashCoordinator:   func() error { calls = append(calls, "crash"); return nil },
+		RestartCoordinator: func() error { calls = append(calls, "restart"); return nil },
+	}
+	if err := Replay(context.Background(), sched, actions, ReplayOptions{TimeScale: 0.001, Logf: t.Logf}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(calls, []string{"crash", "restart"}) {
+		t.Errorf("hook order = %v, want [crash restart]", calls)
+	}
+
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(6, "s0")
+	caps, dils, err := CompileSim(sched, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps) != 0 || len(dils) != 0 {
+		t.Errorf("sim lowering emitted %d capacity / %d dilation changes, want none", len(caps), len(dils))
+	}
+	// The JSON wire form round-trips like every other kind.
+	data, err := json.Marshal(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(data); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -28,6 +28,13 @@ type LiveActions struct {
 	// Straggle dilates compute on a host (optional; most live harnesses
 	// have no compute to slow down).
 	Straggle func(host string, factor float64) error
+	// CrashCoordinator kills the coordinator (drop the instance, cancel
+	// its Serve context — the harness decides; the journal is the only
+	// state that survives).
+	CrashCoordinator func() error
+	// RestartCoordinator brings the coordinator back, typically via
+	// coordinator.Restore on the same journal directory.
+	RestartCoordinator func() error
 }
 
 // ReplayOptions tune a live replay.
@@ -148,6 +155,18 @@ func Replay(ctx context.Context, sched *Schedule, actions LiveActions, opts Repl
 				logf("faults: skip agent_restart of %s (no Restart hook)", e.Agent)
 			} else {
 				err = actions.Restart(e.Agent)
+			}
+		case CoordinatorCrash:
+			if actions.CrashCoordinator == nil {
+				logf("faults: skip coordinator_crash (no CrashCoordinator hook)")
+			} else {
+				err = actions.CrashCoordinator()
+			}
+		case CoordinatorRestart:
+			if actions.RestartCoordinator == nil {
+				logf("faults: skip coordinator_restart (no RestartCoordinator hook)")
+			} else {
+				err = actions.RestartCoordinator()
 			}
 		case Partition:
 			for _, h := range e.Hosts {

@@ -46,6 +46,10 @@ func outageChange(at unit.Time, host string, b baseline) sim.CapacityChange {
 //	                         modelled on Event.Host as NIC down / NIC up
 //	partition             -> NIC down for every host in Hosts
 //	partition_heal        -> baseline restore for every host in Hosts
+//	coordinator_crash/
+//	coordinator_restart   -> no-op: the simulator schedules centrally with
+//	                         no control plane to lose, so a coordinator
+//	                         outage is invisible to it
 func CompileSim(sched *Schedule, net *fabric.Network) ([]sim.CapacityChange, []sim.DilationChange, error) {
 	if sched.Empty() {
 		return nil, nil, nil
@@ -127,6 +131,8 @@ func CompileSim(sched *Schedule, net *fabric.Network) ([]sim.CapacityChange, []s
 				}
 				caps = append(caps, sim.CapacityChange{At: e.At, Host: h, Egress: b.egress, Ingress: b.ingress})
 			}
+		case CoordinatorCrash, CoordinatorRestart:
+			// The simulator has no control plane; see the kind mapping.
 		}
 	}
 	return caps, dils, nil

@@ -1,0 +1,293 @@
+// Package journal gives the Coordinator durable control-plane state: a
+// length-prefixed, CRC-checked write-ahead log plus periodic snapshots, laid
+// out so that a crash at any instant — mid-append, mid-snapshot, between
+// snapshot and log truncation — loses at most the record being written.
+//
+// A journal directory holds two files:
+//
+//	wal       append-only records, fsynced per append
+//	snapshot  the newest compaction, written atomically (tmp + rename)
+//
+// Every record (in either file) is framed as
+//
+//	[4-byte big-endian payload length][4-byte CRC-32 (IEEE)][8-byte sequence][payload]
+//
+// where the CRC covers the sequence and payload. Sequence numbers increase
+// by one per append; the snapshot records the sequence it covers, so
+// recovery is "load snapshot, then replay wal records with a later
+// sequence". A wal that still contains records at or before the snapshot's
+// sequence (a crash between snapshot rename and wal truncation) replays
+// cleanly: the stale prefix is skipped. A torn final record (a crash
+// mid-append) is detected by its short frame or CRC mismatch and dropped;
+// anything before it is intact by construction.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+const (
+	walName  = "wal"
+	snapName = "snapshot"
+
+	// MaxRecord bounds a single payload so a corrupt length prefix cannot
+	// force an unbounded allocation during recovery.
+	MaxRecord = 64 << 20
+
+	headerSize = 4 + 4 + 8 // length + crc + seq
+)
+
+// Journal is an open journal directory. Append and Snapshot are not safe
+// for concurrent use; the Coordinator serializes them under its state lock
+// so the log order equals the state-mutation order.
+type Journal struct {
+	dir string
+	wal *os.File
+	seq uint64 // sequence of the last record written (snapshot or wal)
+}
+
+// Open creates the directory if needed, scans any existing state to find
+// the last sequence number, and opens the wal for appending.
+func Open(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir}
+	if snap, seq, err := readSnapshotFile(filepath.Join(dir, snapName)); err != nil {
+		return nil, err
+	} else if snap != nil {
+		j.seq = seq
+	}
+	// Scan the wal tail for the true last sequence (it may run past the
+	// snapshot) and note where intact records end so a torn tail is
+	// overwritten by the next append instead of corrupting the frame stream.
+	end := int64(0)
+	if f, err := os.Open(filepath.Join(dir, walName)); err == nil {
+		for {
+			rec, n, err := readRecord(f)
+			if err != nil {
+				break // torn or absent tail: intact prefix ends here
+			}
+			end += n
+			if rec.seq > j.seq {
+				j.seq = rec.seq
+			}
+		}
+		f.Close()
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := wal.Truncate(end); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("journal: drop torn tail: %w", err)
+	}
+	if _, err := wal.Seek(end, io.SeekStart); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.wal = wal
+	return j, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Seq returns the sequence number of the last record written.
+func (j *Journal) Seq() uint64 { return j.seq }
+
+// Append writes one record to the wal and syncs it to stable storage.
+func (j *Journal) Append(payload []byte) error {
+	if j.wal == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("journal: record of %d bytes exceeds limit", len(payload))
+	}
+	if err := writeRecord(j.wal, j.seq+1, payload); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.wal.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	j.seq++
+	return nil
+}
+
+// Snapshot atomically replaces the snapshot file with the given payload,
+// stamped with the current sequence, then truncates the wal: every record
+// the snapshot covers is now redundant. A crash between the rename and the
+// truncation only leaves stale wal records, which recovery skips by
+// sequence.
+func (j *Journal) Snapshot(payload []byte) error {
+	if j.wal == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("journal: snapshot of %d bytes exceeds limit", len(payload))
+	}
+	tmp := filepath.Join(j.dir, snapName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := writeRecord(f, j.seq, payload); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := j.wal.Truncate(0); err != nil {
+		return fmt.Errorf("journal: truncate wal: %w", err)
+	}
+	if _, err := j.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return j.wal.Sync()
+}
+
+// Close releases the wal file handle.
+func (j *Journal) Close() error {
+	if j.wal == nil {
+		return nil
+	}
+	err := j.wal.Close()
+	j.wal = nil
+	return err
+}
+
+// Recovery is the result of reading a journal directory: the newest
+// snapshot payload (nil if none was ever taken) and the wal records that
+// postdate it, oldest first. Torn reports whether a partial final wal
+// record was dropped.
+type Recovery struct {
+	Snapshot []byte
+	SnapSeq  uint64
+	Tail     [][]byte
+	Torn     bool
+}
+
+// Restore reads a journal directory without opening it for writing. A
+// missing or empty directory recovers to an empty state, not an error.
+func Restore(dir string) (*Recovery, error) {
+	r := &Recovery{}
+	snap, seq, err := readSnapshotFile(filepath.Join(dir, snapName))
+	if err != nil {
+		return nil, err
+	}
+	r.Snapshot, r.SnapSeq = snap, seq
+	f, err := os.Open(filepath.Join(dir, walName))
+	if errors.Is(err, os.ErrNotExist) {
+		return r, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	for {
+		rec, _, err := readRecord(f)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			// A short frame or CRC mismatch at the tail is a torn final
+			// record: everything before it is intact, so recovery keeps
+			// the prefix and drops the tear.
+			r.Torn = true
+			break
+		}
+		if rec.seq <= r.SnapSeq && r.Snapshot != nil {
+			continue // stale record already covered by the snapshot
+		}
+		r.Tail = append(r.Tail, rec.payload)
+	}
+	return r, nil
+}
+
+// readSnapshotFile loads and verifies the snapshot record, or returns
+// (nil, 0, nil) when no snapshot exists. A corrupt snapshot is an error —
+// unlike a torn wal tail it cannot be skipped, because everything it
+// covered was truncated away.
+func readSnapshotFile(path string) ([]byte, uint64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	rec, _, err := readRecord(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: corrupt snapshot %s: %w", path, err)
+	}
+	return rec.payload, rec.seq, nil
+}
+
+type record struct {
+	seq     uint64
+	payload []byte
+}
+
+// writeRecord frames one record onto w.
+func writeRecord(w io.Writer, seq uint64, payload []byte) error {
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint64(hdr[8:16], seq)
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[8:16])
+	crc.Write(payload)
+	binary.BigEndian.PutUint32(hdr[4:8], crc.Sum32())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readRecord parses one record, returning it and the bytes consumed.
+func readRecord(r io.Reader) (record, int64, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return record{}, 0, fmt.Errorf("journal: torn record header: %w", err)
+		}
+		return record{}, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > MaxRecord {
+		return record{}, 0, fmt.Errorf("journal: record of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return record{}, 0, fmt.Errorf("journal: torn record payload: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[8:16])
+	crc.Write(payload)
+	if crc.Sum32() != binary.BigEndian.Uint32(hdr[4:8]) {
+		return record{}, 0, fmt.Errorf("journal: record checksum mismatch")
+	}
+	return record{seq: binary.BigEndian.Uint64(hdr[8:16]), payload: payload}, headerSize + int64(n), nil
+}

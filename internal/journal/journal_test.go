@@ -1,0 +1,276 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func appendAll(t *testing.T, j *Journal, payloads ...string) {
+	t.Helper()
+	for _, p := range payloads {
+		if err := j.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func tailStrings(r *Recovery) []string {
+	out := make([]string, len(r.Tail))
+	for i, p := range r.Tail {
+		out[i] = string(p)
+	}
+	return out
+}
+
+func TestEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot != nil || len(r.Tail) != 0 || r.Torn {
+		t.Fatalf("empty dir recovered %+v", r)
+	}
+	// A missing directory also recovers empty.
+	r, err = Restore(filepath.Join(dir, "never-created"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot != nil || len(r.Tail) != 0 {
+		t.Fatalf("missing dir recovered %+v", r)
+	}
+}
+
+func TestAppendRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, "one", "two", "three")
+	if j.Seq() != 3 {
+		t.Errorf("seq = %d, want 3", j.Seq())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"one", "two", "three"}
+	if got := tailStrings(r); len(got) != 3 || got[0] != want[0] || got[2] != want[2] {
+		t.Errorf("tail = %v, want %v", got, want)
+	}
+	if r.Snapshot != nil || r.Torn {
+		t.Errorf("unexpected snapshot/torn: %+v", r)
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir)
+	appendAll(t, j, "a", "b")
+	j.Close()
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Seq() != 2 {
+		t.Fatalf("reopened seq = %d, want 2", j2.Seq())
+	}
+	appendAll(t, j2, "c")
+	j2.Close()
+	r, _ := Restore(dir)
+	if got := tailStrings(r); len(got) != 3 || got[2] != "c" {
+		t.Errorf("tail after reopen = %v", got)
+	}
+}
+
+func TestSnapshotCompacts(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir)
+	appendAll(t, j, "a", "b", "c")
+	if err := j.Snapshot([]byte("state@3")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, "d", "e")
+	j.Close()
+	r, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Snapshot) != "state@3" || r.SnapSeq != 3 {
+		t.Errorf("snapshot = %q @%d, want state@3 @3", r.Snapshot, r.SnapSeq)
+	}
+	if got := tailStrings(r); len(got) != 2 || got[0] != "d" || got[1] != "e" {
+		t.Errorf("tail = %v, want [d e]", got)
+	}
+}
+
+// A crash between the snapshot rename and the wal truncation leaves stale
+// records in the wal; recovery must skip them by sequence.
+func TestSnapshotNewerThanTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir)
+	appendAll(t, j, "a", "b", "c")
+	j.Close()
+	// Write the snapshot by hand covering seq 2, leaving all three wal
+	// records in place: records 1-2 are stale, record 3 is live tail.
+	f, err := os.Create(filepath.Join(dir, snapName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRecord(f, 2, []byte("state@2")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	r, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Snapshot) != "state@2" {
+		t.Fatalf("snapshot = %q", r.Snapshot)
+	}
+	if got := tailStrings(r); len(got) != 1 || got[0] != "c" {
+		t.Errorf("tail = %v, want [c] (stale records skipped)", got)
+	}
+	// A snapshot strictly newer than every wal record yields an empty tail.
+	f, _ = os.Create(filepath.Join(dir, snapName))
+	writeRecord(f, 9, []byte("state@9"))
+	f.Close()
+	r, err = Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tail) != 0 {
+		t.Errorf("tail = %v, want empty when snapshot outruns the wal", tailStrings(r))
+	}
+	// Reopening for writing continues past the snapshot's sequence.
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Seq() != 9 {
+		t.Errorf("seq = %d, want 9 (snapshot sequence wins)", j2.Seq())
+	}
+}
+
+// A torn final record — a crash mid-append — is dropped; the intact prefix
+// survives, and a reopened journal overwrites the tear.
+func TestTornFinalRecord(t *testing.T) {
+	for _, cut := range []int{1, headerSize - 1, headerSize + 1} {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			j, _ := Open(dir)
+			appendAll(t, j, "alpha", "beta", "gamma")
+			j.Close()
+			path := filepath.Join(dir, walName)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := len(data)
+			if err := os.WriteFile(path, data[:full-cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			r, err := Restore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Torn {
+				t.Error("torn tail not reported")
+			}
+			if got := tailStrings(r); len(got) != 2 || got[1] != "beta" {
+				t.Errorf("tail = %v, want intact prefix [alpha beta]", got)
+			}
+			// Reopen and append: the torn bytes are overwritten, and a
+			// subsequent restore sees a clean log again.
+			j2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j2.Seq() != 2 {
+				t.Errorf("seq after tear = %d, want 2", j2.Seq())
+			}
+			appendAll(t, j2, "delta")
+			j2.Close()
+			r, _ = Restore(dir)
+			if r.Torn {
+				t.Error("tear survived a reopen+append")
+			}
+			if got := tailStrings(r); len(got) != 3 || got[2] != "delta" {
+				t.Errorf("tail = %v, want [alpha beta delta]", got)
+			}
+		})
+	}
+}
+
+// Flipping a payload byte fails the CRC; recovery stops at the corruption.
+func TestCorruptRecordDetected(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir)
+	appendAll(t, j, "good", "soon-corrupt")
+	j.Close()
+	path := filepath.Join(dir, walName)
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	r, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Torn || len(r.Tail) != 1 || string(r.Tail[0]) != "good" {
+		t.Errorf("recovery = torn=%v tail=%v, want torn with [good]", r.Torn, tailStrings(r))
+	}
+}
+
+// A corrupt snapshot is unrecoverable (its history was truncated away) and
+// must be a loud error, not a silent empty state.
+func TestCorruptSnapshotErrors(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir)
+	appendAll(t, j, "a")
+	if err := j.Snapshot([]byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	path := filepath.Join(dir, snapName)
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	if _, err := Restore(dir); err == nil {
+		t.Error("corrupt snapshot restored without error")
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("corrupt snapshot opened without error")
+	}
+}
+
+// An oversize length prefix is rejected without allocating the claimed size.
+func TestOversizeRecordRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeRecord(&buf, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[0], data[1], data[2], data[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := readRecord(bytes.NewReader(data)); err == nil {
+		t.Error("oversize record accepted")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, _ := Open(t.TempDir())
+	j.Close()
+	if err := j.Append([]byte("x")); err == nil {
+		t.Error("append after close succeeded")
+	}
+	if err := j.Snapshot([]byte("x")); err == nil {
+		t.Error("snapshot after close succeeded")
+	}
+}

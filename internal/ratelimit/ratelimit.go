@@ -103,6 +103,16 @@ func (b *Bucket) tryTake(n float64) (time.Duration, bool) {
 	return time.Duration(need * float64(time.Second)), false
 }
 
+// Allow consumes n tokens if they are immediately available and reports
+// whether it did — the non-blocking admission-control variant of Wait.
+func (b *Bucket) Allow(n float64) bool {
+	if n <= 0 {
+		return true
+	}
+	_, ok := b.tryTake(n)
+	return ok
+}
+
 // Wait blocks until n tokens are consumed, the context is cancelled, or n
 // exceeds the burst (an error: it could never be satisfied).
 func (b *Bucket) Wait(ctx context.Context, n float64) error {

@@ -57,6 +57,27 @@ func TestTryTakeAndRefill(t *testing.T) {
 	}
 }
 
+func TestAllow(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b, err := newBucketAt(1, 2, clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Allow(0) {
+		t.Error("zero-token request refused")
+	}
+	if !b.Allow(1) || !b.Allow(1) {
+		t.Error("burst not granted")
+	}
+	if b.Allow(1) {
+		t.Error("drained bucket granted without waiting")
+	}
+	clk.advance(time.Second)
+	if !b.Allow(1) {
+		t.Error("refilled token refused")
+	}
+}
+
 func TestRefillCapsAtBurst(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(0, 0)}
 	b, _ := newBucketAt(100, 3, clk.now)

@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"unicode/utf8"
+
+	"echelonflow/internal/unit"
+)
+
+// frame wraps a body in the codec's length prefix for seed corpora.
+func frame(body []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	return append(hdr[:], body...)
+}
+
+// FuzzRecv feeds arbitrary byte streams into Codec.Recv: it must never
+// panic, never allocate beyond the frame limit for an unbacked length
+// prefix, and every message it does accept must validate.
+func FuzzRecv(f *testing.F) {
+	// Valid frames.
+	for _, m := range []Message{
+		{Type: TypeHeartbeat},
+		{Type: TypeHello, Hello: &Hello{Agent: "a1", Version: ProtocolVersion}},
+		{Type: TypeFlowEvent, FlowEvent: &FlowEvent{GroupID: "g", FlowID: "f", Event: EventResumed, Offset: 7}},
+		{Type: TypeAllocation, Allocation: &Allocation{Rates: map[string]unit.Rate{"f": 1}}},
+	} {
+		body, err := json.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame(body))
+	}
+	// Truncated frame: header promises more than the stream holds.
+	f.Add(frame([]byte(`{"type":"heartbeat"}`))[:12])
+	// Oversize length prefix.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, '{', '}'})
+	// Payload/type mismatches and junk bodies.
+	f.Add(frame([]byte(`{"type":"hello"}`)))
+	f.Add(frame([]byte(`{"type":"flow_event","flow_event":{"event":"exploded"}}`)))
+	f.Add(frame([]byte(`{"type":"flow_event","flow_event":{"event":"resumed","offset":-3}}`)))
+	f.Add(frame([]byte(`not json at all`)))
+	f.Add(frame(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewCodec(readOnly{bytes.NewReader(data)})
+		for i := 0; i < 64; i++ {
+			m, err := c.Recv()
+			if err != nil {
+				return // any framed garbage must fail cleanly, not panic
+			}
+			if verr := m.Validate(); verr != nil {
+				t.Fatalf("Recv accepted an invalid message %+v: %v", m, verr)
+			}
+			// Accepted register payloads must also survive group
+			// reconstruction without panicking (arrangement specs come off
+			// the wire too).
+			if m.Type == TypeRegister {
+				_, _ = m.Register.Group()
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip builds syntactically valid messages from fuzzed fields and
+// checks Send/Recv is lossless: what one peer frames, the other decodes
+// bit-for-bit.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add("hello", "a1", 2, "g", "f", "released", 0.0, 1.5)
+	f.Add("flow_event", "", 0, "job/pp", "f0", "resumed", 4096.0, 0.0)
+	f.Add("unregister", "", 0, "job/pp", "", "", 0.0, 0.0)
+	f.Add("allocation", "", 0, "", "flow-x", "", 0.0, 123.25)
+	f.Add("heartbeat", "", 0, "", "", "", 0.0, 0.0)
+	f.Add("error", "", 0, "boom", "", "", 0.0, 0.0)
+
+	f.Fuzz(func(t *testing.T, typ, agent string, version int, groupID, flowID, event string, offset, rate float64) {
+		// encoding/json coerces invalid UTF-8 to U+FFFD, which is lossy by
+		// design, not a framing defect — only fuzz representable strings.
+		for _, s := range []string{typ, agent, groupID, flowID, event} {
+			if !utf8.ValidString(s) {
+				t.Skip()
+			}
+		}
+		// JSON has no encoding for NaN or the infinities.
+		for _, v := range []float64{offset, rate} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		m := Message{Type: typ}
+		switch typ {
+		case TypeHello:
+			m.Hello = &Hello{Agent: agent, Version: version}
+		case TypeUnregister:
+			m.Unregister = &Unregister{GroupID: groupID}
+		case TypeFlowEvent:
+			m.FlowEvent = &FlowEvent{GroupID: groupID, FlowID: flowID, Event: event, Offset: unit.Bytes(offset)}
+		case TypeAllocation:
+			m.Allocation = &Allocation{Rates: map[string]unit.Rate{flowID: unit.Rate(rate)}}
+		case TypeError:
+			m.Error = &Error{Msg: groupID}
+		case TypeHeartbeat:
+		default:
+			// Unknown types must be rejected by Send, never framed.
+			var buf bytes.Buffer
+			if err := NewCodec(rw{&buf}).Send(m); err == nil {
+				t.Fatalf("Send accepted unknown type %q", typ)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		c := NewCodec(rw{&buf})
+		if err := c.Send(m); err != nil {
+			// Send rejects invalid field combinations (e.g. a bad flow
+			// event); Recv must agree if we frame the body ourselves.
+			if m.Validate() == nil {
+				t.Fatalf("Send rejected a valid message: %v", err)
+			}
+			return
+		}
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatalf("Recv failed on Send output: %v", err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("round trip mismatch:\nsent %+v\ngot  %+v", m, got)
+		}
+	})
+}
+
+// rw adapts a single buffer into the codec's ReadWriter.
+type rw struct{ *bytes.Buffer }
+
+// readOnly exposes a reader as a ReadWriter whose writes are discarded.
+type readOnly struct{ *bytes.Reader }
+
+func (readOnly) Write(p []byte) (int, error) { return len(p), nil }

@@ -7,6 +7,7 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -231,12 +232,16 @@ func (c *Codec) Recv() (Message, error) {
 	if n > MaxFrame {
 		return Message{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(c.r, body); err != nil {
+	// Grow the body as bytes actually arrive rather than trusting the
+	// length prefix: a peer claiming a near-MaxFrame body and then stalling
+	// (or hanging up) must not cost a 16 MiB allocation per connection.
+	var buf bytes.Buffer
+	buf.Grow(int(min(n, 64<<10)))
+	if _, err := io.CopyN(&buf, c.r, int64(n)); err != nil {
 		return Message{}, fmt.Errorf("wire: read body: %w", err)
 	}
 	var m Message
-	if err := json.Unmarshal(body, &m); err != nil {
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
 		return Message{}, fmt.Errorf("wire: unmarshal: %w", err)
 	}
 	if err := m.Validate(); err != nil {
