@@ -172,3 +172,7 @@ func BenchmarkExtended_ChaosReplay(b *testing.B) {
 func BenchmarkExtended_CrashRecovery(b *testing.B) {
 	runExperiment(b, experiments.ExtCrashRecovery)
 }
+
+func BenchmarkExtended_CheckHarness(b *testing.B) {
+	runExperiment(b, experiments.ExtCheckHarness)
+}

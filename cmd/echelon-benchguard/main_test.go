@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: echelonflow
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSchedule_64Hosts4Jobs-4      	       2	  30212345 ns/op	     124.5 allocs/schedcall	  56141 ns/schedcall	  69.00 schedcalls/run
+BenchmarkSchedule_256Hosts8Jobs-4     	       2	 120212345 ns/op	     241.9 allocs/schedcall	 178752 ns/schedcall	  69.00 schedcalls/run
+BenchmarkSchedule_256Hosts8Jobs_NoCache-4 	   2	 150212345 ns/op	     238.8 allocs/schedcall	 230846 ns/schedcall	  69.00 schedcalls/run
+PASS
+ok  	echelonflow	4.2s
+`
+
+const sampleBaseline = `{
+  "suite": "BenchmarkSchedule_*",
+  "results": {
+    "64hosts_4jobs": {
+      "seed": {"ns_per_schedcall": 126192, "allocs_per_schedcall": 1827},
+      "pooled_cached": {"ns_per_schedcall": 56141, "allocs_per_schedcall": 124.5},
+      "speedup": "2.2x"
+    },
+    "256hosts_8jobs": {
+      "pooled_cached": {"ns_per_schedcall": 178752, "allocs_per_schedcall": 241.9},
+      "pooled_nocache": {"ns_per_schedcall": 230846, "allocs_per_schedcall": 238.8}
+    }
+  }
+}`
+
+func loadBaseline(t *testing.T) *baseline {
+	t.Helper()
+	var b baseline
+	if err := json.Unmarshal([]byte(sampleBaseline), &b); err != nil {
+		t.Fatal(err)
+	}
+	return &b
+}
+
+func TestParseBench(t *testing.T) {
+	meas, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meas) != 3 {
+		t.Fatalf("parsed %d measurements, want 3: %+v", len(meas), meas)
+	}
+	want := []measurement{
+		{Key: "64hosts_4jobs", Variant: "pooled_cached", metrics: metrics{NsPerCall: 56141, AllocsPerCall: 124.5}},
+		{Key: "256hosts_8jobs", Variant: "pooled_cached", metrics: metrics{NsPerCall: 178752, AllocsPerCall: 241.9}},
+		{Key: "256hosts_8jobs", Variant: "pooled_nocache", metrics: metrics{NsPerCall: 230846, AllocsPerCall: 238.8}},
+	}
+	for i, w := range want {
+		if meas[i] != w {
+			t.Errorf("measurement %d = %+v, want %+v", i, meas[i], w)
+		}
+	}
+}
+
+func TestCheckWithinThreshold(t *testing.T) {
+	meas, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, regressed := check(meas, loadBaseline(t), 1.25)
+	if regressed {
+		t.Errorf("baseline-equal measurements flagged as regression:\n%s", strings.Join(lines, "\n"))
+	}
+	// 3 measurements x 2 metrics.
+	if len(lines) != 6 {
+		t.Errorf("got %d comparison lines, want 6", len(lines))
+	}
+}
+
+func TestCheckFlagsRegression(t *testing.T) {
+	meas := []measurement{{
+		Key: "64hosts_4jobs", Variant: "pooled_cached",
+		metrics: metrics{NsPerCall: 56141 * 1.5, AllocsPerCall: 124.5},
+	}}
+	lines, regressed := check(meas, loadBaseline(t), 1.25)
+	if !regressed {
+		t.Errorf("1.5x slowdown not flagged:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCheckAllocRegression(t *testing.T) {
+	meas := []measurement{{
+		Key: "64hosts_4jobs", Variant: "pooled_cached",
+		metrics: metrics{NsPerCall: 56141, AllocsPerCall: 124.5 * 2},
+	}}
+	if _, regressed := check(meas, loadBaseline(t), 1.25); !regressed {
+		t.Error("2x allocation growth not flagged")
+	}
+}
+
+func TestCheckSkipsUnknownKeys(t *testing.T) {
+	meas := []measurement{{Key: "9hosts_9jobs", Variant: "pooled_cached"}}
+	lines, regressed := check(meas, loadBaseline(t), 1.25)
+	if regressed {
+		t.Error("missing baseline entry treated as regression")
+	}
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "SKIP") {
+		t.Errorf("want one SKIP line, got %v", lines)
+	}
+}
+
+func TestParseBenchIgnoresForeignLines(t *testing.T) {
+	meas, err := parseBench(strings.NewReader("BenchmarkOther-4 1 5 ns/op\nrandom noise\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meas) != 0 {
+		t.Errorf("parsed foreign benchmarks: %+v", meas)
+	}
+}
+
+func TestParseBenchMissingMetricErrors(t *testing.T) {
+	_, err := parseBench(strings.NewReader("BenchmarkSchedule_64Hosts4Jobs-4 2 30212345 ns/op\n"))
+	if err == nil {
+		t.Error("benchmark line without schedcall metrics accepted")
+	}
+}

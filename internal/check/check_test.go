@@ -1,0 +1,221 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"echelonflow/internal/sched"
+	"echelonflow/internal/unit"
+)
+
+// quickSeeds is the fixed tier-1 seed set: small enough to keep the test
+// fast, large enough to cover every generator mode (jobs, ad-hoc DAGs,
+// faults, interval cadences) several times over.
+var quickSeeds = []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20}
+
+// TestCheck_Quick runs every oracle — invariant and differential — over the
+// fixed seed set and requires zero violations.
+func TestCheck_Quick(t *testing.T) {
+	for _, seed := range quickSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			out := RunSeed(seed, Config{})
+			for _, v := range out.Violations {
+				t.Errorf("seed %d: %s: %s", seed, v.Oracle, v.Detail)
+			}
+			if out.Flows == 0 {
+				t.Errorf("seed %d generated no flows", seed)
+			}
+		})
+	}
+}
+
+// TestCheck_CachedVsCold exercises the PlanCache differential oracle alone:
+// warm-cache and no-cache EchelonMADD must produce identical runs.
+func TestCheck_CachedVsCold(t *testing.T) {
+	for _, seed := range quickSeeds[:8] {
+		out := RunSeed(seed, Config{Oracles: []string{OracleCache}})
+		for _, v := range out.Violations {
+			t.Errorf("seed %d: %s: %s", seed, v.Oracle, v.Detail)
+		}
+	}
+}
+
+// TestCheck_SimVsLive exercises the sim-vs-live differential oracle alone:
+// replaying the simulated flow events against a live coordinator must
+// reproduce references, tardiness and the initial allocation.
+func TestCheck_SimVsLive(t *testing.T) {
+	for _, seed := range quickSeeds[:8] {
+		out := RunSeed(seed, Config{Oracles: []string{OracleLive}})
+		for _, v := range out.Violations {
+			t.Errorf("seed %d: %s: %s", seed, v.Oracle, v.Detail)
+		}
+	}
+}
+
+// TestCheck_JournalRestore exercises the crash/Restore differential oracle
+// alone: a coordinator killed mid-replay and rebuilt from its journal must
+// match the uninterrupted run bit-for-bit.
+func TestCheck_JournalRestore(t *testing.T) {
+	for _, seed := range quickSeeds[:8] {
+		out := RunSeed(seed, Config{Oracles: []string{OracleJournal}})
+		for _, v := range out.Violations {
+			t.Errorf("seed %d: %s: %s", seed, v.Oracle, v.Detail)
+		}
+	}
+}
+
+// TestCheck_Deterministic pins the harness's reproducibility contract: the
+// same seed yields byte-identical scenarios and deep-equal outcomes.
+func TestCheck_Deterministic(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 13} {
+		a, err := Generate(seed).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(seed).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("seed %d: Generate is not deterministic", seed)
+		}
+		o1 := RunSeed(seed, Config{Oracles: ResultOracles()})
+		o2 := RunSeed(seed, Config{Oracles: ResultOracles()})
+		if !reflect.DeepEqual(o1, o2) {
+			t.Errorf("seed %d: Run is not deterministic: %+v vs %+v", seed, o1, o2)
+		}
+	}
+}
+
+// TestCheck_ScenarioRoundTrip pins the JSON repro format: marshal → parse →
+// marshal is the identity.
+func TestCheck_ScenarioRoundTrip(t *testing.T) {
+	for _, seed := range quickSeeds {
+		sc := Generate(seed)
+		data, err := sc.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		again, err := back.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Errorf("seed %d: round trip not identity:\n%s\nvs\n%s", seed, data, again)
+		}
+	}
+}
+
+// brokenScenario is a hand-written scenario with several flows, used to
+// prove the harness catches a deliberately infeasible scheduler.
+func brokenScenario() *Scenario {
+	sc := &Scenario{
+		Hosts: []HostSpec{
+			{Name: "a", Egress: 2, Ingress: 2},
+			{Name: "b", Egress: 2, Ingress: 2},
+			{Name: "c", Egress: 2, Ingress: 2},
+		},
+	}
+	for i := 0; i < 6; i++ {
+		src, dst := "a", "b"
+		if i%2 == 1 {
+			src, dst = "b", "c"
+		}
+		sc.Nodes = append(sc.Nodes, NodeSpec{
+			ID: fmt.Sprintf("f%d", i), Kind: "comm", Src: src, Dst: dst, Size: unit.Bytes(1 + i),
+		})
+	}
+	return sc
+}
+
+// TestCheck_ShrinkerFindsMinimalRepro breaks feasibility on purpose — an
+// Overdrive scheduler that triples every allocated rate — and requires the
+// shrinker to reduce the failing scenario to at most 3 flows (the
+// acceptance bound; the true minimum here is a single flow).
+func TestCheck_ShrinkerFindsMinimalRepro(t *testing.T) {
+	cfg := Config{
+		Oracles:   []string{OracleFeasible},
+		Scheduler: func() sched.Scheduler { return Overdrive{Inner: sched.Fair{}, Factor: 3} },
+	}
+	sc := brokenScenario()
+	out := Run(sc, cfg)
+	if !out.Failed() {
+		t.Fatal("overdriven scheduler did not trip the feasibility oracle")
+	}
+	min := Shrink(sc, cfg, 0)
+	mo := Run(min, cfg)
+	if !mo.Failed() {
+		t.Fatal("shrunk scenario no longer fails")
+	}
+	if mo.Violations[0].Oracle != OracleFeasible {
+		t.Fatalf("shrunk scenario fails a different oracle: %s", mo.Violations[0].Oracle)
+	}
+	if mo.Flows > 3 {
+		t.Errorf("shrunk repro has %d flows, want <= 3", mo.Flows)
+	}
+
+	dir := t.TempDir()
+	path, err := WriteRepro(dir, 42, min, mo.Violations[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseRepro(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := Run(back, cfg)
+	if !ro.Failed() {
+		t.Error("reparsed repro no longer fails")
+	}
+	if filepath.Base(path) != "seed-42.json" {
+		t.Errorf("unexpected repro name %s", path)
+	}
+}
+
+// TestCheck_OracleCatchesOversubscription drives the full generated corpus
+// through the broken scheduler: the feasibility oracle must fire for the
+// generated scenarios too, not just hand-written ones.
+func TestCheck_OracleCatchesOversubscription(t *testing.T) {
+	cfg := Config{
+		Oracles:   []string{OracleFeasible},
+		Scheduler: func() sched.Scheduler { return Overdrive{Inner: sched.Fair{}, Factor: 3} },
+	}
+	fired := 0
+	for _, seed := range quickSeeds[:6] {
+		if RunSeed(seed, cfg).Failed() {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Error("feasibility oracle never fired under an oversubscribing scheduler")
+	}
+}
+
+// TestCheck_ParseRejectsGarbage pins strict scenario parsing.
+func TestCheck_ParseRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{"hosts":[]}`,
+		`{"hosts":[{"name":"a","egress":1,"ingress":1}],"bogus":1}`,
+		`{"hosts":[{"name":"a","egress":0,"ingress":1}]}`,
+		`{"hosts":[{"name":"a","egress":1,"ingress":1}],"nodes":[{"id":"x","kind":"comm","src":"a","dst":"zzz"}]}`,
+		`{"hosts":[{"name":"a","egress":1,"ingress":1}],"interval_only":true}`,
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c)); err == nil {
+			t.Errorf("Parse accepted invalid scenario %s", c)
+		}
+	}
+}

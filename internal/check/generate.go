@@ -1,0 +1,211 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"echelonflow/internal/faults"
+	"echelonflow/internal/unit"
+)
+
+// Generate draws a scenario from a single seed. The same seed always
+// yields the same scenario (math/rand with a fixed source), so a failing
+// seed alone reproduces a run. Scenarios are deliberately small — a few
+// hosts, one or two jobs, a handful of ad-hoc flows — because the harness
+// runs hundreds of them and the shrinker prefers starting close to
+// minimal.
+func Generate(seed uint64) *Scenario {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	sc := &Scenario{Seed: seed}
+
+	// Fabric: 3-6 hosts with uneven NIC capacities.
+	nHosts := 3 + rng.Intn(4)
+	names := make([]string, nHosts)
+	minCap := unit.Rate(0)
+	for i := 0; i < nHosts; i++ {
+		names[i] = fmt.Sprintf("h%d", i)
+		h := HostSpec{
+			Name:    names[i],
+			Egress:  unit.Rate(1 + 3*rng.Float64()),
+			Ingress: unit.Rate(1 + 3*rng.Float64()),
+		}
+		if c := h.Egress; minCap == 0 || c < minCap {
+			minCap = c
+		}
+		if c := h.Ingress; c < minCap {
+			minCap = c
+		}
+		sc.Hosts = append(sc.Hosts, h)
+	}
+
+	// Workload: jobs, ad-hoc nodes, or both.
+	mode := rng.Intn(3)
+	if mode != 1 {
+		nJobs := 1 + rng.Intn(2)
+		for j := 0; j < nJobs; j++ {
+			sc.Jobs = append(sc.Jobs, genJob(rng, fmt.Sprintf("j%d", j), names))
+		}
+	}
+	if mode != 0 {
+		genAdhoc(rng, sc, names)
+	}
+
+	// Faults: about half the scenarios degrade links or straggle hosts
+	// mid-run. Generate only draws recoverable incident pairs, so every
+	// port keeps a positive capacity.
+	if rng.Intn(2) == 0 {
+		fs, err := faults.Generate(faults.GenConfig{
+			Seed:      int64(seed) + 1,
+			Hosts:     names,
+			Horizon:   unit.Time(8 + 12*rng.Float64()),
+			Incidents: 1 + rng.Intn(3),
+			Baseline:  minCap,
+		})
+		if err == nil && !fs.Empty() {
+			sc.Faults = fs
+		}
+	}
+
+	// Cadence: mostly pure event-driven, sometimes interval-augmented,
+	// occasionally interval-only (the stale-rate regime of PR 1's bugfix).
+	if rng.Intn(4) == 0 {
+		sc.Interval = unit.Time(0.3 + rng.Float64())
+		sc.IntervalOnly = rng.Intn(2) == 0
+	}
+	return sc
+}
+
+// genJob draws one DDLT job over a random subset of hosts.
+func genJob(rng *rand.Rand, name string, hosts []string) JobSpec {
+	paradigms := []string{"dp", "ps", "pp", "1f1b", "tp", "fsdp"}
+	p := paradigms[rng.Intn(len(paradigms))]
+
+	// A shuffled host prefix becomes the worker set; "ps" reserves one
+	// extra host as the parameter server.
+	perm := rng.Perm(len(hosts))
+	maxWorkers := len(hosts)
+	if p == "ps" {
+		maxWorkers--
+	}
+	if maxWorkers > 3 {
+		maxWorkers = 3
+	}
+	nw := 2
+	if maxWorkers > 2 {
+		nw += rng.Intn(maxWorkers - 1)
+	}
+	workers := make([]string, nw)
+	for i := range workers {
+		workers[i] = hosts[perm[i]]
+	}
+
+	j := JobSpec{
+		Name:     name,
+		Paradigm: p,
+		Model: ModelSpec{
+			Layers: 2 + rng.Intn(3),
+			Params: unit.Bytes(0.5 + 2*rng.Float64()),
+			Acts:   unit.Bytes(0.3 + rng.Float64()),
+			Fwd:    unit.Time(0.1 + 0.4*rng.Float64()),
+			Bwd:    unit.Time(0.15 + 0.5*rng.Float64()),
+		},
+		Workers:    workers,
+		Iterations: 1 + rng.Intn(2),
+	}
+	switch p {
+	case "ps":
+		j.PS = hosts[perm[nw]]
+		j.AggTime = unit.Time(0.05 + 0.2*rng.Float64())
+		j.Buckets = rng.Intn(3)
+	case "dp":
+		j.Buckets = rng.Intn(3)
+	case "pp", "1f1b":
+		j.Micro = 2 + rng.Intn(3)
+		j.UpdateTime = unit.Time(0.05 + 0.2*rng.Float64())
+		// Pipelines partition the model into one stage per worker, which
+		// needs at least as many layers as workers.
+		if j.Model.Layers < nw {
+			j.Model.Layers = nw
+		}
+	case "fsdp":
+		j.Prefetch = rng.Intn(3)
+	}
+	if rng.Intn(3) == 0 {
+		j.Weight = 0.5 + 2*rng.Float64()
+	}
+	return j
+}
+
+// genAdhoc appends a random layered DAG of computes and grouped flows —
+// the shape the old sim property tests drew, now a scenario fragment.
+// Layered construction (edges only point to later layers) guarantees
+// acyclicity; ungrouped flows exercise the singleton-Coflow path.
+func genAdhoc(rng *rand.Rand, sc *Scenario, hosts []string) {
+	groupCount := 1 + rng.Intn(2)
+	for g := 0; g < groupCount; g++ {
+		spec := GroupSpec{Name: fmt.Sprintf("x/g%d", g)}
+		if rng.Intn(2) == 0 {
+			spec.Arrangement.Kind = "coflow"
+		} else {
+			spec.Arrangement.Kind = "pipeline"
+			spec.Arrangement.T = unit.Time(rng.Float64())
+		}
+		if rng.Intn(4) == 0 {
+			spec.Weight = 0.5 + rng.Float64()
+		}
+		sc.Groups = append(sc.Groups, spec)
+	}
+	layers := 2 + rng.Intn(3)
+	stagePer := make(map[string]int)
+	var prev []string
+	seq := 0
+	for l := 0; l < layers; l++ {
+		var cur []string
+		for c := 0; c < 1+rng.Intn(2); c++ {
+			n := NodeSpec{
+				ID:       fmt.Sprintf("x/c%d-%d", l, c),
+				Kind:     "compute",
+				Host:     hosts[rng.Intn(len(hosts))],
+				Duration: unit.Time(rng.Float64() * 1.5),
+				Seq:      seq,
+			}
+			seq++
+			n.Deps = genDeps(rng, prev)
+			sc.Nodes = append(sc.Nodes, n)
+			cur = append(cur, n.ID)
+		}
+		for f := 0; f < rng.Intn(3); f++ {
+			src := rng.Intn(len(hosts))
+			dst := (src + 1 + rng.Intn(len(hosts)-1)) % len(hosts)
+			n := NodeSpec{
+				ID:   fmt.Sprintf("x/f%d-%d", l, f),
+				Kind: "comm",
+				Src:  hosts[src], Dst: hosts[dst],
+				Size: unit.Bytes(rng.Float64() * 4),
+			}
+			if rng.Intn(2) == 0 {
+				n.Group = fmt.Sprintf("x/g%d", rng.Intn(groupCount))
+				n.Stage = stagePer[n.Group]
+				stagePer[n.Group]++
+			}
+			if rng.Intn(6) == 0 {
+				n.NotBefore = unit.Time(rng.Float64() * 2)
+			}
+			n.Deps = genDeps(rng, prev)
+			sc.Nodes = append(sc.Nodes, n)
+			cur = append(cur, n.ID)
+		}
+		prev = cur
+	}
+}
+
+// genDeps picks a random subset of the previous layer as dependencies.
+func genDeps(rng *rand.Rand, prev []string) []string {
+	var deps []string
+	for _, p := range prev {
+		if rng.Float64() < 0.4 {
+			deps = append(deps, p)
+		}
+	}
+	return deps
+}

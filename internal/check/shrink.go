@@ -1,0 +1,312 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/dag"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/unit"
+)
+
+// Shrink greedily minimizes a failing scenario while the same oracle keeps
+// firing, and returns the smallest reproducer found. The reduction order
+// is coarse to fine: drop whole jobs, drop fault events, cut iteration
+// counts, inline jobs into explicit nodes (so individual flows become
+// droppable), drop nodes, drop unused hosts, then halve flow sizes. Each
+// candidate costs one full check run; budget caps the total.
+func Shrink(sc *Scenario, cfg Config, budget int) *Scenario {
+	base := Run(sc, cfg)
+	if !base.Failed() {
+		return sc
+	}
+	oracle := base.Violations[0].Oracle
+	if budget <= 0 {
+		budget = 400
+	}
+	runs := 0
+	fails := func(cand *Scenario) bool {
+		if runs >= budget {
+			return false
+		}
+		runs++
+		out := Run(cand, cfg)
+		for _, v := range out.Violations {
+			if v.Oracle == oracle {
+				return true
+			}
+		}
+		return false
+	}
+
+	cur := sc.Clone()
+	cur.Seed = 0 // reductions detach the scenario from its generator seed
+	for {
+		shrunk := false
+		for _, cand := range candidates(cur) {
+			if runs >= budget {
+				return cur
+			}
+			if cand.Validate() != nil {
+				continue
+			}
+			if fails(cand) {
+				cur = cand
+				shrunk = true
+				break // restart from the coarsest reduction
+			}
+		}
+		if !shrunk {
+			return cur
+		}
+	}
+}
+
+// candidates enumerates one-step reductions of sc, coarsest first.
+func candidates(sc *Scenario) []*Scenario {
+	var out []*Scenario
+	for i := range sc.Jobs {
+		c := sc.Clone()
+		c.Jobs = append(c.Jobs[:i:i], c.Jobs[i+1:]...)
+		out = append(out, c)
+	}
+	if sc.Faults != nil {
+		for i := range sc.Faults.Events {
+			c := sc.Clone()
+			c.Faults.Events = append(c.Faults.Events[:i:i], c.Faults.Events[i+1:]...)
+			if len(c.Faults.Events) == 0 {
+				c.Faults = nil
+			}
+			out = append(out, c)
+		}
+	}
+	for i, j := range sc.Jobs {
+		if j.Iterations > 1 {
+			c := sc.Clone()
+			c.Jobs[i].Iterations = 1
+			out = append(out, c)
+		}
+		if j.Micro > 2 {
+			c := sc.Clone()
+			c.Jobs[i].Micro = 2
+			out = append(out, c)
+		}
+		if j.Model.Layers > 1 {
+			c := sc.Clone()
+			c.Jobs[i].Model.Layers = 1
+			out = append(out, c)
+		}
+	}
+	for i := range sc.Jobs {
+		if c := inlineJob(sc, i); c != nil {
+			out = append(out, c)
+		}
+	}
+	for i := range sc.Nodes {
+		out = append(out, dropNode(sc, i))
+	}
+	if c := dropUnusedHosts(sc); c != nil {
+		out = append(out, c)
+	}
+	if c := halveSizes(sc); c != nil {
+		out = append(out, c)
+	}
+	return out
+}
+
+// inlineJob lowers job i into explicit NodeSpecs/GroupSpecs, making its
+// individual flows reachable by dropNode. Jobs whose arrangements are not
+// serializable stay as jobs.
+func inlineJob(sc *Scenario, i int) *Scenario {
+	w, err := buildJob(sc.Jobs[i])
+	if err != nil {
+		return nil
+	}
+	c := sc.Clone()
+	job := c.Jobs[i]
+	c.Jobs = append(c.Jobs[:i:i], c.Jobs[i+1:]...)
+	for name, arr := range w.Arrangements {
+		spec, err := core.SpecOf(arr)
+		if err != nil {
+			return nil
+		}
+		c.Groups = append(c.Groups, GroupSpec{Name: name, Arrangement: spec, Weight: job.Weight})
+	}
+	// Keep GroupSpec order deterministic: Arrangements is a map.
+	sortGroupSpecs(c.Groups)
+	for _, n := range w.Graph.Nodes() {
+		ns := NodeSpec{
+			ID: n.ID, Host: n.Host, Duration: n.Duration,
+			Src: n.Src, Dst: n.Dst, Size: n.Size,
+			Group: n.Group, Stage: n.Stage, Seq: n.Seq, NotBefore: n.NotBefore,
+			Deps: append([]string(nil), w.Graph.Deps(n.ID)...),
+		}
+		if n.Kind == dag.Compute {
+			ns.Kind = "compute"
+		} else {
+			ns.Kind = "comm"
+		}
+		c.Nodes = append(c.Nodes, ns)
+	}
+	return c
+}
+
+func sortGroupSpecs(gs []GroupSpec) {
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && gs[j].Name < gs[j-1].Name; j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+}
+
+// dropNode removes node i and every dependency edge referencing it.
+func dropNode(sc *Scenario, i int) *Scenario {
+	c := sc.Clone()
+	id := c.Nodes[i].ID
+	c.Nodes = append(c.Nodes[:i:i], c.Nodes[i+1:]...)
+	for j := range c.Nodes {
+		var deps []string
+		for _, d := range c.Nodes[j].Deps {
+			if d != id {
+				deps = append(deps, d)
+			}
+		}
+		c.Nodes[j].Deps = deps
+	}
+	// Groups left without members are harmless (they never instantiate),
+	// but prune empty group specs for smaller repros.
+	used := make(map[string]bool)
+	for _, n := range c.Nodes {
+		if n.Group != "" {
+			used[n.Group] = true
+		}
+	}
+	var groups []GroupSpec
+	for _, g := range c.Groups {
+		if used[g.Name] {
+			groups = append(groups, g)
+		}
+	}
+	c.Groups = groups
+	return c
+}
+
+// dropUnusedHosts removes hosts nothing references, or nil if all are used.
+func dropUnusedHosts(sc *Scenario) *Scenario {
+	used := make(map[string]bool)
+	for _, j := range sc.Jobs {
+		for _, w := range j.Workers {
+			used[w] = true
+		}
+		if j.PS != "" {
+			used[j.PS] = true
+		}
+	}
+	for _, n := range sc.Nodes {
+		for _, h := range []string{n.Host, n.Src, n.Dst} {
+			if h != "" {
+				used[h] = true
+			}
+		}
+	}
+	if sc.Faults != nil {
+		for _, e := range sc.Faults.Events {
+			if e.Host != "" {
+				used[e.Host] = true
+			}
+		}
+	}
+	var hosts []HostSpec
+	for _, h := range sc.Hosts {
+		if used[h.Name] {
+			hosts = append(hosts, h)
+		}
+	}
+	if len(hosts) == len(sc.Hosts) || len(hosts) == 0 {
+		return nil
+	}
+	c := sc.Clone()
+	c.Hosts = hosts
+	return c
+}
+
+// halveSizes halves every ad-hoc flow size and compute duration.
+func halveSizes(sc *Scenario) *Scenario {
+	if len(sc.Nodes) == 0 {
+		return nil
+	}
+	c := sc.Clone()
+	for i := range c.Nodes {
+		c.Nodes[i].Size /= 2
+		c.Nodes[i].Duration /= 2
+	}
+	return c
+}
+
+// Repro is the on-disk record of a shrunk failure.
+type Repro struct {
+	Seed     uint64    `json:"seed"`
+	Oracle   string    `json:"oracle"`
+	Detail   string    `json:"detail"`
+	Scenario *Scenario `json:"scenario"`
+}
+
+// ParseRepro decodes either a bare scenario or the Repro envelope
+// WriteRepro emits, returning the scenario in both cases.
+func ParseRepro(data []byte) (*Scenario, error) {
+	var r Repro
+	if err := json.Unmarshal(data, &r); err == nil && r.Scenario != nil {
+		if err := r.Scenario.Validate(); err != nil {
+			return nil, err
+		}
+		return r.Scenario, nil
+	}
+	return Parse(data)
+}
+
+// WriteRepro persists a shrunk failing scenario under dir, named by the
+// generator seed that first exposed it. It returns the written path.
+func WriteRepro(dir string, seed uint64, sc *Scenario, v Violation) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	r := Repro{Seed: seed, Oracle: v.Oracle, Detail: v.Detail, Scenario: sc}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("seed-%d.json", seed))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Overdrive wraps a scheduler and multiplies every allocated rate by
+// Factor. A Factor above 1 oversubscribes the fabric — an intentionally
+// broken scheduler used to prove the feasibility oracle and the shrinker
+// catch real violations (see TestShrinkerFindsMinimalRepro and E14).
+type Overdrive struct {
+	Inner  sched.Scheduler
+	Factor float64
+}
+
+// Name identifies the broken scheduler in traces.
+func (o Overdrive) Name() string { return fmt.Sprintf("overdrive(%s,%g)", o.Inner.Name(), o.Factor) }
+
+// Schedule scales the inner allocation by Factor, deliberately breaking
+// feasibility when Factor > 1.
+func (o Overdrive) Schedule(snap *sched.Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+	rates, err := o.Inner.Schedule(snap, net)
+	if err != nil {
+		return nil, err
+	}
+	for id, r := range rates {
+		rates[id] = unit.Rate(float64(r) * o.Factor)
+	}
+	return rates, nil
+}

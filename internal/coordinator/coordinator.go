@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -377,13 +378,26 @@ func (c *Coordinator) advanceToLocked(now unit.Time) {
 // rescheduleLocked runs the scheduler over active flows and stores the new
 // rates. The returned map covers every active flow.
 func (c *Coordinator) rescheduleLocked() (map[string]unit.Rate, error) {
+	// Snapshot assembly is deterministic — groups in sorted ID order, flows
+	// in their group's arrangement order — because fill arithmetic is
+	// order-sensitive at the last bit: map-order iteration would make two
+	// identical coordinators disagree in the final ulp of each rate, which
+	// the differential harness (internal/check) flags against the journal
+	// replay's bit-equality guarantee.
 	snap := &sched.Snapshot{Now: c.now(), Groups: make(map[string]*sched.GroupState, len(c.groups))}
-	for gid, g := range c.groups {
+	gids := make([]string, 0, len(c.groups))
+	for gid := range c.groups {
+		gids = append(gids, gid)
+	}
+	sort.Strings(gids)
+	for _, gid := range gids {
+		g := c.groups[gid]
 		if g.parked {
 			continue
 		}
 		snap.Groups[gid] = g.state
-		for _, f := range g.flows {
+		for _, member := range g.state.Group.Flows {
+			f := g.flows[member.ID]
 			if !f.released || f.finished {
 				continue
 			}
@@ -738,12 +752,20 @@ func (c *Coordinator) GroupParked(groupID string) bool {
 // TotalTardiness is Eq. 4's objective over the live system: the weighted
 // sum of achieved tardiness across registered groups. A parked group counts
 // exactly once — its state object survives the park/rejoin cycle rather
-// than being re-created.
+// than being re-created. Groups are summed in sorted ID order: float
+// addition is not associative, so map-order summation would make the
+// objective differ in the last bit between otherwise identical runs.
 func (c *Coordinator) TotalTardiness() unit.Time {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	gids := make([]string, 0, len(c.groups))
+	for gid := range c.groups {
+		gids = append(gids, gid)
+	}
+	sort.Strings(gids)
 	var sum float64
-	for _, g := range c.groups {
+	for _, gid := range gids {
+		g := c.groups[gid]
 		sum += g.state.Group.EffectiveWeight() * float64(g.state.AchievedTardiness)
 	}
 	return unit.Time(sum)

@@ -108,5 +108,6 @@ func All() []Experiment {
 		{"e11", "Extended: two-tier fabric, rack oversubscription", ExtRackOversubscription},
 		{"e12", "Extended: chaos replay of a canned fault schedule", ExtChaos},
 		{"e13", "Extended: coordinator crash recovery from the journal", ExtCrashRecovery},
+		{"e14", "Extended: differential check harness (oracles, shrinking)", ExtCheckHarness},
 	}
 }

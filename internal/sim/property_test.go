@@ -1,194 +1,30 @@
-package sim
+package sim_test
 
 import (
-	"fmt"
-	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
-	"echelonflow/internal/core"
-	"echelonflow/internal/dag"
-	"echelonflow/internal/fabric"
+	"echelonflow/internal/check"
 	"echelonflow/internal/sched"
-	"echelonflow/internal/unit"
 )
 
-// randomWorkload builds a random layered DAG of computes and grouped flows
-// on a random fabric. Layered construction (edges only point to later
-// layers) guarantees acyclicity.
-func randomWorkload(rng *rand.Rand) (*dag.Graph, *fabric.Network, map[string]core.Arrangement) {
-	hosts := make([]string, 2+rng.Intn(3))
-	net := fabric.NewNetwork()
-	for i := range hosts {
-		hosts[i] = fmt.Sprintf("h%d", i)
-		_ = net.AddHost(hosts[i], unit.Rate(1+3*rng.Float64()), unit.Rate(1+3*rng.Float64()))
+// simProperty runs a generated scenario under a scheduler and checks the
+// simulator's invariants through the check oracle library: capacity
+// feasibility, volume conservation, ordering (releases, deps, host
+// exclusivity), tardiness accounting, and work conservation. Scenario
+// generation lives in internal/check so the property tests, the
+// echelon-check CLI, and the shrinker all draw from the same corpus.
+func simProperty(t *testing.T, s sched.Scheduler) func(uint64) bool {
+	cfg := check.Config{
+		Oracles:   check.ResultOracles(),
+		Scheduler: func() sched.Scheduler { return s },
 	}
-	g := dag.New()
-	layers := 2 + rng.Intn(3)
-	var prev []string
-	groupCount := 1 + rng.Intn(2)
-	arrs := map[string]core.Arrangement{}
-	stagePer := map[string]int{}
-	for gi := 0; gi < groupCount; gi++ {
-		name := fmt.Sprintf("grp%d", gi)
-		if rng.Intn(2) == 0 {
-			arrs[name] = core.Coflow{}
-		} else {
-			arrs[name] = core.Pipeline{T: unit.Time(rng.Float64())}
+	return func(seed uint64) bool {
+		out := check.RunSeed(seed, cfg)
+		for _, v := range out.Violations {
+			t.Logf("seed %d: %s: %s", seed, v.Oracle, v.Detail)
 		}
-	}
-	seq := 0
-	for l := 0; l < layers; l++ {
-		var cur []string
-		// Computes.
-		for c := 0; c < 1+rng.Intn(3); c++ {
-			id := fmt.Sprintf("c%d-%d", l, c)
-			g.MustAdd(&dag.Node{
-				ID: id, Kind: dag.Compute,
-				Host: hosts[rng.Intn(len(hosts))], Duration: unit.Time(rng.Float64() * 2), Seq: seq,
-			})
-			seq++
-			cur = append(cur, id)
-		}
-		// Flows.
-		for f := 0; f < rng.Intn(3); f++ {
-			id := fmt.Sprintf("f%d-%d", l, f)
-			src := rng.Intn(len(hosts))
-			dst := (src + 1 + rng.Intn(len(hosts)-1)) % len(hosts)
-			group := ""
-			stage := 0
-			if rng.Intn(2) == 0 {
-				group = fmt.Sprintf("grp%d", rng.Intn(groupCount))
-				stage = stagePer[group]
-				stagePer[group]++
-			}
-			g.MustAdd(&dag.Node{
-				ID: id, Kind: dag.Comm,
-				Src: hosts[src], Dst: hosts[dst],
-				Size: unit.Bytes(rng.Float64() * 4), Group: group, Stage: stage,
-			})
-			cur = append(cur, id)
-		}
-		// Edges from the previous layer.
-		for _, to := range cur {
-			for _, from := range prev {
-				if rng.Float64() < 0.4 {
-					g.MustDepend(from, to)
-				}
-			}
-		}
-		prev = cur
-	}
-	return g, net, arrs
-}
-
-// simProperty runs a random workload under a scheduler and checks the
-// simulator's fundamental invariants.
-func simProperty(t *testing.T, s sched.Scheduler) func(int64) bool {
-	return func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		g, net, arrs := randomWorkload(rng)
-		simr, err := New(Options{Graph: g, Net: net, Scheduler: s, Arrangements: arrs, RecordRates: true})
-		if err != nil {
-			t.Logf("seed %d: New: %v", seed, err)
-			return false
-		}
-		res, err := simr.Run()
-		if err != nil {
-			t.Logf("seed %d: Run: %v", seed, err)
-			return false
-		}
-		// 1. Everything completed.
-		nodes := g.Nodes()
-		for _, n := range nodes {
-			if n.Kind == dag.Compute {
-				if _, ok := res.Tasks[n.ID]; !ok {
-					t.Logf("seed %d: compute %s missing", seed, n.ID)
-					return false
-				}
-			} else if _, ok := res.Flows[n.ID]; !ok {
-				t.Logf("seed %d: flow %s missing", seed, n.ID)
-				return false
-			}
-		}
-		// 2. Volume conservation: integrated rate equals flow size.
-		vol := map[string]float64{}
-		for _, seg := range res.Rates {
-			vol[seg.FlowID] += float64(seg.Rate.Over(seg.To - seg.From))
-		}
-		for _, n := range nodes {
-			if n.Kind != dag.Comm {
-				continue
-			}
-			if math.Abs(vol[n.ID]-float64(n.Size)) > 1e-6*(1+float64(n.Size)) {
-				t.Logf("seed %d: flow %s shipped %v of %v", seed, n.ID, vol[n.ID], n.Size)
-				return false
-			}
-			rec := res.Flows[n.ID]
-			if rec.Finish < rec.Release-unit.Time(unit.Eps) {
-				t.Logf("seed %d: flow %s finished before release", seed, n.ID)
-				return false
-			}
-		}
-		// 3. Host exclusivity: compute spans on one host never overlap.
-		byHost := map[string][]Span{}
-		for id, span := range res.Tasks {
-			byHost[g.Node(id).Host] = append(byHost[g.Node(id).Host], span)
-		}
-		for host, spans := range byHost {
-			for i := range spans {
-				for j := i + 1; j < len(spans); j++ {
-					a, b := spans[i], spans[j]
-					if a.Start < b.End-unit.Time(unit.Eps) && b.Start < a.End-unit.Time(unit.Eps) {
-						t.Logf("seed %d: overlapping computes on %s: %+v %+v", seed, host, a, b)
-						return false
-					}
-				}
-			}
-		}
-		// 4. Dependencies respected: every node starts after its deps end.
-		endOf := func(id string) unit.Time {
-			if span, ok := res.Tasks[id]; ok {
-				return span.End
-			}
-			return res.Flows[id].Finish
-		}
-		startOf := func(id string) unit.Time {
-			if span, ok := res.Tasks[id]; ok {
-				return span.Start
-			}
-			return res.Flows[id].Release
-		}
-		for _, n := range nodes {
-			for _, dep := range g.Deps(n.ID) {
-				if startOf(n.ID) < endOf(dep)-unit.Time(1e-6) {
-					t.Logf("seed %d: %s started %v before dep %s ended %v",
-						seed, n.ID, startOf(n.ID), dep, endOf(dep))
-					return false
-				}
-			}
-		}
-		// 5. Group tardiness equals the max per-flow tardiness.
-		for gid, gr := range res.Groups {
-			var max unit.Time
-			seen := false
-			for _, f := range gr.Group.Flows {
-				rec, ok := res.Flows[f.ID]
-				if !ok {
-					continue
-				}
-				seen = true
-				if tt := rec.Tardiness(); tt > max {
-					max = tt
-				}
-			}
-			if seen && !gr.Tardiness.ApproxEq(max) {
-				t.Logf("seed %d: group %s tardiness %v != max %v", seed, gid, gr.Tardiness, max)
-				return false
-			}
-		}
-		return true
+		return !out.Failed()
 	}
 }
 
