@@ -11,6 +11,11 @@
 //
 //	echelon-agent -name a1 -coordinator 127.0.0.1:7100 \
 //	    -send w1,w2,3,1048576,0.25 -peer 127.0.0.1:7201
+//
+// With -admin a telemetry endpoint serves Prometheus /metrics (reconnect
+// counters, heartbeat RTT), /healthz, /events and /debug/pprof:
+//
+//	echelon-agent -name a1 -coordinator 127.0.0.1:7100 -admin 127.0.0.1:7191
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"echelonflow/internal/agent"
 	"echelonflow/internal/core"
+	"echelonflow/internal/telemetry"
 	"echelonflow/internal/unit"
 )
 
@@ -38,15 +44,27 @@ func main() {
 	peer := flag.String("peer", "", "peer agent data-plane address (senders)")
 	reconnect := flag.Bool("reconnect", false, "redial a lost coordinator session with backoff and resume in-flight flows")
 	backoff := flag.Duration("reconnect-backoff", 100*time.Millisecond, "initial redial delay (doubles up to 5s)")
+	admin := flag.String("admin", "", "telemetry HTTP address serving /metrics, /healthz, /events and /debug/pprof (empty disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	a, err := agent.Dial(ctx, agent.Options{
+	aopts := agent.Options{
 		Name: *name, CoordinatorAddr: *coord, DataAddr: *data,
 		Reconnect: *reconnect, ReconnectBackoff: *backoff,
-	})
+	}
+	if *admin != "" {
+		aopts.Metrics = telemetry.NewRegistry()
+		aopts.Events = telemetry.NewEventLog(telemetry.DefaultEventCapacity)
+		addr, shutdown, err := telemetry.StartAdmin(*admin, aopts.Metrics, aopts.Events, nil)
+		if err != nil {
+			log.Fatalf("echelon-agent: admin endpoint: %v", err)
+		}
+		defer shutdown()
+		log.Printf("echelon-agent %s: admin endpoint on http://%s (/metrics /healthz /events /debug/pprof)", *name, addr)
+	}
+	a, err := agent.Dial(ctx, aopts)
 	if err != nil {
 		log.Fatalf("echelon-agent: %v", err)
 	}

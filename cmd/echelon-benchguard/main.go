@@ -41,13 +41,13 @@ type metrics struct {
 // measurement is one parsed benchmark line.
 type measurement struct {
 	Key     string // e.g. "256hosts_8jobs"
-	Variant string // "pooled_cached" or "pooled_nocache"
+	Variant string // "pooled_cached", "pooled_nocache" or "pooled_instrumented"
 	metrics
 }
 
 // benchLine matches the scale benchmarks' names, capturing host count, job
-// count, and the optional cache-disabled suffix.
-var benchLine = regexp.MustCompile(`^BenchmarkSchedule_(\d+)Hosts(\d+)Jobs(_NoCache)?(?:-\d+)?\s+(.*)$`)
+// count, and the optional cache-disabled / telemetry-wrapped suffix.
+var benchLine = regexp.MustCompile(`^BenchmarkSchedule_(\d+)Hosts(\d+)Jobs(_NoCache|_Instrumented)?(?:-\d+)?\s+(.*)$`)
 
 // parseBench extracts measurements from `go test -bench` output. Lines that
 // are not scale-benchmark results are ignored, as are benchmark lines
@@ -65,8 +65,11 @@ func parseBench(r io.Reader) ([]measurement, error) {
 			Key:     fmt.Sprintf("%shosts_%sjobs", m[1], m[2]),
 			Variant: "pooled_cached",
 		}
-		if m[3] != "" {
+		switch m[3] {
+		case "_NoCache":
 			meas.Variant = "pooled_nocache"
+		case "_Instrumented":
+			meas.Variant = "pooled_instrumented"
 		}
 		var err error
 		if meas.NsPerCall, err = metricValue(m[4], "ns/schedcall"); err != nil {

@@ -13,6 +13,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkSchedule_64Hosts4Jobs-4      	       2	  30212345 ns/op	     124.5 allocs/schedcall	  56141 ns/schedcall	  69.00 schedcalls/run
 BenchmarkSchedule_256Hosts8Jobs-4     	       2	 120212345 ns/op	     241.9 allocs/schedcall	 178752 ns/schedcall	  69.00 schedcalls/run
 BenchmarkSchedule_256Hosts8Jobs_NoCache-4 	   2	 150212345 ns/op	     238.8 allocs/schedcall	 230846 ns/schedcall	  69.00 schedcalls/run
+BenchmarkSchedule_256Hosts8Jobs_Instrumented-4 	   2	 122212345 ns/op	     245.1 allocs/schedcall	 180903 ns/schedcall	  69.00 schedcalls/run
 PASS
 ok  	echelonflow	4.2s
 `
@@ -27,7 +28,8 @@ const sampleBaseline = `{
     },
     "256hosts_8jobs": {
       "pooled_cached": {"ns_per_schedcall": 178752, "allocs_per_schedcall": 241.9},
-      "pooled_nocache": {"ns_per_schedcall": 230846, "allocs_per_schedcall": 238.8}
+      "pooled_nocache": {"ns_per_schedcall": 230846, "allocs_per_schedcall": 238.8},
+      "pooled_instrumented": {"ns_per_schedcall": 180903, "allocs_per_schedcall": 245.1}
     }
   }
 }`
@@ -46,13 +48,14 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(meas) != 3 {
-		t.Fatalf("parsed %d measurements, want 3: %+v", len(meas), meas)
+	if len(meas) != 4 {
+		t.Fatalf("parsed %d measurements, want 4: %+v", len(meas), meas)
 	}
 	want := []measurement{
 		{Key: "64hosts_4jobs", Variant: "pooled_cached", metrics: metrics{NsPerCall: 56141, AllocsPerCall: 124.5}},
 		{Key: "256hosts_8jobs", Variant: "pooled_cached", metrics: metrics{NsPerCall: 178752, AllocsPerCall: 241.9}},
 		{Key: "256hosts_8jobs", Variant: "pooled_nocache", metrics: metrics{NsPerCall: 230846, AllocsPerCall: 238.8}},
+		{Key: "256hosts_8jobs", Variant: "pooled_instrumented", metrics: metrics{NsPerCall: 180903, AllocsPerCall: 245.1}},
 	}
 	for i, w := range want {
 		if meas[i] != w {
@@ -70,9 +73,9 @@ func TestCheckWithinThreshold(t *testing.T) {
 	if regressed {
 		t.Errorf("baseline-equal measurements flagged as regression:\n%s", strings.Join(lines, "\n"))
 	}
-	// 3 measurements x 2 metrics.
-	if len(lines) != 6 {
-		t.Errorf("got %d comparison lines, want 6", len(lines))
+	// 4 measurements x 2 metrics.
+	if len(lines) != 8 {
+		t.Errorf("got %d comparison lines, want 8", len(lines))
 	}
 }
 

@@ -7,6 +7,11 @@
 //
 //	echelon-coordinator -listen :7100 -host w1=1e9 -host w2=1e9
 //	echelon-coordinator -listen :7100 -host 'gpu[0-7]=125e6' -scheduler coflow
+//
+// With -admin a telemetry endpoint serves Prometheus /metrics, /healthz,
+// a JSONL /events tail of flow lifecycle events, and /debug/pprof:
+//
+//	echelon-coordinator -listen :7100 -admin 127.0.0.1:7190 -host w1=1e9 -host w2=1e9
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"echelonflow/internal/coordinator"
 	"echelonflow/internal/fabric"
 	"echelonflow/internal/sched"
+	"echelonflow/internal/telemetry"
 	"echelonflow/internal/unit"
 )
 
@@ -45,6 +51,7 @@ func main() {
 	snapshotEvery := flag.Int("journal-snapshot", 256, "with -journal, compact the log into a snapshot after this many events (0 never compacts)")
 	redialRate := flag.Float64("redial-rate", 0, "max reconnects per agent name per second (0 disables admission control)")
 	redialBurst := flag.Float64("redial-burst", 0, "redial admission burst (default 1 when -redial-rate is set)")
+	admin := flag.String("admin", "", "telemetry HTTP address serving /metrics, /healthz, /events and /debug/pprof (empty disables)")
 	var racks, assigns hostSpecs
 	flag.Var(&hosts, "host", "host capacity spec name=rate or name[a-b]=rate (repeatable)")
 	flag.Var(&racks, "rack", "rack capacity spec name=rate (uplink=downlink; repeatable)")
@@ -95,6 +102,16 @@ func main() {
 		Net: net0, Scheduler: s, Interval: *interval, SessionTimeout: *sessionTimeout,
 		QuarantineTimeout: *quarantine, SnapshotEvery: *snapshotEvery,
 		RedialRate: *redialRate, RedialBurst: *redialBurst,
+	}
+	if *admin != "" {
+		opts.Metrics = telemetry.NewRegistry()
+		opts.Events = telemetry.NewEventLog(telemetry.DefaultEventCapacity)
+		addr, shutdown, err := telemetry.StartAdmin(*admin, opts.Metrics, opts.Events, nil)
+		if err != nil {
+			log.Fatalf("echelon-coordinator: admin endpoint: %v", err)
+		}
+		defer shutdown()
+		log.Printf("echelon-coordinator: admin endpoint on http://%s (/metrics /healthz /events /debug/pprof)", addr)
 	}
 	var coord *coordinator.Coordinator
 	var err error

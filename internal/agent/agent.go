@@ -27,6 +27,7 @@ import (
 
 	"echelonflow/internal/core"
 	"echelonflow/internal/ratelimit"
+	"echelonflow/internal/telemetry"
 	"echelonflow/internal/unit"
 	"echelonflow/internal/wire"
 )
@@ -65,6 +66,11 @@ type Options struct {
 	// seed from the clock. Fixing it makes fault-injection runs
 	// reproducible.
 	JitterSeed int64
+	// Metrics, when non-nil, receives agent telemetry: reconnect attempt
+	// counters and the heartbeat round-trip histogram. Nil costs nothing.
+	Metrics *telemetry.Registry
+	// Events, when non-nil, receives lifecycle events (reconnects).
+	Events *telemetry.EventLog
 	// Logf receives diagnostics; defaults to log.Printf.
 	Logf func(format string, args ...interface{})
 }
@@ -157,7 +163,21 @@ type Agent struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// Telemetry handles (nil-safe no-ops when Options.Metrics is nil).
+	telAttempts   *telemetry.Counter
+	telReconnects *telemetry.Counter
+	telRTT        *telemetry.Histogram
+
+	// hbMu guards heartbeat send timestamps awaiting the coordinator's
+	// echo; capped so a non-echoing (older) coordinator cannot grow it.
+	hbMu      sync.Mutex
+	hbPending []time.Time
 }
+
+// maxPendingHeartbeats bounds the RTT-correlation queue against
+// coordinators that never echo heartbeats.
+const maxPendingHeartbeats = 16
 
 // Dial connects to the Coordinator, performs the handshake, and starts the
 // allocation listener and (if configured) the data-plane listener.
@@ -178,10 +198,10 @@ func Dial(ctx context.Context, opts Options) (*Agent, error) {
 	a := &Agent{
 		opts: opts, conn: conn, codec: wire.NewCodec(conn),
 		ctx: actx, cancel: cancel,
-		buckets:    make(map[string]*ratelimit.Bucket),
-		lastRates:  make(map[string]unit.Rate),
-		received:   make(map[string]int64),
-		recvDone:   make(map[string]chan struct{}),
+		buckets:       make(map[string]*ratelimit.Bucket),
+		lastRates:     make(map[string]unit.Rate),
+		received:      make(map[string]int64),
+		recvDone:      make(map[string]chan struct{}),
 		recvActive:    make(map[string]bool),
 		progress:      make(map[string]*flowProg),
 		groups:        make(map[string]*core.EchelonFlow),
@@ -189,6 +209,12 @@ func Dial(ctx context.Context, opts Options) (*Agent, error) {
 		rng:           rand.New(rand.NewSource(seed)),
 	}
 	a.cond = sync.NewCond(&a.mu)
+	a.telAttempts = opts.Metrics.Counter("echelon_agent_reconnect_attempts_total",
+		"Coordinator redial attempts (including failures).", "agent", opts.Name)
+	a.telReconnects = opts.Metrics.Counter("echelon_agent_reconnects_total",
+		"Successful coordinator session re-establishments.", "agent", opts.Name)
+	a.telRTT = opts.Metrics.Histogram("echelon_agent_heartbeat_rtt_seconds",
+		"Control-plane heartbeat round-trip time.", "agent", opts.Name)
 	if err := a.codec.Send(a.helloMessage()); err != nil {
 		conn.Close()
 		cancel()
@@ -249,7 +275,14 @@ func (a *Agent) heartbeatLoop() {
 			t.Stop()
 			return
 		case <-t.C:
-			if err := a.send(wire.Message{Type: wire.TypeHeartbeat}); err != nil {
+			sentAt := time.Now()
+			if err := a.send(wire.Message{Type: wire.TypeHeartbeat}); err == nil {
+				a.hbMu.Lock()
+				if len(a.hbPending) < maxPendingHeartbeats {
+					a.hbPending = append(a.hbPending, sentAt)
+				}
+				a.hbMu.Unlock()
+			} else {
 				if a.opts.Reconnect {
 					// The control loop is redialing; keep beating.
 					continue
@@ -326,6 +359,18 @@ func (a *Agent) readSession() error {
 		switch msg.Type {
 		case wire.TypeAllocation:
 			a.applyAllocation(msg.Allocation.Rates)
+		case wire.TypeHeartbeat:
+			// The coordinator echoes heartbeats; correlate with the oldest
+			// outstanding send to measure control-plane RTT.
+			a.hbMu.Lock()
+			if len(a.hbPending) > 0 {
+				sentAt := a.hbPending[0]
+				a.hbPending = a.hbPending[1:]
+				a.hbMu.Unlock()
+				a.telRTT.Observe(time.Since(sentAt).Seconds())
+			} else {
+				a.hbMu.Unlock()
+			}
 		case wire.TypeError:
 			a.opts.Logf("agent %s: coordinator error: %s", a.opts.Name, msg.Error.Msg)
 		default:
@@ -349,6 +394,7 @@ func (a *Agent) reconnect() error {
 			return a.ctx.Err()
 		case <-t.C:
 		}
+		a.telAttempts.Inc()
 		if err := a.redial(); err != nil {
 			if a.ctx.Err() != nil {
 				return a.ctx.Err()
@@ -362,6 +408,11 @@ func (a *Agent) reconnect() error {
 			continue
 		}
 		a.opts.Logf("agent %s: reconnected after %d attempt(s)", a.opts.Name, attempt)
+		a.telReconnects.Inc()
+		if a.opts.Events != nil {
+			a.opts.Events.Append(telemetry.Event{Kind: telemetry.EventReconnect,
+				Agent: a.opts.Name, Detail: fmt.Sprintf("after %d attempt(s)", attempt)})
+		}
 		return nil
 	}
 }
@@ -384,6 +435,11 @@ func (a *Agent) redial() error {
 	}
 	a.conn, a.codec = conn, codec
 	a.sessMu.Unlock()
+	// Beats sent into the dead session will never be echoed; dropping them
+	// keeps RTT correlation aligned with the new session's echoes.
+	a.hbMu.Lock()
+	a.hbPending = a.hbPending[:0]
+	a.hbMu.Unlock()
 
 	// Re-announce groups, then in-flight transfers with their offsets so
 	// the coordinator schedules the remainder, not the full size.

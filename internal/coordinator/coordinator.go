@@ -24,6 +24,7 @@ import (
 	"echelonflow/internal/journal"
 	"echelonflow/internal/ratelimit"
 	"echelonflow/internal/sched"
+	"echelonflow/internal/telemetry"
 	"echelonflow/internal/unit"
 	"echelonflow/internal/wire"
 )
@@ -59,6 +60,17 @@ type Options struct {
 	Clock func() time.Time
 	// Logf receives diagnostic output; defaults to log.Printf.
 	Logf func(format string, args ...interface{})
+	// Metrics, when non-nil, receives runtime counters/gauges/histograms
+	// (reschedule counts and latency, per-group tardiness, journal fsync
+	// latency, redial admission outcomes) and causes the Scheduler to be
+	// wrapped with sched.Instrument for per-call latency histograms. Nil
+	// disables all metric work.
+	Metrics *telemetry.Registry
+	// Events, when non-nil, receives structured flow-lifecycle events
+	// (release/finish/resume, reschedule/allocation, park/revive/evict,
+	// journal snapshot and slow fsync, redial accept/reject). Nil disables
+	// event logging.
+	Events *telemetry.EventLog
 }
 
 type flowRT struct {
@@ -114,7 +126,46 @@ type Coordinator struct {
 
 	// limiters admission-controls redials per agent name (opts.RedialRate).
 	limiters map[string]*ratelimit.Bucket
+
+	// tel caches instrument handles resolved once in New. With Options.
+	// Metrics nil every handle is nil and all recording calls are no-ops.
+	tel coordTelemetry
 }
+
+// coordTelemetry bundles the coordinator's cached instrument handles.
+type coordTelemetry struct {
+	reschedules    *telemetry.Counter
+	rescheduleLat  *telemetry.Histogram
+	totalTard      *telemetry.Gauge
+	flowsActive    *telemetry.Gauge
+	groupsLive     *telemetry.Gauge
+	groupsParked   *telemetry.Gauge
+	redialAccepted *telemetry.Counter
+	redialRejected *telemetry.Counter
+	fsyncLat       *telemetry.Histogram
+	snapshots      *telemetry.Counter
+	ratesComputed  *telemetry.Counter
+	ratesPushed    *telemetry.Counter
+}
+
+// Metric family names the coordinator exposes. Kept as constants so tests
+// and the CI smoke step assert against one source of truth.
+const (
+	MetricTotalTardiness         = "echelon_total_tardiness_seconds"
+	MetricGroupTardiness         = "echelon_group_tardiness_seconds"
+	MetricGroupWeightedTardiness = "echelon_group_weighted_tardiness_seconds"
+	MetricReschedules            = "echelon_reschedules_total"
+	MetricRescheduleLat          = "echelon_reschedule_seconds"
+	MetricFlowsActive            = "echelon_flows_active"
+	MetricGroupsLive             = "echelon_groups_registered"
+	MetricGroupsParked           = "echelon_groups_parked"
+	MetricRedialAccepted         = "echelon_redial_accepted_total"
+	MetricRedialRejected         = "echelon_redial_rejected_total"
+	MetricJournalFsyncLat        = "echelon_journal_fsync_seconds"
+	MetricJournalSnapshots       = "echelon_journal_snapshots_total"
+	MetricRatesComputed          = "echelon_allocation_entries_computed_total"
+	MetricRatesPushed            = "echelon_allocation_entries_pushed_total"
+)
 
 // New validates options and returns a Coordinator.
 func New(opts Options) (*Coordinator, error) {
@@ -139,6 +190,9 @@ func New(opts Options) (*Coordinator, error) {
 	if opts.Scheduler == nil {
 		opts.Scheduler = sched.EchelonMADD{Backfill: true, Cache: sched.NewPlanCache()}
 	}
+	// Instrument is the identity when Metrics is nil, so the unconfigured
+	// scheduling path is untouched.
+	opts.Scheduler = sched.Instrument(opts.Scheduler, opts.Metrics)
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
@@ -156,7 +210,61 @@ func New(opts Options) (*Coordinator, error) {
 	if pc, ok := opts.Scheduler.(interface{ PlanCache() *sched.PlanCache }); ok {
 		c.cache = pc.PlanCache()
 	}
+	// Families are registered eagerly so /metrics exposes the full surface
+	// (tardiness gauges included) before the first event arrives. All calls
+	// are nil-safe no-ops without a registry.
+	m := opts.Metrics
+	c.tel = coordTelemetry{
+		reschedules:    m.Counter(MetricReschedules, "Scheduling decisions made."),
+		rescheduleLat:  m.Histogram(MetricRescheduleLat, "Latency of a full reschedule (advance + schedule + broadcast)."),
+		totalTard:      m.Gauge(MetricTotalTardiness, "Eq. 4 objective: weighted achieved tardiness summed over registered groups."),
+		flowsActive:    m.Gauge(MetricFlowsActive, "Released, unfinished flows in the last scheduling snapshot."),
+		groupsLive:     m.Gauge(MetricGroupsLive, "Registered EchelonFlow groups (including parked)."),
+		groupsParked:   m.Gauge(MetricGroupsParked, "Groups quarantined awaiting their agent's rejoin."),
+		redialAccepted: m.Counter(MetricRedialAccepted, "Agent handshakes admitted."),
+		redialRejected: m.Counter(MetricRedialRejected, "Agent handshakes rejected by redial admission control."),
+		fsyncLat:       m.Histogram(MetricJournalFsyncLat, "Latency of journal appends (fsync per append)."),
+		snapshots:      m.Counter(MetricJournalSnapshots, "Journal compactions into a snapshot."),
+		ratesComputed:  m.Counter(MetricRatesComputed, "Allocation entries computed across broadcasts."),
+		ratesPushed:    m.Counter(MetricRatesPushed, "Allocation entries actually pushed after delta filtering."),
+	}
+	c.tel.totalTard.Set(0)
 	return c, nil
+}
+
+// event appends a lifecycle event unless logging is off or the journal is
+// replaying (replay re-executes recorded history; re-emitting it would
+// duplicate the original run's events).
+func (c *Coordinator) event(e telemetry.Event) {
+	if c.opts.Events == nil || c.replaying {
+		return
+	}
+	c.opts.Events.Append(e)
+}
+
+// setGroupTardinessLocked refreshes a group's tardiness gauges and the Eq. 4
+// total. The weighted per-group gauges sum (in sorted-ID order, matching
+// TotalTardiness) to the total gauge.
+func (c *Coordinator) setGroupTardinessLocked(g *groupRT) {
+	if c.opts.Metrics == nil {
+		return
+	}
+	gid := g.state.Group.ID
+	tard := float64(g.state.AchievedTardiness)
+	c.opts.Metrics.Gauge(MetricGroupTardiness, "Achieved tardiness per group.", "group", gid).Set(tard)
+	c.opts.Metrics.Gauge(MetricGroupWeightedTardiness, "Weight x achieved tardiness per group (summand of Eq. 4).",
+		"group", gid).Set(g.state.Group.EffectiveWeight() * tard)
+	c.tel.totalTard.Set(float64(c.totalTardinessLocked()))
+}
+
+// dropGroupMetricsLocked removes a departed group's gauges.
+func (c *Coordinator) dropGroupMetricsLocked(gid string) {
+	if c.opts.Metrics == nil {
+		return
+	}
+	c.opts.Metrics.Delete(MetricGroupTardiness, "group", gid)
+	c.opts.Metrics.Delete(MetricGroupWeightedTardiness, "group", gid)
+	c.tel.totalTard.Set(float64(c.totalTardinessLocked()))
 }
 
 // now converts wall time to scheduler time (seconds since start).
@@ -236,6 +344,9 @@ func (c *Coordinator) addGroupLocked(owner string, g *core.EchelonFlow) error {
 		rt.flows[f.ID] = &flowRT{flow: f, remaining: f.Size}
 	}
 	c.groups[g.ID] = rt
+	c.setGroupTardinessLocked(rt)
+	c.event(telemetry.Event{Kind: telemetry.EventRegister, At: float64(c.now()),
+		Group: g.ID, Agent: owner})
 	return nil
 }
 
@@ -249,6 +360,8 @@ func (c *Coordinator) UnregisterGroup(groupID string) (map[string]unit.Rate, err
 	c.advanceLocked()
 	delete(c.groups, groupID)
 	c.cache.InvalidateGroup(groupID)
+	c.dropGroupMetricsLocked(groupID)
+	c.event(telemetry.Event{Kind: telemetry.EventUnregister, At: float64(c.lastAdvance), Group: groupID})
 	c.appendJournalLocked(journalEvent{Kind: jUnregister, At: c.lastAdvance, Groups: []string{groupID}})
 	return c.rescheduleLocked()
 }
@@ -293,6 +406,8 @@ func (c *Coordinator) applyFlowLocked(ev wire.FlowEvent, now unit.Time) error {
 			g.refSet = true
 			g.state.Reference = now
 		}
+		c.event(telemetry.Event{Kind: telemetry.EventRelease, At: float64(now),
+			Group: ev.GroupID, Flow: ev.FlowID})
 	case wire.EventFinished:
 		if f.finished {
 			return fmt.Errorf("coordinator: flow %q finished twice", ev.FlowID)
@@ -303,9 +418,13 @@ func (c *Coordinator) applyFlowLocked(ev wire.FlowEvent, now unit.Time) error {
 		f.finished = true
 		f.remaining = 0
 		deadline := g.state.Group.Arrangement.Deadline(f.flow.Stage, g.state.Reference)
-		if tard := now - deadline; tard > g.state.AchievedTardiness {
+		tard := now - deadline
+		if tard > g.state.AchievedTardiness {
 			g.state.AchievedTardiness = tard
 		}
+		c.setGroupTardinessLocked(g)
+		c.event(telemetry.Event{Kind: telemetry.EventFinish, At: float64(now),
+			Group: ev.GroupID, Flow: ev.FlowID, Tardiness: float64(tard)})
 	case wire.EventResumed:
 		// A rejoined agent continues an in-flight transfer: Offset bytes
 		// are already delivered, so scheduling resumes from the remainder.
@@ -326,6 +445,11 @@ func (c *Coordinator) applyFlowLocked(ev wire.FlowEvent, now unit.Time) error {
 			}
 		}
 		f.remaining = f.flow.Size - ev.Offset
+		if c.opts.Events != nil && !c.replaying {
+			c.event(telemetry.Event{Kind: telemetry.EventResume, At: float64(now),
+				Group: ev.GroupID, Flow: ev.FlowID,
+				Detail: fmt.Sprintf("offset %v of %v", ev.Offset, f.flow.Size)})
+		}
 	default:
 		return fmt.Errorf("coordinator: unknown event %q", ev.Event)
 	}
@@ -378,6 +502,7 @@ func (c *Coordinator) advanceToLocked(now unit.Time) {
 // rescheduleLocked runs the scheduler over active flows and stores the new
 // rates. The returned map covers every active flow.
 func (c *Coordinator) rescheduleLocked() (map[string]unit.Rate, error) {
+	t0 := time.Now()
 	// Snapshot assembly is deterministic — groups in sorted ID order, flows
 	// in their group's arrangement order — because fill arithmetic is
 	// order-sensitive at the last bit: map-order iteration would make two
@@ -421,6 +546,23 @@ func (c *Coordinator) rescheduleLocked() (map[string]unit.Rate, error) {
 		c.groups[fs.GroupID].flows[fs.Flow.ID].rate = rates[fs.Flow.ID]
 	}
 	c.broadcastLocked(rates)
+	if c.opts.Metrics != nil {
+		c.tel.reschedules.Inc()
+		c.tel.rescheduleLat.Observe(time.Since(t0).Seconds())
+		c.tel.flowsActive.Set(float64(len(snap.Flows)))
+		parked := 0
+		for _, g := range c.groups {
+			if g.parked {
+				parked++
+			}
+		}
+		c.tel.groupsLive.Set(float64(len(c.groups)))
+		c.tel.groupsParked.Set(float64(parked))
+	}
+	if c.opts.Events != nil && !c.replaying {
+		c.event(telemetry.Event{Kind: telemetry.EventResched, At: float64(snap.Now),
+			Detail: fmt.Sprintf("%d flows across %d groups", len(snap.Flows), len(snap.Groups))})
+	}
 	return rates, nil
 }
 
@@ -447,10 +589,12 @@ func (c *Coordinator) broadcastLocked(rates map[string]unit.Rate) {
 			}
 		}
 		c.ratesTotal += len(rates)
+		c.tel.ratesComputed.Add(uint64(len(rates)))
 		if len(delta) == 0 {
 			continue
 		}
 		c.ratesPushed += len(delta)
+		c.tel.ratesPushed.Add(uint64(len(delta)))
 		msg := wire.Message{Type: wire.TypeAllocation, Allocation: &wire.Allocation{Rates: delta}}
 		if err := s.codec.Send(msg); err != nil {
 			c.opts.Logf("coordinator: push to %s failed: %v", s.agent, err)
@@ -458,6 +602,10 @@ func (c *Coordinator) broadcastLocked(rates map[string]unit.Rate) {
 		}
 		for id, r := range delta {
 			s.sent[id] = r
+		}
+		if c.opts.Events != nil && !c.replaying {
+			c.event(telemetry.Event{Kind: telemetry.EventAlloc, At: float64(c.lastAdvance), Agent: s.agent,
+				Detail: fmt.Sprintf("%d/%d entries after delta filtering", len(delta), len(rates))})
 		}
 	}
 }
@@ -550,9 +698,15 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 	s.agent = hello.Hello.Agent
 	if !c.admitRedial(s.agent) {
 		c.opts.Logf("coordinator: agent %s redialing too fast, rejected", s.agent)
+		c.tel.redialRejected.Inc()
+		c.opts.Events.Append(telemetry.Event{Kind: telemetry.EventRedialRej,
+			At: float64(c.now()), Agent: s.agent, Detail: "redial rate exceeded"})
 		_ = s.codec.Send(wire.Message{Type: wire.TypeError, Error: &wire.Error{Msg: "redial rate exceeded"}})
 		return
 	}
+	c.tel.redialAccepted.Inc()
+	c.opts.Events.Append(telemetry.Event{Kind: telemetry.EventRedialOK,
+		At: float64(c.now()), Agent: s.agent})
 	c.adoptSession(s)
 	defer c.dropSession(s)
 
@@ -580,6 +734,11 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 func (c *Coordinator) handleMessage(s *session, msg wire.Message) error {
 	switch msg.Type {
 	case wire.TypeHeartbeat:
+		// Echo so the agent can measure round-trip time (Codec.Send is
+		// concurrency-safe against the broadcast path). A send failure here
+		// is not an agent protocol error; the Recv loop notices the dead
+		// conn on its own.
+		_ = s.codec.Send(wire.Message{Type: wire.TypeHeartbeat})
 		return nil
 	case wire.TypeRegister:
 		g, err := msg.Register.Group()
@@ -652,6 +811,10 @@ func (c *Coordinator) adoptSession(s *session) {
 	}
 	c.opts.Logf("coordinator: agent %s rejoined, revived %d quarantined group(s)", s.agent, len(revived))
 	c.advanceLocked()
+	for _, gid := range revived {
+		c.event(telemetry.Event{Kind: telemetry.EventRevive, At: float64(c.lastAdvance),
+			Group: gid, Agent: s.agent})
+	}
 	c.appendJournalLocked(journalEvent{Kind: jRevive, At: c.lastAdvance, Groups: revived})
 	if _, err := c.rescheduleLocked(); err != nil {
 		c.opts.Logf("coordinator: reschedule after %s rejoined: %v", s.agent, err)
@@ -697,6 +860,8 @@ func (c *Coordinator) dropSession(s *session) {
 		}
 		gid := gid
 		time.AfterFunc(c.opts.QuarantineTimeout, func() { c.evictIfStillParked(gid, gen) })
+		c.event(telemetry.Event{Kind: telemetry.EventPark, At: float64(c.lastAdvance),
+			Group: gid, Agent: s.agent})
 	}
 	c.appendJournalLocked(journalEvent{Kind: jPark, At: c.lastAdvance, Groups: orphaned})
 	c.opts.Logf("coordinator: agent %s died, parked %d group(s) for %v", s.agent, len(orphaned), c.opts.QuarantineTimeout)
@@ -732,6 +897,9 @@ func (c *Coordinator) evictLocked(gids []string, why string) {
 	for _, gid := range gids {
 		delete(c.groups, gid)
 		c.cache.InvalidateGroup(gid)
+		c.dropGroupMetricsLocked(gid)
+		c.event(telemetry.Event{Kind: telemetry.EventEvict, At: float64(c.lastAdvance),
+			Group: gid, Detail: why})
 	}
 	c.appendJournalLocked(journalEvent{Kind: jEvict, At: c.lastAdvance, Groups: gids})
 	c.opts.Logf("coordinator: evicted %d group(s): %s", len(gids), why)
@@ -758,6 +926,10 @@ func (c *Coordinator) GroupParked(groupID string) bool {
 func (c *Coordinator) TotalTardiness() unit.Time {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.totalTardinessLocked()
+}
+
+func (c *Coordinator) totalTardinessLocked() unit.Time {
 	gids := make([]string, 0, len(c.groups))
 	for gid := range c.groups {
 		gids = append(gids, gid)

@@ -16,9 +16,14 @@ import (
 	"time"
 
 	"echelonflow/internal/journal"
+	"echelonflow/internal/telemetry"
 	"echelonflow/internal/unit"
 	"echelonflow/internal/wire"
 )
+
+// slowFsync is the journal-append latency beyond which a journal-fsync
+// lifecycle event is recorded (the latency histogram sees every append).
+const slowFsync = 10 * time.Millisecond
 
 // Journal event kinds. One record is appended per state mutation; park,
 // revive and evict carry group batches so replay reschedules exactly as
@@ -59,12 +64,12 @@ type snapshotState struct {
 }
 
 type snapshotGroup struct {
-	Owner     string        `json:"owner"`
-	Register  wire.Register `json:"register"`
-	Parked    bool          `json:"parked,omitempty"`
-	RefSet    bool          `json:"ref_set,omitempty"`
-	Reference unit.Time     `json:"reference"`
-	Tardiness unit.Time     `json:"tardiness"`
+	Owner     string         `json:"owner"`
+	Register  wire.Register  `json:"register"`
+	Parked    bool           `json:"parked,omitempty"`
+	RefSet    bool           `json:"ref_set,omitempty"`
+	Reference unit.Time      `json:"reference"`
+	Tardiness unit.Time      `json:"tardiness"`
 	Flows     []snapshotFlow `json:"flows"`
 }
 
@@ -89,9 +94,18 @@ func (c *Coordinator) appendJournalLocked(ev journalEvent) {
 		c.opts.Logf("coordinator: journal marshal %s: %v", ev.Kind, err)
 		return
 	}
+	t0 := time.Now()
 	if err := c.journal.Append(body); err != nil {
 		c.opts.Logf("coordinator: journal append %s: %v", ev.Kind, err)
 		return
+	}
+	elapsed := time.Since(t0)
+	c.tel.fsyncLat.Observe(elapsed.Seconds())
+	if elapsed >= slowFsync {
+		// Only slow appends reach the event ring: fsync runs on every
+		// mutation and would otherwise drown the lifecycle history.
+		c.event(telemetry.Event{Kind: telemetry.EventFsync, At: float64(ev.At),
+			Detail: fmt.Sprintf("%s append took %v", ev.Kind, elapsed)})
 	}
 	c.journalEvents++
 	if c.opts.SnapshotEvery > 0 && c.journalEvents >= c.opts.SnapshotEvery {
@@ -139,6 +153,9 @@ func (c *Coordinator) snapshotLocked() {
 		c.opts.Logf("coordinator: snapshot: %v", err)
 		return
 	}
+	c.tel.snapshots.Inc()
+	c.event(telemetry.Event{Kind: telemetry.EventSnapshot, At: float64(c.lastAdvance),
+		Detail: fmt.Sprintf("%d group(s) compacted", len(st.Groups))})
 	c.journalEvents = 0
 }
 
@@ -202,6 +219,7 @@ func (c *Coordinator) applyJournalLocked(ev journalEvent) error {
 			}
 			delete(c.groups, gid)
 			c.cache.InvalidateGroup(gid)
+			c.dropGroupMetricsLocked(gid)
 		}
 		_, err := c.rescheduleLocked()
 		return err

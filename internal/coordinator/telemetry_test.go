@@ -1,0 +1,166 @@
+package coordinator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/telemetry"
+	"echelonflow/internal/wire"
+)
+
+func newTelemetryCoordinator(t *testing.T, clk *fakeClock) (*Coordinator, *telemetry.Registry, *telemetry.EventLog) {
+	t.Helper()
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(10, "w1", "w2", "w3")
+	reg := telemetry.NewRegistry()
+	evl := telemetry.NewEventLog(128)
+	c, err := New(Options{
+		Net:       net,
+		Scheduler: sched.EchelonMADD{Backfill: true, Cache: sched.NewPlanCache()},
+		Clock:     clk.now,
+		Logf:      t.Logf,
+		Metrics:   reg,
+		Events:    evl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, reg, evl
+}
+
+// gaugeValue reads one gauge series from a snapshot; NaN if absent.
+func gaugeValue(snap []telemetry.SnapshotFamily, name string, labels map[string]string) float64 {
+	for _, f := range snap {
+		if f.Name != name {
+			continue
+		}
+	series:
+		for _, s := range f.Series {
+			if len(s.Labels) != len(labels) {
+				continue
+			}
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					continue series
+				}
+			}
+			return s.Value
+		}
+	}
+	return math.NaN()
+}
+
+func TestTelemetryEagerFamilies(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c, reg, _ := newTelemetryCoordinator(t, clk)
+	defer c.Close()
+	// The CI smoke test curls /metrics on a freshly booted coordinator: the
+	// tardiness gauge and scheduler latency histogram families must already
+	// exist with zero traffic.
+	snap := reg.Snapshot()
+	if v := gaugeValue(snap, MetricTotalTardiness, nil); v != 0 {
+		t.Errorf("fresh total tardiness gauge = %v, want 0", v)
+	}
+	found := false
+	for _, f := range snap {
+		if f.Name == "echelon_schedule_seconds" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("schedule latency family not registered eagerly")
+	}
+}
+
+func TestTelemetryTardinessGaugesMatchTotal(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c, reg, evl := newTelemetryCoordinator(t, clk)
+	defer c.Close()
+	g := pipelineGroup(t)
+	if err := c.RegisterGroup("a1", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FlowEvent(wire.FlowEvent{GroupID: "job/pp", FlowID: "f0", Event: wire.EventReleased}); err != nil {
+		t.Fatal(err)
+	}
+	// Finish f0 late: it runs [0, 5] against a pipeline deadline of r+2.
+	clk.advance(5 * time.Second)
+	if _, err := c.FlowEvent(wire.FlowEvent{GroupID: "job/pp", FlowID: "f0", Event: wire.EventFinished}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	total := gaugeValue(snap, MetricTotalTardiness, nil)
+	perGroup := gaugeValue(snap, MetricGroupTardiness, map[string]string{"group": "job/pp"})
+	weighted := gaugeValue(snap, MetricGroupWeightedTardiness, map[string]string{"group": "job/pp"})
+	if math.IsNaN(total) || math.IsNaN(perGroup) || math.IsNaN(weighted) {
+		t.Fatalf("missing gauges: total=%v group=%v weighted=%v", total, perGroup, weighted)
+	}
+	if perGroup <= 0 {
+		t.Errorf("group tardiness gauge = %v, want > 0 (finished 3s late)", perGroup)
+	}
+	// Acceptance bar: the weighted gauge sum equals TotalTardiness to 1e-9.
+	want := float64(c.TotalTardiness())
+	if math.Abs(weighted-want) > 1e-9 {
+		t.Errorf("weighted gauge sum = %v, TotalTardiness = %v (diff %g)", weighted, want, weighted-want)
+	}
+	if math.Abs(total-want) > 1e-9 {
+		t.Errorf("total gauge = %v, TotalTardiness = %v", total, want)
+	}
+
+	// Lifecycle events were recorded in order.
+	kinds := make(map[string]int)
+	for _, e := range evl.Tail(0) {
+		kinds[e.Kind]++
+	}
+	if kinds[telemetry.EventRegister] != 1 || kinds[telemetry.EventRelease] != 1 || kinds[telemetry.EventFinish] != 1 {
+		t.Errorf("event kinds = %v", kinds)
+	}
+	for _, e := range evl.Tail(0) {
+		if e.Kind == telemetry.EventFinish && math.Abs(e.Tardiness-perGroup) > 1e-9 {
+			t.Errorf("finish event tardiness = %v, gauge = %v", e.Tardiness, perGroup)
+		}
+	}
+
+	// Reschedule counters moved.
+	if got := reg.Counter(MetricReschedules, "").Value(); got == 0 {
+		t.Error("reschedule counter did not advance")
+	}
+	if got := reg.Histogram(MetricRescheduleLat, "").Count(); got == 0 {
+		t.Error("reschedule latency histogram is empty")
+	}
+
+	// Unregistering drops the per-group gauges and refreshes the total.
+	if _, err := c.UnregisterGroup("job/pp"); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if v := gaugeValue(snap, MetricGroupTardiness, map[string]string{"group": "job/pp"}); !math.IsNaN(v) {
+		t.Errorf("group gauge survived unregister: %v", v)
+	}
+	if v := gaugeValue(snap, MetricTotalTardiness, nil); v != 0 {
+		t.Errorf("total gauge after unregister = %v, want 0", v)
+	}
+}
+
+func TestTelemetryNilRegistryUnchanged(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := newTestCoordinator(t, clk) // no Metrics/Events configured
+	defer c.Close()
+	g := pipelineGroup(t)
+	if err := c.RegisterGroup("a1", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FlowEvent(wire.FlowEvent{GroupID: "job/pp", FlowID: "f0", Event: wire.EventReleased}); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(time.Second)
+	if _, err := c.FlowEvent(wire.FlowEvent{GroupID: "job/pp", FlowID: "f0", Event: wire.EventFinished}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reschedules(); got == 0 {
+		t.Error("coordinator without telemetry stopped scheduling")
+	}
+}

@@ -36,6 +36,9 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the p-th percentile (0..100) by linear interpolation.
+// Empty input returns NaN; table-rendering callers go through AddRowf, which
+// prints non-finite values as "n/a" instead of leaking NaN into EXPERIMENTS
+// tables.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
@@ -81,13 +84,19 @@ func (t *Table) AddRow(cells ...string) {
 	t.rows = append(t.rows, row)
 }
 
-// AddRowf formats each cell with %v.
+// AddRowf formats each cell with %v. Non-finite float64 cells (NaN from an
+// empty-sample Percentile, ±Inf from a division) render as "n/a" rather
+// than polluting experiment tables.
 func (t *Table) AddRowf(cells ...interface{}) {
 	strs := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			strs[i] = fmt.Sprintf("%.4g", v)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				strs[i] = "n/a"
+			} else {
+				strs[i] = fmt.Sprintf("%.4g", v)
+			}
 		default:
 			strs[i] = fmt.Sprintf("%v", c)
 		}

@@ -88,6 +88,25 @@ func TestTable(t *testing.T) {
 	}
 }
 
+// TestAddRowfGuardsNonFinite regression-tests the EXPERIMENTS-table NaN
+// leak: an empty-sample Percentile returns NaN, which AddRowf must render as
+// "n/a" instead of printing NaN into the report.
+func TestAddRowfGuardsNonFinite(t *testing.T) {
+	tb := NewTable("scenario", "p95", "ratio")
+	tb.AddRowf("empty", Percentile(nil, 95), math.Inf(1))
+	tb.AddRowf("neg", math.Inf(-1), 1.25)
+	out := tb.String()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("non-finite value leaked into table:\n%s", out)
+	}
+	if got := strings.Count(out, "n/a"); got != 3 {
+		t.Errorf("n/a cells = %d, want 3:\n%s", got, out)
+	}
+	if !strings.Contains(out, "1.25") {
+		t.Errorf("finite value lost:\n%s", out)
+	}
+}
+
 func TestTableTruncatesLongRows(t *testing.T) {
 	tb := NewTable("only")
 	tb.AddRow("a", "extra", "cells")

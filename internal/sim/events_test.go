@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"echelonflow/internal/sched"
+	"echelonflow/internal/telemetry"
+)
+
+// TestEventSink checks the simulator emits the same lifecycle schema as the
+// live coordinator: one release and one finish per flow, reschedules in
+// between, with simulated timestamps and tardiness on finishes.
+func TestEventSink(t *testing.T) {
+	g, net, arrs := fig2Workload(t)
+	evl := telemetry.NewEventLog(256)
+	s, err := New(Options{
+		Graph: g, Net: net, Scheduler: sched.EchelonMADD{}, Arrangements: arrs,
+		Events: evl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	releases := map[string]float64{}
+	finishes := map[string]telemetry.Event{}
+	resched := 0
+	for _, e := range evl.Tail(0) {
+		switch e.Kind {
+		case telemetry.EventRelease:
+			releases[e.Flow] = e.At
+		case telemetry.EventFinish:
+			finishes[e.Flow] = e
+		case telemetry.EventResched:
+			resched++
+		}
+	}
+	if len(releases) != 3 || len(finishes) != 3 {
+		t.Fatalf("releases = %d, finishes = %d, want 3 each", len(releases), len(finishes))
+	}
+	if resched != res.SchedulerCalls {
+		t.Errorf("reschedule events = %d, scheduler calls = %d", resched, res.SchedulerCalls)
+	}
+	for id, rec := range res.Flows {
+		if got := releases[id]; math.Abs(got-float64(rec.Release)) > 1e-9 {
+			t.Errorf("flow %s release event at %v, record %v", id, got, rec.Release)
+		}
+		fe, ok := finishes[id]
+		if !ok {
+			t.Fatalf("flow %s has no finish event", id)
+		}
+		if math.Abs(fe.At-float64(rec.Finish)) > 1e-9 {
+			t.Errorf("flow %s finish event at %v, record %v", id, fe.At, rec.Finish)
+		}
+		if fe.Group != rec.GroupID {
+			t.Errorf("flow %s finish event group %q, want %q", id, fe.Group, rec.GroupID)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"echelonflow/internal/dag"
 	"echelonflow/internal/fabric"
 	"echelonflow/internal/sched"
+	"echelonflow/internal/telemetry"
 	"echelonflow/internal/unit"
 )
 
@@ -63,6 +64,10 @@ type Options struct {
 	// Factor 1 is a healthy host. Build these (and CapacityChanges) from a
 	// typed fault schedule with internal/faults.
 	Dilations []DilationChange
+	// Events, when non-nil, receives the same flow-lifecycle event stream
+	// the live coordinator emits (release/finish/reschedule), stamped with
+	// simulated time. Nil costs nothing.
+	Events *telemetry.EventLog
 }
 
 // CapacityChange is one timed fabric mutation.
@@ -409,6 +414,10 @@ func (s *Simulator) settle() int {
 				s.groups[ns.groupID].Reference = s.now
 			}
 			s.cache.InvalidateGroup(ns.groupID) // flow set grew
+			if s.opts.Events != nil {
+				s.opts.Events.Append(telemetry.Event{Kind: telemetry.EventRelease,
+					At: float64(s.now), Group: ns.groupID, Flow: id})
+			}
 			changed = true
 			if ns.remaining.Zeroish() {
 				s.finishFlow(ns)
@@ -488,6 +497,10 @@ func (s *Simulator) maybeReschedule() (bool, error) {
 	rates, err := s.opts.Scheduler.Schedule(snap, s.opts.Net)
 	if err != nil {
 		return false, fmt.Errorf("sim: scheduler %s at t=%v: %w", s.opts.Scheduler.Name(), s.now, err)
+	}
+	if s.opts.Events != nil {
+		s.opts.Events.Append(telemetry.Event{Kind: telemetry.EventResched,
+			At: float64(s.now), Detail: fmt.Sprintf("%d flows in flight", len(snap.Flows))})
 	}
 	for _, fs := range snap.Flows {
 		s.nodes[fs.Flow.ID].rate = rates[fs.Flow.ID]
@@ -648,6 +661,11 @@ func (s *Simulator) finishFlow(ns *nodeState) {
 	s.result.Flows[ns.node.ID] = FlowRecord{
 		GroupID: ns.groupID, Release: ns.start, Finish: ns.finish,
 		Deadline: deadline, Size: ns.node.Size,
+	}
+	if s.opts.Events != nil {
+		s.opts.Events.Append(telemetry.Event{Kind: telemetry.EventFinish,
+			At: float64(s.now), Group: ns.groupID, Flow: ns.node.ID,
+			Tardiness: float64(tard)})
 	}
 	s.propagate(ns.node.ID)
 }

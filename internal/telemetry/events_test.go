@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 6; i++ {
+		l.Append(Event{Kind: EventRelease, Flow: string(rune('a' + i))})
+	}
+	if got := l.Total(); got != 6 {
+		t.Errorf("total = %d, want 6", got)
+	}
+	tail := l.Tail(0)
+	if len(tail) != 4 {
+		t.Fatalf("retained = %d, want 4", len(tail))
+	}
+	// Oldest two ("a", "b") were overwritten; tail is oldest-first.
+	if tail[0].Flow != "c" || tail[3].Flow != "f" {
+		t.Errorf("tail = %v .. %v, want c .. f", tail[0].Flow, tail[3].Flow)
+	}
+	// Seq is monotonically increasing across overwrites.
+	for i := 1; i < len(tail); i++ {
+		if tail[i].Seq != tail[i-1].Seq+1 {
+			t.Errorf("seq gap at %d: %d -> %d", i, tail[i-1].Seq, tail[i].Seq)
+		}
+	}
+	if got := l.Tail(2); len(got) != 2 || got[1].Flow != "f" {
+		t.Errorf("Tail(2) = %+v", got)
+	}
+}
+
+func TestEventLogWallStamp(t *testing.T) {
+	l := NewEventLog(2)
+	l.clock = func() time.Time { return time.Unix(1000, 0) }
+	l.Append(Event{Kind: EventFinish})
+	l.Append(Event{Kind: EventFinish, Wall: "preset"})
+	tail := l.Tail(0)
+	if _, err := time.Parse(time.RFC3339Nano, tail[0].Wall); err != nil {
+		t.Errorf("wall stamp %q not RFC3339Nano: %v", tail[0].Wall, err)
+	}
+	if tail[1].Wall != "preset" {
+		t.Errorf("preset wall overwritten: %q", tail[1].Wall)
+	}
+}
+
+func TestEventLogNil(t *testing.T) {
+	var l *EventLog
+	l.Append(Event{Kind: EventRelease})
+	if got := l.Tail(5); got != nil {
+		t.Errorf("nil Tail = %v", got)
+	}
+	if got := l.Total(); got != 0 {
+		t.Errorf("nil Total = %d", got)
+	}
+}

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatLabels renders sorted key/value pairs as {k="v",...}; extra pairs
+// (e.g. histogram le bounds) are appended last.
+func formatLabels(labels []string, extra ...string) string {
+	all := append(append([]string(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i := 0; i+1 < len(all); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, all[i], escapeLabel(all[i+1]))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries snapshots a family's series in label order.
+func (f *family) sortedSeries() []*series {
+	f.mu.RLock()
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	f.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].labels, "\xff") < strings.Join(out[j].labels, "\xff")
+	})
+	return out
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4). Histograms emit cumulative buckets, _sum and
+// _count. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.sortedSeries() {
+			var err error
+			switch f.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, formatLabels(s.labels), s.c.Value())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(s.labels), formatValue(s.g.Value()))
+			case kindHistogram:
+				err = writeHistogram(w, f.name, s)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits one histogram series: cumulative _bucket lines for
+// every non-empty prefix plus the +Inf bucket, then _sum and _count.
+func writeHistogram(w io.Writer, name string, s *series) error {
+	var cum uint64
+	// Only buckets up to the highest non-empty one are emitted individually;
+	// the +Inf bucket always carries the total, so the cumulative series
+	// stays valid while idle histograms cost two lines instead of 41.
+	top := -1
+	for i := 0; i < histBuckets; i++ {
+		if s.h.counts[i].Load() > 0 {
+			top = i
+		}
+	}
+	for i := 0; i <= top; i++ {
+		cum += s.h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, formatLabels(s.labels, "le", formatValue(bound(i))), cum); err != nil {
+			return err
+		}
+	}
+	total := s.h.Count()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		name, formatLabels(s.labels, "le", "+Inf"), total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		name, formatLabels(s.labels), formatValue(s.h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, formatLabels(s.labels), total)
+	return err
+}
+
+// SnapshotSeries is one series' state in a JSON snapshot.
+type SnapshotSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	// Histogram-only fields.
+	Count   uint64            `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"` // upper bound -> non-cumulative count
+}
+
+// SnapshotFamily is one metric family's state in a JSON snapshot.
+type SnapshotFamily struct {
+	Name   string           `json:"name"`
+	Kind   string           `json:"kind"`
+	Help   string           `json:"help,omitempty"`
+	Series []SnapshotSeries `json:"series"`
+}
+
+// Snapshot returns a point-in-time copy of every family, for the JSON
+// exposition and for tests that assert on metric values.
+func (r *Registry) Snapshot() []SnapshotFamily {
+	fams := r.sortedFamilies()
+	out := make([]SnapshotFamily, 0, len(fams))
+	for _, f := range fams {
+		sf := SnapshotFamily{Name: f.name, Kind: f.kind, Help: f.help}
+		for _, s := range f.sortedSeries() {
+			ss := SnapshotSeries{}
+			if len(s.labels) > 0 {
+				ss.Labels = make(map[string]string, len(s.labels)/2)
+				for i := 0; i+1 < len(s.labels); i += 2 {
+					ss.Labels[s.labels[i]] = s.labels[i+1]
+				}
+			}
+			switch f.kind {
+			case kindCounter:
+				ss.Value = float64(s.c.Value())
+			case kindGauge:
+				ss.Value = s.g.Value()
+			case kindHistogram:
+				ss.Count = s.h.Count()
+				ss.Sum = s.h.Sum()
+				ss.Buckets = make(map[string]uint64)
+				for i := range s.h.counts {
+					if n := s.h.counts[i].Load(); n > 0 {
+						ss.Buckets[formatValue(bound(i))] = n
+					}
+				}
+			}
+			sf.Series = append(sf.Series, ss)
+		}
+		out = append(out, sf)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "Requests.", "path", "/x").Add(3)
+	r.Gauge("temp", "Temperature.").Set(1.5)
+	r.Histogram("lat_seconds", "Latency.").Observe(3e-6)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP reqs_total Requests.",
+		"# TYPE reqs_total counter",
+		`reqs_total{path="/x"} 3`,
+		"# TYPE temp gauge",
+		"temp 1.5",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="4e-06"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 1`,
+		"lat_seconds_sum 3e-06",
+		"lat_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "")
+	h.Observe(1e-6) // bucket 0
+	h.Observe(1e-6)
+	h.Observe(3e-6) // bucket 2
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`h_bucket{le="1e-06"} 2`,
+		`h_bucket{le="2e-06"} 2`, // cumulative through the empty bucket
+		`h_bucket{le="4e-06"} 3`,
+		`h_bucket{le="+Inf"} 3`,
+		"h_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "", "k", "a\"b\\c\nd").Set(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if want := `g{k="a\"b\\c\nd"} 1`; !strings.Contains(sb.String(), want) {
+		t.Errorf("escaped label missing %q in %q", want, sb.String())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "help", "x", "1").Add(7)
+	r.Histogram("h", "").Observe(5e-6)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("families = %d, want 2", len(snap))
+	}
+	// Families sort by name: c before h.
+	if snap[0].Name != "c" || snap[0].Series[0].Value != 7 || snap[0].Series[0].Labels["x"] != "1" {
+		t.Errorf("counter snapshot = %+v", snap[0])
+	}
+	hs := snap[1].Series[0]
+	if hs.Count != 1 || hs.Sum != 5e-6 || hs.Buckets["8e-06"] != 1 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler serves the admin surface both daemons mount under -admin:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON snapshot of every family
+//	/healthz       200 "ok" (503 + message when health returns an error)
+//	/events        JSONL tail of the lifecycle event ring (?n=, default 256)
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// reg, events and health may each be nil: the corresponding endpoint then
+// serves an empty (but well-formed) response.
+func Handler(reg *Registry, events *EventLog, health func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if health != nil {
+			if err := health(); err != nil {
+				http.Error(w, fmt.Sprintf("unhealthy: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, e := range events.Tail(n) {
+			_ = enc.Encode(e)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartAdmin binds addr and serves Handler in the background — the shared
+// -admin boilerplate of both daemons. It returns the bound address (useful
+// with ":0") and a shutdown func.
+func StartAdmin(addr string, reg *Registry, events *EventLog, health func() error) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg, events, health)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

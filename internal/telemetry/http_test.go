@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestHandler(health func() error) (http.Handler, *Registry, *EventLog) {
+	reg := NewRegistry()
+	evl := NewEventLog(8)
+	return Handler(reg, evl, health), reg, evl
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	h, reg, _ := newTestHandler(nil)
+	reg.Counter("c_total", "help").Add(2)
+	rec := get(t, h, "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "c_total 2") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestHandlerMetricsJSON(t *testing.T) {
+	h, reg, _ := newTestHandler(nil)
+	reg.Gauge("g", "").Set(3)
+	rec := get(t, h, "/metrics.json")
+	var fams []SnapshotFamily
+	if err := json.Unmarshal(rec.Body.Bytes(), &fams); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(fams) != 1 || fams[0].Series[0].Value != 3 {
+		t.Errorf("snapshot = %+v", fams)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	h, _, _ := newTestHandler(nil)
+	if rec := get(t, h, "/healthz"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("healthy: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	h2, _, _ := newTestHandler(func() error { return fmt.Errorf("journal wedged") })
+	if rec := get(t, h2, "/healthz"); rec.Code != http.StatusServiceUnavailable ||
+		!strings.Contains(rec.Body.String(), "journal wedged") {
+		t.Errorf("unhealthy: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestHandlerEvents(t *testing.T) {
+	h, _, evl := newTestHandler(nil)
+	for i := 0; i < 3; i++ {
+		evl.Append(Event{Kind: EventFinish, Flow: fmt.Sprintf("f%d", i), Tardiness: float64(i)})
+	}
+	rec := get(t, h, "/events?n=2")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d: %q", len(lines), rec.Body.String())
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Flow != "f2" || e.Kind != EventFinish || e.Tardiness != 2 {
+		t.Errorf("last event = %+v", e)
+	}
+	if rec := get(t, h, "/events?n=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad n: code = %d", rec.Code)
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	h, _, _ := newTestHandler(nil)
+	if rec := get(t, h, "/debug/pprof/"); rec.Code != 200 {
+		t.Errorf("pprof index code = %d", rec.Code)
+	}
+}
+
+func TestStartAdmin(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up", "").Inc()
+	addr, shutdown, err := StartAdmin("127.0.0.1:0", reg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}

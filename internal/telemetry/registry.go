@@ -1,0 +1,319 @@
+// Package telemetry is the runtime observability layer of the live system:
+// a dependency-free (stdlib-only) registry of atomic counters, gauges, and
+// power-of-two-bucket latency histograms with Prometheus text-format and
+// JSON exposition, plus a bounded ring of structured flow-lifecycle events.
+//
+// The paper's argument is about observable finish-time arrangements —
+// tardiness per Eq. 3/4 and the GPU idleness cost of mis-scheduling (§1,
+// Fig. 1a) — so the coordinator, agent and scheduler all report through this
+// package when an admin endpoint is configured.
+//
+// The nil *Registry is a valid always-off registry: every accessor returns a
+// nil instrument whose methods are no-ops, so instrumented code pays a
+// single nil check when telemetry is unconfigured and the scheduler hot path
+// stays byte-identical to an uninstrumented build.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metric families, each a set of label-addressed
+// series. All methods are safe for concurrent use and on a nil receiver.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// metric kinds, as exposed in # TYPE lines and JSON snapshots.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one named metric with a fixed kind and any number of series.
+type family struct {
+	name, help string
+	kind       string
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// series is one label combination's instrument inside a family.
+type series struct {
+	labels []string // alternating key, value; sorted by key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// labelKey canonicalizes alternating key/value pairs into a map key. Pairs
+// are sorted by label name so ("a","1","b","2") and ("b","2","a","1")
+// address the same series. An odd trailing key gets an empty value.
+func labelKey(labels []string) (string, []string) {
+	if len(labels) == 0 {
+		return "", nil
+	}
+	if len(labels)%2 != 0 {
+		labels = append(append([]string(nil), labels...), "")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, pair{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	norm := make([]string, 0, len(pairs)*2)
+	for _, p := range pairs {
+		sb.WriteString(p.k)
+		sb.WriteByte('\xff')
+		sb.WriteString(p.v)
+		sb.WriteByte('\xfe')
+		norm = append(norm, p.k, p.v)
+	}
+	return sb.String(), norm
+}
+
+// seriesFor finds or creates the series for name+labels, enforcing the
+// family's kind. A kind conflict (e.g. Counter on a name registered as a
+// gauge) returns a detached series that works but is never exposed, so
+// misuse cannot corrupt the exposition.
+func (r *Registry) seriesFor(name, help, kind string, labels []string) *series {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		return newSeries(kind, nil)
+	}
+	key, norm := labelKey(labels)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s == nil {
+		s = newSeries(kind, norm)
+		f.series[key] = s
+	}
+	return s
+}
+
+func newSeries(kind string, labels []string) *series {
+	s := &series{labels: labels}
+	switch kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = &Histogram{}
+	}
+	return s
+}
+
+// Counter returns the counter series for name and the given alternating
+// label key/value pairs, creating family and series on first use. Safe on a
+// nil registry (returns a nil, no-op counter).
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	s := r.seriesFor(name, help, kindCounter, labels)
+	if s == nil {
+		return nil
+	}
+	return s.c
+}
+
+// Gauge returns the gauge series for name and labels.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	s := r.seriesFor(name, help, kindGauge, labels)
+	if s == nil {
+		return nil
+	}
+	return s.g
+}
+
+// Histogram returns the histogram series for name and labels.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	s := r.seriesFor(name, help, kindHistogram, labels)
+	if s == nil {
+		return nil
+	}
+	return s.h
+}
+
+// Delete removes one series (e.g. a departed group's tardiness gauge) so it
+// stops being exposed. It reports whether a series was removed.
+func (r *Registry) Delete(name string, labels ...string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return false
+	}
+	key, _ := labelKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.series[key]; !ok {
+		return false
+	}
+	delete(f.series, key)
+	return true
+}
+
+// Counter is a monotonically increasing event count. All methods are no-ops
+// on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 value. All methods are no-ops on a nil
+// receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram bucket layout: histBuckets finite buckets with power-of-two
+// upper bounds histBase·2^i, plus an implicit +Inf bucket. With the base at
+// 1µs the finite range covers 1µs .. ~6.4 days — every latency this system
+// measures — in 40 buckets of fixed relative error.
+const (
+	histBuckets = 40
+	histBase    = 1e-6
+)
+
+// Histogram is a latency distribution with power-of-two buckets. Observe is
+// lock-free; all methods are no-ops on a nil receiver.
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Uint64 // last slot is +Inf
+	sum    Gauge
+}
+
+// bucketOf maps an observation to the smallest bucket whose inclusive upper
+// bound holds it.
+func bucketOf(v float64) int {
+	if v <= histBase {
+		return 0
+	}
+	frac, exp := math.Frexp(v / histBase) // v/histBase == frac·2^exp, frac ∈ [0.5, 1)
+	idx := exp
+	if frac == 0.5 {
+		idx-- // exact powers of two land on the bound, which is inclusive
+	}
+	if idx >= histBuckets {
+		return histBuckets // +Inf
+	}
+	return idx
+}
+
+// Observe records one sample. NaN and negative samples are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) || v < 0 {
+		return
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// bound returns bucket i's inclusive upper bound; +Inf for the last slot.
+func bound(i int) float64 {
+	if i >= histBuckets {
+		return math.Inf(1)
+	}
+	return histBase * math.Pow(2, float64(i))
+}

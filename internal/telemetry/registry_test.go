@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "help", "path", "/x")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same series.
+	if r.Counter("requests_total", "", "path", "/x") != c {
+		t.Error("same labels did not return the same counter")
+	}
+	if r.Counter("requests_total", "", "path", "/y") == c {
+		t.Error("different labels returned the same counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("temp", "help")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Errorf("gauge = %v, want 1", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Errorf("gauge = %v, want -3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("lat", "help")
+	h.Observe(0)          // below the smallest bound -> bucket 0
+	h.Observe(1e-6)       // exactly the first bound (inclusive)
+	h.Observe(3e-6)       // between 2e-6 and 4e-6
+	h.Observe(1e9)        // beyond the largest finite bound -> +Inf slot
+	h.Observe(math.NaN()) // dropped
+	h.Observe(-1)         // dropped
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	if got := h.Sum(); math.Abs(got-(1e-6+3e-6+1e9)) > 1 {
+		t.Errorf("sum = %v", got)
+	}
+	if b := bucketOf(1e-6); b != 0 {
+		t.Errorf("bucketOf(1e-6) = %d, want 0", b)
+	}
+	if b := bucketOf(2e-6); b != 1 {
+		t.Errorf("bucketOf(2e-6) = %d, want 1 (bounds inclusive)", b)
+	}
+	if b := bucketOf(3e-6); b != 2 {
+		t.Errorf("bucketOf(3e-6) = %d, want 2", b)
+	}
+	if b := bucketOf(1e9); b != histBuckets {
+		t.Errorf("bucketOf(1e9) = %d, want overflow %d", b, histBuckets)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned live instruments")
+	}
+	// All instrument methods must be no-ops on nil receivers.
+	c.Inc()
+	c.Add(3)
+	_ = c.Value()
+	g.Set(1)
+	g.Add(1)
+	_ = g.Value()
+	h.Observe(1)
+	_ = h.Count()
+	_ = h.Sum()
+	r.Delete("x")
+	if err := r.WritePrometheus(discard{}); err != nil {
+		t.Fatal(err)
+	}
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Errorf("nil snapshot = %v", snap)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestLabelKeyOrderIndependent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", "", "x", "1", "y", "2")
+	b := r.Counter("m", "", "y", "2", "x", "1")
+	if a != b {
+		t.Error("label order changed series identity")
+	}
+}
+
+func TestKindConflictDetaches(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	g := r.Gauge("m", "") // conflicting kind: must not panic, not exposed
+	g.Set(7)              // still usable
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Kind != kindCounter {
+		t.Errorf("snapshot after conflict = %+v", snap)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("m", "", "group", "a").Set(1)
+	r.Gauge("m", "", "group", "b").Set(2)
+	r.Delete("m", "group", "a")
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Series) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if got := snap[0].Series[0].Value; got != 2 {
+		t.Errorf("surviving series value = %v", got)
+	}
+}
+
+// TestConcurrentUse exercises every mutation path under the race detector.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	ev := NewEventLog(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("c", "", "w", string(rune('a'+n%4))).Inc()
+				r.Gauge("g", "").Add(1)
+				r.Histogram("h", "").Observe(float64(j) * 1e-6)
+				ev.Append(Event{Kind: EventRelease, Flow: "f"})
+				if j%50 == 0 {
+					_ = r.Snapshot()
+					_ = r.WritePrometheus(discard{})
+					_ = ev.Tail(16)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Gauge("g", "").Value(); got != 8*200 {
+		t.Errorf("gauge = %v, want %v", got, 8*200)
+	}
+	if got := r.Histogram("h", "").Count(); got != 8*200 {
+		t.Errorf("histogram count = %v", got)
+	}
+	if got := ev.Total(); got != 8*200 {
+		t.Errorf("event total = %d", got)
+	}
+}

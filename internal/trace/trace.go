@@ -62,33 +62,57 @@ func Timelines(res *sim.Result, g *dag.Graph) []HostTimeline {
 	return out
 }
 
+// mergedBusy computes a timeline's busy time with overlapping spans merged,
+// plus the [minStart, maxEnd] window. Fault-dilated replays can produce
+// nested or overlapping spans, and spans sorted by start need not end in
+// order, so neither summing raw durations nor trusting the last-by-start
+// span's End is safe.
+func (h HostTimeline) mergedBusy() (busy unit.Time, minStart, maxEnd unit.Time) {
+	if len(h.Spans) == 0 {
+		return 0, 0, 0
+	}
+	spans := append([]TaskSpan(nil), h.Spans...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	minStart = spans[0].Start
+	curStart, curEnd := spans[0].Start, spans[0].End
+	for _, s := range spans[1:] {
+		if s.Start <= curEnd {
+			if s.End > curEnd {
+				curEnd = s.End
+			}
+			continue
+		}
+		busy += curEnd - curStart
+		curStart, curEnd = s.Start, s.End
+	}
+	busy += curEnd - curStart
+	maxEnd = curEnd
+	return busy, minStart, maxEnd
+}
+
 // Idle returns a host's total idle time between its first start and last
-// end — the grey areas of the paper's Fig. 1a.
+// end — the grey areas of the paper's Fig. 1a. Overlapping spans are merged
+// so dilated replays do not overcount busy time.
 func (h HostTimeline) Idle() unit.Time {
 	if len(h.Spans) == 0 {
 		return 0
 	}
-	var busy unit.Time
-	for _, s := range h.Spans {
-		busy += s.End - s.Start
-	}
-	window := h.Spans[len(h.Spans)-1].End - h.Spans[0].Start
-	idle := window - busy
+	busy, minStart, maxEnd := h.mergedBusy()
+	idle := (maxEnd - minStart) - busy
 	if idle < 0 {
+		// Merged accounting leaves only float rounding here.
 		return 0
 	}
 	return idle
 }
 
-// Utilization returns busy time divided by the full [0, makespan] window.
+// Utilization returns merged busy time divided by the full [0, makespan]
+// window.
 func (h HostTimeline) Utilization(makespan unit.Time) float64 {
 	if makespan <= 0 {
 		return 0
 	}
-	var busy unit.Time
-	for _, s := range h.Spans {
-		busy += s.End - s.Start
-	}
+	busy, _, _ := h.mergedBusy()
 	return float64(busy) / float64(makespan)
 }
 
@@ -105,8 +129,12 @@ func Gantt(res *sim.Result, g *dag.Graph, width int) string {
 	}
 	scale := float64(width) / float64(res.Makespan)
 	var sb strings.Builder
-	var legend []string
 	glyphOf := make(map[string]byte)
+	// The glyph cycle reuses symbols past len(glyphs) tasks, so the legend
+	// groups every ID sharing a glyph into one entry instead of emitting
+	// duplicate-looking lines.
+	idsOf := make(map[byte][]string)
+	var glyphOrder []byte
 	next := 0
 	hostWidth := 0
 	for _, tl := range tls {
@@ -125,9 +153,17 @@ func Gantt(res *sim.Result, g *dag.Graph, width int) string {
 				gl = glyphs[next%len(glyphs)]
 				next++
 				glyphOf[s.ID] = gl
-				legend = append(legend, fmt.Sprintf("%c=%s", gl, s.ID))
+				if len(idsOf[gl]) == 0 {
+					glyphOrder = append(glyphOrder, gl)
+				}
+				idsOf[gl] = append(idsOf[gl], s.ID)
 			}
 			from := int(float64(s.Start) * scale)
+			if from >= width {
+				// A span starting at the makespan (zero-duration tail task)
+				// still deserves a cell.
+				from = width - 1
+			}
 			to := int(float64(s.End) * scale)
 			if to <= from {
 				to = from + 1
@@ -139,6 +175,10 @@ func Gantt(res *sim.Result, g *dag.Graph, width int) string {
 		fmt.Fprintf(&sb, "%-*s |%s|\n", hostWidth, tl.Host, row)
 	}
 	fmt.Fprintf(&sb, "%-*s  0%*s\n", hostWidth, "t", width-1, res.Makespan.String())
+	legend := make([]string, 0, len(glyphOrder))
+	for _, gl := range glyphOrder {
+		legend = append(legend, fmt.Sprintf("%c=%s", gl, strings.Join(idsOf[gl], ",")))
+	}
 	sb.WriteString("legend: " + strings.Join(legend, " ") + "\n")
 	return sb.String()
 }

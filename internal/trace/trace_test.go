@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -73,6 +74,48 @@ func TestIdle(t *testing.T) {
 	}
 }
 
+// TestIdleNestedSpans regression-tests the two old Idle bugs: a window
+// derived from the last-by-start span's End (wrong when an earlier span ends
+// later) and raw-duration summing (overcounts overlap).
+func TestIdleNestedSpans(t *testing.T) {
+	// y nests inside x: the host is busy [0,10] with no idle at all, but the
+	// buggy accounting summed 10+2=12 busy over a window ending at y.End=5.
+	h := HostTimeline{Host: "h", Spans: []TaskSpan{
+		{ID: "x", Start: 0, End: 10},
+		{ID: "y", Start: 3, End: 5},
+	}}
+	if got := h.Idle(); got != 0 {
+		t.Errorf("nested Idle = %v, want 0", got)
+	}
+	if got := h.Utilization(20); got != 0.5 {
+		t.Errorf("nested Utilization = %v, want 0.5 (10 busy / 20)", got)
+	}
+
+	// Out-of-order ends: sorted by start, the last span ends before the
+	// first. Window is [0,10], busy = [0,10] merged with [2,4] = 10.
+	h = HostTimeline{Host: "h", Spans: []TaskSpan{
+		{ID: "b", Start: 2, End: 4},
+		{ID: "a", Start: 0, End: 10},
+	}}
+	if got := h.Idle(); got != 0 {
+		t.Errorf("out-of-order-end Idle = %v, want 0", got)
+	}
+
+	// Partial overlap plus a gap: [0,4]∪[2,6] merges to [0,6]; gap to [8,9]
+	// is 2 idle over window [0,9].
+	h = HostTimeline{Host: "h", Spans: []TaskSpan{
+		{ID: "a", Start: 0, End: 4},
+		{ID: "b", Start: 2, End: 6},
+		{ID: "c", Start: 8, End: 9},
+	}}
+	if got := h.Idle(); !got.ApproxEq(2) {
+		t.Errorf("overlap Idle = %v, want 2", got)
+	}
+	if got := h.Utilization(10); got != 0.7 {
+		t.Errorf("overlap Utilization = %v, want 0.7 (7 busy / 10)", got)
+	}
+}
+
 func TestGantt(t *testing.T) {
 	res, g := tinyRun(t, false)
 	out := Gantt(res, g, 60)
@@ -90,6 +133,53 @@ func TestGantt(t *testing.T) {
 	// Degenerate width clamps.
 	if Gantt(res, g, 1) == "" {
 		t.Error("small width produced nothing")
+	}
+}
+
+// TestGanttGlyphCycleAndClamp regression-tests two rendering bugs: a task
+// starting exactly at the makespan was dropped (its scaled column landed one
+// past the row), and past 62 tasks the glyph cycle emitted duplicate legend
+// entries instead of grouping IDs per glyph.
+func TestGanttGlyphCycleAndClamp(t *testing.T) {
+	g := dag.New()
+	res := &sim.Result{Tasks: map[string]sim.Span{}, Makespan: 70}
+	// 70 unit tasks on one host: glyphs wrap after 62.
+	for i := 0; i < 70; i++ {
+		id := fmt.Sprintf("t%02d", i)
+		g.MustAdd(&dag.Node{ID: id, Kind: dag.Compute, Host: "h1", Duration: 1})
+		res.Tasks[id] = sim.Span{Start: unit.Time(i), End: unit.Time(i + 1)}
+	}
+	// A zero-duration task starting at the makespan on another host.
+	g.MustAdd(&dag.Node{ID: "tail", Kind: dag.Compute, Host: "h2"})
+	res.Tasks["tail"] = sim.Span{Start: 70, End: 70}
+
+	out := Gantt(res, g, 70)
+	if !strings.Contains(out, "tail") {
+		t.Errorf("legend lost the makespan-start task:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Row 2 is h2: the clamped tail task (glyph 'A' — the 71st assignment
+	// in the 61-glyph cycle) must occupy the final cell, not be dropped.
+	h2row := lines[1]
+	if !strings.HasSuffix(strings.TrimSuffix(h2row, "|"), "A") {
+		t.Errorf("h2 row does not end with the tail task's glyph: %q", h2row)
+	}
+	// The legend groups glyph-sharing IDs: glyph '1' maps to both t00 and
+	// the 62nd task (t61), and appears exactly once.
+	var legend string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "legend:") {
+			legend = ln
+		}
+	}
+	if n := strings.Count(legend, " 1="); n != 1 {
+		t.Errorf("glyph '1' has %d legend entries, want 1:\n%s", n, legend)
+	}
+	if !strings.Contains(legend, "1=t00,t61") {
+		t.Errorf("legend does not group glyph-sharing IDs:\n%s", legend)
+	}
+	if !strings.Contains(legend, "A=t09,tail") {
+		t.Errorf("legend does not group the clamped tail task:\n%s", legend)
 	}
 }
 
