@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"echelonflow/internal/core"
 	"echelonflow/internal/ddlt"
 	"echelonflow/internal/fabric"
 	"echelonflow/internal/sched"
@@ -183,4 +184,152 @@ func BenchmarkSchedule_512Hosts12Jobs(b *testing.B) {
 		b.Skip("512-host mix skipped in -short mode")
 	}
 	benchSchedule(b, 512, 12, echelonCached)
+}
+
+// buildEventWorld assembles a steady-state snapshot for the per-event
+// benchmarks: `jobs` eight-flow pipeline groups on disjoint 4-worker slices
+// of a `hosts`-host fabric, every flow released. The snapshot follows the
+// coordinator's assembly discipline (sorted groups, arrangement-order
+// flows) so the schedulers see exactly what a live event would hand them.
+func buildEventWorld(hosts, jobs int) (*sched.Snapshot, *fabric.Network, []string, error) {
+	net := fabric.NewNetwork()
+	names := make([]string, hosts)
+	for i := range names {
+		names[i] = fmt.Sprintf("h%04d", i)
+	}
+	net.AddUniformHosts(10, names...)
+
+	snap := &sched.Snapshot{Groups: make(map[string]*sched.GroupState, jobs)}
+	gids := make([]string, 0, jobs)
+	for j := 0; j < jobs; j++ {
+		workers := make([]string, 4)
+		for k := range workers {
+			workers[k] = names[(j*4+k)%hosts]
+		}
+		flows := make([]*core.Flow, 8)
+		for k := range flows {
+			flows[k] = &core.Flow{
+				ID:    fmt.Sprintf("j%02df%d", j, k),
+				Src:   workers[k%4],
+				Dst:   workers[(k+1)%4],
+				Size:  unit.Bytes(64 + 8*k),
+				Stage: k,
+			}
+		}
+		g, err := core.New(fmt.Sprintf("job%02d", j), core.Pipeline{T: 2}, flows...)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		snap.Groups[g.ID] = &sched.GroupState{Group: g}
+		for _, f := range g.Flows {
+			snap.Flows = append(snap.Flows, &sched.FlowState{Flow: f, GroupID: g.ID, Remaining: f.Size})
+		}
+		gids = append(gids, g.ID)
+	}
+	return snap, net, gids, nil
+}
+
+// benchScheduleEvent measures the single-event hot path at steady state:
+// each iteration finishes (or re-releases) one flow of one group, then asks
+// either the incremental scheduler for a patch over the touched group
+// (delta=true) or the full scheduler for a cluster-wide re-solve with a warm
+// plan cache (delta=false) — the two paths a coordinator flow event can
+// take. Only the scheduling call itself is timed.
+func benchScheduleEvent(b *testing.B, hosts, jobs int, delta bool) {
+	b.Helper()
+	base, net, gids, err := buildEventWorld(hosts, jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deltaS := sched.NewDelta(sched.EchelonMADD{Backfill: true, Cache: sched.NewPlanCache()})
+	fullS := sched.EchelonMADD{Backfill: true, Cache: sched.NewPlanCache()}
+
+	// The toggled flow is each group's last pipeline stage; groups keep
+	// their seven other flows, so membership changes but never vanishes.
+	lastOf := make(map[string]string, len(gids))
+	for _, fs := range base.Flows {
+		lastOf[fs.GroupID] = fs.Flow.ID
+	}
+	absent := make(map[string]bool, len(gids))
+	rebuild := func() *sched.Snapshot {
+		snap := &sched.Snapshot{Now: base.Now, Groups: base.Groups}
+		snap.Flows = make([]*sched.FlowState, 0, len(base.Flows))
+		for _, fs := range base.Flows {
+			if !absent[fs.Flow.ID] {
+				snap.Flows = append(snap.Flows, fs)
+			}
+		}
+		return snap
+	}
+
+	// One full pass warms the plan cache and captures the incremental state.
+	if delta {
+		_, err = deltaS.Schedule(rebuild(), net)
+	} else {
+		_, err = fullS.Schedule(rebuild(), net)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var ns int64
+	var mallocs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gid := gids[i%len(gids)]
+		fid := lastOf[gid]
+		absent[fid] = !absent[fid]
+		snap := rebuild()
+		var before, after runtime.MemStats
+		if delta {
+			deltaS.PlanCache().InvalidateGroup(gid)
+			runtime.ReadMemStats(&before)
+			t0 := time.Now()
+			_, ok, err := deltaS.Apply(snap, net, sched.Delta{Groups: []string{gid}})
+			ns += time.Since(t0).Nanoseconds()
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				b.Fatalf("delta fell back on event %d: %s", i, deltaS.LastOutcome().Reason)
+			}
+		} else {
+			fullS.Cache.InvalidateGroup(gid)
+			runtime.ReadMemStats(&before)
+			t0 := time.Now()
+			_, err := fullS.Schedule(snap, net)
+			ns += time.Since(t0).Nanoseconds()
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		mallocs += after.Mallocs - before.Mallocs
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ns)/float64(b.N), "ns/schedcall")
+	b.ReportMetric(float64(mallocs)/float64(b.N), "allocs/schedcall")
+}
+
+func BenchmarkSchedule_2048Hosts64Jobs_DeltaEvent(b *testing.B) {
+	benchScheduleEvent(b, 2048, 64, true)
+}
+
+func BenchmarkSchedule_2048Hosts64Jobs_FullEvent(b *testing.B) {
+	benchScheduleEvent(b, 2048, 64, false)
+}
+
+func BenchmarkSchedule_4096Hosts64Jobs_DeltaEvent(b *testing.B) {
+	if testing.Short() {
+		b.Skip("4096-host mix skipped in -short mode")
+	}
+	benchScheduleEvent(b, 4096, 64, true)
+}
+
+func BenchmarkSchedule_4096Hosts64Jobs_FullEvent(b *testing.B) {
+	if testing.Short() {
+		b.Skip("4096-host mix skipped in -short mode")
+	}
+	benchScheduleEvent(b, 4096, 64, false)
 }

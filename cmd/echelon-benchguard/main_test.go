@@ -14,6 +14,8 @@ BenchmarkSchedule_64Hosts4Jobs-4      	       2	  30212345 ns/op	     124.5 allo
 BenchmarkSchedule_256Hosts8Jobs-4     	       2	 120212345 ns/op	     241.9 allocs/schedcall	 178752 ns/schedcall	  69.00 schedcalls/run
 BenchmarkSchedule_256Hosts8Jobs_NoCache-4 	   2	 150212345 ns/op	     238.8 allocs/schedcall	 230846 ns/schedcall	  69.00 schedcalls/run
 BenchmarkSchedule_256Hosts8Jobs_Instrumented-4 	   2	 122212345 ns/op	     245.1 allocs/schedcall	 180903 ns/schedcall	  69.00 schedcalls/run
+BenchmarkSchedule_2048Hosts64Jobs_DeltaEvent-4 	  50	    335472 ns/op	     533.0 allocs/schedcall	 315608 ns/schedcall
+BenchmarkSchedule_2048Hosts64Jobs_FullEvent-4 	  50	   2345278 ns/op	    3894 allocs/schedcall	2324675 ns/schedcall
 PASS
 ok  	echelonflow	4.2s
 `
@@ -30,6 +32,10 @@ const sampleBaseline = `{
       "pooled_cached": {"ns_per_schedcall": 178752, "allocs_per_schedcall": 241.9},
       "pooled_nocache": {"ns_per_schedcall": 230846, "allocs_per_schedcall": 238.8},
       "pooled_instrumented": {"ns_per_schedcall": 180903, "allocs_per_schedcall": 245.1}
+    },
+    "2048hosts_64jobs": {
+      "pooled_delta": {"ns_per_schedcall": 315608, "allocs_per_schedcall": 533.0, "advisory": true},
+      "pooled_full_event": {"ns_per_schedcall": 2324675, "allocs_per_schedcall": 3894, "advisory": true}
     }
   }
 }`
@@ -48,14 +54,16 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(meas) != 4 {
-		t.Fatalf("parsed %d measurements, want 4: %+v", len(meas), meas)
+	if len(meas) != 6 {
+		t.Fatalf("parsed %d measurements, want 6: %+v", len(meas), meas)
 	}
 	want := []measurement{
 		{Key: "64hosts_4jobs", Variant: "pooled_cached", metrics: metrics{NsPerCall: 56141, AllocsPerCall: 124.5}},
 		{Key: "256hosts_8jobs", Variant: "pooled_cached", metrics: metrics{NsPerCall: 178752, AllocsPerCall: 241.9}},
 		{Key: "256hosts_8jobs", Variant: "pooled_nocache", metrics: metrics{NsPerCall: 230846, AllocsPerCall: 238.8}},
 		{Key: "256hosts_8jobs", Variant: "pooled_instrumented", metrics: metrics{NsPerCall: 180903, AllocsPerCall: 245.1}},
+		{Key: "2048hosts_64jobs", Variant: "pooled_delta", metrics: metrics{NsPerCall: 315608, AllocsPerCall: 533.0}},
+		{Key: "2048hosts_64jobs", Variant: "pooled_full_event", metrics: metrics{NsPerCall: 2324675, AllocsPerCall: 3894}},
 	}
 	for i, w := range want {
 		if meas[i] != w {
@@ -73,9 +81,31 @@ func TestCheckWithinThreshold(t *testing.T) {
 	if regressed {
 		t.Errorf("baseline-equal measurements flagged as regression:\n%s", strings.Join(lines, "\n"))
 	}
-	// 4 measurements x 2 metrics.
-	if len(lines) != 8 {
-		t.Errorf("got %d comparison lines, want 8", len(lines))
+	// 6 measurements x 2 metrics.
+	if len(lines) != 12 {
+		t.Errorf("got %d comparison lines, want 12", len(lines))
+	}
+}
+
+// TestCheckAdvisoryWarnsOnly pins the soft gate: a regression on a variant
+// whose baseline is marked advisory reports WARN but never fails the run.
+func TestCheckAdvisoryWarnsOnly(t *testing.T) {
+	meas := []measurement{{
+		Key: "2048hosts_64jobs", Variant: "pooled_delta",
+		metrics: metrics{NsPerCall: 315608 * 2, AllocsPerCall: 533.0},
+	}}
+	lines, regressed := check(meas, loadBaseline(t), 1.25)
+	if regressed {
+		t.Errorf("advisory variant regression failed the run:\n%s", strings.Join(lines, "\n"))
+	}
+	warned := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "WARN") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("advisory regression produced no WARN line:\n%s", strings.Join(lines, "\n"))
 	}
 }
 

@@ -7,9 +7,14 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
+	"echelonflow/internal/coordinator"
+	"echelonflow/internal/core"
+	"echelonflow/internal/fabric"
 	"echelonflow/internal/sched"
 	"echelonflow/internal/unit"
+	"echelonflow/internal/wire"
 )
 
 // quickSeeds is the fixed tier-1 seed set: small enough to keep the test
@@ -201,6 +206,80 @@ func TestCheck_OracleCatchesOversubscription(t *testing.T) {
 	}
 	if fired == 0 {
 		t.Error("feasibility oracle never fired under an oversubscribing scheduler")
+	}
+}
+
+// TestCheck_DeltaVsFull exercises the delta-vs-full differential oracle
+// alone over the full quick seed set (fault schedules included): every
+// accepted patch bit-equal to a full pass on replanned groups, stale state
+// always refused.
+func TestCheck_DeltaVsFull(t *testing.T) {
+	for _, seed := range quickSeeds {
+		out := RunSeed(seed, Config{Oracles: []string{OracleDelta}})
+		for _, v := range out.Violations {
+			t.Errorf("seed %d: %s: %s", seed, v.Oracle, v.Detail)
+		}
+	}
+}
+
+// TestCheck_RejoinRescheduleFailureSurfaces drives the coordinator's public
+// API with the Overdrive FailAfter fixture: a crash-recovered group whose
+// rejoin reschedule fails must see the error (regression — it used to be
+// logged and swallowed) and stay parked until a reschedule succeeds.
+func TestCheck_RejoinRescheduleFailureSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	clk := newReplayClock()
+	mkOpts := func(budget *int) coordinator.Options {
+		net := fabric.NewNetwork()
+		net.AddUniformHosts(10, "a", "b")
+		return coordinator.Options{
+			Net:               net,
+			Scheduler:         Overdrive{Inner: canonicalScheduler(), Factor: 1, FailAfter: budget},
+			QuarantineTimeout: time.Hour,
+			Clock:             clk.now,
+			Logf:              t.Logf,
+		}
+	}
+	plenty := 1 << 30
+	co, err := coordinator.Restore(mkOpts(&plenty), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.NewCoflow("g", &core.Flow{ID: "f", Src: "a", Dst: "b", Size: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.RegisterGroup("check", g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.FlowEvent(wire.FlowEvent{GroupID: "g", FlowID: "f", Event: wire.EventReleased}); err != nil {
+		t.Fatal(err)
+	}
+	co.Close()
+
+	// Replay consumes exactly one reschedule (the release record); the
+	// rejoin's reschedule is the second call and fails.
+	budget := 1
+	co2, err := coordinator.Restore(mkOpts(&budget), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co2.Close()
+	if !co2.GroupParked("g") {
+		t.Fatal("recovered group not quarantined")
+	}
+	if err := co2.RegisterGroup("check", g); err == nil {
+		t.Fatal("rejoin with a failing scheduler reported success")
+	}
+	if !co2.GroupParked("g") {
+		t.Error("group unparked although its rejoin reschedule failed")
+	}
+	budget = 1 << 30
+	if err := co2.RegisterGroup("check", g); err != nil {
+		t.Fatalf("rejoin after scheduler recovery: %v", err)
+	}
+	if co2.GroupParked("g") {
+		t.Error("group still parked after successful rejoin")
 	}
 }
 

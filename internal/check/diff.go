@@ -195,8 +195,13 @@ func replayRun(c *compiled, res *sim.Result, dir string, crashAt int) (*replayOu
 	clk := newReplayClock()
 	mkOpts := func() coordinator.Options {
 		return coordinator.Options{
-			Net:               c.newNet(),
-			Scheduler:         canonicalScheduler(),
+			Net: c.newNet(),
+			// Delta-wrapped: single-flow events route through the
+			// incremental Apply path, so the live and journal oracles also
+			// prove the coordinator's delta routing (and Prime-on-Restore)
+			// preserves the trajectory. Coalescing stays off — its drain
+			// timer is wall-clock-driven and would be nondeterministic here.
+			Scheduler:         sched.NewDelta(sched.EchelonMADD{Backfill: true, Cache: sched.NewPlanCache()}),
 			QuarantineTimeout: time.Hour,
 			SnapshotEvery:     8,
 			Clock:             clk.now,

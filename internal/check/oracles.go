@@ -38,6 +38,7 @@ const (
 	OracleRank    = "rank"    // parallel vs serial solo ranking: identical run
 	OracleLive    = "live"    // sim vs live coordinator replay: same references/tardiness/allocations
 	OracleJournal = "journal" // journal crash/Restore mid-run: bit-equal to uninterrupted run
+	OracleDelta   = "delta"   // incremental Apply vs full Schedule: bit-equal replanned flows, held rates frozen, stale state refused
 )
 
 // OracleRun is the pseudo-oracle a simulator error reports under, so
@@ -51,7 +52,7 @@ func ResultOracles() []string {
 
 // DiffOracles lists the differential oracles in evaluation order.
 func DiffOracles() []string {
-	return []string{OracleCache, OracleRank, OracleLive, OracleJournal}
+	return []string{OracleCache, OracleRank, OracleLive, OracleJournal, OracleDelta}
 }
 
 // AllOracles lists every oracle the harness knows.

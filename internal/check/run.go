@@ -158,6 +158,8 @@ func Run(sc *Scenario, cfg Config) *Outcome {
 			out.Violations = append(out.Violations, diffLive(c, res)...)
 		case OracleJournal:
 			out.Violations = append(out.Violations, diffJournal(c, res)...)
+		case OracleDelta:
+			out.Violations = append(out.Violations, diffDelta(c, res)...)
 		}
 	}
 	return out

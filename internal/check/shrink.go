@@ -293,14 +293,27 @@ func WriteRepro(dir string, seed uint64, sc *Scenario, v Violation) (string, err
 type Overdrive struct {
 	Inner  sched.Scheduler
 	Factor float64
+	// FailAfter, when non-nil, is a countdown of remaining successful
+	// Schedule calls: once it reaches zero every further call errors. With
+	// Factor 1 this turns Overdrive into a deterministic failing-scheduler
+	// fixture for error-propagation paths (e.g. a coordinator rejoin whose
+	// reschedule fails).
+	FailAfter *int
 }
 
 // Name identifies the broken scheduler in traces.
 func (o Overdrive) Name() string { return fmt.Sprintf("overdrive(%s,%g)", o.Inner.Name(), o.Factor) }
 
 // Schedule scales the inner allocation by Factor, deliberately breaking
-// feasibility when Factor > 1.
+// feasibility when Factor > 1, and fails outright once the FailAfter budget
+// is exhausted.
 func (o Overdrive) Schedule(snap *sched.Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+	if o.FailAfter != nil {
+		if *o.FailAfter <= 0 {
+			return nil, fmt.Errorf("overdrive: induced failure (budget exhausted)")
+		}
+		*o.FailAfter--
+	}
 	rates, err := o.Inner.Schedule(snap, net)
 	if err != nil {
 		return nil, err

@@ -51,6 +51,14 @@ type Options struct {
 	// journal into a snapshot after this many appended events. Zero keeps
 	// the write-ahead log growing until the next restart.
 	SnapshotEvery int
+	// Coalesce, when positive, batches flow lifecycle events: a FlowEvent
+	// is applied and journaled immediately but the reschedule is deferred
+	// until this window elapses (or a non-coalescible event — capacity
+	// change, unregister, park/revive, tick — forces a flush first). A
+	// burst of finish reports then drains into one reschedule. The journal
+	// records the batch boundary (a "resched" record listing the batch's
+	// groups), so Restore replays the same batches bit-for-bit.
+	Coalesce time.Duration
 	// RedialRate, when positive, admission-limits reconnects per agent name
 	// to this many per second (burst RedialBurst, default 1), so a flapping
 	// agent redialing in a tight loop cannot starve connection handling.
@@ -116,6 +124,22 @@ type Coordinator struct {
 	// events invalidate the affected groups eagerly. Nil-safe.
 	cache *sched.PlanCache
 
+	// delta is the scheduler's incremental path when it implements
+	// sched.DeltaScheduler (resolved once in New, through the Instrument
+	// wrapper). Nil means every reschedule is a full Schedule.
+	delta sched.DeltaScheduler
+
+	// pending accumulates the group IDs touched by coalesced flow events
+	// awaiting one batched reschedule; nil means no batch is open.
+	// pendingGen invalidates a stale drain timer after an early flush.
+	// flushing suppresses journal compaction while the batch boundary's
+	// resched record is being written and applied — a snapshot taken there
+	// would capture the batch's mutations while its reschedule is in neither
+	// the snapshot nor the tail.
+	pending    map[string]bool
+	pendingGen int
+	flushing   bool
+
 	// journal, when set (via Restore), receives an append for every
 	// state-mutating event; journalEvents counts appends since the last
 	// snapshot, and replaying suppresses appends while the log is being
@@ -146,6 +170,11 @@ type coordTelemetry struct {
 	snapshots      *telemetry.Counter
 	ratesComputed  *telemetry.Counter
 	ratesPushed    *telemetry.Counter
+	deltaApplied   *telemetry.Counter
+	deltaFallback  *telemetry.Counter
+	coalesced      *telemetry.Counter
+	batches        *telemetry.Counter
+	reschedErrors  *telemetry.Counter
 }
 
 // Metric family names the coordinator exposes. Kept as constants so tests
@@ -165,6 +194,11 @@ const (
 	MetricJournalSnapshots       = "echelon_journal_snapshots_total"
 	MetricRatesComputed          = "echelon_allocation_entries_computed_total"
 	MetricRatesPushed            = "echelon_allocation_entries_pushed_total"
+	MetricDeltaApplied           = "echelon_delta_applied_total"
+	MetricDeltaFallback          = "echelon_delta_fallback_total"
+	MetricCoalescedEvents        = "echelon_coalesced_events_total"
+	MetricCoalesceBatches        = "echelon_coalesce_batches_total"
+	MetricRescheduleErrors       = "echelon_reschedule_errors_total"
 )
 
 // New validates options and returns a Coordinator.
@@ -186,6 +220,9 @@ func New(opts Options) (*Coordinator, error) {
 	}
 	if opts.RedialRate < 0 || opts.RedialBurst < 0 {
 		return nil, fmt.Errorf("coordinator: negative redial limit %v/%v", opts.RedialRate, opts.RedialBurst)
+	}
+	if opts.Coalesce < 0 {
+		return nil, fmt.Errorf("coordinator: negative Coalesce %v", opts.Coalesce)
 	}
 	if opts.Scheduler == nil {
 		opts.Scheduler = sched.EchelonMADD{Backfill: true, Cache: sched.NewPlanCache()}
@@ -210,6 +247,9 @@ func New(opts Options) (*Coordinator, error) {
 	if pc, ok := opts.Scheduler.(interface{ PlanCache() *sched.PlanCache }); ok {
 		c.cache = pc.PlanCache()
 	}
+	if ds, ok := opts.Scheduler.(sched.DeltaScheduler); ok {
+		c.delta = ds
+	}
 	// Families are registered eagerly so /metrics exposes the full surface
 	// (tardiness gauges included) before the first event arrives. All calls
 	// are nil-safe no-ops without a registry.
@@ -227,6 +267,11 @@ func New(opts Options) (*Coordinator, error) {
 		snapshots:      m.Counter(MetricJournalSnapshots, "Journal compactions into a snapshot."),
 		ratesComputed:  m.Counter(MetricRatesComputed, "Allocation entries computed across broadcasts."),
 		ratesPushed:    m.Counter(MetricRatesPushed, "Allocation entries actually pushed after delta filtering."),
+		deltaApplied:   m.Counter(MetricDeltaApplied, "Reschedules served by the incremental delta path."),
+		deltaFallback:  m.Counter(MetricDeltaFallback, "Delta-eligible reschedules that fell back to a full Schedule."),
+		coalesced:      m.Counter(MetricCoalescedEvents, "Flow events deferred into a coalescing batch."),
+		batches:        m.Counter(MetricCoalesceBatches, "Coalesced batches drained into one reschedule."),
+		reschedErrors:  m.Counter(MetricRescheduleErrors, "Reschedule attempts that returned an error."),
 	}
 	c.tel.totalTard.Set(0)
 	return c, nil
@@ -307,11 +352,18 @@ func (c *Coordinator) register(owner string, g *core.EchelonFlow, adoptLive bool
 		// state — released/finished flags, remaining bytes, reference time
 		// and achieved tardiness all carry over — instead of erroring.
 		if existing.parked {
+			c.flushCoalescedLocked()
 			existing.parked = false
 			c.advanceLocked()
 			c.appendJournalLocked(journalEvent{Kind: jRevive, At: c.lastAdvance, Groups: []string{g.ID}})
 			if _, err := c.rescheduleLocked(); err != nil {
-				c.opts.Logf("coordinator: reschedule after %q rejoined: %v", g.ID, err)
+				// Scheduling the revived group failed. Returning nil here
+				// would tell the agent its rejoin succeeded while it holds a
+				// stale allocation the scheduler never re-validated — so
+				// re-park the group (journaled, so replay re-parks it after
+				// its own failed reschedule) and surface the error.
+				c.parkLocked([]string{g.ID}, owner, "rejoin reschedule failed")
+				return fmt.Errorf("coordinator: reschedule after %q rejoined: %w", g.ID, err)
 			}
 		}
 		return nil
@@ -357,16 +409,20 @@ func (c *Coordinator) UnregisterGroup(groupID string) (map[string]unit.Rate, err
 	if _, ok := c.groups[groupID]; !ok {
 		return nil, fmt.Errorf("coordinator: unknown group %q", groupID)
 	}
+	c.flushCoalescedLocked()
 	c.advanceLocked()
 	delete(c.groups, groupID)
 	c.cache.InvalidateGroup(groupID)
 	c.dropGroupMetricsLocked(groupID)
 	c.event(telemetry.Event{Kind: telemetry.EventUnregister, At: float64(c.lastAdvance), Group: groupID})
 	c.appendJournalLocked(journalEvent{Kind: jUnregister, At: c.lastAdvance, Groups: []string{groupID}})
-	return c.rescheduleLocked()
+	return c.rescheduleDeltaLocked([]string{groupID})
 }
 
 // FlowEvent applies a lifecycle transition and returns the fresh allocation.
+// With coalescing enabled the mutation is applied and journaled immediately
+// but the reschedule is deferred into the open batch; the returned map is
+// then the allocation still in force.
 func (c *Coordinator) FlowEvent(ev wire.FlowEvent) (map[string]unit.Rate, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -378,9 +434,101 @@ func (c *Coordinator) FlowEvent(ev wire.FlowEvent) (map[string]unit.Rate, error)
 	if err := c.applyFlowLocked(ev, now); err != nil {
 		return nil, err
 	}
+	if c.opts.Coalesce > 0 {
+		c.appendJournalLocked(journalEvent{Kind: jFlow, At: now, Flow: &ev, Defer: true})
+		c.cache.InvalidateGroup(ev.GroupID)
+		c.deferRescheduleLocked(ev.GroupID)
+		return c.currentRatesLocked(), nil
+	}
 	c.appendJournalLocked(journalEvent{Kind: jFlow, At: now, Flow: &ev})
 	c.cache.InvalidateGroup(ev.GroupID) // the group's released flow set changed
-	return c.rescheduleLocked()
+	return c.rescheduleDeltaLocked([]string{ev.GroupID})
+}
+
+// deferRescheduleLocked adds a group to the open coalescing batch, opening
+// one (and arming its drain timer) when none is.
+func (c *Coordinator) deferRescheduleLocked(gid string) {
+	if c.pending == nil {
+		c.pending = make(map[string]bool)
+		c.pendingGen++
+		gen := c.pendingGen
+		time.AfterFunc(c.opts.Coalesce, func() { c.drainBatch(gen) })
+	}
+	c.pending[gid] = true
+	c.tel.coalesced.Inc()
+}
+
+// drainBatch is the coalescing window's timer callback.
+func (c *Coordinator) drainBatch(gen int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pending == nil || c.pendingGen != gen {
+		return // already flushed by a non-coalescible event
+	}
+	c.flushCoalescedLocked()
+}
+
+// flushCoalescedLocked drains the open batch (if any) into one reschedule.
+// The batch boundary is journaled — a resched record carrying the batch's
+// sorted groups — so Restore replays the exact same batches and stays
+// bit-for-bit. Every non-coalescible mutation (capacity change, unregister,
+// tick, park/revive/evict, rejoin) flushes before acting, keeping the
+// journal order equal to the live decision order.
+func (c *Coordinator) flushCoalescedLocked() (map[string]unit.Rate, error) {
+	if c.pending == nil {
+		return nil, nil
+	}
+	gids := make([]string, 0, len(c.pending))
+	for gid := range c.pending {
+		gids = append(gids, gid)
+	}
+	sort.Strings(gids)
+	c.pending = nil
+	c.pendingGen++
+	c.advanceLocked()
+	c.flushing = true
+	c.appendJournalLocked(journalEvent{Kind: jResched, At: c.lastAdvance, Groups: gids})
+	c.tel.batches.Inc()
+	rates, err := c.rescheduleDeltaLocked(gids)
+	c.flushing = false
+	if err != nil {
+		c.opts.Logf("coordinator: coalesced reschedule (%d groups): %v", len(gids), err)
+	}
+	// Compaction deferred during the batch (and during the flush itself) runs
+	// now, at a boundary where state and journal agree.
+	if c.journal != nil && c.opts.SnapshotEvery > 0 && c.journalEvents >= c.opts.SnapshotEvery {
+		c.snapshotLocked()
+	}
+	return rates, err
+}
+
+// Drain forces any open coalescing batch to reschedule immediately. With no
+// batch open it returns the allocation currently in force. Tests and
+// shutdown paths use it to avoid waiting out the window.
+func (c *Coordinator) Drain() (map[string]unit.Rate, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pending == nil {
+		return c.currentRatesLocked(), nil
+	}
+	return c.flushCoalescedLocked()
+}
+
+// currentRatesLocked returns the committed allocation still in force for
+// every active flow — what callers observe while a batch is open.
+func (c *Coordinator) currentRatesLocked() map[string]unit.Rate {
+	rates := make(map[string]unit.Rate)
+	for _, g := range c.groups {
+		if g.parked {
+			continue
+		}
+		for id, f := range g.flows {
+			if f.released && !f.finished {
+				rates[id] = f.rate
+			}
+		}
+	}
+	return rates
 }
 
 // applyFlowLocked mutates flow state for one lifecycle event at the given
@@ -461,6 +609,7 @@ func (c *Coordinator) applyFlowLocked(ev wire.FlowEvent, now unit.Time) error {
 func (c *Coordinator) Tick() (map[string]unit.Rate, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.flushCoalescedLocked()
 	c.advanceLocked()
 	return c.rescheduleLocked()
 }
@@ -499,16 +648,14 @@ func (c *Coordinator) advanceToLocked(now unit.Time) {
 	}
 }
 
-// rescheduleLocked runs the scheduler over active flows and stores the new
-// rates. The returned map covers every active flow.
-func (c *Coordinator) rescheduleLocked() (map[string]unit.Rate, error) {
-	t0 := time.Now()
-	// Snapshot assembly is deterministic — groups in sorted ID order, flows
-	// in their group's arrangement order — because fill arithmetic is
-	// order-sensitive at the last bit: map-order iteration would make two
-	// identical coordinators disagree in the final ulp of each rate, which
-	// the differential harness (internal/check) flags against the journal
-	// replay's bit-equality guarantee.
+// buildSnapshotLocked assembles the scheduling input at the current model
+// time. Assembly is deterministic — groups in sorted ID order, flows in
+// their group's arrangement order — because fill arithmetic is
+// order-sensitive at the last bit: map-order iteration would make two
+// identical coordinators disagree in the final ulp of each rate, which the
+// differential harness (internal/check) flags against the journal replay's
+// bit-equality guarantee.
+func (c *Coordinator) buildSnapshotLocked() *sched.Snapshot {
 	snap := &sched.Snapshot{Now: c.now(), Groups: make(map[string]*sched.GroupState, len(c.groups))}
 	gids := make([]string, 0, len(c.groups))
 	for gid := range c.groups {
@@ -537,8 +684,46 @@ func (c *Coordinator) rescheduleLocked() (map[string]unit.Rate, error) {
 			})
 		}
 	}
-	rates, err := c.opts.Scheduler.Schedule(snap, c.opts.Net)
+	return snap
+}
+
+// rescheduleLocked runs a full Schedule over active flows and stores the new
+// rates. The returned map covers every active flow.
+func (c *Coordinator) rescheduleLocked() (map[string]unit.Rate, error) {
+	return c.rescheduleSnapLocked(nil)
+}
+
+// rescheduleDeltaLocked reschedules after an event whose effect is confined
+// to the given groups, preferring the scheduler's incremental Apply and
+// falling back to a full Schedule when the patch is refused.
+func (c *Coordinator) rescheduleDeltaLocked(gids []string) (map[string]unit.Rate, error) {
+	return c.rescheduleSnapLocked(gids)
+}
+
+func (c *Coordinator) rescheduleSnapLocked(deltaGroups []string) (map[string]unit.Rate, error) {
+	t0 := time.Now()
+	snap := c.buildSnapshotLocked()
+	var rates map[string]unit.Rate
+	var err error
+	usedDelta := false
+	if deltaGroups != nil && c.delta != nil {
+		var ok bool
+		rates, ok, err = c.delta.Apply(snap, c.opts.Net, sched.Delta{Groups: deltaGroups})
+		if err == nil && ok {
+			usedDelta = true
+			c.tel.deltaApplied.Inc()
+		} else {
+			// Any refusal (or Apply error) falls back to the full pass,
+			// which also rebuilds the incremental state.
+			c.tel.deltaFallback.Inc()
+			rates, err = nil, nil
+		}
+	}
+	if !usedDelta {
+		rates, err = c.opts.Scheduler.Schedule(snap, c.opts.Net)
+	}
 	if err != nil {
+		c.tel.reschedErrors.Inc()
 		return nil, fmt.Errorf("coordinator: %w", err)
 	}
 	c.reschedules++
@@ -810,6 +995,7 @@ func (c *Coordinator) adoptSession(s *session) {
 		return
 	}
 	c.opts.Logf("coordinator: agent %s rejoined, revived %d quarantined group(s)", s.agent, len(revived))
+	c.flushCoalescedLocked()
 	c.advanceLocked()
 	for _, gid := range revived {
 		c.event(telemetry.Event{Kind: telemetry.EventRevive, At: float64(c.lastAdvance),
@@ -843,13 +1029,25 @@ func (c *Coordinator) dropSession(s *session) {
 	if len(orphaned) == 0 {
 		return
 	}
+	c.flushCoalescedLocked()
 	c.advanceLocked()
 	if c.opts.QuarantineTimeout == 0 {
 		c.evictLocked(orphaned, "agent "+s.agent+" departed")
 		return
 	}
+	c.parkLocked(orphaned, s.agent, "")
+	c.opts.Logf("coordinator: agent %s died, parked %d group(s) for %v", s.agent, len(orphaned), c.opts.QuarantineTimeout)
+	if _, err := c.rescheduleLocked(); err != nil {
+		c.opts.Logf("coordinator: reschedule after %s departed: %v", s.agent, err)
+	}
+}
+
+// parkLocked quarantines groups: progress state retained, zero bandwidth,
+// eviction timer armed (when a quarantine window is configured), journaled.
+// Shared by session teardown and the rejoin-failure path.
+func (c *Coordinator) parkLocked(gids []string, agent, why string) {
 	parkedAt := c.opts.Clock()
-	for _, gid := range orphaned {
+	for _, gid := range gids {
 		g := c.groups[gid]
 		g.parked = true
 		g.parkGen++
@@ -858,16 +1056,14 @@ func (c *Coordinator) dropSession(s *session) {
 		for _, f := range g.flows {
 			f.rate = 0 // parked flows make no fluid progress
 		}
-		gid := gid
-		time.AfterFunc(c.opts.QuarantineTimeout, func() { c.evictIfStillParked(gid, gen) })
+		if c.opts.QuarantineTimeout > 0 {
+			gid := gid
+			time.AfterFunc(c.opts.QuarantineTimeout, func() { c.evictIfStillParked(gid, gen) })
+		}
 		c.event(telemetry.Event{Kind: telemetry.EventPark, At: float64(c.lastAdvance),
-			Group: gid, Agent: s.agent})
+			Group: gid, Agent: agent, Detail: why})
 	}
-	c.appendJournalLocked(journalEvent{Kind: jPark, At: c.lastAdvance, Groups: orphaned})
-	c.opts.Logf("coordinator: agent %s died, parked %d group(s) for %v", s.agent, len(orphaned), c.opts.QuarantineTimeout)
-	if _, err := c.rescheduleLocked(); err != nil {
-		c.opts.Logf("coordinator: reschedule after %s departed: %v", s.agent, err)
-	}
+	c.appendJournalLocked(journalEvent{Kind: jPark, At: c.lastAdvance, Groups: gids})
 }
 
 // evictIfStillParked is the quarantine timer callback: the group is evicted
@@ -888,6 +1084,7 @@ func (c *Coordinator) evictIfStillParked(gid string, gen int) {
 		time.AfterFunc(left, func() { c.evictIfStillParked(gid, gen) })
 		return
 	}
+	c.flushCoalescedLocked()
 	c.advanceLocked()
 	c.evictLocked([]string{gid}, "quarantine expired")
 }
@@ -948,6 +1145,7 @@ func (c *Coordinator) totalTardinessLocked() unit.Time {
 func (c *Coordinator) SetCapacity(host string, egress, ingress unit.Rate) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.flushCoalescedLocked()
 	c.advanceLocked()
 	if err := c.opts.Net.SetCapacity(host, egress, ingress); err != nil {
 		return fmt.Errorf("coordinator: %w", err)

@@ -37,6 +37,7 @@ const (
 	jPark       = "park"       // owner died, groups quarantined
 	jRevive     = "revive"     // owner rejoined, groups resumed
 	jEvict      = "evict"      // quarantine expired or disabled, groups removed
+	jResched    = "resched"    // coalesced batch boundary: one reschedule over Groups
 )
 
 // journalEvent is one WAL record. At is the scheduler time of the mutation;
@@ -49,6 +50,7 @@ type journalEvent struct {
 	Owner    string          `json:"owner,omitempty"`
 	Register *wire.Register  `json:"register,omitempty"`
 	Flow     *wire.FlowEvent `json:"flow,omitempty"`
+	Defer    bool            `json:"defer,omitempty"` // flow record absorbed into a coalesced batch: no reschedule here
 	Groups   []string        `json:"groups,omitempty"`
 	Host     string          `json:"host,omitempty"`
 	Egress   unit.Rate       `json:"egress,omitempty"`
@@ -108,7 +110,12 @@ func (c *Coordinator) appendJournalLocked(ev journalEvent) {
 			Detail: fmt.Sprintf("%s append took %v", ev.Kind, elapsed)})
 	}
 	c.journalEvents++
-	if c.opts.SnapshotEvery > 0 && c.journalEvents >= c.opts.SnapshotEvery {
+	// Compaction waits out open coalescing batches: a snapshot taken while
+	// deferred mutations await their resched record would strand that batch's
+	// reschedule outside both the snapshot and the tail.
+	// flushCoalescedLocked re-checks this condition at the batch boundary.
+	if c.opts.SnapshotEvery > 0 && c.journalEvents >= c.opts.SnapshotEvery &&
+		c.pending == nil && !c.flushing {
 		c.snapshotLocked()
 	}
 }
@@ -221,6 +228,12 @@ func (c *Coordinator) applyJournalLocked(ev journalEvent) error {
 			c.cache.InvalidateGroup(gid)
 			c.dropGroupMetricsLocked(gid)
 		}
+		if ev.Kind == jUnregister {
+			// Live unregister routes through the delta path; eviction uses a
+			// full pass. Replay must take the same branch for bit-equality.
+			_, err := c.rescheduleDeltaLocked(ev.Groups)
+			return err
+		}
 		_, err := c.rescheduleLocked()
 		return err
 	case jFlow:
@@ -232,7 +245,16 @@ func (c *Coordinator) applyJournalLocked(ev journalEvent) error {
 			return err
 		}
 		c.cache.InvalidateGroup(ev.Flow.GroupID)
-		_, err := c.rescheduleLocked()
+		if ev.Defer {
+			// Coalesced record: the live path only applied the mutation; the
+			// batch's jResched record carries the reschedule.
+			return nil
+		}
+		_, err := c.rescheduleDeltaLocked([]string{ev.Flow.GroupID})
+		return err
+	case jResched:
+		c.advanceToLocked(ev.At)
+		_, err := c.rescheduleDeltaLocked(ev.Groups)
 		return err
 	case jCapacity:
 		c.advanceToLocked(ev.At)
@@ -260,6 +282,21 @@ func (c *Coordinator) applyJournalLocked(ev journalEvent) error {
 	default:
 		return fmt.Errorf("coordinator: unknown journal record kind %q", ev.Kind)
 	}
+}
+
+// primeDeltaLocked rebuilds the incremental scheduler's internal state from
+// snapshot-restored flow rates, so tail replay takes the same delta-vs-full
+// branches the live run took. Without priming, the first replayed delta
+// event would fall back to a full pass ("cold-state") — still a valid
+// allocation, but potentially a different one for flows the live delta pass
+// held, breaking bit-for-bit recovery. Compaction only runs at reschedule
+// boundaries (never mid-batch), so the restored rates are exactly the
+// allocation the live scheduler's state was captured against.
+func (c *Coordinator) primeDeltaLocked() {
+	if c.delta == nil {
+		return
+	}
+	c.delta.Prime(c.buildSnapshotLocked(), c.opts.Net, c.currentRatesLocked())
 }
 
 // parkRestoredLocked quarantines every recovered group until its agent
@@ -309,6 +346,7 @@ func Restore(opts Options, dir string) (*Coordinator, error) {
 			c.replaying = false
 			return nil, err
 		}
+		c.primeDeltaLocked()
 	}
 	for _, raw := range rec.Tail {
 		var ev journalEvent

@@ -201,11 +201,19 @@ func (c *PlanCache) store(snap *Snapshot, net *fabric.Network, id string, flows 
 	}
 }
 
-// prune drops entries for groups absent from the current snapshot. ids must
-// be sorted ascending (groupedFlows guarantees this).
+// prune drops entries for groups absent from the current snapshot. ids is
+// the complete set of live groups — callers holding only a subset (e.g. the
+// delta path's component) must not prune, or live entries would be evicted
+// and masquerade as cache misses. ids should be sorted ascending
+// (groupedFlows guarantees this); an unsorted slice would silently break
+// the binary search below, so it is detected and a sorted copy used.
 func (c *PlanCache) prune(ids []string) {
 	if c == nil {
 		return
+	}
+	if !sort.StringsAreSorted(ids) {
+		ids = append([]string(nil), ids...)
+		sort.Strings(ids)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

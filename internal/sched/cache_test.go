@@ -213,3 +213,27 @@ func TestPlanCachePrunesDepartedGroups(t *testing.T) {
 		t.Fatalf("departed group not pruned: %+v", st)
 	}
 }
+
+// prune's binary search requires sorted ids; an unsorted caller used to
+// evict live entries silently (SearchStrings misses on unsorted input).
+// The guard must detect the violation and prune against a sorted copy.
+func TestPlanCachePruneUnsortedIDs(t *testing.T) {
+	cache := NewPlanCache()
+	cache.entries["a"] = &planEntry{}
+	cache.entries["b"] = &planEntry{}
+	ids := []string{"b", "a"} // deliberately unsorted
+	cache.prune(ids)
+	if st := cache.Stats(); st.Entries != 2 {
+		t.Fatalf("live entries evicted by unsorted prune: %+v", st)
+	}
+	if ids[0] != "b" || ids[1] != "a" {
+		t.Fatalf("caller's slice reordered in place: %v", ids)
+	}
+	cache.prune([]string{"b"})
+	if st := cache.Stats(); st.Entries != 1 {
+		t.Fatalf("sorted prune broken: %+v", st)
+	}
+	if _, ok := cache.entries["b"]; !ok {
+		t.Fatal("wrong entry pruned")
+	}
+}

@@ -1,0 +1,650 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/unit"
+)
+
+// Delta describes what changed since the last successful scheduling pass:
+// the set of groups whose released-flow membership was touched by the event
+// (a flow release/finish/resume, or a single-group register/unregister).
+// Groups absent from the set are asserted unchanged — a drifted group that
+// is not declared forces a full reschedule rather than a wrong patch.
+type Delta struct {
+	Groups []string
+}
+
+// DeltaScheduler is the event-driven incremental API. Apply patches the
+// previous allocation for one event instead of re-solving every group. The
+// ok result is false when the scheduler cannot prove the patch equivalent
+// to a full Schedule (cold state, fabric generation bump, undeclared drift,
+// planning failure, ...); the caller must then fall back to Schedule, which
+// also rebuilds the incremental state.
+type DeltaScheduler interface {
+	Scheduler
+	// Apply returns a complete rate map (an entry for every snapshot flow)
+	// or ok=false. When ok is true the map is feasible on net and — for
+	// every flow of a replanned group — bit-equal to what a full Schedule
+	// of the same snapshot would assign. Flows of untouched groups keep
+	// their previous rates (held until their group's next event or a full
+	// reschedule).
+	Apply(snap *Snapshot, net *fabric.Network, d Delta) (map[string]unit.Rate, bool, error)
+	// Prime installs incremental state from an externally known allocation
+	// (e.g. a journal snapshot's restored rates) without scheduling, so a
+	// restored coordinator continues on the delta path bit-for-bit.
+	Prime(snap *Snapshot, net *fabric.Network, rates map[string]unit.Rate)
+}
+
+// DeltaOutcome reports what the last Apply call did, for telemetry and the
+// delta-vs-full differential oracle.
+type DeltaOutcome struct {
+	// Applied is true when Apply produced a patch (ok=true).
+	Applied bool
+	// Reason names the fallback cause when Applied is false.
+	Reason string
+	// Held counts the flows that kept their previous rate.
+	Held int
+	// Replanned lists the groups (sorted) whose flows were re-planned.
+	Replanned []string
+}
+
+// portKey identifies one direction of one port. The four kinds are distinct
+// capacity pools: two groups interact in planning only when they share a key.
+type portKey struct {
+	kind uint8 // 0 egress(host) 1 ingress(host) 2 uplink(rack) 3 downlink(rack)
+	name string
+}
+
+// deltaGroup is the tracked footprint of one group at the last pass.
+type deltaGroup struct {
+	flowIDs []string // sorted
+	ports   map[portKey]struct{}
+}
+
+// deltaState is the incremental scheduler's view of the last successful
+// pass: the allocation it committed and each group's membership/footprint.
+type deltaState struct {
+	net    *fabric.Network
+	netGen uint64
+	now    unit.Time
+	rates  map[string]unit.Rate
+	groups map[string]*deltaGroup
+}
+
+// DeltaEchelon wraps EchelonMADD with the incremental Apply path. Schedule
+// forwards to the inner scheduler and (re)captures incremental state, so any
+// fallback self-heals on the next full pass. The wrapper shares the inner
+// scheduler's PlanCache: cached solo rankings are valid for whichever path
+// computes them, because both store only values a cold planner would produce.
+//
+// Why patching a component is exact: EchelonMADD plans each group against
+// per-port free-capacity timelines, then backfills and clamps per port.
+// Every step reads and writes only the ports the involved flows touch, so
+// two groups whose flows share no directional port never influence each
+// other's rates. Apply therefore replans exactly the transitive closure of
+// port-sharing groups around the changed ones (against fresh sparse
+// profiles, in the same rank order the full sort would give them) and holds
+// everything else. Held flows keep rates from a pass where they were
+// feasible on the same fabric generation, and no replanned flow shares a
+// port with them — the merged map stays feasible.
+type DeltaEchelon struct {
+	inner EchelonMADD
+
+	mu   sync.Mutex
+	st   *deltaState
+	last DeltaOutcome
+}
+
+// NewDelta wraps an EchelonMADD scheduler with the incremental path.
+func NewDelta(inner EchelonMADD) *DeltaEchelon {
+	return &DeltaEchelon{inner: inner}
+}
+
+// Name implements Scheduler.
+func (d *DeltaEchelon) Name() string { return d.inner.Name() + "+delta" }
+
+// PlanCache exposes the inner scheduler's cache for eager invalidation.
+func (d *DeltaEchelon) PlanCache() *PlanCache { return d.inner.Cache }
+
+// Inner returns the wrapped scheduler (for tests and experiment tables).
+func (d *DeltaEchelon) Inner() EchelonMADD { return d.inner }
+
+// LastOutcome reports what the most recent Apply did.
+func (d *DeltaEchelon) LastOutcome() DeltaOutcome {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.last
+}
+
+// Schedule implements Scheduler: a full pass that also rebuilds the
+// incremental state.
+func (d *DeltaEchelon) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+	rates, err := d.inner.Schedule(snap, net)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.st = captureDeltaState(snap, net, rates)
+	d.mu.Unlock()
+	return rates, nil
+}
+
+// Prime implements DeltaScheduler.
+func (d *DeltaEchelon) Prime(snap *Snapshot, net *fabric.Network, rates map[string]unit.Rate) {
+	if snap == nil || net == nil || snap.Validate() != nil {
+		return
+	}
+	d.mu.Lock()
+	d.st = captureDeltaState(snap, net, rates)
+	d.mu.Unlock()
+}
+
+// Apply implements DeltaScheduler. See DeltaEchelon for the exactness
+// argument; every return path records a DeltaOutcome.
+func (d *DeltaEchelon) Apply(snap *Snapshot, net *fabric.Network, delta Delta) (map[string]unit.Rate, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fall := func(reason string) (map[string]unit.Rate, bool, error) {
+		d.last = DeltaOutcome{Applied: false, Reason: reason}
+		return nil, false, nil
+	}
+	st := d.st
+	switch {
+	case st == nil:
+		return fall("cold-state")
+	case d.inner.GlobalEDF:
+		// Global EDF interleaves every group's classes on one shared
+		// timeline; there is no port-local component to patch.
+		return fall("global-edf")
+	case st.net != net || st.netGen != net.Generation():
+		return fall("fabric-generation")
+	}
+	if err := snap.Validate(); err != nil {
+		return fall("invalid-snapshot")
+	}
+	if snap.Now < st.now {
+		return fall("time-regression")
+	}
+
+	rates := zeroFill(snap)
+	ids, byGroup := groupedFlows(snap)
+	inDelta := make(map[string]bool, len(delta.Groups))
+	for _, id := range delta.Groups {
+		inDelta[id] = true
+	}
+
+	// Any membership drift outside the declared delta voids the patch.
+	for _, id := range ids {
+		prev, tracked := st.groups[id]
+		if !tracked {
+			if !inDelta[id] {
+				return fall("untracked-group")
+			}
+			continue
+		}
+		if !inDelta[id] && !equalFlowIDs(prev.flowIDs, byGroup[id]) {
+			return fall("undeclared-drift")
+		}
+	}
+	for id := range st.groups {
+		if _, live := byGroup[id]; !live && !inDelta[id] {
+			return fall("undeclared-drift")
+		}
+	}
+
+	// Port footprints. Tracked groups outside the delta just proved their
+	// membership unchanged, and a topology mutation would have bumped the
+	// fabric generation — their footprint from the last pass is current, so
+	// reuse it. Only the declared groups compute fresh port sets.
+	gports := make(map[string]map[portKey]struct{}, len(ids))
+	for _, id := range ids {
+		if prev, tracked := st.groups[id]; tracked && !inDelta[id] {
+			gports[id] = prev.ports
+			continue
+		}
+		ports := make(map[portKey]struct{}, 2*len(byGroup[id]))
+		addFlowPorts(ports, net, byGroup[id])
+		gports[id] = ports
+	}
+
+	// Seed the affected-port set from the changed groups' footprints — both
+	// the previous one (covers finished/unregistered flows) and the current
+	// one (covers newly released flows) — then close over current groups
+	// sharing any of those ports.
+	seeds := make(map[portKey]struct{})
+	for _, id := range delta.Groups {
+		if prev := st.groups[id]; prev != nil {
+			for pk := range prev.ports {
+				seeds[pk] = struct{}{}
+			}
+		}
+		for pk := range gports[id] {
+			seeds[pk] = struct{}{}
+		}
+	}
+	comp := make(map[string]bool, len(ids))
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			if comp[id] || !intersectsPorts(gports[id], seeds) {
+				continue
+			}
+			comp[id] = true
+			for pk := range gports[id] {
+				seeds[pk] = struct{}{}
+			}
+			changed = true
+		}
+	}
+	compIDs := make([]string, 0, len(comp))
+	for _, id := range ids {
+		if comp[id] {
+			compIDs = append(compIDs, id)
+		}
+	}
+	if len(compIDs) == len(ids) && len(ids) > 1 {
+		// The event touches everything; the pooled full pass is cheaper.
+		return fall("component-spans-all")
+	}
+
+	// Hold every flow outside the component at its previous rate.
+	held := 0
+	for _, fs := range snap.Flows {
+		if comp[fs.GroupID] {
+			continue
+		}
+		r, ok := st.rates[fs.Flow.ID]
+		if !ok {
+			return fall("missing-held-rate")
+		}
+		rates[fs.Flow.ID] = r
+		held++
+	}
+
+	// Rank the component exactly as Schedule ranks the full set: cached
+	// solo tardiness where provably equivalent, fresh solo plans otherwise.
+	// A solo plan only reads the group's own ports, so planning it against
+	// sparse profiles is bit-equal to the full-fabric pass. Note: no prune —
+	// the component is not the full live-group set, so pruning here would
+	// evict live entries (the hazard PlanCache.prune now guards against).
+	classes := make(map[string][]deadlineClass, len(compIDs))
+	floors := make(map[string]unit.Time, len(compIDs))
+	solo := make(map[string]unit.Time, len(compIDs))
+	for _, id := range compIDs {
+		classes[id] = classesOf(snap, byGroup[id])
+		floors[id] = unit.MaxTime(0, snap.Groups[id].AchievedTardiness)
+		if tau, ok := d.inner.Cache.lookup(snap, net, id, byGroup[id], floors[id]); ok {
+			solo[id] = tau
+			continue
+		}
+		spp := sparseProfiles(net, snap.Now, byGroup[id])
+		plans, tau, err := planGroup(snap, spp, classes[id], floors[id])
+		if err != nil {
+			return fall("solo-plan-error")
+		}
+		d.inner.Cache.store(snap, net, id, byGroup[id], floors[id], tau, plans)
+		solo[id] = tau
+	}
+	if d.inner.Weighted {
+		for _, id := range compIDs {
+			solo[id] = unit.Time(float64(solo[id]) / snap.Groups[id].Group.EffectiveWeight())
+		}
+	}
+	sort.SliceStable(compIDs, func(i, j int) bool {
+		a, b := solo[compIDs[i]], solo[compIDs[j]]
+		if !a.ApproxEq(b) {
+			if d.inner.Order == LargestTardinessFirst {
+				return a > b
+			}
+			return a < b
+		}
+		return compIDs[i] < compIDs[j]
+	})
+
+	// Plan the component groups in rank order against sparse profiles of
+	// the component's ports only.
+	compFlows := make([]*FlowState, 0, len(snap.Flows)-held)
+	for _, fs := range snap.Flows {
+		if comp[fs.GroupID] {
+			compFlows = append(compFlows, fs)
+		}
+	}
+	pp := sparseProfiles(net, snap.Now, compFlows)
+	for _, id := range compIDs {
+		plans, _, err := planGroup(snap, pp, classes[id], floors[id])
+		if err != nil {
+			return fall("plan-error")
+		}
+		for _, fs := range byGroup[id] {
+			rates[fs.Flow.ID] += rateAt(plans[fs.Flow.ID], snap.Now)
+		}
+	}
+
+	if d.inner.Backfill {
+		backfillComponent(snap, net, compFlows, rates)
+	}
+	if !clampComponent(snap, net, compFlows, rates) {
+		return fall("infeasible-patch")
+	}
+
+	// Incremental state update: only the declared groups' membership (and so
+	// footprint) changed since the last pass; every other group's record
+	// carries over untouched. The freshly built rate map becomes the new
+	// state — the caller gets its own copy.
+	st.now = snap.Now
+	st.rates = rates
+	for _, id := range delta.Groups {
+		flows := byGroup[id]
+		if len(flows) == 0 {
+			delete(st.groups, id)
+			continue
+		}
+		g := &deltaGroup{flowIDs: make([]string, 0, len(flows)), ports: gports[id]}
+		for _, fs := range flows {
+			g.flowIDs = append(g.flowIDs, fs.Flow.ID)
+		}
+		sort.Strings(g.flowIDs)
+		st.groups[id] = g
+	}
+	out := make(map[string]unit.Rate, len(rates))
+	for id, r := range rates {
+		out[id] = r
+	}
+	d.last = DeltaOutcome{Applied: true, Replanned: append([]string(nil), compIDs...), Held: held}
+	sort.Strings(d.last.Replanned)
+	return out, true, nil
+}
+
+// captureDeltaState records the allocation and per-group footprints of a
+// successful pass.
+func captureDeltaState(snap *Snapshot, net *fabric.Network, rates map[string]unit.Rate) *deltaState {
+	st := &deltaState{
+		net:    net,
+		netGen: net.Generation(),
+		now:    snap.Now,
+		rates:  make(map[string]unit.Rate, len(rates)),
+		groups: make(map[string]*deltaGroup),
+	}
+	for id, r := range rates {
+		st.rates[id] = r
+	}
+	_, byGroup := groupedFlows(snap)
+	for id, flows := range byGroup {
+		g := &deltaGroup{
+			flowIDs: make([]string, 0, len(flows)),
+			ports:   make(map[portKey]struct{}, 2*len(flows)),
+		}
+		for _, fs := range flows {
+			g.flowIDs = append(g.flowIDs, fs.Flow.ID)
+		}
+		sort.Strings(g.flowIDs)
+		addFlowPorts(g.ports, net, flows)
+		st.groups[id] = g
+	}
+	return st
+}
+
+// addFlowPorts adds every directional port the flows touch to the set.
+func addFlowPorts(set map[portKey]struct{}, net *fabric.Network, flows []*FlowState) {
+	for _, fs := range flows {
+		set[portKey{kind: 0, name: fs.Flow.Src}] = struct{}{}
+		set[portKey{kind: 1, name: fs.Flow.Dst}] = struct{}{}
+		if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
+			if srcRack != "" {
+				set[portKey{kind: 2, name: srcRack}] = struct{}{}
+			}
+			if dstRack != "" {
+				set[portKey{kind: 3, name: dstRack}] = struct{}{}
+			}
+		}
+	}
+}
+
+func intersectsPorts(a map[portKey]struct{}, b map[portKey]struct{}) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for pk := range a {
+		if _, ok := b[pk]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// equalFlowIDs reports whether sorted prev equals the flows' ID set. Flow
+// IDs are unique within a validated snapshot, so equal lengths plus every
+// current ID present in prev implies set equality.
+func equalFlowIDs(prev []string, flows []*FlowState) bool {
+	if len(prev) != len(flows) {
+		return false
+	}
+	for _, fs := range flows {
+		i := sort.SearchStrings(prev, fs.Flow.ID)
+		if i == len(prev) || prev[i] != fs.Flow.ID {
+			return false
+		}
+	}
+	return true
+}
+
+// sparseProfiles builds full-capacity timelines for exactly the ports the
+// given flows touch. Planning against them is bit-equal to planning against
+// the pooled full-fabric profiles, which start from the same
+// newProfile(now, capacity) state for every port.
+func sparseProfiles(net *fabric.Network, now unit.Time, flows []*FlowState) *portProfiles {
+	pp := &portProfiles{
+		net:     net,
+		topoGen: net.TopoGeneration(),
+		eg:      make(map[string]*profile),
+		in:      make(map[string]*profile),
+		up:      make(map[string]*profile),
+		down:    make(map[string]*profile),
+		egVol:   make(map[string]unit.Bytes),
+		inVol:   make(map[string]unit.Bytes),
+		upVol:   make(map[*profile]unit.Bytes),
+		downVol: make(map[*profile]unit.Bytes),
+	}
+	for _, fs := range flows {
+		if pp.eg[fs.Flow.Src] == nil {
+			pp.eg[fs.Flow.Src] = newProfile(now, net.Host(fs.Flow.Src).Egress)
+		}
+		if pp.in[fs.Flow.Dst] == nil {
+			pp.in[fs.Flow.Dst] = newProfile(now, net.Host(fs.Flow.Dst).Ingress)
+		}
+		if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
+			if srcRack != "" && pp.up[srcRack] == nil {
+				pp.up[srcRack] = newProfile(now, net.Rack(srcRack).Uplink)
+			}
+			if dstRack != "" && pp.down[dstRack] == nil {
+				pp.down[dstRack] = newProfile(now, net.Rack(dstRack).Downlink)
+			}
+		}
+	}
+	return pp
+}
+
+// backfillComponent mirrors EchelonMADD.backfill over the component's flows
+// and ports only. Non-component flows never touch a component port, so the
+// residual arithmetic — including the per-port subtraction order, which
+// follows snapshot flow order exactly as the full pass does — is bit-equal.
+func backfillComponent(snap *Snapshot, net *fabric.Network, flows []*FlowState, rates map[string]unit.Rate) {
+	res := newSparseResidual(net, flows)
+	for _, fs := range flows {
+		res.take(fs.Flow.Src, fs.Flow.Dst, rates[fs.Flow.ID])
+	}
+	ordered := sortedCopy(flows, func(a, b *FlowState) bool {
+		return snap.Deadline(a).Before(snap.Deadline(b))
+	})
+	for _, fs := range ordered {
+		extra := res.available(fs.Flow.Src, fs.Flow.Dst)
+		if extra <= unit.Rate(unit.Eps) {
+			continue
+		}
+		rates[fs.Flow.ID] += extra
+		res.take(fs.Flow.Src, fs.Flow.Dst, extra)
+	}
+}
+
+// clampComponent mirrors clampFeasible over the component's flows, then
+// verifies the component's ports stay within capacity at fabric.Feasible's
+// tolerance. It reports false when the patch is not provably feasible.
+func clampComponent(snap *Snapshot, net *fabric.Network, flows []*FlowState, rates map[string]unit.Rate) bool {
+	eg := make(map[string]unit.Rate)
+	in := make(map[string]unit.Rate)
+	up := make(map[string]unit.Rate)
+	down := make(map[string]unit.Rate)
+	accumulate := func() {
+		clear(eg)
+		clear(in)
+		clear(up)
+		clear(down)
+		for _, fs := range flows {
+			eg[fs.Flow.Src] += rates[fs.Flow.ID]
+			in[fs.Flow.Dst] += rates[fs.Flow.ID]
+			if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
+				if srcRack != "" {
+					up[srcRack] += rates[fs.Flow.ID]
+				}
+				if dstRack != "" {
+					down[dstRack] += rates[fs.Flow.ID]
+				}
+			}
+		}
+	}
+	accumulate()
+	scale := func(used, cap unit.Rate) float64 {
+		if used <= cap || used == 0 {
+			return 1
+		}
+		return float64(cap) / float64(used)
+	}
+	for _, fs := range flows {
+		s := scale(eg[fs.Flow.Src], net.Host(fs.Flow.Src).Egress)
+		if v := scale(in[fs.Flow.Dst], net.Host(fs.Flow.Dst).Ingress); v < s {
+			s = v
+		}
+		if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
+			if srcRack != "" {
+				if v := scale(up[srcRack], net.Rack(srcRack).Uplink); v < s {
+					s = v
+				}
+			}
+			if dstRack != "" {
+				if v := scale(down[dstRack], net.Rack(dstRack).Downlink); v < s {
+					s = v
+				}
+			}
+		}
+		if s < 1 {
+			rates[fs.Flow.ID] = unit.Rate(float64(rates[fs.Flow.ID]) * s)
+		}
+	}
+	for _, fs := range flows {
+		if rates[fs.Flow.ID] < 0 {
+			return false
+		}
+	}
+	accumulate()
+	const tol = 1e-6
+	for name, used := range eg {
+		if float64(used) > float64(net.Host(name).Egress)+tol {
+			return false
+		}
+	}
+	for name, used := range in {
+		if float64(used) > float64(net.Host(name).Ingress)+tol {
+			return false
+		}
+	}
+	for name, used := range up {
+		if float64(used) > float64(net.Rack(name).Uplink)+tol {
+			return false
+		}
+	}
+	for name, used := range down {
+		if float64(used) > float64(net.Rack(name).Downlink)+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// sparseResidual is fabric.Residual restricted to the ports of one
+// component, with identical available/take arithmetic.
+type sparseResidual struct {
+	net      *fabric.Network
+	egress   map[string]unit.Rate
+	ingress  map[string]unit.Rate
+	rackUp   map[string]unit.Rate
+	rackDown map[string]unit.Rate
+}
+
+func newSparseResidual(net *fabric.Network, flows []*FlowState) *sparseResidual {
+	r := &sparseResidual{
+		net:      net,
+		egress:   make(map[string]unit.Rate),
+		ingress:  make(map[string]unit.Rate),
+		rackUp:   make(map[string]unit.Rate),
+		rackDown: make(map[string]unit.Rate),
+	}
+	for _, fs := range flows {
+		if _, ok := r.egress[fs.Flow.Src]; !ok {
+			r.egress[fs.Flow.Src] = net.Host(fs.Flow.Src).Egress
+		}
+		if _, ok := r.ingress[fs.Flow.Dst]; !ok {
+			r.ingress[fs.Flow.Dst] = net.Host(fs.Flow.Dst).Ingress
+		}
+		if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
+			if srcRack != "" {
+				if _, ok := r.rackUp[srcRack]; !ok {
+					r.rackUp[srcRack] = net.Rack(srcRack).Uplink
+				}
+			}
+			if dstRack != "" {
+				if _, ok := r.rackDown[dstRack]; !ok {
+					r.rackDown[dstRack] = net.Rack(dstRack).Downlink
+				}
+			}
+		}
+	}
+	return r
+}
+
+func (r *sparseResidual) available(src, dst string) unit.Rate {
+	a := unit.MinRate(r.egress[src], r.ingress[dst])
+	if srcRack, dstRack, crosses := r.net.CrossRack(src, dst); crosses {
+		if srcRack != "" {
+			a = unit.MinRate(a, r.rackUp[srcRack])
+		}
+		if dstRack != "" {
+			a = unit.MinRate(a, r.rackDown[dstRack])
+		}
+	}
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+func (r *sparseResidual) take(src, dst string, rate unit.Rate) {
+	clamp := func(m map[string]unit.Rate, k string) {
+		m[k] -= rate
+		if m[k] < 0 {
+			m[k] = 0
+		}
+	}
+	clamp(r.egress, src)
+	clamp(r.ingress, dst)
+	if srcRack, dstRack, crosses := r.net.CrossRack(src, dst); crosses {
+		if srcRack != "" {
+			clamp(r.rackUp, srcRack)
+		}
+		if dstRack != "" {
+			clamp(r.rackDown, dstRack)
+		}
+	}
+}

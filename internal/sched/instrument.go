@@ -53,7 +53,34 @@ func Instrument(s Scheduler, reg *telemetry.Registry) Scheduler {
 		in.invals = reg.Counter("echelon_plan_cache_invalidations_total",
 			"PlanCache entries dropped by lifecycle invalidation.", "scheduler", name)
 	}
+	if ds, ok := s.(DeltaScheduler); ok {
+		// Keep the incremental API reachable through the wrapper, but only
+		// when the wrapped scheduler actually implements it — a plain
+		// Instrumented must not satisfy DeltaScheduler by accident.
+		return &InstrumentedDelta{Instrumented: in, delta: ds}
+	}
 	return in
+}
+
+// InstrumentedDelta is an Instrumented whose wrapped scheduler also
+// implements DeltaScheduler; it forwards Apply and Prime, timing Apply with
+// the same latency histogram as Schedule.
+type InstrumentedDelta struct {
+	*Instrumented
+	delta DeltaScheduler
+}
+
+// Apply implements DeltaScheduler.
+func (i *InstrumentedDelta) Apply(snap *Snapshot, net *fabric.Network, d Delta) (map[string]unit.Rate, bool, error) {
+	t0 := time.Now()
+	rates, ok, err := i.delta.Apply(snap, net, d)
+	i.lat.Observe(time.Since(t0).Seconds())
+	return rates, ok, err
+}
+
+// Prime implements DeltaScheduler.
+func (i *InstrumentedDelta) Prime(snap *Snapshot, net *fabric.Network, rates map[string]unit.Rate) {
+	i.delta.Prime(snap, net, rates)
 }
 
 // Name implements Scheduler.
