@@ -176,3 +176,7 @@ func BenchmarkExtended_CrashRecovery(b *testing.B) {
 func BenchmarkExtended_CheckHarness(b *testing.B) {
 	runExperiment(b, experiments.ExtCheckHarness)
 }
+
+func BenchmarkExtended_PlacementPolicies(b *testing.B) {
+	runExperiment(b, experiments.ExtOnlinePlacement)
+}

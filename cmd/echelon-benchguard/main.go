@@ -1,18 +1,23 @@
-// Command echelon-benchguard compares the output of the scheduler scale
-// benchmarks against the checked-in baseline (BENCH_sched.json) and fails
-// when the hot path regresses.
+// Command echelon-benchguard compares benchmark output against a checked-in
+// baseline and fails when the hot path regresses.
 //
-// Usage:
+// Two suites are recognized. The scheduler scale benchmarks
+// (BENCH_sched.json):
 //
 //	go test -bench 'BenchmarkSchedule_' -benchtime 2x -run '^$' . | \
 //	    go run ./cmd/echelon-benchguard -baseline BENCH_sched.json
 //
-// The guard parses the custom "ns/schedcall" and "allocs/schedcall" metrics
-// emitted by bench_sched_test.go, matches each benchmark to its baseline
-// entry, and exits non-zero if either metric exceeds the baseline by more
-// than the threshold factor (default 1.25). It is meant as an advisory CI
-// gate: benchmark noise on shared runners is real, so treat a failure as a
-// prompt to re-run and investigate, not as proof of a regression.
+// and the live job-pipeline loadgen (BENCH_loadgen.json):
+//
+//	echelon-loadgen -coordinator ... -bench | \
+//	    go run ./cmd/echelon-benchguard -baseline BENCH_loadgen.json
+//
+// The guard parses the custom per-call metrics ("ns/schedcall",
+// "allocs/schedcall", "ns/flowevent"), matches each benchmark to its
+// baseline entry, and exits non-zero if a metric exceeds the baseline by
+// more than the threshold factor (default 1.25). It is meant as an advisory
+// CI gate: benchmark noise on shared runners is real, so treat a failure as
+// a prompt to re-run and investigate, not as proof of a regression.
 package main
 
 import (
@@ -37,9 +42,10 @@ type baseline struct {
 // WARN instead of failing the run — used for newly added sizes whose
 // baselines have not yet stabilized across runners.
 type metrics struct {
-	NsPerCall     float64 `json:"ns_per_schedcall"`
-	AllocsPerCall float64 `json:"allocs_per_schedcall"`
-	Advisory      bool    `json:"advisory,omitempty"`
+	NsPerCall      float64 `json:"ns_per_schedcall"`
+	AllocsPerCall  float64 `json:"allocs_per_schedcall"`
+	NsPerFlowEvent float64 `json:"ns_per_flowevent"`
+	Advisory       bool    `json:"advisory,omitempty"`
 }
 
 // measurement is one parsed benchmark line.
@@ -54,6 +60,10 @@ type measurement struct {
 // telemetry-wrapped, or per-event (incremental vs full) configuration.
 var benchLine = regexp.MustCompile(`^BenchmarkSchedule_(\d+)Hosts(\d+)Jobs(_NoCache|_Instrumented|_DeltaEvent|_FullEvent)?(?:-\d+)?\s+(.*)$`)
 
+// loadgenLine matches echelon-loadgen's -bench output, capturing the job
+// and tenant counts.
+var loadgenLine = regexp.MustCompile(`^BenchmarkLoadgen_(\d+)Jobs(\d+)Tenants(?:-\d+)?\s+(.*)$`)
+
 // parseBench extracts measurements from `go test -bench` output. Lines that
 // are not scale-benchmark results are ignored, as are benchmark lines
 // missing the custom metrics (e.g. when run without bench_sched_test.go).
@@ -64,6 +74,17 @@ func parseBench(r io.Reader) ([]measurement, error) {
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
 		if m == nil {
+			if lg := loadgenLine.FindStringSubmatch(sc.Text()); lg != nil {
+				meas := measurement{
+					Key:     fmt.Sprintf("%sjobs_%stenants", lg[1], lg[2]),
+					Variant: "live",
+				}
+				var err error
+				if meas.NsPerFlowEvent, err = metricValue(lg[3], "ns/flowevent"); err != nil {
+					return nil, fmt.Errorf("%s: %v", sc.Text(), err)
+				}
+				out = append(out, meas)
+			}
 			continue
 		}
 		meas := measurement{
@@ -133,6 +154,7 @@ func check(meas []measurement, base *baseline, threshold float64) (lines []strin
 		}{
 			{"ns/schedcall", m.NsPerCall, want.NsPerCall},
 			{"allocs/schedcall", m.AllocsPerCall, want.AllocsPerCall},
+			{"ns/flowevent", m.NsPerFlowEvent, want.NsPerFlowEvent},
 		} {
 			if c.want <= 0 {
 				continue
@@ -187,7 +209,7 @@ func main() {
 		os.Exit(2)
 	}
 	if len(meas) == 0 {
-		fmt.Fprintln(os.Stderr, "no BenchmarkSchedule_* results found in input")
+		fmt.Fprintln(os.Stderr, "no BenchmarkSchedule_*/BenchmarkLoadgen_* results found in input")
 		os.Exit(2)
 	}
 

@@ -29,6 +29,7 @@ import (
 
 	"echelonflow/internal/coordinator"
 	"echelonflow/internal/fabric"
+	"echelonflow/internal/queue"
 	"echelonflow/internal/sched"
 	"echelonflow/internal/telemetry"
 	"echelonflow/internal/unit"
@@ -53,6 +54,14 @@ func main() {
 	snapshotEvery := flag.Int("journal-snapshot", 256, "with -journal, compact the log into a snapshot after this many events (0 never compacts)")
 	redialRate := flag.Float64("redial-rate", 0, "max reconnects per agent name per second (0 disables admission control)")
 	redialBurst := flag.Float64("redial-burst", 0, "redial admission burst (default 1 when -redial-rate is set)")
+	queueEnable := flag.Bool("queue", false, "accept online job submissions: queue arrivals, place and admit them")
+	placement := flag.String("placement", "spread", "with -queue, the worker placement policy: pack | spread | netaware")
+	admission := flag.String("admission", "fifo", "with -queue, the admission order: fifo | srpt")
+	queueCap := flag.Int("queue-cap", 0, "with -queue, max pending submissions (0 unlimited)")
+	admitLimit := flag.Int("admit-limit", 0, "with -queue, max concurrently admitted jobs (0 unlimited)")
+	maxShare := flag.Float64("max-share", 0, "with -queue, cap admitted jobs' predicted demand to this fraction of fabric capacity (0 disables)")
+	submitRate := flag.Float64("submit-rate", 0, "max job submissions per tenant per second (0 disables throttling)")
+	submitBurst := flag.Float64("submit-burst", 0, "submission burst per tenant (default 1 when -submit-rate is set)")
 	admin := flag.String("admin", "", "telemetry HTTP address serving /metrics, /healthz, /events and /debug/pprof (empty disables)")
 	var racks, assigns hostSpecs
 	flag.Var(&hosts, "host", "host capacity spec name=rate or name[a-b]=rate (repeatable)")
@@ -116,6 +125,22 @@ func main() {
 		Net: net0, Scheduler: s, Interval: *interval, SessionTimeout: *sessionTimeout,
 		QuarantineTimeout: *quarantine, SnapshotEvery: *snapshotEvery, Coalesce: *coalesce,
 		RedialRate: *redialRate, RedialBurst: *redialBurst,
+		SubmitRate: *submitRate, SubmitBurst: *submitBurst,
+	}
+	if *queueEnable {
+		placer, err := queue.PlacerByName(*placement)
+		if err != nil {
+			log.Fatalf("echelon-coordinator: %v", err)
+		}
+		order, err := queue.OrderByName(*admission)
+		if err != nil {
+			log.Fatalf("echelon-coordinator: %v", err)
+		}
+		opts.Queue = queue.New(queue.Options{
+			Placer: placer, Order: order,
+			MaxQueued: *queueCap, MaxJobs: *admitLimit, MaxShare: *maxShare,
+		})
+		log.Printf("echelon-coordinator: job queue enabled (%s placement, %s admission)", placer.Name(), order.Name())
 	}
 	if *admin != "" {
 		opts.Metrics = telemetry.NewRegistry()

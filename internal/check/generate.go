@@ -133,6 +133,11 @@ func genJob(rng *rand.Rand, name string, hosts []string) JobSpec {
 	if rng.Intn(3) == 0 {
 		j.Weight = 0.5 + 2*rng.Float64()
 	}
+	// About a third of jobs arrive mid-run instead of at time zero,
+	// exercising the NotBefore shift and the queue-admission trace.
+	if rng.Intn(3) == 0 {
+		j.Arrival = unit.Time(2 * rng.Float64())
+	}
 	return j
 }
 

@@ -30,6 +30,7 @@ const (
 	OracleOrdering  = "ordering"  // release-before-finish, dependency and NotBefore order, host exclusivity
 	OracleTardiness = "tardiness" // group tardiness aggregates flows; finishes beat the solo lower bound
 	OracleWorkCons  = "workcons"  // work conservation: no active flow starves while both its ports idle
+	OracleQueue     = "queue"     // queue admission over the job arrival trace: no early admits, FIFO fairness, budget, drain
 )
 
 // Differential-oracle names (two executions that must agree).
@@ -47,7 +48,7 @@ const OracleRun = "run"
 
 // ResultOracles lists the per-run invariant oracles in evaluation order.
 func ResultOracles() []string {
-	return []string{OracleFeasible, OracleConserve, OracleOrdering, OracleTardiness, OracleWorkCons}
+	return []string{OracleFeasible, OracleConserve, OracleOrdering, OracleTardiness, OracleWorkCons, OracleQueue}
 }
 
 // DiffOracles lists the differential oracles in evaluation order.

@@ -1,0 +1,153 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"echelonflow/internal/unit"
+)
+
+// TestCheck_ArrivalShiftsNotBefore pins the arrival semantics: compiling a
+// job with Arrival > 0 pushes every one of its nodes' NotBefore by exactly
+// that much, and the simulated run still satisfies every result oracle
+// (ordering includes the NotBefore gate).
+func TestCheck_ArrivalShiftsNotBefore(t *testing.T) {
+	sc := &Scenario{
+		Hosts: []HostSpec{
+			{Name: "a", Egress: 2, Ingress: 2},
+			{Name: "b", Egress: 2, Ingress: 2},
+		},
+		Jobs: []JobSpec{{
+			Name: "late", Paradigm: "dp",
+			Model:   ModelSpec{Layers: 2, Params: 1, Acts: 1, Fwd: 0.1, Bwd: 0.1},
+			Workers: []string{"a", "b"}, Iterations: 1, Arrival: 1.5,
+		}},
+	}
+	c, err := sc.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.graph.Nodes() {
+		if n.NotBefore < 1.5 {
+			t.Errorf("node %s NotBefore = %v, want >= 1.5", n.ID, n.NotBefore)
+		}
+	}
+	out := Run(sc, Config{Oracles: ResultOracles()})
+	for _, v := range out.Violations {
+		t.Errorf("%s: %s", v.Oracle, v.Detail)
+	}
+	if out.Makespan < 1.5 {
+		t.Errorf("makespan %v predates the job's arrival", out.Makespan)
+	}
+
+	sc.Jobs[0].Arrival = -1
+	if err := sc.Validate(); err == nil {
+		t.Error("negative arrival validated")
+	}
+}
+
+// TestCheck_OracleQueueTrace drives the queue oracle over a hand-written
+// staggered-arrival trace: three jobs against MaxJobs=2, where the third
+// must wait for a departure. The oracle must pass and, when the trace is
+// poisoned with a duplicate job name, count the rejection without tripping
+// conservation.
+func TestCheck_OracleQueueTrace(t *testing.T) {
+	hosts := []HostSpec{
+		{Name: "a", Egress: 2, Ingress: 2},
+		{Name: "b", Egress: 2, Ingress: 2},
+		{Name: "c", Egress: 2, Ingress: 2},
+	}
+	job := func(name string, arrival unit.Time) JobSpec {
+		return JobSpec{
+			Name: name, Paradigm: "dp",
+			Model:   ModelSpec{Layers: 2, Params: 1, Acts: 1, Fwd: 0.2, Bwd: 0.2},
+			Workers: []string{"a", "b"}, Iterations: 2, Arrival: arrival,
+		}
+	}
+	sc := &Scenario{Hosts: hosts, Jobs: []JobSpec{job("j0", 0), job("j1", 0.3), job("j2", 0.6)}}
+	c, err := sc.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := oracleQueue(c); len(vs) != 0 {
+		t.Errorf("clean trace tripped the queue oracle: %v", vs)
+	}
+
+	// A duplicate name is rejected at submit; everything else still drains.
+	sc2 := &Scenario{Hosts: hosts, Jobs: []JobSpec{job("j0", 0), job("j0", 0.1), job("j1", 0.2)}}
+	// compile() would reject duplicate groups, so lower the trace by hand.
+	c2 := &compiled{sc: sc2}
+	if vs := oracleQueue(c2); len(vs) != 0 {
+		t.Errorf("duplicate-name trace tripped invariants: %v", vs)
+	}
+
+	// An unplaceable job (more workers than hosts) is dropped at admission
+	// while jobs behind it still admit and drain.
+	wide := job("wide", 0)
+	wide.Workers = []string{"a", "b", "c", "a", "b"} // count is what matters
+	sc3 := &Scenario{Hosts: hosts, Jobs: []JobSpec{wide, job("j1", 0.1)}}
+	c3 := &compiled{sc: sc3}
+	if vs := oracleQueue(c3); len(vs) != 0 {
+		t.Errorf("unplaceable-head trace tripped invariants: %v", vs)
+	}
+}
+
+// TestCheck_OracleQueueSeeds runs the queue oracle across the quick seed
+// corpus (arrival-timed generated jobs included) and requires silence.
+func TestCheck_OracleQueueSeeds(t *testing.T) {
+	sawArrival := false
+	for _, seed := range quickSeeds {
+		sc := Generate(seed)
+		for _, j := range sc.Jobs {
+			if j.Arrival > 0 {
+				sawArrival = true
+			}
+		}
+		out := Run(sc, Config{Oracles: []string{OracleQueue}})
+		for _, v := range out.Violations {
+			t.Errorf("seed %d: %s: %s", seed, v.Oracle, v.Detail)
+		}
+	}
+	if !sawArrival {
+		t.Error("no quick seed generated an arrival-timed job; generator coverage lost")
+	}
+}
+
+// TestCheck_OracleQueueInList pins the oracle's registration: ParseOracles
+// resolves it by name and "all" includes it.
+func TestCheck_OracleQueueInList(t *testing.T) {
+	got, err := ParseOracles("queue")
+	if err != nil || len(got) != 1 || got[0] != OracleQueue {
+		t.Fatalf("ParseOracles(queue) = %v, %v", got, err)
+	}
+	all, _ := ParseOracles("all")
+	if !strings.Contains(strings.Join(all, ","), OracleQueue) {
+		t.Error("AllOracles misses the queue oracle")
+	}
+}
+
+// TestCheck_ArrivalRoundTrip pins the JSON form of the new field.
+func TestCheck_ArrivalRoundTrip(t *testing.T) {
+	sc := &Scenario{
+		Hosts: []HostSpec{{Name: "a", Egress: 1, Ingress: 1}, {Name: "b", Egress: 1, Ingress: 1}},
+		Jobs: []JobSpec{{
+			Name: "j", Paradigm: "tp",
+			Model:   ModelSpec{Layers: 2, Params: 1, Acts: 1, Fwd: 0.1, Bwd: 0.1},
+			Workers: []string{"a", "b"}, Iterations: 1, Arrival: 2.25,
+		}},
+	}
+	data, err := sc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Jobs[0].Arrival != 2.25 {
+		t.Errorf("arrival round-tripped to %v", back.Jobs[0].Arrival)
+	}
+	if !strings.Contains(string(data), "\"arrival\"") {
+		t.Error("arrival missing from JSON form")
+	}
+}

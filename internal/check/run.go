@@ -140,6 +140,8 @@ func Run(sc *Scenario, cfg Config) *Outcome {
 			out.Violations = append(out.Violations, oracleTardiness(c, res)...)
 		case OracleWorkCons:
 			out.Violations = append(out.Violations, oracleWorkCons(c, res, s)...)
+		case OracleQueue:
+			out.Violations = append(out.Violations, oracleQueue(c)...)
 		}
 	}
 	if custom {

@@ -62,6 +62,10 @@ type JobSpec struct {
 	// Weight scales every group of this job in the weighted Eq. 4
 	// objective (0 means 1).
 	Weight float64 `json:"weight,omitempty"`
+	// Arrival delays the whole job: no node of it may start earlier (the
+	// compiler shifts every node's NotBefore by it). It is also the job's
+	// submission time in the queue-admission oracle's arrival trace.
+	Arrival unit.Time `json:"arrival,omitempty"`
 }
 
 // NodeSpec is one ad-hoc DAG node: Kind "compute" or "comm".
@@ -173,6 +177,9 @@ func (sc *Scenario) Validate() error {
 		}
 		if j.PS != "" && !seen[j.PS] {
 			return fmt.Errorf("check: job %q PS %q not in hosts", j.Name, j.PS)
+		}
+		if j.Arrival < 0 {
+			return fmt.Errorf("check: job %q has negative arrival %v", j.Name, j.Arrival)
 		}
 	}
 	for _, n := range sc.Nodes {
@@ -292,6 +299,14 @@ func (sc *Scenario) compile() (*compiled, error) {
 		w, err := buildJob(j)
 		if err != nil {
 			return nil, err
+		}
+		// An arriving job's nodes may not start before it arrives; shifting
+		// NotBefore here (before the merge) turns the static graph into an
+		// arrival-timed trace the ordering oracle checks like any other gate.
+		if j.Arrival > 0 {
+			for _, n := range w.Graph.Nodes() {
+				n.NotBefore += j.Arrival
+			}
 		}
 		if j.Weight > 0 {
 			for g := range w.Arrangements {

@@ -55,8 +55,8 @@ func TestCoalesceBatchesFlowEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The event is deferred: the caller sees the allocation still in force,
-	// which has not granted the new flow anything yet.
+	// The event is deferred: the allocation in force is unchanged, so the
+	// hot path skips assembling it (nil map) — the new flow has no rate yet.
 	if rates["x"] != 0 {
 		t.Errorf("deferred release already granted rate %v", rates["x"])
 	}

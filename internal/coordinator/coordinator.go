@@ -13,15 +13,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"echelonflow/internal/core"
 	"echelonflow/internal/fabric"
 	"echelonflow/internal/journal"
+	"echelonflow/internal/queue"
 	"echelonflow/internal/ratelimit"
 	"echelonflow/internal/sched"
 	"echelonflow/internal/telemetry"
@@ -64,6 +67,17 @@ type Options struct {
 	// agent redialing in a tight loop cannot starve connection handling.
 	RedialRate  float64
 	RedialBurst float64
+	// Queue, when non-nil, enables the online job-arrival pipeline: agents
+	// submit wire.JobSpecs, the queue's placement/admission policies bind and
+	// gate them, and the coordinator registers the compiled groups itself.
+	// The queue must be dedicated to this coordinator (it is driven under the
+	// coordinator's lock and restored from its journal).
+	Queue *queue.Queue
+	// SubmitRate, when positive, rate-limits job submissions per tenant to
+	// this many per second (burst SubmitBurst, default 1); excess submissions
+	// are refused with a typed throttled error, not a dropped connection.
+	SubmitRate  float64
+	SubmitBurst float64
 	// Clock is injectable for tests; defaults to time.Now.
 	Clock func() time.Time
 	// Logf receives diagnostic output; defaults to log.Printf.
@@ -148,12 +162,23 @@ type Coordinator struct {
 	journalEvents int
 	replaying     bool
 
-	// limiters admission-controls redials per agent name (opts.RedialRate).
-	limiters map[string]*ratelimit.Bucket
+	// limiters admission-controls redials per agent name (opts.RedialRate);
+	// submitLimiters throttles job submissions per tenant (opts.SubmitRate).
+	limiters       map[string]*ratelimit.Bucket
+	submitLimiters map[string]*ratelimit.Bucket
+
+	// queue is the job-arrival pipeline (opts.Queue). jobGroups/groupJob
+	// index registered groups by owning job; jobFlowsLeft counts each job's
+	// unfinished flows so its departure is detected on the last finish.
+	queue        *queue.Queue
+	jobGroups    map[string]map[string]bool
+	groupJob     map[string]string
+	jobFlowsLeft map[string]int
 
 	// tel caches instrument handles resolved once in New. With Options.
 	// Metrics nil every handle is nil and all recording calls are no-ops.
-	tel coordTelemetry
+	tel  coordTelemetry
+	jtel jobTelemetry
 }
 
 // coordTelemetry bundles the coordinator's cached instrument handles.
@@ -221,6 +246,9 @@ func New(opts Options) (*Coordinator, error) {
 	if opts.RedialRate < 0 || opts.RedialBurst < 0 {
 		return nil, fmt.Errorf("coordinator: negative redial limit %v/%v", opts.RedialRate, opts.RedialBurst)
 	}
+	if opts.SubmitRate < 0 || opts.SubmitBurst < 0 {
+		return nil, fmt.Errorf("coordinator: negative submit limit %v/%v", opts.SubmitRate, opts.SubmitBurst)
+	}
 	if opts.Coalesce < 0 {
 		return nil, fmt.Errorf("coordinator: negative Coalesce %v", opts.Coalesce)
 	}
@@ -237,12 +265,17 @@ func New(opts Options) (*Coordinator, error) {
 		opts.Logf = log.Printf
 	}
 	c := &Coordinator{
-		opts:     opts,
-		start:    opts.Clock(),
-		groups:   make(map[string]*groupRT),
-		sessions: make(map[*session]struct{}),
-		byName:   make(map[string]*session),
-		limiters: make(map[string]*ratelimit.Bucket),
+		opts:           opts,
+		start:          opts.Clock(),
+		groups:         make(map[string]*groupRT),
+		sessions:       make(map[*session]struct{}),
+		byName:         make(map[string]*session),
+		limiters:       make(map[string]*ratelimit.Bucket),
+		submitLimiters: make(map[string]*ratelimit.Bucket),
+		queue:          opts.Queue,
+		jobGroups:      make(map[string]map[string]bool),
+		groupJob:       make(map[string]string),
+		jobFlowsLeft:   make(map[string]int),
 	}
 	if pc, ok := opts.Scheduler.(interface{ PlanCache() *sched.PlanCache }); ok {
 		c.cache = pc.PlanCache()
@@ -274,6 +307,9 @@ func New(opts Options) (*Coordinator, error) {
 		reschedErrors:  m.Counter(MetricRescheduleErrors, "Reschedule attempts that returned an error."),
 	}
 	c.tel.totalTard.Set(0)
+	if c.queue != nil {
+		c.initJobTelemetry()
+	}
 	return c, nil
 }
 
@@ -411,6 +447,7 @@ func (c *Coordinator) UnregisterGroup(groupID string) (map[string]unit.Rate, err
 	}
 	c.flushCoalescedLocked()
 	c.advanceLocked()
+	c.detachGroupFromJobLocked(groupID)
 	delete(c.groups, groupID)
 	c.cache.InvalidateGroup(groupID)
 	c.dropGroupMetricsLocked(groupID)
@@ -421,8 +458,9 @@ func (c *Coordinator) UnregisterGroup(groupID string) (map[string]unit.Rate, err
 
 // FlowEvent applies a lifecycle transition and returns the fresh allocation.
 // With coalescing enabled the mutation is applied and journaled immediately
-// but the reschedule is deferred into the open batch; the returned map is
-// then the allocation still in force.
+// but the reschedule is deferred into the open batch and the returned map is
+// nil — the allocation in force is unchanged, and assembling it per event
+// would cost O(all flows) on the hot path (Drain reports it on demand).
 func (c *Coordinator) FlowEvent(ev wire.FlowEvent) (map[string]unit.Rate, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -438,11 +476,31 @@ func (c *Coordinator) FlowEvent(ev wire.FlowEvent) (map[string]unit.Rate, error)
 		c.appendJournalLocked(journalEvent{Kind: jFlow, At: now, Flow: &ev, Defer: true})
 		c.cache.InvalidateGroup(ev.GroupID)
 		c.deferRescheduleLocked(ev.GroupID)
-		return c.currentRatesLocked(), nil
+		c.maybeDepartJobLocked(ev)
+		return nil, nil
 	}
 	c.appendJournalLocked(journalEvent{Kind: jFlow, At: now, Flow: &ev})
 	c.cache.InvalidateGroup(ev.GroupID) // the group's released flow set changed
-	return c.rescheduleDeltaLocked([]string{ev.GroupID})
+	rates, err := c.rescheduleDeltaLocked([]string{ev.GroupID})
+	if err != nil {
+		return nil, err
+	}
+	c.maybeDepartJobLocked(ev)
+	return rates, nil
+}
+
+// maybeDepartJobLocked is the live departure decision: the finish that
+// emptied a queue-admitted job's unfinished-flow count completes the job.
+// Replay never decides — it applies the recorded job-departed record.
+func (c *Coordinator) maybeDepartJobLocked(ev wire.FlowEvent) {
+	if c.queue == nil || c.replaying || ev.Event != wire.EventFinished {
+		return
+	}
+	jobID, ok := c.groupJob[ev.GroupID]
+	if !ok || c.jobFlowsLeft[jobID] > 0 {
+		return
+	}
+	c.departJobLocked(jobID)
 }
 
 // deferRescheduleLocked adds a group to the open coalescing batch, opening
@@ -565,6 +623,11 @@ func (c *Coordinator) applyFlowLocked(ev wire.FlowEvent, now unit.Time) error {
 		}
 		f.finished = true
 		f.remaining = 0
+		// Job-owned groups track completion; replay maintains the counter the
+		// same way, with the departure decision carried by the journal.
+		if jobID, owned := c.groupJob[ev.GroupID]; owned {
+			c.jobFlowsLeft[jobID]--
+		}
 		deadline := g.state.Group.Arrangement.Deadline(f.flow.Stage, g.state.Reference)
 		tard := now - deadline
 		if tard > g.state.AchievedTardiness {
@@ -781,7 +844,7 @@ func (c *Coordinator) broadcastLocked(rates map[string]unit.Rate) {
 		c.ratesPushed += len(delta)
 		c.tel.ratesPushed.Add(uint64(len(delta)))
 		msg := wire.Message{Type: wire.TypeAllocation, Allocation: &wire.Allocation{Rates: delta}}
-		if err := s.codec.Send(msg); err != nil {
+		if err := s.send(msg); err != nil {
 			c.opts.Logf("coordinator: push to %s failed: %v", s.agent, err)
 			continue
 		}
@@ -809,10 +872,29 @@ type session struct {
 	agent string
 	conn  net.Conn
 	sent  map[string]unit.Rate // last rates pushed to this session
+	// lastPush is the wall time (unix nanos) of the most recent outbound
+	// send the kernel accepted. The read loop consults it before declaring
+	// a silent agent dead: a peer we are actively and successfully pushing
+	// to is alive even when its own traffic has stalled. (Observed on
+	// loopback under heavy one-directional load: an idle client's small
+	// writes can sit out a whole read-deadline window while its kernel
+	// keeps acking our pushes.)
+	lastPush atomic.Int64
 	// superseded marks a session taken over by a reconnect under the same
 	// agent name: its teardown must not park or evict the groups the new
 	// session has adopted.
 	superseded bool
+}
+
+// send transmits one message to the agent, recording the time of any
+// accepted write for the liveness check in handleConn. All post-handshake
+// sends to a session go through here.
+func (s *session) send(m wire.Message) error {
+	err := s.codec.Send(m)
+	if err == nil {
+		s.lastPush.Store(time.Now().UnixNano())
+	}
+	return err
 }
 
 // Serve accepts agent connections until the context is cancelled or the
@@ -904,14 +986,30 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 		}
 		msg, err := s.codec.Recv()
 		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			// Recv wraps mid-frame read errors, so unwrap when testing for
+			// a deadline timeout.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// Inbound silence alone does not prove a dead agent. If our
+				// own pushes to this session were accepted within the window,
+				// the connection is demonstrably alive — re-arm the deadline
+				// instead of evicting. Safe even when the timeout struck
+				// mid-frame: Recv resumes partial decodes.
+				last := s.lastPush.Load()
+				if last != 0 && time.Since(time.Unix(0, last)) < c.opts.SessionTimeout {
+					c.opts.Logf("coordinator: agent %s silent for %v but outbound pushes are live; keeping session", s.agent, c.opts.SessionTimeout)
+					continue
+				}
 				c.opts.Logf("coordinator: agent %s timed out (no heartbeat)", s.agent)
+			} else if err != io.EOF {
+				// EOF is a clean hangup; anything else is worth a trace.
+				c.opts.Logf("coordinator: agent %s disconnected: %v", s.agent, err)
 			}
 			return
 		}
 		if err := c.handleMessage(s, msg); err != nil {
 			c.opts.Logf("coordinator: agent %s: %v", s.agent, err)
-			_ = s.codec.Send(wire.Message{Type: wire.TypeError, Error: &wire.Error{Msg: err.Error()}})
+			_ = s.send(wire.Message{Type: wire.TypeError, Error: &wire.Error{Msg: err.Error()}})
 		}
 	}
 }
@@ -923,7 +1021,7 @@ func (c *Coordinator) handleMessage(s *session, msg wire.Message) error {
 		// concurrency-safe against the broadcast path). A send failure here
 		// is not an agent protocol error; the Recv loop notices the dead
 		// conn on its own.
-		_ = s.codec.Send(wire.Message{Type: wire.TypeHeartbeat})
+		_ = s.send(wire.Message{Type: wire.TypeHeartbeat})
 		return nil
 	case wire.TypeRegister:
 		g, err := msg.Register.Group()
@@ -937,6 +1035,15 @@ func (c *Coordinator) handleMessage(s *session, msg wire.Message) error {
 	case wire.TypeFlowEvent:
 		_, err := c.FlowEvent(*msg.FlowEvent)
 		return err
+	case wire.TypeSubmitJob:
+		if err := c.SubmitJob(s.agent, msg.SubmitJob.Job); err != nil {
+			// Submission refusals are typed wire errors, not protocol
+			// failures: the session survives and the agent can retry or fix
+			// the spec.
+			_ = s.send(wire.Message{Type: wire.TypeError,
+				Error: &wire.Error{Msg: err.Error(), Code: submitErrCode(err)}})
+		}
+		return nil
 	default:
 		return fmt.Errorf("unexpected message type %q", msg.Type)
 	}
@@ -1092,6 +1199,7 @@ func (c *Coordinator) evictIfStillParked(gid string, gen int) {
 // evictLocked removes groups and reallocates once.
 func (c *Coordinator) evictLocked(gids []string, why string) {
 	for _, gid := range gids {
+		c.detachGroupFromJobLocked(gid)
 		delete(c.groups, gid)
 		c.cache.InvalidateGroup(gid)
 		c.dropGroupMetricsLocked(gid)

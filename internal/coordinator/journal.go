@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"echelonflow/internal/journal"
+	"echelonflow/internal/queue"
 	"echelonflow/internal/telemetry"
 	"echelonflow/internal/unit"
 	"echelonflow/internal/wire"
@@ -38,6 +39,13 @@ const (
 	jRevive     = "revive"     // owner rejoined, groups resumed
 	jEvict      = "evict"      // quarantine expired or disabled, groups removed
 	jResched    = "resched"    // coalesced batch boundary: one reschedule over Groups
+
+	// Job-arrival pipeline records. A departed record with Groups is a
+	// completed job; with no Groups it is an admission-time rejection (the
+	// job left the queue without ever registering groups).
+	jJobQueued   = "job-queued"   // submission accepted into the queue
+	jJobAdmitted = "job-admitted" // job placed on Hosts and its groups registered
+	jJobDeparted = "job-departed" // job completed (Groups removed) or rejected
 )
 
 // journalEvent is one WAL record. At is the scheduler time of the mutation;
@@ -55,6 +63,9 @@ type journalEvent struct {
 	Host     string          `json:"host,omitempty"`
 	Egress   unit.Rate       `json:"egress,omitempty"`
 	Ingress  unit.Rate       `json:"ingress,omitempty"`
+	Job      *wire.JobSpec   `json:"job,omitempty"`    // job-queued: the submitted spec
+	JobID    string          `json:"job_id,omitempty"` // job-admitted/departed
+	Hosts    []string        `json:"hosts,omitempty"`  // job-admitted: the placement
 }
 
 // snapshotState is the compacted control-plane state: everything needed to
@@ -63,6 +74,29 @@ type snapshotState struct {
 	Wall   int64           `json:"wall"` // coordinator start, UnixNano
 	At     unit.Time       `json:"at"`   // fluid model position when taken
 	Groups []snapshotGroup `json:"groups"`
+	Jobs   *snapshotJobs   `json:"jobs,omitempty"` // queue state, when a queue is configured
+}
+
+// snapshotJobs compacts the job queue: pending submissions, admitted
+// placements, and the next sequence number. Estimates are recorded rather
+// than recomputed so a restored queue is bit-for-bit the captured one.
+type snapshotJobs struct {
+	Seq      int           `json:"seq"`
+	Pending  []snapshotJob `json:"pending,omitempty"`
+	Admitted []snapshotJob `json:"admitted,omitempty"`
+}
+
+type snapshotJob struct {
+	Spec       wire.JobSpec `json:"spec"`
+	Owner      string       `json:"owner,omitempty"`
+	Arrival    unit.Time    `json:"arrival"`
+	Seq        int          `json:"seq"`
+	Est        unit.Time    `json:"est"`
+	EstStable  bool         `json:"est_stable,omitempty"`
+	Bytes      unit.Bytes   `json:"bytes"`
+	Demand     unit.Rate    `json:"demand"`
+	Hosts      []string     `json:"hosts,omitempty"` // admitted jobs only
+	AdmittedAt unit.Time    `json:"admitted_at,omitempty"`
 }
 
 type snapshotGroup struct {
@@ -151,6 +185,16 @@ func (c *Coordinator) snapshotLocked() {
 		}
 		st.Groups = append(st.Groups, sg)
 	}
+	if c.queue != nil {
+		jobs := &snapshotJobs{Seq: c.queue.Seq()}
+		for _, j := range c.queue.Pending() {
+			jobs.Pending = append(jobs.Pending, snapshotJobOf(j, nil, 0))
+		}
+		for _, a := range c.queue.AdmittedList() {
+			jobs.Admitted = append(jobs.Admitted, snapshotJobOf(a.Job, a.Hosts, a.AdmittedAt))
+		}
+		st.Jobs = jobs
+	}
 	body, err := json.Marshal(st)
 	if err != nil {
 		c.opts.Logf("coordinator: snapshot marshal: %v", err)
@@ -164,6 +208,69 @@ func (c *Coordinator) snapshotLocked() {
 	c.event(telemetry.Event{Kind: telemetry.EventSnapshot, At: float64(c.lastAdvance),
 		Detail: fmt.Sprintf("%d group(s) compacted", len(st.Groups))})
 	c.journalEvents = 0
+}
+
+// snapshotJobOf captures one queue entry.
+func snapshotJobOf(j *queue.Job, hosts []string, at unit.Time) snapshotJob {
+	return snapshotJob{
+		Spec: j.Spec, Owner: j.Owner, Arrival: j.Arrival, Seq: j.Seq,
+		Est: j.Est, EstStable: j.EstStable, Bytes: j.Bytes, Demand: j.Demand,
+		Hosts: hosts, AdmittedAt: at,
+	}
+}
+
+// jobOf rebuilds a queue entry from its snapshot.
+func jobOf(sj snapshotJob) *queue.Job {
+	return &queue.Job{
+		Spec: sj.Spec, Owner: sj.Owner, Arrival: sj.Arrival, Seq: sj.Seq,
+		Est: sj.Est, EstStable: sj.EstStable, Bytes: sj.Bytes, Demand: sj.Demand,
+	}
+}
+
+// restoreJobsLocked rebuilds the queue and the job→group index from a
+// snapshot. Group membership is recomputed from the recorded placements
+// (compilation is deterministic) and intersected with the groups the
+// snapshot actually restored — a group individually unregistered before the
+// snapshot must not rejoin its job.
+func (c *Coordinator) restoreJobsLocked(sj *snapshotJobs) error {
+	if c.queue == nil {
+		return fmt.Errorf("coordinator: snapshot carries job-queue state but no queue is configured")
+	}
+	pending := make([]*queue.Job, 0, len(sj.Pending))
+	for _, p := range sj.Pending {
+		pending = append(pending, jobOf(p))
+	}
+	admitted := make([]*queue.Admitted, 0, len(sj.Admitted))
+	for _, a := range sj.Admitted {
+		admitted = append(admitted, &queue.Admitted{
+			Job: jobOf(a), Hosts: append([]string(nil), a.Hosts...), AdmittedAt: a.AdmittedAt,
+		})
+	}
+	c.queue.Restore(pending, admitted, sj.Seq)
+	for _, a := range sj.Admitted {
+		gids, err := queue.GroupIDs(a.Spec, a.Hosts)
+		if err != nil {
+			return fmt.Errorf("coordinator: snapshot job %q: %w", a.Spec.ID, err)
+		}
+		for _, gid := range gids {
+			g, live := c.groups[gid]
+			if !live || g.owner != a.Owner {
+				continue
+			}
+			if c.jobGroups[a.Spec.ID] == nil {
+				c.jobGroups[a.Spec.ID] = make(map[string]bool, len(gids))
+			}
+			c.jobGroups[a.Spec.ID][gid] = true
+			c.groupJob[gid] = a.Spec.ID
+			for _, f := range g.flows {
+				if !f.finished {
+					c.jobFlowsLeft[a.Spec.ID]++
+				}
+			}
+		}
+	}
+	c.jobGaugesLocked()
+	return nil
 }
 
 // applySnapshotLocked rebuilds group state from a snapshot payload.
@@ -194,6 +301,11 @@ func (c *Coordinator) applySnapshotLocked(payload []byte) error {
 			}
 			f.released, f.finished = sf.Released, sf.Finished
 			f.remaining, f.rate, f.release = sf.Remaining, sf.Rate, sf.Release
+		}
+	}
+	if st.Jobs != nil {
+		if err := c.restoreJobsLocked(st.Jobs); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -256,6 +368,43 @@ func (c *Coordinator) applyJournalLocked(ev journalEvent) error {
 		c.advanceToLocked(ev.At)
 		_, err := c.rescheduleDeltaLocked(ev.Groups)
 		return err
+	case jJobQueued:
+		if c.queue == nil {
+			return fmt.Errorf("coordinator: job record without a configured queue")
+		}
+		if ev.Job == nil {
+			return fmt.Errorf("coordinator: job-queued record without payload")
+		}
+		c.advanceToLocked(ev.At)
+		_, err := c.queue.Submit(ev.Owner, *ev.Job, ev.At)
+		return err
+	case jJobAdmitted:
+		if c.queue == nil {
+			return fmt.Errorf("coordinator: job record without a configured queue")
+		}
+		c.advanceToLocked(ev.At)
+		a, err := c.queue.ForceAdmit(ev.JobID, ev.Hosts, ev.At)
+		if err != nil {
+			return err
+		}
+		// installJobLocked registers the compiled groups exactly as the live
+		// admission did; journaling and owner pushes are replay-suppressed.
+		return c.installJobLocked(a, ev.At)
+	case jJobDeparted:
+		if c.queue == nil {
+			return fmt.Errorf("coordinator: job record without a configured queue")
+		}
+		c.advanceToLocked(ev.At)
+		if len(ev.Groups) == 0 {
+			// Admission-time rejection: the job left the queue before
+			// registering anything; no reschedule happened.
+			c.queue.Depart(ev.JobID)
+			c.jtel.rejected.Inc()
+			c.jobGaugesLocked()
+			return nil
+		}
+		c.finishJobLocked(ev.JobID, ev.Groups, ev.At)
+		return nil
 	case jCapacity:
 		c.advanceToLocked(ev.At)
 		if err := c.opts.Net.SetCapacity(ev.Host, ev.Egress, ev.Ingress); err != nil {

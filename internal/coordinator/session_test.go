@@ -2,6 +2,7 @@ package coordinator
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -319,5 +320,94 @@ func TestSessionTimeout(t *testing.T) {
 	time.Sleep(400 * time.Millisecond)
 	if _, _, err := coord.GroupStatus("chatty/g"); err != nil {
 		t.Errorf("heartbeating session dropped: %v", err)
+	}
+}
+
+// An agent that sends nothing but is actively and successfully being pushed
+// to is not dead: the read deadline is re-armed as long as outbound sends
+// land within the window. Once the pushes stop, the session times out.
+func TestSessionSurvivesOnOutboundActivity(t *testing.T) {
+	netModel := fabric.NewNetwork()
+	netModel.AddUniformHosts(10, "w1", "w2")
+	coord, err := New(Options{
+		Net: netModel, Scheduler: sched.EchelonMADD{Backfill: true},
+		SessionTimeout: 150 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _ = coord.Serve(ctx, ln) }()
+	defer wg.Wait()
+	defer cancel()
+
+	// The watcher registers a group, then never sends again — but keeps
+	// draining its socket, as any live agent does.
+	watcher := dialRaw(t, ln.Addr().String(), "watcher")
+	defer watcher.conn.Close()
+	ga, _ := core.NewCoflow("watch/g", &core.Flow{ID: "q", Src: "w1", Dst: "w2", Size: 1})
+	rega, _ := wire.RegisterOf(ga)
+	if err := watcher.codec.Send(wire.Message{Type: wire.TypeRegister, Register: &rega}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := watcher.codec.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	// The driver's flow releases re-solve the shared w1->w2 port, so every
+	// event pushes a fresh allocation delta to the watcher.
+	driver := dialRaw(t, ln.Addr().String(), "driver")
+	defer driver.conn.Close()
+	var driverFlows []*core.Flow
+	for i := 0; i < 12; i++ {
+		driverFlows = append(driverFlows, &core.Flow{ID: fmt.Sprintf("b%d", i), Src: "w1", Dst: "w2", Size: 100})
+	}
+	gb, _ := core.NewCoflow("drive/g", driverFlows...)
+	regb, _ := wire.RegisterOf(gb)
+	if err := driver.codec.Send(wire.Message{Type: wire.TypeRegister, Register: &regb}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := driver.codec.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 12; i++ {
+		if err := driver.codec.Send(wire.Message{Type: wire.TypeFlowEvent,
+			FlowEvent: &wire.FlowEvent{GroupID: "drive/g", FlowID: fmt.Sprintf("b%d", i), Event: wire.EventReleased}}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(60 * time.Millisecond)
+	}
+	// 720ms of inbound silence — nearly 5 timeout windows — but the pushes
+	// kept the watcher alive.
+	if _, _, err := coord.GroupStatus("watch/g"); err != nil {
+		t.Fatalf("pushed-to session dropped despite outbound activity: %v", err)
+	}
+
+	// Driver hangs up; with no more flow events there are no more pushes,
+	// and the still-silent watcher must now time out.
+	driver.conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, err := coord.GroupStatus("watch/g"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("silent session never timed out after pushes stopped")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

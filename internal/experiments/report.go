@@ -109,5 +109,6 @@ func All() []Experiment {
 		{"e12", "Extended: chaos replay of a canned fault schedule", ExtChaos},
 		{"e13", "Extended: coordinator crash recovery from the journal", ExtCrashRecovery},
 		{"e14", "Extended: differential check harness (oracles, shrinking)", ExtCheckHarness},
+		{"e15", "Extended: online arrivals, placement policy sensitivity", ExtOnlinePlacement},
 	}
 }

@@ -168,6 +168,59 @@ func DeriveAbsolute(res *sim.Result, g *dag.Graph, group string) (core.Absolute,
 	return core.NewAbsolute(offsets)
 }
 
+// Prediction is Predict's result: the expected per-iteration compute time
+// and whether the profile was stable enough to trust it. An unstable or
+// incomplete profile still yields Iteration (the mean over whatever was
+// measured, zero when nothing was) so callers can blend it with a declared
+// duration; Reason says why Stable is false.
+type Prediction struct {
+	Iteration unit.Time
+	Stable    bool
+	Reason    string
+}
+
+// Predict estimates a job's per-iteration compute time from measured unit
+// durations: the mean over iterations of each iteration's summed unit
+// durations. Unlike Stability it never errors — admission control needs an
+// answer for every job, so instability (or missing measurements) is reported
+// as a verdict the caller can act on (e.g. fall back to a declared
+// duration). idsPerIteration follows Stability's shape: [k][u] is unit u's
+// node ID in iteration k.
+func (p *Profile) Predict(idsPerIteration [][]string, tol float64) Prediction {
+	var sum unit.Time
+	measured := 0
+	for _, it := range idsPerIteration {
+		var itSum unit.Time
+		complete := len(it) > 0
+		for _, id := range it {
+			d, err := p.Duration(id)
+			if err != nil {
+				complete = false
+				break
+			}
+			itSum += d
+		}
+		if complete {
+			sum += itSum
+			measured++
+		}
+	}
+	if measured == 0 {
+		return Prediction{Reason: "no measured iterations"}
+	}
+	pred := Prediction{Iteration: sum / unit.Time(measured)}
+	if measured < len(idsPerIteration) {
+		pred.Reason = fmt.Sprintf("only %d of %d iterations measured", measured, len(idsPerIteration))
+		return pred
+	}
+	if err := p.Stability(idsPerIteration, tol); err != nil {
+		pred.Reason = err.Error()
+		return pred
+	}
+	pred.Stable = true
+	return pred
+}
+
 // Stability verifies that the computation pattern repeats across iterations:
 // idsPerIteration[k][u] is unit u's node ID in iteration k, and every unit's
 // duration must match its iteration-0 counterpart within tol. This is the

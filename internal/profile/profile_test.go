@@ -195,6 +195,72 @@ func TestStabilityDetectsDrift(t *testing.T) {
 	}
 }
 
+func TestPredictStable(t *testing.T) {
+	p := &Profile{durations: map[string]unit.Time{
+		"it0/a": 1, "it0/b": 2, "it1/a": 1, "it1/b": 2,
+	}}
+	pred := p.Predict([][]string{{"it0/a", "it0/b"}, {"it1/a", "it1/b"}}, 0.05)
+	if !pred.Stable || !pred.Iteration.ApproxEq(3) {
+		t.Errorf("Predict = %+v, want stable 3s iteration", pred)
+	}
+}
+
+// An unstable profile still yields a usable mean, with the verdict and
+// reason set — the declared-duration fallback hinges on this not erroring.
+func TestPredictUnstableFallsBack(t *testing.T) {
+	p := &Profile{durations: map[string]unit.Time{
+		"it0/a": 1, "it1/a": 2,
+	}}
+	pred := p.Predict([][]string{{"it0/a"}, {"it1/a"}}, 0.05)
+	if pred.Stable {
+		t.Error("drifting profile reported stable")
+	}
+	if !pred.Iteration.ApproxEq(1.5) {
+		t.Errorf("Iteration = %v, want mean 1.5", pred.Iteration)
+	}
+	if !strings.Contains(pred.Reason, "deviates") {
+		t.Errorf("Reason = %q", pred.Reason)
+	}
+}
+
+func TestPredictSingleIteration(t *testing.T) {
+	// One iteration cannot prove stability (Stability needs >=2), but the
+	// measurement itself is still the best available estimate.
+	p := &Profile{durations: map[string]unit.Time{"it0/a": 2}}
+	pred := p.Predict([][]string{{"it0/a"}}, 0.05)
+	if pred.Stable || !pred.Iteration.ApproxEq(2) || pred.Reason == "" {
+		t.Errorf("Predict = %+v", pred)
+	}
+}
+
+func TestPredictMissingMeasurements(t *testing.T) {
+	p := &Profile{durations: map[string]unit.Time{"it0/a": 1}}
+	// Iteration 1 unmeasured: mean comes from iteration 0 alone.
+	pred := p.Predict([][]string{{"it0/a"}, {"it1/a"}}, 0.05)
+	if pred.Stable || !pred.Iteration.ApproxEq(1) || !strings.Contains(pred.Reason, "1 of 2") {
+		t.Errorf("Predict = %+v", pred)
+	}
+	// Nothing measured at all: zero estimate, explicit reason.
+	empty := &Profile{durations: map[string]unit.Time{}}
+	pred = empty.Predict([][]string{{"x"}}, 0.05)
+	if pred.Stable || pred.Iteration != 0 || pred.Reason != "no measured iterations" {
+		t.Errorf("Predict = %+v", pred)
+	}
+}
+
+// Two zero-duration units are identical, not divergent: relDiff guards the
+// zero denominator and reports 0, so Predict must call them stable.
+func TestPredictZeroDurations(t *testing.T) {
+	p := &Profile{durations: map[string]unit.Time{"it0/a": 0, "it1/a": 0}}
+	pred := p.Predict([][]string{{"it0/a"}, {"it1/a"}}, 0.05)
+	if !pred.Stable || pred.Iteration != 0 {
+		t.Errorf("Predict = %+v, want stable zero iteration", pred)
+	}
+	if d := relDiff(0, 0); d != 0 {
+		t.Errorf("relDiff(0,0) = %v", d)
+	}
+}
+
 func TestMeanErrors(t *testing.T) {
 	p := &Profile{durations: map[string]unit.Time{"a": 2, "b": 4}}
 	m, err := p.Mean([]string{"a", "b"})

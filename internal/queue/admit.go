@@ -1,0 +1,108 @@
+package queue
+
+import (
+	"fmt"
+
+	"echelonflow/internal/profile"
+	"echelonflow/internal/unit"
+	"echelonflow/internal/wire"
+)
+
+// Order ranks queued jobs for admission. The queue admits strictly in this
+// order (head-of-line, no skipping), so under equal priority FIFO fairness
+// is an invariant the check oracle can assert.
+type Order interface {
+	Name() string
+	Less(a, b *Job) bool
+}
+
+// FIFO admits in submission order.
+type FIFO struct{}
+
+// Name implements Order.
+func (FIFO) Name() string { return "fifo" }
+
+// Less implements Order.
+func (FIFO) Less(a, b *Job) bool { return a.Seq < b.Seq }
+
+// SRPT admits shortest-predicted-remaining-work first: estimated iteration
+// time times remaining iterations, submission order breaking ties. With
+// good predictions this minimizes mean queueing delay; with bad ones it
+// degrades to noisy FIFO, which is why Est carries a stability verdict.
+type SRPT struct{}
+
+// Name implements Order.
+func (SRPT) Name() string { return "srpt" }
+
+// Less implements Order.
+func (SRPT) Less(a, b *Job) bool {
+	ra := a.Est * unit.Time(a.Spec.Iterations)
+	rb := b.Est * unit.Time(b.Spec.Iterations)
+	if ra != rb {
+		return ra < rb
+	}
+	return a.Seq < b.Seq
+}
+
+// OrderByName resolves a CLI admission-order name.
+func OrderByName(name string) (Order, error) {
+	switch name {
+	case "fifo":
+		return FIFO{}, nil
+	case "srpt":
+		return SRPT{}, nil
+	default:
+		return nil, fmt.Errorf("queue: unknown admission order %q (want fifo or srpt)", name)
+	}
+}
+
+// Estimator predicts a job's per-iteration time at submit. The bool reports
+// whether the estimate is trusted (stable profile) or a fallback.
+type Estimator interface {
+	Estimate(spec wire.JobSpec) (unit.Time, bool)
+}
+
+// DeclaredEstimate is every estimator's fallback: the submitter's declared
+// per-iteration duration, or a compute-shape derivation (layers × (fwd+bwd))
+// when none was declared.
+func DeclaredEstimate(spec wire.JobSpec) unit.Time {
+	if spec.Declared > 0 {
+		return spec.Declared
+	}
+	return unit.Time(spec.Layers) * (spec.Fwd + spec.Bwd)
+}
+
+// Declared is the profile-free estimator: declared durations, never stable.
+type Declared struct{}
+
+// Estimate implements Estimator.
+func (Declared) Estimate(spec wire.JobSpec) (unit.Time, bool) {
+	return DeclaredEstimate(spec), false
+}
+
+// ProfileEstimator predicts from measured iteration times (profile.Predict),
+// falling back to the declared duration when the job has no usable
+// measurements or its profile is unstable beyond Tol. IDs maps a spec to
+// its per-iteration compute-unit node IDs; returning nil means "never
+// profiled".
+type ProfileEstimator struct {
+	Profile *profile.Profile
+	IDs     func(spec wire.JobSpec) [][]string
+	Tol     float64
+}
+
+// Estimate implements Estimator.
+func (e ProfileEstimator) Estimate(spec wire.JobSpec) (unit.Time, bool) {
+	if e.Profile == nil || e.IDs == nil {
+		return DeclaredEstimate(spec), false
+	}
+	ids := e.IDs(spec)
+	if len(ids) == 0 {
+		return DeclaredEstimate(spec), false
+	}
+	pred := e.Profile.Predict(ids, e.Tol)
+	if pred.Iteration <= 0 {
+		return DeclaredEstimate(spec), false
+	}
+	return pred.Iteration, pred.Stable
+}

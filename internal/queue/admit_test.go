@@ -1,0 +1,116 @@
+package queue
+
+import (
+	"testing"
+
+	"echelonflow/internal/profile"
+	"echelonflow/internal/sim"
+	"echelonflow/internal/unit"
+	"echelonflow/internal/wire"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	a := &Job{Seq: 0, Est: 100}
+	b := &Job{Seq: 1, Est: 1}
+	if !(FIFO{}).Less(a, b) || (FIFO{}).Less(b, a) {
+		t.Error("FIFO must order by submission sequence only")
+	}
+}
+
+func TestSRPTOrder(t *testing.T) {
+	long := &Job{Seq: 0, Est: 10, Spec: wire.JobSpec{Iterations: 2}}
+	short := &Job{Seq: 1, Est: 1, Spec: wire.JobSpec{Iterations: 3}}
+	if !(SRPT{}).Less(short, long) {
+		t.Error("SRPT must prefer the shorter predicted run")
+	}
+	// Iterations multiply: 10×2 < 7×3.
+	mid := &Job{Seq: 2, Est: 7, Spec: wire.JobSpec{Iterations: 3}}
+	if !(SRPT{}).Less(long, mid) {
+		t.Error("SRPT must compare est × iterations, not est alone")
+	}
+	// Equal work falls back to FIFO.
+	twinA := &Job{Seq: 3, Est: 5, Spec: wire.JobSpec{Iterations: 1}}
+	twinB := &Job{Seq: 4, Est: 5, Spec: wire.JobSpec{Iterations: 1}}
+	if !(SRPT{}).Less(twinA, twinB) || (SRPT{}).Less(twinB, twinA) {
+		t.Error("SRPT ties must break by sequence")
+	}
+}
+
+func TestOrderByName(t *testing.T) {
+	for _, name := range []string{"fifo", "srpt"} {
+		o, err := OrderByName(name)
+		if err != nil || o.Name() != name {
+			t.Errorf("OrderByName(%q) = %v, %v", name, o, err)
+		}
+	}
+	if _, err := OrderByName("lifo"); err == nil {
+		t.Error("unknown order accepted")
+	}
+}
+
+func TestDeclaredEstimate(t *testing.T) {
+	s := wire.JobSpec{Declared: 4, Layers: 3, Fwd: 1, Bwd: 2}
+	if got := DeclaredEstimate(s); got != 4 {
+		t.Errorf("declared duration ignored: got %v", got)
+	}
+	s.Declared = 0
+	if got := DeclaredEstimate(s); got != 9 {
+		t.Errorf("shape-derived estimate = %v, want layers*(fwd+bwd) = 9", got)
+	}
+	if d, stable := (Declared{}).Estimate(s); d != 9 || stable {
+		t.Errorf("Declared.Estimate = %v, %v", d, stable)
+	}
+}
+
+// measuredProfile builds a profile where job/it<k>/u<i> took the given
+// per-iteration durations.
+func measuredProfile(perIter [][]unit.Time) (*profile.Profile, [][]string) {
+	res := &sim.Result{Tasks: make(map[string]sim.Span)}
+	ids := make([][]string, len(perIter))
+	for k, durs := range perIter {
+		for i, d := range durs {
+			id := itID(k, i)
+			res.Tasks[id] = sim.Span{Start: 0, End: d}
+			ids[k] = append(ids[k], id)
+		}
+	}
+	return profile.FromResult(res), ids
+}
+
+func itID(k, u int) string { return "job/it" + string(rune('0'+k)) + "/u" + string(rune('0'+u)) }
+
+func TestProfileEstimatorStable(t *testing.T) {
+	p, ids := measuredProfile([][]unit.Time{{1, 2}, {1, 2}})
+	e := ProfileEstimator{Profile: p, Tol: 0.05,
+		IDs: func(wire.JobSpec) [][]string { return ids }}
+	est, stable := e.Estimate(wire.JobSpec{Declared: 99})
+	if est != 3 || !stable {
+		t.Errorf("Estimate = %v, %v; want 3, true", est, stable)
+	}
+}
+
+func TestProfileEstimatorUnstableStillMeasured(t *testing.T) {
+	p, ids := measuredProfile([][]unit.Time{{1}, {2}})
+	e := ProfileEstimator{Profile: p, Tol: 0.05,
+		IDs: func(wire.JobSpec) [][]string { return ids }}
+	est, stable := e.Estimate(wire.JobSpec{Declared: 99})
+	if est != 1.5 || stable {
+		t.Errorf("Estimate = %v, %v; want measured mean 1.5, unstable", est, stable)
+	}
+}
+
+func TestProfileEstimatorFallsBackToDeclared(t *testing.T) {
+	p, _ := measuredProfile(nil)
+	cases := []ProfileEstimator{
+		{},           // no profile at all
+		{Profile: p}, // no IDs mapping
+		{Profile: p, IDs: func(wire.JobSpec) [][]string { return nil }},                   // never profiled
+		{Profile: p, IDs: func(wire.JobSpec) [][]string { return [][]string{{"ghost"}} }}, // unmeasured
+	}
+	for i, e := range cases {
+		est, stable := e.Estimate(wire.JobSpec{Declared: 7})
+		if est != 7 || stable {
+			t.Errorf("case %d: Estimate = %v, %v; want declared 7, unstable", i, est, stable)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package queue is the coordinator's online job-arrival front end: jobs
+// (wire.JobSpec, any of the six ddlt paradigms) arrive over time, a
+// pluggable placement policy binds their workers to fabric hosts, and an
+// admission layer orders and gates them against a concurrency/bandwidth
+// budget using predicted iteration times — the prediction-assisted online
+// scheduling setting of arXiv:2501.05563 layered over the paper's echelon
+// scheduler. The queue itself is clockless and deterministic: callers pass
+// explicit times, so the coordinator can journal its decisions and replay
+// them bit-for-bit.
+package queue
+
+import (
+	"fmt"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/dag"
+	"echelonflow/internal/ddlt"
+	"echelonflow/internal/unit"
+	"echelonflow/internal/wire"
+)
+
+// Job is one queued (or admitted) submission.
+type Job struct {
+	Spec    wire.JobSpec
+	Owner   string // submitting session's agent name
+	Arrival unit.Time
+	Seq     int // submission order, the FIFO key
+
+	// Est is the per-iteration time the admission estimator resolved at
+	// submit; EstStable records whether it came from a stable profile or a
+	// declared-duration fallback. Bytes is the job's total comm volume and
+	// Demand its predicted bandwidth appetite (Bytes over the estimated
+	// run), charged against the queue's bandwidth budget while admitted.
+	Est       unit.Time
+	EstStable bool
+	Bytes     unit.Bytes
+	Demand    unit.Rate
+}
+
+// Admitted is a job bound to hosts.
+type Admitted struct {
+	Job        *Job
+	Hosts      []string // placement, in binding order (ps: last host is the server)
+	AdmittedAt unit.Time
+}
+
+// HostsNeeded reports how many distinct hosts a placement must supply for
+// the spec: its workers, plus one for the "ps" paradigm's server.
+func HostsNeeded(spec wire.JobSpec) int {
+	if spec.Paradigm == "ps" {
+		return spec.Workers + 1
+	}
+	return spec.Workers
+}
+
+// Build compiles a job spec onto bound hosts (len(hosts) == HostsNeeded).
+// The compilation is deterministic in (spec, hosts), so a submitter that
+// knows its admission placement reconstructs the exact node and group IDs
+// the coordinator registered — the loadgen drives flow events this way.
+func Build(spec wire.JobSpec, hosts []string) (*ddlt.Workload, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(hosts) != HostsNeeded(spec) {
+		return nil, fmt.Errorf("queue: job %q needs %d hosts, placement bound %d",
+			spec.ID, HostsNeeded(spec), len(hosts))
+	}
+	workers := hosts
+	ps := ""
+	if spec.Paradigm == "ps" {
+		workers, ps = hosts[:spec.Workers], hosts[spec.Workers]
+	}
+	m := ddlt.Uniform(spec.ID, spec.Layers, spec.Params, spec.Acts, spec.Fwd, spec.Bwd)
+	switch spec.Paradigm {
+	case "dp":
+		return ddlt.DPAllReduce{Name: spec.ID, Model: m, Workers: workers,
+			BucketCount: spec.Buckets, Iterations: spec.Iterations}.Build()
+	case "ps":
+		return ddlt.DPParameterServer{Name: spec.ID, Model: m, Workers: workers, PS: ps,
+			BucketCount: spec.Buckets, AggTime: spec.AggTime, Iterations: spec.Iterations}.Build()
+	case "pp":
+		return ddlt.PipelineGPipe{Name: spec.ID, Model: m, Workers: workers,
+			MicroBatches: spec.Micro, UpdateTime: spec.UpdateTime, Iterations: spec.Iterations}.Build()
+	case "1f1b":
+		return ddlt.Pipeline1F1B{Name: spec.ID, Model: m, Workers: workers,
+			MicroBatches: spec.Micro, UpdateTime: spec.UpdateTime, Iterations: spec.Iterations}.Build()
+	case "tp":
+		return ddlt.TensorParallel{Name: spec.ID, Model: m, Workers: workers,
+			Iterations: spec.Iterations}.Build()
+	case "fsdp":
+		return ddlt.FSDP{Name: spec.ID, Model: m, Workers: workers,
+			PrefetchDepth: spec.Prefetch, Iterations: spec.Iterations}.Build()
+	default:
+		return nil, fmt.Errorf("queue: job %q has unknown paradigm %q", spec.ID, spec.Paradigm)
+	}
+}
+
+// dryHosts names enough synthetic hosts to dry-run Build for validation and
+// volume accounting before any placement exists.
+func dryHosts(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("q%d", i)
+	}
+	return out
+}
+
+// Inspect dry-compiles a spec on synthetic hosts, returning its total comm
+// volume. It is the submit-time validity check: an uncompilable spec (bad
+// paradigm, pipeline with fewer layers than workers, ...) is rejected here,
+// before it ever holds a queue slot.
+func Inspect(spec wire.JobSpec) (unit.Bytes, error) {
+	w, err := Build(spec, dryHosts(HostsNeeded(spec)))
+	if err != nil {
+		return 0, err
+	}
+	var total unit.Bytes
+	for _, n := range w.Graph.Nodes() {
+		if n.Kind == dag.Comm {
+			total += n.Size
+		}
+	}
+	return total, nil
+}
+
+// Groups lowers a compiled workload into registrable EchelonFlows, mirroring
+// the simulator's group construction: comm nodes grouped by their Group
+// name under the workload's arrangement, ungrouped nodes becoming singleton
+// Coflows named "flow:<id>". Weight (0 means unweighted) applies to every
+// group — it is the job's priority in the Eq. 4 objective.
+func Groups(w *ddlt.Workload, weight float64) ([]*core.EchelonFlow, error) {
+	flowsByGroup := make(map[string][]*core.Flow)
+	var order []string
+	for _, n := range w.Graph.Nodes() {
+		if n.Kind != dag.Comm {
+			continue
+		}
+		gid := n.Group
+		if gid == "" {
+			gid = "flow:" + n.ID
+		}
+		if _, seen := flowsByGroup[gid]; !seen {
+			order = append(order, gid)
+		}
+		flowsByGroup[gid] = append(flowsByGroup[gid], &core.Flow{
+			ID: n.ID, Src: n.Src, Dst: n.Dst, Size: n.Size, Stage: n.Stage,
+		})
+	}
+	out := make([]*core.EchelonFlow, 0, len(order))
+	for _, gid := range order {
+		flows := flowsByGroup[gid]
+		var arr core.Arrangement
+		if a, ok := w.Arrangements[gid]; ok {
+			arr = a
+		} else if len(flows) == 1 && gid == "flow:"+flows[0].ID {
+			arr = core.Coflow{}
+		} else {
+			return nil, fmt.Errorf("queue: group %q has no arrangement", gid)
+		}
+		g, err := core.New(gid, arr, flows...)
+		if err != nil {
+			return nil, err
+		}
+		g.Weight = weight
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// GroupIDs returns the group names Build(spec, hosts) will produce, without
+// keeping the compiled workload around. The coordinator uses it to rebuild
+// its job→groups index from a snapshot.
+func GroupIDs(spec wire.JobSpec, hosts []string) ([]string, error) {
+	w, err := Build(spec, hosts)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, n := range w.Graph.Nodes() {
+		if n.Kind != dag.Comm {
+			continue
+		}
+		gid := n.Group
+		if gid == "" {
+			gid = "flow:" + n.ID
+		}
+		if !seen[gid] {
+			seen[gid] = true
+			out = append(out, gid)
+		}
+	}
+	return out, nil
+}

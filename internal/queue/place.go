@@ -1,0 +1,200 @@
+package queue
+
+import (
+	"fmt"
+	"sort"
+
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/unit"
+	"echelonflow/internal/wire"
+)
+
+// View is the placement policies' picture of the cluster at one admission
+// decision: the fabric (capacities, racks) plus the load already committed
+// to it. The coordinator assembles it from live flow state; tests and the
+// queue oracle assemble it synthetically.
+type View struct {
+	Net *fabric.Network
+	// Egress/Ingress are per-host committed demand (remaining bytes of
+	// unfinished flows, or any load proxy — policies only compare).
+	Egress  map[string]unit.Bytes
+	Ingress map[string]unit.Bytes
+	// Workers counts queue-admitted job workers per host.
+	Workers map[string]int
+}
+
+// NewView returns an empty view over a fabric.
+func NewView(net *fabric.Network) *View {
+	return &View{
+		Net:     net,
+		Egress:  make(map[string]unit.Bytes),
+		Ingress: make(map[string]unit.Bytes),
+		Workers: make(map[string]int),
+	}
+}
+
+// TotalCapacity sums each host's bottleneck port capacity — the bandwidth
+// budget admission charges predicted job demand against.
+func (v *View) TotalCapacity() unit.Rate {
+	var sum unit.Rate
+	for _, h := range v.Net.Hosts() {
+		sum += unit.MinRate(h.Egress, h.Ingress)
+	}
+	return sum
+}
+
+// load is a host's normalized port pressure: committed bytes over port
+// capacity, comparable across heterogeneous NICs.
+func (v *View) load(host string) float64 {
+	eg, in, ok := v.Net.Capacity(host)
+	if !ok || eg <= 0 || in <= 0 {
+		return 0
+	}
+	return float64(v.Egress[host])/float64(eg) + float64(v.Ingress[host])/float64(in)
+}
+
+// Placer binds a job's workers to hosts. Implementations must be
+// deterministic in (spec, view): the coordinator journals only the chosen
+// hosts, and tests replay decisions.
+type Placer interface {
+	Name() string
+	// Place returns HostsNeeded(spec) distinct hosts, or an error when the
+	// fabric cannot satisfy the job at all (too few hosts).
+	Place(spec wire.JobSpec, v *View) ([]string, error)
+}
+
+// hostNames lists the fabric's hosts in insertion order.
+func hostNames(v *View) []string {
+	hosts := v.Net.Hosts()
+	out := make([]string, len(hosts))
+	for i, h := range hosts {
+		out[i] = h.Name
+	}
+	return out
+}
+
+// pickSorted orders hosts by the given less function (name-tiebroken by the
+// caller's less) and takes the first n.
+func pickSorted(v *View, spec wire.JobSpec, less func(a, b string) bool) ([]string, error) {
+	names := hostNames(v)
+	need := HostsNeeded(spec)
+	if need > len(names) {
+		return nil, fmt.Errorf("queue: job %q needs %d hosts, fabric has %d", spec.ID, need, len(names))
+	}
+	sort.SliceStable(names, func(i, j int) bool { return less(names[i], names[j]) })
+	return append([]string(nil), names[:need]...), nil
+}
+
+// Pack concentrates jobs: hosts already carrying the most admitted workers
+// (then the most load) are chosen first, leaving the rest of the fabric
+// empty for large arrivals. This is the locality-first baseline.
+type Pack struct{}
+
+// Name implements Placer.
+func (Pack) Name() string { return "pack" }
+
+// Place implements Placer.
+func (Pack) Place(spec wire.JobSpec, v *View) ([]string, error) {
+	return pickSorted(v, spec, func(a, b string) bool {
+		if v.Workers[a] != v.Workers[b] {
+			return v.Workers[a] > v.Workers[b]
+		}
+		la, lb := v.load(a), v.load(b)
+		if la != lb {
+			return la > lb
+		}
+		return a < b
+	})
+}
+
+// Spread balances jobs: the least-occupied hosts (fewest admitted workers,
+// then least load) are chosen first. This is the contention-avoidance
+// baseline.
+type Spread struct{}
+
+// Name implements Placer.
+func (Spread) Name() string { return "spread" }
+
+// Place implements Placer.
+func (Spread) Place(spec wire.JobSpec, v *View) ([]string, error) {
+	return pickSorted(v, spec, func(a, b string) bool {
+		if v.Workers[a] != v.Workers[b] {
+			return v.Workers[a] < v.Workers[b]
+		}
+		la, lb := v.load(a), v.load(b)
+		if la != lb {
+			return la < lb
+		}
+		return a < b
+	})
+}
+
+// NetAware places against the fabric's port footprints: hosts are ranked by
+// normalized port pressure, and candidates in the rack where the job's
+// placement so far is concentrating are preferred — cross-rack traffic rides
+// oversubscribed uplinks (fabric racks), so keeping a job's workers together
+// buys bandwidth that per-host balance alone cannot see. On a rackless
+// big-switch fabric it degrades gracefully to load-ranked selection.
+type NetAware struct {
+	// CrossRackPenalty biases candidate scoring against leaving the rack the
+	// job is accumulating in; 0 means DefaultCrossRackPenalty.
+	CrossRackPenalty float64
+}
+
+// DefaultCrossRackPenalty is NetAware's default rack-escape bias,
+// comparable to one fully-loaded port of pressure.
+const DefaultCrossRackPenalty = 1.0
+
+// Name implements Placer.
+func (NetAware) Name() string { return "netaware" }
+
+// Place implements Placer.
+func (p NetAware) Place(spec wire.JobSpec, v *View) ([]string, error) {
+	names := hostNames(v)
+	need := HostsNeeded(spec)
+	if need > len(names) {
+		return nil, fmt.Errorf("queue: job %q needs %d hosts, fabric has %d", spec.ID, need, len(names))
+	}
+	penalty := p.CrossRackPenalty
+	if penalty <= 0 {
+		penalty = DefaultCrossRackPenalty
+	}
+	chosen := make([]string, 0, need)
+	used := make(map[string]bool, need)
+	rackCount := make(map[string]int)
+	for len(chosen) < need {
+		best, bestScore := "", 0.0
+		for _, h := range names {
+			if used[h] {
+				continue
+			}
+			score := v.load(h) + float64(v.Workers[h])
+			if rack := v.Net.RackOf(h); len(chosen) > 0 && rackCount[rack] == 0 {
+				// Candidate sits outside every rack the job occupies so far:
+				// its traffic to the existing workers crosses uplinks.
+				score += penalty
+			}
+			if best == "" || score < bestScore || (score == bestScore && h < best) {
+				best, bestScore = h, score
+			}
+		}
+		chosen = append(chosen, best)
+		used[best] = true
+		rackCount[v.Net.RackOf(best)]++
+	}
+	return chosen, nil
+}
+
+// PlacerByName resolves a CLI policy name.
+func PlacerByName(name string) (Placer, error) {
+	switch name {
+	case "pack":
+		return Pack{}, nil
+	case "spread":
+		return Spread{}, nil
+	case "netaware":
+		return NetAware{}, nil
+	default:
+		return nil, fmt.Errorf("queue: unknown placement policy %q (want pack, spread or netaware)", name)
+	}
+}

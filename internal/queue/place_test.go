@@ -1,0 +1,182 @@
+package queue
+
+import (
+	"reflect"
+	"testing"
+
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/unit"
+	"echelonflow/internal/wire"
+)
+
+func testNet(t *testing.T) *fabric.Network {
+	t.Helper()
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(10, "a", "b", "c", "d")
+	return net
+}
+
+func rackedNet(t *testing.T) *fabric.Network {
+	t.Helper()
+	net := testNet(t)
+	for _, r := range []string{"r0", "r1"} {
+		if err := net.AddRack(r, 5, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for host, rack := range map[string]string{"a": "r0", "b": "r0", "c": "r1", "d": "r1"} {
+		if err := net.AssignRack(host, rack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func spec(workers int) wire.JobSpec {
+	return wire.JobSpec{ID: "j", Paradigm: "dp", Workers: workers, Layers: 2,
+		Params: 1, Fwd: 0.1, Bwd: 0.1, Iterations: 1}
+}
+
+func TestSpreadPrefersIdleHosts(t *testing.T) {
+	v := NewView(testNet(t))
+	v.Workers["a"] = 2
+	v.Workers["b"] = 1
+	hosts, err := Spread{}.Place(spec(2), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hosts, []string{"c", "d"}) {
+		t.Errorf("spread placed on %v, want [c d]", hosts)
+	}
+}
+
+func TestPackPrefersBusyHosts(t *testing.T) {
+	v := NewView(testNet(t))
+	v.Workers["a"] = 2
+	v.Workers["b"] = 1
+	hosts, err := Pack{}.Place(spec(2), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hosts, []string{"a", "b"}) {
+		t.Errorf("pack placed on %v, want [a b]", hosts)
+	}
+}
+
+func TestLoadBreaksWorkerTies(t *testing.T) {
+	v := NewView(testNet(t))
+	v.Egress["a"] = 100 // load 1.0 on a; others idle
+	hosts, err := Spread{}.Place(spec(3), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hosts, []string{"b", "c", "d"}) {
+		t.Errorf("spread placed on %v, want [b c d]", hosts)
+	}
+}
+
+func TestNetAwareStaysInRack(t *testing.T) {
+	v := NewView(rackedNet(t))
+	// c is the least loaded host, but once a worker lands in r1 the second
+	// should stay there rather than jump racks to an equally-idle r0 host.
+	v.Egress["a"] = 10
+	v.Egress["b"] = 10
+	hosts, err := NetAware{}.Place(spec(2), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hosts, []string{"c", "d"}) {
+		t.Errorf("netaware placed on %v, want [c d]", hosts)
+	}
+}
+
+func TestNetAwareCrossesWhenRackFull(t *testing.T) {
+	v := NewView(rackedNet(t))
+	v.Egress["a"] = 10
+	v.Egress["b"] = 10
+	hosts, err := NetAware{}.Place(spec(3), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three workers cannot fit one two-host rack; the spill host must be the
+	// less loaded of r0 (names break the tie).
+	if !reflect.DeepEqual(hosts, []string{"c", "d", "a"}) {
+		t.Errorf("netaware placed on %v, want [c d a]", hosts)
+	}
+}
+
+func TestNetAwareNoRacksDegradesToLoad(t *testing.T) {
+	v := NewView(testNet(t))
+	v.Egress["a"] = 50
+	hosts, err := NetAware{}.Place(spec(2), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With every host in the "" pseudo-rack, the rack bias never fires after
+	// the first pick, so selection is purely load-then-name.
+	if !reflect.DeepEqual(hosts, []string{"b", "c"}) {
+		t.Errorf("netaware placed on %v, want [b c]", hosts)
+	}
+}
+
+func TestPlaceTooFewHosts(t *testing.T) {
+	v := NewView(testNet(t))
+	for _, p := range []Placer{Pack{}, Spread{}, NetAware{}} {
+		if _, err := p.Place(spec(5), v); err == nil {
+			t.Errorf("%s accepted a 5-worker job on a 4-host fabric", p.Name())
+		}
+	}
+	// ps needs workers+1.
+	ps := spec(4)
+	ps.Paradigm = "ps"
+	if _, err := (Spread{}).Place(ps, v); err == nil {
+		t.Error("spread accepted ps job needing 5 hosts on 4")
+	}
+}
+
+func TestPlacersAreDeterministic(t *testing.T) {
+	for _, p := range []Placer{Pack{}, Spread{}, NetAware{}} {
+		v := NewView(rackedNet(t))
+		v.Workers["b"] = 1
+		v.Ingress["d"] = 30
+		first, err := p.Place(spec(3), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			again, err := p.Place(spec(3), v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(again, first) {
+				t.Fatalf("%s not deterministic: %v then %v", p.Name(), first, again)
+			}
+		}
+	}
+}
+
+func TestPlacerByName(t *testing.T) {
+	for _, name := range []string{"pack", "spread", "netaware"} {
+		p, err := PlacerByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("PlacerByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := PlacerByName("random"); err == nil {
+		t.Error("unknown placer accepted")
+	}
+}
+
+func TestTotalCapacity(t *testing.T) {
+	net := fabric.NewNetwork()
+	if err := net.AddHost("x", 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddHost("y", 6, 8); err != nil {
+		t.Fatal(err)
+	}
+	v := NewView(net)
+	if got := v.TotalCapacity(); got != unit.Rate(10) {
+		t.Errorf("TotalCapacity = %v, want 10 (min(10,4)+min(6,8))", got)
+	}
+}

@@ -22,7 +22,11 @@ const (
 	EventFsync      = "journal-fsync" // a journal append fsync exceeded the slow threshold
 	EventRedialOK   = "redial-accept"
 	EventRedialRej  = "redial-reject"
-	EventReconnect  = "reconnect" // agent re-established its coordinator session
+	EventReconnect  = "reconnect"  // agent re-established its coordinator session
+	EventJobQueued  = "job-queued" // job submission accepted into the arrival queue
+	EventJobAdmit   = "job-admit"  // queued job placed on hosts and registered
+	EventJobReject  = "job-reject" // job refused (bad spec, unsatisfiable placement)
+	EventJobDepart  = "job-depart" // admitted job ran to completion and left
 )
 
 // Event is one structured lifecycle record. At is scheduler/simulation time

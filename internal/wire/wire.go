@@ -38,6 +38,11 @@ const (
 	TypeAllocation = "allocation"
 	TypeHeartbeat  = "heartbeat"
 	TypeError      = "error"
+	// TypeSubmitJob enqueues a training job on the coordinator's arrival
+	// queue; TypeJobUpdate pushes the job's lifecycle transitions (queued,
+	// admitted with a placement, rejected, departed) back to the submitter.
+	TypeSubmitJob = "submit_job"
+	TypeJobUpdate = "job_update"
 )
 
 // Flow event kinds.
@@ -126,9 +131,91 @@ type Allocation struct {
 	Rates map[string]unit.Rate `json:"rates"`
 }
 
-// Error carries a fatal protocol error to the peer.
+// JobSpec describes a training job for online submission: the paradigm and
+// model shape the coordinator compiles into a workload once a placement
+// policy has bound Workers hosts (plus one extra host for "ps"). It mirrors
+// the internal/check job shape but carries a worker *count* instead of
+// concrete hosts — host binding is the coordinator's decision.
+type JobSpec struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant,omitempty"`
+	Paradigm string `json:"paradigm"` // dp | ps | pp | 1f1b | tp | fsdp
+	Workers  int    `json:"workers"`
+	// Model shape (ddlt.Uniform parameters).
+	Layers int        `json:"layers"`
+	Params unit.Bytes `json:"params"`
+	Acts   unit.Bytes `json:"acts"`
+	Fwd    unit.Time  `json:"fwd"`
+	Bwd    unit.Time  `json:"bwd"`
+	// Paradigm-specific knobs (same semantics as internal/check.JobSpec).
+	AggTime    unit.Time `json:"agg_time,omitempty"`
+	Buckets    int       `json:"buckets,omitempty"`
+	Micro      int       `json:"micro,omitempty"`
+	UpdateTime unit.Time `json:"update_time,omitempty"`
+	Prefetch   int       `json:"prefetch,omitempty"`
+	Iterations int       `json:"iterations"`
+	Weight     float64   `json:"weight,omitempty"`
+	// Declared is the submitter's claimed per-iteration time, the admission
+	// estimator's fallback when no profile measurement is available.
+	Declared unit.Time `json:"declared,omitempty"`
+}
+
+// Validate checks the spec's shape (paradigm validity is the queue's call).
+func (j JobSpec) Validate() error {
+	if j.ID == "" {
+		return fmt.Errorf("wire: job without id")
+	}
+	if j.Workers < 1 {
+		return fmt.Errorf("wire: job %q needs >=1 worker", j.ID)
+	}
+	if j.Layers < 1 {
+		return fmt.Errorf("wire: job %q needs >=1 layer", j.ID)
+	}
+	if j.Iterations < 1 {
+		return fmt.Errorf("wire: job %q needs >=1 iteration", j.ID)
+	}
+	if j.Params < 0 || j.Acts < 0 || j.Fwd < 0 || j.Bwd < 0 || j.AggTime < 0 ||
+		j.UpdateTime < 0 || j.Declared < 0 || j.Weight < 0 {
+		return fmt.Errorf("wire: job %q has a negative field", j.ID)
+	}
+	return nil
+}
+
+// SubmitJob asks the coordinator to queue a job for admission.
+type SubmitJob struct {
+	Job JobSpec `json:"job"`
+}
+
+// Job lifecycle states carried by JobUpdate.
+const (
+	JobQueued   = "queued"
+	JobAdmitted = "admitted"
+	JobRejected = "rejected"
+	JobDeparted = "departed"
+)
+
+// JobUpdate reports a queued job's lifecycle transition to its submitter.
+// Hosts is the admission placement (worker hosts, in binding order).
+type JobUpdate struct {
+	JobID  string   `json:"job_id"`
+	Status string   `json:"status"`
+	Hosts  []string `json:"hosts,omitempty"`
+	Reason string   `json:"reason,omitempty"`
+}
+
+// Error codes distinguishing recoverable submission rejections from fatal
+// protocol errors (an Error without a code remains fatal to the session).
+const (
+	ErrCodeThrottled = "throttled"  // per-tenant submission rate exceeded; retry later
+	ErrCodeQueueFull = "queue_full" // pending queue at capacity
+	ErrCodeBadJob    = "bad_job"    // spec invalid or uncompilable; do not retry
+)
+
+// Error carries a protocol error to the peer. Code, when set, classifies a
+// recoverable rejection (see ErrCode*); without one the error is fatal.
 type Error struct {
-	Msg string `json:"msg"`
+	Msg  string `json:"msg"`
+	Code string `json:"code,omitempty"`
 }
 
 // Message is the transport envelope: Type selects which payload is set.
@@ -139,6 +226,8 @@ type Message struct {
 	Unregister *Unregister `json:"unregister,omitempty"`
 	FlowEvent  *FlowEvent  `json:"flow_event,omitempty"`
 	Allocation *Allocation `json:"allocation,omitempty"`
+	SubmitJob  *SubmitJob  `json:"submit_job,omitempty"`
+	JobUpdate  *JobUpdate  `json:"job_update,omitempty"`
 	Error      *Error      `json:"error,omitempty"`
 }
 
@@ -173,6 +262,22 @@ func (m Message) Validate() error {
 		}
 	case TypeHeartbeat:
 		// No payload.
+	case TypeSubmitJob:
+		if m.SubmitJob == nil {
+			return fmt.Errorf("wire: submit_job message without payload")
+		}
+		if err := m.SubmitJob.Job.Validate(); err != nil {
+			return err
+		}
+	case TypeJobUpdate:
+		if m.JobUpdate == nil {
+			return fmt.Errorf("wire: job_update message without payload")
+		}
+		switch s := m.JobUpdate.Status; s {
+		case JobQueued, JobAdmitted, JobRejected, JobDeparted:
+		default:
+			return fmt.Errorf("wire: unknown job status %q", s)
+		}
 	case TypeError:
 		if m.Error == nil {
 			return fmt.Errorf("wire: error message without payload")
@@ -190,6 +295,16 @@ type Codec struct {
 	r  *bufio.Reader
 	w  io.Writer
 	mu sync.Mutex // serializes Send
+	rx uint64     // bytes consumed by Recv, including partial frames
+
+	// Partial-frame state. A Recv interrupted mid-frame (read deadline,
+	// short read) parks its progress here and the next call resumes where
+	// it stopped: TCP delivers the remaining bytes in order, so a timeout
+	// never desynchronizes the stream.
+	hdr  [4]byte
+	hdrN int
+	body *bytes.Buffer // non-nil once the header is complete
+	want uint32        // body length, valid while body != nil
 }
 
 // NewCodec wraps a stream.
@@ -222,24 +337,47 @@ func (c *Codec) Send(m Message) error {
 	return nil
 }
 
-// Recv reads and validates one message.
+// Received reports the total bytes Recv has consumed, counting partial
+// frames. Like Recv itself, it must only be called from the reader
+// goroutine.
+func (c *Codec) Received() uint64 { return c.rx }
+
+// Recv reads and validates one message. A Recv that fails on a retryable
+// read error — a net.Conn deadline timeout in particular — may be called
+// again: decoding resumes from the exact byte where the previous call
+// stopped, even mid-frame.
 func (c *Codec) Recv() (Message, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
-		return Message{}, err
+	if c.body == nil {
+		for c.hdrN < len(c.hdr) {
+			n, err := c.r.Read(c.hdr[c.hdrN:])
+			c.hdrN += n
+			c.rx += uint64(n)
+			if err != nil {
+				if err == io.EOF && c.hdrN > 0 {
+					err = io.ErrUnexpectedEOF
+				}
+				return Message{}, err
+			}
+		}
+		n := binary.BigEndian.Uint32(c.hdr[:])
+		if n > MaxFrame {
+			return Message{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+		}
+		// Grow the body as bytes actually arrive rather than trusting the
+		// length prefix: a peer claiming a near-MaxFrame body and then
+		// stalling (or hanging up) must not cost a 16 MiB allocation per
+		// connection.
+		c.want = n
+		c.body = new(bytes.Buffer)
+		c.body.Grow(int(min(n, 64<<10)))
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return Message{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
-	}
-	// Grow the body as bytes actually arrive rather than trusting the
-	// length prefix: a peer claiming a near-MaxFrame body and then stalling
-	// (or hanging up) must not cost a 16 MiB allocation per connection.
-	var buf bytes.Buffer
-	buf.Grow(int(min(n, 64<<10)))
-	if _, err := io.CopyN(&buf, c.r, int64(n)); err != nil {
+	bn, err := io.CopyN(c.body, c.r, int64(c.want)-int64(c.body.Len()))
+	c.rx += uint64(bn)
+	if err != nil {
 		return Message{}, fmt.Errorf("wire: read body: %w", err)
 	}
+	buf := c.body
+	c.hdrN, c.body, c.want = 0, nil, 0
 	var m Message
 	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
 		return Message{}, fmt.Errorf("wire: unmarshal: %w", err)

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"math/rand"
 	"net"
@@ -123,12 +124,87 @@ func TestValidate(t *testing.T) {
 		{Type: TypeFlowEvent, FlowEvent: &FlowEvent{Event: "exploded"}},
 		{Type: TypeAllocation},
 		{Type: TypeError},
+		{Type: TypeSubmitJob},
+		{Type: TypeSubmitJob, SubmitJob: &SubmitJob{}}, // empty job id
+		{Type: TypeJobUpdate},
+		{Type: TypeJobUpdate, JobUpdate: &JobUpdate{JobID: "j", Status: "limbo"}},
 	}
 	for i, m := range bad {
 		if err := m.Validate(); err == nil {
 			t.Errorf("case %d accepted", i)
 		}
 	}
+}
+
+func sampleJob() JobSpec {
+	return JobSpec{ID: "lg/t0/j0", Tenant: "t0", Paradigm: "dp", Workers: 2,
+		Layers: 3, Params: 2, Acts: 1, Fwd: 0.2, Bwd: 0.3, Iterations: 2, Declared: 1.5}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	if err := sampleJob().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	mutations := []func(*JobSpec){
+		func(j *JobSpec) { j.ID = "" },
+		func(j *JobSpec) { j.Workers = 0 },
+		func(j *JobSpec) { j.Layers = 0 },
+		func(j *JobSpec) { j.Iterations = 0 },
+		func(j *JobSpec) { j.Fwd = -1 },
+		func(j *JobSpec) { j.Declared = -0.1 },
+		func(j *JobSpec) { j.Weight = -2 },
+	}
+	for i, mut := range mutations {
+		j := sampleJob()
+		mut(&j)
+		if err := j.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestJobRoundTrip(t *testing.T) {
+	ca, cb, done := codecPair(t)
+	defer done()
+	job := sampleJob()
+	msgs := []Message{
+		{Type: TypeSubmitJob, SubmitJob: &SubmitJob{Job: job}},
+		{Type: TypeJobUpdate, JobUpdate: &JobUpdate{JobID: job.ID, Status: JobAdmitted, Hosts: []string{"w1", "w2"}}},
+		{Type: TypeError, Error: &Error{Msg: "slow down", Code: ErrCodeThrottled}},
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, m := range msgs {
+			if err := ca.Send(m); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+	got, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SubmitJob == nil || got.SubmitJob.Job != job {
+		t.Errorf("submit_job payload = %+v, want %+v", got.SubmitJob, job)
+	}
+	got, err = cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.JobUpdate == nil || got.JobUpdate.Status != JobAdmitted || len(got.JobUpdate.Hosts) != 2 {
+		t.Errorf("job_update payload = %+v", got.JobUpdate)
+	}
+	got, err = cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Error == nil || got.Error.Code != ErrCodeThrottled {
+		t.Errorf("error payload = %+v", got.Error)
+	}
+	wg.Wait()
 }
 
 func TestSendRejectsInvalid(t *testing.T) {
@@ -162,6 +238,49 @@ func TestRecvTruncated(t *testing.T) {
 	c := NewCodec(&buf)
 	if _, err := c.Recv(); err == nil {
 		t.Error("truncated frame accepted")
+	}
+}
+
+func TestReceivedCountsConsumedBytes(t *testing.T) {
+	var buf bytes.Buffer
+	send := NewCodec(&buf)
+	if err := send.Send(Message{Type: TypeHeartbeat}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Len()
+	if err := send.Send(Message{Type: TypeHeartbeat}); err != nil {
+		t.Fatal(err)
+	}
+
+	recv := NewCodec(&buf)
+	if got := recv.Received(); got != 0 {
+		t.Fatalf("fresh codec Received() = %d", got)
+	}
+	if _, err := recv.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if got := recv.Received(); got != uint64(frame) {
+		t.Errorf("after one frame Received() = %d, want %d", got, frame)
+	}
+	if _, err := recv.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if got := recv.Received(); got != uint64(2*frame) {
+		t.Errorf("after two frames Received() = %d, want %d", got, 2*frame)
+	}
+
+	// A frame truncated mid-body still advances the count.
+	var trunc bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	trunc.Write(hdr[:])
+	trunc.WriteString("short")
+	c := NewCodec(&trunc)
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	if got := c.Received(); got != 4+5 {
+		t.Errorf("truncated Received() = %d, want 9", got)
 	}
 }
 
@@ -247,5 +366,75 @@ func TestRecvHostileFrames(t *testing.T) {
 		if err == nil && msg.Validate() != nil {
 			t.Errorf("case %d: invalid message passed Recv: %+v", i, msg)
 		}
+	}
+}
+
+// fakeTimeout mimics the error a net.Conn read deadline produces.
+type fakeTimeout struct{}
+
+func (fakeTimeout) Error() string   { return "i/o timeout" }
+func (fakeTimeout) Timeout() bool   { return true }
+func (fakeTimeout) Temporary() bool { return true }
+
+// stutterReader plays its script one entry per underlying Read: a []byte
+// chunk is delivered (possibly short), a nil entry produces a timeout —
+// emulating a read deadline firing mid-frame.
+type stutterReader struct{ script [][]byte }
+
+func (r *stutterReader) Read(p []byte) (int, error) {
+	if len(r.script) == 0 {
+		return 0, io.EOF
+	}
+	ch := r.script[0]
+	if ch == nil {
+		r.script = r.script[1:]
+		return 0, fakeTimeout{}
+	}
+	n := copy(p, ch)
+	if n == len(ch) {
+		r.script = r.script[1:]
+	} else {
+		r.script[0] = ch[n:]
+	}
+	return n, nil
+}
+
+func TestRecvResumesMidFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewCodec(&buf).Send(Message{Type: TypeFlowEvent,
+		FlowEvent: &FlowEvent{GroupID: "g", FlowID: "f", Event: EventFinished}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Deliver two header bytes, stall, part of the body, stall again, then
+	// the rest. Each stall surfaces as a timeout from Recv; the frame must
+	// still decode once the stream resumes.
+	r := &stutterReader{script: [][]byte{raw[:2], nil, raw[2:9], nil, raw[9:]}}
+	c := NewCodec(struct {
+		io.Reader
+		io.Writer
+	}{r, io.Discard})
+	timeouts := 0
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			var ne net.Error
+			if !errors.As(err, &ne) || !ne.Timeout() {
+				t.Fatalf("Recv: %v", err)
+			}
+			timeouts++
+			continue
+		}
+		if m.Type != TypeFlowEvent || m.FlowEvent == nil || m.FlowEvent.FlowID != "f" {
+			t.Fatalf("decoded %+v", m)
+		}
+		break
+	}
+	if timeouts != 2 {
+		t.Errorf("saw %d timeouts, want 2", timeouts)
+	}
+	if got := c.Received(); got != uint64(len(raw)) {
+		t.Errorf("Received() = %d, want %d", got, len(raw))
 	}
 }
