@@ -179,6 +179,18 @@ func BenchmarkSchedule_256Hosts8Jobs_Instrumented(b *testing.B) {
 	benchSchedule(b, 256, 8, echelonInstrumented)
 }
 
+// echelonDeadline wraps the production configuration in the overload-budget
+// layer with a deliberately generous budget, so the breaker never trips and
+// the benchmark isolates the wrapper's steady-state cost: the snapshot copy
+// handed to the abandonable pass plus the slot/timer bookkeeping.
+func echelonDeadline() sched.Scheduler {
+	return sched.WithDeadline(echelonCached(), sched.DeadlineOptions{Budget: time.Minute})
+}
+
+func BenchmarkSchedule_256Hosts8Jobs_Deadline(b *testing.B) {
+	benchSchedule(b, 256, 8, echelonDeadline)
+}
+
 func BenchmarkSchedule_512Hosts12Jobs(b *testing.B) {
 	if testing.Short() {
 		b.Skip("512-host mix skipped in -short mode")

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -62,7 +63,17 @@ func main() {
 	maxShare := flag.Float64("max-share", 0, "with -queue, cap admitted jobs' predicted demand to this fraction of fabric capacity (0 disables)")
 	submitRate := flag.Float64("submit-rate", 0, "max job submissions per tenant per second (0 disables throttling)")
 	submitBurst := flag.Float64("submit-burst", 0, "submission burst per tenant (default 1 when -submit-rate is set)")
+	schedDeadline := flag.Duration("sched-deadline", 0, "time budget per scheduling pass: on overrun push a max-min fair fallback instead of stalling (0 disables)")
+	deadlineTrip := flag.Int("deadline-trip", 0, "with -sched-deadline, consecutive overruns that open the fallback circuit breaker (default 3)")
+	deadlineCooldown := flag.Duration("deadline-cooldown", 0, "with -sched-deadline, how long the opened breaker holds the fallback before probing recovery (default 10x the budget)")
+	shedHighWater := flag.Int("shed-high-water", 0, "shed new job submissions with a throttled error while more than this many inbound events are queued (0 disables)")
+	stragglerRTT := flag.Duration("straggler-rtt", 0, "soft-quarantine agents whose heartbeat RTT EWMA exceeds this: their events batch instead of triggering immediate passes (0 disables)")
+	pingInterval := flag.Duration("ping-interval", 0, "with -straggler-rtt, the heartbeat probe interval (default 1s)")
+	sendBuffer := flag.Int("send-buffer", 0, "outbound frames buffered per agent session; overflowing tears the session down (default 64)")
+	inboundQueue := flag.Int("inbound-queue", 0, "inbound events queued per agent session before TCP backpressure (default 256)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-frame write deadline on agent sockets (default 10s)")
 	admin := flag.String("admin", "", "telemetry HTTP address serving /metrics, /healthz, /events and /debug/pprof (empty disables)")
+	chaos := flag.Bool("chaos", false, "with -admin, mount a POST /chaos fault-injection endpoint (sched-stall, agent-stall, fsync-stall) — soak testing only, never in production")
 	var racks, assigns hostSpecs
 	flag.Var(&hosts, "host", "host capacity spec name=rate or name[a-b]=rate (repeatable)")
 	flag.Var(&racks, "rack", "rack capacity spec name=rate (uplink=downlink; repeatable)")
@@ -126,6 +137,15 @@ func main() {
 		QuarantineTimeout: *quarantine, SnapshotEvery: *snapshotEvery, Coalesce: *coalesce,
 		RedialRate: *redialRate, RedialBurst: *redialBurst,
 		SubmitRate: *submitRate, SubmitBurst: *submitBurst,
+		SchedDeadline: *schedDeadline, DeadlineTripAfter: *deadlineTrip, DeadlineCooldown: *deadlineCooldown,
+		ShedHighWater: *shedHighWater, StragglerRTT: *stragglerRTT, PingInterval: *pingInterval,
+		SendBuffer: *sendBuffer, InboundQueue: *inboundQueue, WriteTimeout: *writeTimeout,
+	}
+	if *schedDeadline > 0 {
+		log.Printf("echelon-coordinator: scheduling passes budgeted at %v (max-min fair fallback on overrun)", *schedDeadline)
+	}
+	if *stragglerRTT > 0 {
+		log.Printf("echelon-coordinator: gray-failure detection armed (soft-quarantine above %v RTT)", *stragglerRTT)
 	}
 	if *queueEnable {
 		placer, err := queue.PlacerByName(*placement)
@@ -145,12 +165,6 @@ func main() {
 	if *admin != "" {
 		opts.Metrics = telemetry.NewRegistry()
 		opts.Events = telemetry.NewEventLog(telemetry.DefaultEventCapacity)
-		addr, shutdown, err := telemetry.StartAdmin(*admin, opts.Metrics, opts.Events, nil)
-		if err != nil {
-			log.Fatalf("echelon-coordinator: admin endpoint: %v", err)
-		}
-		defer shutdown()
-		log.Printf("echelon-coordinator: admin endpoint on http://%s (/metrics /healthz /events /debug/pprof)", addr)
 	}
 	var coord *coordinator.Coordinator
 	var err error
@@ -166,6 +180,21 @@ func main() {
 		log.Fatalf("echelon-coordinator: %v", err)
 	}
 	defer coord.Close()
+	if *admin != "" {
+		var extra map[string]http.HandlerFunc
+		if *chaos {
+			extra = map[string]http.HandlerFunc{"/chaos": chaosHandler(coord)}
+			log.Printf("echelon-coordinator: CHAOS endpoint armed on /chaos — do not expose in production")
+		}
+		addr, shutdown, err := telemetry.StartAdminWith(*admin, opts.Metrics, opts.Events, nil, extra)
+		if err != nil {
+			log.Fatalf("echelon-coordinator: admin endpoint: %v", err)
+		}
+		defer shutdown()
+		log.Printf("echelon-coordinator: admin endpoint on http://%s (/metrics /healthz /events /debug/pprof)", addr)
+	} else if *chaos {
+		log.Fatal("echelon-coordinator: -chaos requires -admin")
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("echelon-coordinator: %v", err)
@@ -180,6 +209,48 @@ func main() {
 	computed, pushed := coord.PushStats()
 	log.Printf("echelon-coordinator: shut down after %d scheduling decisions (%d/%d allocation entries pushed)",
 		coord.Reschedules(), pushed, computed)
+}
+
+// chaosHandler serves the -chaos fault-injection surface used by the
+// nightly soak: POST /chaos?fault=KIND&d=DURATION injects (or, with d=0,
+// clears) one fault.
+//
+//	fault=sched-stall   d=500ms            slow every scheduling pass by d
+//	fault=agent-stall   d=2s&agent=lg0     stall writes to one agent's socket
+//	fault=fsync-stall   d=20ms             slow every journal fsync
+func chaosHandler(coord *coordinator.Coordinator) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		d, err := time.ParseDuration(r.URL.Query().Get("d"))
+		if err != nil || d < 0 {
+			http.Error(w, "bad or missing d= duration", http.StatusBadRequest)
+			return
+		}
+		switch fault := r.URL.Query().Get("fault"); fault {
+		case "sched-stall":
+			err = coord.SetSchedStall(d)
+		case "agent-stall":
+			agent := r.URL.Query().Get("agent")
+			if agent == "" {
+				http.Error(w, "agent-stall needs agent=", http.StatusBadRequest)
+				return
+			}
+			err = coord.SetAgentStall(agent, d)
+		case "fsync-stall":
+			coord.SetFsyncStall(d)
+		default:
+			http.Error(w, fmt.Sprintf("unknown fault %q", fault), http.StatusBadRequest)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}
 }
 
 // assignRackSpec parses "host=rack" or "prefix[a-b]=rack" assignments.

@@ -360,6 +360,18 @@ func (a *Agent) readSession() error {
 		case wire.TypeAllocation:
 			a.applyAllocation(msg.Allocation.Rates)
 		case wire.TypeHeartbeat:
+			if msg.Heartbeat != nil && msg.Heartbeat.Nonce != 0 {
+				// Coordinator-initiated RTT ping (wire v3): echo the nonce
+				// back verbatim. Deliberately not correlated with hbPending —
+				// those are this agent's own keepalives awaiting the
+				// coordinator's nonce-less echo, and popping one here would
+				// skew the agent-side RTT estimate.
+				if err := a.send(wire.Message{Type: wire.TypeHeartbeat,
+					Heartbeat: &wire.Heartbeat{Nonce: msg.Heartbeat.Nonce}}); err != nil {
+					a.opts.Logf("agent %s: ping echo: %v", a.opts.Name, err)
+				}
+				continue
+			}
 			// The coordinator echoes heartbeats; correlate with the oldest
 			// outstanding send to measure control-plane RTT.
 			a.hbMu.Lock()

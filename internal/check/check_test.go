@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"testing"
 	"time"
 
@@ -296,5 +297,114 @@ func TestCheck_ParseRejectsGarbage(t *testing.T) {
 		if _, err := Parse([]byte(c)); err == nil {
 			t.Errorf("Parse accepted invalid scenario %s", c)
 		}
+	}
+}
+
+// TestCheck_DegradeReconverge exercises the overload-degradation oracle: a
+// 10x scheduler slowdown injected over the middle third of the replay must
+// leave the coordinator answering from the max-min fallback (feasible, never
+// stalled), keep finish/tardiness accounting bit-equal, and re-converge
+// bit-for-bit with the never-degraded run once the stall clears. Short mode
+// runs the tier-1 slice; the full run sweeps 200 seeds.
+func TestCheck_DegradeReconverge(t *testing.T) {
+	seeds := make([]uint64, 0, 200)
+	if testing.Short() {
+		seeds = append(seeds, quickSeeds[:8]...)
+	} else {
+		for s := uint64(1); s <= 200; s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			out := RunSeed(seed, Config{Oracles: []string{OracleDegrade}})
+			for _, v := range out.Violations {
+				t.Errorf("seed %d: %s: %s", seed, v.Oracle, v.Detail)
+			}
+		})
+	}
+}
+
+// TestCheck_JournalSurvivesRepeatedCrashes extends the journal oracle to a
+// soak: the coordinator is killed and restored from its journal at six
+// points spread across the replay, and the outcome must still match the
+// uninterrupted run bit-for-bit (allocations modulo the lawful drift shadow
+// of in-flight flows, accounting exactly).
+func TestCheck_JournalSurvivesRepeatedCrashes(t *testing.T) {
+	const kills = 6
+	soaked := 0
+	for seed := uint64(1); seed <= 40 && soaked < 3; seed++ {
+		c, err := Generate(seed).compile()
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		res, err := runSim(c, canonicalScheduler())
+		if err != nil {
+			t.Fatalf("seed %d: sim: %v", seed, err)
+		}
+		evs := buildReplayEvents(c, res)
+		if len(evs) < 2*(kills+1) {
+			continue // too few events to place 6 distinct kill points
+		}
+		soaked++
+		golden, err := replayRun(c, res, "", -1)
+		if err != nil {
+			t.Fatalf("seed %d: golden replay: %v", seed, err)
+		}
+		crashSet := make(map[int]bool)
+		for i := 1; i <= kills; i++ {
+			if at := i * len(evs) / (kills + 1); at > 0 {
+				crashSet[at] = true
+			}
+		}
+		crashes := make([]int, 0, len(crashSet))
+		for at := range crashSet {
+			crashes = append(crashes, at)
+		}
+		sort.Ints(crashes)
+		dir := t.TempDir()
+		crashed, err := replayRunExt(c, res, dir, crashes, replayHooks{})
+		if err != nil {
+			t.Fatalf("seed %d: crash replay: %v", seed, err)
+		}
+		for _, gid := range c.groupIDs() {
+			if golden.refs[gid] != crashed.refs[gid] {
+				t.Errorf("seed %d: group %s reference: golden %v vs restored %v", seed, gid, golden.refs[gid], crashed.refs[gid])
+			}
+			if golden.tards[gid] != crashed.tards[gid] {
+				t.Errorf("seed %d: group %s tardiness: golden %v vs restored %v", seed, gid, golden.tards[gid], crashed.tards[gid])
+			}
+		}
+		if golden.total != crashed.total {
+			t.Errorf("seed %d: total tardiness: golden %v vs restored %v", seed, golden.total, crashed.total)
+		}
+		// Allocations must agree except where a crash's drift shadow is
+		// active: union the per-crash drift sets, skip instants at or after
+		// the first kill while any drifted flow is still in flight.
+		firstCrash := evs[crashes[0]].at
+		drifted := make(map[string]bool)
+		for _, at := range crashes {
+			for id := range driftedFlows(res, evs[at].at) {
+				drifted[id] = true
+			}
+		}
+		times := make([]unit.Time, 0, len(golden.ratesAt))
+		for tt := range golden.ratesAt {
+			times = append(times, tt)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		for _, tt := range times {
+			if tt >= firstCrash && driftActiveAt(res, drifted, tt) {
+				continue
+			}
+			if !reflect.DeepEqual(golden.ratesAt[tt], crashed.ratesAt[tt]) {
+				t.Errorf("seed %d: allocations at t=%v: golden %v vs restored %v", seed, tt, golden.ratesAt[tt], crashed.ratesAt[tt])
+			}
+		}
+	}
+	if soaked < 3 {
+		t.Fatalf("only %d scenarios in seeds 1..40 were rich enough to soak; generator drifted?", soaked)
 	}
 }

@@ -186,12 +186,33 @@ type replayOutcome struct {
 	ratesAt map[unit.Time]map[string]unit.Rate
 }
 
+// replayHooks customizes replayRunExt beyond the plain script replay.
+type replayHooks struct {
+	// tweak mutates the coordinator options before every construction
+	// (initial and post-crash restores alike) — the degrade oracle uses it
+	// to arm the scheduler deadline.
+	tweak func(*coordinator.Options)
+	// before runs immediately before event i is applied, against the live
+	// coordinator — the chaos injection point.
+	before func(co *coordinator.Coordinator, i int) error
+}
+
 // replayRun drives the event script against a live coordinator with an
 // injected hand-advanced clock (the E13 technique). An empty dir runs
 // journal-free; otherwise the coordinator journals into dir and, when
 // crashAt >= 0, is abandoned mid-script and rebuilt from the journal
 // before the event at that index — exactly a kill, not a shutdown.
 func replayRun(c *compiled, res *sim.Result, dir string, crashAt int) (*replayOutcome, error) {
+	var crashes []int
+	if crashAt >= 0 {
+		crashes = []int{crashAt}
+	}
+	return replayRunExt(c, res, dir, crashes, replayHooks{})
+}
+
+// replayRunExt is replayRun generalized to repeated kill/restore cycles (one
+// per index in crashes) and per-event chaos hooks.
+func replayRunExt(c *compiled, res *sim.Result, dir string, crashes []int, hooks replayHooks) (*replayOutcome, error) {
 	clk := newReplayClock()
 	mkOpts := func() coordinator.Options {
 		return coordinator.Options{
@@ -206,6 +227,14 @@ func replayRun(c *compiled, res *sim.Result, dir string, crashAt int) (*replayOu
 			SnapshotEvery:     8,
 			Clock:             clk.now,
 			Logf:              func(string, ...interface{}) {},
+		}
+	}
+	if hooks.tweak != nil {
+		base := mkOpts
+		mkOpts = func() coordinator.Options {
+			o := base()
+			hooks.tweak(&o)
+			return o
 		}
 	}
 	groups, err := buildGroups(c)
@@ -238,9 +267,13 @@ func replayRun(c *compiled, res *sim.Result, dir string, crashAt int) (*replayOu
 		tards:   make(map[string]unit.Time),
 		ratesAt: make(map[unit.Time]map[string]unit.Rate),
 	}
+	crashSet := make(map[int]bool, len(crashes))
+	for _, i := range crashes {
+		crashSet[i] = true
+	}
 	evs := buildReplayEvents(c, res)
 	for i, ev := range evs {
-		if i == crashAt {
+		if crashSet[i] {
 			clk.setAt(ev.at)
 			co = nil // the kill: no Close, no flush; only the journal survives
 			co, err = coordinator.Restore(mkOpts(), dir)
@@ -248,6 +281,11 @@ func replayRun(c *compiled, res *sim.Result, dir string, crashAt int) (*replayOu
 				return nil, err
 			}
 			if err := register(); err != nil {
+				return nil, err
+			}
+		}
+		if hooks.before != nil {
+			if err := hooks.before(co, i); err != nil {
 				return nil, err
 			}
 		}
@@ -267,6 +305,15 @@ func replayRun(c *compiled, res *sim.Result, dir string, crashAt int) (*replayOu
 			}
 		case 2:
 			if rates, err = co.FlowEvent(wire.FlowEvent{GroupID: ev.gid, FlowID: ev.fid, Event: wire.EventFinished}); err != nil {
+				return nil, err
+			}
+		}
+		if rates == nil {
+			// A degraded (or soft-quarantined) coordinator batches events into
+			// a coalescing window; its wall-clock drain timer would be
+			// nondeterministic here, so force the flush synchronously at the
+			// script's frozen clock instead.
+			if rates, err = co.Drain(); err != nil {
 				return nil, err
 			}
 		}
@@ -426,21 +473,29 @@ func diffJournal(c *compiled, res *sim.Result) []Violation {
 // propagates: any flow sharing post-crash airtime with a drifted flow sees
 // different rates, so its remaining drifts too, transitively.
 func driftedFlows(res *sim.Result, tc unit.Time) map[string]bool {
+	return driftedFlowsWindow(res, tc, tc)
+}
+
+// driftedFlowsWindow is driftedFlows for a divergence window rather than an
+// instant: any flow in flight at any point of [t1, t2] seeds the drift set
+// (the degrade oracle's episode spans many events, not one crash instant),
+// and drift then propagates transitively over shared post-t1 airtime.
+func driftedFlowsWindow(res *sim.Result, t1, t2 unit.Time) map[string]bool {
 	drifted := make(map[string]bool)
 	for id, rec := range res.Flows {
-		if rec.Release < tc && rec.Finish > tc {
+		if rec.Release < t2 && rec.Finish > t1 {
 			drifted[id] = true
 		}
 	}
 	for changed := true; changed; {
 		changed = false
 		for id, rec := range res.Flows {
-			if drifted[id] || rec.Finish <= tc {
+			if drifted[id] || rec.Finish <= t1 {
 				continue
 			}
 			for did := range drifted {
 				d := res.Flows[did]
-				lo := unit.MaxTime(unit.MaxTime(rec.Release, d.Release), tc)
+				lo := unit.MaxTime(unit.MaxTime(rec.Release, d.Release), t1)
 				hi := unit.MinTime(rec.Finish, d.Finish)
 				if lo < hi {
 					drifted[id] = true
@@ -451,6 +506,150 @@ func driftedFlows(res *sim.Result, tc unit.Time) map[string]bool {
 		}
 	}
 	return drifted
+}
+
+// Degrade-episode parameters: the stall exceeds the budget so every
+// in-episode pass degrades (the first by overrun, the rest by a busy slot),
+// while the budget still leaves generous headroom for a legitimate primary
+// pass on a loaded CI machine, so the run outside the episode never degrades
+// spuriously. A seed costs about one budget wait plus a partial stall drain.
+const (
+	degradeBudget = 50 * time.Millisecond
+	degradeStall  = 75 * time.Millisecond
+)
+
+// diffDegrade injects a scheduler-slowdown episode over the middle third of
+// the event script against a deadline-armed live coordinator and demands
+// graceful degradation: every pass during the episode answers from the
+// fallback with allocations that stay fabric-feasible, finish/tardiness
+// accounting matches the unconstrained run bit-for-bit, and once the stall
+// clears the allocation trajectory re-converges bit-for-bit with the
+// non-degraded run at every instant not lawfully tainted by episode drift.
+func diffDegrade(c *compiled, res *sim.Result) []Violation {
+	evs := buildReplayEvents(c, res)
+	if len(evs) < 3 {
+		return nil
+	}
+	golden, err := replayRun(c, res, "", -1)
+	if err != nil {
+		return []Violation{vf(OracleDegrade, "golden replay: %v", err)}
+	}
+	epStart, epEnd := len(evs)/3, 2*len(evs)/3
+	sawDegrade := false
+	hooks := replayHooks{
+		tweak: func(o *coordinator.Options) {
+			o.SchedDeadline = degradeBudget
+			// The oracle watches the deadline fallback itself; keep the
+			// breaker out of the way (its cooldown is wall-clock and would
+			// make post-episode behavior timing-dependent).
+			o.DeadlineTripAfter = 1 << 20
+		},
+		before: func(co *coordinator.Coordinator, i int) error {
+			switch i {
+			case epStart:
+				return co.SetSchedStall(degradeStall)
+			case epEnd:
+				sawDegrade = co.SchedDegraded()
+				if err := co.SetSchedStall(0); err != nil {
+					return err
+				}
+				// Wait out the abandoned stalled pass so the recovery pass is
+				// deterministic instead of racing the drain for the slot.
+				co.QuiesceScheduler()
+			}
+			return nil
+		},
+	}
+	degraded, err := replayRunExt(c, res, "", nil, hooks)
+	if err != nil {
+		return []Violation{vf(OracleDegrade, "degraded replay: %v", err)}
+	}
+	var out []Violation
+	if !sawDegrade {
+		out = append(out, vf(OracleDegrade, "stall episode never degraded the scheduler (oracle vacuous)"))
+	}
+	// Ground-truth accounting (references, tardiness) is driven by reported
+	// finishes, not allocation quality: it must survive the episode
+	// bit-for-bit.
+	for _, gid := range c.groupIDs() {
+		if golden.refs[gid] != degraded.refs[gid] {
+			out = append(out, vf(OracleDegrade, "group %s reference: golden %v vs degraded %v", gid, golden.refs[gid], degraded.refs[gid]))
+		}
+		if golden.tards[gid] != degraded.tards[gid] {
+			out = append(out, vf(OracleDegrade, "group %s tardiness: golden %v vs degraded %v", gid, golden.tards[gid], degraded.tards[gid]))
+		}
+	}
+	if golden.total != degraded.total {
+		out = append(out, vf(OracleDegrade, "total tardiness: golden %v vs degraded %v", golden.total, degraded.total))
+	}
+	// Every allocation the degraded run pushed — fallback passes included —
+	// must respect the fabric capacities in force at that instant.
+	out = append(out, feasibleAt(OracleDegrade, c, degraded.ratesAt)...)
+	// Re-convergence: outside the episode and its lawful drift shadow the
+	// degraded run's allocations are bit-equal to the non-degraded run's.
+	t1, t2 := evs[epStart].at, evs[epEnd].at
+	drifted := driftedFlowsWindow(res, t1, t2)
+	times := make([]unit.Time, 0, len(golden.ratesAt))
+	for t := range golden.ratesAt {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for _, t := range times {
+		if t >= t1 && (t < t2 || driftActiveAt(res, drifted, t)) {
+			continue
+		}
+		if !reflect.DeepEqual(golden.ratesAt[t], degraded.ratesAt[t]) {
+			out = append(out, vf(OracleDegrade, "allocations at t=%v: golden %v vs degraded %v", t, golden.ratesAt[t], degraded.ratesAt[t]))
+		}
+	}
+	return out
+}
+
+// feasibleAt checks per-instant allocation maps against the capacity
+// timeline — the degraded-mode analogue of oracleFeasible, applied to what a
+// live coordinator actually pushed rather than simulator rate segments.
+func feasibleAt(oracle string, c *compiled, ratesAt map[unit.Time]map[string]unit.Rate) []Violation {
+	var out []Violation
+	ct := newCapTimeline(c.sc.Hosts, c.caps)
+	times := make([]unit.Time, 0, len(ratesAt))
+	for t := range ratesAt {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for _, t := range times {
+		rates := ratesAt[t]
+		ids := make([]string, 0, len(rates))
+		for id := range rates {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		egUse := make(map[string]float64)
+		inUse := make(map[string]float64)
+		for _, id := range ids {
+			r := float64(rates[id])
+			if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+				out = append(out, vf(oracle, "flow %s has invalid rate %v at t=%v", id, rates[id], t))
+				continue
+			}
+			n := c.graph.Node(id)
+			if n == nil {
+				out = append(out, vf(oracle, "allocation for unknown flow %s at t=%v", id, t))
+				continue
+			}
+			egUse[n.Src] += r
+			inUse[n.Dst] += r
+		}
+		for _, h := range c.sc.Hosts {
+			eg, in := ct.at(h.Name, t)
+			if use := egUse[h.Name]; use > float64(eg)*(1+1e-6)+unit.Eps {
+				out = append(out, vf(oracle, "host %s egress oversubscribed at t=%v: %v > %v", h.Name, t, use, eg))
+			}
+			if use := inUse[h.Name]; use > float64(in)*(1+1e-6)+unit.Eps {
+				out = append(out, vf(oracle, "host %s ingress oversubscribed at t=%v: %v > %v", h.Name, t, use, in))
+			}
+		}
+	}
+	return out
 }
 
 // driftActiveAt reports whether any drifted flow is still in flight at t.

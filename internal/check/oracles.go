@@ -40,6 +40,7 @@ const (
 	OracleLive    = "live"    // sim vs live coordinator replay: same references/tardiness/allocations
 	OracleJournal = "journal" // journal crash/Restore mid-run: bit-equal to uninterrupted run
 	OracleDelta   = "delta"   // incremental Apply vs full Schedule: bit-equal replanned flows, held rates frozen, stale state refused
+	OracleDegrade = "degrade" // injected scheduler stall: fallback stays feasible, accounting intact, bit-equal re-convergence after
 )
 
 // OracleRun is the pseudo-oracle a simulator error reports under, so
@@ -53,7 +54,7 @@ func ResultOracles() []string {
 
 // DiffOracles lists the differential oracles in evaluation order.
 func DiffOracles() []string {
-	return []string{OracleCache, OracleRank, OracleLive, OracleJournal, OracleDelta}
+	return []string{OracleCache, OracleRank, OracleLive, OracleJournal, OracleDelta, OracleDegrade}
 }
 
 // AllOracles lists every oracle the harness knows.

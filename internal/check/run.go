@@ -162,6 +162,8 @@ func Run(sc *Scenario, cfg Config) *Outcome {
 			out.Violations = append(out.Violations, diffJournal(c, res)...)
 		case OracleDelta:
 			out.Violations = append(out.Violations, diffDelta(c, res)...)
+		case OracleDegrade:
+			out.Violations = append(out.Violations, diffDegrade(c, res)...)
 		}
 	}
 	return out

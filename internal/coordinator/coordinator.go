@@ -78,6 +78,42 @@ type Options struct {
 	// are refused with a typed throttled error, not a dropped connection.
 	SubmitRate  float64
 	SubmitBurst float64
+	// SchedDeadline, when positive, bounds every scheduling pass with this
+	// time budget (sched.WithDeadline): on overrun the pass is abandoned and
+	// a max-min fair fallback allocation is pushed instead, so a slow or
+	// wedged scheduler degrades the allocation quality rather than stalling
+	// event handling. DeadlineTripAfter consecutive overruns/errors open a
+	// circuit breaker that keeps the fallback in force for DeadlineCooldown
+	// before probing recovery (defaults: 3 and 10x the budget).
+	SchedDeadline     time.Duration
+	DeadlineTripAfter int
+	DeadlineCooldown  time.Duration
+	// ShedHighWater, when positive, sheds job submissions with a typed
+	// throttled wire error while more than this many inbound events (across
+	// all sessions) are queued or in flight — existing work drains before
+	// new jobs are admitted.
+	ShedHighWater int
+	// InboundQueue bounds each session's inbound event queue (default 256).
+	// A full queue exerts TCP backpressure on that agent instead of growing
+	// coordinator memory.
+	InboundQueue int
+	// SendBuffer bounds each session's outbound message queue (default 64).
+	// Pushes are decoupled from the agent socket by a per-session writer, so
+	// a stalled agent can never block the reschedule lock; overflowing the
+	// buffer tears the session down (quarantine then holds its groups).
+	SendBuffer int
+	// WriteTimeout bounds each outbound frame write (default 10s). A socket
+	// that cannot accept a frame within it is considered dead.
+	WriteTimeout time.Duration
+	// StragglerRTT, when positive, enables gray-failure detection: the
+	// coordinator pings wire-v3 sessions (every PingInterval, default 1s),
+	// tracks a per-agent RTT EWMA, and soft-quarantines agents whose EWMA
+	// exceeds this threshold — their groups stay scheduled, but their event
+	// reports are deadline-bounded (batched into a coalescing window instead
+	// of triggering immediate passes). Hysteresis releases at half the
+	// threshold.
+	StragglerRTT time.Duration
+	PingInterval time.Duration
 	// Clock is injectable for tests; defaults to time.Now.
 	Clock func() time.Time
 	// Logf receives diagnostic output; defaults to log.Printf.
@@ -143,6 +179,22 @@ type Coordinator struct {
 	// wrapper). Nil means every reschedule is a full Schedule.
 	delta sched.DeltaScheduler
 
+	// degrade is the deadline wrapper's control handle when SchedDeadline is
+	// configured (resolved in New before instrumenting). degraded tracks the
+	// last pass's regime under mu, so transitions emit exactly one event.
+	degrade  sched.DegradeControl
+	degraded bool
+
+	// inboundDepth counts events received from agent sockets but not yet
+	// fully handled, across all sessions — the backlog the shed high-water
+	// mark is compared against. fsyncStall is the injected journal-append
+	// latency (nanos) behind the faults.FsyncStall chaos hook.
+	inboundDepth atomic.Int64
+	fsyncStall   atomic.Int64
+
+	// pingNonce numbers coordinator-initiated RTT pings (under mu).
+	pingNonce uint64
+
 	// pending accumulates the group IDs touched by coalesced flow events
 	// awaiting one batched reschedule; nil means no batch is open.
 	// pendingGen invalidates a stale drain timer after an early flush.
@@ -200,6 +252,13 @@ type coordTelemetry struct {
 	coalesced      *telemetry.Counter
 	batches        *telemetry.Counter
 	reschedErrors  *telemetry.Counter
+	schedRecovered *telemetry.Counter
+	shedJobs       *telemetry.Counter
+	sendOverflow   *telemetry.Counter
+	inboundDepth   *telemetry.Gauge
+	journalBroken  *telemetry.Gauge
+	softQuar       *telemetry.Counter
+	softRelease    *telemetry.Counter
 }
 
 // Metric family names the coordinator exposes. Kept as constants so tests
@@ -224,6 +283,15 @@ const (
 	MetricCoalescedEvents        = "echelon_coalesced_events_total"
 	MetricCoalesceBatches        = "echelon_coalesce_batches_total"
 	MetricRescheduleErrors       = "echelon_reschedule_errors_total"
+	MetricSchedDegraded          = "echelon_sched_degraded_total"
+	MetricSchedRecoveries        = "echelon_sched_recoveries_total"
+	MetricShedSubmissions        = "echelon_shed_submissions_total"
+	MetricSendOverflow           = "echelon_send_overflow_total"
+	MetricInboundDepth           = "echelon_inbound_queue_depth"
+	MetricAgentRTT               = "echelon_agent_rtt_seconds"
+	MetricSoftQuarantines        = "echelon_soft_quarantines_total"
+	MetricSoftReleases           = "echelon_soft_releases_total"
+	MetricJournalBroken          = "echelon_journal_broken"
 )
 
 // New validates options and returns a Coordinator.
@@ -252,8 +320,42 @@ func New(opts Options) (*Coordinator, error) {
 	if opts.Coalesce < 0 {
 		return nil, fmt.Errorf("coordinator: negative Coalesce %v", opts.Coalesce)
 	}
+	if opts.SchedDeadline < 0 || opts.DeadlineCooldown < 0 || opts.DeadlineTripAfter < 0 {
+		return nil, fmt.Errorf("coordinator: negative scheduler deadline settings %v/%d/%v",
+			opts.SchedDeadline, opts.DeadlineTripAfter, opts.DeadlineCooldown)
+	}
+	if opts.ShedHighWater < 0 || opts.InboundQueue < 0 || opts.SendBuffer < 0 {
+		return nil, fmt.Errorf("coordinator: negative backpressure settings %d/%d/%d",
+			opts.ShedHighWater, opts.InboundQueue, opts.SendBuffer)
+	}
+	if opts.WriteTimeout < 0 || opts.StragglerRTT < 0 || opts.PingInterval < 0 {
+		return nil, fmt.Errorf("coordinator: negative timing settings %v/%v/%v",
+			opts.WriteTimeout, opts.StragglerRTT, opts.PingInterval)
+	}
+	if opts.InboundQueue == 0 {
+		opts.InboundQueue = 256
+	}
+	if opts.SendBuffer == 0 {
+		opts.SendBuffer = 64
+	}
+	if opts.WriteTimeout == 0 {
+		opts.WriteTimeout = 10 * time.Second
+	}
 	if opts.Scheduler == nil {
 		opts.Scheduler = sched.EchelonMADD{Backfill: true, Cache: sched.NewPlanCache()}
+	}
+	// The deadline wrapper goes on before Instrument so the latency
+	// histograms see the bounded call; the control handle is resolved here
+	// because Instrument does not forward it.
+	var degrade sched.DegradeControl
+	if opts.SchedDeadline > 0 {
+		wrapped := sched.WithDeadline(opts.Scheduler, sched.DeadlineOptions{
+			Budget:    opts.SchedDeadline,
+			TripAfter: opts.DeadlineTripAfter,
+			Cooldown:  opts.DeadlineCooldown,
+		})
+		degrade, _ = wrapped.(sched.DegradeControl)
+		opts.Scheduler = wrapped
 	}
 	// Instrument is the identity when Metrics is nil, so the unconfigured
 	// scheduling path is untouched.
@@ -276,6 +378,7 @@ func New(opts Options) (*Coordinator, error) {
 		jobGroups:      make(map[string]map[string]bool),
 		groupJob:       make(map[string]string),
 		jobFlowsLeft:   make(map[string]int),
+		degrade:        degrade,
 	}
 	if pc, ok := opts.Scheduler.(interface{ PlanCache() *sched.PlanCache }); ok {
 		c.cache = pc.PlanCache()
@@ -305,6 +408,13 @@ func New(opts Options) (*Coordinator, error) {
 		coalesced:      m.Counter(MetricCoalescedEvents, "Flow events deferred into a coalescing batch."),
 		batches:        m.Counter(MetricCoalesceBatches, "Coalesced batches drained into one reschedule."),
 		reschedErrors:  m.Counter(MetricRescheduleErrors, "Reschedule attempts that returned an error."),
+		schedRecovered: m.Counter(MetricSchedRecoveries, "Transitions from degraded scheduling back to the primary pass."),
+		shedJobs:       m.Counter(MetricShedSubmissions, "Job submissions shed above the inbound high-water mark."),
+		sendOverflow:   m.Counter(MetricSendOverflow, "Sessions torn down because their outbound buffer overflowed."),
+		inboundDepth:   m.Gauge(MetricInboundDepth, "Inbound agent events queued or in flight across all sessions."),
+		journalBroken:  m.Gauge(MetricJournalBroken, "1 while the write-ahead journal is latched broken (fail-fast)."),
+		softQuar:       m.Counter(MetricSoftQuarantines, "Agents soft-quarantined for straggling heartbeat RTT."),
+		softRelease:    m.Counter(MetricSoftReleases, "Soft-quarantined agents released after RTT recovery."),
 	}
 	c.tel.totalTard.Set(0)
 	if c.queue != nil {
@@ -462,6 +572,32 @@ func (c *Coordinator) UnregisterGroup(groupID string) (map[string]unit.Rate, err
 // nil — the allocation in force is unchanged, and assembling it per event
 // would cost O(all flows) on the hot path (Drain reports it on demand).
 func (c *Coordinator) FlowEvent(ev wire.FlowEvent) (map[string]unit.Rate, error) {
+	return c.flowEvent(ev, false)
+}
+
+// softCoalesceWindow is the batching window forced on events that must be
+// deadline-bounded (soft-quarantined stragglers, degraded scheduling) when no
+// Coalesce window is configured.
+const softCoalesceWindow = 50 * time.Millisecond
+
+// coalesceWindowLocked picks the batching window for one flow event. The
+// configured window widens 4x while the scheduler is degraded (one of the
+// overload levers: drain event storms into fewer passes); a soft-quarantined
+// straggler's reports — and any event during a degraded episode — are batched
+// even when coalescing is otherwise off. Zero means reschedule immediately.
+func (c *Coordinator) coalesceWindowLocked(soft bool) time.Duration {
+	win := c.opts.Coalesce
+	if win > 0 && c.degraded {
+		win *= 4
+	}
+	if win == 0 && (soft || c.degraded) {
+		win = softCoalesceWindow
+	}
+	return win
+}
+
+// flowEvent is FlowEvent with the session's soft-quarantine flag plumbed in.
+func (c *Coordinator) flowEvent(ev wire.FlowEvent, soft bool) (map[string]unit.Rate, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.groups[ev.GroupID]; !ok {
@@ -472,10 +608,10 @@ func (c *Coordinator) FlowEvent(ev wire.FlowEvent) (map[string]unit.Rate, error)
 	if err := c.applyFlowLocked(ev, now); err != nil {
 		return nil, err
 	}
-	if c.opts.Coalesce > 0 {
+	if win := c.coalesceWindowLocked(soft); win > 0 {
 		c.appendJournalLocked(journalEvent{Kind: jFlow, At: now, Flow: &ev, Defer: true})
 		c.cache.InvalidateGroup(ev.GroupID)
-		c.deferRescheduleLocked(ev.GroupID)
+		c.deferRescheduleLocked(ev.GroupID, win)
 		c.maybeDepartJobLocked(ev)
 		return nil, nil
 	}
@@ -504,13 +640,13 @@ func (c *Coordinator) maybeDepartJobLocked(ev wire.FlowEvent) {
 }
 
 // deferRescheduleLocked adds a group to the open coalescing batch, opening
-// one (and arming its drain timer) when none is.
-func (c *Coordinator) deferRescheduleLocked(gid string) {
+// one (and arming its drain timer for the given window) when none is.
+func (c *Coordinator) deferRescheduleLocked(gid string, win time.Duration) {
 	if c.pending == nil {
 		c.pending = make(map[string]bool)
 		c.pendingGen++
 		gen := c.pendingGen
-		time.AfterFunc(c.opts.Coalesce, func() { c.drainBatch(gen) })
+		time.AfterFunc(win, func() { c.drainBatch(gen) })
 	}
 	c.pending[gid] = true
 	c.tel.coalesced.Inc()
@@ -785,6 +921,7 @@ func (c *Coordinator) rescheduleSnapLocked(deltaGroups []string) (map[string]uni
 	if !usedDelta {
 		rates, err = c.opts.Scheduler.Schedule(snap, c.opts.Net)
 	}
+	c.noteDegradeLocked(snap.Now)
 	if err != nil {
 		c.tel.reschedErrors.Inc()
 		return nil, fmt.Errorf("coordinator: %w", err)
@@ -812,6 +949,45 @@ func (c *Coordinator) rescheduleSnapLocked(deltaGroups []string) (map[string]uni
 			Detail: fmt.Sprintf("%d flows across %d groups", len(snap.Flows), len(snap.Groups))})
 	}
 	return rates, nil
+}
+
+// noteDegradeLocked reconciles the coordinator's view of the scheduler's
+// degrade regime after a pass: per-reason counters on every degraded pass,
+// plus exactly one event/log line per transition in either direction. Replay
+// runs the wrapper bypassed and must not narrate.
+func (c *Coordinator) noteDegradeLocked(at unit.Time) {
+	if c.degrade == nil || c.replaying {
+		return
+	}
+	out := c.degrade.LastDegrade()
+	if out.Degraded {
+		if c.opts.Metrics != nil {
+			c.opts.Metrics.Counter(MetricSchedDegraded,
+				"Scheduling passes served by the fallback scheduler.", "reason", out.Reason).Inc()
+		}
+		if !c.degraded {
+			c.degraded = true
+			c.event(telemetry.Event{Kind: telemetry.EventDegrade, At: float64(at),
+				Detail: fmt.Sprintf("%s after %v; fallback allocations in force", out.Reason, out.Elapsed)})
+			c.opts.Logf("coordinator: scheduler degraded (%s after %v); falling back to max-min fair", out.Reason, out.Elapsed)
+		}
+		return
+	}
+	if c.degraded {
+		c.degraded = false
+		c.tel.schedRecovered.Inc()
+		c.event(telemetry.Event{Kind: telemetry.EventRecover, At: float64(at),
+			Detail: fmt.Sprintf("primary pass completed in %v", out.Elapsed)})
+		c.opts.Logf("coordinator: scheduler recovered; primary pass back in force")
+	}
+}
+
+// SchedDegraded reports whether the last scheduling pass fell back (or the
+// breaker is open). Always false without a configured SchedDeadline.
+func (c *Coordinator) SchedDegraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
 }
 
 // broadcastLocked pushes an allocation to every connected session. Only
@@ -843,8 +1019,16 @@ func (c *Coordinator) broadcastLocked(rates map[string]unit.Rate) {
 		}
 		c.ratesPushed += len(delta)
 		c.tel.ratesPushed.Add(uint64(len(delta)))
-		msg := wire.Message{Type: wire.TypeAllocation, Allocation: &wire.Allocation{Rates: delta}}
-		if err := s.send(msg); err != nil {
+		if err := s.sendAllocation(delta); err != nil {
+			if errors.Is(err, errSendBufferFull) {
+				// Conflation already absorbed any allocation burst, so a
+				// full queue here means the writer is not draining at all:
+				// the agent's socket is stalled behind non-conflatable
+				// traffic. Keeping the session would silently diverge its
+				// allocation view; close the conn so teardown parks its
+				// groups and the agent resyncs on redial.
+				c.sendOverflowLocked(s)
+			}
 			c.opts.Logf("coordinator: push to %s failed: %v", s.agent, err)
 			continue
 		}
@@ -866,12 +1050,23 @@ func (c *Coordinator) PushStats() (computed, pushed int) {
 	return c.ratesTotal, c.ratesPushed
 }
 
+// sendOverflowLocked records a send-buffer overflow and closes the
+// session's conn so teardown runs through the usual reader path. Callers
+// hold c.mu.
+func (c *Coordinator) sendOverflowLocked(s *session) {
+	c.tel.sendOverflow.Inc()
+	c.event(telemetry.Event{Kind: telemetry.EventSendOverflow, At: float64(c.lastAdvance),
+		Agent: s.agent, Detail: "outbound buffer full; closing session"})
+	s.conn.Close()
+}
+
 // session is one connected agent.
 type session struct {
-	codec *wire.Codec
-	agent string
-	conn  net.Conn
-	sent  map[string]unit.Rate // last rates pushed to this session
+	codec   *wire.Codec
+	agent   string
+	conn    net.Conn
+	version int                  // protocol version from the hello
+	sent    map[string]unit.Rate // last rates pushed to this session
 	// lastPush is the wall time (unix nanos) of the most recent outbound
 	// send the kernel accepted. The read loop consults it before declaring
 	// a silent agent dead: a peer we are actively and successfully pushing
@@ -884,17 +1079,140 @@ type session struct {
 	// agent name: its teardown must not park or evict the groups the new
 	// session has adopted.
 	superseded bool
+
+	// out feeds the session's writer goroutine; quit stops it. Enqueueing
+	// never blocks: a full buffer (a socket the writer cannot drain into)
+	// fails the send instead of wedging the caller, which holds c.mu on the
+	// broadcast path.
+	out      chan wire.Message
+	quit     chan struct{}
+	quitOnce sync.Once
+
+	// pendingAlloc conflates allocation pushes. Rates are convergent state —
+	// only the latest value per flow matters — so at most one allocation
+	// frame occupies the out queue at a time (a nil-Allocation placeholder)
+	// and later deltas merge into the pending map until the writer picks it
+	// up. Without this, a burst of flow events can outrun the writer's
+	// syscall rate and overflow the queue on a perfectly healthy socket.
+	// Guarded by allocMu (never held across a lock of c.mu).
+	allocMu      sync.Mutex
+	pendingAlloc map[string]unit.Rate
+
+	// stall is the injected per-message outbound delay in nanos, the
+	// faults.AgentStall chaos hook. soft flags a straggling agent whose
+	// heartbeat RTT EWMA crossed the quarantine threshold.
+	stall atomic.Int64
+	soft  atomic.Bool
+
+	// RTT ping state, guarded by the coordinator's mu: outstanding nonces
+	// with their send times, and the smoothed round-trip estimate in seconds.
+	pings   map[uint64]time.Time
+	rttEWMA float64
 }
 
-// send transmits one message to the agent, recording the time of any
-// accepted write for the liveness check in handleConn. All post-handshake
-// sends to a session go through here.
+// errSendBufferFull reports an outbound queue that the session's writer is
+// not draining — a stalled or dead agent socket.
+var errSendBufferFull = errors.New("session outbound buffer full")
+
+// send enqueues one message for the session's writer. All post-handshake
+// sends go through here; delivery (and the lastPush liveness stamp) happens
+// on the writer goroutine, so a stalled socket can never block the caller.
 func (s *session) send(m wire.Message) error {
-	err := s.codec.Send(m)
-	if err == nil {
-		s.lastPush.Store(time.Now().UnixNano())
+	select {
+	case <-s.quit:
+		return errors.New("session closed")
+	default:
 	}
-	return err
+	select {
+	case s.out <- m:
+		return nil
+	default:
+		return errSendBufferFull
+	}
+}
+
+// sendAllocation enqueues a rate delta, conflating with any allocation
+// still waiting for the writer. Returns errSendBufferFull only when the out
+// queue cannot absorb even the single placeholder frame — i.e. it is full
+// of non-conflatable traffic the writer is not draining.
+func (s *session) sendAllocation(delta map[string]unit.Rate) error {
+	s.allocMu.Lock()
+	if s.pendingAlloc != nil {
+		for id, r := range delta {
+			s.pendingAlloc[id] = r
+		}
+		s.allocMu.Unlock()
+		return nil
+	}
+	pending := make(map[string]unit.Rate, len(delta))
+	for id, r := range delta {
+		pending[id] = r
+	}
+	s.pendingAlloc = pending
+	s.allocMu.Unlock()
+	if err := s.send(wire.Message{Type: wire.TypeAllocation}); err != nil {
+		s.allocMu.Lock()
+		s.pendingAlloc = nil
+		s.allocMu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// close stops the writer goroutine; safe to call more than once, and on a
+// session that never got a writer (tests drive dropSession directly).
+func (s *session) close() {
+	s.quitOnce.Do(func() {
+		if s.quit != nil {
+			close(s.quit)
+		}
+	})
+}
+
+// writeLoop drains the outbound queue onto the socket, each frame under a
+// write deadline. A write failure (including a deadline expiry on a wedged
+// socket) closes the connection, which unblocks the session's read loop and
+// tears the session down through the usual path.
+func (s *session) writeLoop(c *Coordinator) {
+	for {
+		select {
+		case <-s.quit:
+			return
+		case m := <-s.out:
+			if d := s.stall.Load(); d > 0 {
+				t := time.NewTimer(time.Duration(d))
+				select {
+				case <-s.quit:
+					t.Stop()
+					return
+				case <-t.C:
+				}
+			}
+			if m.Type == wire.TypeAllocation && m.Allocation == nil {
+				// Placeholder from sendAllocation: take whatever has
+				// conflated since it was queued. Resolving after the
+				// injected stall widens the merge window, matching a
+				// genuinely slow socket.
+				s.allocMu.Lock()
+				rates := s.pendingAlloc
+				s.pendingAlloc = nil
+				s.allocMu.Unlock()
+				if len(rates) == 0 {
+					continue
+				}
+				m.Allocation = &wire.Allocation{Rates: rates}
+			}
+			if wt := c.opts.WriteTimeout; wt > 0 {
+				_ = s.conn.SetWriteDeadline(time.Now().Add(wt))
+			}
+			if err := s.codec.Send(m); err != nil {
+				c.opts.Logf("coordinator: write to agent %s failed: %v", s.agent, err)
+				s.conn.Close()
+				return
+			}
+			s.lastPush.Store(time.Now().UnixNano())
+		}
+	}
 }
 
 // Serve accepts agent connections until the context is cancelled or the
@@ -923,6 +1241,27 @@ func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) error {
 		}()
 	}
 
+	if c.opts.StragglerRTT > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			iv := c.opts.PingInterval
+			if iv <= 0 {
+				iv = time.Second
+			}
+			t := time.NewTicker(iv)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					c.pingSessions()
+				}
+			}
+		}()
+	}
+
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -946,10 +1285,17 @@ func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) error {
 	}
 }
 
-// handleConn runs one agent session to completion.
+// handleConn runs one agent session to completion. Three goroutines serve
+// it: this reader (framed Recv under the session read deadline), a worker
+// draining the bounded inbound queue into handleMessage, and a writer
+// draining the bounded outbound queue under write deadlines. The reader
+// blocking on a full inbound queue is the backpressure: the kernel stops
+// acking and the storming agent's own sends stall, while every other
+// session keeps being served.
 func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
-	s := &session{codec: wire.NewCodec(conn), conn: conn, sent: make(map[string]unit.Rate)}
+	s := &session{codec: wire.NewCodec(conn), conn: conn, sent: make(map[string]unit.Rate),
+		out: make(chan wire.Message, c.opts.SendBuffer), quit: make(chan struct{})}
 
 	hello, err := s.codec.Recv()
 	if err != nil || hello.Type != wire.TypeHello {
@@ -963,6 +1309,7 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 		return
 	}
 	s.agent = hello.Hello.Agent
+	s.version = hello.Hello.Version
 	if !c.admitRedial(s.agent) {
 		c.opts.Logf("coordinator: agent %s redialing too fast, rejected", s.agent)
 		c.tel.redialRejected.Inc()
@@ -975,7 +1322,29 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 	c.opts.Events.Append(telemetry.Event{Kind: telemetry.EventRedialOK,
 		At: float64(c.now()), Agent: s.agent})
 	c.adoptSession(s)
+
+	// Teardown order (LIFO): close the inbound queue, wait out the worker,
+	// drop the session (parking groups and closing quit), wait out the
+	// writer. The writer starts after adoption so revive-triggered pushes
+	// land in the (buffered) queue either way.
+	wdone := make(chan struct{})
+	go func() { defer close(wdone); s.writeLoop(c) }()
+	defer func() { <-wdone }()
 	defer c.dropSession(s)
+	in := make(chan wire.Message, c.opts.InboundQueue)
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		for m := range in {
+			if err := c.handleMessage(s, m); err != nil {
+				c.opts.Logf("coordinator: agent %s: %v", s.agent, err)
+				_ = s.send(wire.Message{Type: wire.TypeError, Error: &wire.Error{Msg: err.Error()}})
+			}
+			c.tel.inboundDepth.Set(float64(c.inboundDepth.Add(-1)))
+		}
+	}()
+	defer func() { <-workerDone }()
+	defer close(in)
 
 	for {
 		if ctx.Err() != nil {
@@ -1007,9 +1376,12 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 			}
 			return
 		}
-		if err := c.handleMessage(s, msg); err != nil {
-			c.opts.Logf("coordinator: agent %s: %v", s.agent, err)
-			_ = s.send(wire.Message{Type: wire.TypeError, Error: &wire.Error{Msg: err.Error()}})
+		c.tel.inboundDepth.Set(float64(c.inboundDepth.Add(1)))
+		select {
+		case in <- msg:
+		case <-s.quit:
+			c.inboundDepth.Add(-1)
+			return
 		}
 	}
 }
@@ -1017,8 +1389,14 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 func (c *Coordinator) handleMessage(s *session, msg wire.Message) error {
 	switch msg.Type {
 	case wire.TypeHeartbeat:
-		// Echo so the agent can measure round-trip time (Codec.Send is
-		// concurrency-safe against the broadcast path). A send failure here
+		if msg.Heartbeat != nil && msg.Heartbeat.Nonce != 0 {
+			// The agent echoed one of our RTT pings (wire v3). Fold the
+			// round trip into the straggler detector — and do not echo
+			// back, which would ping-pong forever.
+			c.notePingEcho(s, msg.Heartbeat.Nonce)
+			return nil
+		}
+		// Echo so the agent can measure round-trip time. A send failure here
 		// is not an agent protocol error; the Recv loop notices the dead
 		// conn on its own.
 		_ = s.send(wire.Message{Type: wire.TypeHeartbeat})
@@ -1033,9 +1411,20 @@ func (c *Coordinator) handleMessage(s *session, msg wire.Message) error {
 		_, err := c.UnregisterGroup(msg.Unregister.GroupID)
 		return err
 	case wire.TypeFlowEvent:
-		_, err := c.FlowEvent(*msg.FlowEvent)
+		_, err := c.flowEvent(*msg.FlowEvent, s.soft.Load())
 		return err
 	case wire.TypeSubmitJob:
+		if hw := c.opts.ShedHighWater; hw > 0 && c.inboundDepth.Load() > int64(hw) {
+			// Overload: refuse new work with the coded throttled error so
+			// the backlog of already-admitted events drains first. The
+			// session survives; the submitter backs off and retries.
+			c.tel.shedJobs.Inc()
+			c.event(telemetry.Event{Kind: telemetry.EventShed, At: float64(c.now()), Agent: s.agent,
+				Detail: fmt.Sprintf("inbound depth %d above high water %d", c.inboundDepth.Load(), hw)})
+			_ = s.send(wire.Message{Type: wire.TypeError, Error: &wire.Error{
+				Msg: "coordinator overloaded: job submission shed", Code: wire.ErrCodeThrottled}})
+			return nil
+		}
 		if err := c.SubmitJob(s.agent, msg.SubmitJob.Job); err != nil {
 			// Submission refusals are typed wire errors, not protocol
 			// failures: the session survives and the agent can retry or fix
@@ -1047,6 +1436,106 @@ func (c *Coordinator) handleMessage(s *session, msg wire.Message) error {
 	default:
 		return fmt.Errorf("unexpected message type %q", msg.Type)
 	}
+}
+
+// maxOutstandingPings caps the per-session nonce table; a session that has
+// stopped echoing entirely is judged on the age of its oldest ping instead.
+const maxOutstandingPings = 8
+
+// rttAlpha is the EWMA smoothing weight for new RTT observations.
+const rttAlpha = 0.3
+
+// pingSessions sends one RTT ping to every wire-v3 session and folds the
+// age of long-unanswered pings into the straggler estimate — an agent that
+// never echoes must still trip the threshold, not dodge it.
+func (c *Coordinator) pingSessions() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	for s := range c.sessions {
+		if s.version < 3 { // nonce'd heartbeats are wire v3
+			continue
+		}
+		var oldest time.Time
+		for _, at := range s.pings {
+			if oldest.IsZero() || at.Before(oldest) {
+				oldest = at
+			}
+		}
+		if !oldest.IsZero() {
+			if age := now.Sub(oldest); age > c.opts.StragglerRTT {
+				// Censored observation: the true RTT is at least this.
+				c.observeRTTLocked(s, age.Seconds())
+			}
+		}
+		if len(s.pings) >= maxOutstandingPings {
+			continue
+		}
+		c.pingNonce++
+		n := c.pingNonce
+		if s.pings == nil {
+			s.pings = make(map[uint64]time.Time)
+		}
+		s.pings[n] = now
+		if err := s.send(wire.Message{Type: wire.TypeHeartbeat, Heartbeat: &wire.Heartbeat{Nonce: n}}); err != nil {
+			delete(s.pings, n)
+		}
+	}
+}
+
+// notePingEcho correlates an agent's echo with its outstanding ping and
+// updates the straggler estimate.
+func (c *Coordinator) notePingEcho(s *session, nonce uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sentAt, ok := s.pings[nonce]
+	if !ok {
+		return // superseded session's echo, or an unsolicited nonce
+	}
+	delete(s.pings, nonce)
+	rtt := time.Since(sentAt).Seconds()
+	if c.opts.Metrics != nil {
+		c.opts.Metrics.Histogram(MetricAgentRTT,
+			"Coordinator-measured control-plane round-trip time.", "agent", s.agent).Observe(rtt)
+	}
+	c.observeRTTLocked(s, rtt)
+}
+
+// observeRTTLocked folds one RTT sample (seconds) into the session's EWMA
+// and flips the soft-quarantine flag across the threshold, with release at
+// half of it so a borderline agent does not flap.
+func (c *Coordinator) observeRTTLocked(s *session, rtt float64) {
+	if s.rttEWMA == 0 {
+		s.rttEWMA = rtt
+	} else {
+		s.rttEWMA = (1-rttAlpha)*s.rttEWMA + rttAlpha*rtt
+	}
+	thr := c.opts.StragglerRTT.Seconds()
+	if thr <= 0 {
+		return
+	}
+	if !s.soft.Load() && s.rttEWMA > thr {
+		s.soft.Store(true)
+		c.tel.softQuar.Inc()
+		c.event(telemetry.Event{Kind: telemetry.EventSoftQuar, At: float64(c.now()), Agent: s.agent,
+			Detail: fmt.Sprintf("rtt ewma %.3fs above %.3fs; reports deadline-bounded", s.rttEWMA, thr)})
+		c.opts.Logf("coordinator: agent %s soft-quarantined (rtt ewma %.3fs > %.3fs); groups stay scheduled", s.agent, s.rttEWMA, thr)
+	} else if s.soft.Load() && s.rttEWMA < thr/2 {
+		s.soft.Store(false)
+		c.tel.softRelease.Inc()
+		c.event(telemetry.Event{Kind: telemetry.EventSoftRelease, At: float64(c.now()), Agent: s.agent,
+			Detail: fmt.Sprintf("rtt ewma %.3fs recovered below %.3fs", s.rttEWMA, thr/2)})
+		c.opts.Logf("coordinator: agent %s released from soft quarantine (rtt ewma %.3fs)", s.agent, s.rttEWMA)
+	}
+}
+
+// AgentSoftQuarantined reports whether the named agent's live session is
+// soft-quarantined for straggling RTT.
+func (c *Coordinator) AgentSoftQuarantined(agent string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.byName[agent]
+	return s != nil && s.soft.Load()
 }
 
 // admitRedial rate-limits reconnects per agent name. A handshake denied
@@ -1087,6 +1576,7 @@ func (c *Coordinator) adoptSession(s *session) {
 			old.superseded = true
 			delete(c.sessions, old)
 			old.conn.Close()
+			old.close() // stop its writer promptly; teardown skips superseded sessions
 		}
 		c.byName[s.agent] = s
 	}
@@ -1118,6 +1608,7 @@ func (c *Coordinator) adoptSession(s *session) {
 // groups are parked — progress state retained, zero bandwidth — awaiting a
 // rejoin; otherwise (or when the quarantine expires) they are evicted.
 func (c *Coordinator) dropSession(s *session) {
+	s.close() // stop the writer even when superseded
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if s.superseded {
@@ -1255,12 +1746,69 @@ func (c *Coordinator) SetCapacity(host string, egress, ingress unit.Rate) error 
 	defer c.mu.Unlock()
 	c.flushCoalescedLocked()
 	c.advanceLocked()
+	if c.degrade != nil {
+		// An abandoned deadline pass may still be reading the fabric model;
+		// wait it out before mutating capacities under it.
+		c.degrade.Quiesce()
+	}
 	if err := c.opts.Net.SetCapacity(host, egress, ingress); err != nil {
 		return fmt.Errorf("coordinator: %w", err)
 	}
 	c.appendJournalLocked(journalEvent{Kind: jCapacity, At: c.lastAdvance, Host: host, Egress: egress, Ingress: ingress})
 	_, err := c.rescheduleLocked()
 	return err
+}
+
+// SetSchedStall injects d of artificial latency into every scheduling pass —
+// the faults.SchedStall live hook. Requires a configured SchedDeadline
+// (without one there is no wrapper to stall, and no protection to exercise).
+func (c *Coordinator) SetSchedStall(d time.Duration) error {
+	if c.degrade == nil {
+		return fmt.Errorf("coordinator: no scheduler deadline configured")
+	}
+	c.degrade.SetStall(d)
+	return nil
+}
+
+// QuiesceScheduler blocks until no abandoned deadline pass is still in
+// flight. Harnesses that need a deterministic end to an injected stall
+// episode (the degrade oracle) call it after clearing the stall, so the next
+// pass is guaranteed a free slot instead of racing the drain. No-op without
+// a configured SchedDeadline.
+func (c *Coordinator) QuiesceScheduler() {
+	if c.degrade != nil {
+		c.degrade.Quiesce()
+	}
+}
+
+// SetAgentStall delays the named agent's outbound frames by d each — the
+// faults.AgentStall live hook. Zero clears.
+func (c *Coordinator) SetAgentStall(agent string, d time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.byName[agent]
+	if s == nil {
+		return fmt.Errorf("coordinator: agent %q has no live session", agent)
+	}
+	s.stall.Store(int64(d))
+	return nil
+}
+
+// SetFsyncStall makes every journal append take an extra d — the
+// faults.FsyncStall live hook. Zero clears.
+func (c *Coordinator) SetFsyncStall(d time.Duration) {
+	c.fsyncStall.Store(int64(d))
+}
+
+// JournalBroken reports the latched journal failure, if any: after it the
+// coordinator keeps serving but stops journaling (fail-fast durability).
+func (c *Coordinator) JournalBroken() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return nil
+	}
+	return c.journal.Broken()
 }
 
 // Capacity reports a host's current capacities in the fabric model (the

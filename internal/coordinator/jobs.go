@@ -387,6 +387,13 @@ func (c *Coordinator) pushJobUpdateLocked(owner string, u wire.JobUpdate) {
 		return
 	}
 	if err := s.send(wire.Message{Type: wire.TypeJobUpdate, JobUpdate: &u}); err != nil {
+		if errors.Is(err, errSendBufferFull) {
+			// Job updates are lifecycle notifications, not convergent state:
+			// they cannot be conflated, and an owner that missed one has
+			// diverged (a submitter waiting on JobDeparted would wait
+			// forever). Tear the session down so the agent resyncs.
+			c.sendOverflowLocked(s)
+		}
 		c.opts.Logf("coordinator: job update to %s failed: %v", owner, err)
 	}
 }

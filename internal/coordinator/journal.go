@@ -118,12 +118,17 @@ type snapshotFlow struct {
 	Release   unit.Time  `json:"release,omitempty"`
 }
 
-// appendJournalLocked records one event. Nil journal and replay are no-ops;
-// an append failure is logged, not fatal — the coordinator stays available
-// at the cost of that record's durability.
+// appendJournalLocked records one event. Nil journal and replay are no-ops.
+// An append failure latches the journal broken (fail-fast: a WAL that lost
+// an fsync can no longer promise bit-for-bit recovery, so it refuses every
+// later append rather than quietly leaving holes); the coordinator keeps
+// serving without durability, announcing the transition exactly once.
 func (c *Coordinator) appendJournalLocked(ev journalEvent) {
 	if c.journal == nil || c.replaying {
 		return
+	}
+	if c.journal.Broken() != nil {
+		return // already latched and announced
 	}
 	body, err := json.Marshal(ev)
 	if err != nil {
@@ -131,8 +136,17 @@ func (c *Coordinator) appendJournalLocked(ev journalEvent) {
 		return
 	}
 	t0 := time.Now()
+	if d := c.fsyncStall.Load(); d > 0 {
+		// Injected gray-failure latency (faults.FsyncStall): inside the
+		// measured window so the latency histogram and slow-fsync events
+		// see it exactly like a genuinely slow disk.
+		time.Sleep(time.Duration(d))
+	}
 	if err := c.journal.Append(body); err != nil {
-		c.opts.Logf("coordinator: journal append %s: %v", ev.Kind, err)
+		c.opts.Logf("coordinator: journal append %s failed, journaling disabled: %v", ev.Kind, err)
+		c.tel.journalBroken.Set(1)
+		c.event(telemetry.Event{Kind: telemetry.EventJournalBroken, At: float64(ev.At),
+			Detail: err.Error()})
 		return
 	}
 	elapsed := time.Since(t0)
@@ -490,6 +504,13 @@ func Restore(opts Options, dir string) (*Coordinator, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.replaying = true
+	if c.degrade != nil {
+		// Replay must re-run the recorded passes unbounded: a budget overrun
+		// here would substitute fallback allocations where the live run used
+		// the primary, silently breaking bit-for-bit recovery.
+		c.degrade.Bypass(true)
+		defer c.degrade.Bypass(false)
+	}
 	if rec.Snapshot != nil {
 		if err := c.applySnapshotLocked(rec.Snapshot); err != nil {
 			c.replaying = false

@@ -58,6 +58,18 @@ const (
 	// CoordinatorRestart brings the coordinator back, recovering from its
 	// journal (coordinator.Restore) and awaiting agent re-adoption.
 	CoordinatorRestart Kind = "coordinator_restart"
+	// SchedStall injects For seconds of artificial latency into every
+	// scheduler pass — the gray-failure condition the deadline wrapper
+	// degrades under. For=0 clears the stall. The simulator's scheduler is
+	// instantaneous, so the sim driver treats it as a no-op.
+	SchedStall Kind = "sched_stall"
+	// AgentStall delays the named Agent's report/heartbeat path by For
+	// seconds per message, making it a straggler without killing it (the
+	// condition soft-quarantine detects). For=0 clears. Sim: no-op.
+	AgentStall Kind = "agent_stall"
+	// FsyncStall makes every journal append's fsync take an extra For
+	// seconds. For=0 clears. Sim: no-op (the simulator has no journal).
+	FsyncStall Kind = "fsync_stall"
 )
 
 // Event is one timed fault. Which fields matter depends on Kind; Validate
@@ -78,8 +90,11 @@ type Event struct {
 	Ingress unit.Rate `json:"ingress,omitempty"`
 	// Factor is the HostStraggle compute dilation.
 	Factor float64 `json:"factor,omitempty"`
-	// Agent names the session for AgentCrash/AgentRestart.
+	// Agent names the session for AgentCrash/AgentRestart/AgentStall.
 	Agent string `json:"agent,omitempty"`
+	// For is the injected latency, in seconds, for the stall kinds
+	// (sched_stall, agent_stall, fsync_stall); zero clears the stall.
+	For unit.Time `json:"for,omitempty"`
 }
 
 // Validate checks the event's fields against its kind.
@@ -116,6 +131,17 @@ func (e Event) Validate() error {
 		}
 	case CoordinatorCrash, CoordinatorRestart:
 		// Target-free: there is exactly one coordinator.
+	case SchedStall, FsyncStall:
+		if e.For < 0 {
+			return fmt.Errorf("faults: %s needs a non-negative stall, got %v", e.Kind, e.For)
+		}
+	case AgentStall:
+		if e.Agent == "" {
+			return fmt.Errorf("faults: agent_stall needs an agent name")
+		}
+		if e.For < 0 {
+			return fmt.Errorf("faults: agent_stall on %q needs a non-negative stall, got %v", e.Agent, e.For)
+		}
 	default:
 		return fmt.Errorf("faults: unknown event kind %q", e.Kind)
 	}
@@ -211,6 +237,16 @@ type GenConfig struct {
 	// degrade incident is drawn.
 	DegradeFraction float64
 	Baseline        unit.Rate
+	// StallIncidents is how many gray-failure stall incidents
+	// (sched_stall / fsync_stall / agent_stall) to draw in addition to the
+	// capacity/straggle incidents (default 0 — none, which also keeps the
+	// random stream of pre-existing configs unchanged).
+	StallIncidents int
+	// Agents are candidate agent_stall targets; when empty, stall
+	// incidents only draw sched_stall and fsync_stall.
+	Agents []string
+	// MaxStall bounds the injected stall in seconds (default 0.2).
+	MaxStall unit.Time
 }
 
 // Generate draws a reproducible random schedule: Incidents incidents, each
@@ -257,6 +293,29 @@ func Generate(cfg GenConfig) (*Schedule, error) {
 				Event{At: start, Kind: HostStraggle, Host: host, Factor: factor},
 				Event{At: end, Kind: HostStraggle, Host: host, Factor: 1})
 		}
+	}
+	if cfg.MaxStall <= 0 {
+		cfg.MaxStall = 0.2
+	}
+	for i := 0; i < cfg.StallIncidents; i++ {
+		start := unit.Time(rng.Float64() * float64(cfg.Horizon) * 0.6)
+		end := start + unit.Time((0.1+0.3*rng.Float64())*float64(cfg.Horizon))
+		if end >= cfg.Horizon {
+			end = cfg.Horizon - unit.Time(unit.Eps)
+		}
+		stall := unit.Time(0.2+0.8*rng.Float64()) * cfg.MaxStall
+		kinds := []Kind{SchedStall, FsyncStall}
+		if len(cfg.Agents) > 0 {
+			kinds = append(kinds, AgentStall)
+		}
+		kind := kinds[rng.Intn(len(kinds))]
+		on := Event{At: start, Kind: kind, For: stall}
+		off := Event{At: end, Kind: kind}
+		if kind == AgentStall {
+			agent := cfg.Agents[rng.Intn(len(cfg.Agents))]
+			on.Agent, off.Agent = agent, agent
+		}
+		s.Events = append(s.Events, on, off)
 	}
 	s.Events = s.Sorted()
 	return s, nil

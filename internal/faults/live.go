@@ -35,6 +35,20 @@ type LiveActions struct {
 	// RestartCoordinator brings the coordinator back, typically via
 	// coordinator.Restore on the same journal directory.
 	RestartCoordinator func() error
+	// StallScheduler injects d of artificial latency into every scheduler
+	// pass (sched_stall; zero clears).
+	StallScheduler func(d time.Duration) error
+	// StallAgent delays the named agent's outbound path by d per message
+	// (agent_stall; zero clears).
+	StallAgent func(agent string, d time.Duration) error
+	// StallFsync makes every journal append take an extra d (fsync_stall;
+	// zero clears).
+	StallFsync func(d time.Duration) error
+}
+
+// stallDuration converts a schedule's stall seconds into wall time.
+func stallDuration(f unit.Time) time.Duration {
+	return time.Duration(float64(f) * float64(time.Second))
 }
 
 // ReplayOptions tune a live replay.
@@ -179,6 +193,24 @@ func Replay(ctx context.Context, sched *Schedule, actions LiveActions, opts Repl
 				if err = restoreCap(e, h); err != nil {
 					break
 				}
+			}
+		case SchedStall:
+			if actions.StallScheduler == nil {
+				logf("faults: skip sched_stall (no StallScheduler hook)")
+			} else {
+				err = actions.StallScheduler(stallDuration(e.For))
+			}
+		case AgentStall:
+			if actions.StallAgent == nil {
+				logf("faults: skip agent_stall of %s (no StallAgent hook)", e.Agent)
+			} else {
+				err = actions.StallAgent(e.Agent, stallDuration(e.For))
+			}
+		case FsyncStall:
+			if actions.StallFsync == nil {
+				logf("faults: skip fsync_stall (no StallFsync hook)")
+			} else {
+				err = actions.StallFsync(stallDuration(e.For))
 			}
 		}
 		if err != nil {

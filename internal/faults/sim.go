@@ -50,6 +50,11 @@ func outageChange(at unit.Time, host string, b baseline) sim.CapacityChange {
 //	coordinator_restart   -> no-op: the simulator schedules centrally with
 //	                         no control plane to lose, so a coordinator
 //	                         outage is invisible to it
+//	sched_stall/
+//	agent_stall/
+//	fsync_stall           -> no-op: the simulator's scheduling pass and
+//	                         journal are instantaneous; gray-failure stalls
+//	                         only exist on the live control plane
 func CompileSim(sched *Schedule, net *fabric.Network) ([]sim.CapacityChange, []sim.DilationChange, error) {
 	if sched.Empty() {
 		return nil, nil, nil
@@ -131,8 +136,9 @@ func CompileSim(sched *Schedule, net *fabric.Network) ([]sim.CapacityChange, []s
 				}
 				caps = append(caps, sim.CapacityChange{At: e.At, Host: h, Egress: b.egress, Ingress: b.ingress})
 			}
-		case CoordinatorCrash, CoordinatorRestart:
-			// The simulator has no control plane; see the kind mapping.
+		case CoordinatorCrash, CoordinatorRestart, SchedStall, AgentStall, FsyncStall:
+			// The simulator has no control plane (and its scheduler and
+			// journal are instantaneous); see the kind mapping.
 		}
 	}
 	return caps, dils, nil

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"echelonflow/internal/fabric"
+)
+
+func TestStallEventValidation(t *testing.T) {
+	good := []Event{
+		{At: 1, Kind: SchedStall, For: 0.05},
+		{At: 2, Kind: SchedStall}, // For=0 clears
+		{At: 1, Kind: FsyncStall, For: 0.2},
+		{At: 1, Kind: AgentStall, Agent: "a1", For: 0.1},
+	}
+	for _, e := range good {
+		if err := e.Validate(); err != nil {
+			t.Errorf("%+v: %v", e, err)
+		}
+	}
+	bad := []Event{
+		{At: 1, Kind: SchedStall, For: -0.1},
+		{At: 1, Kind: AgentStall, For: 0.1},            // no agent
+		{At: 1, Kind: AgentStall, Agent: "a", For: -1}, // negative stall
+		{At: 1, Kind: FsyncStall, For: -0.5},           //
+	}
+	for _, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("%+v: want validation error", e)
+		}
+	}
+}
+
+func TestStallParseRoundTrip(t *testing.T) {
+	src := `{"events":[{"at":1,"kind":"sched_stall","for":0.05},{"at":2,"kind":"agent_stall","agent":"a1","for":0.1},{"at":3,"kind":"fsync_stall","for":0.2},{"at":4,"kind":"sched_stall"}]}`
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 4 || s.Events[1].Agent != "a1" || s.Events[2].For != 0.2 {
+		t.Fatalf("parsed %+v", s.Events)
+	}
+}
+
+func TestStallKindsCompileToSimNoops(t *testing.T) {
+	net := fabric.NewNetwork()
+	net.AddUniformHosts(6, "s0")
+	sched := &Schedule{Events: []Event{
+		{At: 1, Kind: SchedStall, For: 0.05},
+		{At: 2, Kind: AgentStall, Agent: "a1", For: 0.1},
+		{At: 3, Kind: FsyncStall, For: 0.2},
+	}}
+	caps, dils, err := CompileSim(sched, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps) != 0 || len(dils) != 0 {
+		t.Errorf("stall kinds must be sim no-ops, got %d caps %d dilations", len(caps), len(dils))
+	}
+}
+
+func TestStallKindsDriveLiveHooks(t *testing.T) {
+	var schedStalls, fsyncStalls []time.Duration
+	type agentStall struct {
+		agent string
+		d     time.Duration
+	}
+	var agentStalls []agentStall
+	actions := LiveActions{
+		StallScheduler: func(d time.Duration) error { schedStalls = append(schedStalls, d); return nil },
+		StallAgent: func(a string, d time.Duration) error {
+			agentStalls = append(agentStalls, agentStall{a, d})
+			return nil
+		},
+		StallFsync: func(d time.Duration) error { fsyncStalls = append(fsyncStalls, d); return nil },
+	}
+	sched := &Schedule{Events: []Event{
+		{At: 0, Kind: SchedStall, For: 0.05},
+		{At: 0.01, Kind: AgentStall, Agent: "a1", For: 0.1},
+		{At: 0.02, Kind: FsyncStall, For: 0.2},
+		{At: 0.03, Kind: SchedStall},
+	}}
+	if err := Replay(context.Background(), sched, actions, ReplayOptions{TimeScale: 0.01, Logf: t.Logf}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(schedStalls, []time.Duration{50 * time.Millisecond, 0}) {
+		t.Errorf("sched stalls = %v", schedStalls)
+	}
+	if !reflect.DeepEqual(agentStalls, []agentStall{{"a1", 100 * time.Millisecond}}) {
+		t.Errorf("agent stalls = %v", agentStalls)
+	}
+	if !reflect.DeepEqual(fsyncStalls, []time.Duration{200 * time.Millisecond}) {
+		t.Errorf("fsync stalls = %v", fsyncStalls)
+	}
+	// Nil hooks skip, not fail.
+	if err := Replay(context.Background(), sched, LiveActions{}, ReplayOptions{TimeScale: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateStallIncidents(t *testing.T) {
+	s, err := Generate(GenConfig{
+		Seed: 7, Hosts: []string{"s0", "s1"}, Horizon: 20, Incidents: 2,
+		Baseline: 6, StallIncidents: 4, Agents: []string{"a0", "a1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stalls := 0
+	for _, e := range s.Events {
+		switch e.Kind {
+		case SchedStall, AgentStall, FsyncStall:
+			stalls++
+		}
+	}
+	if stalls != 8 { // 4 incidents, each an on + off pair
+		t.Errorf("stall events = %d, want 8", stalls)
+	}
+	// Determinism: same config, same schedule.
+	s2, err := Generate(GenConfig{
+		Seed: 7, Hosts: []string{"s0", "s1"}, Horizon: 20, Incidents: 2,
+		Baseline: 6, StallIncidents: 4, Agents: []string{"a0", "a1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Error("identical configs must generate identical schedules")
+	}
+}

@@ -43,13 +43,28 @@ const (
 	headerSize = 4 + 4 + 8 // length + crc + seq
 )
 
+// ErrBroken marks a journal that refuses writes after a storage failure.
+// Once an append write or fsync fails, the wal's on-disk tail is unknown —
+// appending past a possibly-torn frame would silently orphan every later
+// record at recovery — so the journal latches broken and fails fast instead.
+var ErrBroken = errors.New("journal: broken")
+
+// WriteSyncer is the wal write seam: *os.File satisfies it, and tests
+// substitute error-injecting implementations to exercise the broken latch.
+type WriteSyncer interface {
+	io.Writer
+	Sync() error
+}
+
 // Journal is an open journal directory. Append and Snapshot are not safe
 // for concurrent use; the Coordinator serializes them under its state lock
 // so the log order equals the state-mutation order.
 type Journal struct {
-	dir string
-	wal *os.File
-	seq uint64 // sequence of the last record written (snapshot or wal)
+	dir    string
+	wal    *os.File
+	out    WriteSyncer // wal, unless a test injected a wrapper
+	seq    uint64      // sequence of the last record written (snapshot or wal)
+	broken error       // first storage failure; latched, see ErrBroken
 }
 
 // Open creates the directory if needed, scans any existing state to find
@@ -96,7 +111,20 @@ func Open(dir string) (*Journal, error) {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	j.wal = wal
+	j.out = wal
 	return j, nil
+}
+
+// Broken returns the first storage failure that latched the journal broken,
+// or nil while it is healthy.
+func (j *Journal) Broken() error { return j.broken }
+
+// fail latches the journal broken and returns the failure.
+func (j *Journal) fail(err error) error {
+	if j.broken == nil {
+		j.broken = err
+	}
+	return err
 }
 
 // Dir returns the journal directory.
@@ -105,19 +133,25 @@ func (j *Journal) Dir() string { return j.dir }
 // Seq returns the sequence number of the last record written.
 func (j *Journal) Seq() uint64 { return j.seq }
 
-// Append writes one record to the wal and syncs it to stable storage.
+// Append writes one record to the wal and syncs it to stable storage. Any
+// write or fsync failure latches the journal broken: the record may be torn
+// on disk, so further appends are refused with ErrBroken rather than
+// silently diverging from the in-memory state.
 func (j *Journal) Append(payload []byte) error {
 	if j.wal == nil {
 		return fmt.Errorf("journal: closed")
 	}
+	if j.broken != nil {
+		return fmt.Errorf("%w: %v", ErrBroken, j.broken)
+	}
 	if len(payload) > MaxRecord {
 		return fmt.Errorf("journal: record of %d bytes exceeds limit", len(payload))
 	}
-	if err := writeRecord(j.wal, j.seq+1, payload); err != nil {
-		return fmt.Errorf("journal: append: %w", err)
+	if err := writeRecord(j.out, j.seq+1, payload); err != nil {
+		return j.fail(fmt.Errorf("journal: append: %w", err))
 	}
-	if err := j.wal.Sync(); err != nil {
-		return fmt.Errorf("journal: sync: %w", err)
+	if err := j.out.Sync(); err != nil {
+		return j.fail(fmt.Errorf("journal: sync: %w", err))
 	}
 	j.seq++
 	return nil
@@ -131,6 +165,9 @@ func (j *Journal) Append(payload []byte) error {
 func (j *Journal) Snapshot(payload []byte) error {
 	if j.wal == nil {
 		return fmt.Errorf("journal: closed")
+	}
+	if j.broken != nil {
+		return fmt.Errorf("%w: %v", ErrBroken, j.broken)
 	}
 	if len(payload) > MaxRecord {
 		return fmt.Errorf("journal: snapshot of %d bytes exceeds limit", len(payload))
@@ -158,13 +195,18 @@ func (j *Journal) Snapshot(payload []byte) error {
 		os.Remove(tmp)
 		return fmt.Errorf("journal: snapshot: %w", err)
 	}
+	// The snapshot file is in place; from here a failure leaves the wal
+	// position unknown, so it latches the journal broken too.
 	if err := j.wal.Truncate(0); err != nil {
-		return fmt.Errorf("journal: truncate wal: %w", err)
+		return j.fail(fmt.Errorf("journal: truncate wal: %w", err))
 	}
 	if _, err := j.wal.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("journal: %w", err)
+		return j.fail(fmt.Errorf("journal: %w", err))
 	}
-	return j.wal.Sync()
+	if err := j.wal.Sync(); err != nil {
+		return j.fail(fmt.Errorf("journal: sync: %w", err))
+	}
+	return nil
 }
 
 // Close releases the wal file handle.

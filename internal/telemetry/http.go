@@ -20,7 +20,17 @@ import (
 // reg, events and health may each be nil: the corresponding endpoint then
 // serves an empty (but well-formed) response.
 func Handler(reg *Registry, events *EventLog, health func() error) http.Handler {
+	return HandlerWith(reg, events, health, nil)
+}
+
+// HandlerWith is Handler plus daemon-specific extra routes (e.g. the
+// coordinator's -chaos fault-injection endpoint). Extra routes must not
+// collide with the standard surface.
+func HandlerWith(reg *Registry, events *EventLog, health func() error, extra map[string]http.HandlerFunc) http.Handler {
 	mux := http.NewServeMux()
+	for pattern, h := range extra {
+		mux.HandleFunc(pattern, h)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
@@ -69,11 +79,17 @@ func Handler(reg *Registry, events *EventLog, health func() error) http.Handler 
 // -admin boilerplate of both daemons. It returns the bound address (useful
 // with ":0") and a shutdown func.
 func StartAdmin(addr string, reg *Registry, events *EventLog, health func() error) (string, func() error, error) {
+	return StartAdminWith(addr, reg, events, health, nil)
+}
+
+// StartAdminWith is StartAdmin with extra routes mounted alongside the
+// standard surface.
+func StartAdminWith(addr string, reg *Registry, events *EventLog, health func() error, extra map[string]http.HandlerFunc) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg, events, health)}
+	srv := &http.Server{Handler: HandlerWith(reg, events, health, extra)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

@@ -24,10 +24,14 @@ const MaxFrame = 16 << 20
 
 // ProtocolVersion is the current control-protocol revision. Version 2 added
 // reconnect support: Hello.Version, and the "resumed" flow event carrying a
-// byte offset so a rejoining agent can continue an in-flight transfer. The
-// coordinator accepts version 0 (field absent, pre-versioning agents)
-// through ProtocolVersion.
-const ProtocolVersion = 2
+// byte offset so a rejoining agent can continue an in-flight transfer.
+// Version 3 added the optional Heartbeat payload: a coordinator may ping a
+// version>=3 agent with a nonce'd heartbeat, which the agent echoes back
+// verbatim so the coordinator can measure per-agent RTT for gray-failure
+// (straggler) detection. Nonce-less heartbeats keep their version-2
+// semantics. The coordinator accepts version 0 (field absent,
+// pre-versioning agents) through ProtocolVersion.
+const ProtocolVersion = 3
 
 // Message type tags.
 const (
@@ -131,6 +135,16 @@ type Allocation struct {
 	Rates map[string]unit.Rate `json:"rates"`
 }
 
+// Heartbeat is the optional payload of a heartbeat message (version 3). A
+// coordinator-initiated ping carries a non-zero Nonce; the agent echoes the
+// payload verbatim, and the echo's arrival time gives the coordinator the
+// session RTT. Agent-initiated keepalives carry no payload (or Nonce 0) and
+// are echoed without one, exactly as in version 2 — the nonce is what keeps
+// the two uses from skewing each other's bookkeeping.
+type Heartbeat struct {
+	Nonce uint64 `json:"nonce,omitempty"`
+}
+
 // JobSpec describes a training job for online submission: the paradigm and
 // model shape the coordinator compiles into a workload once a placement
 // policy has bound Workers hosts (plus one extra host for "ps"). It mirrors
@@ -226,6 +240,7 @@ type Message struct {
 	Unregister *Unregister `json:"unregister,omitempty"`
 	FlowEvent  *FlowEvent  `json:"flow_event,omitempty"`
 	Allocation *Allocation `json:"allocation,omitempty"`
+	Heartbeat  *Heartbeat  `json:"heartbeat,omitempty"`
 	SubmitJob  *SubmitJob  `json:"submit_job,omitempty"`
 	JobUpdate  *JobUpdate  `json:"job_update,omitempty"`
 	Error      *Error      `json:"error,omitempty"`
@@ -261,7 +276,8 @@ func (m Message) Validate() error {
 			return fmt.Errorf("wire: allocation message without payload")
 		}
 	case TypeHeartbeat:
-		// No payload.
+		// Payload optional: absent on plain keepalives, a Heartbeat with a
+		// nonce on coordinator-initiated RTT pings and their echoes.
 	case TypeSubmitJob:
 		if m.SubmitJob == nil {
 			return fmt.Errorf("wire: submit_job message without payload")
