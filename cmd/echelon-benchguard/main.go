@@ -7,17 +7,23 @@
 //	go test -bench 'BenchmarkSchedule_' -benchtime 2x -run '^$' . | \
 //	    go run ./cmd/echelon-benchguard -baseline BENCH_sched.json
 //
-// and the live job-pipeline loadgen (BENCH_loadgen.json):
+// the live job-pipeline loadgen (BENCH_loadgen.json):
 //
 //	echelon-loadgen -coordinator ... -bench | \
 //	    go run ./cmd/echelon-benchguard -baseline BENCH_loadgen.json
 //
+// and the wire codec microbenchmarks (BENCH_wire.json):
+//
+//	go test -bench 'BenchmarkWire_' -run '^$' ./internal/wire | \
+//	    go run ./cmd/echelon-benchguard -baseline BENCH_wire.json
+//
 // The guard parses the custom per-call metrics ("ns/schedcall",
-// "allocs/schedcall", "ns/flowevent"), matches each benchmark to its
-// baseline entry, and exits non-zero if a metric exceeds the baseline by
-// more than the threshold factor (default 1.25). It is meant as an advisory
-// CI gate: benchmark noise on shared runners is real, so treat a failure as
-// a prompt to re-run and investigate, not as proof of a regression.
+// "allocs/schedcall", "ns/flowevent") and the wire suite's standard
+// "ns/op"/"allocs/op", matches each benchmark to its baseline entry, and
+// exits non-zero if a metric exceeds the baseline by more than the
+// threshold factor (default 1.25). It is meant as an advisory CI gate:
+// benchmark noise on shared runners is real, so treat a failure as a
+// prompt to re-run and investigate, not as proof of a regression.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 )
 
 // baseline mirrors the subset of BENCH_sched.json the guard consumes.
@@ -45,6 +52,8 @@ type metrics struct {
 	NsPerCall      float64 `json:"ns_per_schedcall"`
 	AllocsPerCall  float64 `json:"allocs_per_schedcall"`
 	NsPerFlowEvent float64 `json:"ns_per_flowevent"`
+	NsPerMsg       float64 `json:"ns_per_msg"`
+	AllocsPerMsg   float64 `json:"allocs_per_msg"`
 	Advisory       bool    `json:"advisory,omitempty"`
 }
 
@@ -64,6 +73,11 @@ var benchLine = regexp.MustCompile(`^BenchmarkSchedule_(\d+)Hosts(\d+)Jobs(_NoCa
 // and tenant counts.
 var loadgenLine = regexp.MustCompile(`^BenchmarkLoadgen_(\d+)Jobs(\d+)Tenants(?:-\d+)?\s+(.*)$`)
 
+// wireLine matches the wire codec round-trip benchmarks, capturing the
+// message shape and the framing variant. These report the standard
+// testing.B metrics, one full Send+Recv per op.
+var wireLine = regexp.MustCompile(`^BenchmarkWire_([A-Za-z0-9]+)_(JSON|Binary)(?:-\d+)?\s+(.*)$`)
+
 // parseBench extracts measurements from `go test -bench` output. Lines that
 // are not scale-benchmark results are ignored, as are benchmark lines
 // missing the custom metrics (e.g. when run without bench_sched_test.go).
@@ -81,6 +95,19 @@ func parseBench(r io.Reader) ([]measurement, error) {
 				}
 				var err error
 				if meas.NsPerFlowEvent, err = metricValue(lg[3], "ns/flowevent"); err != nil {
+					return nil, fmt.Errorf("%s: %v", sc.Text(), err)
+				}
+				out = append(out, meas)
+			} else if w := wireLine.FindStringSubmatch(sc.Text()); w != nil {
+				meas := measurement{
+					Key:     strings.ToLower(w[1]),
+					Variant: strings.ToLower(w[2]),
+				}
+				var err error
+				if meas.NsPerMsg, err = metricValue(w[3], "ns/op"); err != nil {
+					return nil, fmt.Errorf("%s: %v", sc.Text(), err)
+				}
+				if meas.AllocsPerMsg, err = metricValue(w[3], "allocs/op"); err != nil {
 					return nil, fmt.Errorf("%s: %v", sc.Text(), err)
 				}
 				out = append(out, meas)
@@ -157,6 +184,8 @@ func check(meas []measurement, base *baseline, threshold float64) (lines []strin
 			{"ns/schedcall", m.NsPerCall, want.NsPerCall},
 			{"allocs/schedcall", m.AllocsPerCall, want.AllocsPerCall},
 			{"ns/flowevent", m.NsPerFlowEvent, want.NsPerFlowEvent},
+			{"ns/msg", m.NsPerMsg, want.NsPerMsg},
+			{"allocs/msg", m.AllocsPerMsg, want.AllocsPerMsg},
 		} {
 			if c.want <= 0 {
 				continue
@@ -211,7 +240,7 @@ func main() {
 		os.Exit(2)
 	}
 	if len(meas) == 0 {
-		fmt.Fprintln(os.Stderr, "no BenchmarkSchedule_*/BenchmarkLoadgen_* results found in input")
+		fmt.Fprintln(os.Stderr, "no BenchmarkSchedule_*/BenchmarkLoadgen_*/BenchmarkWire_* results found in input")
 		os.Exit(2)
 	}
 

@@ -32,6 +32,7 @@ func main() {
 	repros := flag.String("repros", "testdata/repros", "directory for shrunk failing scenarios")
 	budget := flag.Int("shrink", 400, "shrinker budget in check runs per failure")
 	repro := flag.String("repro", "", "path to a scenario or repro JSON to re-check instead of generating")
+	wireCodec := flag.String("wire", "direct", "codec the live oracles round-trip replayed flow events through: direct (no codec), json, or binary")
 	verbose := flag.Bool("v", false, "print every seed, not just failures")
 	flag.Parse()
 
@@ -40,7 +41,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	cfg := check.Config{Oracles: sel}
+	cfg := check.Config{Oracles: sel, WireCodec: *wireCodec}
 
 	if *repro != "" {
 		os.Exit(checkRepro(*repro, cfg))

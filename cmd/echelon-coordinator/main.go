@@ -52,6 +52,8 @@ func main() {
 	sessionTimeout := flag.Duration("session-timeout", 30*time.Second, "drop agents silent for this long (0 disables)")
 	quarantine := flag.Duration("quarantine", 0, "park a dead agent's groups this long awaiting rejoin (0 evicts immediately)")
 	journalDir := flag.String("journal", "", "write-ahead journal directory: state survives a crash and is replayed on restart (empty disables)")
+	groupCommit := flag.Duration("group-commit", 0, "journal group-commit window: batch fsyncs up to this long (or -group-commit-bytes) instead of per append; 0 keeps per-append fsync")
+	groupCommitBytes := flag.Int("group-commit-bytes", 0, "journal group-commit batch-size flush threshold in bytes (default 256KiB when -group-commit is set)")
 	snapshotEvery := flag.Int("journal-snapshot", 256, "with -journal, compact the log into a snapshot after this many events (0 never compacts)")
 	redialRate := flag.Float64("redial-rate", 0, "max reconnects per agent name per second (0 disables admission control)")
 	redialBurst := flag.Float64("redial-burst", 0, "redial admission burst (default 1 when -redial-rate is set)")
@@ -140,6 +142,14 @@ func main() {
 		SchedDeadline: *schedDeadline, DeadlineTripAfter: *deadlineTrip, DeadlineCooldown: *deadlineCooldown,
 		ShedHighWater: *shedHighWater, StragglerRTT: *stragglerRTT, PingInterval: *pingInterval,
 		SendBuffer: *sendBuffer, InboundQueue: *inboundQueue, WriteTimeout: *writeTimeout,
+		GroupCommit: *groupCommit, GroupCommitBytes: *groupCommitBytes,
+	}
+	if *groupCommit > 0 {
+		if *journalDir == "" {
+			log.Printf("echelon-coordinator: -group-commit has no effect without -journal")
+		} else {
+			log.Printf("echelon-coordinator: journal group-commit enabled (window %v)", *groupCommit)
+		}
 	}
 	if *schedDeadline > 0 {
 		log.Printf("echelon-coordinator: scheduling passes budgeted at %v (max-min fair fallback on overrun)", *schedDeadline)

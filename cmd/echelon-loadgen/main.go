@@ -47,6 +47,7 @@ type config struct {
 	seed       int64
 	timeout    time.Duration
 	verbose    bool
+	forceJSON  bool // -wire json: announce v3, legacy framing, no batching
 }
 
 // stats aggregates the run across tenants.
@@ -87,9 +88,17 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "job stream seed")
 	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "overall run deadline")
 	bench := flag.Bool("bench", false, "print a benchguard-parsable benchmark line")
+	wireMode := flag.String("wire", "binary", "wire framing for sends: binary (protocol 4, batched flow events) or json (announce v3, legacy framing)")
 	flag.BoolVar(&cfg.verbose, "v", false, "log each job transition")
 	flag.Parse()
 	cfg.paradigms = strings.Split(*paradigms, ",")
+	switch *wireMode {
+	case "binary":
+	case "json":
+		cfg.forceJSON = true
+	default:
+		log.Fatalf("echelon-loadgen: unknown -wire mode %q (binary or json)", *wireMode)
+	}
 
 	st, err := run(cfg)
 	if err != nil {
@@ -193,12 +202,13 @@ func genJob(rng *rand.Rand, id, tenant string, cfg config) wire.JobSpec {
 type session struct {
 	conn    net.Conn
 	codec   *wire.Codec
+	batch   bool // batch flow events into FlowBatch frames (v4 sessions)
 	updates chan wire.JobUpdate
 	rejects chan wire.Error
 	readErr chan error
 }
 
-func dialSession(ctx context.Context, addr, name string) (*session, error) {
+func dialSession(ctx context.Context, addr, name string, forceJSON bool) (*session, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -211,10 +221,20 @@ func dialSession(ctx context.Context, addr, name string) (*session, error) {
 		rejects: make(chan wire.Error, 64),
 		readErr: make(chan error, 1),
 	}
-	hello := wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Agent: name, Version: wire.ProtocolVersion}}
+	version := wire.ProtocolVersion
+	if forceJSON {
+		version = wire.JSONProtocolVersion
+	}
+	hello := wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Agent: name, Version: version}}
 	if err := s.codec.Send(hello); err != nil {
 		conn.Close()
 		return nil, err
+	}
+	if !forceJSON {
+		// The hello itself always travels in legacy JSON framing; everything
+		// after it may switch to binary. FlowBatch needs a v4 coordinator too.
+		s.codec.EnableBinary()
+		s.batch = true
 	}
 	go s.readLoop()
 	go s.heartbeatLoop(ctx)
@@ -266,7 +286,7 @@ func runTenant(ctx context.Context, cfg config, name string, jobs []wire.JobSpec
 	if len(jobs) == 0 {
 		return nil
 	}
-	s, err := dialSession(ctx, cfg.addr, name)
+	s, err := dialSession(ctx, cfg.addr, name, cfg.forceJSON)
 	if err != nil {
 		return err
 	}
@@ -362,6 +382,22 @@ func executeJob(ctx context.Context, s *session, spec wire.JobSpec, hosts []stri
 	if err != nil {
 		return fmt.Errorf("compile admitted job %s: %w", spec.ID, err)
 	}
+	// On v4 sessions amortize framing: release/finish pairs ride in FlowBatch
+	// chunks, which the coordinator applies in order exactly like loose events.
+	const batchMax = 32
+	var batch []wire.FlowEvent
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		msg := wire.Message{Type: wire.TypeFlowBatch, FlowBatch: &wire.FlowBatch{Events: batch}}
+		if err := s.codec.Send(msg); err != nil {
+			return err
+		}
+		atomic.AddInt64(&st.flowEvents, int64(len(batch)))
+		batch = batch[:0]
+		return nil
+	}
 	for _, n := range w.Graph.Nodes() {
 		if n.Kind != dag.Comm {
 			continue
@@ -371,16 +407,28 @@ func executeJob(ctx context.Context, s *session, spec wire.JobSpec, hosts []stri
 			gid = "flow:" + n.ID
 		}
 		for _, event := range []string{wire.EventReleased, wire.EventFinished} {
-			msg := wire.Message{Type: wire.TypeFlowEvent,
-				FlowEvent: &wire.FlowEvent{GroupID: gid, FlowID: n.ID, Event: event}}
-			if err := s.codec.Send(msg); err != nil {
-				return err
+			ev := wire.FlowEvent{GroupID: gid, FlowID: n.ID, Event: event}
+			if !s.batch {
+				msg := wire.Message{Type: wire.TypeFlowEvent, FlowEvent: &ev}
+				if err := s.codec.Send(msg); err != nil {
+					return err
+				}
+				atomic.AddInt64(&st.flowEvents, 1)
+				continue
 			}
-			atomic.AddInt64(&st.flowEvents, 1)
+			batch = append(batch, ev)
+			if len(batch) >= batchMax {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
 		}
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
+	}
+	if err := flush(); err != nil {
+		return err
 	}
 	// The last finish departs the job; wait for the push so per-tenant
 	// submission stays sequential (and throughput numbers include the

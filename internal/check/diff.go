@@ -1,6 +1,8 @@
 package check
 
 import (
+	"bytes"
+	"fmt"
 	"math"
 	"os"
 	"reflect"
@@ -227,6 +229,13 @@ func replayRunExt(c *compiled, res *sim.Result, dir string, crashes []int, hooks
 			SnapshotEvery:     8,
 			Clock:             clk.now,
 			Logf:              func(string, ...interface{}) {},
+			// Group-commit with an hour-long window: every journal append
+			// rides the batched path, and the in-process "kill" (abandon
+			// without Close) loses only the deferred fsync — the write()s are
+			// already in the OS page cache, so Restore must still be
+			// bit-for-bit. This proves batching never reorders or drops a
+			// record short of real power loss.
+			GroupCommit: time.Hour,
 		}
 	}
 	if hooks.tweak != nil {
@@ -267,6 +276,31 @@ func replayRunExt(c *compiled, res *sim.Result, dir string, crashes []int, hooks
 		tards:   make(map[string]unit.Time),
 		ratesAt: make(map[unit.Time]map[string]unit.Rate),
 	}
+	// With a codec selected, every flow event is encoded and decoded through
+	// that framing before it reaches the coordinator — the bytes a live agent
+	// fleet would have put on the wire. One codec pair reused across the
+	// script keeps interning and buffer reuse on the tested path too.
+	roundTrip := func(ev wire.FlowEvent) (wire.FlowEvent, error) { return ev, nil }
+	if c.wire != "" {
+		var pipe bytes.Buffer
+		codec := wire.NewCodec(&pipe)
+		if c.wire == "binary" {
+			codec.EnableBinary()
+		}
+		roundTrip = func(ev wire.FlowEvent) (wire.FlowEvent, error) {
+			if err := codec.Send(wire.Message{Type: wire.TypeFlowEvent, FlowEvent: &ev}); err != nil {
+				return ev, fmt.Errorf("%s codec encode: %w", c.wire, err)
+			}
+			m, err := codec.Recv()
+			if err != nil {
+				return ev, fmt.Errorf("%s codec decode: %w", c.wire, err)
+			}
+			if m.Type != wire.TypeFlowEvent || m.FlowEvent == nil {
+				return ev, fmt.Errorf("%s codec round trip changed message type to %q", c.wire, m.Type)
+			}
+			return *m.FlowEvent, nil
+		}
+	}
 	crashSet := make(map[int]bool, len(crashes))
 	for _, i := range crashes {
 		crashSet[i] = true
@@ -299,12 +333,16 @@ func replayRunExt(c *compiled, res *sim.Result, dir string, crashes []int, hooks
 			if rates, err = co.Tick(); err != nil {
 				return nil, err
 			}
-		case 1:
-			if rates, err = co.FlowEvent(wire.FlowEvent{GroupID: ev.gid, FlowID: ev.fid, Event: wire.EventReleased}); err != nil {
+		case 1, 2:
+			event := wire.EventReleased
+			if ev.kind == 2 {
+				event = wire.EventFinished
+			}
+			fe, err := roundTrip(wire.FlowEvent{GroupID: ev.gid, FlowID: ev.fid, Event: event})
+			if err != nil {
 				return nil, err
 			}
-		case 2:
-			if rates, err = co.FlowEvent(wire.FlowEvent{GroupID: ev.gid, FlowID: ev.fid, Event: wire.EventFinished}); err != nil {
+			if rates, err = co.FlowEvent(fe); err != nil {
 				return nil, err
 			}
 		}

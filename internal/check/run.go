@@ -20,6 +20,12 @@ type Config struct {
 	// are skipped under an override: they are statements about the
 	// canonical scheduler's implementations agreeing with each other.
 	Scheduler func() sched.Scheduler
+	// WireCodec, when set to "json" or "binary", makes the live-coordinator
+	// oracles (live, journal, degrade) encode and decode every replayed flow
+	// event through that wire framing before applying it, so the oracles also
+	// prove the codec under test is observationally transparent. "" (or
+	// "direct") applies event structs without a codec round trip.
+	WireCodec string
 }
 
 // Outcome is the result of checking one scenario.
@@ -97,6 +103,15 @@ func Run(sc *Scenario, cfg Config) *Outcome {
 	c, err := sc.compile()
 	if err != nil {
 		out.Violations = append(out.Violations, vf(OracleRun, "compile: %v", err))
+		return out
+	}
+	switch cfg.WireCodec {
+	case "", "direct", "json", "binary":
+		if cfg.WireCodec != "direct" {
+			c.wire = cfg.WireCodec
+		}
+	default:
+		out.Violations = append(out.Violations, vf(OracleRun, "unknown wire codec %q (direct, json or binary)", cfg.WireCodec))
 		return out
 	}
 	for _, n := range c.graph.Nodes() {

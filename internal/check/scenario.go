@@ -217,6 +217,10 @@ type compiled struct {
 	weights map[string]float64
 	caps    []sim.CapacityChange
 	dils    []sim.DilationChange
+	// wire selects the codec the live-coordinator oracles round-trip every
+	// replayed flow event through ("" = apply structs directly). Set from
+	// Config.WireCodec by Run.
+	wire string
 }
 
 // buildJob compiles one JobSpec through its ddlt paradigm.

@@ -54,6 +54,15 @@ type Options struct {
 	// journal into a snapshot after this many appended events. Zero keeps
 	// the write-ahead log growing until the next restart.
 	SnapshotEvery int
+	// GroupCommit, when positive, batches journal fsyncs (group-commit):
+	// appends buffer in the page cache and are synced when the batch reaches
+	// GroupCommitBytes (journal.DefaultGroupCommitBytes if zero) or this
+	// window elapses, so durability stops serializing admission at high
+	// event rates. A crash may lose up to one window of the newest records —
+	// recovery still yields an exact prefix of the acknowledged state. Zero
+	// keeps the per-append fsync.
+	GroupCommit      time.Duration
+	GroupCommitBytes int
 	// Coalesce, when positive, batches flow lifecycle events: a FlowEvent
 	// is applied and journaled immediately but the reschedule is deferred
 	// until this window elapses (or a non-coalescible event — capacity
@@ -213,6 +222,10 @@ type Coordinator struct {
 	journal       *journal.Journal
 	journalEvents int
 	replaying     bool
+	// journalBrokenSeen marks that the broken-journal transition was
+	// announced (log line, gauge, lifecycle event) — the latch itself lives
+	// in the journal and can be set by its group-commit background flush.
+	journalBrokenSeen bool
 
 	// limiters admission-controls redials per agent name (opts.RedialRate);
 	// submitLimiters throttles job submissions per tenant (opts.SubmitRate).
@@ -1310,6 +1323,12 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 	}
 	s.agent = hello.Hello.Agent
 	s.version = hello.Hello.Version
+	if s.version >= 4 {
+		// The peer decodes both framings; from here every push to it uses
+		// the zero-alloc binary framing. Receive needs no switch (frames
+		// self-describe), so v3 JSON agents coexist on the same listener.
+		s.codec.EnableBinary()
+	}
 	if !c.admitRedial(s.agent) {
 		c.opts.Logf("coordinator: agent %s redialing too fast, rejected", s.agent)
 		c.tel.redialRejected.Inc()
@@ -1413,6 +1432,18 @@ func (c *Coordinator) handleMessage(s *session, msg wire.Message) error {
 	case wire.TypeFlowEvent:
 		_, err := c.flowEvent(*msg.FlowEvent, s.soft.Load())
 		return err
+	case wire.TypeFlowBatch:
+		// Apply in order, exactly as if each event arrived as its own
+		// message: a bad event is reported per event and does not abort the
+		// rest of the batch. The allocation ack conflates in the writer
+		// (pendingAlloc), so the whole batch costs one outbound push.
+		for i := range msg.FlowBatch.Events {
+			if _, err := c.flowEvent(msg.FlowBatch.Events[i], s.soft.Load()); err != nil {
+				c.opts.Logf("coordinator: agent %s: %v", s.agent, err)
+				_ = s.send(wire.Message{Type: wire.TypeError, Error: &wire.Error{Msg: err.Error()}})
+			}
+		}
+		return nil
 	case wire.TypeSubmitJob:
 		if hw := c.opts.ShedHighWater; hw > 0 && c.inboundDepth.Load() > int64(hw) {
 			// Overload: refuse new work with the coded throttled error so

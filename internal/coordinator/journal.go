@@ -127,8 +127,12 @@ func (c *Coordinator) appendJournalLocked(ev journalEvent) {
 	if c.journal == nil || c.replaying {
 		return
 	}
-	if c.journal.Broken() != nil {
-		return // already latched and announced
+	if err := c.journal.Broken(); err != nil {
+		// Latched earlier — by a failed append here, or by the group-commit
+		// window timer flushing in the background. Either way announce the
+		// transition exactly once, then stay quiet.
+		c.noteJournalBrokenLocked(err, ev.At)
+		return
 	}
 	body, err := json.Marshal(ev)
 	if err != nil {
@@ -143,10 +147,7 @@ func (c *Coordinator) appendJournalLocked(ev journalEvent) {
 		time.Sleep(time.Duration(d))
 	}
 	if err := c.journal.Append(body); err != nil {
-		c.opts.Logf("coordinator: journal append %s failed, journaling disabled: %v", ev.Kind, err)
-		c.tel.journalBroken.Set(1)
-		c.event(telemetry.Event{Kind: telemetry.EventJournalBroken, At: float64(ev.At),
-			Detail: err.Error()})
+		c.noteJournalBrokenLocked(err, ev.At)
 		return
 	}
 	elapsed := time.Since(t0)
@@ -166,6 +167,21 @@ func (c *Coordinator) appendJournalLocked(ev journalEvent) {
 		c.pending == nil && !c.flushing {
 		c.snapshotLocked()
 	}
+}
+
+// noteJournalBrokenLocked announces a broken journal exactly once — the
+// coordinator keeps serving without durability. The latch can be set on the
+// append path or by the group-commit background flush, so announcement is
+// tracked here rather than inferred from the journal's own state.
+func (c *Coordinator) noteJournalBrokenLocked(err error, at unit.Time) {
+	if c.journalBrokenSeen {
+		return
+	}
+	c.journalBrokenSeen = true
+	c.opts.Logf("coordinator: journal append failed, journaling disabled: %v", err)
+	c.tel.journalBroken.Set(1)
+	c.event(telemetry.Event{Kind: telemetry.EventJournalBroken, At: float64(at),
+		Detail: err.Error()})
 }
 
 // snapshotLocked compacts current state into the journal's snapshot file.
@@ -537,6 +553,12 @@ func Restore(opts Options, dir string) (*Coordinator, error) {
 	j, err := journal.Open(dir)
 	if err != nil {
 		return nil, fmt.Errorf("coordinator: restore: %w", err)
+	}
+	if opts.GroupCommit > 0 {
+		if err := j.SetGroupCommit(opts.GroupCommit, opts.GroupCommitBytes); err != nil {
+			j.Close()
+			return nil, fmt.Errorf("coordinator: restore: %w", err)
+		}
 	}
 	c.journal = j
 	if rec.Snapshot == nil && len(rec.Tail) == 0 {

@@ -1,0 +1,232 @@
+package coordinator
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"echelonflow/internal/core"
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/sched"
+	"echelonflow/internal/unit"
+	"echelonflow/internal/wire"
+)
+
+// sniffConn records the first byte the coordinator sends back, so the test
+// can pin which framing each session's replies actually use on the wire.
+type sniffConn struct {
+	net.Conn
+	mu    sync.Mutex
+	first byte
+	seen  bool
+}
+
+func (s *sniffConn) Read(p []byte) (int, error) {
+	n, err := s.Conn.Read(p)
+	if n > 0 {
+		s.mu.Lock()
+		if !s.seen {
+			s.first, s.seen = p[0], true
+		}
+		s.mu.Unlock()
+	}
+	return n, err
+}
+
+func (s *sniffConn) firstByte() (byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.first, s.seen
+}
+
+// mixedClient is one scripted protocol session for the mixed-version soak.
+type mixedClient struct {
+	t     *testing.T
+	conn  *sniffConn
+	codec *wire.Codec
+	gid   string
+}
+
+func dialMixed(t *testing.T, addr, name, gid string, version int) *mixedClient {
+	t.Helper()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := &sniffConn{Conn: raw}
+	c := wire.NewCodec(conn)
+	if err := c.Send(wire.Message{Type: wire.TypeHello,
+		Hello: &wire.Hello{Agent: name, Version: version}}); err != nil {
+		t.Fatal(err)
+	}
+	if version >= 4 {
+		c.EnableBinary()
+	}
+	return &mixedClient{t: t, conn: conn, codec: c, gid: gid}
+}
+
+// barrier sends a bare heartbeat and reads (discarding allocation pushes)
+// until its echo comes back. The coordinator processes a session's inbound
+// messages in order, so the echo proves every earlier message in this
+// session — register, flow events — has been fully applied. That is what
+// lets the test step the shared injected clock between events.
+func (m *mixedClient) barrier() error {
+	if err := m.codec.Send(wire.Message{Type: wire.TypeHeartbeat}); err != nil {
+		return fmt.Errorf("barrier send: %w", err)
+	}
+	m.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for {
+		msg, err := m.codec.Recv()
+		if err != nil {
+			return fmt.Errorf("barrier recv: %w", err)
+		}
+		switch msg.Type {
+		case wire.TypeHeartbeat:
+			return nil
+		case wire.TypeAllocation:
+			// Rate pushes interleave freely with the echo; drop them.
+		case wire.TypeError:
+			return fmt.Errorf("coordinator error: %s", msg.Error.Msg)
+		}
+	}
+}
+
+func (m *mixedClient) flowEvent(flowID, event string) error {
+	return m.codec.Send(wire.Message{Type: wire.TypeFlowEvent,
+		FlowEvent: &wire.FlowEvent{GroupID: m.gid, FlowID: flowID, Event: event}})
+}
+
+// TestMixedVersionTardinessAgreement is the mixed-version soak: one legacy
+// v3 agent speaking JSON framing and one v4 agent speaking binary framing
+// drive structurally identical coflows over disjoint hosts of the same
+// fabric, event for event under a shared stepped clock. The coordinator
+// must account both sessions identically — references and tardiness
+// bit-equal — because the wire framing is pure transport. Run under -race
+// this also soaks the codec paths against concurrent sessions.
+func TestMixedVersionTardinessAgreement(t *testing.T) {
+	const rounds = 12
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	netModel := fabric.NewNetwork()
+	netModel.AddUniformHosts(10, "j1", "j2", "b1", "b2")
+	coord, err := New(Options{Net: netModel,
+		Scheduler: sched.EchelonMADD{Backfill: true}, Clock: clk.now, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var srvWG sync.WaitGroup
+	srvWG.Add(1)
+	go func() { defer srvWG.Done(); _ = coord.Serve(ctx, ln) }()
+	defer srvWG.Wait()
+	defer cancel()
+
+	mkGroup := func(gid, src, dst string) *core.EchelonFlow {
+		flows := make([]*core.Flow, rounds)
+		for i := range flows {
+			flows[i] = &core.Flow{ID: fmt.Sprintf("%s/f%d", gid, i), Src: src, Dst: dst, Size: 1}
+		}
+		g, err := core.NewCoflow(gid, flows...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	jsonAgent := dialMixed(t, ln.Addr().String(), "legacy", "mix/json", wire.JSONProtocolVersion)
+	defer jsonAgent.conn.Close()
+	binAgent := dialMixed(t, ln.Addr().String(), "modern", "mix/bin", wire.ProtocolVersion)
+	defer binAgent.conn.Close()
+	if jsonAgent.codec.BinarySends() {
+		t.Fatal("v3 client must keep JSON sends")
+	}
+	if !binAgent.codec.BinarySends() {
+		t.Fatal("v4 client must switch to binary sends")
+	}
+
+	clients := []*mixedClient{jsonAgent, binAgent}
+	for _, m := range clients {
+		src, dst := "j1", "j2"
+		if m == binAgent {
+			src, dst = "b1", "b2"
+		}
+		reg, err := wire.RegisterOf(mkGroup(m.gid, src, dst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.codec.Send(wire.Message{Type: wire.TypeRegister, Register: &reg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// both runs fn concurrently on the two sessions and waits: the inbound
+	// paths for JSON and binary framing race each other inside the
+	// coordinator while the clock stands still.
+	both := func(fn func(m *mixedClient) error) {
+		t.Helper()
+		errs := make(chan error, len(clients))
+		for _, m := range clients {
+			go func(m *mixedClient) { errs <- fn(m) }(m)
+		}
+		for range clients {
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	both((*mixedClient).barrier) // registrations applied
+
+	for i := 0; i < rounds; i++ {
+		fid := func(m *mixedClient) string { return fmt.Sprintf("%s/f%d", m.gid, i) }
+		both(func(m *mixedClient) error {
+			if err := m.flowEvent(fid(m), wire.EventReleased); err != nil {
+				return err
+			}
+			return m.barrier()
+		})
+		// Finish far beyond the fluid-model expectation (1 byte over a
+		// 10 B/s port finishes in well under a second) so every round
+		// accrues real tardiness to compare.
+		clk.advance(time.Second)
+		both(func(m *mixedClient) error {
+			if err := m.flowEvent(fid(m), wire.EventFinished); err != nil {
+				return err
+			}
+			return m.barrier()
+		})
+	}
+
+	refJ, tardJ, err := coord.GroupStatus("mix/json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB, tardB, err := coord.GroupStatus("mix/bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refJ != refB {
+		t.Errorf("references diverge across framings: json %v vs binary %v", refJ, refB)
+	}
+	if tardJ != tardB {
+		t.Errorf("tardiness diverges across framings: json %v vs binary %v", tardJ, tardB)
+	}
+	if tardJ <= unit.Time(0) {
+		t.Errorf("soak never accrued tardiness (got %v); agreement is vacuous", tardJ)
+	}
+
+	// The transport pin: the coordinator's replies to the v4 session start
+	// with the binary magic, the v3 session's with a legacy JSON length
+	// prefix (<= 0x01 under the 16 MiB frame cap).
+	if b, ok := binAgent.conn.firstByte(); !ok || b != 0xEC {
+		t.Errorf("v4 session first reply byte = %#x (seen=%v), want 0xEC", b, ok)
+	}
+	if b, ok := jsonAgent.conn.firstByte(); !ok || b > 0x01 {
+		t.Errorf("v3 session first reply byte = %#x (seen=%v), want JSON length prefix", b, ok)
+	}
+}

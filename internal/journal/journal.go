@@ -5,7 +5,8 @@
 //
 // A journal directory holds two files:
 //
-//	wal       append-only records, fsynced per append
+//	wal       append-only records, fsynced per append (or per batch, with
+//	          group-commit — see SetGroupCommit)
 //	snapshot  the newest compaction, written atomically (tmp + rename)
 //
 // Every record (in either file) is framed as
@@ -30,6 +31,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 )
 
 const (
@@ -56,15 +59,31 @@ type WriteSyncer interface {
 	Sync() error
 }
 
-// Journal is an open journal directory. Append and Snapshot are not safe
-// for concurrent use; the Coordinator serializes them under its state lock
-// so the log order equals the state-mutation order.
+// DefaultGroupCommitBytes is the batch-size flush threshold SetGroupCommit
+// applies when given a non-positive maxBytes.
+const DefaultGroupCommitBytes = 256 << 10
+
+// Journal is an open journal directory. The Coordinator serializes Append
+// and Snapshot under its state lock so the log order equals the
+// state-mutation order; an internal mutex additionally makes every method
+// safe against the group-commit window timer, which flushes from its own
+// goroutine.
 type Journal struct {
+	mu     sync.Mutex
 	dir    string
 	wal    *os.File
 	out    WriteSyncer // wal, unless a test injected a wrapper
 	seq    uint64      // sequence of the last record written (snapshot or wal)
 	broken error       // first storage failure; latched, see ErrBroken
+
+	// Group-commit state (see SetGroupCommit). While gcWindow > 0, appends
+	// buffer in the OS page cache and a batch is fsynced when pendingBytes
+	// reaches gcBytes or the window timer fires, whichever is first.
+	gcWindow     time.Duration
+	gcBytes      int
+	pendingN     int // appended records not yet covered by an fsync
+	pendingBytes int
+	timer        *time.Timer // armed while a window flush is scheduled
 }
 
 // Open creates the directory if needed, scans any existing state to find
@@ -117,7 +136,11 @@ func Open(dir string) (*Journal, error) {
 
 // Broken returns the first storage failure that latched the journal broken,
 // or nil while it is healthy.
-func (j *Journal) Broken() error { return j.broken }
+func (j *Journal) Broken() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.broken
+}
 
 // fail latches the journal broken and returns the failure.
 func (j *Journal) fail(err error) error {
@@ -131,13 +154,93 @@ func (j *Journal) fail(err error) error {
 func (j *Journal) Dir() string { return j.dir }
 
 // Seq returns the sequence number of the last record written.
-func (j *Journal) Seq() uint64 { return j.seq }
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
 
-// Append writes one record to the wal and syncs it to stable storage. Any
-// write or fsync failure latches the journal broken: the record may be torn
-// on disk, so further appends are refused with ErrBroken rather than
-// silently diverging from the in-memory state.
+// SetGroupCommit switches the journal from per-append fsync to batched
+// fsync: appends buffer in the OS page cache, and the batch is synced when
+// its size reaches maxBytes (DefaultGroupCommitBytes if non-positive) or
+// window elapses after the batch's first append, whichever is first. A
+// non-positive window restores per-append fsync.
+//
+// The durability contract weakens in exactly one way: a crash may lose the
+// unsynced tail — the most recent appends, up to one window or one batch.
+// What recovery reads is still bit-for-bit exact: records are written to the
+// wal in order, so a lost tail is a clean truncation (possibly plus one torn
+// record at the cut, dropped like any other tear), never a gap or a
+// reordering. Restore after a mid-batch crash yields a prefix of the
+// acknowledged state, the same guarantee a crash between two per-append
+// fsyncs always had.
+func (j *Journal) SetGroupCommit(window time.Duration, maxBytes int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if window <= 0 {
+		err := j.flushLocked()
+		j.gcWindow, j.gcBytes = 0, 0
+		return err
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultGroupCommitBytes
+	}
+	j.gcWindow, j.gcBytes = window, maxBytes
+	return nil
+}
+
+// Flush fsyncs any appends still pending under group-commit; it is the
+// durability barrier callers take before acknowledging externally visible
+// effects. A no-op when nothing is pending.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wal == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if j.broken != nil {
+		return fmt.Errorf("%w: %v", ErrBroken, j.broken)
+	}
+	return j.flushLocked()
+}
+
+// flushLocked fsyncs the pending batch. Caller holds j.mu.
+func (j *Journal) flushLocked() error {
+	if j.timer != nil {
+		j.timer.Stop()
+		j.timer = nil
+	}
+	if j.pendingN == 0 {
+		return nil
+	}
+	j.pendingN, j.pendingBytes = 0, 0
+	if err := j.out.Sync(); err != nil {
+		return j.fail(fmt.Errorf("journal: sync: %w", err))
+	}
+	return nil
+}
+
+// windowExpired is the group-commit timer callback: it flushes whatever
+// batch accumulated during the window. A failure latches the journal broken,
+// surfaced to the writer on its next Append.
+func (j *Journal) windowExpired() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.timer = nil
+	if j.wal == nil || j.broken != nil {
+		return
+	}
+	j.flushLocked()
+}
+
+// Append writes one record to the wal and makes it durable: immediately
+// under the default per-append fsync, or within one group-commit window/
+// batch after SetGroupCommit. Any write or fsync failure latches the journal
+// broken: the record may be torn on disk, so further appends are refused
+// with ErrBroken rather than silently diverging from the in-memory state.
 func (j *Journal) Append(payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.wal == nil {
 		return fmt.Errorf("journal: closed")
 	}
@@ -150,10 +253,22 @@ func (j *Journal) Append(payload []byte) error {
 	if err := writeRecord(j.out, j.seq+1, payload); err != nil {
 		return j.fail(fmt.Errorf("journal: append: %w", err))
 	}
-	if err := j.out.Sync(); err != nil {
-		return j.fail(fmt.Errorf("journal: sync: %w", err))
+	if j.gcWindow <= 0 {
+		if err := j.out.Sync(); err != nil {
+			return j.fail(fmt.Errorf("journal: sync: %w", err))
+		}
+		j.seq++
+		return nil
 	}
 	j.seq++
+	j.pendingN++
+	j.pendingBytes += headerSize + len(payload)
+	if j.pendingBytes >= j.gcBytes {
+		return j.flushLocked()
+	}
+	if j.timer == nil {
+		j.timer = time.AfterFunc(j.gcWindow, j.windowExpired)
+	}
 	return nil
 }
 
@@ -163,6 +278,8 @@ func (j *Journal) Append(payload []byte) error {
 // truncation only leaves stale wal records, which recovery skips by
 // sequence.
 func (j *Journal) Snapshot(payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.wal == nil {
 		return fmt.Errorf("journal: closed")
 	}
@@ -171,6 +288,11 @@ func (j *Journal) Snapshot(payload []byte) error {
 	}
 	if len(payload) > MaxRecord {
 		return fmt.Errorf("journal: snapshot of %d bytes exceeds limit", len(payload))
+	}
+	// Any group-commit batch still pending covers records the snapshot
+	// subsumes; flush it so a failed snapshot leaves a fully durable wal.
+	if err := j.flushLocked(); err != nil {
+		return err
 	}
 	tmp := filepath.Join(j.dir, snapName+".tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -209,13 +331,26 @@ func (j *Journal) Snapshot(payload []byte) error {
 	return nil
 }
 
-// Close releases the wal file handle.
+// Close flushes any pending group-commit batch and releases the wal file
+// handle.
 func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.wal == nil {
 		return nil
 	}
+	var ferr error
+	if j.broken == nil {
+		ferr = j.flushLocked()
+	} else if j.timer != nil {
+		j.timer.Stop()
+		j.timer = nil
+	}
 	err := j.wal.Close()
 	j.wal = nil
+	if ferr != nil {
+		return ferr
+	}
 	return err
 }
 

@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"echelonflow/internal/unit"
+)
+
+// benchMessages are the hot-path shapes the BENCH_wire.json suite tracks:
+// single flow events, a 32-event batch, a 16-flow allocation push, and the
+// heartbeat keepalive.
+func benchMessage(name string) Message {
+	switch name {
+	case "FlowEvent":
+		return Message{Type: TypeFlowEvent,
+			FlowEvent: &FlowEvent{GroupID: "job/dp/0", FlowID: "flow-17", Event: EventReleased}}
+	case "FlowBatch32":
+		evs := make([]FlowEvent, 32)
+		for i := range evs {
+			ev := EventReleased
+			if i%2 == 1 {
+				ev = EventFinished
+			}
+			evs[i] = FlowEvent{GroupID: "job/dp/0", FlowID: fmt.Sprintf("flow-%d", i/2), Event: ev}
+		}
+		return Message{Type: TypeFlowBatch, FlowBatch: &FlowBatch{Events: evs}}
+	case "Allocation16":
+		rates := make(map[string]unit.Rate, 16)
+		for i := 0; i < 16; i++ {
+			rates[fmt.Sprintf("flow-%d", i)] = unit.Rate(i) * 12.5
+		}
+		return Message{Type: TypeAllocation, Allocation: &Allocation{Rates: rates}}
+	case "Heartbeat":
+		return Message{Type: TypeHeartbeat, Heartbeat: &Heartbeat{Nonce: 42}}
+	}
+	panic("unknown bench message " + name)
+}
+
+// benchCodec measures a full Send+Recv round trip per iteration over an
+// in-memory stream, the codec cost a control-plane message pays end to end.
+func benchCodec(b *testing.B, name string, bin bool) {
+	m := benchMessage(name)
+	var buf bytes.Buffer
+	c := NewCodec(rw{&buf})
+	if bin {
+		c.EnableBinary()
+	}
+	// Warm the reusable buffers and the intern table.
+	for i := 0; i < 4; i++ {
+		if err := c.Send(m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWire_FlowEvent_JSON(b *testing.B)      { benchCodec(b, "FlowEvent", false) }
+func BenchmarkWire_FlowEvent_Binary(b *testing.B)    { benchCodec(b, "FlowEvent", true) }
+func BenchmarkWire_FlowBatch32_JSON(b *testing.B)    { benchCodec(b, "FlowBatch32", false) }
+func BenchmarkWire_FlowBatch32_Binary(b *testing.B)  { benchCodec(b, "FlowBatch32", true) }
+func BenchmarkWire_Allocation16_JSON(b *testing.B)   { benchCodec(b, "Allocation16", false) }
+func BenchmarkWire_Allocation16_Binary(b *testing.B) { benchCodec(b, "Allocation16", true) }
+func BenchmarkWire_Heartbeat_JSON(b *testing.B)      { benchCodec(b, "Heartbeat", false) }
+func BenchmarkWire_Heartbeat_Binary(b *testing.B)    { benchCodec(b, "Heartbeat", true) }
+
+// TestBinaryEncodeZeroAlloc pins the fast-path claim directly: framing a hot
+// message under the binary codec allocates nothing once the send buffer has
+// grown.
+func TestBinaryEncodeZeroAlloc(t *testing.T) {
+	for _, name := range []string{"FlowEvent", "Heartbeat"} {
+		m := benchMessage(name)
+		c := NewCodec(struct {
+			*bytes.Reader
+			discard
+		}{bytes.NewReader(nil), discard{}})
+		c.EnableBinary()
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(64, func() {
+			if err := c.Send(m); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: binary encode costs %.1f allocs/msg, want 0", name, allocs)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,531 @@
+// Binary framing for protocol version 4.
+//
+// A binary frame is a fixed 8-byte header followed by the body:
+//
+//	[0] 0xEC       magic; never a legal first byte of a JSON length prefix
+//	[1] kind       message kind (kind* constants, mirrors Message.Type)
+//	[2:4] flags    big-endian; bit 0 = heartbeat payload present
+//	[4:8] length   big-endian body length, <= MaxFrame
+//
+// Hot message types (flow events, batches, allocations, heartbeats, job
+// updates, errors) use hand-rolled field encodings: uvarint-length-prefixed
+// strings, big-endian float64 for scalar quantities, uvarint counters. The
+// two cold, structurally open-ended types (register, submit_job) embed their
+// JSON encoding as the frame body — they happen once per job, and reusing
+// encoding/json there keeps the two codecs trivially equivalent on the
+// hardest structures (core.Spec trees).
+//
+// Observational identity with the JSON codec is part of the contract (the
+// cross-codec fuzz target enforces it): the binary encoders reject the same
+// values json.Marshal rejects (NaN and infinite floats) and reproduce JSON's
+// round-trip canonicalizations (a heartbeat's pointer presence, a nil versus
+// empty allocation map, an empty host list decoding as nil).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"echelonflow/internal/unit"
+)
+
+// Frame constants.
+const (
+	binaryMagic      = 0xEC
+	binaryHeaderSize = 8
+
+	// flagHeartbeatPayload marks a heartbeat frame that carries a Heartbeat
+	// payload (possibly with nonce 0); without it the heartbeat is a bare
+	// keepalive, mirroring a nil *Heartbeat in the JSON envelope.
+	flagHeartbeatPayload uint16 = 1 << 0
+)
+
+// Message kinds, one per Message.Type.
+const (
+	kindHello      = 1
+	kindRegister   = 2
+	kindUnregister = 3
+	kindFlowEvent  = 4
+	kindAllocation = 5
+	kindHeartbeat  = 6
+	kindError      = 7
+	kindSubmitJob  = 8
+	kindJobUpdate  = 9
+	kindFlowBatch  = 10
+)
+
+// Compact flow-event codes (wire only; the structs keep their strings).
+const (
+	evReleased = 1
+	evFinished = 2
+	evResumed  = 3
+)
+
+// Compact job-status codes.
+const (
+	jsQueued   = 1
+	jsAdmitted = 2
+	jsRejected = 3
+	jsDeparted = 4
+)
+
+// maxInternedNames bounds the per-codec intern table; beyond it, decoded
+// strings are returned without being remembered (correct, just slower for a
+// pathological peer cycling through unbounded distinct IDs).
+const maxInternedNames = 4096
+
+// appendBinaryFrame appends one framed message to b, which the caller hands
+// to the stream as a single write. The message is assumed Validate()-clean.
+func appendBinaryFrame(b []byte, m *Message) ([]byte, error) {
+	var kind byte
+	var flags uint16
+	switch m.Type {
+	case TypeHello:
+		kind = kindHello
+	case TypeRegister:
+		kind = kindRegister
+	case TypeUnregister:
+		kind = kindUnregister
+	case TypeFlowEvent:
+		kind = kindFlowEvent
+	case TypeAllocation:
+		kind = kindAllocation
+	case TypeHeartbeat:
+		kind = kindHeartbeat
+		if m.Heartbeat != nil {
+			flags |= flagHeartbeatPayload
+		}
+	case TypeError:
+		kind = kindError
+	case TypeSubmitJob:
+		kind = kindSubmitJob
+	case TypeJobUpdate:
+		kind = kindJobUpdate
+	case TypeFlowBatch:
+		kind = kindFlowBatch
+	default:
+		return nil, fmt.Errorf("wire: no binary encoding for type %q", m.Type)
+	}
+	start := len(b)
+	b = append(b, binaryMagic, kind, byte(flags>>8), byte(flags), 0, 0, 0, 0)
+	body, err := appendBinaryBody(b, m)
+	if err != nil {
+		return nil, err
+	}
+	b = body
+	n := len(b) - start - binaryHeaderSize
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	binary.BigEndian.PutUint32(b[start+4:start+8], uint32(n))
+	return b, nil
+}
+
+// appendBinaryBody appends the body for m's type.
+func appendBinaryBody(b []byte, m *Message) ([]byte, error) {
+	switch m.Type {
+	case TypeHello:
+		b = appendString(b, m.Hello.Agent)
+		return binary.AppendVarint(b, int64(m.Hello.Version)), nil
+	case TypeRegister:
+		return appendJSONBody(b, Message{Type: m.Type, Register: m.Register})
+	case TypeUnregister:
+		return appendString(b, m.Unregister.GroupID), nil
+	case TypeFlowEvent:
+		return appendFlowEvent(b, m.FlowEvent)
+	case TypeAllocation:
+		return appendAllocation(b, m.Allocation)
+	case TypeHeartbeat:
+		if m.Heartbeat == nil {
+			return b, nil
+		}
+		return binary.AppendUvarint(b, m.Heartbeat.Nonce), nil
+	case TypeError:
+		b = appendString(b, m.Error.Msg)
+		return appendString(b, m.Error.Code), nil
+	case TypeSubmitJob:
+		return appendJSONBody(b, Message{Type: m.Type, SubmitJob: m.SubmitJob})
+	case TypeJobUpdate:
+		return appendJobUpdate(b, m.JobUpdate)
+	case TypeFlowBatch:
+		b = binary.AppendUvarint(b, uint64(len(m.FlowBatch.Events)))
+		var err error
+		for i := range m.FlowBatch.Events {
+			if b, err = appendFlowEvent(b, &m.FlowBatch.Events[i]); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("wire: no binary encoding for type %q", m.Type)
+}
+
+func appendFlowEvent(b []byte, e *FlowEvent) ([]byte, error) {
+	var code byte
+	switch e.Event {
+	case EventReleased:
+		code = evReleased
+	case EventFinished:
+		code = evFinished
+	case EventResumed:
+		code = evResumed
+	default:
+		return nil, fmt.Errorf("wire: unknown flow event %q", e.Event)
+	}
+	if err := checkFinite(float64(e.Offset)); err != nil {
+		return nil, err
+	}
+	b = appendString(b, e.GroupID)
+	b = appendString(b, e.FlowID)
+	b = append(b, code)
+	return appendFloat(b, float64(e.Offset)), nil
+}
+
+func appendAllocation(b []byte, a *Allocation) ([]byte, error) {
+	// A nil map and an empty map are distinct on the wire, exactly as they
+	// are in JSON ("rates":null versus "rates":{}).
+	if a.Rates == nil {
+		return append(b, 0), nil
+	}
+	b = append(b, 1)
+	b = binary.AppendUvarint(b, uint64(len(a.Rates)))
+	for id, r := range a.Rates {
+		if err := checkFinite(float64(r)); err != nil {
+			return nil, err
+		}
+		b = appendString(b, id)
+		b = appendFloat(b, float64(r))
+	}
+	return b, nil
+}
+
+func appendJobUpdate(b []byte, u *JobUpdate) ([]byte, error) {
+	var code byte
+	switch u.Status {
+	case JobQueued:
+		code = jsQueued
+	case JobAdmitted:
+		code = jsAdmitted
+	case JobRejected:
+		code = jsRejected
+	case JobDeparted:
+		code = jsDeparted
+	default:
+		return nil, fmt.Errorf("wire: unknown job status %q", u.Status)
+	}
+	b = appendString(b, u.JobID)
+	b = append(b, code)
+	b = binary.AppendUvarint(b, uint64(len(u.Hosts)))
+	for _, h := range u.Hosts {
+		b = appendString(b, h)
+	}
+	return appendString(b, u.Reason), nil
+}
+
+// appendJSONBody embeds the envelope's JSON encoding as the frame body, for
+// the cold structurally-open message types. By-value on purpose: the callers
+// rebuild a minimal envelope so the marshal's boxing escapes this copy, not
+// the hot path's.
+func appendJSONBody(b []byte, m Message) ([]byte, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal: %w", err)
+	}
+	return append(b, body...), nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// checkFinite rejects the float values json.Marshal rejects, keeping the
+// codecs' accepted-input sets identical.
+func checkFinite(f float64) error {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return fmt.Errorf("wire: marshal: unsupported value: %v", f)
+	}
+	return nil
+}
+
+// decodeBinary decodes one binary frame body into m. Strings that recur on
+// the hot path (group and flow IDs, host names) are interned on the codec so
+// steady-state decodes stop allocating them.
+func (c *Codec) decodeBinary(kind byte, flags uint16, body []byte, m *Message) error {
+	r := binReader{b: body}
+	switch kind {
+	case kindHello:
+		agent, err := r.str(c)
+		if err == nil {
+			var v int64
+			v, err = r.varint()
+			if err == nil {
+				m.Type = TypeHello
+				m.Hello = &Hello{Agent: agent, Version: int(v)}
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("wire: decode hello: %w", err)
+		}
+	case kindRegister, kindSubmitJob:
+		if err := decodeJSONEnvelope(body, m); err != nil {
+			return err
+		}
+		return nil // envelope carries its own type; no tail check on JSON
+	case kindUnregister:
+		g, err := r.str(c)
+		if err != nil {
+			return fmt.Errorf("wire: decode unregister: %w", err)
+		}
+		m.Type = TypeUnregister
+		m.Unregister = &Unregister{GroupID: g}
+	case kindFlowEvent:
+		ev, err := r.flowEvent(c)
+		if err != nil {
+			return fmt.Errorf("wire: decode flow_event: %w", err)
+		}
+		m.Type = TypeFlowEvent
+		m.FlowEvent = &ev
+	case kindAllocation:
+		a, err := r.allocation(c)
+		if err != nil {
+			return fmt.Errorf("wire: decode allocation: %w", err)
+		}
+		m.Type = TypeAllocation
+		m.Allocation = a
+	case kindHeartbeat:
+		m.Type = TypeHeartbeat
+		if flags&flagHeartbeatPayload != 0 {
+			nonce, err := r.uvarint()
+			if err != nil {
+				return fmt.Errorf("wire: decode heartbeat: %w", err)
+			}
+			m.Heartbeat = &Heartbeat{Nonce: nonce}
+		}
+	case kindError:
+		msg, err := r.str(c)
+		var code string
+		if err == nil {
+			code, err = r.str(c)
+		}
+		if err != nil {
+			return fmt.Errorf("wire: decode error: %w", err)
+		}
+		m.Type = TypeError
+		m.Error = &Error{Msg: msg, Code: code}
+	case kindJobUpdate:
+		u, err := r.jobUpdate(c)
+		if err != nil {
+			return fmt.Errorf("wire: decode job_update: %w", err)
+		}
+		m.Type = TypeJobUpdate
+		m.JobUpdate = u
+	case kindFlowBatch:
+		n, err := r.uvarint()
+		if err != nil {
+			return fmt.Errorf("wire: decode flow_batch: %w", err)
+		}
+		if n > uint64(len(r.b)) {
+			// Each event costs >= 1 byte; a larger count is malformed, and
+			// checking here keeps the allocation bounded by the frame size.
+			return fmt.Errorf("wire: decode flow_batch: count %d exceeds body", n)
+		}
+		evs := make([]FlowEvent, n)
+		for i := range evs {
+			if evs[i], err = r.flowEvent(c); err != nil {
+				return fmt.Errorf("wire: decode flow_batch: %w", err)
+			}
+		}
+		m.Type = TypeFlowBatch
+		m.FlowBatch = &FlowBatch{Events: evs}
+	default:
+		return fmt.Errorf("wire: unknown binary frame kind %d", kind)
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after binary body", len(r.b))
+	}
+	return nil
+}
+
+// intern returns the canonical copy of raw, remembering new names up to
+// maxInternedNames. The map lookup with a string(raw) key does not allocate;
+// only a first-seen name costs its copy.
+func (c *Codec) intern(raw []byte) string {
+	if s, ok := c.names[string(raw)]; ok {
+		return s
+	}
+	s := string(raw)
+	if len(c.names) < maxInternedNames {
+		if c.names == nil {
+			c.names = make(map[string]string, 64)
+		}
+		c.names[s] = s
+	}
+	return s
+}
+
+// binReader is a bounds-checked cursor over a binary frame body.
+type binReader struct {
+	b []byte
+}
+
+var errShortBody = fmt.Errorf("wire: binary body truncated")
+
+func (r *binReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errShortBody
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *binReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		return 0, errShortBody
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *binReader) u8() (byte, error) {
+	if len(r.b) < 1 {
+		return 0, errShortBody
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func (r *binReader) f64() (float64, error) {
+	if len(r.b) < 8 {
+		return 0, errShortBody
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *binReader) str(c *Codec) (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.b)) {
+		return "", errShortBody
+	}
+	s := c.intern(r.b[:n])
+	r.b = r.b[n:]
+	return s, nil
+}
+
+func (r *binReader) flowEvent(c *Codec) (FlowEvent, error) {
+	group, err := r.str(c)
+	if err != nil {
+		return FlowEvent{}, err
+	}
+	flow, err := r.str(c)
+	if err != nil {
+		return FlowEvent{}, err
+	}
+	code, err := r.u8()
+	if err != nil {
+		return FlowEvent{}, err
+	}
+	off, err := r.f64()
+	if err != nil {
+		return FlowEvent{}, err
+	}
+	ev := FlowEvent{GroupID: group, FlowID: flow, Offset: unit.Bytes(off)}
+	switch code {
+	case evReleased:
+		ev.Event = EventReleased
+	case evFinished:
+		ev.Event = EventFinished
+	case evResumed:
+		ev.Event = EventResumed
+	default:
+		return FlowEvent{}, fmt.Errorf("wire: unknown flow event code %d", code)
+	}
+	return ev, nil
+}
+
+func (r *binReader) allocation(c *Codec) (*Allocation, error) {
+	present, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if present == 0 {
+		return &Allocation{}, nil
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)) {
+		return nil, fmt.Errorf("wire: allocation count %d exceeds body", n)
+	}
+	rates := make(map[string]unit.Rate, n)
+	for i := uint64(0); i < n; i++ {
+		id, err := r.str(c)
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.f64()
+		if err != nil {
+			return nil, err
+		}
+		rates[id] = unit.Rate(v)
+	}
+	return &Allocation{Rates: rates}, nil
+}
+
+func (r *binReader) jobUpdate(c *Codec) (*JobUpdate, error) {
+	id, err := r.str(c)
+	if err != nil {
+		return nil, err
+	}
+	code, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	u := &JobUpdate{JobID: id}
+	switch code {
+	case jsQueued:
+		u.Status = JobQueued
+	case jsAdmitted:
+		u.Status = JobAdmitted
+	case jsRejected:
+		u.Status = JobRejected
+	case jsDeparted:
+		u.Status = JobDeparted
+	default:
+		return nil, fmt.Errorf("wire: unknown job status code %d", code)
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)) {
+		return nil, fmt.Errorf("wire: host count %d exceeds body", n)
+	}
+	if n > 0 { // zero hosts decode as nil, matching JSON's omitempty
+		u.Hosts = make([]string, n)
+		for i := range u.Hosts {
+			if u.Hosts[i], err = r.str(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if u.Reason, err = r.str(c); err != nil {
+		return nil, err
+	}
+	return u, nil
+}

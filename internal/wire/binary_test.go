@@ -1,0 +1,388 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"echelonflow/internal/unit"
+)
+
+// sampleMessages covers every message type with representative payloads,
+// including the canonicalization corners (nil vs empty allocation map,
+// heartbeat pointer presence, empty host list).
+func sampleMessages(t *testing.T) []Message {
+	t.Helper()
+	reg, err := RegisterOf(sampleGroup(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := sampleJob()
+	return []Message{
+		{Type: TypeHello, Hello: &Hello{Agent: "a1", Version: ProtocolVersion}},
+		{Type: TypeHello, Hello: &Hello{Agent: "", Version: 0}},
+		{Type: TypeRegister, Register: &reg},
+		{Type: TypeUnregister, Unregister: &Unregister{GroupID: "job/pp"}},
+		{Type: TypeFlowEvent, FlowEvent: &FlowEvent{GroupID: "g", FlowID: "f", Event: EventReleased}},
+		{Type: TypeFlowEvent, FlowEvent: &FlowEvent{GroupID: "g", FlowID: "f", Event: EventFinished}},
+		{Type: TypeFlowEvent, FlowEvent: &FlowEvent{GroupID: "g", FlowID: "f0", Event: EventResumed, Offset: 4096.5}},
+		{Type: TypeFlowBatch, FlowBatch: &FlowBatch{Events: []FlowEvent{
+			{GroupID: "g", FlowID: "f0", Event: EventReleased},
+			{GroupID: "g", FlowID: "f0", Event: EventFinished},
+			{GroupID: "g", FlowID: "f1", Event: EventResumed, Offset: 7},
+		}}},
+		{Type: TypeAllocation, Allocation: &Allocation{}},                          // nil map
+		{Type: TypeAllocation, Allocation: &Allocation{Rates: map[string]unit.Rate{}}}, // empty map
+		{Type: TypeAllocation, Allocation: &Allocation{Rates: map[string]unit.Rate{"f0": 12.5, "f1": 0}}},
+		{Type: TypeHeartbeat},                                    // bare keepalive
+		{Type: TypeHeartbeat, Heartbeat: &Heartbeat{}},           // payload, nonce 0
+		{Type: TypeHeartbeat, Heartbeat: &Heartbeat{Nonce: 991}}, // RTT ping
+		{Type: TypeSubmitJob, SubmitJob: &SubmitJob{Job: job}},
+		{Type: TypeJobUpdate, JobUpdate: &JobUpdate{JobID: job.ID, Status: JobQueued}},
+		{Type: TypeJobUpdate, JobUpdate: &JobUpdate{JobID: job.ID, Status: JobAdmitted, Hosts: []string{"w1", "w2"}}},
+		{Type: TypeJobUpdate, JobUpdate: &JobUpdate{JobID: job.ID, Status: JobRejected, Reason: "no fit"}},
+		{Type: TypeError, Error: &Error{Msg: "boom"}},
+		{Type: TypeError, Error: &Error{Msg: "slow down", Code: ErrCodeThrottled}},
+	}
+}
+
+// roundTrip sends m through a fresh codec (binary framing iff bin) and
+// decodes it back.
+func roundTrip(t *testing.T, m Message, bin bool) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	c := NewCodec(rw{&buf})
+	if bin {
+		c.EnableBinary()
+	}
+	if err := c.Send(m); err != nil {
+		t.Fatalf("send %+v: %v", m, err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatalf("recv %+v: %v", m, err)
+	}
+	return got
+}
+
+// TestCrossCodecEquivalence is the unit-level half of the cross-codec
+// contract: every sample message round-trips through both framings to
+// deeply-equal results, and the two results equal each other.
+func TestCrossCodecEquivalence(t *testing.T) {
+	for i, m := range sampleMessages(t) {
+		viaJSON := roundTrip(t, m, false)
+		viaBin := roundTrip(t, m, true)
+		if !reflect.DeepEqual(viaJSON, viaBin) {
+			t.Errorf("case %d: codecs disagree\njson   %+v\nbinary %+v", i, viaJSON, viaBin)
+		}
+		if !reflect.DeepEqual(m, viaBin) {
+			t.Errorf("case %d: binary round trip lossy\nsent %+v\ngot  %+v", i, m, viaBin)
+		}
+	}
+}
+
+// TestBinaryFrameShape pins the on-wire layout: magic byte, kind, flags,
+// big-endian body length.
+func TestBinaryFrameShape(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(rw{&buf})
+	c.EnableBinary()
+	if err := c.Send(Message{Type: TypeHeartbeat, Heartbeat: &Heartbeat{Nonce: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if len(raw) < binaryHeaderSize {
+		t.Fatalf("frame too short: %d bytes", len(raw))
+	}
+	if raw[0] != binaryMagic {
+		t.Errorf("magic = %#x", raw[0])
+	}
+	if raw[1] != kindHeartbeat {
+		t.Errorf("kind = %d", raw[1])
+	}
+	if flags := binary.BigEndian.Uint16(raw[2:4]); flags&flagHeartbeatPayload == 0 {
+		t.Errorf("flags = %#x, payload bit missing", flags)
+	}
+	if n := binary.BigEndian.Uint32(raw[4:8]); int(n) != len(raw)-binaryHeaderSize {
+		t.Errorf("length = %d, body = %d", n, len(raw)-binaryHeaderSize)
+	}
+}
+
+// TestBinaryNegotiation: a codec sends JSON frames until EnableBinary.
+func TestBinaryNegotiation(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(rw{&buf})
+	if err := c.Send(Message{Type: TypeHeartbeat}); err != nil {
+		t.Fatal(err)
+	}
+	if b := buf.Bytes()[0]; b > 0x01 {
+		t.Errorf("pre-negotiation first byte = %#x, want a JSON length prefix", b)
+	}
+	buf.Reset()
+	c.EnableBinary()
+	if !c.BinarySends() {
+		t.Error("BinarySends() false after EnableBinary")
+	}
+	if err := c.Send(Message{Type: TypeHeartbeat}); err != nil {
+		t.Fatal(err)
+	}
+	if b := buf.Bytes()[0]; b != binaryMagic {
+		t.Errorf("post-negotiation first byte = %#x, want %#x", b, binaryMagic)
+	}
+	// The receive side needs no negotiation: a fresh JSON-only codec decodes
+	// the binary frame.
+	if m, err := NewCodec(rw{&buf}).Recv(); err != nil || m.Type != TypeHeartbeat {
+		t.Errorf("un-negotiated receiver: %+v, %v", m, err)
+	}
+}
+
+// countingWriter counts Write calls.
+type countingWriter struct {
+	bytes.Buffer
+	writes int
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.Buffer.Write(p)
+}
+
+// TestSendSingleWrite: header and body reach the stream in one Write call,
+// under both framings — one syscall per message on a raw conn.
+func TestSendSingleWrite(t *testing.T) {
+	reg, err := RegisterOf(sampleGroup(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []Message{
+		{Type: TypeHeartbeat},
+		{Type: TypeRegister, Register: &reg},
+		{Type: TypeFlowEvent, FlowEvent: &FlowEvent{GroupID: "g", FlowID: "f", Event: EventReleased}},
+	}
+	for _, bin := range []bool{false, true} {
+		w := &countingWriter{}
+		c := NewCodec(struct {
+			io.Reader
+			io.Writer
+		}{new(bytes.Buffer), w})
+		if bin {
+			c.EnableBinary()
+		}
+		for i, m := range msgs {
+			before := w.writes
+			if err := c.Send(m); err != nil {
+				t.Fatalf("binary=%v send %d: %v", bin, i, err)
+			}
+			if got := w.writes - before; got != 1 {
+				t.Errorf("binary=%v message %d took %d writes, want 1", bin, i, got)
+			}
+		}
+	}
+}
+
+// TestRecvTruncationErrors pins the regression: a stream ending mid-frame is
+// io.ErrUnexpectedEOF at both truncation points (mid-header and mid-body),
+// under both framings — never a clean io.EOF, which callers treat as an
+// orderly hangup.
+func TestRecvTruncationErrors(t *testing.T) {
+	for _, bin := range []bool{false, true} {
+		var buf bytes.Buffer
+		c := NewCodec(rw{&buf})
+		if bin {
+			c.EnableBinary()
+		}
+		if err := c.Send(Message{Type: TypeFlowEvent,
+			FlowEvent: &FlowEvent{GroupID: "group", FlowID: "flow", Event: EventFinished}}); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		hdrLen := 4
+		if bin {
+			hdrLen = binaryHeaderSize
+		}
+		cuts := []struct {
+			name string
+			n    int
+		}{
+			{"mid-header", hdrLen / 2},
+			{"header-only", hdrLen},
+			{"mid-body", hdrLen + (len(raw)-hdrLen)/2},
+		}
+		for _, cut := range cuts {
+			c := NewCodec(readOnly{bytes.NewReader(raw[:cut.n])})
+			_, err := c.Recv()
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Errorf("binary=%v %s: err = %v, want io.ErrUnexpectedEOF", bin, cut.name, err)
+			}
+			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Errorf("binary=%v %s: truncation surfaced as clean EOF", bin, cut.name)
+			}
+		}
+		// An empty stream remains a clean EOF.
+		c2 := NewCodec(readOnly{bytes.NewReader(nil)})
+		if _, err := c2.Recv(); err != io.EOF {
+			t.Errorf("binary=%v empty stream: err = %v, want io.EOF", bin, err)
+		}
+	}
+}
+
+// TestBinaryRecvResumesMidFrame: the 8-byte header path survives read
+// deadlines at every byte boundary, like the JSON path.
+func TestBinaryRecvResumesMidFrame(t *testing.T) {
+	var buf bytes.Buffer
+	send := NewCodec(rw{&buf})
+	send.EnableBinary()
+	if err := send.Send(Message{Type: TypeFlowEvent,
+		FlowEvent: &FlowEvent{GroupID: "g", FlowID: "f", Event: EventFinished}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		r := &stutterReader{script: [][]byte{raw[:cut], nil, raw[cut:]}}
+		c := NewCodec(struct {
+			io.Reader
+			io.Writer
+		}{r, io.Discard})
+		timeouts := 0
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				timeouts++
+				if timeouts > 2 {
+					t.Fatalf("cut %d: unexpected error: %v", cut, err)
+				}
+				continue
+			}
+			if m.Type != TypeFlowEvent || m.FlowEvent.FlowID != "f" {
+				t.Fatalf("cut %d: decoded %+v", cut, m)
+			}
+			break
+		}
+		if got := c.Received(); got != uint64(len(raw)) {
+			t.Errorf("cut %d: Received() = %d, want %d", cut, got, len(raw))
+		}
+	}
+}
+
+// binaryFrame builds a raw binary frame for hostile-input tests.
+func binaryFrame(kind byte, flags uint16, body []byte) []byte {
+	b := []byte{binaryMagic, kind, byte(flags >> 8), byte(flags), 0, 0, 0, 0}
+	binary.BigEndian.PutUint32(b[4:8], uint32(len(body)))
+	return append(b, body...)
+}
+
+// TestBinaryHostileFrames: malformed binary bodies fail cleanly.
+func TestBinaryHostileFrames(t *testing.T) {
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"unknown kind", binaryFrame(99, 0, nil)},
+		{"flow event empty body", binaryFrame(kindFlowEvent, 0, nil)},
+		{"flow event bad code", binaryFrame(kindFlowEvent, 0, []byte{0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0})},
+		{"string overruns body", binaryFrame(kindUnregister, 0, []byte{200})},
+		{"trailing bytes", binaryFrame(kindUnregister, 0, []byte{1, 'g', 0xFF})},
+		{"batch count exceeds body", binaryFrame(kindFlowBatch, 0, []byte{0xFF, 0xFF, 0x03})},
+		{"batch count zero", binaryFrame(kindFlowBatch, 0, []byte{0})},
+		{"allocation count exceeds body", binaryFrame(kindAllocation, 0, []byte{1, 0xFF, 0xFF, 0x03})},
+		{"job update bad status", binaryFrame(kindJobUpdate, 0, []byte{1, 'j', 9, 0, 0})},
+		{"heartbeat flagged but empty", binaryFrame(kindHeartbeat, flagHeartbeatPayload, nil)},
+		{"register junk json", binaryFrame(kindRegister, 0, []byte("{nope"))},
+		{"oversize length", func() []byte {
+			f := binaryFrame(kindHeartbeat, 0, nil)
+			binary.BigEndian.PutUint32(f[4:8], MaxFrame+1)
+			return f
+		}()},
+	}
+	for _, tc := range cases {
+		c := NewCodec(readOnly{bytes.NewReader(tc.frame)})
+		if m, err := c.Recv(); err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, m)
+		}
+	}
+}
+
+// TestBinaryRejectsNonFinite: the binary encoders reject exactly the float
+// values json.Marshal rejects, keeping the accepted-input sets identical.
+func TestBinaryRejectsNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		for _, bin := range []bool{false, true} {
+			msgs := []Message{
+				{Type: TypeFlowEvent, FlowEvent: &FlowEvent{GroupID: "g", FlowID: "f", Event: EventResumed, Offset: unit.Bytes(math.Abs(v))}},
+				{Type: TypeAllocation, Allocation: &Allocation{Rates: map[string]unit.Rate{"f": unit.Rate(v)}}},
+			}
+			for i, m := range msgs {
+				var buf bytes.Buffer
+				c := NewCodec(rw{&buf})
+				if bin {
+					c.EnableBinary()
+				}
+				if err := c.Send(m); err == nil {
+					t.Errorf("binary=%v case %d: non-finite %v accepted", bin, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestFlowBatchValidate: the batched envelope enforces per-event shape.
+func TestFlowBatchValidate(t *testing.T) {
+	bad := []Message{
+		{Type: TypeFlowBatch},
+		{Type: TypeFlowBatch, FlowBatch: &FlowBatch{}},
+		{Type: TypeFlowBatch, FlowBatch: &FlowBatch{Events: []FlowEvent{{Event: "exploded"}}}},
+		{Type: TypeFlowBatch, FlowBatch: &FlowBatch{Events: []FlowEvent{
+			{GroupID: "g", FlowID: "f", Event: EventReleased},
+			{GroupID: "g", FlowID: "f", Event: EventResumed, Offset: -1},
+		}}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	ok := Message{Type: TypeFlowBatch, FlowBatch: &FlowBatch{Events: []FlowEvent{
+		{GroupID: "g", FlowID: "f", Event: EventReleased},
+	}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+}
+
+// TestBinaryDecodeInterns: steady-state decodes of hot-path events reuse
+// interned ID strings and the codec's body buffer — per-message allocations
+// stay at the payload struct itself.
+func TestBinaryDecodeInterns(t *testing.T) {
+	var buf bytes.Buffer
+	send := NewCodec(rw{&buf})
+	send.EnableBinary()
+	m := Message{Type: TypeFlowEvent, FlowEvent: &FlowEvent{GroupID: "job/dp/0", FlowID: "flow-17", Event: EventReleased}}
+	for i := 0; i < 64; i++ {
+		if err := send.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCodec(readOnly{bytes.NewReader(buf.Bytes())})
+	// Warm the intern table and body buffer.
+	first, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(32, func() {
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.FlowEvent.GroupID != first.FlowEvent.GroupID {
+			t.Fatal("payload mismatch")
+		}
+	})
+	// One FlowEvent struct per message; everything else is reused.
+	if allocs > 2 {
+		t.Errorf("steady-state decode costs %.1f allocs/msg, want <= 2", allocs)
+	}
+}

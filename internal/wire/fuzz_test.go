@@ -9,6 +9,7 @@ import (
 	"testing"
 	"unicode/utf8"
 
+	"echelonflow/internal/core"
 	"echelonflow/internal/unit"
 )
 
@@ -36,6 +37,23 @@ func FuzzRecv(f *testing.F) {
 		}
 		f.Add(frame(body))
 	}
+	// Binary frames, valid and hostile: the receiver auto-detects framing
+	// per frame, so the same fuzz target covers both decoders.
+	for _, m := range []Message{
+		{Type: TypeHeartbeat, Heartbeat: &Heartbeat{Nonce: 7}},
+		{Type: TypeFlowEvent, FlowEvent: &FlowEvent{GroupID: "g", FlowID: "f", Event: EventReleased}},
+		{Type: TypeFlowBatch, FlowBatch: &FlowBatch{Events: []FlowEvent{
+			{GroupID: "g", FlowID: "f", Event: EventFinished}}}},
+	} {
+		b, err := appendBinaryFrame(nil, &m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{binaryMagic, 99, 0, 0, 0, 0, 0, 0})             // unknown kind
+	f.Add([]byte{binaryMagic, kindFlowEvent, 0, 0, 0, 0, 0, 3})  // truncated body
+	f.Add([]byte{binaryMagic, kindUnregister, 0, 0, 0, 0, 0, 1, 200}) // string overrun
 	// Truncated frame: header promises more than the stream holds.
 	f.Add(frame([]byte(`{"type":"heartbeat"}`))[:12])
 	// Oversize length prefix.
@@ -129,6 +147,152 @@ func FuzzRoundTrip(f *testing.F) {
 		}
 		if !reflect.DeepEqual(m, got) {
 			t.Fatalf("round trip mismatch:\nsent %+v\ngot  %+v", m, got)
+		}
+	})
+}
+
+// FuzzCrossCodec is the differential oracle over the two framings: a message
+// built from fuzzed fields is sent through a JSON codec and a binary codec,
+// and both must agree — identical accept/reject verdicts, and deeply-equal
+// decoded messages on accept. Checked-in seed corpora under
+// testdata/fuzz/FuzzCrossCodec cover every message type, heartbeat nonce
+// shapes, and boundary batch/host counts.
+func FuzzCrossCodec(f *testing.F) {
+	// typ selects the message; count drives batch/host/rate-map sizes (its
+	// sign selects nil-vs-empty and payload presence corners).
+	f.Add("hello", "a1", 4, "g", "f", "released", 0.0, 1.5, uint64(0), 1, "w1", "")
+	f.Add("register", "", 0, "job/pp", "f0", "", 0.0, 0.0, uint64(0), 0, "", "")
+	f.Add("unregister", "", 0, "job/pp", "", "", 0.0, 0.0, uint64(0), 0, "", "")
+	f.Add("flow_event", "", 0, "g", "f", "resumed", 4096.0, 0.0, uint64(0), 0, "", "")
+	f.Add("flow_event", "", 0, "g", "f", "exploded", -1.0, 0.0, uint64(0), 0, "", "")
+	f.Add("flow_batch", "", 0, "g", "f", "finished", 0.5, 0.0, uint64(0), 32, "", "")
+	f.Add("flow_batch", "", 0, "g", "f", "released", 0.0, 0.0, uint64(0), 0, "", "")
+	f.Add("allocation", "", 0, "", "flow-x", "", 0.0, 123.25, uint64(0), 16, "", "")
+	f.Add("allocation", "", 0, "", "", "", 0.0, 0.0, uint64(0), -1, "", "")
+	f.Add("heartbeat", "", 0, "", "", "", 0.0, 0.0, uint64(991), 1, "", "")
+	f.Add("heartbeat", "", 0, "", "", "", 0.0, 0.0, uint64(0), -1, "", "")
+	f.Add("submit_job", "", 0, "", "j0", "", 0.0, 0.0, uint64(0), 2, "", "")
+	f.Add("job_update", "", 2, "", "j0", "", 0.0, 0.0, uint64(0), 3, "w1", "no fit")
+	f.Add("error", "", 0, "boom", "", "", 0.0, 0.0, uint64(0), 0, "", "throttled")
+
+	regBase := Register{GroupID: "job/pp"}
+	if g, err := core.New("job/pp", core.Pipeline{T: 2.5},
+		&core.Flow{ID: "f0", Src: "w1", Dst: "w2", Size: 100}); err == nil {
+		if reg, err := RegisterOf(g); err == nil {
+			regBase = reg
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, typ, agent string, version int, groupID, flowID, event string,
+		offset, rate float64, nonce uint64, count int, host, reason string) {
+		for _, s := range []string{typ, agent, groupID, flowID, event, host, reason} {
+			if !utf8.ValidString(s) {
+				t.Skip() // JSON coerces invalid UTF-8; lossy by design
+			}
+		}
+		for _, v := range []float64{offset, rate} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip() // rejected identically by both codecs, nothing to compare
+			}
+		}
+		n := count
+		if n < 0 {
+			n = 0
+		}
+		if n > 64 {
+			n = n % 64
+		}
+		m := Message{Type: typ}
+		switch typ {
+		case TypeHello:
+			m.Hello = &Hello{Agent: agent, Version: version}
+		case TypeRegister:
+			reg := regBase
+			reg.GroupID = groupID
+			m.Register = &reg
+		case TypeUnregister:
+			m.Unregister = &Unregister{GroupID: groupID}
+		case TypeFlowEvent:
+			m.FlowEvent = &FlowEvent{GroupID: groupID, FlowID: flowID, Event: event, Offset: unit.Bytes(offset)}
+		case TypeFlowBatch:
+			evs := make([]FlowEvent, n)
+			kinds := []string{EventReleased, EventFinished, EventResumed, event}
+			for i := range evs {
+				evs[i] = FlowEvent{GroupID: groupID, FlowID: flowID, Event: kinds[i%len(kinds)], Offset: unit.Bytes(offset)}
+			}
+			m.FlowBatch = &FlowBatch{Events: evs}
+		case TypeAllocation:
+			a := &Allocation{}
+			if count >= 0 { // negative count = nil map corner
+				a.Rates = make(map[string]unit.Rate, n)
+				for i := 0; i < n; i++ {
+					a.Rates[flowID+string(rune('a'+i%26))] = unit.Rate(rate) + unit.Rate(i)
+				}
+			}
+			m.Allocation = a
+		case TypeHeartbeat:
+			if count >= 0 { // negative count = bare keepalive corner
+				m.Heartbeat = &Heartbeat{Nonce: nonce}
+			}
+		case TypeSubmitJob:
+			job := JobSpec{ID: flowID, Tenant: agent, Paradigm: "dp", Workers: max(n, 1),
+				Layers: 2, Params: unit.Bytes(offset), Fwd: 0.1, Bwd: 0.1, Iterations: 1}
+			m.SubmitJob = &SubmitJob{Job: job}
+		case TypeJobUpdate:
+			statuses := []string{JobQueued, JobAdmitted, JobRejected, JobDeparted, event}
+			u := &JobUpdate{JobID: flowID, Status: statuses[((version%5)+5)%5], Reason: reason}
+			for i := 0; i < n; i++ {
+				u.Hosts = append(u.Hosts, host)
+			}
+			m.JobUpdate = u
+		case TypeError:
+			m.Error = &Error{Msg: groupID, Code: reason}
+		default:
+			// Unknown types must be rejected by both send paths.
+			for _, bin := range []bool{false, true} {
+				var buf bytes.Buffer
+				c := NewCodec(rw{&buf})
+				if bin {
+					c.EnableBinary()
+				}
+				if err := c.Send(m); err == nil {
+					t.Fatalf("binary=%v accepted unknown type %q", bin, typ)
+				}
+			}
+			return
+		}
+
+		sendOne := func(bin bool) (Message, error) {
+			var buf bytes.Buffer
+			c := NewCodec(rw{&buf})
+			if bin {
+				c.EnableBinary()
+			}
+			if err := c.Send(m); err != nil {
+				return Message{}, err
+			}
+			got, err := c.Recv()
+			if err != nil {
+				t.Fatalf("binary=%v Recv failed on own Send output: %v", bin, err)
+			}
+			return got, nil
+		}
+		viaJSON, errJSON := sendOne(false)
+		viaBin, errBin := sendOne(true)
+		if (errJSON == nil) != (errBin == nil) {
+			t.Fatalf("codecs disagree on acceptance: json=%v binary=%v", errJSON, errBin)
+		}
+		if errJSON != nil {
+			if m.Validate() == nil {
+				t.Fatalf("both codecs rejected a valid message: %v", errJSON)
+			}
+			return
+		}
+		if !reflect.DeepEqual(viaJSON, viaBin) {
+			t.Fatalf("codecs decode differently:\njson   %+v\nbinary %+v", viaJSON, viaBin)
+		}
+		if !reflect.DeepEqual(m, viaBin) {
+			t.Fatalf("binary round trip lossy:\nsent %+v\ngot  %+v", m, viaBin)
 		}
 	})
 }

@@ -1,8 +1,16 @@
 // Package wire is the control protocol between EchelonFlow Agents and the
-// Coordinator (Fig. 7): length-prefixed JSON messages over a byte stream.
-// Agents report EchelonFlow registrations (arrangement function + per-flow
-// size/source/destination, §5) and flow lifecycle events; the Coordinator
-// pushes bandwidth allocations back.
+// Coordinator (Fig. 7). Agents report EchelonFlow registrations (arrangement
+// function + per-flow size/source/destination, §5) and flow lifecycle
+// events; the Coordinator pushes bandwidth allocations back.
+//
+// Two framings share the stream. The legacy framing (protocol ≤3) is a
+// 4-byte big-endian length followed by a JSON body. Protocol 4 adds a
+// fixed-width binary framing with a zero-allocation fast path for the hot
+// message types; its frames open with the magic byte 0xEC, which can never
+// begin a legal JSON length prefix (MaxFrame caps the first length byte at
+// 0x01), so a receiver distinguishes the two framings per frame with no
+// negotiation state. The send side is negotiated: a peer only sends binary
+// frames after learning from Hello.Version that the other end is v4.
 package wire
 
 import (
@@ -29,9 +37,16 @@ const MaxFrame = 16 << 20
 // version>=3 agent with a nonce'd heartbeat, which the agent echoes back
 // verbatim so the coordinator can measure per-agent RTT for gray-failure
 // (straggler) detection. Nonce-less heartbeats keep their version-2
-// semantics. The coordinator accepts version 0 (field absent,
-// pre-versioning agents) through ProtocolVersion.
-const ProtocolVersion = 3
+// semantics. Version 4 added the binary framing (see binary.go) and the
+// flow_batch message; a v4 peer may send either framing, and sends binary
+// only to peers that announced version >= 4. The coordinator accepts
+// version 0 (field absent, pre-versioning agents) through ProtocolVersion.
+const ProtocolVersion = 4
+
+// JSONProtocolVersion is the highest revision restricted to the JSON
+// framing. A v4 build forced into JSON compatibility mode announces this
+// version so the peer never selects binary sends toward it.
+const JSONProtocolVersion = 3
 
 // Message type tags.
 const (
@@ -47,6 +62,11 @@ const (
 	// admitted with a placement, rejected, departed) back to the submitter.
 	TypeSubmitJob = "submit_job"
 	TypeJobUpdate = "job_update"
+	// TypeFlowBatch (protocol 4) carries many flow lifecycle events in one
+	// frame: an agent draining a burst of releases/finishes amortizes the
+	// framing and syscall cost, and the coordinator acknowledges the whole
+	// batch with a single conflated allocation push.
+	TypeFlowBatch = "flow_batch"
 )
 
 // Flow event kinds.
@@ -128,6 +148,25 @@ type FlowEvent struct {
 	Event   string `json:"event"` // EventReleased, EventFinished or EventResumed
 	// Offset is the bytes already delivered, set on EventResumed.
 	Offset unit.Bytes `json:"offset,omitempty"`
+}
+
+// validate checks one flow event's shape (shared by the single-event and
+// batched envelopes).
+func (e *FlowEvent) validate() error {
+	if e.Event != EventReleased && e.Event != EventFinished && e.Event != EventResumed {
+		return fmt.Errorf("wire: unknown flow event %q", e.Event)
+	}
+	if e.Offset < 0 {
+		return fmt.Errorf("wire: negative flow event offset")
+	}
+	return nil
+}
+
+// FlowBatch reports many flow lifecycle transitions at once, in order.
+// Applying a batch is observationally identical to applying its events as
+// individual FlowEvent messages back to back on the same session.
+type FlowBatch struct {
+	Events []FlowEvent `json:"events"`
 }
 
 // Allocation pushes per-flow rates (bytes/second).
@@ -239,6 +278,7 @@ type Message struct {
 	Register   *Register   `json:"register,omitempty"`
 	Unregister *Unregister `json:"unregister,omitempty"`
 	FlowEvent  *FlowEvent  `json:"flow_event,omitempty"`
+	FlowBatch  *FlowBatch  `json:"flow_batch,omitempty"`
 	Allocation *Allocation `json:"allocation,omitempty"`
 	Heartbeat  *Heartbeat  `json:"heartbeat,omitempty"`
 	SubmitJob  *SubmitJob  `json:"submit_job,omitempty"`
@@ -265,11 +305,20 @@ func (m Message) Validate() error {
 		if m.FlowEvent == nil {
 			return fmt.Errorf("wire: flow_event message without payload")
 		}
-		if e := m.FlowEvent.Event; e != EventReleased && e != EventFinished && e != EventResumed {
-			return fmt.Errorf("wire: unknown flow event %q", e)
+		if err := m.FlowEvent.validate(); err != nil {
+			return err
 		}
-		if m.FlowEvent.Offset < 0 {
-			return fmt.Errorf("wire: negative flow event offset")
+	case TypeFlowBatch:
+		if m.FlowBatch == nil {
+			return fmt.Errorf("wire: flow_batch message without payload")
+		}
+		if len(m.FlowBatch.Events) == 0 {
+			return fmt.Errorf("wire: empty flow_batch")
+		}
+		for i := range m.FlowBatch.Events {
+			if err := m.FlowBatch.Events[i].validate(); err != nil {
+				return err
+			}
 		}
 	case TypeAllocation:
 		if m.Allocation == nil {
@@ -304,23 +353,42 @@ func (m Message) Validate() error {
 	return nil
 }
 
-// Codec frames messages over a byte stream: a 4-byte big-endian length
-// followed by the JSON body. Send is safe for concurrent use; Recv must be
-// called from a single reader goroutine.
+// Codec frames messages over a byte stream. Send is safe for concurrent
+// use; Recv must be called from a single reader goroutine. Recv accepts
+// both framings on any frame boundary (the binary magic byte disambiguates);
+// Send emits the legacy JSON framing until EnableBinary switches it to the
+// protocol-4 binary framing.
 type Codec struct {
 	r  *bufio.Reader
 	w  io.Writer
-	mu sync.Mutex // serializes Send
+	mu sync.Mutex // serializes Send and guards the send framing + buffer
 	rx uint64     // bytes consumed by Recv, including partial frames
+
+	// binary selects the outbound framing; sendBuf is the reusable frame
+	// assembly buffer (header + body in one Write call), guarded by mu.
+	binary  bool
+	sendBuf []byte
+
+	// names interns strings decoded off binary frames: group and flow IDs
+	// repeat on every hot-path event, so steady-state decodes reuse one
+	// canonical copy instead of allocating per message. Reader-goroutine
+	// only, like the rest of the Recv state.
+	names map[string]string
 
 	// Partial-frame state. A Recv interrupted mid-frame (read deadline,
 	// short read) parks its progress here and the next call resumes where
 	// it stopped: TCP delivers the remaining bytes in order, so a timeout
-	// never desynchronizes the stream.
-	hdr  [4]byte
-	hdrN int
-	body *bytes.Buffer // non-nil once the header is complete
-	want uint32        // body length, valid while body != nil
+	// never desynchronizes the stream. The header length is discovered from
+	// the first byte (binary magic = 8 bytes, JSON length prefix = 4).
+	hdr    [binaryHeaderSize]byte
+	hdrN   int
+	inBody bool
+	body   bytes.Buffer     // reused across frames; valid while inBody
+	lr     io.LimitedReader // reused body-read cursor (io.CopyN allocates one per call)
+	want   uint32           // body length, valid while inBody
+	kind   byte         // binary frame kind, valid while inBody on a binary frame
+	flags  uint16       // binary frame flags, likewise
+	isBin  bool         // current partial frame uses the binary framing
 }
 
 // NewCodec wraps a stream.
@@ -328,28 +396,75 @@ func NewCodec(rw io.ReadWriter) *Codec {
 	return &Codec{r: bufio.NewReader(rw), w: rw}
 }
 
-// Send frames and writes one message.
+// EnableBinary switches the send path to the protocol-4 binary framing.
+// Call it only once the peer is known to speak version >= 4 (from its
+// Hello); the receive path needs no switch. Safe to call concurrently with
+// Send: messages already being framed finish under their framing.
+func (c *Codec) EnableBinary() {
+	c.mu.Lock()
+	c.binary = true
+	c.mu.Unlock()
+}
+
+// BinarySends reports whether the send path uses the binary framing.
+func (c *Codec) BinarySends() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.binary
+}
+
+// Send frames and writes one message. Header and body are assembled into
+// one buffer and handed to the stream as a single Write, so a message costs
+// one syscall on a raw conn regardless of framing.
 func (c *Codec) Send(m Message) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var err error
+	b := c.sendBuf[:0]
+	if c.binary {
+		b, err = appendBinaryFrame(b, &m)
+	} else {
+		b, err = appendJSONFrame(b, m)
+	}
+	if err != nil {
+		return err
+	}
+	c.sendBuf = b[:0] // keep the grown capacity for the next frame
+	if _, err := c.w.Write(b); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
+}
+
+// appendJSONFrame appends a legacy frame: 4-byte big-endian length + JSON.
+// It takes the envelope by value so the marshal's interface boxing cannot
+// force Send's envelope onto the heap and tax the binary fast path with it.
+func appendJSONFrame(b []byte, m Message) ([]byte, error) {
 	body, err := json.Marshal(m)
 	if err != nil {
-		return fmt.Errorf("wire: marshal: %w", err)
+		return nil, fmt.Errorf("wire: marshal: %w", err)
 	}
 	if len(body) > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := c.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
+	b = append(b, hdr[:]...)
+	return append(b, body...), nil
+}
+
+// decodeJSONEnvelope unmarshals a JSON body into *m through a local copy:
+// json.Unmarshal's boxing then heap-allocates the local, not the caller's
+// envelope, so Recv's binary fast path stays allocation-free.
+func decodeJSONEnvelope(body []byte, m *Message) error {
+	var jm Message
+	if err := json.Unmarshal(body, &jm); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
 	}
-	if _, err := c.w.Write(body); err != nil {
-		return fmt.Errorf("wire: write body: %w", err)
-	}
+	*m = jm
 	return nil
 }
 
@@ -358,14 +473,27 @@ func (c *Codec) Send(m Message) error {
 // goroutine.
 func (c *Codec) Received() uint64 { return c.rx }
 
+// headerLen is the bytes of header the current frame needs: unknown frames
+// read one byte, then the magic byte selects the framing.
+func (c *Codec) headerLen() int {
+	if c.hdrN == 0 {
+		return 1
+	}
+	if c.hdr[0] == binaryMagic {
+		return binaryHeaderSize
+	}
+	return 4
+}
+
 // Recv reads and validates one message. A Recv that fails on a retryable
 // read error — a net.Conn deadline timeout in particular — may be called
 // again: decoding resumes from the exact byte where the previous call
-// stopped, even mid-frame.
+// stopped, even mid-frame. Both framings are accepted; each frame declares
+// its own.
 func (c *Codec) Recv() (Message, error) {
-	if c.body == nil {
-		for c.hdrN < len(c.hdr) {
-			n, err := c.r.Read(c.hdr[c.hdrN:])
+	if !c.inBody {
+		for c.hdrN < c.headerLen() {
+			n, err := c.r.Read(c.hdr[c.hdrN:c.headerLen()])
 			c.hdrN += n
 			c.rx += uint64(n)
 			if err != nil {
@@ -375,7 +503,16 @@ func (c *Codec) Recv() (Message, error) {
 				return Message{}, err
 			}
 		}
-		n := binary.BigEndian.Uint32(c.hdr[:])
+		var n uint32
+		if c.hdr[0] == binaryMagic {
+			c.isBin = true
+			c.kind = c.hdr[1]
+			c.flags = binary.BigEndian.Uint16(c.hdr[2:4])
+			n = binary.BigEndian.Uint32(c.hdr[4:8])
+		} else {
+			c.isBin = false
+			n = binary.BigEndian.Uint32(c.hdr[:4])
+		}
 		if n > MaxFrame {
 			return Message{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 		}
@@ -384,19 +521,34 @@ func (c *Codec) Recv() (Message, error) {
 		// stalling (or hanging up) must not cost a 16 MiB allocation per
 		// connection.
 		c.want = n
-		c.body = new(bytes.Buffer)
+		c.body.Reset()
 		c.body.Grow(int(min(n, 64<<10)))
+		c.inBody = true
 	}
-	bn, err := io.CopyN(c.body, c.r, int64(c.want)-int64(c.body.Len()))
+	c.lr.R, c.lr.N = c.r, int64(c.want)-int64(c.body.Len())
+	bn, err := c.body.ReadFrom(&c.lr)
 	c.rx += uint64(bn)
+	if err == nil && c.body.Len() < int(c.want) {
+		// ReadFrom reports a source EOF as a clean stop; here the stream
+		// ended inside a frame body — a truncation, exactly like an EOF
+		// mid-header, never a clean end of stream.
+		err = io.ErrUnexpectedEOF
+	}
 	if err != nil {
 		return Message{}, fmt.Errorf("wire: read body: %w", err)
 	}
-	buf := c.body
-	c.hdrN, c.body, c.want = 0, nil, 0
+	c.hdrN, c.inBody, c.want = 0, false, 0
 	var m Message
-	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
-		return Message{}, fmt.Errorf("wire: unmarshal: %w", err)
+	if c.isBin {
+		if err := c.decodeBinary(c.kind, c.flags, c.body.Bytes(), &m); err != nil {
+			return Message{}, err
+		}
+	} else if err := decodeJSONEnvelope(c.body.Bytes(), &m); err != nil {
+		return Message{}, err
+	}
+	// One oversized frame must not pin its high-water buffer forever.
+	if c.body.Cap() > 1<<20 {
+		c.body = bytes.Buffer{}
 	}
 	if err := m.Validate(); err != nil {
 		return Message{}, err
