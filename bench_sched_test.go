@@ -87,7 +87,7 @@ type meteredScheduler struct {
 
 func (m *meteredScheduler) Name() string { return m.inner.Name() }
 
-func (m *meteredScheduler) Schedule(snap *sched.Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (m *meteredScheduler) Schedule(snap *sched.Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()

@@ -180,3 +180,7 @@ func BenchmarkExtended_CheckHarness(b *testing.B) {
 func BenchmarkExtended_PlacementPolicies(b *testing.B) {
 	runExperiment(b, experiments.ExtOnlinePlacement)
 }
+
+func BenchmarkExtended_LeafSpinePlacement(b *testing.B) {
+	runExperiment(b, experiments.ExtLeafSpinePlacement)
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"echelonflow/internal/check"
+	"echelonflow/internal/fabric"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 	budget := flag.Int("shrink", 400, "shrinker budget in check runs per failure")
 	repro := flag.String("repro", "", "path to a scenario or repro JSON to re-check instead of generating")
 	wireCodec := flag.String("wire", "direct", "codec the live oracles round-trip replayed flow events through: direct (no codec), json, or binary")
+	fabricFlag := flag.String("fabric", "bigswitch", "network model scenarios run on: bigswitch | leafspine[:hosts=N,spines=N,oversub=R] | extern:<cmd>")
 	verbose := flag.Bool("v", false, "print every seed, not just failures")
 	flag.Parse()
 
@@ -42,6 +44,11 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := check.Config{Oracles: sel, WireCodec: *wireCodec}
+	cfg.Fabric, err = fabricBuilder(*fabricFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *repro != "" {
 		os.Exit(checkRepro(*repro, cfg))
@@ -88,6 +95,53 @@ func main() {
 	fmt.Printf("checked %d seeds, %d failed\n", checked, failures)
 	if failures > 0 {
 		os.Exit(1)
+	}
+}
+
+// fabricBuilder maps the -fabric flag to the check harness backend hook.
+// bigswitch returns nil, keeping the harness's native (byte-identical)
+// default path. For extern, one external process is launched up front and
+// rebound to each scenario's host set, so checking thousands of scenarios
+// (the shrinker alone re-runs hundreds) does not spawn a subprocess per run.
+func fabricBuilder(s string) (func(hosts []check.HostSpec) fabric.Fabric, error) {
+	spec, err := fabric.ParseSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	toCaps := func(hosts []check.HostSpec) []fabric.HostCap {
+		caps := make([]fabric.HostCap, len(hosts))
+		for i, h := range hosts {
+			caps[i] = fabric.HostCap{Name: h.Name, Egress: h.Egress, Ingress: h.Ingress}
+		}
+		return caps
+	}
+	switch spec.Kind {
+	case "bigswitch":
+		return nil, nil
+	case "extern":
+		proto, err := fabric.NewExtern(fabric.NewNetwork(), spec.Command, fabric.ExternOptions{
+			Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		return func(hosts []check.HostSpec) fabric.Fabric {
+			n := fabric.NewNetwork()
+			for _, h := range hosts {
+				if err := n.AddHost(h.Name, h.Egress, h.Ingress); err != nil {
+					panic(err) // generator-controlled names: cannot collide
+				}
+			}
+			return proto.Rebind(n)
+		}, nil
+	default:
+		return func(hosts []check.HostSpec) fabric.Fabric {
+			f, err := spec.Build(toCaps(hosts))
+			if err != nil {
+				panic(err) // geometry was validated by ParseSpec
+			}
+			return f
+		}, nil
 	}
 }
 

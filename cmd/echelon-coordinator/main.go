@@ -76,20 +76,30 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 0, "per-frame write deadline on agent sockets (default 10s)")
 	admin := flag.String("admin", "", "telemetry HTTP address serving /metrics, /healthz, /events and /debug/pprof (empty disables)")
 	chaos := flag.Bool("chaos", false, "with -admin, mount a POST /chaos fault-injection endpoint (sched-stall, agent-stall, fsync-stall) — soak testing only, never in production")
+	fabricFlag := flag.String("fabric", "bigswitch", "network model: bigswitch | leafspine[:hosts=N,spines=N,oversub=R] | extern:<cmd>")
 	var racks, assigns hostSpecs
 	flag.Var(&hosts, "host", "host capacity spec name=rate or name[a-b]=rate (repeatable)")
-	flag.Var(&racks, "rack", "rack capacity spec name=rate (uplink=downlink; repeatable)")
-	flag.Var(&assigns, "assign", "host-to-rack assignment host=rack or prefix[a-b]=rack (repeatable)")
+	flag.Var(&racks, "rack", "rack capacity spec name=rate (uplink=downlink; bigswitch only; repeatable)")
+	flag.Var(&assigns, "assign", "host-to-rack assignment host=rack or prefix[a-b]=rack (bigswitch only; repeatable)")
 	flag.Parse()
 
-	net0 := fabric.NewNetwork()
+	fspec, err := fabric.ParseSpec(*fabricFlag)
+	if err != nil {
+		log.Fatalf("echelon-coordinator: %v", err)
+	}
+	inner := fabric.NewNetwork()
 	for _, spec := range hosts {
-		if err := addHostSpec(net0, spec); err != nil {
+		if err := addHostSpec(inner, spec); err != nil {
 			log.Fatalf("echelon-coordinator: %v", err)
 		}
 	}
-	if net0.Len() == 0 {
+	if inner.Len() == 0 {
 		log.Fatal("echelon-coordinator: at least one -host spec is required")
+	}
+	if fspec.Kind == "leafspine" && len(racks)+len(assigns) > 0 {
+		// Leaf-spine carries its own topology; racks belong to bigswitch
+		// (leaf geometry comes from the spec's hosts/spines/oversub options).
+		log.Fatal("echelon-coordinator: -rack/-assign only apply to -fabric bigswitch")
 	}
 	for _, spec := range racks {
 		name, rateStr, ok := strings.Cut(spec, "=")
@@ -100,14 +110,35 @@ func main() {
 		if err != nil || rate <= 0 {
 			log.Fatalf("echelon-coordinator: rack spec %q: bad rate", spec)
 		}
-		if err := net0.AddRack(name, unit.Rate(rate), unit.Rate(rate)); err != nil {
+		if err := inner.AddRack(name, unit.Rate(rate), unit.Rate(rate)); err != nil {
 			log.Fatalf("echelon-coordinator: %v", err)
 		}
 	}
 	for _, spec := range assigns {
-		if err := assignRackSpec(net0, spec); err != nil {
+		if err := assignRackSpec(inner, spec); err != nil {
 			log.Fatalf("echelon-coordinator: %v", err)
 		}
+	}
+	var net0 fabric.Fabric = inner
+	switch fspec.Kind {
+	case "leafspine":
+		caps := make([]fabric.HostCap, 0, inner.Len())
+		for _, h := range inner.Hosts() {
+			caps = append(caps, fabric.HostCap{Name: h.Name, Egress: h.Egress, Ingress: h.Ingress})
+		}
+		ls, err := fspec.Build(caps)
+		if err != nil {
+			log.Fatalf("echelon-coordinator: %v", err)
+		}
+		net0 = ls
+		log.Printf("echelon-coordinator: fabric %s", fspec)
+	case "extern":
+		e, err := fabric.NewExtern(inner, fspec.Command, fabric.ExternOptions{Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("echelon-coordinator: %v", err)
+		}
+		defer e.Close()
+		net0 = e
 	}
 
 	var s sched.Scheduler
@@ -177,7 +208,6 @@ func main() {
 		opts.Events = telemetry.NewEventLog(telemetry.DefaultEventCapacity)
 	}
 	var coord *coordinator.Coordinator
-	var err error
 	if *journalDir != "" {
 		// Restore is New plus journaling: an empty directory is a fresh
 		// start, a populated one replays the previous incarnation's state

@@ -1,0 +1,159 @@
+// Command echelon-netsim is the reference external timing model for the
+// -fabric extern:<cmd> backend. It speaks the line-oriented co-simulation
+// protocol: one JSON request per stdin line,
+//
+//	{"id":1,"volumes":[{"src":"h0","dst":"h1","bytes":1048576}, ...]}
+//
+// answered by exactly one JSON line carrying the same id,
+//
+//	{"id":1,"time":0.0125}
+//
+// Its model is the big-switch bottleneck time Γ (the most loaded NIC's
+// volume over capacity) over the host capacities given on the command
+// line, scaled by -overhead — so with -overhead 1 and matching -cap it
+// reproduces the native model exactly (useful for validating the extern
+// plumbing end to end), and with -overhead > 1 it stands in for a more
+// pessimistic detailed simulator.
+//
+// Usage:
+//
+//	echelon-sim -fabric 'extern:echelon-netsim -cap 4'
+//	echelon-netsim -cap 4 -host big0=40 -host big1=40 -overhead 1.2
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type request struct {
+	ID      uint64   `json:"id"`
+	Volumes []volume `json:"volumes"`
+}
+
+type volume struct {
+	Src   string  `json:"src"`
+	Dst   string  `json:"dst"`
+	Bytes float64 `json:"bytes"`
+}
+
+type response struct {
+	ID    uint64  `json:"id"`
+	Time  float64 `json:"time"`
+	Error string  `json:"error,omitempty"`
+}
+
+// model computes Γ for one request: every host NIC is full duplex at its
+// configured rate (defaultCap when unlisted), and the answer is the most
+// loaded direction's volume over capacity, scaled by overhead.
+type model struct {
+	defaultCap float64
+	hostCap    map[string]float64
+	overhead   float64
+}
+
+func (m *model) capOf(host string) float64 {
+	if c, ok := m.hostCap[host]; ok {
+		return c
+	}
+	return m.defaultCap
+}
+
+func (m *model) gamma(req request) response {
+	egress := make(map[string]float64)
+	ingress := make(map[string]float64)
+	for _, v := range req.Volumes {
+		if v.Bytes < 0 {
+			return response{ID: req.ID, Error: fmt.Sprintf("negative volume %g on %s->%s", v.Bytes, v.Src, v.Dst)}
+		}
+		egress[v.Src] += v.Bytes
+		ingress[v.Dst] += v.Bytes
+	}
+	var gamma float64
+	for _, dir := range []map[string]float64{egress, ingress} {
+		for host, bytes := range dir {
+			c := m.capOf(host)
+			if c <= 0 {
+				return response{ID: req.ID, Error: fmt.Sprintf("host %s has no capacity", host)}
+			}
+			if t := bytes / c; t > gamma {
+				gamma = t
+			}
+		}
+	}
+	return response{ID: req.ID, Time: gamma * m.overhead}
+}
+
+type hostFlags map[string]float64
+
+func (h hostFlags) String() string { return "" }
+
+func (h hostFlags) Set(s string) error {
+	name, rateStr, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("host spec %q: want name=rate", s)
+	}
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil || rate <= 0 {
+		return fmt.Errorf("host spec %q: bad rate %q", s, rateStr)
+	}
+	h[name] = rate
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("echelon-netsim: ")
+	defaultCap := flag.Float64("cap", 1, "NIC capacity (bytes/s) for hosts without a -host spec")
+	overhead := flag.Float64("overhead", 1, "multiply every answer by this factor (a pessimistic stand-in model)")
+	verbose := flag.Bool("v", false, "log each query to stderr")
+	hosts := hostFlags{}
+	flag.Var(hosts, "host", "per-host capacity override name=rate (repeatable)")
+	flag.Parse()
+	if *defaultCap <= 0 || *overhead <= 0 {
+		log.Fatal("-cap and -overhead must be positive")
+	}
+	m := &model{defaultCap: *defaultCap, hostCap: hosts, overhead: *overhead}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	out := bufio.NewWriter(os.Stdout)
+	for in.Scan() {
+		line := in.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req request
+		resp := response{}
+		if err := json.Unmarshal(line, &req); err != nil {
+			// Without an id the reply cannot be correlated; report and keep
+			// serving (the client times out and falls back for this query).
+			log.Printf("bad request: %v", err)
+			continue
+		}
+		resp = m.gamma(req)
+		if *verbose {
+			log.Printf("query %d: %d volumes -> time=%g err=%q", req.ID, len(req.Volumes), resp.Time, resp.Error)
+		}
+		data, err := json.Marshal(resp)
+		if err != nil {
+			log.Fatalf("encode: %v", err)
+		}
+		data = append(data, '\n')
+		if _, err := out.Write(data); err != nil {
+			log.Fatalf("write: %v", err)
+		}
+		if err := out.Flush(); err != nil {
+			log.Fatalf("flush: %v", err)
+		}
+	}
+	if err := in.Err(); err != nil {
+		log.Fatalf("read: %v", err)
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestGamma(t *testing.T) {
+	m := &model{defaultCap: 4, hostCap: map[string]float64{"big": 8}, overhead: 1}
+	req := request{ID: 7, Volumes: []volume{
+		{Src: "a", Dst: "b", Bytes: 8},
+		{Src: "a", Dst: "big", Bytes: 8},
+	}}
+	resp := m.gamma(req)
+	if resp.Error != "" {
+		t.Fatal(resp.Error)
+	}
+	// a's egress ships 16 bytes over 4 B/s; b and big are less loaded.
+	if resp.ID != 7 || resp.Time != 4 {
+		t.Errorf("gamma = %+v, want id 7 time 4", resp)
+	}
+
+	m.overhead = 1.5
+	if resp := m.gamma(req); resp.Time != 6 {
+		t.Errorf("gamma with overhead = %+v, want time 6", resp)
+	}
+
+	if resp := m.gamma(request{ID: 8, Volumes: []volume{{Src: "a", Dst: "b", Bytes: -1}}}); resp.Error == "" {
+		t.Error("negative volume must answer a per-query error")
+	}
+}

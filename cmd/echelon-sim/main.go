@@ -7,6 +7,7 @@
 //	echelon-sim -paradigm pp -scheduler echelon -workers 4 -cap 4
 //	echelon-sim -paradigm fsdp -scheduler coflow -iterations 2 -gantt
 //	echelon-sim -paradigm pp -cap 6 -params 2 -acts 5 -faults examples/faults/chaos.json
+//	echelon-sim -paradigm dp -fabric leafspine:hosts=2,spines=2,oversub=4
 package main
 
 import (
@@ -40,8 +41,14 @@ func main() {
 		gantt      = flag.Bool("gantt", true, "print the compute timeline")
 		flows      = flag.Bool("flows", false, "print the per-flow report")
 		faultsFile = flag.String("faults", "", "JSON fault schedule to replay (see examples/faults/)")
+		fabricFlag = flag.String("fabric", "bigswitch", "network model: bigswitch | leafspine[:hosts=N,spines=N,oversub=R] | extern:<cmd>")
 	)
 	flag.Parse()
+
+	spec, err := fabric.ParseSpec(*fabricFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	w, err := buildJob(*paradigm, *workers, *layers, *micro, *iterations,
 		unit.Bytes(*params), unit.Bytes(*acts), unit.Time(*fwd), unit.Time(*bwd))
@@ -52,8 +59,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	net := fabric.NewNetwork()
-	net.AddUniformHosts(unit.Rate(*capacity), w.Hosts...)
+	caps := make([]fabric.HostCap, len(w.Hosts))
+	for i, name := range w.Hosts {
+		caps[i] = fabric.HostCap{Name: name, Egress: unit.Rate(*capacity), Ingress: unit.Rate(*capacity)}
+	}
+	net, err := spec.Build(caps)
+	if err != nil {
+		fatal(err)
+	}
+	if e, ok := net.(*fabric.Extern); ok {
+		defer e.Close()
+	}
 	opts := sim.Options{Graph: w.Graph, Net: net, Scheduler: s, Arrangements: w.Arrangements}
 	if *faultsFile != "" {
 		schedF, err := faults.Load(*faultsFile)

@@ -1,0 +1,125 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"echelonflow/internal/fabric"
+	"echelonflow/internal/unit"
+)
+
+// nonBindingLeafSpine attaches every scenario host to its own leaf of a
+// single-spine Clos whose interior links are effectively infinite. With one
+// host per leaf, each uplink carries exactly the flows of that host's egress
+// NIC (and each downlink those of the ingress NIC), so the extra links add
+// no breakpoints and never bind — planning must be bit-identical to the
+// big-switch model.
+func nonBindingLeafSpine(hosts []HostSpec) fabric.Fabric {
+	ls, err := fabric.NewLeafSpine(1)
+	if err != nil {
+		panic(err)
+	}
+	for _, h := range hosts {
+		leaf := "L-" + h.Name
+		if err := ls.AddLeaf(leaf, unit.Rate(1e300), unit.Rate(1e300)); err != nil {
+			panic(err)
+		}
+		if err := ls.AddHost(h.Name, leaf, h.Egress, h.Ingress); err != nil {
+			panic(err)
+		}
+	}
+	return ls
+}
+
+// sixParadigmScenario runs one job of every DDLT paradigm concurrently on a
+// shared six-host fabric, so the equivalence claim covers each paradigm's
+// traffic pattern under contention.
+func sixParadigmScenario() *Scenario {
+	sc := &Scenario{}
+	for i := 0; i < 6; i++ {
+		sc.Hosts = append(sc.Hosts, HostSpec{Name: fmt.Sprintf("h%d", i), Egress: 4, Ingress: 4})
+	}
+	model := ModelSpec{Layers: 4, Params: 2, Acts: 0.8, Fwd: 0.2, Bwd: 0.3}
+	mk := func(name, paradigm string, workers ...string) JobSpec {
+		return JobSpec{Name: name, Paradigm: paradigm, Model: model, Workers: workers, Iterations: 2}
+	}
+	dp := mk("jdp", "dp", "h0", "h1", "h2")
+	dp.Buckets = 2
+	ps := mk("jps", "ps", "h3", "h4")
+	ps.PS = "h5"
+	ps.AggTime = 0.1
+	pp := mk("jpp", "pp", "h0", "h3")
+	pp.Micro = 3
+	pp.UpdateTime = 0.1
+	ob := mk("j1f", "1f1b", "h1", "h4")
+	ob.Micro = 3
+	ob.UpdateTime = 0.1
+	tp := mk("jtp", "tp", "h2", "h5")
+	fs := mk("jfs", "fsdp", "h0", "h5")
+	fs.Prefetch = 1
+	sc.Jobs = []JobSpec{dp, ps, pp, ob, tp, fs}
+	return sc
+}
+
+// TestLeafSpineNonBindingBitIdentical is the cross-backend equivalence
+// property of the fabric generalization: on a leaf-spine whose interior
+// links never bind, the canonical scheduler must reproduce the big-switch
+// simulation bit for bit — every rate segment, flow finish, and the
+// makespan — across all six DDLT paradigms.
+func TestLeafSpineNonBindingBitIdentical(t *testing.T) {
+	sc := sixParadigmScenario()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	run := func(fab func([]HostSpec) fabric.Fabric) *Outcome {
+		return Run(sc, Config{Oracles: []string{OracleFeasible, OracleConserve}, Fabric: fab})
+	}
+	big := run(nil)
+	leaf := run(nonBindingLeafSpine)
+	for _, o := range []*Outcome{big, leaf} {
+		for _, v := range o.Violations {
+			t.Errorf("violation: %v", v)
+		}
+	}
+	if big.Makespan != leaf.Makespan {
+		t.Errorf("makespan differs: bigswitch %v vs leafspine %v", big.Makespan, leaf.Makespan)
+	}
+}
+
+// TestLeafSpineNonBindingRatesBitIdentical compares the raw per-flow rate
+// timelines of the two backends on random generated scenarios (all six
+// paradigms appear across the seed range).
+func TestLeafSpineNonBindingRatesBitIdentical(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 0; seed < seeds; seed++ {
+		sc := Generate(uint64(seed))
+		if !sc.Faults.Empty() {
+			// Fault schedules mutate NICs only; they are covered by the
+			// nightly matrix. Keep this property about pure planning.
+			sc.Faults = nil
+		}
+		c, err := sc.compile()
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		resBig, err := runSim(c, canonicalScheduler())
+		if err != nil {
+			t.Fatalf("seed %d: bigswitch sim: %v", seed, err)
+		}
+		c.fabricFn = nonBindingLeafSpine
+		resLeaf, err := runSim(c, canonicalScheduler())
+		if err != nil {
+			t.Fatalf("seed %d: leafspine sim: %v", seed, err)
+		}
+		if resBig.Makespan != resLeaf.Makespan {
+			t.Errorf("seed %d: makespan %v vs %v", seed, resBig.Makespan, resLeaf.Makespan)
+		}
+		if !reflect.DeepEqual(resBig.Rates, resLeaf.Rates) {
+			t.Errorf("seed %d: rate timelines diverge between backends", seed)
+		}
+	}
+}

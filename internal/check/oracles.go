@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"echelonflow/internal/dag"
+	"echelonflow/internal/fabric"
 	"echelonflow/internal/sched"
 	"echelonflow/internal/sim"
 	"echelonflow/internal/unit"
@@ -143,13 +144,17 @@ func oracleFeasible(c *compiled, res *sim.Result) []Violation {
 	var out []Violation
 	ct := newCapTimeline(c.sc.Hosts, c.caps)
 	node := func(id string) *dag.Node { return c.graph.Node(id) }
+	net := c.newNet()
 
+	// Accumulate usage per fabric link (NICs plus whatever interior links
+	// the backend defines) per rate span, via the backend's own path
+	// enumeration — the per-link generalization of the old per-port check.
 	type key struct {
-		host string
+		link fabric.LinkKey
 		s    span
 	}
-	egUse := make(map[key]float64)
-	inUse := make(map[key]float64)
+	use := make(map[key]float64)
+	var lbuf []fabric.LinkKey
 	for _, seg := range res.Rates {
 		r := float64(seg.Rate)
 		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
@@ -162,17 +167,32 @@ func oracleFeasible(c *compiled, res *sim.Result) []Violation {
 			continue
 		}
 		s := span{seg.From, seg.To}
-		egUse[key{n.Src, s}] += r
-		inUse[key{n.Dst, s}] += r
+		lbuf = net.FlowLinks(n.Src, n.Dst, lbuf[:0])
+		for _, k := range lbuf {
+			use[key{k, s}] += r
+		}
 	}
+	links := net.Links()
 	for _, s := range spansOf(res) {
-		for _, h := range c.sc.Hosts {
-			eg, in := ct.at(h.Name, s.from)
-			if use := egUse[key{h.Name, s}]; use > float64(eg)*(1+1e-6)+unit.Eps {
-				out = append(out, vf(OracleFeasible, "host %s egress oversubscribed in [%v,%v): %v > %v", h.Name, s.from, s.to, use, eg))
-			}
-			if use := inUse[key{h.Name, s}]; use > float64(in)*(1+1e-6)+unit.Eps {
-				out = append(out, vf(OracleFeasible, "host %s ingress oversubscribed in [%v,%v): %v > %v", h.Name, s.from, s.to, use, in))
+		for _, l := range links {
+			u := use[key{l.Key, s}]
+			switch l.Key.Kind {
+			case fabric.LinkEgress:
+				eg, _ := ct.at(l.Key.Name, s.from)
+				if u > float64(eg)*(1+1e-6)+unit.Eps {
+					out = append(out, vf(OracleFeasible, "host %s egress oversubscribed in [%v,%v): %v > %v", l.Key.Name, s.from, s.to, u, eg))
+				}
+			case fabric.LinkIngress:
+				_, in := ct.at(l.Key.Name, s.from)
+				if u > float64(in)*(1+1e-6)+unit.Eps {
+					out = append(out, vf(OracleFeasible, "host %s ingress oversubscribed in [%v,%v): %v > %v", l.Key.Name, s.from, s.to, u, in))
+				}
+			default:
+				// Interior links keep their static capacity: fault events
+				// only mutate host NICs.
+				if u > float64(l.Capacity)*(1+1e-6)+unit.Eps {
+					out = append(out, vf(OracleFeasible, "link %s oversubscribed in [%v,%v): %v > %v", l.Key, s.from, s.to, u, l.Capacity))
+				}
 			}
 		}
 	}
@@ -348,30 +368,48 @@ func workConserving(s sched.Scheduler) bool {
 }
 
 // oracleWorkCons checks that during every constant-rate span, no flow that
-// was active for the whole span has usable headroom on both of its ports.
-// Only meaningful for work-conserving schedulers in event-driven mode:
-// IntervalOnly holds rates stale between ticks by design.
+// was active for the whole span has usable headroom on every link of its
+// path (on the big-switch fabric: both of its ports). Only meaningful for
+// work-conserving schedulers in event-driven mode: IntervalOnly holds rates
+// stale between ticks by design.
 func oracleWorkCons(c *compiled, res *sim.Result, s sched.Scheduler) []Violation {
 	if !workConserving(s) || c.sc.IntervalOnly {
 		return nil
 	}
 	var out []Violation
+	net := c.newNet()
 	ct := newCapTimeline(c.sc.Hosts, c.caps)
 	type key struct {
-		host string
+		link fabric.LinkKey
 		s    span
 	}
-	egUse := make(map[key]float64)
-	inUse := make(map[key]float64)
+	use := make(map[key]float64)
 	node := func(id string) *dag.Node { return c.graph.Node(id) }
+	var lbuf []fabric.LinkKey
 	for _, seg := range res.Rates {
 		n := node(seg.FlowID)
 		if n == nil {
 			continue
 		}
 		s := span{seg.From, seg.To}
-		egUse[key{n.Src, s}] += float64(seg.Rate)
-		inUse[key{n.Dst, s}] += float64(seg.Rate)
+		lbuf = net.FlowLinks(n.Src, n.Dst, lbuf[:0])
+		for _, k := range lbuf {
+			use[key{k, s}] += float64(seg.Rate)
+		}
+	}
+	// Fault events only mutate host NICs, so NIC links read the capacity
+	// timeline and interior links are static.
+	capAt := func(k fabric.LinkKey, at unit.Time) float64 {
+		switch k.Kind {
+		case fabric.LinkEgress:
+			eg, _ := ct.at(k.Name, at)
+			return float64(eg)
+		case fabric.LinkIngress:
+			_, in := ct.at(k.Name, at)
+			return float64(in)
+		default:
+			return float64(net.LinkCapacity(k))
+		}
 	}
 	for _, s := range spansOf(res) {
 		if s.to-s.from <= unit.Time(unit.Eps) {
@@ -385,14 +423,12 @@ func oracleWorkCons(c *compiled, res *sim.Result, s sched.Scheduler) []Violation
 			if rec.Release > s.from+unit.Time(unit.Eps) || rec.Finish < s.to-unit.Time(unit.Eps) {
 				continue // not active throughout the span
 			}
-			egCap, _ := ct.at(n.Src, s.from)
-			_, inCap := ct.at(n.Dst, s.from)
-			egFree := float64(egCap) - egUse[key{n.Src, s}]
-			inFree := float64(inCap) - inUse[key{n.Dst, s}]
-			head := math.Min(egFree, inFree)
-			lim := float64(egCap)
-			if float64(inCap) < lim {
-				lim = float64(inCap)
+			lbuf = net.FlowLinks(n.Src, n.Dst, lbuf[:0])
+			head, lim := math.Inf(1), math.Inf(1)
+			for _, k := range lbuf {
+				c := capAt(k, s.from)
+				head = math.Min(head, c-use[key{k, s}])
+				lim = math.Min(lim, c)
 			}
 			if head > 1e-6*(1+lim) {
 				out = append(out, vf(OracleWorkCons,

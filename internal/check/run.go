@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"echelonflow/internal/dag"
+	"echelonflow/internal/fabric"
 	"echelonflow/internal/sched"
 	"echelonflow/internal/sim"
 	"echelonflow/internal/unit"
@@ -26,6 +27,13 @@ type Config struct {
 	// prove the codec under test is observationally transparent. "" (or
 	// "direct") applies event structs without a codec round trip.
 	WireCodec string
+	// Fabric, when set, builds each run's fabric from the scenario's host
+	// specs instead of the default big-switch Network — the backend-matrix
+	// hook (leaf-spine, external timing). Every simulation and oracle replay
+	// inside one Run shares the builder, so differential oracles compare
+	// like against like. The builder must attach exactly the scenario's
+	// hosts with the given NIC capacities.
+	Fabric func(hosts []HostSpec) fabric.Fabric
 }
 
 // Outcome is the result of checking one scenario.
@@ -104,6 +112,9 @@ func Run(sc *Scenario, cfg Config) *Outcome {
 	if err != nil {
 		out.Violations = append(out.Violations, vf(OracleRun, "compile: %v", err))
 		return out
+	}
+	if cfg.Fabric != nil {
+		c.fabricFn = cfg.Fabric
 	}
 	switch cfg.WireCodec {
 	case "", "direct", "json", "binary":

@@ -221,6 +221,11 @@ type compiled struct {
 	// replayed flow event through ("" = apply structs directly). Set from
 	// Config.WireCodec by Run.
 	wire string
+	// fabricFn builds each run's fabric from the scenario's host specs
+	// (big-switch by default). Set from Config.Fabric by Run so every
+	// simulation and oracle replay in one Run schedules against the same
+	// backend.
+	fabricFn func(hosts []HostSpec) fabric.Fabric
 }
 
 // buildJob compiles one JobSpec through its ddlt paradigm.
@@ -339,6 +344,7 @@ func (sc *Scenario) compile() (*compiled, error) {
 		return nil, err
 	}
 	c := &compiled{sc: sc, graph: merged.Graph, arrs: merged.Arrangements, weights: weights}
+	c.fabricFn = func(hosts []HostSpec) fabric.Fabric { return newNet(hosts) }
 	if !sc.Faults.Empty() {
 		caps, dils, err := faults.CompileSim(sc.Faults, c.newNet())
 		if err != nil {
@@ -349,9 +355,13 @@ func (sc *Scenario) compile() (*compiled, error) {
 	return c, nil
 }
 
-// newNet builds a fresh baseline fabric for one run.
-func (c *compiled) newNet() *fabric.Network {
-	return newNet(c.sc.Hosts)
+// newNet builds a fresh baseline fabric for one run, via the configured
+// backend builder (big-switch by default; Config.Fabric overrides it).
+func (c *compiled) newNet() fabric.Fabric {
+	if c.fabricFn == nil {
+		return newNet(c.sc.Hosts)
+	}
+	return c.fabricFn(c.sc.Hosts)
 }
 
 func newNet(hosts []HostSpec) *fabric.Network {
@@ -365,7 +375,7 @@ func newNet(hosts []HostSpec) *fabric.Network {
 }
 
 // simOptions assembles one run's simulator options around a fresh fabric.
-func (c *compiled) simOptions(s sched.Scheduler) (sim.Options, *fabric.Network) {
+func (c *compiled) simOptions(s sched.Scheduler) (sim.Options, fabric.Fabric) {
 	net := c.newNet()
 	return sim.Options{
 		Graph:           c.graph,

@@ -307,7 +307,7 @@ func (o Overdrive) Name() string { return fmt.Sprintf("overdrive(%s,%g)", o.Inne
 // Schedule scales the inner allocation by Factor, deliberately breaking
 // feasibility when Factor > 1, and fails outright once the FailAfter budget
 // is exhausted.
-func (o Overdrive) Schedule(snap *sched.Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (o Overdrive) Schedule(snap *sched.Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	if o.FailAfter != nil {
 		if *o.FailAfter <= 0 {
 			return nil, fmt.Errorf("overdrive: induced failure (budget exhausted)")

@@ -220,7 +220,7 @@ type flakySched struct {
 
 func (s flakySched) Name() string { return "flaky" }
 
-func (s flakySched) Schedule(snap *sched.Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (s flakySched) Schedule(snap *sched.Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	if *s.fail {
 		return nil, errors.New("induced scheduler failure")
 	}

@@ -35,7 +35,7 @@ import (
 // Options configures a Coordinator.
 type Options struct {
 	// Net is the capacity model of the cluster fabric. Required.
-	Net *fabric.Network
+	Net fabric.Fabric
 	// Scheduler defaults to EchelonMADD with backfill.
 	Scheduler sched.Scheduler
 	// Interval, when positive, also reschedules periodically while flows
@@ -886,10 +886,16 @@ func (c *Coordinator) buildSnapshotLocked() *sched.Snapshot {
 				continue
 			}
 			remaining := f.remaining
-			if remaining < 1 {
+			if remaining <= 0 {
 				// The agent hasn't reported completion, so the flow is
-				// still real; keep a floor so it retains bandwidth.
+				// still real; keep a floor so it retains bandwidth. The
+				// floor engages only when the fluid estimate drains to
+				// zero: a sub-byte flow schedules at its true remaining,
+				// keeping live passes bit-equal to the simulator's.
 				remaining = 1
+				if f.flow.Size > 0 && f.flow.Size < 1 {
+					remaining = f.flow.Size
+				}
 			}
 			snap.Flows = append(snap.Flows, &sched.FlowState{
 				Flow: f.flow, GroupID: gid, Remaining: remaining, Release: f.release,

@@ -73,8 +73,20 @@ type journalEvent struct {
 type snapshotState struct {
 	Wall   int64           `json:"wall"` // coordinator start, UnixNano
 	At     unit.Time       `json:"at"`   // fluid model position when taken
+	Hosts  []snapshotHost  `json:"hosts,omitempty"`
 	Groups []snapshotGroup `json:"groups"`
 	Jobs   *snapshotJobs   `json:"jobs,omitempty"` // queue state, when a queue is configured
+}
+
+// snapshotHost records a host's NIC capacities at snapshot time. Capacity
+// mutations are journaled as jCapacity records, but compaction drops the
+// tail they live in — without this the restored fabric would revert to its
+// construction-time capacities, silently undoing every degrade/recovery
+// that preceded the snapshot.
+type snapshotHost struct {
+	Name    string    `json:"name"`
+	Egress  unit.Rate `json:"egress"`
+	Ingress unit.Rate `json:"ingress"`
 }
 
 // snapshotJobs compacts the job queue: pending submissions, admitted
@@ -190,6 +202,13 @@ func (c *Coordinator) snapshotLocked() {
 		return
 	}
 	st := snapshotState{Wall: c.start.UnixNano(), At: c.lastAdvance}
+	for _, h := range c.opts.Net.Hosts() {
+		eg, in, ok := c.opts.Net.Capacity(h.Name)
+		if !ok {
+			continue
+		}
+		st.Hosts = append(st.Hosts, snapshotHost{Name: h.Name, Egress: eg, Ingress: in})
+	}
 	gids := make([]string, 0, len(c.groups))
 	for gid := range c.groups {
 		gids = append(gids, gid)
@@ -311,6 +330,14 @@ func (c *Coordinator) applySnapshotLocked(payload []byte) error {
 	}
 	c.start = time.Unix(0, st.Wall)
 	c.lastAdvance = st.At
+	for _, sh := range st.Hosts {
+		if eg, in, ok := c.opts.Net.Capacity(sh.Name); ok && eg == sh.Egress && in == sh.Ingress {
+			continue // already at the recorded capacity; don't churn the generation
+		}
+		if err := c.opts.Net.SetCapacity(sh.Name, sh.Egress, sh.Ingress); err != nil {
+			return fmt.Errorf("coordinator: snapshot host %q: %w", sh.Name, err)
+		}
+	}
 	for _, sg := range st.Groups {
 		g, err := sg.Register.Group()
 		if err != nil {

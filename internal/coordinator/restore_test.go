@@ -292,3 +292,48 @@ func TestQuarantineRejoinAtDeadline(t *testing.T) {
 		t.Error("expired quarantine did not evict")
 	}
 }
+
+// Capacity mutations must survive snapshot compaction: jCapacity lives in
+// the WAL tail, which compaction discards, so the snapshot itself has to
+// carry current NIC capacities. Before the fix the restored fabric
+// silently reverted to its construction-time capacities whenever a
+// snapshot landed after a degrade.
+func TestRestoreCapacitySurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	opts := restoreOpts(t, clk)
+	opts.SnapshotEvery = 1 // compact after every append: no jCapacity survives in the tail
+	c, err := Restore(opts, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterGroup("a1", pipelineGroup(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetCapacity("w1", 2.5, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	// One more journaled event so the snapshot that compacts away the
+	// capacity record is provably the latest state.
+	if _, err := c.FlowEvent(wire.FlowEvent{GroupID: "job/pp", FlowID: "f0", Event: wire.EventReleased}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // crash semantics are covered above; state is already compacted
+
+	c2, err := Restore(restoreOpts(t, clk), dir) // fresh net at original capacities
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	eg, in, ok := c2.opts.Net.Capacity("w1")
+	if !ok {
+		t.Fatal("host w1 missing after restore")
+	}
+	if eg != 2.5 || in != 1.5 {
+		t.Errorf("restored capacity of w1 = %v/%v, want 2.5/1.5 (degrade lost in compaction)", eg, in)
+	}
+	// Untouched hosts stay at their construction-time capacities.
+	if eg, in, _ := c2.opts.Net.Capacity("w2"); eg != 10 || in != 10 {
+		t.Errorf("restored capacity of w2 = %v/%v, want 10/10", eg, in)
+	}
+}

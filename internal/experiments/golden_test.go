@@ -28,7 +28,7 @@ type equivScheduler struct {
 
 func (e *equivScheduler) Name() string { return e.seed.Name() }
 
-func (e *equivScheduler) Schedule(snap *sched.Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (e *equivScheduler) Schedule(snap *sched.Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	e.calls++
 	want, errSeed := e.seed.Schedule(snap, net)
 	got, errCached := e.cached.Schedule(snap, net)

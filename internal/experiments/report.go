@@ -110,5 +110,6 @@ func All() []Experiment {
 		{"e13", "Extended: coordinator crash recovery from the journal", ExtCrashRecovery},
 		{"e14", "Extended: differential check harness (oracles, shrinking)", ExtCheckHarness},
 		{"e15", "Extended: online arrivals, placement policy sensitivity", ExtOnlinePlacement},
+		{"e16", "Extended: leaf-spine fabric, core-oversubscription placement sensitivity", ExtLeafSpinePlacement},
 	}
 }

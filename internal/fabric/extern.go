@@ -1,0 +1,248 @@
+package fabric
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os/exec"
+	"sync"
+	"time"
+
+	"echelonflow/internal/unit"
+)
+
+// ExternOptions configures an external-timing fabric.
+type ExternOptions struct {
+	// Timeout bounds each request round trip; zero means DefaultExternTimeout.
+	Timeout time.Duration
+	// Logf, when set, narrates process lifecycle and fallback transitions.
+	Logf func(format string, args ...any)
+}
+
+// DefaultExternTimeout is the per-request budget before the external model
+// is declared unresponsive and the fabric latches onto its native fallback.
+const DefaultExternTimeout = 2 * time.Second
+
+// externRequest is one line sent to the external timing model.
+type externRequest struct {
+	ID      uint64         `json:"id"`
+	Volumes []externVolume `json:"volumes"`
+}
+
+type externVolume struct {
+	Src   string  `json:"src"`
+	Dst   string  `json:"dst"`
+	Bytes float64 `json:"bytes"`
+}
+
+// externResponse is one line received back.
+type externResponse struct {
+	ID    uint64  `json:"id"`
+	Time  float64 `json:"time"`
+	Error string  `json:"error,omitempty"`
+}
+
+// externProc is the subprocess half of an Extern, shared between every
+// Extern bound to it (see Rebind): one external model can serve a sequence
+// of fabrics, e.g. the check harness rebinding it to each generated
+// scenario instead of spawning a process per run.
+type externProc struct {
+	opts ExternOptions
+
+	mu       sync.Mutex
+	cmd      *exec.Cmd
+	stdin    *bufio.Writer
+	replies  <-chan externResponse
+	nextID   uint64
+	degraded bool
+}
+
+// Extern couples the native fabric model to an external timing process — the
+// co-simulation pattern where a main engine delegates network timing to a
+// swappable detailed simulator over a line-oriented protocol. Structure
+// (hosts, links, paths, feasibility, residuals) comes from the wrapped inner
+// fabric; BottleneckTime is answered by the subprocess, which receives one
+// JSON line per query:
+//
+//	{"id":1,"volumes":[{"src":"h0","dst":"h1","bytes":1048576}, ...]}
+//
+// and must reply with exactly one JSON line carrying the same id:
+//
+//	{"id":1,"time":0.0125}            // seconds to ship the volumes
+//	{"id":1,"error":"..."}            // per-query failure
+//
+// A reply that times out, fails to parse, carries the wrong id, or arrives
+// after the process died latches the fabric into degraded mode: every
+// subsequent BottleneckTime is answered by the inner model, so scheduling
+// continues (with native timing) when the external model misbehaves.
+// Per-query "error" replies fall back for that query without latching.
+type Extern struct {
+	Fabric // structural queries delegate to the inner backend
+
+	p *externProc
+}
+
+// NewExtern launches the external timing process (argv[0] is the binary) and
+// wraps inner with it. The process is expected to read requests from stdin
+// and write responses to stdout, one JSON object per line.
+func NewExtern(inner Fabric, argv []string, opts ExternOptions) (*Extern, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("fabric: extern needs an inner fabric")
+	}
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("fabric: extern needs a command")
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultExternTimeout
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: extern stdin: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: extern stdout: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("fabric: extern start %q: %w", argv[0], err)
+	}
+	replies := make(chan externResponse)
+	go func() {
+		defer close(replies)
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		for sc.Scan() {
+			var resp externResponse
+			if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+				return // protocol corruption: stop; pending read times out or sees close
+			}
+			replies <- resp
+		}
+	}()
+	e := &Extern{
+		Fabric: inner,
+		p: &externProc{
+			opts:    opts,
+			cmd:     cmd,
+			stdin:   bufio.NewWriter(stdin),
+			replies: replies,
+		},
+	}
+	opts.Logf("fabric: extern timing model %q started (pid %d)", argv[0], cmd.Process.Pid)
+	return e, nil
+}
+
+// Inner returns the wrapped native fabric.
+func (e *Extern) Inner() Fabric { return e.Fabric }
+
+// Rebind returns an Extern answering timing queries with the same external
+// process but structural queries from a different inner fabric. Degraded
+// state is shared: if the process dies, every bound fabric falls back.
+func (e *Extern) Rebind(inner Fabric) *Extern {
+	return &Extern{Fabric: inner, p: e.p}
+}
+
+// Degraded reports whether the external model has been latched off (the
+// inner model answers all timing queries).
+func (e *Extern) Degraded() bool {
+	e.p.mu.Lock()
+	defer e.p.mu.Unlock()
+	return e.p.degraded
+}
+
+// Close terminates the external process. The fabric remains usable — every
+// further timing query runs on the inner model.
+func (e *Extern) Close() error {
+	e.p.mu.Lock()
+	defer e.p.mu.Unlock()
+	e.p.latchLocked("closed")
+	if e.p.cmd.Process != nil {
+		e.p.cmd.Process.Kill()
+	}
+	return e.p.cmd.Wait()
+}
+
+// latchLocked permanently routes timing to the inner model.
+func (p *externProc) latchLocked(why string) {
+	if !p.degraded {
+		p.degraded = true
+		p.opts.Logf("fabric: extern timing model degraded (%s); using native fallback", why)
+	}
+}
+
+// BottleneckTime implements Fabric: the external model answers when healthy,
+// the inner model otherwise.
+func (e *Extern) BottleneckTime(vols []VolumeDemand) (unit.Time, error) {
+	// Validate endpoints against the structural model first, so unknown-host
+	// errors behave identically to the native backends.
+	for _, v := range vols {
+		if e.Fabric.Host(v.Src) == nil || e.Fabric.Host(v.Dst) == nil {
+			return 0, fmt.Errorf("fabric: volume demand references unknown host (%s→%s)", v.Src, v.Dst)
+		}
+	}
+	e.p.mu.Lock()
+	if e.p.degraded {
+		e.p.mu.Unlock()
+		return e.Fabric.BottleneckTime(vols)
+	}
+	e.p.nextID++
+	req := externRequest{ID: e.p.nextID, Volumes: make([]externVolume, 0, len(vols))}
+	for _, v := range vols {
+		req.Volumes = append(req.Volumes, externVolume{Src: v.Src, Dst: v.Dst, Bytes: float64(v.Volume)})
+	}
+	t, ok := e.p.roundTripLocked(req)
+	e.p.mu.Unlock()
+	if !ok {
+		return e.Fabric.BottleneckTime(vols)
+	}
+	return t, nil
+}
+
+// roundTripLocked performs one request/response exchange. ok=false means the
+// caller must use the native fallback; hard failures latch degraded mode.
+func (p *externProc) roundTripLocked(req externRequest) (unit.Time, bool) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		p.latchLocked("encode: " + err.Error())
+		return 0, false
+	}
+	data = append(data, '\n')
+	if _, err := p.stdin.Write(data); err != nil {
+		p.latchLocked("write: " + err.Error())
+		return 0, false
+	}
+	if err := p.stdin.Flush(); err != nil {
+		p.latchLocked("flush: " + err.Error())
+		return 0, false
+	}
+	timer := time.NewTimer(p.opts.Timeout)
+	defer timer.Stop()
+	select {
+	case resp, open := <-p.replies:
+		switch {
+		case !open:
+			p.latchLocked("process exited")
+			return 0, false
+		case resp.ID != req.ID:
+			p.latchLocked(fmt.Sprintf("response id %d for request %d", resp.ID, req.ID))
+			return 0, false
+		case resp.Error != "":
+			// A per-query error is not a process failure: fall back for this
+			// query only.
+			p.opts.Logf("fabric: extern timing query %d: %s", req.ID, resp.Error)
+			return 0, false
+		case resp.Time < 0:
+			p.latchLocked(fmt.Sprintf("negative time %g", resp.Time))
+			return 0, false
+		default:
+			return unit.Time(resp.Time), true
+		}
+	case <-timer.C:
+		p.latchLocked(fmt.Sprintf("timeout after %v", p.opts.Timeout))
+		return 0, false
+	}
+}

@@ -1,0 +1,199 @@
+package fabric
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"echelonflow/internal/unit"
+)
+
+// TestHelperProcess is not a test: it is the external timing model the
+// extern tests boot as a subprocess (the standard re-exec pattern, so no
+// binary outside the test suite is needed). Behaviour is selected by
+// FABRIC_EXTERN_MODE.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("FABRIC_EXTERN_HELPER") != "1" {
+		return
+	}
+	defer os.Exit(0)
+	mode := os.Getenv("FABRIC_EXTERN_MODE")
+	sc := bufio.NewScanner(os.Stdin)
+	out := bufio.NewWriter(os.Stdout)
+	for sc.Scan() {
+		var req struct {
+			ID      uint64 `json:"id"`
+			Volumes []struct {
+				Src   string  `json:"src"`
+				Dst   string  `json:"dst"`
+				Bytes float64 `json:"bytes"`
+			} `json:"volumes"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			fmt.Fprintf(os.Stderr, "helper: %v\n", err)
+			os.Exit(1)
+		}
+		switch mode {
+		case "half-rate":
+			// A toy detailed model: every byte ships at 0.5 B/s through one
+			// serial bottleneck — distinguishable from the native fluid model.
+			var total float64
+			for _, v := range req.Volumes {
+				total += v.Bytes
+			}
+			fmt.Fprintf(out, "{\"id\":%d,\"time\":%g}\n", req.ID, total/0.5)
+		case "per-query-error":
+			fmt.Fprintf(out, "{\"id\":%d,\"error\":\"no model for these endpoints\"}\n", req.ID)
+		case "silent":
+			// Never answer: forces the timeout path.
+		default:
+			fmt.Fprintf(out, "{\"id\":%d,\"time\":0.125}\n", req.ID)
+		}
+		out.Flush()
+	}
+}
+
+func helperArgv() []string {
+	return []string{os.Args[0], "-test.run=TestHelperProcess"}
+}
+
+func externTestFabric(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	n.AddUniformHosts(10, "a", "b", "c")
+	return n
+}
+
+func newTestExtern(t *testing.T, mode string, opts ExternOptions) *Extern {
+	t.Helper()
+	t.Setenv("FABRIC_EXTERN_HELPER", "1")
+	t.Setenv("FABRIC_EXTERN_MODE", mode)
+	e, err := NewExtern(externTestFabric(t), helperArgv(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestExternAnswersTiming(t *testing.T) {
+	e := newTestExtern(t, "half-rate", ExternOptions{})
+	vols := []VolumeDemand{{Src: "a", Dst: "b", Volume: 20}}
+	got, err := e.BottleneckTime(vols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 bytes at the helper's 0.5 B/s serial bottleneck; the native model
+	// would say 2 (20 bytes over a 10 B/s NIC), so 40 proves the external
+	// answer was used.
+	if got != unit.Time(40) {
+		t.Errorf("BottleneckTime = %v, want 40 (external model)", got)
+	}
+	if e.Degraded() {
+		t.Error("healthy extern reported degraded")
+	}
+	// Structural queries delegate to the inner fabric untouched.
+	if e.Len() != 3 || e.Host("a") == nil {
+		t.Error("structural delegation broken")
+	}
+}
+
+func TestExternUnknownHostMatchesNative(t *testing.T) {
+	e := newTestExtern(t, "half-rate", ExternOptions{})
+	_, errExt := e.BottleneckTime([]VolumeDemand{{Src: "a", Dst: "zz", Volume: 1}})
+	_, errNat := externTestFabric(t).BottleneckTime([]VolumeDemand{{Src: "a", Dst: "zz", Volume: 1}})
+	if errExt == nil || errNat == nil || errExt.Error() != errNat.Error() {
+		t.Errorf("unknown-host errors differ: extern %v vs native %v", errExt, errNat)
+	}
+	if e.Degraded() {
+		t.Error("validation failure must not latch degraded mode")
+	}
+}
+
+func TestExternPerQueryErrorFallsBackWithoutLatching(t *testing.T) {
+	e := newTestExtern(t, "per-query-error", ExternOptions{})
+	vols := []VolumeDemand{{Src: "a", Dst: "b", Volume: 20}}
+	got, err := e.BottleneckTime(vols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != unit.Time(2) {
+		t.Errorf("BottleneckTime = %v, want native 2 on per-query error", got)
+	}
+	if e.Degraded() {
+		t.Error("per-query error latched degraded mode")
+	}
+}
+
+func TestExternTimeoutLatchesDegraded(t *testing.T) {
+	e := newTestExtern(t, "silent", ExternOptions{Timeout: 50 * time.Millisecond})
+	vols := []VolumeDemand{{Src: "a", Dst: "b", Volume: 20}}
+	got, err := e.BottleneckTime(vols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != unit.Time(2) {
+		t.Errorf("BottleneckTime = %v, want native 2 after timeout", got)
+	}
+	if !e.Degraded() {
+		t.Error("timeout did not latch degraded mode")
+	}
+}
+
+func TestExternRebindSharesProcess(t *testing.T) {
+	e := newTestExtern(t, "half-rate", ExternOptions{})
+	other := NewNetwork()
+	other.AddUniformHosts(5, "x", "y")
+	e2 := e.Rebind(other)
+	if got, err := e2.BottleneckTime([]VolumeDemand{{Src: "x", Dst: "y", Volume: 10}}); err != nil || got != unit.Time(20) {
+		t.Fatalf("rebound answer = %v, %v; want 20 (external model)", got, err)
+	}
+	if e2.Host("x") == nil || e2.Host("a") != nil {
+		t.Error("rebound extern did not switch structural delegation")
+	}
+	e2.Close()
+	if !e.Degraded() {
+		t.Error("closing a rebound extern must latch the shared process state")
+	}
+	if got, err := e.BottleneckTime([]VolumeDemand{{Src: "a", Dst: "b", Volume: 20}}); err != nil || got != unit.Time(2) {
+		t.Errorf("original binding after shared close = %v, %v; want native 2", got, err)
+	}
+}
+
+// TestExternSurvivesProcessKill is the fault-injection smoke test: the
+// external model dies mid-session and every subsequent timing query must be
+// answered by the native fallback, permanently.
+func TestExternSurvivesProcessKill(t *testing.T) {
+	e := newTestExtern(t, "half-rate", ExternOptions{Timeout: 2 * time.Second})
+	vols := []VolumeDemand{{Src: "a", Dst: "b", Volume: 20}}
+	if got, err := e.BottleneckTime(vols); err != nil || got != unit.Time(40) {
+		t.Fatalf("pre-kill answer = %v, %v; want 40", got, err)
+	}
+	if err := e.p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	// The reader goroutine sees EOF and closes the reply channel; the next
+	// query must latch and fall back rather than hang or error.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err := e.BottleneckTime(vols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == unit.Time(2) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("still getting %v after kill, want native 2", got)
+		}
+	}
+	if !e.Degraded() {
+		t.Error("process death did not latch degraded mode")
+	}
+	if got, err := e.BottleneckTime(vols); err != nil || got != unit.Time(2) {
+		t.Errorf("post-kill answer = %v, %v; want native 2", got, err)
+	}
+}

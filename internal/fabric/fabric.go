@@ -144,311 +144,93 @@ func (r Request) capOrInf() unit.Rate {
 	return r.Cap
 }
 
-// checkEndpoints verifies both endpoints exist and differ.
-func (n *Network) checkEndpoints(reqs []Request) error {
-	for _, r := range reqs {
-		if n.hosts[r.Src] == nil {
-			return fmt.Errorf("fabric: request %q: unknown src host %q", r.ID, r.Src)
+// FlowLinks implements Fabric: a big-switch flow consumes its source's
+// egress NIC and its destination's ingress NIC, plus the rack uplink and
+// downlink when the endpoints sit in different racks. The order — egress,
+// ingress, uplink, downlink — is load-bearing: schedulers accumulate and
+// reserve in FlowLinks order, and this order reproduces the historical
+// kind-by-kind arithmetic bit for bit.
+func (n *Network) FlowLinks(src, dst string, buf []LinkKey) []LinkKey {
+	buf = append(buf, LinkKey{Kind: LinkEgress, Name: src}, LinkKey{Kind: LinkIngress, Name: dst})
+	if srcRack, dstRack, crosses := n.CrossRack(src, dst); crosses {
+		if srcRack != "" {
+			buf = append(buf, LinkKey{Kind: LinkUp, Name: srcRack})
 		}
-		if n.hosts[r.Dst] == nil {
-			return fmt.Errorf("fabric: request %q: unknown dst host %q", r.ID, r.Dst)
-		}
-		if r.Src == r.Dst {
-			return fmt.Errorf("fabric: request %q: src == dst (%s)", r.ID, r.Src)
+		if dstRack != "" {
+			buf = append(buf, LinkKey{Kind: LinkDown, Name: dstRack})
 		}
 	}
-	return nil
+	return buf
 }
 
-// Feasible reports whether the given per-flow rates respect every host's
-// egress and ingress capacity (within tolerance).
+// LinkCapacity implements Fabric.
+func (n *Network) LinkCapacity(k LinkKey) unit.Rate {
+	switch k.Kind {
+	case LinkEgress:
+		if h := n.hosts[k.Name]; h != nil {
+			return h.Egress
+		}
+	case LinkIngress:
+		if h := n.hosts[k.Name]; h != nil {
+			return h.Ingress
+		}
+	case LinkUp:
+		if r := n.racks[k.Name]; r != nil {
+			return r.Uplink
+		}
+	case LinkDown:
+		if r := n.racks[k.Name]; r != nil {
+			return r.Downlink
+		}
+	}
+	return 0
+}
+
+// Links implements Fabric: every host NIC direction (egress first, then
+// ingress, hosts in insertion order) followed by every rack uplink and
+// downlink in registration order.
+func (n *Network) Links() []Link {
+	out := make([]Link, 0, 2*len(n.names)+2*len(n.rackNames))
+	for _, name := range n.names {
+		out = append(out, Link{Key: LinkKey{Kind: LinkEgress, Name: name}, Capacity: n.hosts[name].Egress})
+	}
+	for _, name := range n.names {
+		out = append(out, Link{Key: LinkKey{Kind: LinkIngress, Name: name}, Capacity: n.hosts[name].Ingress})
+	}
+	for _, name := range n.rackNames {
+		out = append(out, Link{Key: LinkKey{Kind: LinkUp, Name: name}, Capacity: n.racks[name].Uplink})
+	}
+	for _, name := range n.rackNames {
+		out = append(out, Link{Key: LinkKey{Kind: LinkDown, Name: name}, Capacity: n.racks[name].Downlink})
+	}
+	return out
+}
+
+// Feasible reports whether the given per-flow rates respect every link's
+// capacity (within tolerance).
 func (n *Network) Feasible(reqs []Request, rates map[string]unit.Rate) error {
-	if err := n.checkEndpoints(reqs); err != nil {
-		return err
-	}
-	eg := make(map[string]unit.Rate, len(n.hosts))
-	in := make(map[string]unit.Rate, len(n.hosts))
-	for _, r := range reqs {
-		rt := rates[r.ID]
-		if rt < 0 {
-			return fmt.Errorf("fabric: flow %q has negative rate %v", r.ID, rt)
-		}
-		eg[r.Src] += rt
-		in[r.Dst] += rt
-	}
-	up := make(map[string]unit.Rate, len(n.racks))
-	down := make(map[string]unit.Rate, len(n.racks))
-	for _, r := range reqs {
-		if srcRack, dstRack, crosses := n.CrossRack(r.Src, r.Dst); crosses {
-			if srcRack != "" {
-				up[srcRack] += rates[r.ID]
-			}
-			if dstRack != "" {
-				down[dstRack] += rates[r.ID]
-			}
-		}
-	}
-	const tol = 1e-6
-	for name, used := range eg {
-		if float64(used) > float64(n.hosts[name].Egress)+tol {
-			return fmt.Errorf("fabric: egress of %q oversubscribed: %v > %v", name, used, n.hosts[name].Egress)
-		}
-	}
-	for name, used := range in {
-		if float64(used) > float64(n.hosts[name].Ingress)+tol {
-			return fmt.Errorf("fabric: ingress of %q oversubscribed: %v > %v", name, used, n.hosts[name].Ingress)
-		}
-	}
-	for name, used := range up {
-		if float64(used) > float64(n.racks[name].Uplink)+tol {
-			return fmt.Errorf("fabric: uplink of rack %q oversubscribed: %v > %v", name, used, n.racks[name].Uplink)
-		}
-	}
-	for name, used := range down {
-		if float64(used) > float64(n.racks[name].Downlink)+tol {
-			return fmt.Errorf("fabric: downlink of rack %q oversubscribed: %v > %v", name, used, n.racks[name].Downlink)
-		}
-	}
-	return nil
-}
-
-// Residual tracks remaining port capacity during an allocation pass.
-type Residual struct {
-	net      *Network
-	egress   map[string]unit.Rate
-	ingress  map[string]unit.Rate
-	rackUp   map[string]unit.Rate
-	rackDown map[string]unit.Rate
+	return feasibleLinks(n, reqs, rates)
 }
 
 // NewResidual snapshots the network's full capacities.
-func (n *Network) NewResidual() *Residual {
-	r := &Residual{
-		net:      n,
-		egress:   make(map[string]unit.Rate, len(n.hosts)),
-		ingress:  make(map[string]unit.Rate, len(n.hosts)),
-		rackUp:   make(map[string]unit.Rate, len(n.racks)),
-		rackDown: make(map[string]unit.Rate, len(n.racks)),
-	}
-	for name, h := range n.hosts {
-		r.egress[name] = h.Egress
-		r.ingress[name] = h.Ingress
-	}
-	for name, rk := range n.racks {
-		r.rackUp[name] = rk.Uplink
-		r.rackDown[name] = rk.Downlink
-	}
-	return r
-}
-
-// EgressFree returns the remaining egress capacity of a host.
-func (r *Residual) EgressFree(host string) unit.Rate { return r.egress[host] }
-
-// IngressFree returns the remaining ingress capacity of a host.
-func (r *Residual) IngressFree(host string) unit.Rate { return r.ingress[host] }
-
-// RackUpFree returns a rack's remaining uplink capacity.
-func (r *Residual) RackUpFree(rack string) unit.Rate { return r.rackUp[rack] }
-
-// RackDownFree returns a rack's remaining downlink capacity.
-func (r *Residual) RackDownFree(rack string) unit.Rate { return r.rackDown[rack] }
-
-// Available returns the largest rate a src→dst flow could still use,
-// honoring rack uplinks/downlinks when the flow crosses racks.
-func (r *Residual) Available(src, dst string) unit.Rate {
-	a := unit.MinRate(r.egress[src], r.ingress[dst])
-	if srcRack, dstRack, crosses := r.net.CrossRack(src, dst); crosses {
-		if srcRack != "" {
-			a = unit.MinRate(a, r.rackUp[srcRack])
-		}
-		if dstRack != "" {
-			a = unit.MinRate(a, r.rackDown[dstRack])
-		}
-	}
-	if a < 0 {
-		return 0
-	}
-	return a
-}
-
-// Take consumes rate on every port the flow touches. Taking more than
-// available clamps the residual at zero (callers should only Take what
-// Available allowed).
-func (r *Residual) Take(src, dst string, rate unit.Rate) {
-	clamp := func(m map[string]unit.Rate, k string) {
-		m[k] -= rate
-		if m[k] < 0 {
-			m[k] = 0
-		}
-	}
-	clamp(r.egress, src)
-	clamp(r.ingress, dst)
-	if srcRack, dstRack, crosses := r.net.CrossRack(src, dst); crosses {
-		if srcRack != "" {
-			clamp(r.rackUp, srcRack)
-		}
-		if dstRack != "" {
-			clamp(r.rackDown, dstRack)
-		}
-	}
-}
+func (n *Network) NewResidual() *Residual { return NewResidualOf(n) }
 
 // GreedyFill allocates rates to requests strictly in the given order: each
 // request receives the most it can (up to its cap) from what earlier
 // requests left behind. It is the enforcement primitive for priority-ordered
 // schedulers (SRPT, FIFO) and for backfilling MADD leftovers.
 func (n *Network) GreedyFill(reqs []Request) (map[string]unit.Rate, error) {
-	if err := n.checkEndpoints(reqs); err != nil {
-		return nil, err
-	}
-	res := n.NewResidual()
-	rates := make(map[string]unit.Rate, len(reqs))
-	for _, r := range reqs {
-		rate := unit.MinRate(res.Available(r.Src, r.Dst), r.capOrInf())
-		rates[r.ID] = rate
-		res.Take(r.Src, r.Dst, rate)
-	}
-	return rates, nil
+	return greedyFillLinks(n, reqs)
 }
 
 // MaxMin computes the max-min fair allocation over the requests via
-// progressive filling: repeatedly find the most contended port, give each of
+// progressive filling: repeatedly find the most contended link, give each of
 // its unfrozen flows an equal share, freeze them, and recurse on the rest.
 // Request caps participate: a flow whose cap is below its fair share is
 // frozen at its cap, releasing the difference to others. This is the
 // "bandwidth fair sharing" baseline of the paper's Fig. 2.
 func (n *Network) MaxMin(reqs []Request) (map[string]unit.Rate, error) {
-	if err := n.checkEndpoints(reqs); err != nil {
-		return nil, err
-	}
-	rates := make(map[string]unit.Rate, len(reqs))
-	frozen := make(map[string]bool, len(reqs))
-	res := n.NewResidual()
-
-	remaining := len(reqs)
-	for remaining > 0 {
-		// Count unfrozen flows per port (including rack uplinks/downlinks).
-		egCount := make(map[string]int)
-		inCount := make(map[string]int)
-		upCount := make(map[string]int)
-		downCount := make(map[string]int)
-		for _, r := range reqs {
-			if frozen[r.ID] {
-				continue
-			}
-			egCount[r.Src]++
-			inCount[r.Dst]++
-			if srcRack, dstRack, crosses := n.CrossRack(r.Src, r.Dst); crosses {
-				if srcRack != "" {
-					upCount[srcRack]++
-				}
-				if dstRack != "" {
-					downCount[dstRack]++
-				}
-			}
-		}
-		// The bottleneck share is the minimum per-flow share over all ports.
-		share := unit.Rate(1e300)
-		for p, c := range egCount {
-			if s := res.egress[p] / unit.Rate(c); s < share {
-				share = s
-			}
-		}
-		for p, c := range inCount {
-			if s := res.ingress[p] / unit.Rate(c); s < share {
-				share = s
-			}
-		}
-		for p, c := range upCount {
-			if s := res.rackUp[p] / unit.Rate(c); s < share {
-				share = s
-			}
-		}
-		for p, c := range downCount {
-			if s := res.rackDown[p] / unit.Rate(c); s < share {
-				share = s
-			}
-		}
-		// Any flow capped below the bottleneck share freezes at its cap.
-		minCap := unit.Rate(1e300)
-		for _, r := range reqs {
-			if !frozen[r.ID] && r.capOrInf() < minCap {
-				minCap = r.capOrInf()
-			}
-		}
-		if minCap < share {
-			for _, r := range reqs {
-				if frozen[r.ID] || r.capOrInf() != minCap {
-					continue
-				}
-				rates[r.ID] = minCap
-				res.Take(r.Src, r.Dst, minCap)
-				frozen[r.ID] = true
-				remaining--
-			}
-			continue
-		}
-		// Identify the bottleneck ports from the pre-iteration residuals,
-		// then freeze every unfrozen flow crossing one of them at the share.
-		// (Deciding and taking in one pass would let intra-pass residual
-		// updates freeze non-bottlenecked flows prematurely.)
-		bottleneckEg := make(map[string]bool)
-		bottleneckIn := make(map[string]bool)
-		bottleneckUp := make(map[string]bool)
-		bottleneckDown := make(map[string]bool)
-		tol := unit.Rate(unit.Eps) * unit.MaxRate(1, share)
-		for p, c := range egCount {
-			if res.egress[p]/unit.Rate(c) <= share+tol {
-				bottleneckEg[p] = true
-			}
-		}
-		for p, c := range inCount {
-			if res.ingress[p]/unit.Rate(c) <= share+tol {
-				bottleneckIn[p] = true
-			}
-		}
-		for p, c := range upCount {
-			if res.rackUp[p]/unit.Rate(c) <= share+tol {
-				bottleneckUp[p] = true
-			}
-		}
-		for p, c := range downCount {
-			if res.rackDown[p]/unit.Rate(c) <= share+tol {
-				bottleneckDown[p] = true
-			}
-		}
-		progressed := false
-		for _, r := range reqs {
-			if frozen[r.ID] {
-				continue
-			}
-			onBottleneck := bottleneckEg[r.Src] || bottleneckIn[r.Dst]
-			if srcRack, dstRack, crosses := n.CrossRack(r.Src, r.Dst); crosses {
-				onBottleneck = onBottleneck ||
-					(srcRack != "" && bottleneckUp[srcRack]) ||
-					(dstRack != "" && bottleneckDown[dstRack])
-			}
-			if onBottleneck {
-				rates[r.ID] = share
-				res.Take(r.Src, r.Dst, share)
-				frozen[r.ID] = true
-				remaining--
-				progressed = true
-			}
-		}
-		if !progressed {
-			// Should be unreachable; guard against float pathologies.
-			for _, r := range reqs {
-				if !frozen[r.ID] {
-					rates[r.ID] = share
-					res.Take(r.Src, r.Dst, share)
-					frozen[r.ID] = true
-					remaining--
-				}
-			}
-		}
-	}
-	return rates, nil
+	return maxMinLinks(n, reqs)
 }
 
 // PortLoad describes how much of one direction of a host port an allocation
@@ -489,44 +271,10 @@ func (n *Network) Loads(reqs []Request, rates map[string]unit.Rate) []PortLoad {
 }
 
 // BottleneckTime returns the minimum time needed to ship the given volumes
-// between host pairs, i.e. the most loaded port's total volume divided by
+// between host pairs, i.e. the most loaded link's total volume divided by
 // its capacity. This is Varys' Γ for a coflow, used by both MADD variants.
 func (n *Network) BottleneckTime(vols []VolumeDemand) (unit.Time, error) {
-	eg := make(map[string]unit.Bytes)
-	in := make(map[string]unit.Bytes)
-	for _, v := range vols {
-		if n.hosts[v.Src] == nil || n.hosts[v.Dst] == nil {
-			return 0, fmt.Errorf("fabric: volume demand references unknown host (%s→%s)", v.Src, v.Dst)
-		}
-		eg[v.Src] += v.Volume
-		in[v.Dst] += v.Volume
-	}
-	up := make(map[string]unit.Bytes)
-	down := make(map[string]unit.Bytes)
-	for _, v := range vols {
-		if srcRack, dstRack, crosses := n.CrossRack(v.Src, v.Dst); crosses {
-			if srcRack != "" {
-				up[srcRack] += v.Volume
-			}
-			if dstRack != "" {
-				down[dstRack] += v.Volume
-			}
-		}
-	}
-	var t unit.Time
-	for name, vol := range eg {
-		t = unit.MaxTime(t, vol.At(n.hosts[name].Egress))
-	}
-	for name, vol := range in {
-		t = unit.MaxTime(t, vol.At(n.hosts[name].Ingress))
-	}
-	for name, vol := range up {
-		t = unit.MaxTime(t, vol.At(n.racks[name].Uplink))
-	}
-	for name, vol := range down {
-		t = unit.MaxTime(t, vol.At(n.racks[name].Downlink))
-	}
-	return t, nil
+	return bottleneckTimeLinks(n, vols)
 }
 
 // VolumeDemand is a remaining volume between two hosts.

@@ -59,6 +59,31 @@ func (n *Network) AssignRack(host, rack string) error {
 	return nil
 }
 
+// ReassignRack moves a host to a (possibly different) rack, unlike
+// AssignRack which refuses hosts that already have one. Re-placement sweeps
+// (E16) use it to compare rack layouts on one fabric. A real move bumps the
+// topology generation, so plan caches, pooled port profiles, and delta
+// scheduler state keyed on TopoGeneration are discarded; a no-op move (same
+// rack) mutates nothing.
+func (n *Network) ReassignRack(host, rack string) error {
+	if n.hosts[host] == nil {
+		return fmt.Errorf("fabric: unknown host %q", host)
+	}
+	if n.racks[rack] == nil {
+		return fmt.Errorf("fabric: unknown rack %q", rack)
+	}
+	if n.rackOf == nil {
+		n.rackOf = make(map[string]string)
+	}
+	if n.rackOf[host] == rack {
+		return nil
+	}
+	n.rackOf[host] = rack
+	n.gen++
+	n.topoGen++
+	return nil
+}
+
 // Rack returns the named rack, or nil.
 func (n *Network) Rack(name string) *Rack { return n.racks[name] }
 

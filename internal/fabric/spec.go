@@ -1,0 +1,163 @@
+package fabric
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"echelonflow/internal/unit"
+)
+
+// HostCap is one host's NIC specification handed to Spec.Build — the common
+// denominator the CLI front-ends (uniform -cap hosts, heterogeneous -host
+// specs, generated scenarios) all reduce to.
+type HostCap struct {
+	Name    string
+	Egress  unit.Rate
+	Ingress unit.Rate
+}
+
+// Spec is a parsed -fabric flag value: which backend to build and its
+// geometry. The grammar shared by echelon-sim, echelon-coordinator and
+// echelon-check is
+//
+//	bigswitch                          the classic hosts-only fluid fabric
+//	leafspine                          2-spine Clos, 4 hosts/leaf, 3:1 oversub
+//	leafspine:hosts=2,spines=4,oversub=1
+//	extern:<command line>              external timing process over bigswitch
+type Spec struct {
+	Kind string // "bigswitch" | "leafspine" | "extern"
+
+	// Leaf-spine geometry (Kind "leafspine").
+	HostsPerLeaf int
+	Spines       int
+	Oversub      float64
+
+	// External timing process (Kind "extern"). Timeout 0 means
+	// DefaultExternTimeout.
+	Command []string
+	Timeout time.Duration
+}
+
+// ParseSpec parses a -fabric flag value.
+func ParseSpec(s string) (*Spec, error) {
+	kind, rest, hasRest := strings.Cut(s, ":")
+	switch kind {
+	case "", "bigswitch":
+		if hasRest {
+			return nil, fmt.Errorf("fabric: bigswitch takes no options, got %q", s)
+		}
+		return &Spec{Kind: "bigswitch"}, nil
+	case "leafspine":
+		sp := &Spec{Kind: "leafspine", HostsPerLeaf: 4, Spines: 2, Oversub: 3}
+		if !hasRest || rest == "" {
+			return sp, nil
+		}
+		for _, opt := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("fabric: leafspine option %q: want key=value", opt)
+			}
+			switch key {
+			case "hosts":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("fabric: leafspine hosts=%q: want a positive integer", val)
+				}
+				sp.HostsPerLeaf = n
+			case "spines":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("fabric: leafspine spines=%q: want a positive integer", val)
+				}
+				sp.Spines = n
+			case "oversub":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil || f <= 0 {
+					return nil, fmt.Errorf("fabric: leafspine oversub=%q: want a positive ratio", val)
+				}
+				sp.Oversub = f
+			default:
+				return nil, fmt.Errorf("fabric: unknown leafspine option %q (want hosts, spines or oversub)", key)
+			}
+		}
+		return sp, nil
+	case "extern":
+		cmd := strings.Fields(rest)
+		if len(cmd) == 0 {
+			return nil, fmt.Errorf("fabric: extern needs a command, e.g. extern:echelon-netsim")
+		}
+		return &Spec{Kind: "extern", Command: cmd}, nil
+	default:
+		return nil, fmt.Errorf("fabric: unknown backend %q (want bigswitch, leafspine[:opts] or extern:<cmd>)", kind)
+	}
+}
+
+// String renders the spec back in flag syntax.
+func (sp *Spec) String() string {
+	switch sp.Kind {
+	case "leafspine":
+		return fmt.Sprintf("leafspine:hosts=%d,spines=%d,oversub=%g", sp.HostsPerLeaf, sp.Spines, sp.Oversub)
+	case "extern":
+		return "extern:" + strings.Join(sp.Command, " ")
+	default:
+		return sp.Kind
+	}
+}
+
+// Build constructs the selected backend over the given hosts. Leaf-spine
+// fabrics attach hosts HostsPerLeaf at a time to leaves l0, l1, ... in the
+// order given, sizing each leaf's per-spine links so the leaf's core
+// bandwidth is its attached NIC bandwidth divided by Oversub (per
+// direction, so heterogeneous NICs are respected). An extern fabric wraps
+// the big-switch model: structure and feasibility stay native, timing
+// queries go to the external process.
+func (sp *Spec) Build(hosts []HostCap) (Fabric, error) {
+	switch sp.Kind {
+	case "bigswitch":
+		return sp.buildNetwork(hosts)
+	case "leafspine":
+		ls, err := NewLeafSpine(sp.Spines)
+		if err != nil {
+			return nil, err
+		}
+		nLeaves := (len(hosts) + sp.HostsPerLeaf - 1) / sp.HostsPerLeaf
+		for l := 0; l < nLeaves; l++ {
+			var up, down unit.Rate
+			for i := l * sp.HostsPerLeaf; i < len(hosts) && i < (l+1)*sp.HostsPerLeaf; i++ {
+				up += hosts[i].Egress
+				down += hosts[i].Ingress
+			}
+			up = unit.Rate(float64(up) / sp.Oversub / float64(sp.Spines))
+			down = unit.Rate(float64(down) / sp.Oversub / float64(sp.Spines))
+			if err := ls.AddLeaf(fmt.Sprintf("l%d", l), up, down); err != nil {
+				return nil, err
+			}
+		}
+		for i, h := range hosts {
+			if err := ls.AddHost(h.Name, fmt.Sprintf("l%d", i/sp.HostsPerLeaf), h.Egress, h.Ingress); err != nil {
+				return nil, err
+			}
+		}
+		return ls, nil
+	case "extern":
+		inner, err := sp.buildNetwork(hosts)
+		if err != nil {
+			return nil, err
+		}
+		return NewExtern(inner, sp.Command, ExternOptions{Timeout: sp.Timeout})
+	default:
+		return nil, fmt.Errorf("fabric: unknown backend %q", sp.Kind)
+	}
+}
+
+func (sp *Spec) buildNetwork(hosts []HostCap) (*Network, error) {
+	n := NewNetwork()
+	for _, h := range hosts {
+		if err := n.AddHost(h.Name, h.Egress, h.Ingress); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

@@ -55,7 +55,7 @@ func outageChange(at unit.Time, host string, b baseline) sim.CapacityChange {
 //	fsync_stall           -> no-op: the simulator's scheduling pass and
 //	                         journal are instantaneous; gray-failure stalls
 //	                         only exist on the live control plane
-func CompileSim(sched *Schedule, net *fabric.Network) ([]sim.CapacityChange, []sim.DilationChange, error) {
+func CompileSim(sched *Schedule, net fabric.Fabric) ([]sim.CapacityChange, []sim.DilationChange, error) {
 	if sched.Empty() {
 		return nil, nil, nil
 	}

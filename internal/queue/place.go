@@ -2,6 +2,7 @@ package queue
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"echelonflow/internal/fabric"
@@ -14,7 +15,7 @@ import (
 // to it. The coordinator assembles it from live flow state; tests and the
 // queue oracle assemble it synthetically.
 type View struct {
-	Net *fabric.Network
+	Net fabric.Fabric
 	// Egress/Ingress are per-host committed demand (remaining bytes of
 	// unfinished flows, or any load proxy — policies only compare).
 	Egress  map[string]unit.Bytes
@@ -24,7 +25,7 @@ type View struct {
 }
 
 // NewView returns an empty view over a fabric.
-func NewView(net *fabric.Network) *View {
+func NewView(net fabric.Fabric) *View {
 	return &View{
 		Net:     net,
 		Egress:  make(map[string]unit.Bytes),
@@ -44,13 +45,22 @@ func (v *View) TotalCapacity() unit.Rate {
 }
 
 // load is a host's normalized port pressure: committed bytes over port
-// capacity, comparable across heterogeneous NICs.
+// capacity, comparable across heterogeneous NICs. A host with no usable
+// port capacity (a faulted NIC, or an unknown host) is infinitely loaded,
+// not empty: returning 0 here made Spread/NetAware rank dead hosts as the
+// least-loaded targets and aim every new job at them.
 func (v *View) load(host string) float64 {
 	eg, in, ok := v.Net.Capacity(host)
 	if !ok || eg <= 0 || in <= 0 {
-		return 0
+		return math.Inf(1)
 	}
 	return float64(v.Egress[host])/float64(eg) + float64(v.Ingress[host])/float64(in)
+}
+
+// usable reports whether a host has capacity in both port directions.
+func (v *View) usable(host string) bool {
+	eg, in, ok := v.Net.Capacity(host)
+	return ok && eg > 0 && in > 0
 }
 
 // Placer binds a job's workers to hosts. Implementations must be
@@ -80,6 +90,18 @@ func pickSorted(v *View, spec wire.JobSpec, less func(a, b string) bool) ([]stri
 	need := HostsNeeded(spec)
 	if need > len(names) {
 		return nil, fmt.Errorf("queue: job %q needs %d hosts, fabric has %d", spec.ID, need, len(names))
+	}
+	// Zero-capacity hosts are ineligible while enough live hosts exist; a
+	// fabric too degraded to avoid them still places (the job stalls until
+	// the fault recovers, rather than being rejected).
+	alive := make([]string, 0, len(names))
+	for _, h := range names {
+		if v.usable(h) {
+			alive = append(alive, h)
+		}
+	}
+	if len(alive) >= need {
+		names = alive
 	}
 	sort.SliceStable(names, func(i, j int) bool { return less(names[i], names[j]) })
 	return append([]string(nil), names[:need]...), nil

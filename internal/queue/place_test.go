@@ -180,3 +180,44 @@ func TestTotalCapacity(t *testing.T) {
 		t.Errorf("TotalCapacity = %v, want 10 (min(10,4)+min(6,8))", got)
 	}
 }
+
+func TestPlacersAvoidFaultedHost(t *testing.T) {
+	// A faulted host (both ports at zero) used to report load 0 and so rank
+	// as the *least* loaded target: Spread and NetAware aimed every new job
+	// straight at the dead NIC. It must now lose to any live host.
+	for _, p := range []Placer{Pack{}, Spread{}, NetAware{}} {
+		v := NewView(testNet(t))
+		if err := v.Net.SetCapacity("a", 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		v.Egress["b"] = 90 // heavily loaded, but alive — still beats a
+		v.Egress["c"] = 90
+		v.Egress["d"] = 90
+		hosts, err := p.Place(spec(3), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hosts {
+			if h == "a" {
+				t.Errorf("%s placed a worker on zero-capacity host a: %v", p.Name(), hosts)
+			}
+		}
+	}
+}
+
+func TestPlaceUsesFaultedHostOnlyAsLastResort(t *testing.T) {
+	// When the job cannot fit on the live hosts alone, dead hosts become
+	// eligible again (the job stalls until recovery instead of being
+	// rejected) — and they still sort behind every live host.
+	v := NewView(testNet(t))
+	if err := v.Net.SetCapacity("a", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := Spread{}.Place(spec(4), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 4 || hosts[3] != "a" {
+		t.Errorf("spread on a 4-of-4 job = %v, want faulted host a last", hosts)
+	}
+}

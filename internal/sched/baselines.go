@@ -14,7 +14,7 @@ type Fair struct{}
 func (Fair) Name() string { return "fair" }
 
 // Schedule implements Scheduler via progressive filling.
-func (Fair) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (Fair) Schedule(snap *Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	if err := snap.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,7 +38,7 @@ type SRPT struct{}
 func (SRPT) Name() string { return "srpt" }
 
 // Schedule implements Scheduler.
-func (SRPT) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (SRPT) Schedule(snap *Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	if err := snap.Validate(); err != nil {
 		return nil, err
 	}
@@ -63,7 +63,7 @@ type FIFO struct{}
 func (FIFO) Name() string { return "fifo" }
 
 // Schedule implements Scheduler.
-func (FIFO) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (FIFO) Schedule(snap *Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	if err := snap.Validate(); err != nil {
 		return nil, err
 	}

@@ -21,7 +21,7 @@ import (
 //     fixed once the group's reference time is observed),
 //   - the tardiness floor (achieved tardiness) is bitwise equal,
 //   - the fabric has not mutated since the entry was stored (tracked by
-//     fabric.Network.Generation), and
+//     Fabric.Generation), and
 //   - either the snapshot time and every remaining volume are bitwise equal
 //     (zero-dt event cascades), or the entry was on schedule (solo tardiness
 //     exactly equal to its floor) and every flow's remaining volume is at or
@@ -44,7 +44,7 @@ import (
 // is a valid always-miss cache, so EchelonMADD works unchanged without one.
 type PlanCache struct {
 	mu      sync.Mutex
-	net     *fabric.Network
+	net     fabric.Fabric
 	netGen  uint64
 	entries map[string]*planEntry
 
@@ -118,7 +118,7 @@ func (c *PlanCache) InvalidateAll() {
 
 // lookup returns the cached solo tardiness for a group when the entry is
 // provably equivalent to what a fresh planning pass would produce.
-func (c *PlanCache) lookup(snap *Snapshot, net *fabric.Network, id string, flows []*FlowState, floor unit.Time) (unit.Time, bool) {
+func (c *PlanCache) lookup(snap *Snapshot, net fabric.Fabric, id string, flows []*FlowState, floor unit.Time) (unit.Time, bool) {
 	if c == nil {
 		return 0, false
 	}
@@ -177,7 +177,7 @@ func (c *PlanCache) lookup(snap *Snapshot, net *fabric.Network, id string, flows
 
 // store records a freshly computed solo ranking. A fabric generation change
 // opens a new epoch, discarding every stale entry.
-func (c *PlanCache) store(snap *Snapshot, net *fabric.Network, id string, flows []*FlowState, floor, tau unit.Time, plans map[string][]fillSegment) {
+func (c *PlanCache) store(snap *Snapshot, net fabric.Fabric, id string, flows []*FlowState, floor, tau unit.Time, plans map[string][]fillSegment) {
 	if c == nil {
 		return
 	}

@@ -56,43 +56,26 @@ func volumesOf(flows []*FlowState) []fabric.VolumeDemand {
 }
 
 // residualGamma computes a group's bottleneck completion time against
-// residual port capacities. It returns Inf when a needed port has no
+// residual link capacities. It returns Inf when a needed link has no
 // capacity left.
-func residualGamma(flows []*FlowState, res *fabric.Residual, net *fabric.Network) unit.Time {
-	eg := make(map[string]unit.Bytes)
-	in := make(map[string]unit.Bytes)
-	up := make(map[string]unit.Bytes)
-	down := make(map[string]unit.Bytes)
+func residualGamma(flows []*FlowState, res *fabric.Residual, net fabric.Fabric) unit.Time {
+	vols := make(map[fabric.LinkKey]unit.Bytes)
+	var lbuf []fabric.LinkKey
 	for _, fs := range flows {
-		eg[fs.Flow.Src] += fs.Remaining
-		in[fs.Flow.Dst] += fs.Remaining
-		if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
-			if srcRack != "" {
-				up[srcRack] += fs.Remaining
-			}
-			if dstRack != "" {
-				down[dstRack] += fs.Remaining
-			}
+		lbuf = net.FlowLinks(fs.Flow.Src, fs.Flow.Dst, lbuf[:0])
+		for _, k := range lbuf {
+			vols[k] += fs.Remaining
 		}
 	}
 	var gamma unit.Time
-	for host, vol := range eg {
-		gamma = unit.MaxTime(gamma, vol.At(res.EgressFree(host)))
-	}
-	for host, vol := range in {
-		gamma = unit.MaxTime(gamma, vol.At(res.IngressFree(host)))
-	}
-	for rack, vol := range up {
-		gamma = unit.MaxTime(gamma, vol.At(res.RackUpFree(rack)))
-	}
-	for rack, vol := range down {
-		gamma = unit.MaxTime(gamma, vol.At(res.RackDownFree(rack)))
+	for k, vol := range vols {
+		gamma = unit.MaxTime(gamma, vol.At(res.Free(k)))
 	}
 	return gamma
 }
 
 // Schedule implements Scheduler.
-func (c CoflowMADD) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (c CoflowMADD) Schedule(snap *Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	if err := snap.Validate(); err != nil {
 		return nil, err
 	}

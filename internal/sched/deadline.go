@@ -40,7 +40,7 @@ type DegradeControl interface {
 	// chaos hook behind the faults.SchedStall kind. Zero clears it.
 	SetStall(d time.Duration)
 	// Quiesce blocks until no abandoned primary pass is in flight. Callers
-	// that mutate shared scheduling inputs (the fabric.Network) must quiesce
+	// that mutate shared scheduling inputs (the fabric) must quiesce
 	// first: an abandoned pass keeps reading the network after its call
 	// returned.
 	Quiesce()
@@ -196,7 +196,7 @@ func (d *Deadline) bypassed() bool {
 
 // Schedule implements Scheduler: the primary pass under budget, the fallback
 // on overrun, error, contention or an open breaker.
-func (d *Deadline) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (d *Deadline) Schedule(snap *Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	t0 := time.Now()
 	if d.bypassed() {
 		// Unbounded replay mode: serialize against any abandoned pass, run
@@ -287,7 +287,7 @@ func (d *Deadline) noteFailure(now time.Time) {
 }
 
 // fallback computes the degraded allocation and records the outcome.
-func (d *Deadline) fallback(snap *Snapshot, net *fabric.Network, reason string, t0 time.Time) (map[string]unit.Rate, error) {
+func (d *Deadline) fallback(snap *Snapshot, net fabric.Fabric, reason string, t0 time.Time) (map[string]unit.Rate, error) {
 	rates, err := d.fb.Schedule(snap, net)
 	out := DegradeOutcome{Degraded: true, Reason: reason, Elapsed: time.Since(t0)}
 	d.mu.Lock()
@@ -319,7 +319,7 @@ type DeadlineDelta struct {
 }
 
 // Apply implements DeltaScheduler.
-func (d *DeadlineDelta) Apply(snap *Snapshot, net *fabric.Network, delta Delta) (map[string]unit.Rate, bool, error) {
+func (d *DeadlineDelta) Apply(snap *Snapshot, net fabric.Fabric, delta Delta) (map[string]unit.Rate, bool, error) {
 	t0 := time.Now()
 	if d.bypassed() {
 		d.slot <- struct{}{}
@@ -387,7 +387,7 @@ func (d *DeadlineDelta) Apply(snap *Snapshot, net *fabric.Network, delta Delta) 
 
 // Prime implements DeltaScheduler. It forwards only when no pass is in
 // flight; a primed state is clean by construction.
-func (d *DeadlineDelta) Prime(snap *Snapshot, net *fabric.Network, rates map[string]unit.Rate) {
+func (d *DeadlineDelta) Prime(snap *Snapshot, net fabric.Fabric, rates map[string]unit.Rate) {
 	select {
 	case d.slot <- struct{}{}:
 	default:

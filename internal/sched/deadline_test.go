@@ -21,7 +21,7 @@ type slowScheduler struct {
 
 func (s *slowScheduler) Name() string { return "slow" }
 
-func (s *slowScheduler) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (s *slowScheduler) Schedule(snap *Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	s.mu.Lock()
 	s.calls++
 	d, fail := s.delay, s.fail

@@ -31,11 +31,11 @@ type DeltaScheduler interface {
 	// of the same snapshot would assign. Flows of untouched groups keep
 	// their previous rates (held until their group's next event or a full
 	// reschedule).
-	Apply(snap *Snapshot, net *fabric.Network, d Delta) (map[string]unit.Rate, bool, error)
+	Apply(snap *Snapshot, net fabric.Fabric, d Delta) (map[string]unit.Rate, bool, error)
 	// Prime installs incremental state from an externally known allocation
 	// (e.g. a journal snapshot's restored rates) without scheduling, so a
 	// restored coordinator continues on the delta path bit-for-bit.
-	Prime(snap *Snapshot, net *fabric.Network, rates map[string]unit.Rate)
+	Prime(snap *Snapshot, net fabric.Fabric, rates map[string]unit.Rate)
 }
 
 // DeltaOutcome reports what the last Apply call did, for telemetry and the
@@ -51,23 +51,18 @@ type DeltaOutcome struct {
 	Replanned []string
 }
 
-// portKey identifies one direction of one port. The four kinds are distinct
-// capacity pools: two groups interact in planning only when they share a key.
-type portKey struct {
-	kind uint8 // 0 egress(host) 1 ingress(host) 2 uplink(rack) 3 downlink(rack)
-	name string
-}
-
-// deltaGroup is the tracked footprint of one group at the last pass.
+// deltaGroup is the tracked footprint of one group at the last pass. Links
+// are distinct capacity pools: two groups interact in planning only when
+// they share a fabric.LinkKey.
 type deltaGroup struct {
 	flowIDs []string // sorted
-	ports   map[portKey]struct{}
+	ports   map[fabric.LinkKey]struct{}
 }
 
 // deltaState is the incremental scheduler's view of the last successful
 // pass: the allocation it committed and each group's membership/footprint.
 type deltaState struct {
-	net    *fabric.Network
+	net    fabric.Fabric
 	netGen uint64
 	now    unit.Time
 	rates  map[string]unit.Rate
@@ -81,15 +76,15 @@ type deltaState struct {
 // computes them, because both store only values a cold planner would produce.
 //
 // Why patching a component is exact: EchelonMADD plans each group against
-// per-port free-capacity timelines, then backfills and clamps per port.
-// Every step reads and writes only the ports the involved flows touch, so
-// two groups whose flows share no directional port never influence each
-// other's rates. Apply therefore replans exactly the transitive closure of
-// port-sharing groups around the changed ones (against fresh sparse
-// profiles, in the same rank order the full sort would give them) and holds
-// everything else. Held flows keep rates from a pass where they were
-// feasible on the same fabric generation, and no replanned flow shares a
-// port with them — the merged map stays feasible.
+// per-link free-capacity timelines, then backfills and clamps per link.
+// Every step reads and writes only the links the involved flows touch (as
+// enumerated by the fabric's FlowLinks), so two groups whose flows share no
+// link never influence each other's rates. Apply therefore replans exactly
+// the transitive closure of link-sharing groups around the changed ones
+// (against fresh sparse profiles, in the same rank order the full sort would
+// give them) and holds everything else. Held flows keep rates from a pass
+// where they were feasible on the same fabric generation, and no replanned
+// flow shares a link with them — the merged map stays feasible.
 type DeltaEchelon struct {
 	inner EchelonMADD
 
@@ -121,7 +116,7 @@ func (d *DeltaEchelon) LastOutcome() DeltaOutcome {
 
 // Schedule implements Scheduler: a full pass that also rebuilds the
 // incremental state.
-func (d *DeltaEchelon) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (d *DeltaEchelon) Schedule(snap *Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	rates, err := d.inner.Schedule(snap, net)
 	if err != nil {
 		return nil, err
@@ -133,7 +128,7 @@ func (d *DeltaEchelon) Schedule(snap *Snapshot, net *fabric.Network) (map[string
 }
 
 // Prime implements DeltaScheduler.
-func (d *DeltaEchelon) Prime(snap *Snapshot, net *fabric.Network, rates map[string]unit.Rate) {
+func (d *DeltaEchelon) Prime(snap *Snapshot, net fabric.Fabric, rates map[string]unit.Rate) {
 	if snap == nil || net == nil || snap.Validate() != nil {
 		return
 	}
@@ -144,7 +139,7 @@ func (d *DeltaEchelon) Prime(snap *Snapshot, net *fabric.Network, rates map[stri
 
 // Apply implements DeltaScheduler. See DeltaEchelon for the exactness
 // argument; every return path records a DeltaOutcome.
-func (d *DeltaEchelon) Apply(snap *Snapshot, net *fabric.Network, delta Delta) (map[string]unit.Rate, bool, error) {
+func (d *DeltaEchelon) Apply(snap *Snapshot, net fabric.Fabric, delta Delta) (map[string]unit.Rate, bool, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	fall := func(reason string) (map[string]unit.Rate, bool, error) {
@@ -157,7 +152,7 @@ func (d *DeltaEchelon) Apply(snap *Snapshot, net *fabric.Network, delta Delta) (
 		return fall("cold-state")
 	case d.inner.GlobalEDF:
 		// Global EDF interleaves every group's classes on one shared
-		// timeline; there is no port-local component to patch.
+		// timeline; there is no link-local component to patch.
 		return fall("global-edf")
 	case st.net != net || st.netGen != net.Generation():
 		return fall("fabric-generation")
@@ -195,26 +190,26 @@ func (d *DeltaEchelon) Apply(snap *Snapshot, net *fabric.Network, delta Delta) (
 		}
 	}
 
-	// Port footprints. Tracked groups outside the delta just proved their
+	// Link footprints. Tracked groups outside the delta just proved their
 	// membership unchanged, and a topology mutation would have bumped the
 	// fabric generation — their footprint from the last pass is current, so
-	// reuse it. Only the declared groups compute fresh port sets.
-	gports := make(map[string]map[portKey]struct{}, len(ids))
+	// reuse it. Only the declared groups compute fresh link sets.
+	gports := make(map[string]map[fabric.LinkKey]struct{}, len(ids))
 	for _, id := range ids {
 		if prev, tracked := st.groups[id]; tracked && !inDelta[id] {
 			gports[id] = prev.ports
 			continue
 		}
-		ports := make(map[portKey]struct{}, 2*len(byGroup[id]))
+		ports := make(map[fabric.LinkKey]struct{}, 2*len(byGroup[id]))
 		addFlowPorts(ports, net, byGroup[id])
 		gports[id] = ports
 	}
 
-	// Seed the affected-port set from the changed groups' footprints — both
+	// Seed the affected-link set from the changed groups' footprints — both
 	// the previous one (covers finished/unregistered flows) and the current
 	// one (covers newly released flows) — then close over current groups
-	// sharing any of those ports.
-	seeds := make(map[portKey]struct{})
+	// sharing any of those links.
+	seeds := make(map[fabric.LinkKey]struct{})
 	for _, id := range delta.Groups {
 		if prev := st.groups[id]; prev != nil {
 			for pk := range prev.ports {
@@ -266,7 +261,7 @@ func (d *DeltaEchelon) Apply(snap *Snapshot, net *fabric.Network, delta Delta) (
 
 	// Rank the component exactly as Schedule ranks the full set: cached
 	// solo tardiness where provably equivalent, fresh solo plans otherwise.
-	// A solo plan only reads the group's own ports, so planning it against
+	// A solo plan only reads the group's own links, so planning it against
 	// sparse profiles is bit-equal to the full-fabric pass. Note: no prune —
 	// the component is not the full live-group set, so pruning here would
 	// evict live entries (the hazard PlanCache.prune now guards against).
@@ -305,7 +300,7 @@ func (d *DeltaEchelon) Apply(snap *Snapshot, net *fabric.Network, delta Delta) (
 	})
 
 	// Plan the component groups in rank order against sparse profiles of
-	// the component's ports only.
+	// the component's links only.
 	compFlows := make([]*FlowState, 0, len(snap.Flows)-held)
 	for _, fs := range snap.Flows {
 		if comp[fs.GroupID] {
@@ -360,7 +355,7 @@ func (d *DeltaEchelon) Apply(snap *Snapshot, net *fabric.Network, delta Delta) (
 
 // captureDeltaState records the allocation and per-group footprints of a
 // successful pass.
-func captureDeltaState(snap *Snapshot, net *fabric.Network, rates map[string]unit.Rate) *deltaState {
+func captureDeltaState(snap *Snapshot, net fabric.Fabric, rates map[string]unit.Rate) *deltaState {
 	st := &deltaState{
 		net:    net,
 		netGen: net.Generation(),
@@ -375,7 +370,7 @@ func captureDeltaState(snap *Snapshot, net *fabric.Network, rates map[string]uni
 	for id, flows := range byGroup {
 		g := &deltaGroup{
 			flowIDs: make([]string, 0, len(flows)),
-			ports:   make(map[portKey]struct{}, 2*len(flows)),
+			ports:   make(map[fabric.LinkKey]struct{}, 2*len(flows)),
 		}
 		for _, fs := range flows {
 			g.flowIDs = append(g.flowIDs, fs.Flow.ID)
@@ -387,23 +382,18 @@ func captureDeltaState(snap *Snapshot, net *fabric.Network, rates map[string]uni
 	return st
 }
 
-// addFlowPorts adds every directional port the flows touch to the set.
-func addFlowPorts(set map[portKey]struct{}, net *fabric.Network, flows []*FlowState) {
+// addFlowPorts adds every link the flows touch to the set.
+func addFlowPorts(set map[fabric.LinkKey]struct{}, net fabric.Fabric, flows []*FlowState) {
+	var lbuf []fabric.LinkKey
 	for _, fs := range flows {
-		set[portKey{kind: 0, name: fs.Flow.Src}] = struct{}{}
-		set[portKey{kind: 1, name: fs.Flow.Dst}] = struct{}{}
-		if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
-			if srcRack != "" {
-				set[portKey{kind: 2, name: srcRack}] = struct{}{}
-			}
-			if dstRack != "" {
-				set[portKey{kind: 3, name: dstRack}] = struct{}{}
-			}
+		lbuf = net.FlowLinks(fs.Flow.Src, fs.Flow.Dst, lbuf[:0])
+		for _, k := range lbuf {
+			set[k] = struct{}{}
 		}
 	}
 }
 
-func intersectsPorts(a map[portKey]struct{}, b map[portKey]struct{}) bool {
+func intersectsPorts(a map[fabric.LinkKey]struct{}, b map[fabric.LinkKey]struct{}) bool {
 	if len(b) < len(a) {
 		a, b = b, a
 	}
@@ -431,36 +421,23 @@ func equalFlowIDs(prev []string, flows []*FlowState) bool {
 	return true
 }
 
-// sparseProfiles builds full-capacity timelines for exactly the ports the
+// sparseProfiles builds full-capacity timelines for exactly the links the
 // given flows touch. Planning against them is bit-equal to planning against
 // the pooled full-fabric profiles, which start from the same
-// newProfile(now, capacity) state for every port.
-func sparseProfiles(net *fabric.Network, now unit.Time, flows []*FlowState) *portProfiles {
+// newProfile(now, capacity) state for every link.
+func sparseProfiles(net fabric.Fabric, now unit.Time, flows []*FlowState) *portProfiles {
 	pp := &portProfiles{
 		net:     net,
 		topoGen: net.TopoGeneration(),
-		eg:      make(map[string]*profile),
-		in:      make(map[string]*profile),
-		up:      make(map[string]*profile),
-		down:    make(map[string]*profile),
-		egVol:   make(map[string]unit.Bytes),
-		inVol:   make(map[string]unit.Bytes),
-		upVol:   make(map[*profile]unit.Bytes),
-		downVol: make(map[*profile]unit.Bytes),
+		ports:   make(map[fabric.LinkKey]*profile),
+		vol:     make(map[*profile]unit.Bytes),
 	}
+	var lbuf []fabric.LinkKey
 	for _, fs := range flows {
-		if pp.eg[fs.Flow.Src] == nil {
-			pp.eg[fs.Flow.Src] = newProfile(now, net.Host(fs.Flow.Src).Egress)
-		}
-		if pp.in[fs.Flow.Dst] == nil {
-			pp.in[fs.Flow.Dst] = newProfile(now, net.Host(fs.Flow.Dst).Ingress)
-		}
-		if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
-			if srcRack != "" && pp.up[srcRack] == nil {
-				pp.up[srcRack] = newProfile(now, net.Rack(srcRack).Uplink)
-			}
-			if dstRack != "" && pp.down[dstRack] == nil {
-				pp.down[dstRack] = newProfile(now, net.Rack(dstRack).Downlink)
+		lbuf = net.FlowLinks(fs.Flow.Src, fs.Flow.Dst, lbuf[:0])
+		for _, k := range lbuf {
+			if pp.ports[k] == nil {
+				pp.ports[k] = newProfile(now, net.LinkCapacity(k))
 			}
 		}
 	}
@@ -468,10 +445,10 @@ func sparseProfiles(net *fabric.Network, now unit.Time, flows []*FlowState) *por
 }
 
 // backfillComponent mirrors EchelonMADD.backfill over the component's flows
-// and ports only. Non-component flows never touch a component port, so the
-// residual arithmetic — including the per-port subtraction order, which
+// and links only. Non-component flows never touch a component link, so the
+// residual arithmetic — including the per-link subtraction order, which
 // follows snapshot flow order exactly as the full pass does — is bit-equal.
-func backfillComponent(snap *Snapshot, net *fabric.Network, flows []*FlowState, rates map[string]unit.Rate) {
+func backfillComponent(snap *Snapshot, net fabric.Fabric, flows []*FlowState, rates map[string]unit.Rate) {
 	res := newSparseResidual(net, flows)
 	for _, fs := range flows {
 		res.take(fs.Flow.Src, fs.Flow.Dst, rates[fs.Flow.ID])
@@ -490,28 +467,17 @@ func backfillComponent(snap *Snapshot, net *fabric.Network, flows []*FlowState, 
 }
 
 // clampComponent mirrors clampFeasible over the component's flows, then
-// verifies the component's ports stay within capacity at fabric.Feasible's
+// verifies the component's links stay within capacity at fabric.Feasible's
 // tolerance. It reports false when the patch is not provably feasible.
-func clampComponent(snap *Snapshot, net *fabric.Network, flows []*FlowState, rates map[string]unit.Rate) bool {
-	eg := make(map[string]unit.Rate)
-	in := make(map[string]unit.Rate)
-	up := make(map[string]unit.Rate)
-	down := make(map[string]unit.Rate)
+func clampComponent(snap *Snapshot, net fabric.Fabric, flows []*FlowState, rates map[string]unit.Rate) bool {
+	used := make(map[fabric.LinkKey]unit.Rate)
+	var lbuf []fabric.LinkKey
 	accumulate := func() {
-		clear(eg)
-		clear(in)
-		clear(up)
-		clear(down)
+		clear(used)
 		for _, fs := range flows {
-			eg[fs.Flow.Src] += rates[fs.Flow.ID]
-			in[fs.Flow.Dst] += rates[fs.Flow.ID]
-			if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
-				if srcRack != "" {
-					up[srcRack] += rates[fs.Flow.ID]
-				}
-				if dstRack != "" {
-					down[dstRack] += rates[fs.Flow.ID]
-				}
+			lbuf = net.FlowLinks(fs.Flow.Src, fs.Flow.Dst, lbuf[:0])
+			for _, k := range lbuf {
+				used[k] += rates[fs.Flow.ID]
 			}
 		}
 	}
@@ -523,20 +489,11 @@ func clampComponent(snap *Snapshot, net *fabric.Network, flows []*FlowState, rat
 		return float64(cap) / float64(used)
 	}
 	for _, fs := range flows {
-		s := scale(eg[fs.Flow.Src], net.Host(fs.Flow.Src).Egress)
-		if v := scale(in[fs.Flow.Dst], net.Host(fs.Flow.Dst).Ingress); v < s {
-			s = v
-		}
-		if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
-			if srcRack != "" {
-				if v := scale(up[srcRack], net.Rack(srcRack).Uplink); v < s {
-					s = v
-				}
-			}
-			if dstRack != "" {
-				if v := scale(down[dstRack], net.Rack(dstRack).Downlink); v < s {
-					s = v
-				}
+		s := 1.0
+		lbuf = net.FlowLinks(fs.Flow.Src, fs.Flow.Dst, lbuf[:0])
+		for _, k := range lbuf {
+			if v := scale(used[k], net.LinkCapacity(k)); v < s {
+				s = v
 			}
 		}
 		if s < 1 {
@@ -550,64 +507,32 @@ func clampComponent(snap *Snapshot, net *fabric.Network, flows []*FlowState, rat
 	}
 	accumulate()
 	const tol = 1e-6
-	for name, used := range eg {
-		if float64(used) > float64(net.Host(name).Egress)+tol {
-			return false
-		}
-	}
-	for name, used := range in {
-		if float64(used) > float64(net.Host(name).Ingress)+tol {
-			return false
-		}
-	}
-	for name, used := range up {
-		if float64(used) > float64(net.Rack(name).Uplink)+tol {
-			return false
-		}
-	}
-	for name, used := range down {
-		if float64(used) > float64(net.Rack(name).Downlink)+tol {
+	for k, u := range used {
+		if float64(u) > float64(net.LinkCapacity(k))+tol {
 			return false
 		}
 	}
 	return true
 }
 
-// sparseResidual is fabric.Residual restricted to the ports of one
+// sparseResidual is fabric.Residual restricted to the links of one
 // component, with identical available/take arithmetic.
 type sparseResidual struct {
-	net      *fabric.Network
-	egress   map[string]unit.Rate
-	ingress  map[string]unit.Rate
-	rackUp   map[string]unit.Rate
-	rackDown map[string]unit.Rate
+	net  fabric.Fabric
+	free map[fabric.LinkKey]unit.Rate
+	buf  []fabric.LinkKey
 }
 
-func newSparseResidual(net *fabric.Network, flows []*FlowState) *sparseResidual {
+func newSparseResidual(net fabric.Fabric, flows []*FlowState) *sparseResidual {
 	r := &sparseResidual{
-		net:      net,
-		egress:   make(map[string]unit.Rate),
-		ingress:  make(map[string]unit.Rate),
-		rackUp:   make(map[string]unit.Rate),
-		rackDown: make(map[string]unit.Rate),
+		net:  net,
+		free: make(map[fabric.LinkKey]unit.Rate),
 	}
 	for _, fs := range flows {
-		if _, ok := r.egress[fs.Flow.Src]; !ok {
-			r.egress[fs.Flow.Src] = net.Host(fs.Flow.Src).Egress
-		}
-		if _, ok := r.ingress[fs.Flow.Dst]; !ok {
-			r.ingress[fs.Flow.Dst] = net.Host(fs.Flow.Dst).Ingress
-		}
-		if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
-			if srcRack != "" {
-				if _, ok := r.rackUp[srcRack]; !ok {
-					r.rackUp[srcRack] = net.Rack(srcRack).Uplink
-				}
-			}
-			if dstRack != "" {
-				if _, ok := r.rackDown[dstRack]; !ok {
-					r.rackDown[dstRack] = net.Rack(dstRack).Downlink
-				}
+		r.buf = net.FlowLinks(fs.Flow.Src, fs.Flow.Dst, r.buf[:0])
+		for _, k := range r.buf {
+			if _, ok := r.free[k]; !ok {
+				r.free[k] = net.LinkCapacity(k)
 			}
 		}
 	}
@@ -615,14 +540,10 @@ func newSparseResidual(net *fabric.Network, flows []*FlowState) *sparseResidual 
 }
 
 func (r *sparseResidual) available(src, dst string) unit.Rate {
-	a := unit.MinRate(r.egress[src], r.ingress[dst])
-	if srcRack, dstRack, crosses := r.net.CrossRack(src, dst); crosses {
-		if srcRack != "" {
-			a = unit.MinRate(a, r.rackUp[srcRack])
-		}
-		if dstRack != "" {
-			a = unit.MinRate(a, r.rackDown[dstRack])
-		}
+	r.buf = r.net.FlowLinks(src, dst, r.buf[:0])
+	a := unit.Rate(1e300)
+	for _, k := range r.buf {
+		a = unit.MinRate(a, r.free[k])
 	}
 	if a < 0 {
 		return 0
@@ -631,20 +552,11 @@ func (r *sparseResidual) available(src, dst string) unit.Rate {
 }
 
 func (r *sparseResidual) take(src, dst string, rate unit.Rate) {
-	clamp := func(m map[string]unit.Rate, k string) {
-		m[k] -= rate
-		if m[k] < 0 {
-			m[k] = 0
-		}
-	}
-	clamp(r.egress, src)
-	clamp(r.ingress, dst)
-	if srcRack, dstRack, crosses := r.net.CrossRack(src, dst); crosses {
-		if srcRack != "" {
-			clamp(r.rackUp, srcRack)
-		}
-		if dstRack != "" {
-			clamp(r.rackDown, dstRack)
+	r.buf = r.net.FlowLinks(src, dst, r.buf[:0])
+	for _, k := range r.buf {
+		r.free[k] -= rate
+		if r.free[k] < 0 {
+			r.free[k] = 0
 		}
 	}
 }

@@ -95,75 +95,55 @@ func (e EchelonMADD) Name() string {
 // and coordinator can invalidate it eagerly when scheduling inputs change.
 func (e EchelonMADD) PlanCache() *PlanCache { return e.Cache }
 
-// portProfiles tracks the free-capacity timeline of every port direction
-// during a planning pass, including rack uplinks/downlinks when the fabric
-// defines them. Instances are pooled: acquirePortProfiles hands out a reset
-// copy whose maps and per-profile arrays are reused across Schedule calls,
-// since rebuilding them dominated the seed scheduler's allocation count.
+// portProfiles tracks the free-capacity timeline of every link during a
+// planning pass — host NICs plus whatever interior links the fabric backend
+// defines (rack uplinks, per-spine leaf-spine links). Instances are pooled:
+// acquirePortProfiles hands out a reset copy whose maps and per-profile
+// arrays are reused across Schedule calls, since rebuilding them dominated
+// the seed scheduler's allocation count.
 type portProfiles struct {
-	net     *fabric.Network
+	net     fabric.Fabric
 	topoGen uint64
-	eg      map[string]*profile
-	in      map[string]*profile
-	up      map[string]*profile
-	down    map[string]*profile
-	// Scratch space reused by classBreaks/classLambda within one planning
-	// pass (a portProfiles is only ever used by one goroutine at a time).
-	breaks  []unit.Time
-	egVol   map[string]unit.Bytes
-	inVol   map[string]unit.Bytes
-	upVol   map[*profile]unit.Bytes
-	downVol map[*profile]unit.Bytes
+	ports   map[fabric.LinkKey]*profile
+	// Scratch space reused by classBreaks/classLambda/commitClass within one
+	// planning pass (a portProfiles is only ever used by one goroutine at a
+	// time).
+	breaks []unit.Time
+	vol    map[*profile]unit.Bytes
+	lbuf   []fabric.LinkKey
 }
 
-func newPortProfiles(net *fabric.Network, now unit.Time) *portProfiles {
+func newPortProfiles(net fabric.Fabric, now unit.Time) *portProfiles {
 	pp := &portProfiles{}
 	pp.rebuild(net, now)
 	return pp
 }
 
-// rebuild recreates every profile map from the fabric's current topology.
-func (pp *portProfiles) rebuild(net *fabric.Network, now unit.Time) {
+// rebuild recreates the profile map from the fabric's current topology.
+func (pp *portProfiles) rebuild(net fabric.Fabric, now unit.Time) {
 	pp.net = net
 	pp.topoGen = net.TopoGeneration()
-	pp.eg = make(map[string]*profile, net.Len())
-	pp.in = make(map[string]*profile, net.Len())
-	pp.up = make(map[string]*profile)
-	pp.down = make(map[string]*profile)
-	for _, h := range net.Hosts() {
-		pp.eg[h.Name] = newProfile(now, h.Egress)
-		pp.in[h.Name] = newProfile(now, h.Ingress)
+	links := net.Links()
+	pp.ports = make(map[fabric.LinkKey]*profile, len(links))
+	for _, l := range links {
+		pp.ports[l.Key] = newProfile(now, l.Capacity)
 	}
-	for _, r := range net.Racks() {
-		pp.up[r.Name] = newProfile(now, r.Uplink)
-		pp.down[r.Name] = newProfile(now, r.Downlink)
-	}
-	if pp.egVol == nil {
-		pp.egVol = make(map[string]unit.Bytes)
-		pp.inVol = make(map[string]unit.Bytes)
-		pp.upVol = make(map[*profile]unit.Bytes)
-		pp.downVol = make(map[*profile]unit.Bytes)
+	if pp.vol == nil {
+		pp.vol = make(map[*profile]unit.Bytes)
 	}
 }
 
 // ensure makes pp a fresh full-capacity timeline for net at now. When the
 // pooled instance already mirrors net's topology it only rewinds the
-// existing profiles — re-reading current port capacities, so SetCapacity
+// existing profiles — re-reading current link capacities, so SetCapacity
 // needs no rebuild — and otherwise it rebuilds from scratch.
-func (pp *portProfiles) ensure(net *fabric.Network, now unit.Time) {
+func (pp *portProfiles) ensure(net fabric.Fabric, now unit.Time) {
 	if pp.net != net || pp.topoGen != net.TopoGeneration() {
 		pp.rebuild(net, now)
 		return
 	}
-	for name, p := range pp.eg {
-		h := net.Host(name)
-		p.reset(now, h.Egress)
-		pp.in[name].reset(now, h.Ingress)
-	}
-	for name, p := range pp.up {
-		r := net.Rack(name)
-		p.reset(now, r.Uplink)
-		pp.down[name].reset(now, r.Downlink)
+	for k, p := range pp.ports {
+		p.reset(now, pp.net.LinkCapacity(k))
 	}
 }
 
@@ -171,7 +151,7 @@ func (pp *portProfiles) ensure(net *fabric.Network, now unit.Time) {
 // goroutines of a parallel ranking pass.
 var ppPool = sync.Pool{New: func() any { return new(portProfiles) }}
 
-func acquirePortProfiles(net *fabric.Network, now unit.Time) *portProfiles {
+func acquirePortProfiles(net fabric.Fabric, now unit.Time) *portProfiles {
 	pp := ppPool.Get().(*portProfiles)
 	pp.ensure(net, now)
 	return pp
@@ -179,19 +159,11 @@ func acquirePortProfiles(net *fabric.Network, now unit.Time) *portProfiles {
 
 func releasePortProfiles(pp *portProfiles) { ppPool.Put(pp) }
 
-// rackPorts returns the rack profiles a flow crosses (nil when none).
-func (pp *portProfiles) rackPorts(src, dst string) (upP, downP *profile) {
-	srcRack, dstRack, crosses := pp.net.CrossRack(src, dst)
-	if !crosses {
-		return nil, nil
-	}
-	if srcRack != "" {
-		upP = pp.up[srcRack]
-	}
-	if dstRack != "" {
-		downP = pp.down[dstRack]
-	}
-	return upP, downP
+// flowPorts resolves a flow's links into pp's scratch key buffer. The
+// returned slice is valid until the next flowPorts call on the same pp.
+func (pp *portProfiles) flowPorts(src, dst string) []fabric.LinkKey {
+	pp.lbuf = pp.net.FlowLinks(src, dst, pp.lbuf[:0])
+	return pp.lbuf
 }
 
 // deadlineClass is a set of group flows sharing one ideal finish time; its
@@ -288,53 +260,29 @@ func classFill(pp *portProfiles, cls deadlineClass, from, to unit.Time, paced bo
 }
 
 // classLambda computes the largest proportional-rate scale for a class at
-// time t: min over ports of free capacity divided by the volume crossing it.
+// time t: min over links of free capacity divided by the volume crossing it.
 func classLambda(pp *portProfiles, cls deadlineClass, remaining map[string]unit.Bytes, t unit.Time) float64 {
-	egVol, inVol, upVol, downVol := pp.egVol, pp.inVol, pp.upVol, pp.downVol
-	clear(egVol)
-	clear(inVol)
-	clear(upVol)
-	clear(downVol)
+	vol := pp.vol
+	clear(vol)
 	for _, fs := range cls.flows {
 		v := remaining[fs.Flow.ID]
 		if v.Zeroish() {
 			continue
 		}
-		egVol[fs.Flow.Src] += v
-		inVol[fs.Flow.Dst] += v
-		upP, downP := pp.rackPorts(fs.Flow.Src, fs.Flow.Dst)
-		if upP != nil {
-			upVol[upP] += v
-		}
-		if downP != nil {
-			downVol[downP] += v
+		for _, k := range pp.flowPorts(fs.Flow.Src, fs.Flow.Dst) {
+			vol[pp.ports[k]] += v
 		}
 	}
 	lambda := 1e300
-	for host, vol := range egVol {
-		if l := float64(pp.eg[host].freeAt(t)) / float64(vol); l < lambda {
-			lambda = l
-		}
-	}
-	for host, vol := range inVol {
-		if l := float64(pp.in[host].freeAt(t)) / float64(vol); l < lambda {
-			lambda = l
-		}
-	}
-	for p, vol := range upVol {
-		if l := float64(p.freeAt(t)) / float64(vol); l < lambda {
-			lambda = l
-		}
-	}
-	for p, vol := range downVol {
-		if l := float64(p.freeAt(t)) / float64(vol); l < lambda {
+	for p, v := range vol {
+		if l := float64(p.freeAt(t)) / float64(v); l < lambda {
 			lambda = l
 		}
 	}
 	return lambda
 }
 
-// classBreaks merges the breakpoints of every port a class touches within
+// classBreaks merges the breakpoints of every link a class touches within
 // [from, to].
 // The returned slice aliases pp's scratch buffer; it is valid until the next
 // classBreaks call on the same pp.
@@ -348,15 +296,8 @@ func classBreaks(pp *portProfiles, cls deadlineClass, from, to unit.Time) []unit
 		}
 	}
 	for _, fs := range cls.flows {
-		add(pp.eg[fs.Flow.Src])
-		add(pp.in[fs.Flow.Dst])
-		if upP, downP := pp.rackPorts(fs.Flow.Src, fs.Flow.Dst); upP != nil || downP != nil {
-			if upP != nil {
-				add(upP)
-			}
-			if downP != nil {
-				add(downP)
-			}
+		for _, k := range pp.flowPorts(fs.Flow.Src, fs.Flow.Dst) {
+			add(pp.ports[k])
 		}
 	}
 	out = sortedBreaks(out)
@@ -367,15 +308,10 @@ func classBreaks(pp *portProfiles, cls deadlineClass, from, to unit.Time) []unit
 // commitClass reserves a class plan on the port profiles.
 func commitClass(pp *portProfiles, cls deadlineClass, plans map[string][]fillSegment) {
 	for _, fs := range cls.flows {
-		upP, downP := pp.rackPorts(fs.Flow.Src, fs.Flow.Dst)
+		links := pp.flowPorts(fs.Flow.Src, fs.Flow.Dst)
 		for _, seg := range plans[fs.Flow.ID] {
-			pp.eg[fs.Flow.Src].reserve(seg.from, seg.to, seg.rate)
-			pp.in[fs.Flow.Dst].reserve(seg.from, seg.to, seg.rate)
-			if upP != nil {
-				upP.reserve(seg.from, seg.to, seg.rate)
-			}
-			if downP != nil {
-				downP.reserve(seg.from, seg.to, seg.rate)
+			for _, k := range links {
+				pp.ports[k].reserve(seg.from, seg.to, seg.rate)
 			}
 		}
 	}
@@ -448,7 +384,7 @@ func planClass(snap *Snapshot, pp *portProfiles, cls deadlineClass, floor unit.T
 // full fabric — the inter-EchelonFlow ranking metric of Property 4. It also
 // returns the solo plan, which PlanCache uses as the fluid-model pace that
 // decides whether the ranking may be reused at a later event.
-func soloTardiness(snap *Snapshot, net *fabric.Network, classes []deadlineClass, floor unit.Time) (map[string][]fillSegment, unit.Time, error) {
+func soloTardiness(snap *Snapshot, net fabric.Fabric, classes []deadlineClass, floor unit.Time) (map[string][]fillSegment, unit.Time, error) {
 	pp := acquirePortProfiles(net, snap.Now)
 	plans, tau, err := planGroup(snap, pp, classes, floor)
 	releasePortProfiles(pp)
@@ -461,7 +397,7 @@ func soloTardiness(snap *Snapshot, net *fabric.Network, classes []deadlineClass,
 // pooled profile copy. Results and errors are merged in sorted group-id
 // order, so the outcome (including which error surfaces first) matches the
 // sequential seed loop exactly.
-func (e EchelonMADD) rankGroups(snap *Snapshot, net *fabric.Network, ids []string, byGroup map[string][]*FlowState, classes map[string][]deadlineClass, floors map[string]unit.Time) (map[string]unit.Time, error) {
+func (e EchelonMADD) rankGroups(snap *Snapshot, net fabric.Fabric, ids []string, byGroup map[string][]*FlowState, classes map[string][]deadlineClass, floors map[string]unit.Time) (map[string]unit.Time, error) {
 	solo := make(map[string]unit.Time, len(ids))
 	missing := make([]string, 0, len(ids))
 	for _, id := range ids {
@@ -522,7 +458,7 @@ func (e EchelonMADD) rankGroups(snap *Snapshot, net *fabric.Network, ids []strin
 }
 
 // Schedule implements Scheduler.
-func (e EchelonMADD) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (e EchelonMADD) Schedule(snap *Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	if err := snap.Validate(); err != nil {
 		return nil, err
 	}
@@ -611,7 +547,7 @@ func (e EchelonMADD) Schedule(snap *Snapshot, net *fabric.Network) (map[string]u
 }
 
 // backfill hands leftover instantaneous capacity to flows in deadline order.
-func (e EchelonMADD) backfill(snap *Snapshot, net *fabric.Network, rates map[string]unit.Rate) {
+func (e EchelonMADD) backfill(snap *Snapshot, net fabric.Fabric, rates map[string]unit.Rate) {
 	res := net.NewResidual()
 	for _, fs := range snap.Flows {
 		res.Take(fs.Flow.Src, fs.Flow.Dst, rates[fs.Flow.ID])
@@ -631,21 +567,13 @@ func (e EchelonMADD) backfill(snap *Snapshot, net *fabric.Network, rates map[str
 
 // clampFeasible scales down any port's allocations that exceed capacity by
 // accumulated floating-point fuzz, then validates.
-func clampFeasible(snap *Snapshot, net *fabric.Network, rates map[string]unit.Rate) (map[string]unit.Rate, error) {
-	eg := make(map[string]unit.Rate)
-	in := make(map[string]unit.Rate)
-	up := make(map[string]unit.Rate)
-	down := make(map[string]unit.Rate)
+func clampFeasible(snap *Snapshot, net fabric.Fabric, rates map[string]unit.Rate) (map[string]unit.Rate, error) {
+	used := make(map[fabric.LinkKey]unit.Rate)
+	var lbuf []fabric.LinkKey
 	for _, fs := range snap.Flows {
-		eg[fs.Flow.Src] += rates[fs.Flow.ID]
-		in[fs.Flow.Dst] += rates[fs.Flow.ID]
-		if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
-			if srcRack != "" {
-				up[srcRack] += rates[fs.Flow.ID]
-			}
-			if dstRack != "" {
-				down[dstRack] += rates[fs.Flow.ID]
-			}
+		lbuf = net.FlowLinks(fs.Flow.Src, fs.Flow.Dst, lbuf[:0])
+		for _, k := range lbuf {
+			used[k] += rates[fs.Flow.ID]
 		}
 	}
 	scale := func(used, cap unit.Rate) float64 {
@@ -655,20 +583,11 @@ func clampFeasible(snap *Snapshot, net *fabric.Network, rates map[string]unit.Ra
 		return float64(cap) / float64(used)
 	}
 	for _, fs := range snap.Flows {
-		s := scale(eg[fs.Flow.Src], net.Host(fs.Flow.Src).Egress)
-		if v := scale(in[fs.Flow.Dst], net.Host(fs.Flow.Dst).Ingress); v < s {
-			s = v
-		}
-		if srcRack, dstRack, crosses := net.CrossRack(fs.Flow.Src, fs.Flow.Dst); crosses {
-			if srcRack != "" {
-				if v := scale(up[srcRack], net.Rack(srcRack).Uplink); v < s {
-					s = v
-				}
-			}
-			if dstRack != "" {
-				if v := scale(down[dstRack], net.Rack(dstRack).Downlink); v < s {
-					s = v
-				}
+		s := 1.0
+		lbuf = net.FlowLinks(fs.Flow.Src, fs.Flow.Dst, lbuf[:0])
+		for _, k := range lbuf {
+			if v := scale(used[k], net.LinkCapacity(k)); v < s {
+				s = v
 			}
 		}
 		if s < 1 {

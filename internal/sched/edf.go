@@ -17,7 +17,7 @@ type EDF struct{}
 func (EDF) Name() string { return "edf" }
 
 // Schedule implements Scheduler.
-func (EDF) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (EDF) Schedule(snap *Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	if err := snap.Validate(); err != nil {
 		return nil, err
 	}

@@ -71,7 +71,7 @@ type InstrumentedDelta struct {
 }
 
 // Apply implements DeltaScheduler.
-func (i *InstrumentedDelta) Apply(snap *Snapshot, net *fabric.Network, d Delta) (map[string]unit.Rate, bool, error) {
+func (i *InstrumentedDelta) Apply(snap *Snapshot, net fabric.Fabric, d Delta) (map[string]unit.Rate, bool, error) {
 	t0 := time.Now()
 	rates, ok, err := i.delta.Apply(snap, net, d)
 	i.lat.Observe(time.Since(t0).Seconds())
@@ -79,7 +79,7 @@ func (i *InstrumentedDelta) Apply(snap *Snapshot, net *fabric.Network, d Delta) 
 }
 
 // Prime implements DeltaScheduler.
-func (i *InstrumentedDelta) Prime(snap *Snapshot, net *fabric.Network, rates map[string]unit.Rate) {
+func (i *InstrumentedDelta) Prime(snap *Snapshot, net fabric.Fabric, rates map[string]unit.Rate) {
 	i.delta.Prime(snap, net, rates)
 }
 
@@ -96,7 +96,7 @@ func (i *Instrumented) PlanCache() *PlanCache {
 }
 
 // Schedule implements Scheduler, timing the wrapped call.
-func (i *Instrumented) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (i *Instrumented) Schedule(snap *Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	t0 := time.Now()
 	rates, err := i.inner.Schedule(snap, net)
 	i.lat.Observe(time.Since(t0).Seconds())

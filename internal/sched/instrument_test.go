@@ -18,7 +18,7 @@ type stubScheduler struct {
 
 func (s *stubScheduler) Name() string { return "stub" }
 
-func (s *stubScheduler) Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error) {
+func (s *stubScheduler) Schedule(snap *Snapshot, net fabric.Fabric) (map[string]unit.Rate, error) {
 	s.calls++
 	if s.fail {
 		return nil, fmt.Errorf("stub failure")

@@ -143,3 +143,115 @@ func TestSchedulersRackFeasibleProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// ReassignRack must invalidate every cached planning artifact: the PlanCache
+// epoch (keyed on Generation) and the delta scheduler's incremental state.
+// A stale footprint after a host move would patch against the wrong uplinks.
+func TestReassignRackDiscardsCachedState(t *testing.T) {
+	net := rackNet(t)
+	cache := NewPlanCache()
+	d := NewDelta(EchelonMADD{Backfill: true, Cache: cache})
+
+	g, err := core.NewCoflow("c",
+		&core.Flow{ID: "x", Src: "a1", Dst: "b1", Size: 100},
+		&core.Flow{ID: "y", Src: "a2", Dst: "b2", Size: 100},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{Now: 0, Groups: map[string]*GroupState{"c": {Group: g}}}
+	for _, f := range g.Flows {
+		snap.Flows = append(snap.Flows, &FlowState{Flow: f, GroupID: "c", Remaining: f.Size})
+	}
+
+	before, err := d.Schedule(snap, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Stats().Entries == 0 {
+		t.Fatal("warm-up pass stored no plan cache entries")
+	}
+	if _, ok, _ := d.Apply(snap, net, Delta{}); !ok {
+		t.Fatalf("warm delta state rejected a no-op event: %+v", d.LastOutcome())
+	}
+
+	// Move b1 into rack A: x becomes intra-rack, so its uplink ceiling (2)
+	// no longer applies.
+	if err := net.ReassignRack("b1", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := d.Apply(snap, net, Delta{}); ok {
+		t.Fatal("delta patch applied across a rack move")
+	}
+	if got := d.LastOutcome().Reason; got != "fabric-generation" {
+		t.Errorf("fallback reason = %q, want fabric-generation", got)
+	}
+
+	after, err := d.Schedule(snap, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := (EchelonMADD{Backfill: true}).Schedule(snap, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range cold {
+		if after[id] != r {
+			t.Errorf("post-move rate for %s = %v, cold scheduler says %v (stale cache?)", id, after[id], r)
+		}
+	}
+	if after["x"] == before["x"] {
+		t.Errorf("rate for x unchanged (%v) by the rack move; topology change not observed", after["x"])
+	}
+}
+
+// residualGamma must agree across fabric backends when the interior links
+// cannot bind: a rackless big switch and a leaf-spine with non-binding
+// uplinks describe the same capacity region, so SEBF ordering (and with it
+// every CoflowMADD decision) is backend-independent.
+func TestResidualGammaBackendAgreement(t *testing.T) {
+	hosts := []string{"a1", "a2", "b1", "b2"}
+	big := fabric.NewNetwork()
+	big.AddUniformHosts(4, hosts...)
+
+	ls, err := fabric.NewLeafSpine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hosts {
+		if err := ls.AddLeaf("L-"+h, 1e300, 1e300); err != nil {
+			t.Fatal(err)
+		}
+		if err := ls.AddHost(h, "L-"+h, 4, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var flows []*FlowState
+		for fi := 0; fi < 1+rng.Intn(5); fi++ {
+			s, d := rng.Intn(4), rng.Intn(4)
+			if s == d {
+				d = (d + 1) % 4
+			}
+			flows = append(flows, &FlowState{
+				Flow:      &core.Flow{ID: fmt.Sprintf("f%d", fi), Src: hosts[s], Dst: hosts[d]},
+				Remaining: unit.Bytes(0.5 + 5*rng.Float64()),
+			})
+		}
+		gBig := residualGamma(flows, big.NewResidual(), big)
+		gLeaf := residualGamma(flows, ls.NewResidual(), ls)
+		if gBig != gLeaf {
+			t.Fatalf("trial %d: residualGamma %v (bigswitch) vs %v (leafspine)", trial, gBig, gLeaf)
+		}
+		tBig, err1 := big.BottleneckTime(volumesOf(flows))
+		tLeaf, err2 := ls.BottleneckTime(volumesOf(flows))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: bottleneck errors %v / %v", trial, err1, err2)
+		}
+		if tBig != tLeaf {
+			t.Fatalf("trial %d: BottleneckTime %v vs %v", trial, tBig, tLeaf)
+		}
+	}
+}

@@ -82,7 +82,7 @@ type Scheduler interface {
 	Name() string
 	// Schedule computes the allocation for the instant snap.Now. It is
 	// re-invoked by the runtime on every flow arrival and departure.
-	Schedule(snap *Snapshot, net *fabric.Network) (map[string]unit.Rate, error)
+	Schedule(snap *Snapshot, net fabric.Fabric) (map[string]unit.Rate, error)
 }
 
 // requestsOf converts flow states into fabric requests, preserving order.

@@ -28,7 +28,7 @@ type Options struct {
 	// Graph is the workload: Compute and Comm nodes with dependencies.
 	Graph *dag.Graph
 	// Net is the fabric the Comm nodes contend on.
-	Net *fabric.Network
+	Net fabric.Fabric
 	// Scheduler allocates flow rates. Required.
 	Scheduler sched.Scheduler
 	// Arrangements maps each group name appearing on Comm nodes to its

@@ -288,7 +288,7 @@ func RateChart(res *sim.Result, flowIDs []string, maxRate unit.Rate, width int) 
 // the port's capacity ('.' idle, '-' <50%, '=' <95%, '#' saturated). It
 // shows where the fabric bottlenecks — the port-level view of the paper's
 // big-switch model.
-func PortChart(res *sim.Result, g *dag.Graph, net *fabric.Network, width int) string {
+func PortChart(res *sim.Result, g *dag.Graph, net fabric.Fabric, width int) string {
 	if width < 10 {
 		width = 10
 	}
